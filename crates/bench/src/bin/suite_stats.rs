@@ -1,0 +1,65 @@
+//! Structural statistics of the evaluation suite vs. the published
+//! ISCAS'85 figures — documents how faithful the stand-ins are beyond the
+//! timing numbers.
+//!
+//! Run with `cargo run --release -p ltt-bench --bin suite_stats`.
+
+use ltt_bench::render::Table;
+use ltt_netlist::suite::iscas85_suite;
+
+fn main() {
+    // Published ISCAS'85 statistics: (name, gates, inputs, outputs).
+    let published = [
+        ("c17", 6, 5, 2),
+        ("s432", 160, 36, 7),
+        ("s499", 202, 41, 32),
+        ("s880", 383, 60, 26),
+        ("s1355", 546, 41, 32),
+        ("s1908", 880, 33, 25),
+        ("s2670", 1193, 233, 140),
+        ("s3540", 1669, 50, 22),
+        ("s5315", 2307, 178, 123),
+        ("s7552", 3512, 207, 108),
+        ("s6288", 2406, 32, 32),
+    ];
+    let mut table = Table::new(&[
+        "circuit",
+        "gates",
+        "(paper)",
+        "inputs",
+        "(paper)",
+        "outputs",
+        "(paper)",
+        "depth",
+        "stems",
+        "top",
+        "(paper)",
+    ]);
+    for entry in iscas85_suite(10) {
+        let (_, pg, pi, po) = published
+            .iter()
+            .find(|(n, ..)| *n == entry.name)
+            .copied()
+            .unwrap_or((entry.name, 0, 0, 0));
+        let c = &entry.circuit;
+        table.row(&[
+            entry.name.to_string(),
+            c.num_gates().to_string(),
+            pg.to_string(),
+            c.inputs().len().to_string(),
+            pi.to_string(),
+            c.outputs().len().to_string(),
+            po.to_string(),
+            c.depth().to_string(),
+            c.num_fanout_stems().to_string(),
+            c.topological_delay().to_string(),
+            entry.paper_top.to_string(),
+        ]);
+    }
+    println!("Suite structural statistics vs. the published ISCAS'85 figures");
+    println!("(c17 is the real netlist NOR-mapped; sNNN are stand-ins; the");
+    println!("c17 gate count differs from the raw 6-NAND netlist because the");
+    println!("paper's NOR implementation is larger)");
+    println!();
+    println!("{}", table.render());
+}

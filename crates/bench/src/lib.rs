@@ -1,0 +1,15 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! * [`table1`] — the Table 1 pipeline (per-circuit stage verdicts,
+//!   backtracks, CPU time) over the evaluation suite;
+//! * [`render`] — plain-text table rendering shared by the binaries.
+//!
+//! The runnable regeneration targets live in `src/bin/`:
+//! `table1`, `fig1_example2`, `carry_skip_study`, `dominator_study`,
+//! `ablation`, `path_blowup`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod render;
+pub mod table1;

@@ -1,0 +1,92 @@
+//! Minimal plain-text table rendering for the experiment binaries.
+
+/// A plain-text table with a header row and aligned columns.
+///
+/// # Examples
+///
+/// ```
+/// use ltt_bench::render::Table;
+///
+/// let mut t = Table::new(&["circuit", "top", "exact"]);
+/// t.row(&["c17", "50", "50"]);
+/// let text = t.render();
+/// assert!(text.contains("c17"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (short rows are padded with empty cells).
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        let mut row: Vec<String> = cells.iter().map(|s| s.as_ref().to_string()).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Renders the table with a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<width$}", width = widths[c]));
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["a", "long-header", "c"]);
+        t.row(&["x", "1", "2"]);
+        t.row(&["longer-cell", "3", "4"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Column 2 starts at the same offset in every row.
+        let off = lines[0].find("long-header").unwrap();
+        assert_eq!(lines[2].find('1'), Some(off));
+        assert_eq!(lines[3].find('3'), Some(off));
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only"]);
+        assert!(t.render().contains("only"));
+    }
+}

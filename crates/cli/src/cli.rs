@@ -1,0 +1,587 @@
+//! Argument parsing and subcommand implementations for the `ltt` binary.
+
+use ltt_core::{exact_delay, explain, verify_under, DelayMode, LearningMode, Stage, Verdict, VerifyConfig};
+use ltt_netlist::bench_format::{parse_bench, write_bench};
+use ltt_netlist::sdf::apply_sdf;
+use ltt_netlist::verilog::{parse_verilog, write_verilog};
+use ltt_netlist::{Circuit, DelayInterval, NetId};
+use ltt_sta::{simulate, transition_counts, write_vcd, SlackReport, WaveformTrace};
+use ltt_waveform::Level;
+
+/// Parsed common options.
+struct Options {
+    file: String,
+    format: Option<String>,
+    delay: u32,
+    sdf: Option<String>,
+    output: Option<String>,
+    delta: Option<i64>,
+    deadline: Option<i64>,
+    to: Option<String>,
+    v1: Option<String>,
+    v2: Option<String>,
+    vcd: Option<String>,
+    assumptions: Vec<(String, Level)>,
+    mode: DelayMode,
+    dominators: bool,
+    stems: bool,
+    search: bool,
+    learning: bool,
+    max_backtracks: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            file: String::new(),
+            format: None,
+            delay: 10,
+            sdf: None,
+            output: None,
+            delta: None,
+            deadline: None,
+            to: None,
+            v1: None,
+            v2: None,
+            vcd: None,
+            assumptions: Vec::new(),
+            mode: DelayMode::Floating,
+            dominators: true,
+            stems: true,
+            search: true,
+            learning: true,
+            max_backtracks: 100_000,
+        }
+    }
+}
+
+const USAGE: &str = "usage: ltt <info|check|delay|report|convert> <netlist> [options]
+run `ltt help` for the full option list";
+
+/// Entry point used by `main` (and the tests).
+pub fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err(USAGE.to_string());
+    };
+    if command == "help" || command == "--help" || command == "-h" {
+        println!("{}", long_help());
+        return Ok(());
+    }
+    let opts = parse_options(&args[1..])?;
+    let circuit = load_circuit(&opts)?;
+    match command.as_str() {
+        "info" => cmd_info(&circuit),
+        "check" => cmd_check(&circuit, &opts),
+        "delay" => cmd_delay(&circuit, &opts),
+        "report" => cmd_report(&circuit, &opts),
+        "convert" => cmd_convert(&circuit, &opts),
+        "simulate" => cmd_simulate(&circuit, &opts),
+        "explain" => cmd_explain(&circuit, &opts),
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+fn long_help() -> String {
+    "ltt — false-path-aware gate-level timing verification
+(waveform narrowing with last-transition-time constraint propagation,
+after Kassab–Cerny–Aourid–Krodel, DATE 1998)
+
+COMMANDS
+  info    <netlist>                 circuit statistics
+  check   <netlist> --delta N      can any output transition at/after N?
+  delay   <netlist>                exact floating-mode delay per output
+  report  <netlist> --deadline N   topological slack report
+  convert <netlist> --to FMT       rewrite as bench|verilog
+  simulate <netlist> --v1 BITS --v2 BITS [--vcd FILE]
+                                   exact two-vector waveform simulation
+  explain <netlist> --delta N      where could the violation live?
+                                   (carriers, dominators, stems)
+
+OPTIONS
+  --format bench|verilog    input format (default: by file extension)
+  --delay D                 per-gate delay when the format has none (10)
+  --sdf FILE                back-annotate delays from an SDF file
+  --output NAME             restrict to one primary output
+  --assume NET=0|1          pin a net's settling value (repeatable)
+  --mode floating|transition
+  --no-dominators --no-stems --no-search --no-learning
+  --max-backtracks N        case-analysis budget (100000)"
+        .to_string()
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter().peekable();
+    let mut positional = Vec::new();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--format" => opts.format = Some(value("--format")?),
+            "--delay" => {
+                opts.delay = value("--delay")?
+                    .parse()
+                    .map_err(|_| "--delay needs an integer".to_string())?
+            }
+            "--sdf" => opts.sdf = Some(value("--sdf")?),
+            "--output" => opts.output = Some(value("--output")?),
+            "--delta" => {
+                opts.delta = Some(
+                    value("--delta")?
+                        .parse()
+                        .map_err(|_| "--delta needs an integer".to_string())?,
+                )
+            }
+            "--deadline" => {
+                opts.deadline = Some(
+                    value("--deadline")?
+                        .parse()
+                        .map_err(|_| "--deadline needs an integer".to_string())?,
+                )
+            }
+            "--to" => opts.to = Some(value("--to")?),
+            "--v1" => opts.v1 = Some(value("--v1")?),
+            "--v2" => opts.v2 = Some(value("--v2")?),
+            "--vcd" => opts.vcd = Some(value("--vcd")?),
+            "--assume" => {
+                let spec = value("--assume")?;
+                let (net, v) = spec
+                    .split_once('=')
+                    .ok_or_else(|| "--assume expects NET=0 or NET=1".to_string())?;
+                let level = match v {
+                    "0" => Level::Zero,
+                    "1" => Level::One,
+                    _ => return Err("--assume expects NET=0 or NET=1".to_string()),
+                };
+                opts.assumptions.push((net.to_string(), level));
+            }
+            "--mode" => {
+                opts.mode = match value("--mode")?.as_str() {
+                    "floating" => DelayMode::Floating,
+                    "transition" => DelayMode::Transition,
+                    other => return Err(format!("unknown mode `{other}`")),
+                }
+            }
+            "--no-dominators" => opts.dominators = false,
+            "--no-stems" => opts.stems = false,
+            "--no-search" => opts.search = false,
+            "--no-learning" => opts.learning = false,
+            "--max-backtracks" => {
+                opts.max_backtracks = value("--max-backtracks")?
+                    .parse()
+                    .map_err(|_| "--max-backtracks needs an integer".to_string())?
+            }
+            other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
+            _ => positional.push(arg.clone()),
+        }
+    }
+    match positional.as_slice() {
+        [file] => opts.file = file.clone(),
+        [] => return Err("missing netlist file".to_string()),
+        more => return Err(format!("unexpected arguments: {more:?}")),
+    }
+    Ok(opts)
+}
+
+fn load_circuit(opts: &Options) -> Result<Circuit, String> {
+    let text = std::fs::read_to_string(&opts.file)
+        .map_err(|e| format!("cannot read `{}`: {e}", opts.file))?;
+    let format = match &opts.format {
+        Some(f) => f.clone(),
+        None if opts.file.ends_with(".v") || opts.file.ends_with(".sv") => "verilog".into(),
+        None => "bench".into(),
+    };
+    let delay = DelayInterval::fixed(opts.delay);
+    let circuit = match format.as_str() {
+        "bench" => parse_bench(&opts.file, &text, delay).map_err(|e| e.to_string())?,
+        "verilog" => parse_verilog(&text, delay).map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown format `{other}`")),
+    };
+    match &opts.sdf {
+        None => Ok(circuit),
+        Some(path) => {
+            let sdf = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            apply_sdf(&circuit, &sdf).map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn config_from(opts: &Options) -> VerifyConfig {
+    VerifyConfig {
+        delay_mode: opts.mode,
+        learning: if opts.learning {
+            LearningMode::Stems
+        } else {
+            LearningMode::Off
+        },
+        dominators: opts.dominators,
+        stem_correlation: opts.stems,
+        case_analysis: opts.search,
+        max_backtracks: opts.max_backtracks,
+        certify_vectors: true,
+    }
+}
+
+fn resolve_outputs(circuit: &Circuit, opts: &Options) -> Result<Vec<NetId>, String> {
+    match &opts.output {
+        None => Ok(circuit.outputs().to_vec()),
+        Some(name) => {
+            let net = circuit
+                .net_by_name(name)
+                .ok_or_else(|| format!("no net named `{name}`"))?;
+            Ok(vec![net])
+        }
+    }
+}
+
+fn resolve_assumptions(
+    circuit: &Circuit,
+    opts: &Options,
+) -> Result<Vec<(NetId, Level)>, String> {
+    opts.assumptions
+        .iter()
+        .map(|(name, level)| {
+            circuit
+                .net_by_name(name)
+                .map(|n| (n, *level))
+                .ok_or_else(|| format!("no net named `{name}` (in --assume)"))
+        })
+        .collect()
+}
+
+fn stage_name(stage: Stage) -> &'static str {
+    match stage {
+        Stage::Narrowing => "narrowing",
+        Stage::Dominators => "timing dominators",
+        Stage::StemCorrelation => "stem correlation",
+        Stage::CaseAnalysis => "case analysis",
+    }
+}
+
+fn cmd_info(circuit: &Circuit) -> Result<(), String> {
+    println!("name:            {}", circuit.name());
+    println!("gates:           {}", circuit.num_gates());
+    println!("nets:            {}", circuit.num_nets());
+    println!("inputs:          {}", circuit.inputs().len());
+    println!("outputs:         {}", circuit.outputs().len());
+    println!("depth:           {} levels", circuit.depth());
+    println!("topological:     {}", circuit.topological_delay());
+    println!("min topological: {}", circuit.min_topological_delay());
+    println!("fanout stems:    {}", circuit.num_fanout_stems());
+    Ok(())
+}
+
+fn cmd_check(circuit: &Circuit, opts: &Options) -> Result<(), String> {
+    let delta = opts.delta.ok_or("check needs --delta N")?;
+    let config = config_from(opts);
+    let assumptions = resolve_assumptions(circuit, opts)?;
+    let mut any_violation = false;
+    let mut any_open = false;
+    for out in resolve_outputs(circuit, opts)? {
+        let r = verify_under(circuit, out, delta, &assumptions, &config);
+        let name = circuit.net(out).name();
+        match &r.verdict {
+            Verdict::NoViolation { stage } => println!(
+                "{name}: no transition at or after {delta} is possible (proved by {}, {:.2} ms)",
+                stage_name(*stage),
+                r.elapsed.as_secs_f64() * 1e3
+            ),
+            Verdict::Violation { vector } => {
+                any_violation = true;
+                let pretty: Vec<String> = circuit
+                    .inputs()
+                    .iter()
+                    .zip(vector)
+                    .map(|(&n, &v)| format!("{}={}", circuit.net(n).name(), u8::from(v)))
+                    .collect();
+                println!(
+                    "{name}: VIOLATED — certified vector after {} backtracks: {}",
+                    r.backtracks,
+                    pretty.join(" ")
+                );
+            }
+            Verdict::Possible => {
+                any_open = true;
+                println!("{name}: possible violation (search disabled; rerun without --no-search)");
+            }
+            Verdict::Abandoned => {
+                any_open = true;
+                println!(
+                    "{name}: undecided — case analysis abandoned after {} backtracks",
+                    r.backtracks
+                );
+            }
+        }
+    }
+    if any_violation {
+        Err("timing check violated".to_string())
+    } else if any_open {
+        Err("timing check undecided".to_string())
+    } else {
+        Ok(())
+    }
+}
+
+fn cmd_delay(circuit: &Circuit, opts: &Options) -> Result<(), String> {
+    let config = config_from(opts);
+    let arrival = circuit.arrival_times();
+    for out in resolve_outputs(circuit, opts)? {
+        let name = circuit.net(out).name();
+        let top = arrival[out.index()];
+        let search = exact_delay(circuit, out, &config);
+        if search.proven_exact {
+            let marker = if search.delay < top {
+                "  ** longest path FALSE **"
+            } else {
+                ""
+            };
+            println!(
+                "{name}: exact {} (topological {top}, {} backtracks){marker}",
+                search.delay, search.backtracks
+            );
+        } else {
+            println!(
+                "{name}: bounds [{}, {}] (topological {top}; search abandoned after {} backtracks)",
+                search.delay, search.upper_bound, search.backtracks
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_report(circuit: &Circuit, opts: &Options) -> Result<(), String> {
+    let deadline = opts.deadline.ok_or("report needs --deadline N")?;
+    let report = SlackReport::compute(circuit, deadline);
+    println!(
+        "deadline {deadline}: worst slack {}",
+        report
+            .worst_slack()
+            .map_or("-".to_string(), |s| s.to_string())
+    );
+    let mut rows: Vec<(i64, NetId)> = circuit
+        .net_ids()
+        .filter_map(|n| report.slack[n.index()].map(|s| (s, n)))
+        .collect();
+    rows.sort();
+    println!("{:<20} {:>8} {:>8} {:>8}", "net", "arrival", "required", "slack");
+    for (slack, net) in rows.iter().take(15) {
+        println!(
+            "{:<20} {:>8} {:>8} {:>8}",
+            circuit.net(*net).name(),
+            report.arrival[net.index()],
+            report.required[net.index()].expect("covered"),
+            slack
+        );
+    }
+    if rows.len() > 15 {
+        println!("… ({} more nets)", rows.len() - 15);
+    }
+    if report.is_violated() {
+        println!("note: negative topological slack may still be a false path —");
+        println!("      run `ltt check --delta {deadline}` for the exact answer");
+    }
+    Ok(())
+}
+
+fn parse_vector(circuit: &Circuit, bits: &str, flag: &str) -> Result<Vec<bool>, String> {
+    if bits.len() != circuit.inputs().len() {
+        return Err(format!(
+            "{flag} needs {} bits (one per input, in declaration order)",
+            circuit.inputs().len()
+        ));
+    }
+    bits.chars()
+        .map(|c| match c {
+            '0' => Ok(false),
+            '1' => Ok(true),
+            other => Err(format!("{flag}: invalid bit `{other}`")),
+        })
+        .collect()
+}
+
+fn cmd_simulate(circuit: &Circuit, opts: &Options) -> Result<(), String> {
+    let v1 = parse_vector(
+        circuit,
+        opts.v1.as_deref().ok_or("simulate needs --v1 BITS")?,
+        "--v1",
+    )?;
+    let v2 = parse_vector(
+        circuit,
+        opts.v2.as_deref().ok_or("simulate needs --v2 BITS")?,
+        "--v2",
+    )?;
+    let inputs: Vec<WaveformTrace> = v1
+        .iter()
+        .zip(&v2)
+        .map(|(&a, &b)| WaveformTrace::new(a, vec![(0, b)]))
+        .collect();
+    let traces = simulate(circuit, &inputs);
+    let counts = transition_counts(&traces);
+    for &o in circuit.outputs() {
+        let tr = &traces[o.index()];
+        println!(
+            "{}: settles to {} at {} ({} transitions)",
+            circuit.net(o).name(),
+            u8::from(tr.settles_to()),
+            tr.last_event().unwrap_or(0).max(0),
+            tr.num_transitions()
+        );
+    }
+    let total: usize = counts.iter().sum();
+    println!("total transitions across {} nets: {total}", circuit.num_nets());
+    if let Some(path) = &opts.vcd {
+        std::fs::write(path, write_vcd(circuit, &traces))
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_explain(circuit: &Circuit, opts: &Options) -> Result<(), String> {
+    let delta = opts.delta.ok_or("explain needs --delta N")?;
+    for out in resolve_outputs(circuit, opts)? {
+        print!("{}", explain(circuit, out, delta));
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_convert(circuit: &Circuit, opts: &Options) -> Result<(), String> {
+    match opts.to.as_deref() {
+        Some("bench") => {
+            print!("{}", write_bench(circuit));
+            Ok(())
+        }
+        Some("verilog") => {
+            print!("{}", write_verilog(circuit));
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown target format `{other}`")),
+        None => Err("convert needs --to bench|verilog".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn write_temp(name: &str, contents: &str) -> String {
+        let path = std::env::temp_dir().join(format!("ltt_cli_test_{name}"));
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(contents.as_bytes()).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    const C17: &str = "INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n19 = NAND(11, 7)\n22 = NAND(10, 16)\n23 = NAND(16, 19)\n";
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn info_runs_on_bench_file() {
+        let path = write_temp("info.bench", C17);
+        run(&args(&["info", &path])).unwrap();
+    }
+
+    #[test]
+    fn check_detects_violation_and_safety() {
+        let path = write_temp("check.bench", C17);
+        // δ above topological: safe.
+        run(&args(&["check", &path, "--delta", "31"])).unwrap();
+        // δ = exact: violated → error exit.
+        let e = run(&args(&["check", &path, "--delta", "30"])).unwrap_err();
+        assert!(e.contains("violated"));
+    }
+
+    #[test]
+    fn check_with_assumption() {
+        // Pinning input 3 to 1 makes NAND(1,3) = NOT(1)… the 30-paths run
+        // through net 11/16; pinning 2 = 0 forces 16 = 1 early, killing
+        // output 22's late paths through 16.
+        let path = write_temp("assume.bench", C17);
+        run(&args(&[
+            "check", &path, "--delta", "30", "--output", "22", "--assume", "2=0",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn delay_reports_exact() {
+        let path = write_temp("delay.bench", C17);
+        run(&args(&["delay", &path])).unwrap();
+        run(&args(&["delay", &path, "--output", "22", "--delay", "7"])).unwrap();
+    }
+
+    #[test]
+    fn report_and_convert_run() {
+        let path = write_temp("report.bench", C17);
+        run(&args(&["report", &path, "--deadline", "25"])).unwrap();
+        run(&args(&["convert", &path, "--to", "verilog"])).unwrap();
+        run(&args(&["convert", &path, "--to", "bench"])).unwrap();
+    }
+
+    #[test]
+    fn verilog_input_detected_by_extension() {
+        let src = "module t (a, y);\n input a; output y;\n not (y, a);\nendmodule\n";
+        let path = write_temp("input.v", src);
+        run(&args(&["info", &path])).unwrap();
+        run(&args(&["delay", &path])).unwrap();
+    }
+
+    #[test]
+    fn sdf_annotation_applies() {
+        let bench = write_temp("sdf.bench", C17);
+        let sdf = write_temp(
+            "delays.sdf",
+            r#"(DELAYFILE (CELL (INSTANCE 22) (DELAY (ABSOLUTE (IOPATH a b (99))))))"#,
+        );
+        run(&args(&["info", &bench, "--sdf", &sdf])).unwrap();
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&args(&["frobnicate", "x"])).is_err());
+        assert!(run(&args(&["check", "/nonexistent.bench", "--delta", "1"])).is_err());
+        let path = write_temp("err.bench", C17);
+        assert!(run(&args(&["check", &path])).is_err()); // missing --delta
+        assert!(run(&args(&["check", &path, "--delta", "x"])).is_err());
+        assert!(run(&args(&["convert", &path, "--to", "blif"])).is_err());
+        assert!(run(&args(&["check", &path, "--delta", "1", "--assume", "zz=1"])).is_err());
+    }
+
+    #[test]
+    fn help_prints() {
+        run(&args(&["help"])).unwrap();
+    }
+
+    #[test]
+    fn explain_runs() {
+        let path = write_temp("explain.bench", C17);
+        run(&args(&["explain", &path, "--delta", "30"])).unwrap();
+        run(&args(&["explain", &path, "--delta", "31", "--output", "22"])).unwrap();
+        assert!(run(&args(&["explain", &path])).is_err());
+    }
+
+    #[test]
+    fn simulate_with_vcd() {
+        let path = write_temp("sim.bench", C17);
+        let vcd = std::env::temp_dir().join("ltt_cli_test_sim.vcd");
+        let vcd_s = vcd.to_string_lossy().into_owned();
+        run(&args(&[
+            "simulate", &path, "--v1", "00000", "--v2", "11111", "--vcd", &vcd_s,
+        ]))
+        .unwrap();
+        let contents = std::fs::read_to_string(&vcd).unwrap();
+        assert!(contents.contains("$enddefinitions"));
+        // Bad vector lengths and bits are rejected.
+        assert!(run(&args(&["simulate", &path, "--v1", "0", "--v2", "11111"])).is_err());
+        assert!(run(&args(&["simulate", &path, "--v1", "0000x", "--v2", "11111"])).is_err());
+        assert!(run(&args(&["simulate", &path, "--v1", "00000"])).is_err());
+    }
+}

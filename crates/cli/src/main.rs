@@ -1,0 +1,38 @@
+//! `ltt` — the command-line timing verifier.
+//!
+//! ```text
+//! ltt info    <netlist>                          circuit statistics
+//! ltt check   <netlist> --delta N [options]      one timing check (Fig. 4 pipeline)
+//! ltt delay   <netlist> [options]                exact floating-mode delay per output
+//! ltt report  <netlist> --deadline N [options]   topological slack report
+//! ltt convert <netlist> --to bench|verilog       netlist format conversion
+//! ```
+//!
+//! Netlists are ISCAS `.bench` or structural Verilog (`.v`), detected by
+//! extension (override with `--format`). Common options:
+//!
+//! ```text
+//! --delay D          per-gate delay for formats without delays (default 10)
+//! --sdf FILE         back-annotate delays from an SDF file
+//! --output NAME      restrict to one primary output (default: all/critical)
+//! --assume NET=0|1   pin a net's settling value (set_case_analysis)
+//! --mode floating|transition
+//! --no-dominators / --no-stems / --no-search / --no-learning
+//! --max-backtracks N (default 100000)
+//! ```
+
+use cli::run;
+use std::process::ExitCode;
+
+mod cli;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

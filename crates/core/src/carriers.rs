@@ -1,0 +1,326 @@
+//! Static and dynamic carriers and timing dominators (§4).
+//!
+//! A net can only *cause* a violation of the timing check `σ = (ξ, s, δ)`
+//! if a long-enough path connects it to `s` (static carriers, Def. 4) and —
+//! after narrowing — if its current domain still allows a transition late
+//! enough to reach `s`'s last-transition interval (dynamic carriers,
+//! Def. 7). Every violation-carrying path lies inside the carrier circuit,
+//! so the nets on *all* its paths (the dominators of the reversed carrier
+//! DAG, Defs. 6/9) must themselves transition at or after `δ − distance`
+//! (Lemma 3 / Theorem 3), which Corollary 1 turns into a sound global
+//! narrowing: the **global implication on timing dominators** (G.I.T.D.)
+//! that the paper's Table 1 evaluates.
+
+use ltt_netlist::dominators::Dominators;
+use ltt_netlist::{Circuit, NetId};
+use ltt_waveform::{Signal, Time};
+
+/// Carrier distances: `distance[net] = Some(k)` iff the net is a carrier
+/// with (dynamic or static) distance `k` — the longest time a transition
+/// there can take to reach the checked output.
+pub type CarrierDistances = Vec<Option<i64>>;
+
+/// Computes the *static* carriers of `(ξ, s, δ)` and their distances
+/// `top_{x→s}` (Definition 4: nets on some input→s path of length ≥ δ).
+pub fn static_carriers(circuit: &Circuit, s: NetId, delta: i64) -> CarrierDistances {
+    let arrival = circuit.arrival_times();
+    let to_s = circuit.longest_to(s);
+    circuit
+        .net_ids()
+        .map(|x| match to_s[x.index()] {
+            Some(dist) if arrival[x.index()] + dist >= delta => Some(dist),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Computes the *dynamic* carriers of `(ξ, s, δ)` and their dynamic
+/// distances (Definitions 7–8), from the current domains.
+///
+/// `s` is a 0-dynamic-carrier if its domain is non-empty; an input `x` of a
+/// gate (max delay `d`) driving a `k`-carrier is a `(k + d)`-carrier
+/// provided its domain still allows a transition at or after `δ − (k + d)`.
+/// The distance recorded is the maximum over paths, computed in one
+/// reverse-topological sweep.
+pub fn dynamic_carriers(
+    circuit: &Circuit,
+    domains: &[Signal],
+    s: NetId,
+    delta: i64,
+) -> CarrierDistances {
+    let mut dist: CarrierDistances = vec![None; circuit.num_nets()];
+    if domains[s.index()].is_empty() {
+        return dist;
+    }
+    dist[s.index()] = Some(0);
+    for &gid in circuit.topo_gates().iter().rev() {
+        let gate = circuit.gate(gid);
+        let Some(k) = dist[gate.output().index()] else {
+            continue;
+        };
+        let cand = k + i64::from(gate.dmax());
+        for &x in gate.inputs() {
+            if domains[x.index()].can_transition_at_or_after(Time::new(delta - cand))
+                && dist[x.index()].is_none_or(|cur| cand > cur)
+            {
+                dist[x.index()] = Some(cand);
+            }
+        }
+    }
+    dist
+}
+
+/// The timing dominators of the carrier circuit: nets lying on **every**
+/// carrier path from `s` to the carrier inputs (Definitions 6/9), ordered
+/// from `s` outwards (so `d_0 = s`).
+///
+/// The carrier circuit is reversed into a single-source DAG Ψ′ (source
+/// `s`, sink **T** fed by every dead-end carrier) and the dominator chain
+/// of **T** is read off.
+pub fn timing_dominators(
+    circuit: &Circuit,
+    carriers: &CarrierDistances,
+    s: NetId,
+) -> Vec<NetId> {
+    if carriers[s.index()].is_none() {
+        return Vec::new();
+    }
+    // Compact vertex numbering: carrier nets in reverse circuit-topological
+    // order (s is topologically last among carriers, hence first here),
+    // then the sink T.
+    let mut order: Vec<NetId> = Vec::new();
+    let mut slot = vec![usize::MAX; circuit.num_nets()];
+    // Net topological order: inputs, then gate outputs in topo gate order.
+    let mut net_topo: Vec<NetId> = circuit.inputs().to_vec();
+    net_topo.extend(circuit.topo_gates().iter().map(|&g| circuit.gate(g).output()));
+    for &net in net_topo.iter().rev() {
+        if carriers[net.index()].is_some() && slot[net.index()] == usize::MAX {
+            slot[net.index()] = order.len();
+            order.push(net);
+        }
+    }
+    debug_assert_eq!(order.first(), Some(&s), "s is the deepest carrier");
+    let t = order.len(); // sink vertex id
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); t + 1];
+    for (yi, &y) in order.iter().enumerate() {
+        if let Some(driver) = circuit.net(y).driver() {
+            for &x in circuit.gate(driver).inputs() {
+                if carriers[x.index()].is_some() {
+                    preds[slot[x.index()]].push(yi);
+                }
+            }
+        }
+    }
+    // Dead ends (carrier inputs of Ψ and carriers whose gate has no carrier
+    // inputs) feed T.
+    for (yi, &y) in order.iter().enumerate() {
+        let is_dead_end = match circuit.net(y).driver() {
+            None => true,
+            Some(driver) => circuit
+                .gate(driver)
+                .inputs()
+                .iter()
+                .all(|x| carriers[x.index()].is_none()),
+        };
+        if is_dead_end {
+            preds[t].push(yi);
+        }
+    }
+    let topo: Vec<usize> = (0..=t).collect();
+    let dom = Dominators::compute(&preds, 0, &topo);
+    // The timing dominators are T's strict dominators, i.e. its chain minus
+    // T itself, from T back to s; reverse to run s-outward.
+    let mut chain = dom.chain(t);
+    chain.reverse(); // now starts at the source s, ends at T
+    chain.pop(); // drop T
+    chain.into_iter().map(|v| order[v]).collect()
+}
+
+/// Corollary 1: the narrowing targets implied by the timing dominators —
+/// `(net, lmin)` pairs meaning "intersect the net's domain with waveforms
+/// transitioning at or after `lmin = δ − distance`".
+pub fn dominator_narrowings(
+    dominators: &[NetId],
+    carriers: &CarrierDistances,
+    delta: i64,
+) -> Vec<(NetId, Time)> {
+    dominators
+        .iter()
+        .map(|&d| {
+            let k = carriers[d.index()].expect("dominators are carriers");
+            (d, Time::new(delta - k))
+        })
+        .collect()
+}
+
+use crate::solver::{FixpointResult, Narrower};
+
+/// The `evaluate` loop of the paper's Fig. 4: run the event queue to a
+/// fixpoint, then (if `use_dominators`) compute the dynamic timing
+/// dominators and apply the Corollary 1 narrowings; repeat until neither
+/// step changes anything.
+///
+/// Returns the final [`FixpointResult`]; on
+/// [`FixpointResult::Contradiction`] no violation of `(ξ, s, δ)` is
+/// possible.
+pub fn fixpoint_with_dominators(
+    nw: &mut Narrower,
+    s: NetId,
+    delta: i64,
+    use_dominators: bool,
+) -> FixpointResult {
+    loop {
+        if nw.reach_fixpoint() == FixpointResult::Contradiction {
+            return FixpointResult::Contradiction;
+        }
+        if !use_dominators {
+            return FixpointResult::Fixpoint;
+        }
+        let carriers = dynamic_carriers(nw.circuit(), nw.domains(), s, delta);
+        let doms = timing_dominators(nw.circuit(), &carriers, s);
+        let mut changed = false;
+        for (net, lmin) in dominator_narrowings(&doms, &carriers, delta) {
+            changed |= nw.narrow_net(net, Signal::violation(lmin));
+        }
+        if !changed {
+            return FixpointResult::Fixpoint;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltt_netlist::generators::{carry_skip_adder, cascade, figure1};
+    use ltt_netlist::{CircuitBuilder, DelayInterval, GateKind};
+
+    #[test]
+    fn static_carriers_of_cascade_are_everything_at_top() {
+        let c = cascade(GateKind::And, 3, 10);
+        let s = c.outputs()[0];
+        let carriers = static_carriers(&c, s, 30);
+        // Only the e0 → n1 → n2 → n3 spine is on a 30-path; side inputs
+        // e2, e3 arrive too late to start one… actually e1 feeds n1: path
+        // e1→n1→n2→n3 has length 30 too. e3 feeds n3: length 10.
+        let e0 = c.net_by_name("e0").unwrap();
+        let e3 = c.net_by_name("e3").unwrap();
+        assert_eq!(carriers[e0.index()], Some(30));
+        assert_eq!(carriers[e3.index()], None);
+        assert_eq!(carriers[s.index()], Some(0));
+    }
+
+    #[test]
+    fn cascade_dominators_are_the_spine() {
+        let c = cascade(GateKind::And, 3, 10);
+        let s = c.outputs()[0];
+        let carriers = static_carriers(&c, s, 30);
+        let doms = timing_dominators(&c, &carriers, s);
+        // Every 30-path runs through the whole spine: n1, n2, n3 (= s).
+        let names: Vec<&str> = doms.iter().map(|&n| c.net(n).name()).collect();
+        assert_eq!(names, vec!["n3", "n2", "n1"]);
+    }
+
+    #[test]
+    fn figure1_static_carriers_at_61() {
+        let c = figure1(10);
+        let s = c.outputs()[0];
+        let carriers = static_carriers(&c, s, 61);
+        // Only the 70-path nets qualify: e1, e2, n1..n4, n6, n7, s.
+        for name in ["n1", "n2", "n3", "n4", "n6", "n7", "s", "e1", "e2"] {
+            let n = c.net_by_name(name).unwrap();
+            assert!(carriers[n.index()].is_some(), "{name} should be a carrier");
+        }
+        for name in ["n5", "e3", "e4", "e5", "e6", "e7"] {
+            let n = c.net_by_name(name).unwrap();
+            assert!(carriers[n.index()].is_none(), "{name} should not be a carrier");
+        }
+        // Distances along the single chain.
+        let n4 = c.net_by_name("n4").unwrap();
+        assert_eq!(carriers[n4.index()], Some(30));
+    }
+
+    #[test]
+    fn figure1_dominators_are_the_false_path() {
+        let c = figure1(10);
+        let s = c.outputs()[0];
+        let carriers = static_carriers(&c, s, 61);
+        let doms = timing_dominators(&c, &carriers, s);
+        let names: Vec<&str> = doms.iter().map(|&n| c.net(n).name()).collect();
+        // The unique > 60 path is a chain: every net on it dominates.
+        assert_eq!(names, vec!["s", "n7", "n6", "n4", "n3", "n2", "n1"]);
+    }
+
+    #[test]
+    fn dynamic_carriers_respect_domains() {
+        let c = figure1(10);
+        let s = c.outputs()[0];
+        // With full domains, dynamic carriers at δ=61 match the static ones
+        // on the spine (domains allow any transition).
+        let domains = vec![Signal::FULL; c.num_nets()];
+        let dyn_c = dynamic_carriers(&c, &domains, s, 61);
+        let stat_c = static_carriers(&c, s, 61);
+        // Statically the spine nets carry; dynamically with FULL domains
+        // even more nets qualify (no settling bounds yet), but the spine
+        // must be included.
+        for (i, st) in stat_c.iter().enumerate() {
+            if st.is_some() {
+                assert!(dyn_c[i].is_some());
+            }
+        }
+        // Restricting inputs to floating mode removes the too-early nets
+        // once settle bounds are propagated — covered in check-level tests.
+    }
+
+    #[test]
+    fn dynamic_carriers_empty_when_output_dead() {
+        let c = figure1(10);
+        let s = c.outputs()[0];
+        let mut domains = vec![Signal::FULL; c.num_nets()];
+        domains[s.index()] = Signal::EMPTY;
+        let dyn_c = dynamic_carriers(&c, &domains, s, 61);
+        assert!(dyn_c.iter().all(|d| d.is_none()));
+    }
+
+    #[test]
+    fn carry_skip_dominators_cross_blocks() {
+        // The paper's Figure 2 argument: all paths to the last carry longer
+        // than δ−1 contain the previous block-carry nets.
+        let c = carry_skip_adder(8, 4, 10);
+        let cout = c.net_by_name("cout").unwrap();
+        let top = c.arrival_times()[cout.index()];
+        let carriers = static_carriers(&c, cout, top);
+        let doms = timing_dominators(&c, &carriers, cout);
+        let names: Vec<&str> = doms.iter().map(|&n| c.net(n).name()).collect();
+        // The block-boundary carries C1 (and the final C2) dominate.
+        assert!(names.contains(&"C1"), "dominators: {names:?}");
+    }
+
+    #[test]
+    fn reconvergence_removes_dominators() {
+        // Diamond: a → {p, q} → y; p and q do not dominate, a and y do.
+        let mut b = CircuitBuilder::new("d");
+        let a = b.input("a");
+        let p = b.gate("p", GateKind::Not, &[a], DelayInterval::fixed(10));
+        let q = b.gate("q", GateKind::Buffer, &[a], DelayInterval::fixed(10));
+        let y = b.gate("y", GateKind::And, &[p, q], DelayInterval::fixed(10));
+        b.mark_output(y);
+        let c = b.build().unwrap();
+        let carriers = static_carriers(&c, y, 20);
+        let doms = timing_dominators(&c, &carriers, y);
+        let names: Vec<&str> = doms.iter().map(|&n| c.net(n).name()).collect();
+        assert_eq!(names, vec!["y", "a"]);
+    }
+
+    #[test]
+    fn dominator_narrowings_use_delta_minus_distance() {
+        let c = cascade(GateKind::And, 3, 10);
+        let s = c.outputs()[0];
+        let carriers = static_carriers(&c, s, 30);
+        let doms = timing_dominators(&c, &carriers, s);
+        let narrowings = dominator_narrowings(&doms, &carriers, 30);
+        for (net, lmin) in narrowings {
+            let k = carriers[net.index()].unwrap();
+            assert_eq!(lmin, Time::new(30 - k));
+        }
+    }
+}

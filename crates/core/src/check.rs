@@ -1,0 +1,847 @@
+//! The timing-check pipeline (Fig. 4): constraint-system construction,
+//! narrowing, global implications on timing dominators, stem correlation,
+//! and case analysis — with per-stage verdicts matching the columns of the
+//! paper's Table 1.
+
+use crate::carriers::fixpoint_with_dominators;
+use crate::fan::{case_analysis, CaseConfig, CaseOutcome, CaseStats};
+use crate::learning::ImplicationTable;
+use crate::solver::{FixpointResult, Narrower, SolverStats};
+use crate::stems::{correlation_stems, stem_correlation, StemStats};
+use ltt_netlist::{Circuit, NetId};
+use ltt_waveform::{Signal, Time};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Circuit delay mode: which abstract waveforms are applied to the primary
+/// inputs (§1: the framework adapts to delay modes "by a simple change in
+/// the abstract waveforms applied to the inputs").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DelayMode {
+    /// Floating mode: unknown initial state, vector applied at time 0 —
+    /// inputs get `(0|_{−∞}^0, 1|_{−∞}^0)`.
+    #[default]
+    Floating,
+    /// Two-vector transition mode with every input switching at time 0 —
+    /// inputs get `(0|_0^0, 1|_0^0)`.
+    Transition,
+}
+
+/// Static-learning scope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum LearningMode {
+    /// No learning pre-process.
+    Off,
+    /// Learn from reconvergent fanout stems only (cheap, the default).
+    #[default]
+    Stems,
+    /// Learn from every net (quadratic; small circuits only).
+    All,
+}
+
+/// Pipeline configuration. The defaults enable everything, matching the
+/// paper's full method.
+#[derive(Clone, Debug)]
+pub struct VerifyConfig {
+    /// Input waveform mode.
+    pub delay_mode: DelayMode,
+    /// Static-learning scope.
+    pub learning: LearningMode,
+    /// Apply global implications on timing dominators (G.I.T.D., §4).
+    pub dominators: bool,
+    /// Apply stem correlation before case analysis (§5).
+    pub stem_correlation: bool,
+    /// Run the case analysis when narrowing is inconclusive (§5).
+    pub case_analysis: bool,
+    /// Backtrack budget for the case analysis.
+    pub max_backtracks: u64,
+    /// Certify reported vectors with the exact floating-mode simulator.
+    pub certify_vectors: bool,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig {
+            delay_mode: DelayMode::Floating,
+            learning: LearningMode::Stems,
+            dominators: true,
+            stem_correlation: true,
+            case_analysis: true,
+            max_backtracks: 100_000,
+            certify_vectors: true,
+        }
+    }
+}
+
+impl VerifyConfig {
+    /// The basic method of [Cerny–Zejda 1994]: plain waveform narrowing,
+    /// no global implications, no search — the paper's "BEFORE G.I.T.D."
+    /// baseline.
+    pub fn narrowing_only() -> Self {
+        VerifyConfig {
+            learning: LearningMode::Off,
+            dominators: false,
+            stem_correlation: false,
+            case_analysis: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// Verdict of one stage (`P` / `N` in Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StageVerdict {
+    /// `P`: a violation is still possible after this stage.
+    Possible,
+    /// `N`: no violation of the timing check is possible.
+    NoViolation,
+}
+
+/// Which stage settled the check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Basic waveform narrowing (plus learning, if enabled).
+    Narrowing,
+    /// Global implications on timing dominators.
+    Dominators,
+    /// Stem correlation.
+    StemCorrelation,
+    /// Case analysis.
+    CaseAnalysis,
+}
+
+/// Final verdict of the pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// No violation is possible; `stage` says which stage proved it.
+    NoViolation {
+        /// The stage that proved the check safe.
+        stage: Stage,
+    },
+    /// A violating test vector was found (`V` in Table 1).
+    Violation {
+        /// The primary-input vector, in declaration order.
+        vector: Vec<bool>,
+    },
+    /// Inconclusive: narrowing kept the system consistent and case
+    /// analysis was disabled.
+    Possible,
+    /// Case analysis exceeded its backtrack budget (`A` in Table 1).
+    Abandoned,
+}
+
+impl Verdict {
+    /// Whether the verdict proves the check safe.
+    pub fn is_no_violation(&self) -> bool {
+        matches!(self, Verdict::NoViolation { .. })
+    }
+
+    /// Whether a concrete violation was found.
+    pub fn is_violation(&self) -> bool {
+        matches!(self, Verdict::Violation { .. })
+    }
+}
+
+/// Full report of one timing check, mirroring a Table 1 row.
+#[derive(Clone, Debug)]
+pub struct VerifyReport {
+    /// The checked output net.
+    pub output: NetId,
+    /// The checked delay bound δ.
+    pub delta: i64,
+    /// Final verdict.
+    pub verdict: Verdict,
+    /// Stage verdict before global implications (Table 1 col. 4).
+    pub before_gitd: StageVerdict,
+    /// Stage verdict after global implications (col. 5; `None` if the
+    /// stage did not run).
+    pub after_gitd: Option<StageVerdict>,
+    /// Stage verdict after stem correlation (col. 6).
+    pub after_stems: Option<StageVerdict>,
+    /// Backtracks spent in case analysis (col. 7).
+    pub backtracks: u64,
+    /// Solver effort counters.
+    pub solver: SolverStats,
+    /// Stem-correlation counters.
+    pub stems: StemStats,
+    /// Case-analysis counters.
+    pub case: CaseStats,
+    /// Wall-clock time of the whole check.
+    pub elapsed: Duration,
+}
+
+/// Runs the timing check `σ = (ξ, output, δ)` under *assumptions*: each
+/// `(net, level)` pins a net's settling class before narrowing starts (the
+/// industrial `set_case_analysis` idiom — constant mode pins, unused
+/// inputs, scan enables). Everything else is [`verify`].
+///
+/// # Examples
+///
+/// ```
+/// use ltt_core::{verify, verify_under, VerifyConfig};
+/// use ltt_netlist::generators::figure1;
+/// use ltt_waveform::Level;
+///
+/// let c = figure1(10);
+/// let s = c.outputs()[0];
+/// let e5 = c.net_by_name("e5").unwrap();
+/// let config = VerifyConfig::default();
+/// // Unconstrained, δ = 60 is violated…
+/// assert!(verify(&c, s, 60, &config).verdict.is_violation());
+/// // …but pinning e5 = 0 blocks the critical AND g4: no violation.
+/// let r = verify_under(&c, s, 60, &[(e5, Level::Zero)], &config);
+/// assert!(r.verdict.is_no_violation());
+/// ```
+pub fn verify_under(
+    circuit: &Circuit,
+    output: NetId,
+    delta: i64,
+    assumptions: &[(NetId, ltt_waveform::Level)],
+    config: &VerifyConfig,
+) -> VerifyReport {
+    let table = match config.learning {
+        LearningMode::Off => None,
+        LearningMode::Stems => Some(Arc::new(ImplicationTable::learn_stems(circuit))),
+        LearningMode::All => Some(Arc::new(ImplicationTable::learn(circuit))),
+    };
+    verify_impl(circuit, output, delta, config, table, assumptions)
+}
+
+/// Runs the timing check `σ = (ξ, output, δ)` through the configured
+/// pipeline (Fig. 4, extended with the paper's §5 stages).
+///
+/// # Examples
+///
+/// The paper's Example 2: the Figure 1 circuit has topological delay 70
+/// but the 70-path is false; δ = 61 is proven safe by narrowing alone and
+/// δ = 60 yields a test vector.
+///
+/// ```
+/// use ltt_core::{verify, VerifyConfig};
+/// use ltt_netlist::generators::figure1;
+///
+/// let c = figure1(10);
+/// let s = c.outputs()[0];
+/// let config = VerifyConfig::default();
+/// assert!(verify(&c, s, 61, &config).verdict.is_no_violation());
+/// assert!(verify(&c, s, 60, &config).verdict.is_violation());
+/// ```
+pub fn verify(circuit: &Circuit, output: NetId, delta: i64, config: &VerifyConfig) -> VerifyReport {
+    let table = match config.learning {
+        LearningMode::Off => None,
+        LearningMode::Stems => Some(Arc::new(ImplicationTable::learn_stems(circuit))),
+        LearningMode::All => Some(Arc::new(ImplicationTable::learn(circuit))),
+    };
+    verify_with_learning(circuit, output, delta, config, table)
+}
+
+/// [`verify`] with a pre-computed learning table (the table depends only on
+/// the circuit, so it can be shared across the checks of a delay search).
+pub fn verify_with_learning(
+    circuit: &Circuit,
+    output: NetId,
+    delta: i64,
+    config: &VerifyConfig,
+    table: Option<Arc<ImplicationTable>>,
+) -> VerifyReport {
+    verify_impl(circuit, output, delta, config, table, &[])
+}
+
+fn verify_impl(
+    circuit: &Circuit,
+    output: NetId,
+    delta: i64,
+    config: &VerifyConfig,
+    table: Option<Arc<ImplicationTable>>,
+    assumptions: &[(NetId, ltt_waveform::Level)],
+) -> VerifyReport {
+    let start = Instant::now();
+    let mut nw = Narrower::new(circuit);
+    if let Some(table) = table {
+        // Constants found by learning restrict domains up front.
+        for &(net, level) in table.constants() {
+            let restriction = nw.domain(net).restrict_to_class(level);
+            nw.narrow_net(net, restriction);
+        }
+        nw.set_implications(table);
+    }
+    let input_domain = match config.delay_mode {
+        DelayMode::Floating => Signal::floating_input(),
+        DelayMode::Transition => Signal::transition_input(),
+    };
+    for &i in circuit.inputs() {
+        nw.narrow_net(i, input_domain);
+    }
+    for &(net, level) in assumptions {
+        let restriction = nw.domain(net).restrict_to_class(level);
+        nw.narrow_net(net, restriction);
+    }
+    run_pipeline(&mut nw, output, delta, config, start)
+}
+
+/// Runs the staged pipeline on a narrower that already carries the input
+/// (and assumption) constraints; applies the δ constraint itself.
+fn run_pipeline(
+    nw: &mut Narrower,
+    output: NetId,
+    delta: i64,
+    config: &VerifyConfig,
+    start: Instant,
+) -> VerifyReport {
+    nw.narrow_net(output, Signal::violation(Time::new(delta)));
+
+    let mut report = VerifyReport {
+        output,
+        delta,
+        verdict: Verdict::Possible,
+        before_gitd: StageVerdict::Possible,
+        after_gitd: None,
+        after_stems: None,
+        backtracks: 0,
+        solver: SolverStats::default(),
+        stems: StemStats::default(),
+        case: CaseStats::default(),
+        elapsed: Duration::ZERO,
+    };
+    let base_stats = nw.stats();
+    let finish = |mut report: VerifyReport, nw: &Narrower, start: Instant| {
+        let s = nw.stats();
+        report.solver = SolverStats {
+            events: s.events - base_stats.events,
+            narrowings: s.narrowings - base_stats.narrowings,
+            learned_applications: s.learned_applications - base_stats.learned_applications,
+        };
+        report.elapsed = start.elapsed();
+        report
+    };
+
+    // Stage 1: basic narrowing.
+    if nw.reach_fixpoint() == FixpointResult::Contradiction {
+        report.before_gitd = StageVerdict::NoViolation;
+        report.verdict = Verdict::NoViolation {
+            stage: Stage::Narrowing,
+        };
+        return finish(report, nw, start);
+    }
+
+    // Stage 2: global implications on timing dominators.
+    if config.dominators {
+        if fixpoint_with_dominators(nw, output, delta, true) == FixpointResult::Contradiction {
+            report.after_gitd = Some(StageVerdict::NoViolation);
+            report.verdict = Verdict::NoViolation {
+                stage: Stage::Dominators,
+            };
+            return finish(report, nw, start);
+        }
+        report.after_gitd = Some(StageVerdict::Possible);
+    }
+
+    // Stage 3: stem correlation.
+    if config.stem_correlation {
+        let stems = correlation_stems(nw, output, delta);
+        if stem_correlation(
+            nw,
+            output,
+            delta,
+            &stems,
+            config.dominators,
+            &mut report.stems,
+        ) == FixpointResult::Contradiction
+        {
+            report.after_stems = Some(StageVerdict::NoViolation);
+            report.verdict = Verdict::NoViolation {
+                stage: Stage::StemCorrelation,
+            };
+            return finish(report, nw, start);
+        }
+        report.after_stems = Some(StageVerdict::Possible);
+    }
+
+    // Stage 4: case analysis.
+    if config.case_analysis {
+        let case_cfg = CaseConfig {
+            max_backtracks: config.max_backtracks,
+            use_dominators: config.dominators,
+            certify_vectors: config.certify_vectors && config.delay_mode == DelayMode::Floating,
+        };
+        let outcome = case_analysis(nw, output, delta, &case_cfg, &mut report.case);
+        report.backtracks = report.case.backtracks;
+        report.verdict = match outcome {
+            CaseOutcome::Vector(vector) => Verdict::Violation { vector },
+            CaseOutcome::NoViolation => Verdict::NoViolation {
+                stage: Stage::CaseAnalysis,
+            },
+            CaseOutcome::Abandoned => Verdict::Abandoned,
+        };
+        return finish(report, nw, start);
+    }
+
+    report.verdict = Verdict::Possible;
+    finish(report, nw, start)
+}
+
+/// Result of an exact-delay search on one output.
+#[derive(Clone, Debug)]
+pub struct DelaySearch {
+    /// Largest δ for which a violation was demonstrated (the exact
+    /// floating-mode delay when `proven_exact`).
+    pub delay: i64,
+    /// A vector achieving `delay`.
+    pub vector: Option<Vec<bool>>,
+    /// Whether `delay + 1` was *proven* impossible (otherwise `delay` is a
+    /// lower bound and `upper_bound` the best upper bound).
+    pub proven_exact: bool,
+    /// Best proven upper bound (δ values above it are impossible).
+    pub upper_bound: i64,
+    /// Total backtracks across all probes.
+    pub backtracks: u64,
+    /// Reports of every probe, in probe order.
+    pub probes: Vec<VerifyReport>,
+}
+
+/// Finds the exact floating-mode delay of `output` by binary search over δ
+/// in `[0, top + 1]`, reusing one learning table across probes.
+///
+/// Each probe is a full [`verify`] run; `Violation` raises the lower bound,
+/// `NoViolation` lowers the upper bound, `Abandoned`/`Possible` terminates
+/// the search with `proven_exact = false`.
+pub fn exact_delay(circuit: &Circuit, output: NetId, config: &VerifyConfig) -> DelaySearch {
+    let table = match config.learning {
+        LearningMode::Off => None,
+        LearningMode::Stems => Some(Arc::new(ImplicationTable::learn_stems(circuit))),
+        LearningMode::All => Some(Arc::new(ImplicationTable::learn(circuit))),
+    };
+    let top = circuit.arrival_times()[output.index()];
+    let mut lo = 0i64; // delay ≥ 0 always (inputs settle at 0)
+    let mut hi = top + 1; // check at top+1 must fail
+    let mut vector = None;
+    let mut backtracks = 0;
+    let mut probes = Vec::new();
+    let mut decided = true;
+    // Invariant: violation possible at lo, impossible at hi.
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        let report = verify_with_learning(circuit, output, mid, config, table.clone());
+        backtracks += report.backtracks;
+        let verdict = report.verdict.clone();
+        probes.push(report);
+        match verdict {
+            Verdict::Violation { vector: v } => {
+                vector = Some(v);
+                lo = mid;
+            }
+            Verdict::NoViolation { .. } => {
+                hi = mid;
+            }
+            Verdict::Possible | Verdict::Abandoned => {
+                decided = false;
+                break;
+            }
+        }
+    }
+    if !decided {
+        // Recover certified bounds around the undecided region.
+        //
+        // Upper bound: bisect (lo, hi) for the smallest δ that the
+        // search-free pipeline (no case analysis) still proves impossible.
+        // Provability by narrowing/dominators/stems is monotone in practice
+        // (a larger δ is a tighter constraint); the final bound is verified
+        // by a direct check.
+        let no_ca = VerifyConfig {
+            case_analysis: false,
+            ..config.clone()
+        };
+        let (mut plo, mut phi) = (lo, hi);
+        while plo + 1 < phi {
+            let mid = plo + (phi - plo) / 2;
+            let report = verify_with_learning(circuit, output, mid, &no_ca, table.clone());
+            let proved = report.verdict.is_no_violation();
+            probes.push(report);
+            if proved {
+                phi = mid;
+            } else {
+                plo = mid;
+            }
+        }
+        hi = phi;
+        // Lower bound: cheap Monte-Carlo simulation — any vector's
+        // floating-mode delay is a certified lower bound.
+        let sampled = ltt_sta::sampled_floating_delay(circuit, output, 2_000, 0x5EED);
+        if sampled.delay > lo {
+            lo = sampled.delay;
+            vector = Some(sampled.witness);
+        }
+    }
+    DelaySearch {
+        delay: lo,
+        vector,
+        proven_exact: decided,
+        upper_bound: hi - 1,
+        backtracks,
+        probes,
+    }
+}
+
+/// Verifies a δ against **all** outputs: returns `NoViolation` only when no
+/// output can violate (the Table 1 semantics: "N: no violation of the
+/// timing-check constraint on any circuit output is possible").
+///
+/// The base fixpoint (floating inputs, learning constants, but no δ
+/// constraint) is computed **once** and the per-output checks run on top
+/// of it via trail rollback — the same selective-state-saving machinery
+/// the case analysis uses.
+pub fn verify_all_outputs(circuit: &Circuit, delta: i64, config: &VerifyConfig) -> Vec<VerifyReport> {
+    let table = match config.learning {
+        LearningMode::Off => None,
+        LearningMode::Stems => Some(Arc::new(ImplicationTable::learn_stems(circuit))),
+        LearningMode::All => Some(Arc::new(ImplicationTable::learn(circuit))),
+    };
+    let mut nw = Narrower::new(circuit);
+    if let Some(table) = table {
+        for &(net, level) in table.constants() {
+            let restriction = nw.domain(net).restrict_to_class(level);
+            nw.narrow_net(net, restriction);
+        }
+        nw.set_implications(table);
+    }
+    let input_domain = match config.delay_mode {
+        DelayMode::Floating => Signal::floating_input(),
+        DelayMode::Transition => Signal::transition_input(),
+    };
+    for &i in circuit.inputs() {
+        nw.narrow_net(i, input_domain);
+    }
+    // Shared base fixpoint (sound: it is implied by every per-output check).
+    nw.reach_fixpoint();
+    let mark = nw.checkpoint();
+    circuit
+        .outputs()
+        .iter()
+        .map(|&o| {
+            let report = run_pipeline(&mut nw, o, delta, config, Instant::now());
+            nw.rollback(mark);
+            report
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltt_netlist::generators::{carry_skip_adder, cascade, false_path_chain, figure1};
+    use ltt_netlist::suite::c17;
+    use ltt_netlist::GateKind;
+
+    #[test]
+    fn figure1_pipeline_brackets_exact_delay() {
+        let c = figure1(10);
+        let s = c.outputs()[0];
+        let config = VerifyConfig::default();
+        let r61 = verify(&c, s, 61, &config);
+        assert!(r61.verdict.is_no_violation());
+        // Narrowing alone suffices at 61 (Example 2).
+        assert_eq!(r61.before_gitd, StageVerdict::NoViolation);
+        let r60 = verify(&c, s, 60, &config);
+        match &r60.verdict {
+            Verdict::Violation { vector } => {
+                assert!(ltt_sta::vector_violates(&c, vector, s, 60));
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exact_delay_search_on_figure1() {
+        let c = figure1(10);
+        let s = c.outputs()[0];
+        let search = exact_delay(&c, s, &VerifyConfig::default());
+        assert_eq!(search.delay, 60);
+        assert!(search.proven_exact);
+        assert_eq!(search.upper_bound, 60);
+        let v = search.vector.expect("vector found");
+        assert!(ltt_sta::vector_violates(&c, &v, s, 60));
+    }
+
+    #[test]
+    fn exact_delay_matches_oracle_on_small_circuits() {
+        let config = VerifyConfig::default();
+        for c in [
+            cascade(GateKind::And, 5, 10),
+            cascade(GateKind::Or, 3, 10),
+            false_path_chain(4, 3, 10),
+            false_path_chain(5, 2, 10),
+            carry_skip_adder(4, 2, 10),
+        ] {
+            for &s in c.outputs() {
+                let oracle = ltt_sta::exhaustive_floating_delay(&c, s).expect("small");
+                let search = exact_delay(&c, s, &config);
+                assert!(search.proven_exact, "{} {:?}", c.name(), s);
+                assert_eq!(
+                    search.delay,
+                    oracle.delay,
+                    "{} output {}",
+                    c.name(),
+                    c.net(s).name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn c17_exact_delay_is_topological() {
+        let c = c17(10);
+        let config = VerifyConfig::default();
+        for &s in c.outputs() {
+            let search = exact_delay(&c, s, &config);
+            assert!(search.proven_exact);
+            assert_eq!(search.delay, c.arrival_times()[s.index()]);
+        }
+    }
+
+    #[test]
+    fn narrowing_only_config_is_sound_but_weaker() {
+        let c = figure1(10);
+        let s = c.outputs()[0];
+        let basic = VerifyConfig::narrowing_only();
+        // Sound: it never claims a violation it cannot certify, and at
+        // δ = 71 (past topological) even basic narrowing proves safety.
+        let r = verify(&c, s, 71, &basic);
+        assert!(r.verdict.is_no_violation());
+        // At δ = 61 basic narrowing also succeeds on this small example.
+        let r = verify(&c, s, 61, &basic);
+        assert!(r.verdict.is_no_violation());
+        // At δ = 60 it must stay inconclusive (case analysis disabled).
+        let r = verify(&c, s, 60, &basic);
+        assert_eq!(r.verdict, Verdict::Possible);
+    }
+
+    #[test]
+    fn transition_mode_runs() {
+        let c = figure1(10);
+        let s = c.outputs()[0];
+        let config = VerifyConfig {
+            delay_mode: DelayMode::Transition,
+            case_analysis: false,
+            ..Default::default()
+        };
+        // With all inputs switching exactly at 0 the same settle bounds
+        // apply; δ past topological is impossible.
+        let r = verify(&c, s, 71, &config);
+        assert!(r.verdict.is_no_violation());
+    }
+
+    #[test]
+    fn verify_all_outputs_covers_every_output() {
+        let c = c17(10);
+        let reports = verify_all_outputs(&c, 31, &VerifyConfig::default());
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(|r| r.verdict.is_no_violation()));
+        let reports = verify_all_outputs(&c, 30, &VerifyConfig::default());
+        assert!(reports.iter().any(|r| r.verdict.is_violation()));
+    }
+
+    #[test]
+    fn learning_modes_agree_on_verdicts() {
+        let c = false_path_chain(4, 3, 10);
+        let s = c.outputs()[0];
+        for delta in [55, 60, 61, 65, 71] {
+            let mut verdicts = Vec::new();
+            for learning in [LearningMode::Off, LearningMode::Stems, LearningMode::All] {
+                let config = VerifyConfig {
+                    learning,
+                    ..Default::default()
+                };
+                verdicts.push(verify(&c, s, delta, &config).verdict.is_no_violation());
+            }
+            assert!(
+                verdicts.windows(2).all(|w| w[0] == w[1]),
+                "δ = {delta}: {verdicts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_carries_stage_columns() {
+        let c = figure1(10);
+        let s = c.outputs()[0];
+        let r = verify(&c, s, 60, &VerifyConfig::default());
+        assert_eq!(r.before_gitd, StageVerdict::Possible);
+        assert_eq!(r.after_gitd, Some(StageVerdict::Possible));
+        assert_eq!(r.after_stems, Some(StageVerdict::Possible));
+        assert!(r.elapsed.as_nanos() > 0);
+    }
+}
+
+/// The per-δ result of [`delay_profile`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProfilePoint {
+    /// The probed δ.
+    pub delta: i64,
+    /// Whether the (narrowing + dominators) system stayed consistent — a
+    /// violation is still *possible* at this δ.
+    pub possible: bool,
+}
+
+/// Sweeps δ over `deltas` (must be ascending) with **one** narrower:
+/// because `violation(δ₂) ⊆ violation(δ₁)` for `δ₂ ≥ δ₁`, each step's
+/// constraint refines the previous fixpoint and the whole profile costs
+/// little more than the largest single check. Uses narrowing + dominator
+/// implications (no search), so `possible = false` is a proof and
+/// `possible = true` is the stage's residual pessimism.
+///
+/// Once a δ is refuted every later δ is refuted too (monotonicity), so the
+/// sweep stops early and fills the tail.
+///
+/// # Panics
+///
+/// Panics if `deltas` is not strictly ascending.
+///
+/// # Examples
+///
+/// ```
+/// use ltt_core::delay_profile;
+/// use ltt_netlist::generators::figure1;
+///
+/// let c = figure1(10);
+/// let s = c.outputs()[0];
+/// let profile = delay_profile(&c, s, &[40, 60, 61, 70]);
+/// assert!(profile[0].possible);  // δ = 40: yes (true delay is 60)
+/// assert!(profile[1].possible);  // δ = 60: yes
+/// assert!(!profile[2].possible); // δ = 61: refuted
+/// assert!(!profile[3].possible); // δ = 70: refuted (filled by monotonicity)
+/// ```
+pub fn delay_profile(circuit: &Circuit, output: NetId, deltas: &[i64]) -> Vec<ProfilePoint> {
+    assert!(
+        deltas.windows(2).all(|w| w[0] < w[1]),
+        "deltas must be strictly ascending"
+    );
+    let mut nw = Narrower::new(circuit);
+    for &i in circuit.inputs() {
+        nw.narrow_net(i, Signal::floating_input());
+    }
+    nw.reach_fixpoint();
+    let mut profile = Vec::with_capacity(deltas.len());
+    let mut refuted = false;
+    for &delta in deltas {
+        if !refuted {
+            nw.narrow_net(output, Signal::violation(Time::new(delta)));
+            refuted = fixpoint_with_dominators(&mut nw, output, delta, true)
+                == FixpointResult::Contradiction;
+        }
+        profile.push(ProfilePoint {
+            delta,
+            possible: !refuted,
+        });
+    }
+    profile
+}
+
+#[cfg(test)]
+mod profile_tests {
+    use super::*;
+    use ltt_netlist::generators::{cascade, figure1};
+    use ltt_netlist::GateKind;
+
+    #[test]
+    fn profile_matches_individual_checks() {
+        let c = figure1(10);
+        let s = c.outputs()[0];
+        let deltas: Vec<i64> = (0..=8).map(|k| k * 10 + 1).collect();
+        let profile = delay_profile(&c, s, &deltas);
+        let config = VerifyConfig {
+            stem_correlation: false,
+            case_analysis: false,
+            ..Default::default()
+        };
+        for p in &profile {
+            let individual = verify(&c, s, p.delta, &config);
+            assert_eq!(
+                p.possible,
+                !individual.verdict.is_no_violation(),
+                "δ = {}",
+                p.delta
+            );
+        }
+    }
+
+    #[test]
+    fn profile_is_monotone_and_tight_on_cascade() {
+        let c = cascade(GateKind::And, 4, 10);
+        let s = c.outputs()[0];
+        let profile = delay_profile(&c, s, &[10, 20, 30, 40, 41, 50]);
+        let flips: Vec<bool> = profile.iter().map(|p| p.possible).collect();
+        assert_eq!(flips, vec![true, true, true, true, false, false]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn profile_rejects_unsorted_deltas() {
+        let c = cascade(GateKind::And, 2, 10);
+        let _ = delay_profile(&c, c.outputs()[0], &[20, 10]);
+    }
+}
+
+/// The exact floating-mode delay of the whole circuit: the maximum
+/// [`exact_delay`] over all primary outputs, sharing one learning table.
+/// This is the quantity the paper's Table 1 reports per circuit ("the
+/// value of δ for which a test vector is found represents the exact
+/// floating-mode delay of the circuit when the constraint system is
+/// inconsistent for (δ + 1) on all outputs").
+///
+/// Returns the per-output searches alongside the circuit-level result.
+///
+/// # Examples
+///
+/// ```
+/// use ltt_core::{exact_circuit_delay, VerifyConfig};
+/// use ltt_netlist::suite::c17_nor;
+///
+/// let c = c17_nor(10);
+/// let (delay, proven, _per_output) = exact_circuit_delay(&c, &VerifyConfig::default());
+/// assert_eq!(delay, 50);
+/// assert!(proven);
+/// ```
+pub fn exact_circuit_delay(
+    circuit: &Circuit,
+    config: &VerifyConfig,
+) -> (i64, bool, Vec<DelaySearch>) {
+    let mut searches = Vec::with_capacity(circuit.outputs().len());
+    let mut delay = 0i64;
+    let mut proven = true;
+    for &o in circuit.outputs() {
+        let s = exact_delay(circuit, o, config);
+        delay = delay.max(s.delay);
+        proven &= s.proven_exact;
+        searches.push(s);
+    }
+    (delay, proven, searches)
+}
+
+#[cfg(test)]
+mod circuit_delay_tests {
+    use super::*;
+    use ltt_netlist::generators::{carry_skip_adder, figure1};
+
+    #[test]
+    fn figure1_circuit_delay_is_60() {
+        let (delay, proven, per_output) =
+            exact_circuit_delay(&figure1(10), &VerifyConfig::default());
+        assert_eq!(delay, 60);
+        assert!(proven);
+        assert_eq!(per_output.len(), 1);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow without optimizations")]
+    fn carry_skip_circuit_delay_covers_all_outputs() {
+        let c = carry_skip_adder(8, 4, 10);
+        let (delay, proven, per_output) = exact_circuit_delay(&c, &VerifyConfig::default());
+        assert!(proven);
+        assert_eq!(per_output.len(), c.outputs().len());
+        // The circuit delay dominates every per-output delay.
+        assert!(per_output.iter().all(|s| s.delay <= delay));
+        // And it matches the exhaustive oracle's circuit delay.
+        let oracle = ltt_sta::exhaustive_circuit_delay(&c).unwrap();
+        assert_eq!(delay, oracle.delay);
+    }
+}

@@ -1,0 +1,186 @@
+//! Domain storage for the constraint system: one abstract signal per net,
+//! with trail-based selective state saving for backtracking (§3.3).
+
+use ltt_netlist::{Circuit, NetId};
+use ltt_waveform::Signal;
+
+/// A checkpoint into the trail, returned by [`DomainStore::checkpoint`] and
+/// consumed by [`DomainStore::rollback`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Checkpoint(usize);
+
+/// The domains `D_1 … D_n` of the constraint system plus the undo trail.
+///
+/// Every mutation goes through [`DomainStore::narrow_to`], which
+/// *intersects* the new value into the current one (narrowing is therefore
+/// monotone by construction), records the old value on the trail, and
+/// reports whether anything changed — the event the scheduler needs.
+#[derive(Clone, Debug)]
+pub struct DomainStore {
+    domains: Vec<Signal>,
+    trail: Vec<(NetId, Signal)>,
+    /// Set when any net's domain became `(φ, φ)` — the constraint system
+    /// is inconsistent (no waveform assignment satisfies it).
+    contradiction: bool,
+}
+
+impl DomainStore {
+    /// Creates a store with every net's domain set to the full signal.
+    pub fn new(circuit: &Circuit) -> Self {
+        DomainStore {
+            domains: vec![Signal::FULL; circuit.num_nets()],
+            trail: Vec::new(),
+            contradiction: false,
+        }
+    }
+
+    /// The current domain of a net.
+    pub fn get(&self, net: NetId) -> Signal {
+        self.domains[net.index()]
+    }
+
+    /// All domains, indexed by [`NetId::index`].
+    pub fn all(&self) -> &[Signal] {
+        &self.domains
+    }
+
+    /// Whether some net's domain is empty (the system has no solution).
+    pub fn has_contradiction(&self) -> bool {
+        self.contradiction
+    }
+
+    /// Narrows a net's domain to `target ∩ current`. Returns `true` if the
+    /// domain changed (callers then schedule the net's constraints).
+    ///
+    /// Records the previous value on the trail for backtracking and raises
+    /// the contradiction flag if the domain became `(φ, φ)`.
+    pub fn narrow_to(&mut self, net: NetId, target: Signal) -> bool {
+        let old = self.domains[net.index()];
+        let new = old.intersect(target);
+        if new == old {
+            return false;
+        }
+        self.trail.push((net, old));
+        self.domains[net.index()] = new;
+        if new.is_empty() {
+            self.contradiction = true;
+        }
+        true
+    }
+
+    /// Forcibly replaces a net's domain without intersecting (an escape
+    /// hatch for callers that compute a sound narrowing externally, e.g. a
+    /// union over case splits). The old value is still recorded on the
+    /// trail; the caller guarantees the new value contains all solutions.
+    pub fn replace(&mut self, net: NetId, value: Signal) -> bool {
+        let old = self.domains[net.index()];
+        if value == old {
+            return false;
+        }
+        self.trail.push((net, old));
+        self.domains[net.index()] = value;
+        if value.is_empty() {
+            self.contradiction = true;
+        }
+        true
+    }
+
+    /// Marks the current trail position.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint(self.trail.len())
+    }
+
+    /// Restores every domain changed since the checkpoint (in reverse
+    /// order) and clears the contradiction flag (re-derived lazily).
+    pub fn rollback(&mut self, mark: Checkpoint) {
+        while self.trail.len() > mark.0 {
+            let (net, old) = self.trail.pop().expect("trail non-empty");
+            self.domains[net.index()] = old;
+        }
+        self.contradiction = self.domains.iter().any(|d| d.is_empty());
+    }
+
+    /// Number of trail entries (diagnostic).
+    pub fn trail_len(&self) -> usize {
+        self.trail.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltt_netlist::{CircuitBuilder, DelayInterval, GateKind};
+    use ltt_waveform::{Aw, Level, Time};
+
+    fn circuit() -> (Circuit, NetId, NetId) {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let y = b.gate("y", GateKind::Not, &[a], DelayInterval::fixed(10));
+        b.mark_output(y);
+        (b.build().unwrap(), a, y)
+    }
+
+    #[test]
+    fn starts_full() {
+        let (c, a, y) = circuit();
+        let d = DomainStore::new(&c);
+        assert_eq!(d.get(a), Signal::FULL);
+        assert_eq!(d.get(y), Signal::FULL);
+        assert!(!d.has_contradiction());
+    }
+
+    #[test]
+    fn narrow_is_intersection_and_reports_change() {
+        let (c, a, _) = circuit();
+        let mut d = DomainStore::new(&c);
+        let v = Signal::violation(Time::new(5));
+        assert!(d.narrow_to(a, v));
+        assert_eq!(d.get(a), v);
+        // Narrowing to the same thing is a no-op.
+        assert!(!d.narrow_to(a, v));
+        // Narrowing to something wider is also a no-op (intersection).
+        assert!(!d.narrow_to(a, Signal::FULL));
+    }
+
+    #[test]
+    fn contradiction_flag_rises_and_clears() {
+        let (c, a, _) = circuit();
+        let mut d = DomainStore::new(&c);
+        let mark = d.checkpoint();
+        d.narrow_to(a, Signal::single_class(Level::Zero, Aw::before(Time::new(3))));
+        assert!(!d.has_contradiction());
+        d.narrow_to(a, Signal::single_class(Level::One, Aw::FULL));
+        assert!(d.has_contradiction());
+        d.rollback(mark);
+        assert!(!d.has_contradiction());
+        assert_eq!(d.get(a), Signal::FULL);
+    }
+
+    #[test]
+    fn rollback_restores_in_reverse_order() {
+        let (c, a, y) = circuit();
+        let mut d = DomainStore::new(&c);
+        let m0 = d.checkpoint();
+        d.narrow_to(a, Signal::violation(Time::new(1)));
+        let m1 = d.checkpoint();
+        d.narrow_to(a, Signal::violation(Time::new(2)));
+        d.narrow_to(y, Signal::violation(Time::new(3)));
+        d.rollback(m1);
+        assert_eq!(d.get(a), Signal::violation(Time::new(1)));
+        assert_eq!(d.get(y), Signal::FULL);
+        d.rollback(m0);
+        assert_eq!(d.get(a), Signal::FULL);
+    }
+
+    #[test]
+    fn replace_allows_widening_within_trail() {
+        let (c, a, _) = circuit();
+        let mut d = DomainStore::new(&c);
+        let mark = d.checkpoint();
+        d.narrow_to(a, Signal::violation(Time::new(10)));
+        assert!(d.replace(a, Signal::violation(Time::new(5))));
+        assert_eq!(d.get(a), Signal::violation(Time::new(5)));
+        d.rollback(mark);
+        assert_eq!(d.get(a), Signal::FULL);
+    }
+}

@@ -1,0 +1,550 @@
+//! Case analysis (§5): FAN-adapted waveform splitting with SCOAP-guided
+//! multiple backtrace and three decision phases.
+//!
+//! When the fixpoint leaves the system consistent, we cannot conclude a
+//! violation exists; case analysis decides nets — restricting their domains
+//! to one *class* at a time — until a test vector is found (all primary
+//! inputs class-fixed, certified against the exact floating-mode oracle) or
+//! the tree is exhausted (no violation possible).
+//!
+//! Decision ordering follows the paper's adaptation of FAN:
+//!
+//! * *objectives* `(k, n₀, n₁)` are raised for the non-carrier side inputs
+//!   of gates in the dynamic-carrier circuit Ψ, asking for the value that
+//!   keeps Ψ's paths transparent, weighted by the potential path delay they
+//!   enable (with **max**, not sum, merged at fanout stems);
+//! * objectives are *backtraced* to fanout stems / primary inputs, picking
+//!   the hardest input (by SCOAP controllability) where all inputs must be
+//!   set and the easiest where one suffices;
+//! * decisions run in three phases: (1) cone by cone between consecutive
+//!   dynamic dominators, (2) the whole circuit, (3) the output and the
+//!   primary inputs;
+//! * the backtrace is re-initiated whenever the decision stack shrinks
+//!   (each backtrack changes Ψ, the source of the violation).
+
+use crate::carriers::{dynamic_carriers, fixpoint_with_dominators, timing_dominators};
+use crate::scoap::Controllability;
+use crate::solver::{FixpointResult, Narrower};
+use ltt_netlist::{Circuit, NetId};
+use ltt_waveform::{Level, Signal};
+
+/// Configuration of the case analysis.
+#[derive(Clone, Copy, Debug)]
+pub struct CaseConfig {
+    /// Give up (result [`CaseOutcome::Abandoned`]) after this many
+    /// backtracks — the paper abandons c6288 this way.
+    pub max_backtracks: u64,
+    /// Keep applying dominator implications inside the search.
+    pub use_dominators: bool,
+    /// Certify candidate vectors with the exact floating-mode simulator
+    /// before reporting them (floating mode only).
+    pub certify_vectors: bool,
+}
+
+impl Default for CaseConfig {
+    fn default() -> Self {
+        CaseConfig {
+            max_backtracks: 100_000,
+            use_dominators: true,
+            certify_vectors: true,
+        }
+    }
+}
+
+/// The result of the case analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CaseOutcome {
+    /// A test vector violating the timing check (certified).
+    Vector(Vec<bool>),
+    /// The search tree is exhausted: no violation is possible.
+    NoViolation,
+    /// The backtrack budget ran out.
+    Abandoned,
+}
+
+/// Search-effort counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CaseStats {
+    /// Number of backtracks (reversed decisions).
+    pub backtracks: u64,
+    /// Number of decisions taken.
+    pub decisions: u64,
+    /// Candidate vectors rejected by the oracle certification.
+    pub rejected_candidates: u64,
+}
+
+struct Frame {
+    mark: crate::domain::Checkpoint,
+    net: NetId,
+    first: Level,
+    tried_both: bool,
+}
+
+/// Runs the case analysis on an already-propagated narrower.
+///
+/// Pre-condition: the caller has applied the input/check constraints and
+/// run [`fixpoint_with_dominators`] (and optionally stem correlation); the
+/// system is consistent.
+pub fn case_analysis(
+    nw: &mut Narrower,
+    s: NetId,
+    delta: i64,
+    config: &CaseConfig,
+    stats: &mut CaseStats,
+) -> CaseOutcome {
+    let circuit = nw.circuit();
+    let cc = Controllability::compute(circuit);
+    let plan = DecisionPlan::new(circuit, nw.domains(), s, delta);
+    let mut stack: Vec<Frame> = Vec::new();
+
+    loop {
+        let consistent = !nw.has_contradiction()
+            && fixpoint_with_dominators(nw, s, delta, config.use_dominators)
+                == FixpointResult::Fixpoint;
+
+        if consistent {
+            if let Some(vector) = full_input_assignment(circuit, nw.domains()) {
+                let ok = !config.certify_vectors
+                    || ltt_sta::vector_violates(circuit, &vector, s, delta);
+                if ok {
+                    return CaseOutcome::Vector(vector);
+                }
+                stats.rejected_candidates += 1;
+                // Fall through to backtracking: this complete assignment
+                // does not actually violate the check.
+            } else {
+                // Decide the next net.
+                let (net, level) = choose_decision(nw, &plan, &cc, s, delta)
+                    .expect("an unfixed primary input exists");
+                stats.decisions += 1;
+                let mark = nw.checkpoint();
+                let restriction = nw.domain(net).restrict_to_class(level);
+                nw.narrow_net(net, restriction);
+                stack.push(Frame {
+                    mark,
+                    net,
+                    first: level,
+                    tried_both: false,
+                });
+                continue;
+            }
+        }
+
+        // Conflict (or rejected candidate): backtrack.
+        loop {
+            let Some(mut frame) = stack.pop() else {
+                return CaseOutcome::NoViolation;
+            };
+            nw.rollback(frame.mark);
+            if frame.tried_both {
+                continue; // exhausted: keep popping
+            }
+            stats.backtracks += 1;
+            if stats.backtracks > config.max_backtracks {
+                return CaseOutcome::Abandoned;
+            }
+            let second = !frame.first;
+            let restriction = nw.domain(frame.net).restrict_to_class(second);
+            frame.mark = nw.checkpoint();
+            nw.narrow_net(frame.net, restriction);
+            frame.tried_both = true;
+            stack.push(frame);
+            break;
+        }
+    }
+}
+
+/// If every primary input has a fixed class, the corresponding vector.
+fn full_input_assignment(circuit: &Circuit, domains: &[Signal]) -> Option<Vec<bool>> {
+    circuit
+        .inputs()
+        .iter()
+        .map(|&i| domains[i.index()].fixed_class().map(Level::to_bool))
+        .collect()
+}
+
+/// The three-phase decision plan (computed once, before any decision).
+struct DecisionPlan {
+    /// Phase-1 regions: nets of the cone of `d_i` excluding the cone of
+    /// `d_{i+1}`, for the initial dominator chain `d_0 = s, d_1, …`.
+    regions: Vec<Vec<bool>>,
+    /// Phase-3 list: the output then the primary inputs.
+    tail: Vec<NetId>,
+}
+
+impl DecisionPlan {
+    fn new(circuit: &Circuit, domains: &[Signal], s: NetId, delta: i64) -> DecisionPlan {
+        let carriers = dynamic_carriers(circuit, domains, s, delta);
+        let doms = timing_dominators(circuit, &carriers, s);
+        let mut regions = Vec::new();
+        for w in doms.windows(2) {
+            let (di, di1) = (w[0], w[1]);
+            let cone_i = circuit.fanin_cone(di);
+            let cone_i1 = circuit.fanin_cone(di1);
+            let region: Vec<bool> = cone_i
+                .iter()
+                .zip(&cone_i1)
+                .map(|(&a, &b)| a && !b)
+                .collect();
+            regions.push(region);
+        }
+        if let Some(&last) = doms.last() {
+            regions.push(circuit.fanin_cone(last));
+        }
+        // Phase 2: the whole circuit.
+        regions.push(vec![true; circuit.num_nets()]);
+        let mut tail = vec![s];
+        tail.extend_from_slice(circuit.inputs());
+        DecisionPlan { regions, tail }
+    }
+}
+
+/// Picks the next decision: phase 1/2 via objective backtrace inside the
+/// planned regions, phase 3 over output + primary inputs, final fallback
+/// any unfixed primary input.
+fn choose_decision(
+    nw: &Narrower,
+    plan: &DecisionPlan,
+    cc: &Controllability,
+    s: NetId,
+    delta: i64,
+) -> Option<(NetId, Level)> {
+    let circuit = nw.circuit();
+    // Phases 1 and 2: objectives from the *current* dynamic-carrier circuit,
+    // backtraced to stems/inputs, restricted to each region in turn.
+    let objectives = raise_objectives(nw, s, delta);
+    for region in &plan.regions {
+        let mut best: Option<(i64, u32, NetId, Level)> = None;
+        for &(net, level, weight) in &objectives {
+            let Some((target, value)) = backtrace(circuit, nw.domains(), cc, net, level) else {
+                continue;
+            };
+            if !region[target.index()] || nw.domain(target).fixed_class().is_some() {
+                continue;
+            }
+            let tie = cc.of(target, value);
+            let cand = (weight, tie, target, value);
+            if best.is_none_or(|b| (cand.0, cand.1) > (b.0, b.1)) {
+                best = Some(cand);
+            }
+        }
+        if let Some((_, _, net, level)) = best {
+            return Some((net, level));
+        }
+    }
+    // Phase 3: the output, then the primary inputs — reached by complete
+    // backtrace from *unjustified* gate outputs (§5: a class-fixed output
+    // whose inputs can still take a class combination inconsistent with
+    // the gate constraint), falling back to direct input decisions.
+    for gid in circuit.gate_ids() {
+        let Some(out_class) = nw.domain(circuit.gate(gid).output()).fixed_class() else {
+            continue;
+        };
+        if !is_unjustified(nw, gid) {
+            continue;
+        }
+        // Backtrace the justification objective (output = its fixed class)
+        // to a stem or primary input.
+        if let Some((target, value)) =
+            backtrace(circuit, nw.domains(), cc, circuit.gate(gid).output(), out_class)
+        {
+            if nw.domain(target).fixed_class().is_none() {
+                return Some((target, value));
+            }
+        }
+    }
+    for &net in &plan.tail {
+        if nw.domain(net).fixed_class().is_none() {
+            // Prefer the class that keeps the check satisfiable: the one
+            // whose last-transition interval reaches latest.
+            let d = nw.domain(net);
+            let level = if d[Level::One].max() >= d[Level::Zero].max() {
+                Level::One
+            } else {
+                Level::Zero
+            };
+            return Some((net, level));
+        }
+    }
+    None
+}
+
+/// The paper's §5 *unjustified* test: the gate's output is restricted to
+/// one class, yet some class combination still allowed on the inputs is
+/// inconsistent with the gate constraint — so decisions below this gate
+/// are still needed.
+fn is_unjustified(nw: &Narrower, gid: ltt_netlist::GateId) -> bool {
+    let circuit = nw.circuit();
+    let gate = circuit.gate(gid);
+    let output = nw.domain(gate.output());
+    let Some(out_class) = output.fixed_class() else {
+        return false;
+    };
+    let input_domains: Vec<_> = gate.inputs().iter().map(|&n| nw.domain(n)).collect();
+    let k = input_domains.len();
+    if k > 8 {
+        return false; // combinational blow-up guard
+    }
+    for combo in 0u32..(1 << k) {
+        let classes: Vec<Level> = (0..k)
+            .map(|i| Level::from_bool((combo >> i) & 1 == 1))
+            .collect();
+        if classes
+            .iter()
+            .zip(&input_domains)
+            .any(|(&v, d)| d[v].is_empty())
+        {
+            continue; // combo not allowed by the current domains
+        }
+        let vals: Vec<bool> = classes.iter().map(|v| v.to_bool()).collect();
+        if Level::from_bool(gate.kind().eval(&vals)) != out_class {
+            return true; // an allowed combo contradicts the fixed output
+        }
+    }
+    false
+}
+
+/// Initial objectives (§5): for every gate driving a dynamic carrier, each
+/// non-carrier, class-unfixed input should take the non-controlling value
+/// of that gate (to keep Ψ's paths transparent). Objectives are the
+/// paper's triplets `(k, n₀(k), n₁(k))`: per net `k`, `n_v` is the largest
+/// path delay potentially enabled by setting `k` to `v` — merged with
+/// **max** (not sum) at fanout stems, the paper's modification of FAN.
+fn raise_objectives(nw: &Narrower, s: NetId, delta: i64) -> Vec<(NetId, Level, i64)> {
+    let circuit = nw.circuit();
+    let carriers = dynamic_carriers(circuit, nw.domains(), s, delta);
+    // n[net][value] = best enabled path delay when net settles to value.
+    let mut n: Vec<[i64; 2]> = vec![[i64::MIN; 2]; circuit.num_nets()];
+    for gid in circuit.gate_ids() {
+        let gate = circuit.gate(gid);
+        let out = gate.output();
+        let Some(k) = carriers[out.index()] else {
+            continue;
+        };
+        let Some(ctrl) = gate.kind().controlling_value() else {
+            continue; // XOR/unary gates are always transparent
+        };
+        let nc = !Level::from_bool(ctrl);
+        let weight = k + i64::from(gate.dmax());
+        for &x in gate.inputs() {
+            if carriers[x.index()].is_some() {
+                continue; // carriers are path candidates, not side inputs
+            }
+            if nw.domain(x).fixed_class().is_some() {
+                continue;
+            }
+            // Fanout: max-merge into the nc-value slot.
+            let slot = &mut n[x.index()][nc.index()];
+            *slot = (*slot).max(weight);
+        }
+    }
+    n.iter()
+        .enumerate()
+        .filter_map(|(i, vals)| {
+            // The objective value is the better of n₀/n₁; ties break to 1
+            // (keeping AND-family paths transparent first).
+            let (v, w) = if vals[1] >= vals[0] {
+                (Level::One, vals[1])
+            } else {
+                (Level::Zero, vals[0])
+            };
+            (w > i64::MIN).then(|| (NetId::from_index(i), v, w))
+        })
+        .collect()
+}
+
+/// FAN-style backtrace of one objective `(net, value)` to a fanout stem or
+/// primary input: where the objective requires all inputs, follow the
+/// hardest (max SCOAP); where one input suffices, follow the easiest.
+fn backtrace(
+    circuit: &Circuit,
+    domains: &[Signal],
+    cc: &Controllability,
+    mut net: NetId,
+    mut value: Level,
+) -> Option<(NetId, Level)> {
+    for _ in 0..circuit.num_nets() {
+        match domains[net.index()].fixed_class() {
+            Some(v) if v == value => return None, // already satisfied
+            Some(_) => return None,               // unachievable here
+            None => {}
+        }
+        let Some(driver) = circuit.net(net).driver() else {
+            return Some((net, value)); // reached a primary input
+        };
+        if circuit.net(net).is_fanout_stem() {
+            return Some((net, value)); // stop at stems (head lines)
+        }
+        let gate = circuit.gate(driver);
+        let kind = gate.kind();
+        let inputs = gate.inputs();
+        match kind.controlling_value() {
+            Some(c) => {
+                let c = Level::from_bool(c);
+                let out_c = Level::from_bool(kind.controlled_output().expect("ctrl"));
+                if value == out_c {
+                    // One controlling input suffices: easiest.
+                    let pick = inputs
+                        .iter()
+                        .copied()
+                        .filter(|i| domains[i.index()].fixed_class() != Some(!c))
+                        .min_by_key(|&i| cc.of(i, c))?;
+                    net = pick;
+                    value = c;
+                } else {
+                    // All inputs must be non-controlling: hardest first.
+                    let pick = inputs
+                        .iter()
+                        .copied()
+                        .filter(|i| domains[i.index()].fixed_class() != Some(c))
+                        .max_by_key(|&i| cc.of(i, !c))
+                        .or_else(|| inputs.first().copied())?;
+                    net = pick;
+                    value = !c;
+                }
+            }
+            None => {
+                // Unary / XOR / MUX: follow the (single or easiest) input.
+                if inputs.len() == 1 {
+                    net = inputs[0];
+                    value = if kind.inverts() { !value } else { value };
+                } else if kind == ltt_netlist::GateKind::Mux {
+                    // MUX(sel, a, b) = value: route through the cheaper of
+                    // (sel=0, a=value) and (sel=1, b=value), descending into
+                    // its data input.
+                    let cost0 = cc
+                        .of(inputs[0], Level::Zero)
+                        .saturating_add(cc.of(inputs[1], value));
+                    let cost1 = cc
+                        .of(inputs[0], Level::One)
+                        .saturating_add(cc.of(inputs[2], value));
+                    net = if cost0 <= cost1 { inputs[1] } else { inputs[2] };
+                    // value unchanged: the data input must produce it.
+                } else {
+                    // XOR family: choose the easiest input to flip; require
+                    // its value to make the parity work out with the others
+                    // at 0.
+                    let pick = inputs
+                        .iter()
+                        .copied()
+                        .min_by_key(|&i| cc.of(i, Level::One).min(cc.of(i, Level::Zero)))?;
+                    let others_parity = false; // assume others settle 0
+                    let pol = kind.inverts();
+                    let want = value.to_bool() ^ others_parity ^ pol;
+                    net = pick;
+                    value = Level::from_bool(want);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltt_netlist::generators::{cascade, false_path_chain, figure1};
+    use ltt_netlist::GateKind;
+    use ltt_waveform::Time;
+
+    fn setup<'a>(c: &'a Circuit, s: NetId, delta: i64) -> Narrower<'a> {
+        let mut nw = Narrower::new(c);
+        for &i in c.inputs() {
+            nw.narrow_net(i, Signal::floating_input());
+        }
+        nw.narrow_net(s, Signal::violation(Time::new(delta)));
+        nw
+    }
+
+    #[test]
+    fn finds_vector_on_cascade_at_top() {
+        let c = cascade(GateKind::And, 4, 10);
+        let s = c.outputs()[0];
+        let mut nw = setup(&c, s, 40);
+        assert_eq!(fixpoint_with_dominators(&mut nw, s, 40, true), FixpointResult::Fixpoint);
+        let mut stats = CaseStats::default();
+        let out = case_analysis(&mut nw, s, 40, &CaseConfig::default(), &mut stats);
+        match out {
+            CaseOutcome::Vector(v) => {
+                assert!(ltt_sta::vector_violates(&c, &v, s, 40));
+            }
+            other => panic!("expected vector, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn proves_no_violation_past_top() {
+        let c = cascade(GateKind::And, 4, 10);
+        let s = c.outputs()[0];
+        let mut nw = setup(&c, s, 41);
+        // Narrowing alone should already kill this; case analysis must
+        // agree even if asked.
+        if fixpoint_with_dominators(&mut nw, s, 41, true) == FixpointResult::Fixpoint {
+            let mut stats = CaseStats::default();
+            let out = case_analysis(&mut nw, s, 41, &CaseConfig::default(), &mut stats);
+            assert_eq!(out, CaseOutcome::NoViolation);
+        }
+    }
+
+    #[test]
+    fn figure1_finds_vector_at_60() {
+        let c = figure1(10);
+        let s = c.outputs()[0];
+        let mut nw = setup(&c, s, 60);
+        assert_eq!(fixpoint_with_dominators(&mut nw, s, 60, true), FixpointResult::Fixpoint);
+        let mut stats = CaseStats::default();
+        let out = case_analysis(&mut nw, s, 60, &CaseConfig::default(), &mut stats);
+        match out {
+            CaseOutcome::Vector(v) => assert!(ltt_sta::vector_violates(&c, &v, s, 60)),
+            other => panic!("expected vector, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn false_path_chain_exact_delay_bracketing() {
+        // For several (p, q): vector at (p+2)·10, no violation at
+        // (p+2)·10 + 1 — with the oracle agreeing.
+        for (p, q) in [(3usize, 2usize), (5, 3), (6, 4)] {
+            let c = false_path_chain(p, q, 10);
+            let s = c.outputs()[0];
+            let exact = 10 * (p as i64 + 2);
+            // δ = exact: violation.
+            let mut nw = setup(&c, s, exact);
+            let r = fixpoint_with_dominators(&mut nw, s, exact, true);
+            assert_eq!(r, FixpointResult::Fixpoint, "({p},{q}) at exact");
+            let mut stats = CaseStats::default();
+            let out = case_analysis(&mut nw, s, exact, &CaseConfig::default(), &mut stats);
+            assert!(
+                matches!(out, CaseOutcome::Vector(_)),
+                "({p},{q}) expected vector, got {out:?} after {} backtracks",
+                stats.backtracks
+            );
+            // δ = exact + 1: no violation (whether by narrowing or search).
+            let mut nw = setup(&c, s, exact + 1);
+            if fixpoint_with_dominators(&mut nw, s, exact + 1, true) == FixpointResult::Fixpoint {
+                let mut stats = CaseStats::default();
+                let out = case_analysis(&mut nw, s, exact + 1, &CaseConfig::default(), &mut stats);
+                assert_eq!(out, CaseOutcome::NoViolation, "({p},{q}) at exact+1");
+            }
+        }
+    }
+
+    #[test]
+    fn abandons_at_backtrack_budget() {
+        let c = false_path_chain(6, 4, 10);
+        let s = c.outputs()[0];
+        // An unsatisfiable-but-hard check with a zero budget abandons as
+        // soon as one backtrack is needed.
+        let mut nw = setup(&c, s, 75);
+        if fixpoint_with_dominators(&mut nw, s, 75, true) == FixpointResult::Fixpoint {
+            let cfg = CaseConfig {
+                max_backtracks: 0,
+                ..Default::default()
+            };
+            let mut stats = CaseStats::default();
+            let out = case_analysis(&mut nw, s, 75, &cfg, &mut stats);
+            // Either it decides without backtracking or it abandons.
+            assert!(matches!(out, CaseOutcome::Abandoned | CaseOutcome::NoViolation | CaseOutcome::Vector(_)));
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! Static learning (§4): SOCRATES-style class implications.
+//!
+//! In a pre-processing stage, every net is tentatively fixed to each class
+//! and the consequences are propagated through the circuit at the *class*
+//! level (a 2-bit "which settling values remain possible" analysis). Nets
+//! whose class becomes unique yield implications `y=v ⇒ x=w`, stored
+//! together with their contrapositives `x=¬w ⇒ y=¬v` — the indirect ones
+//! are exactly what local gate consistency cannot see. During narrowing,
+//! whenever a domain's class becomes fixed the learned table imposes class
+//! restrictions on other domains (the paper: "when a class becomes empty in
+//! the domain of a net, learning tables are used to impose class
+//! restrictions on other domains").
+
+use ltt_netlist::{Circuit, GateKind, NetId};
+use ltt_waveform::Level;
+use std::collections::HashSet;
+
+const CAN0: u8 = 1;
+const CAN1: u8 = 2;
+const BOTH: u8 = CAN0 | CAN1;
+
+fn bit(v: Level) -> u8 {
+    match v {
+        Level::Zero => CAN0,
+        Level::One => CAN1,
+    }
+}
+
+fn forward_classes(kind: GateKind, ins: &[u8]) -> u8 {
+    if ins.contains(&0) {
+        return 0;
+    }
+    match kind {
+        GateKind::Not => {
+            let mut out = 0;
+            if ins[0] & CAN0 != 0 {
+                out |= CAN1;
+            }
+            if ins[0] & CAN1 != 0 {
+                out |= CAN0;
+            }
+            out
+        }
+        GateKind::Buffer | GateKind::Delay => ins[0],
+        GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+            let c = bit(Level::from_bool(kind.controlling_value().expect("ctrl")));
+            let nc = if c == CAN0 { CAN1 } else { CAN0 };
+            let out_c = bit(Level::from_bool(kind.controlled_output().expect("ctrl")));
+            let out_nc = if out_c == CAN0 { CAN1 } else { CAN0 };
+            let mut out = 0;
+            if ins.iter().any(|&s| s & c != 0) {
+                out |= out_c;
+            }
+            if ins.iter().all(|&s| s & nc != 0) {
+                out |= out_nc;
+            }
+            out
+        }
+        GateKind::Mux => {
+            // out can be a's classes when sel can be 0, b's when sel can be 1.
+            let mut out = 0;
+            if ins[0] & CAN0 != 0 {
+                out |= ins[1];
+            }
+            if ins[0] & CAN1 != 0 {
+                out |= ins[2];
+            }
+            out
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            let pol = kind == GateKind::Xnor;
+            let mut parities = 0u8; // bit0: even possible, bit1: odd possible
+            parities |= 1;
+            for &s in ins {
+                let mut next = 0u8;
+                if s & CAN0 != 0 {
+                    next |= parities;
+                }
+                if s & CAN1 != 0 {
+                    next |= ((parities & 1) << 1) | ((parities & 2) >> 1);
+                }
+                parities = next;
+            }
+            let mut out = 0;
+            // even parity ⇒ XOR = 0, odd ⇒ XOR = 1; XNOR flips.
+            if parities & 1 != 0 {
+                out |= if pol { CAN1 } else { CAN0 };
+            }
+            if parities & 2 != 0 {
+                out |= if pol { CAN0 } else { CAN1 };
+            }
+            out
+        }
+    }
+}
+
+fn backward_classes(kind: GateKind, ins: &[u8], out: u8, j: usize) -> u8 {
+    if out == 0 || ins.contains(&0) {
+        return 0;
+    }
+    let mut allowed = 0u8;
+    for v in Level::BOTH {
+        if ins[j] & bit(v) == 0 {
+            continue;
+        }
+        // Is there a combo with input j = v whose output class is allowed?
+        let mut trial: Vec<u8> = ins.to_vec();
+        trial[j] = bit(v);
+        if forward_classes(kind, &trial) & out != 0 {
+            allowed |= bit(v);
+        }
+    }
+    allowed
+}
+
+/// A table of learned class implications, plus constant nets discovered
+/// along the way.
+///
+/// # Examples
+///
+/// ```
+/// use ltt_core::ImplicationTable;
+/// use ltt_netlist::{CircuitBuilder, DelayInterval, GateKind};
+/// use ltt_waveform::Level;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = CircuitBuilder::new("t");
+/// let a = b.input("a");
+/// let x = b.gate("x", GateKind::Not, &[a], DelayInterval::fixed(10));
+/// b.mark_output(x);
+/// let c = b.build()?;
+/// let table = ImplicationTable::learn(&c);
+/// // a = 1 implies x = 0.
+/// assert!(table
+///     .implied_by(a, Level::One)
+///     .contains(&(x, Level::Zero)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ImplicationTable {
+    /// `table[net][level] = implied (net, level) pairs`.
+    table: Vec<[Vec<(NetId, Level)>; 2]>,
+    /// Nets proven constant (one class can never be produced).
+    constants: Vec<(NetId, Level)>,
+    len: usize,
+}
+
+impl ImplicationTable {
+    /// Runs the learning pre-process with every net as an assumption
+    /// source. Exhaustive (quadratic in circuit size); prefer
+    /// [`ImplicationTable::learn_stems`] on large circuits.
+    pub fn learn(circuit: &Circuit) -> ImplicationTable {
+        let sources: Vec<NetId> = circuit.net_ids().collect();
+        Self::learn_scoped(circuit, &sources)
+    }
+
+    /// Runs the learning pre-process with only the reconvergent fanout
+    /// stems as assumption sources — where non-local implications live and
+    /// the table stays small.
+    pub fn learn_stems(circuit: &Circuit) -> ImplicationTable {
+        let sources: Vec<NetId> = circuit
+            .net_ids()
+            .filter(|&n| circuit.net(n).is_fanout_stem() && circuit.is_reconvergent_stem(n))
+            .collect();
+        Self::learn_scoped(circuit, &sources)
+    }
+
+    fn learn_scoped(circuit: &Circuit, sources: &[NetId]) -> ImplicationTable {
+        let n = circuit.num_nets();
+        let mut table: Vec<[Vec<(NetId, Level)>; 2]> = vec![Default::default(); n];
+        let mut constants = Vec::new();
+        let mut seen: HashSet<(usize, usize, usize, usize)> = HashSet::new();
+        let mut len = 0usize;
+
+        for &y in sources {
+            for v in Level::BOTH {
+                match propagate_assumption(circuit, y, v) {
+                    None => {
+                        // y can never settle to v: it is constant ¬v.
+                        constants.push((y, !v));
+                    }
+                    Some(classes) => {
+                        for x in circuit.net_ids() {
+                            if x == y {
+                                continue;
+                            }
+                            let s = classes[x.index()];
+                            let w = match s {
+                                CAN0 => Level::Zero,
+                                CAN1 => Level::One,
+                                _ => continue,
+                            };
+                            // Direct: y=v ⇒ x=w.
+                            if seen.insert((y.index(), v.index(), x.index(), w.index())) {
+                                table[y.index()][v.index()].push((x, w));
+                                len += 1;
+                            }
+                            // Contrapositive: x=¬w ⇒ y=¬v.
+                            let (cx, cv) = (!w, !v);
+                            if seen.insert((x.index(), cx.index(), y.index(), cv.index())) {
+                                table[x.index()][cx.index()].push((y, cv));
+                                len += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        ImplicationTable {
+            table,
+            constants,
+            len,
+        }
+    }
+
+    /// The implications fired by fixing `net` to `level`.
+    pub fn implied_by(&self, net: NetId, level: Level) -> &[(NetId, Level)] {
+        &self.table[net.index()][level.index()]
+    }
+
+    /// Nets proven constant by learning, with their constant value.
+    pub fn constants(&self) -> &[(NetId, Level)] {
+        &self.constants
+    }
+
+    /// Total number of stored implications.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no implications were learned.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Propagates the class assumption `y = v` to a fixpoint. Returns the class
+/// sets per net, or `None` if the assumption is contradictory.
+fn propagate_assumption(circuit: &Circuit, y: NetId, v: Level) -> Option<Vec<u8>> {
+    let mut classes = vec![BOTH; circuit.num_nets()];
+    classes[y.index()] = bit(v);
+    let mut queue: Vec<_> = {
+        let net = circuit.net(y);
+        net.driver()
+            .into_iter()
+            .chain(net.readers().iter().copied())
+            .collect()
+    };
+    let mut queued = vec![false; circuit.num_gates()];
+    for &g in &queue {
+        queued[g.index()] = true;
+    }
+    while let Some(gid) = queue.pop() {
+        queued[gid.index()] = false;
+        let gate = circuit.gate(gid);
+        let ins: Vec<u8> = gate
+            .inputs()
+            .iter()
+            .map(|n| classes[n.index()])
+            .collect();
+        let out_net = gate.output();
+        let mut changed_nets: Vec<NetId> = Vec::new();
+        // Forward.
+        let out_new = classes[out_net.index()] & forward_classes(gate.kind(), &ins);
+        if out_new != classes[out_net.index()] {
+            classes[out_net.index()] = out_new;
+            if out_new == 0 {
+                return None;
+            }
+            changed_nets.push(out_net);
+        }
+        // Backward.
+        for (j, &inp) in gate.inputs().iter().enumerate() {
+            let allowed =
+                classes[inp.index()] & backward_classes(gate.kind(), &ins, out_new, j);
+            if allowed != classes[inp.index()] {
+                classes[inp.index()] = allowed;
+                if allowed == 0 {
+                    return None;
+                }
+                changed_nets.push(inp);
+            }
+        }
+        for net in changed_nets {
+            let n = circuit.net(net);
+            for g in n.driver().into_iter().chain(n.readers().iter().copied()) {
+                if !queued[g.index()] {
+                    queued[g.index()] = true;
+                    queue.push(g);
+                }
+            }
+        }
+    }
+    Some(classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltt_netlist::{CircuitBuilder, DelayInterval};
+
+    fn d10() -> DelayInterval {
+        DelayInterval::fixed(10)
+    }
+
+    #[test]
+    fn forward_classes_and_family() {
+        // AND: out 0 possible iff some input can be 0.
+        assert_eq!(forward_classes(GateKind::And, &[CAN1, CAN1]), CAN1);
+        assert_eq!(forward_classes(GateKind::And, &[CAN0, CAN1]), CAN0);
+        assert_eq!(forward_classes(GateKind::And, &[BOTH, CAN1]), BOTH);
+        assert_eq!(forward_classes(GateKind::Nand, &[CAN1, CAN1]), CAN0);
+        assert_eq!(forward_classes(GateKind::Nor, &[CAN0, CAN0]), CAN1);
+    }
+
+    #[test]
+    fn forward_classes_xor_parity() {
+        assert_eq!(forward_classes(GateKind::Xor, &[CAN1, CAN1]), CAN0);
+        assert_eq!(forward_classes(GateKind::Xor, &[CAN1, CAN0]), CAN1);
+        assert_eq!(forward_classes(GateKind::Xor, &[BOTH, CAN0]), BOTH);
+        assert_eq!(forward_classes(GateKind::Xnor, &[CAN1, CAN1]), CAN1);
+        assert_eq!(forward_classes(GateKind::Xor, &[CAN1, CAN1, CAN1]), CAN1);
+    }
+
+    #[test]
+    fn backward_classes_and() {
+        // AND with output forced 1: every input must be 1.
+        assert_eq!(backward_classes(GateKind::And, &[BOTH, BOTH], CAN1, 0), CAN1);
+        // AND with output forced 0 and the other input forced 1: this input
+        // must be 0.
+        assert_eq!(backward_classes(GateKind::And, &[BOTH, CAN1], CAN0, 0), CAN0);
+        // AND with output forced 0 and the other input free: both classes OK.
+        assert_eq!(backward_classes(GateKind::And, &[BOTH, BOTH], CAN0, 0), BOTH);
+    }
+
+    #[test]
+    fn learn_inverter_chain() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let x = b.gate("x", GateKind::Not, &[a], d10());
+        let y = b.gate("y", GateKind::Not, &[x], d10());
+        b.mark_output(y);
+        let c = b.build().unwrap();
+        let t = ImplicationTable::learn(&c);
+        assert!(t.implied_by(a, Level::One).contains(&(x, Level::Zero)));
+        assert!(t.implied_by(a, Level::One).contains(&(y, Level::One)));
+        assert!(t.implied_by(y, Level::Zero).contains(&(a, Level::Zero)));
+        assert!(t.constants().is_empty());
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn learn_indirect_implication() {
+        // y = AND(a, b), z = OR(y, a). Fixing z = 0 implies a = 0 (and
+        // y = 0): an implication spanning two gates.
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let b2 = b.input("b");
+        let y = b.gate("y", GateKind::And, &[a, b2], d10());
+        let z = b.gate("z", GateKind::Or, &[y, a], d10());
+        b.mark_output(z);
+        let c = b.build().unwrap();
+        let t = ImplicationTable::learn(&c);
+        assert!(t.implied_by(z, Level::Zero).contains(&(a, Level::Zero)));
+        // Contrapositive: a = 1 ⇒ z = 1 (classic SOCRATES-style learning:
+        // forward propagation of a=1 alone cannot see it, because y is
+        // unknown; the contrapositive of z=0 ⇒ a=0 provides it).
+        assert!(t.implied_by(a, Level::One).contains(&(z, Level::One)));
+    }
+
+    #[test]
+    fn learn_finds_constants() {
+        // x = AND(a, NOT(a)) is constant 0.
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let na = b.gate("na", GateKind::Not, &[a], d10());
+        let x = b.gate("x", GateKind::And, &[a, na], d10());
+        b.mark_output(x);
+        let c = b.build().unwrap();
+        let t = ImplicationTable::learn(&c);
+        assert!(t.constants().contains(&(x, Level::Zero)));
+    }
+}

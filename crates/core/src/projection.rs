@@ -1,0 +1,740 @@
+//! Gate constraint projections (§3.2): closed-form interval narrowing rules
+//! derived from the timed Boolean function of each gate.
+//!
+//! All rules reduce to relations between the *last-difference times* `LD`
+//! of the gate's terminal waveforms (with `d` the gate's max delay):
+//!
+//! * **all inputs settle non-controlling** ⇒ `LD(s) = d + max_i LD(a_i)`
+//!   (exact);
+//! * **some inputs settle controlling** (set `C`) ⇒
+//!   `LD(s) ≤ d + min_{i∈C} LD(a_i)`, and if `C = {j}` and `a_j` settles
+//!   strictly last, `LD(s) = d + LD(a_j)` (exact) — the refinement that
+//!   eliminates "blocking" controlling waveforms on side inputs and pulls
+//!   the last-transition interval down the violating path (§4, Fig. 3);
+//! * **XOR family** ⇒ `LD(s) ≤ d + max(LD(a), LD(b))`, exact when the two
+//!   last-transition intervals are disjoint;
+//! * **unary gates** ⇒ `LD(s) = d + LD(a)` (exact).
+//!
+//! Solving these relations over the last-transition intervals yields, for
+//! every gate kind, a *forward* projection (narrow the output domain) and a
+//! *backward* projection (narrow each input domain). Soundness — no
+//! projection ever removes a waveform that participates in a solution — is
+//! property-tested against the exact dense-window oracle in
+//! `tests/projection_soundness.rs`.
+
+use ltt_netlist::GateKind;
+use ltt_waveform::{Aw, Level, Signal, Time};
+
+/// The result of projecting one gate constraint: narrowing targets to be
+/// intersected into the current domains.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GateProjection {
+    /// Target for the output domain.
+    pub output: Signal,
+    /// Targets for each input domain, in gate input order.
+    pub inputs: Vec<Signal>,
+}
+
+/// Computes the projection of a gate constraint given the current domains.
+///
+/// `inputs` are the input net domains in gate order, `output` the output
+/// net domain, `d` the gate's maximum delay. The returned targets are
+/// *sound*: intersecting them into the current domains never removes a
+/// waveform that is part of a consistent `(a_1, …, a_k, s)` tuple.
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` is not a valid arity for `kind`.
+pub fn project(kind: GateKind, d: i64, inputs: &[Signal], output: Signal) -> GateProjection {
+    assert!(kind.arity_ok(inputs.len()), "bad arity for {kind}");
+    // An empty terminal makes the whole constraint unsatisfiable.
+    if output.is_empty() || inputs.iter().any(|i| i.is_empty()) {
+        return GateProjection {
+            output: Signal::EMPTY,
+            inputs: vec![Signal::EMPTY; inputs.len()],
+        };
+    }
+    match kind {
+        GateKind::Not | GateKind::Buffer | GateKind::Delay => project_unary(kind, d, inputs, output),
+        GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+            project_and_family(kind, d, inputs, output)
+        }
+        GateKind::Xor | GateKind::Xnor => project_xor_family(kind, d, inputs, output),
+        GateKind::Mux => project_mux(d, inputs, output),
+    }
+}
+
+/// The multiplexer constraint model — the "complex gate" extension the
+/// paper's conclusion announces. `o(t) = s(t−d) ? b(t−d) : a(t−d)`, with
+/// per-class-combo relations on the last-difference times:
+///
+/// * once the select is stable the output follows the selected data input,
+///   so `LD(o) ≤ d + max(LD_s, LD_sel)`;
+/// * if both data inputs settle to the *same* value, their stability alone
+///   pins the output: `LD(o) ≤ d + max(LD_a, LD_b)`;
+/// * the selected data input settling strictly after the select forces a
+///   transition (`LD(o) = d + LD_sel` when `LD_sel > LD_s`), as does the
+///   select settling strictly last when the data inputs disagree.
+fn project_mux(d: i64, inputs: &[Signal], output: Signal) -> GateProjection {
+    let (sig_s, sig_a, sig_b) = (inputs[0], inputs[1], inputs[2]);
+    let mut out_acc = [Aw::EMPTY; 2];
+    let mut in_acc = [[Aw::EMPTY; 2]; 3];
+
+    for combo in 0u8..8 {
+        let vs = Level::from_bool(combo & 1 == 1);
+        let va = Level::from_bool(combo & 2 != 0);
+        let vb = Level::from_bool(combo & 4 != 0);
+        let (i_s, i_a, i_b) = (sig_s[vs], sig_a[va], sig_b[vb]);
+        if i_s.is_empty() || i_a.is_empty() || i_b.is_empty() {
+            continue;
+        }
+        let vo = if vs.to_bool() { vb } else { va };
+        let (i_sel, i_oth) = if vs.to_bool() { (i_b, i_a) } else { (i_a, i_b) };
+
+        // ---- Forward -----------------------------------------------------
+        let mut hi = i_s.max().max(i_sel.max());
+        if va == vb {
+            hi = hi.min(i_a.max().max(i_b.max()));
+        }
+        let mut lo = Time::NEG_INF;
+        // Selected data input settles strictly after the select: forced.
+        if i_sel.lmin() > i_s.max() {
+            lo = lo.max(i_sel.lmin());
+        }
+        // Select settles strictly after both data inputs, which disagree.
+        if va != vb && i_s.lmin() > i_a.max().max(i_b.max()) {
+            lo = lo.max(i_s.lmin());
+        }
+        let contribution = Aw::new(lo, hi).shift(d).intersect(output[vo]);
+        out_acc[vo.index()] = out_acc[vo.index()].union(contribution);
+
+        // ---- Backward ----------------------------------------------------
+        let s_v = output[vo];
+        if s_v.is_empty() {
+            continue;
+        }
+        let needs = s_v.lmin() - d;
+        // Selected data input: someone else (select, or the other data
+        // input while the select is undecided) can carry the late
+        // transition only if the select can still be unstable that late.
+        let sel_lo = if i_s.max() >= needs {
+            Time::NEG_INF
+        } else {
+            needs
+        };
+        // Settling later than the select forces an output transition.
+        let sel_hi = i_s.max().max(s_v.max() - d);
+        let sel_feasible = i_sel.intersect(Aw::new(sel_lo, sel_hi));
+        let sel_idx = if vs.to_bool() { 2 } else { 1 };
+        in_acc[sel_idx][if vs.to_bool() { vb } else { va }.index()] =
+            in_acc[sel_idx][if vs.to_bool() { vb } else { va }.index()].union(sel_feasible);
+
+        // Non-selected data input: visible only while the select is
+        // undecided; it can always settle whenever (masked by the select
+        // going stable), but if nothing else can be late the combo still
+        // needs *some* carrier — handled via the select/selected bounds.
+        let oth_idx = if vs.to_bool() { 1 } else { 2 };
+        let oth_level = if vs.to_bool() { va } else { vb };
+        // No narrowing beyond feasibility of the combo itself.
+        in_acc[oth_idx][oth_level.index()] =
+            in_acc[oth_idx][oth_level.index()].union(i_oth);
+
+        // Select: data inputs can carry (selected one at any time; either
+        // one while the select is undecided), so the select only *must*
+        // carry when neither data input can be late enough.
+        let data_late = i_a.max().max(i_b.max());
+        let s_lo = if data_late >= needs {
+            Time::NEG_INF
+        } else {
+            needs
+        };
+        // Select settling strictly after disagreeing data inputs forces a
+        // transition; with agreeing data inputs it is masked entirely.
+        let s_hi = if va != vb {
+            data_late.max(s_v.max() - d)
+        } else {
+            Time::POS_INF
+        };
+        let s_feasible = i_s.intersect(Aw::new(s_lo, s_hi));
+        in_acc[0][vs.index()] = in_acc[0][vs.index()].union(s_feasible);
+    }
+
+    let mut out_new = Signal::EMPTY;
+    for v in Level::BOTH {
+        out_new[v] = output[v].intersect(out_acc[v.index()]);
+    }
+    let in_new = (0..3)
+        .map(|j| {
+            let mut sig = Signal::EMPTY;
+            for v in Level::BOTH {
+                sig[v] = inputs[j][v].intersect(in_acc[j][v.index()]);
+            }
+            sig
+        })
+        .collect();
+    GateProjection {
+        output: out_new,
+        inputs: in_new,
+    }
+}
+
+fn project_unary(kind: GateKind, d: i64, inputs: &[Signal], output: Signal) -> GateProjection {
+    let input = inputs[0];
+    let map = |v: Level| Level::from_bool(kind.eval(&[v.to_bool()]));
+    let mut out_new = Signal::EMPTY;
+    let mut in_new = Signal::EMPTY;
+    for v in Level::BOTH {
+        let ov = map(v);
+        out_new[ov] = output[ov].intersect(input[v].shift(d));
+        in_new[v] = input[v].intersect(output[ov].shift(-d));
+    }
+    GateProjection {
+        output: out_new,
+        inputs: vec![in_new],
+    }
+}
+
+fn project_and_family(kind: GateKind, d: i64, inputs: &[Signal], output: Signal) -> GateProjection {
+    let c = Level::from_bool(kind.controlling_value().expect("AND-family has a ctrl value"));
+    let nc = !c;
+    let out_c = Level::from_bool(kind.controlled_output().expect("AND-family"));
+    let out_nc = !out_c;
+    let k = inputs.len();
+
+    // ---- Forward: narrow the output -----------------------------------
+    // All-non-controlling combo: LD(s) = d + max_i LD_i, exact.
+    let all_nc = if inputs.iter().all(|i| !i[nc].is_empty()) {
+        let lo = inputs
+            .iter()
+            .map(|i| i[nc].lmin())
+            .max()
+            .expect("k >= 1");
+        let hi = inputs.iter().map(|i| i[nc].max()).max().expect("k >= 1");
+        Aw::new(lo, hi).shift(d)
+    } else {
+        Aw::EMPTY
+    };
+
+    // Some-controlling combos: LD(s) ≤ d + min_{i∈C} LD_i.
+    // F = inputs forced controlling (their nc class is empty).
+    let forced: Vec<usize> = (0..k).filter(|&i| inputs[i][nc].is_empty()).collect();
+    let ctrl_capable: Vec<usize> = (0..k).filter(|&i| !inputs[i][c].is_empty()).collect();
+    let some_c = {
+        let ub = if !forced.is_empty() {
+            // Every feasible combo includes all forced inputs; all forced
+            // inputs have a non-empty c class (else the early-empty return
+            // above fired).
+            forced.iter().map(|&i| inputs[i][c].max()).min()
+        } else {
+            // Best (loosest) combo is a singleton {i}.
+            ctrl_capable
+                .iter()
+                .map(|&i| inputs[i][c].max())
+                .max()
+        };
+        match ub {
+            None => Aw::EMPTY,
+            Some(hi) => {
+                // Exactness refinement: a unique controlling candidate that
+                // settles strictly last forces LD(s) = d + LD_j.
+                let lo = if ctrl_capable.len() == 1 {
+                    let j = ctrl_capable[0];
+                    let others_latest = (0..k)
+                        .filter(|&i| i != j)
+                        .map(|i| inputs[i][nc].max())
+                        .max()
+                        .unwrap_or(Time::NEG_INF);
+                    if inputs[j][c].lmin() > others_latest {
+                        inputs[j][c].lmin()
+                    } else {
+                        Time::NEG_INF
+                    }
+                } else {
+                    Time::NEG_INF
+                };
+                Aw::new(lo, hi).shift(d)
+            }
+        }
+    };
+
+    let mut out_new = Signal::EMPTY;
+    out_new[out_nc] = output[out_nc].intersect(all_nc);
+    out_new[out_c] = output[out_c].intersect(some_c);
+
+    // ---- Backward: narrow each input -----------------------------------
+    let s_c = output[out_c];
+    let s_nc = output[out_nc];
+    let mut in_new = Vec::with_capacity(k);
+    for j in 0..k {
+        let others = || (0..k).filter(move |&i| i != j);
+
+        // Class c of input j: participates only in some-controlling combos
+        // (output class out_c), always with j ∈ C, so LD(s) ≤ d + LD_j.
+        let cj = if s_c.is_empty() {
+            Aw::EMPTY
+        } else {
+            let lo = s_c.lmin() - d;
+            let forced_others: Vec<usize> =
+                others().filter(|&i| inputs[i][nc].is_empty()).collect();
+            let hi = if !forced_others.is_empty() {
+                let m = forced_others
+                    .iter()
+                    .map(|&i| inputs[i][c].max())
+                    .min()
+                    .expect("non-empty");
+                // Every combo's bound is ≤ d + m; if even that misses the
+                // output's earliest last transition, no combo is feasible.
+                if m + d >= s_c.lmin() {
+                    Some(Time::POS_INF)
+                } else {
+                    None
+                }
+            } else if others()
+                .any(|i| !inputs[i][c].is_empty() && inputs[i][c].max() + d >= s_c.lmin())
+            {
+                // Another input can be controlling and late enough to carry
+                // the output's last transition: j may settle whenever.
+                Some(Time::POS_INF)
+            } else {
+                // j is the only possible (timely) controlling input; the
+                // exactness refinement caps how late it may settle.
+                let m_nc = others()
+                    .map(|i| inputs[i][nc].max())
+                    .max()
+                    .unwrap_or(Time::NEG_INF);
+                Some(m_nc.max(s_c.max() - d))
+            };
+            match hi {
+                None => Aw::EMPTY,
+                Some(h) => inputs[j][c].intersect(Aw::new(lo, h)),
+            }
+        };
+
+        // Class nc of input j.
+        let forced_others: Vec<usize> = others().filter(|&i| inputs[i][nc].is_empty()).collect();
+        let combo_other_ctrl_feasible = !s_c.is_empty()
+            && if !forced_others.is_empty() {
+                forced_others
+                    .iter()
+                    .map(|&i| inputs[i][c].max())
+                    .min()
+                    .expect("non-empty")
+                    + d
+                    >= s_c.lmin()
+            } else {
+                others().any(|i| !inputs[i][c].is_empty() && inputs[i][c].max() + d >= s_c.lmin())
+            };
+        let nj = if combo_other_ctrl_feasible {
+            // Some other input can mask j entirely: no narrowing possible
+            // on the non-controlling class (paper Fig. 3: "no narrowing is
+            // possible on class 1").
+            inputs[j][nc]
+        } else {
+            let combo_all_nc_feasible =
+                !s_nc.is_empty() && others().all(|i| !inputs[i][nc].is_empty());
+            if !combo_all_nc_feasible {
+                Aw::EMPTY
+            } else {
+                let hi = s_nc.max() - d;
+                let m = others()
+                    .map(|i| inputs[i][nc].max())
+                    .max()
+                    .unwrap_or(Time::NEG_INF);
+                let lo = if m < s_nc.lmin() - d {
+                    s_nc.lmin() - d
+                } else {
+                    Time::NEG_INF
+                };
+                inputs[j][nc].intersect(Aw::new(lo, hi))
+            }
+        };
+
+        let mut sig = Signal::EMPTY;
+        sig[c] = cj;
+        sig[nc] = nj;
+        in_new.push(sig);
+    }
+
+    GateProjection {
+        output: out_new,
+        inputs: in_new,
+    }
+}
+
+fn project_xor_family(kind: GateKind, d: i64, inputs: &[Signal], output: Signal) -> GateProjection {
+    let pol = kind == GateKind::Xnor;
+    let k = inputs.len();
+    assert!(k <= 16, "XOR projection enumerates 2^k class combos");
+
+    let mut out_acc = [Aw::EMPTY; 2];
+    let mut in_acc = vec![[Aw::EMPTY; 2]; k];
+
+    // Enumerate class combos (v_1 … v_k).
+    for combo in 0u32..(1u32 << k) {
+        let classes: Vec<Level> = (0..k)
+            .map(|i| Level::from_bool((combo >> i) & 1 == 1))
+            .collect();
+        if classes
+            .iter()
+            .enumerate()
+            .any(|(i, &v)| inputs[i][v].is_empty())
+        {
+            continue;
+        }
+        let parity = classes.iter().filter(|v| v.to_bool()).count() % 2 == 1;
+        let out_v = Level::from_bool(parity ^ pol);
+        let intervals: Vec<Aw> = classes
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| inputs[i][v])
+            .collect();
+
+        // Forward: LD(s) ≤ d + max_i LD_i; exact when one interval starts
+        // after every other interval ends.
+        let hi = intervals.iter().map(|w| w.max()).max().expect("k >= 2");
+        let lo = (0..k)
+            .find(|&j| {
+                let others_max = (0..k)
+                    .filter(|&i| i != j)
+                    .map(|i| intervals[i].max())
+                    .max()
+                    .expect("k >= 2");
+                intervals[j].lmin() > others_max
+            })
+            .map(|j| intervals[j].lmin())
+            .unwrap_or(Time::NEG_INF);
+        let contribution = Aw::new(lo, hi).shift(d).intersect(output[out_v]);
+        out_acc[out_v.index()] = out_acc[out_v.index()].union(contribution);
+
+        // Backward, per input j: reduce the others to their combined
+        // last-arrival interval O = [max lmins, max maxes]; then
+        //   * if O.max < S_v.lmin − d, input j must carry the output's last
+        //     transition: LD_j ∈ [S_v.lmin − d, S_v.max − d];
+        //   * otherwise LD_j ≤ max(S_v.max − d, O.max) (settling later than
+        //     both would force a too-late output transition).
+        let s_v = output[out_v];
+        if s_v.is_empty() {
+            continue;
+        }
+        for j in 0..k {
+            let others_max = (0..k)
+                .filter(|&i| i != j)
+                .map(|i| intervals[i].max())
+                .max()
+                .expect("k >= 2");
+            let feasible = if others_max < s_v.lmin() - d {
+                Aw::new(s_v.lmin() - d, s_v.max() - d)
+            } else {
+                Aw::new(Time::NEG_INF, (s_v.max() - d).max(others_max))
+            };
+            let feasible = intervals[j].intersect(feasible);
+            in_acc[j][classes[j].index()] = in_acc[j][classes[j].index()].union(feasible);
+        }
+    }
+
+    let mut out_new = Signal::EMPTY;
+    for v in Level::BOTH {
+        out_new[v] = output[v].intersect(out_acc[v.index()]);
+    }
+    let in_new = (0..k)
+        .map(|j| {
+            let mut sig = Signal::EMPTY;
+            for v in Level::BOTH {
+                sig[v] = inputs[j][v].intersect(in_acc[j][v.index()]);
+            }
+            sig
+        })
+        .collect();
+
+    GateProjection {
+        output: out_new,
+        inputs: in_new,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aw(l: i64, m: i64) -> Aw {
+        Aw::new(Time::new(l), Time::new(m))
+    }
+
+    fn before(m: i64) -> Aw {
+        Aw::before(Time::new(m))
+    }
+
+    /// Paper Example 1: a 2-input AND with delay 0,
+    /// `D_i = (0|_{−∞}^{33}, 1|_{50}^{100})`, `D_j = (0|_{25}^{75}, φ)`,
+    /// `D_s = (0|_{35}^{125}, φ)` narrows to
+    /// `D_i' = (φ, 1|_{50}^{100})`, `D_j' = (0|_{35}^{75}, φ)`,
+    /// `D_s' = (0|_{35}^{75}, φ)`.
+    #[test]
+    fn paper_example_1() {
+        let di = Signal::new(before(33), aw(50, 100));
+        let dj = Signal::new(aw(25, 75), Aw::EMPTY);
+        let ds = Signal::new(aw(35, 125), Aw::EMPTY);
+        let p = project(GateKind::And, 0, &[di, dj], ds);
+        assert_eq!(p.inputs[0], Signal::new(Aw::EMPTY, aw(50, 100)));
+        assert_eq!(p.inputs[1], Signal::new(aw(35, 75), Aw::EMPTY));
+        assert_eq!(p.output, Signal::new(aw(35, 75), Aw::EMPTY));
+    }
+
+    #[test]
+    fn and_forward_all_nc_is_shifted_max() {
+        // Both inputs settle to 1 in [0,5] and [3,8] ⇒ output class 1 in
+        // [3+d, 8+d].
+        let a = Signal::single_class(Level::One, aw(0, 5));
+        let b = Signal::single_class(Level::One, aw(3, 8));
+        let p = project(GateKind::And, 10, &[a, b], Signal::FULL);
+        assert_eq!(p.output[Level::One], aw(13, 18));
+        assert!(p.output[Level::Zero].is_empty());
+    }
+
+    #[test]
+    fn and_forward_some_ctrl_upper_bound() {
+        // Input a may settle to 0 by 5; b settles to 1 by 8. Output class 0
+        // can transition no later than 5 + d.
+        let a = Signal::new(before(5), before(5));
+        let b = Signal::single_class(Level::One, before(8));
+        let p = project(GateKind::And, 10, &[a, b], Signal::FULL);
+        assert_eq!(p.output[Level::Zero], before(15));
+        assert_eq!(p.output[Level::One], before(18));
+    }
+
+    #[test]
+    fn and_forward_unique_late_ctrl_is_exact() {
+        // Only a can settle controlling, and strictly later than b's settle:
+        // the 1→0 transition of the output happens exactly d after a's.
+        let a = Signal::single_class(Level::Zero, aw(20, 30));
+        let b = Signal::single_class(Level::One, before(5));
+        let p = project(GateKind::And, 10, &[a, b], Signal::FULL);
+        assert_eq!(p.output[Level::Zero], aw(30, 40));
+        assert!(p.output[Level::One].is_empty());
+    }
+
+    #[test]
+    fn nand_inverts_output_classes() {
+        let a = Signal::single_class(Level::One, aw(0, 5));
+        let b = Signal::single_class(Level::One, aw(3, 8));
+        let p = project(GateKind::Nand, 10, &[a, b], Signal::FULL);
+        assert_eq!(p.output[Level::Zero], aw(13, 18));
+        assert!(p.output[Level::One].is_empty());
+    }
+
+    #[test]
+    fn backward_removes_blocking_controlling_class() {
+        // Example 2's decision at gate g8 = OR(n7, n5), delay 10: the
+        // output must transition at or after 61; n5 settles by 50, so n5's
+        // controlling (1) class is eliminated and its 0 class survives.
+        let n7 = Signal::new(before(60), before(60));
+        let n5 = Signal::new(before(50), before(50));
+        let s = Signal::violation(Time::new(61));
+        let p = project(GateKind::Or, 10, &[n7, n5], s);
+        // n5's class 1 (controlling for OR) cannot carry a transition at 61:
+        // 50 + 10 < 61.
+        assert!(p.inputs[1][Level::One].is_empty());
+        // n5 class 0 survives (it does not block).
+        assert!(!p.inputs[1][Level::Zero].is_empty());
+        // n7 must now carry the last transition: both classes narrowed to
+        // lmin = 51.
+        assert_eq!(p.inputs[0][Level::Zero], aw(51, 60));
+        assert_eq!(p.inputs[0][Level::One], aw(51, 60));
+    }
+
+    #[test]
+    fn backward_ambiguous_side_inputs_narrow_controlling_lmin_only() {
+        // Figure 3: NAND with two inputs N, P that can both carry the
+        // violation. The controlling class (1 for NAND? no — controlling
+        // for NAND is 0) of each input gets its lmin raised; the
+        // non-controlling class is not narrowed.
+        let delta = 100;
+        let n = Signal::new(before(95), before(95));
+        let p_in = Signal::new(before(95), before(95));
+        let s = Signal::violation(Time::new(delta));
+        let p = project(GateKind::Nand, 10, &[n, p_in], s);
+        for inp in &p.inputs {
+            // Controlling class 0: waveforms stable before δ − d removed.
+            assert_eq!(inp[Level::Zero], aw(90, 95));
+            // Non-controlling class 1: untouched (the other input may carry).
+            assert_eq!(inp[Level::One], before(95));
+        }
+    }
+
+    #[test]
+    fn backward_only_ctrl_candidate_gets_upper_bound() {
+        // OR gate: s settles to 1 no later than 20 (class 1 ⊆ [-inf, 20]).
+        // Input a is the only one that can settle to 1; b settles to 0 by 2.
+        // If a settled later than 20 − d the output would transition too
+        // late, so a's class-1 max is capped.
+        let a = Signal::new(before(50), before(50));
+        let b = Signal::single_class(Level::Zero, before(2));
+        let s = Signal::new(Aw::EMPTY, before(20));
+        let p = project(GateKind::Or, 10, &[a, b], s);
+        assert_eq!(p.inputs[0][Level::One], before(10));
+        // a cannot settle to 0 at all (the output would be 0).
+        assert!(p.inputs[0][Level::Zero].is_empty());
+    }
+
+    #[test]
+    fn unary_shifts_exactly() {
+        let input = Signal::new(aw(5, 9), aw(1, 3));
+        let p = project(GateKind::Not, 10, &[input], Signal::FULL);
+        // NOT maps class 0 → class 1.
+        assert_eq!(p.output[Level::One], aw(15, 19));
+        assert_eq!(p.output[Level::Zero], aw(11, 13));
+        // Backward through a violation: only late-enough waveforms remain.
+        let p = project(GateKind::Buffer, 10, &[input], Signal::violation(Time::new(16)));
+        assert_eq!(p.inputs[0][Level::Zero], aw(6, 9));
+        assert!(p.inputs[0][Level::One].is_empty());
+    }
+
+    #[test]
+    fn xor_forward_disjoint_intervals_exact() {
+        let a = Signal::single_class(Level::One, aw(20, 30));
+        let b = Signal::single_class(Level::One, before(5));
+        let p = project(GateKind::Xor, 10, &[a, b], Signal::FULL);
+        // 1 ⊕ 1 = 0, and a arrives strictly last ⇒ exact interval.
+        assert_eq!(p.output[Level::Zero], aw(30, 40));
+        assert!(p.output[Level::One].is_empty());
+    }
+
+    #[test]
+    fn xor_forward_overlapping_intervals_conservative() {
+        let a = Signal::single_class(Level::One, aw(0, 30));
+        let b = Signal::single_class(Level::Zero, aw(0, 25));
+        let p = project(GateKind::Xor, 10, &[a, b], Signal::FULL);
+        // 1 ⊕ 0 = 1; no forced lower bound.
+        assert_eq!(p.output[Level::One], before(40));
+        assert!(p.output[Level::Zero].is_empty());
+    }
+
+    #[test]
+    fn xor_backward_requires_late_carrier() {
+        // Output must transition at/after 50; b settles by 5; so a must
+        // carry: both classes of a get lmin ≥ 50 − 10 = 40.
+        let a = Signal::new(before(100), before(100));
+        let b = Signal::new(before(5), before(5));
+        let s = Signal::violation(Time::new(50));
+        let p = project(GateKind::Xor, 10, &[a, b], s);
+        for v in Level::BOTH {
+            assert_eq!(p.inputs[0][v], aw(40, 100));
+        }
+        // b is unconstrained below its settle (it cannot carry anyway).
+        for v in Level::BOTH {
+            assert_eq!(p.inputs[1][v], before(5));
+        }
+    }
+
+    #[test]
+    fn xnor_parity_mapping() {
+        let a = Signal::single_class(Level::One, before(5));
+        let b = Signal::single_class(Level::One, before(5));
+        let p = project(GateKind::Xnor, 10, &[a, b], Signal::FULL);
+        assert!(!p.output[Level::One].is_empty());
+        assert!(p.output[Level::Zero].is_empty());
+    }
+
+    #[test]
+    fn three_input_xor_parity() {
+        let one = Signal::single_class(Level::One, before(5));
+        let p = project(GateKind::Xor, 10, &[one, one, one], Signal::FULL);
+        // 1⊕1⊕1 = 1.
+        assert!(!p.output[Level::One].is_empty());
+        assert!(p.output[Level::Zero].is_empty());
+    }
+
+    #[test]
+    fn mux_forward_select_stable_follows_selected() {
+        // sel settles to 0 by time 5; a settles to 1 in [20, 30]; b free.
+        // Output follows a: class 1 in [20+d, 30+d].
+        let sel = Signal::single_class(Level::Zero, before(5));
+        let a = Signal::single_class(Level::One, aw(20, 30));
+        let b = Signal::new(before(50), before(50));
+        let p = project(GateKind::Mux, 10, &[sel, a, b], Signal::FULL);
+        assert_eq!(p.output[Level::One], aw(30, 40));
+        assert!(p.output[Level::Zero].is_empty());
+    }
+
+    #[test]
+    fn mux_forward_agreeing_data_masks_select() {
+        // Both data inputs settle to 1 early; the select may settle late,
+        // but the output is pinned once the data is stable.
+        let sel = Signal::new(before(100), before(100));
+        let a = Signal::single_class(Level::One, before(5));
+        let b = Signal::single_class(Level::One, before(7));
+        let p = project(GateKind::Mux, 10, &[sel, a, b], Signal::FULL);
+        assert_eq!(p.output[Level::One], before(17));
+        assert!(p.output[Level::Zero].is_empty());
+    }
+
+    #[test]
+    fn mux_backward_selected_input_must_carry() {
+        // Output must transition at/after 50; select and the other data
+        // input settle early, so the selected data input must be late.
+        let sel = Signal::single_class(Level::Zero, before(5));
+        let a = Signal::new(before(100), before(100));
+        let b = Signal::new(before(5), before(5));
+        let o = Signal::violation(Time::new(50));
+        let p = project(GateKind::Mux, 10, &[sel, a, b], o);
+        for v in Level::BOTH {
+            assert_eq!(p.inputs[1][v], aw(40, 100), "a class {v}");
+        }
+    }
+
+    #[test]
+    fn mux_backward_late_select_with_disagreeing_data() {
+        // Data inputs settle early to opposite values; a late output
+        // transition can only come from the select.
+        let sel = Signal::new(before(100), before(100));
+        let a = Signal::single_class(Level::Zero, before(5));
+        let b = Signal::single_class(Level::One, before(5));
+        let o = Signal::violation(Time::new(50));
+        let p = project(GateKind::Mux, 10, &[sel, a, b], o);
+        for v in Level::BOTH {
+            assert_eq!(p.inputs[0][v], aw(40, 100), "sel class {v}");
+        }
+    }
+
+    #[test]
+    fn empty_terminal_empties_everything() {
+        let a = Signal::FULL;
+        let p = project(GateKind::And, 10, &[a, Signal::EMPTY], Signal::FULL);
+        assert!(p.output.is_empty());
+        assert!(p.inputs.iter().all(|i| i.is_empty()));
+        let p = project(GateKind::And, 10, &[a, a], Signal::EMPTY);
+        assert!(p.output.is_empty());
+        assert!(p.inputs.iter().all(|i| i.is_empty()));
+    }
+
+    #[test]
+    fn projection_never_widens() {
+        // Narrowing property: targets ⊆ current domains.
+        let a = Signal::new(aw(0, 10), aw(5, 15));
+        let b = Signal::new(before(8), aw(2, 12));
+        let s = Signal::new(aw(10, 30), before(25));
+        for kind in [GateKind::And, GateKind::Nand, GateKind::Or, GateKind::Nor, GateKind::Xor] {
+            let p = project(kind, 10, &[a, b], s);
+            assert!(p.output.is_subset_of(s), "{kind} output");
+            assert!(p.inputs[0].is_subset_of(a), "{kind} in0");
+            assert!(p.inputs[1].is_subset_of(b), "{kind} in1");
+        }
+    }
+
+    #[test]
+    fn forced_controlling_other_infeasible_empties_ctrl_class() {
+        // AND: b is forced controlling (nc empty) but settles too early to
+        // carry the output's last transition ⇒ a's controlling class is
+        // also infeasible (the combo bound is min over C).
+        let a = Signal::new(before(100), before(100));
+        let b = Signal::single_class(Level::Zero, before(2));
+        let s = Signal::single_class(Level::Zero, aw(50, 90));
+        let p = project(GateKind::And, 10, &[a, b], s);
+        // Every some-ctrl combo includes b with LD ≤ 2 ⇒ LD(s) ≤ 12 < 50.
+        assert!(p.inputs[0][Level::Zero].is_empty());
+        // a's nc class also dies: all-nc combo impossible (b can't be 1),
+        // and the other-ctrl mask (via b) is timing-infeasible.
+        assert!(p.inputs[0][Level::One].is_empty());
+        assert!(p.output.is_empty());
+    }
+}

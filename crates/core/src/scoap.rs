@@ -1,0 +1,324 @@
+//! SCOAP controllability measures (Goldstein & Thigpen), used to guide the
+//! case-analysis backtrace (§5: "We used SCOAP controllability to guide the
+//! algorithm").
+
+use ltt_netlist::{Circuit, GateKind, NetId};
+use ltt_waveform::Level;
+
+/// Per-net SCOAP combinational controllabilities `CC0` / `CC1`: an estimate
+/// of how many line assignments are needed to set the net to 0 / 1
+/// (primary inputs cost 1).
+#[derive(Clone, Debug)]
+pub struct Controllability {
+    cc0: Vec<u32>,
+    cc1: Vec<u32>,
+}
+
+impl Controllability {
+    /// Computes SCOAP controllability for every net.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ltt_core::scoap::Controllability;
+    /// use ltt_netlist::{CircuitBuilder, DelayInterval, GateKind};
+    /// use ltt_waveform::Level;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut b = CircuitBuilder::new("t");
+    /// let a = b.input("a");
+    /// let c = b.input("b");
+    /// let y = b.gate("y", GateKind::And, &[a, c], DelayInterval::fixed(10));
+    /// b.mark_output(y);
+    /// let circuit = b.build()?;
+    /// let cc = Controllability::compute(&circuit);
+    /// // Setting an AND output to 1 needs both inputs: costlier than 0.
+    /// assert!(cc.of(y, Level::One) > cc.of(y, Level::Zero));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn compute(circuit: &Circuit) -> Controllability {
+        let n = circuit.num_nets();
+        let mut cc0 = vec![1u32; n];
+        let mut cc1 = vec![1u32; n];
+        for &gid in circuit.topo_gates() {
+            let gate = circuit.gate(gid);
+            let ins = gate.inputs();
+            let sum = |v: &Vec<u32>| -> u32 {
+                ins.iter()
+                    .map(|i| v[i.index()])
+                    .fold(0u32, u32::saturating_add)
+            };
+            let min = |v: &Vec<u32>| -> u32 { ins.iter().map(|i| v[i.index()]).min().unwrap_or(0) };
+            let (c0, c1) = match gate.kind() {
+                GateKind::And => (min(&cc0) + 1, sum(&cc1).saturating_add(1)),
+                GateKind::Nand => (sum(&cc1).saturating_add(1), min(&cc0) + 1),
+                GateKind::Or => (sum(&cc0).saturating_add(1), min(&cc1) + 1),
+                GateKind::Nor => (min(&cc1) + 1, sum(&cc0).saturating_add(1)),
+                GateKind::Not => (cc1[ins[0].index()] + 1, cc0[ins[0].index()] + 1),
+                GateKind::Buffer | GateKind::Delay => {
+                    (cc0[ins[0].index()] + 1, cc1[ins[0].index()] + 1)
+                }
+                GateKind::Mux => {
+                    let (s0, s1) = (cc0[ins[0].index()], cc1[ins[0].index()]);
+                    let (a0, a1) = (cc0[ins[1].index()], cc1[ins[1].index()]);
+                    let (b0, b1) = (cc0[ins[2].index()], cc1[ins[2].index()]);
+                    (
+                        s0.saturating_add(a0)
+                            .min(s1.saturating_add(b0))
+                            .saturating_add(1),
+                        s0.saturating_add(a1)
+                            .min(s1.saturating_add(b1))
+                            .saturating_add(1),
+                    )
+                }
+                GateKind::Xor | GateKind::Xnor => {
+                    // Fold the cheapest way to reach each parity.
+                    let mut even = 0u32;
+                    let mut odd = u32::MAX;
+                    for i in ins {
+                        let (z, o) = (cc0[i.index()], cc1[i.index()]);
+                        let new_even = even.saturating_add(z).min(odd.saturating_add(o));
+                        let new_odd = even.saturating_add(o).min(odd.saturating_add(z));
+                        even = new_even;
+                        odd = new_odd;
+                    }
+                    if gate.kind() == GateKind::Xor {
+                        (even.saturating_add(1), odd.saturating_add(1))
+                    } else {
+                        (odd.saturating_add(1), even.saturating_add(1))
+                    }
+                }
+            };
+            cc0[gate.output().index()] = c0;
+            cc1[gate.output().index()] = c1;
+        }
+        Controllability { cc0, cc1 }
+    }
+
+    /// The controllability of setting `net` to `level`.
+    pub fn of(&self, net: NetId, level: Level) -> u32 {
+        match level {
+            Level::Zero => self.cc0[net.index()],
+            Level::One => self.cc1[net.index()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltt_netlist::{CircuitBuilder, DelayInterval};
+
+    fn d10() -> DelayInterval {
+        DelayInterval::fixed(10)
+    }
+
+    #[test]
+    fn inputs_cost_one() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let y = b.gate("y", GateKind::Buffer, &[a], d10());
+        b.mark_output(y);
+        let c = b.build().unwrap();
+        let cc = Controllability::compute(&c);
+        assert_eq!(cc.of(a, Level::Zero), 1);
+        assert_eq!(cc.of(a, Level::One), 1);
+        assert_eq!(cc.of(y, Level::One), 2);
+    }
+
+    #[test]
+    fn and_chain_cc1_grows_linearly() {
+        // AND cascade: CC1 accumulates, CC0 stays small.
+        use ltt_netlist::generators::cascade;
+        let c = cascade(GateKind::And, 5, 10);
+        let cc = Controllability::compute(&c);
+        let out = c.outputs()[0];
+        assert!(cc.of(out, Level::One) > 6);
+        assert!(cc.of(out, Level::Zero) <= 6);
+    }
+
+    #[test]
+    fn xor_controllabilities_balanced() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let b2 = b.input("b");
+        let y = b.gate("y", GateKind::Xor, &[a, b2], d10());
+        b.mark_output(y);
+        let c = b.build().unwrap();
+        let cc = Controllability::compute(&c);
+        assert_eq!(cc.of(y, Level::Zero), 3); // 0⊕0 (or 1⊕1): 1+1+1
+        assert_eq!(cc.of(y, Level::One), 3);
+    }
+
+    #[test]
+    fn nor_inverts_roles() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let b2 = b.input("b");
+        let y = b.gate("y", GateKind::Nor, &[a, b2], d10());
+        b.mark_output(y);
+        let c = b.build().unwrap();
+        let cc = Controllability::compute(&c);
+        // NOR to 1 needs both inputs 0; NOR to 0 needs one input 1.
+        assert!(cc.of(y, Level::One) > cc.of(y, Level::Zero));
+    }
+}
+
+/// Per-net SCOAP combinational observability `CO`: an estimate of how many
+/// line assignments are needed to propagate a net's value to some primary
+/// output (primary outputs cost 0). Complements [`Controllability`] for
+/// search heuristics.
+#[derive(Clone, Debug)]
+pub struct Observability {
+    co: Vec<u32>,
+}
+
+impl Observability {
+    /// Computes SCOAP observability for every net, given the
+    /// controllability table.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ltt_core::scoap::{Controllability, Observability};
+    /// use ltt_netlist::generators::cascade;
+    /// use ltt_netlist::GateKind;
+    ///
+    /// let c = cascade(GateKind::And, 4, 10);
+    /// let cc = Controllability::compute(&c);
+    /// let co = Observability::compute(&c, &cc);
+    /// // The output is directly observable; the chain input is not.
+    /// assert_eq!(co.of(c.outputs()[0]), 0);
+    /// assert!(co.of(c.inputs()[0]) > 0);
+    /// ```
+    pub fn compute(circuit: &Circuit, cc: &Controllability) -> Observability {
+        let mut co = vec![u32::MAX; circuit.num_nets()];
+        for &o in circuit.outputs() {
+            co[o.index()] = 0;
+        }
+        for &gid in circuit.topo_gates().iter().rev() {
+            let gate = circuit.gate(gid);
+            let out_co = co[gate.output().index()];
+            if out_co == u32::MAX {
+                continue; // output not observable (dead logic)
+            }
+            let ins = gate.inputs();
+            for (j, &inp) in ins.iter().enumerate() {
+                let side_cost: u32 = match gate.kind() {
+                    GateKind::And | GateKind::Nand => ins
+                        .iter()
+                        .enumerate()
+                        .filter(|&(k, _)| k != j)
+                        .map(|(_, i)| cc.of(*i, Level::One))
+                        .fold(0u32, u32::saturating_add),
+                    GateKind::Or | GateKind::Nor => ins
+                        .iter()
+                        .enumerate()
+                        .filter(|&(k, _)| k != j)
+                        .map(|(_, i)| cc.of(*i, Level::Zero))
+                        .fold(0u32, u32::saturating_add),
+                    GateKind::Not | GateKind::Buffer | GateKind::Delay => 0,
+                    GateKind::Xor | GateKind::Xnor => ins
+                        .iter()
+                        .enumerate()
+                        .filter(|&(k, _)| k != j)
+                        .map(|(_, i)| cc.of(*i, Level::Zero).min(cc.of(*i, Level::One)))
+                        .fold(0u32, u32::saturating_add),
+                    GateKind::Mux => {
+                        if j == 0 {
+                            // Observing the select needs differing data.
+                            let a = ins[1];
+                            let b = ins[2];
+                            (cc.of(a, Level::Zero).saturating_add(cc.of(b, Level::One)))
+                                .min(cc.of(a, Level::One).saturating_add(cc.of(b, Level::Zero)))
+                        } else if j == 1 {
+                            cc.of(ins[0], Level::Zero) // select must pick a
+                        } else {
+                            cc.of(ins[0], Level::One) // select must pick b
+                        }
+                    }
+                };
+                let through = out_co.saturating_add(side_cost).saturating_add(1);
+                let slot = &mut co[inp.index()];
+                *slot = (*slot).min(through);
+            }
+        }
+        Observability { co }
+    }
+
+    /// The observability of `net` (`u32::MAX` for unobservable nets).
+    pub fn of(&self, net: NetId) -> u32 {
+        self.co[net.index()]
+    }
+}
+
+#[cfg(test)]
+mod observability_tests {
+    use super::*;
+    use ltt_netlist::generators::cascade;
+    use ltt_netlist::{CircuitBuilder, DelayInterval};
+
+    #[test]
+    fn outputs_are_free_and_depth_costs() {
+        let c = cascade(GateKind::And, 4, 10);
+        let cc = Controllability::compute(&c);
+        let co = Observability::compute(&c, &cc);
+        assert_eq!(co.of(c.outputs()[0]), 0);
+        // Each level adds at least 1 (plus the side-input cost).
+        let e0 = c.net_by_name("e0").unwrap();
+        let n2 = c.net_by_name("n2").unwrap();
+        assert!(co.of(e0) > co.of(n2));
+    }
+
+    #[test]
+    fn fanout_takes_the_cheapest_route() {
+        let d = DelayInterval::fixed(10);
+        let mut b = CircuitBuilder::new("f");
+        let a = b.input("a");
+        let cheap = b.gate("cheap", GateKind::Buffer, &[a], d);
+        let e1 = b.input("e1");
+        let e2 = b.input("e2");
+        let deep1 = b.gate("deep1", GateKind::And, &[a, e1], d);
+        let deep2 = b.gate("deep2", GateKind::And, &[deep1, e2], d);
+        b.mark_output(cheap);
+        b.mark_output(deep2);
+        let c = b.build().unwrap();
+        let cc = Controllability::compute(&c);
+        let co = Observability::compute(&c, &cc);
+        // a is observable through the buffer at cost 1.
+        assert_eq!(co.of(a), 1);
+    }
+
+    #[test]
+    fn mux_select_observability_needs_differing_data() {
+        let d = DelayInterval::fixed(10);
+        let mut b = CircuitBuilder::new("m");
+        let s = b.input("s");
+        let x = b.input("x");
+        let y = b.input("y");
+        let m = b.gate("m", GateKind::Mux, &[s, x, y], d);
+        b.mark_output(m);
+        let c = b.build().unwrap();
+        let cc = Controllability::compute(&c);
+        let co = Observability::compute(&c, &cc);
+        // Select: set x/y to differ (1 + 1) + 1 = 3.
+        assert_eq!(co.of(s), 3);
+        // Data input x: set select to 0 (cost 1) + 1 = 2.
+        assert_eq!(co.of(x), 2);
+    }
+
+    #[test]
+    fn dead_logic_is_unobservable() {
+        let d = DelayInterval::fixed(10);
+        let mut b = CircuitBuilder::new("dead");
+        let a = b.input("a");
+        let used = b.gate("used", GateKind::Not, &[a], d);
+        let dead = b.gate("dead", GateKind::Not, &[a], d);
+        b.mark_output(used);
+        let c = b.build().unwrap();
+        let cc = Controllability::compute(&c);
+        let co = Observability::compute(&c, &cc);
+        assert_eq!(co.of(dead), u32::MAX);
+    }
+}

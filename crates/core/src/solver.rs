@@ -1,0 +1,407 @@
+//! Event-driven fixpoint computation (§3.3, Fig. 4 `reach_fixpoint`).
+//!
+//! The constraint system is solved by chaotic iteration: gate constraints
+//! are taken from a work queue, their projections applied, and every
+//! constraint reading a net whose domain narrowed is re-scheduled. Each
+//! domain only shrinks (projection targets are intersected in), so the
+//! unique greatest fixpoint is reached in finitely many steps (Theorem 1).
+
+use crate::domain::{Checkpoint, DomainStore};
+use crate::learning::ImplicationTable;
+use crate::projection::project;
+use ltt_netlist::{Circuit, GateId, NetId};
+use ltt_waveform::Signal;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Result of running the queue to quiescence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FixpointResult {
+    /// The greatest fixpoint was reached with all domains non-empty.
+    Fixpoint,
+    /// Some domain became `(φ, φ)`: the system has no solution.
+    Contradiction,
+}
+
+/// Counters describing solver effort.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Gate-constraint applications (events processed).
+    pub events: u64,
+    /// Domain narrowings performed.
+    pub narrowings: u64,
+    /// Class restrictions injected by static-learning implications.
+    pub learned_applications: u64,
+}
+
+/// The event-driven waveform narrower: circuit + domains + work queue.
+///
+/// # Examples
+///
+/// ```
+/// use ltt_core::Narrower;
+/// use ltt_netlist::{CircuitBuilder, DelayInterval, GateKind};
+/// use ltt_waveform::{Signal, Time};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = CircuitBuilder::new("chain");
+/// let a = b.input("a");
+/// let x = b.gate("x", GateKind::Not, &[a], DelayInterval::fixed(10));
+/// b.mark_output(x);
+/// let circuit = b.build()?;
+///
+/// let mut nw = Narrower::new(&circuit);
+/// nw.narrow_net(a, Signal::floating_input());
+/// nw.reach_fixpoint();
+/// // Forward propagation bounds x's settling time by the gate delay.
+/// assert_eq!(nw.domain(x).latest_settle(), Time::new(10));
+/// # Ok(())
+/// # }
+/// ```
+pub struct Narrower<'c> {
+    circuit: &'c Circuit,
+    store: DomainStore,
+    queue: VecDeque<GateId>,
+    queued: Vec<bool>,
+    implications: Option<Arc<ImplicationTable>>,
+    stats: SolverStats,
+    /// Safety valve: abort (conservatively, as `Fixpoint`) after this many
+    /// events. Practically unreachable on sane inputs.
+    pub max_events: u64,
+}
+
+impl<'c> Narrower<'c> {
+    /// Creates a narrower with all domains full and an empty queue.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        Narrower {
+            circuit,
+            store: DomainStore::new(circuit),
+            queue: VecDeque::new(),
+            queued: vec![false; circuit.num_gates()],
+            implications: None,
+            stats: SolverStats::default(),
+            max_events: u64::MAX,
+        }
+    }
+
+    /// Attaches a static-learning implication table; learned class
+    /// restrictions fire whenever a net's class becomes fixed.
+    pub fn set_implications(&mut self, table: Arc<ImplicationTable>) {
+        self.implications = Some(table);
+    }
+
+    /// The circuit this narrower operates on.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// The current domain of a net.
+    pub fn domain(&self, net: NetId) -> Signal {
+        self.store.get(net)
+    }
+
+    /// All current domains, indexed by [`NetId::index`].
+    pub fn domains(&self) -> &[Signal] {
+        self.store.all()
+    }
+
+    /// Whether some domain is empty.
+    pub fn has_contradiction(&self) -> bool {
+        self.store.has_contradiction()
+    }
+
+    /// Effort counters so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Marks the current state for later [`Narrower::rollback`].
+    pub fn checkpoint(&self) -> Checkpoint {
+        self.store.checkpoint()
+    }
+
+    /// Restores domains to a checkpoint and clears the queue (pending
+    /// events refer to the rolled-back state).
+    pub fn rollback(&mut self, mark: Checkpoint) {
+        self.store.rollback(mark);
+        self.queue.clear();
+        self.queued.iter_mut().for_each(|q| *q = false);
+    }
+
+    /// Schedules a gate constraint.
+    pub fn schedule(&mut self, gate: GateId) {
+        if !self.queued[gate.index()] {
+            self.queued[gate.index()] = true;
+            self.queue.push_back(gate);
+        }
+    }
+
+    /// Schedules every constraint touching `net` (its driver and readers).
+    pub fn schedule_net(&mut self, net: NetId) {
+        if let Some(driver) = self.circuit.net(net).driver() {
+            self.schedule(driver);
+        }
+        for &reader in self.circuit.net(net).readers() {
+            self.schedule(reader);
+        }
+    }
+
+    /// Schedules every gate in the circuit.
+    pub fn schedule_all(&mut self) {
+        for gid in self.circuit.gate_ids() {
+            self.schedule(gid);
+        }
+    }
+
+    /// Narrows a net's domain (by intersection) and schedules affected
+    /// constraints on change. Returns whether the domain changed.
+    pub fn narrow_net(&mut self, net: NetId, target: Signal) -> bool {
+        if self.store.narrow_to(net, target) {
+            self.stats.narrowings += 1;
+            self.schedule_net(net);
+            self.fire_implications(net);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fire_implications(&mut self, net: NetId) {
+        let Some(table) = self.implications.clone() else {
+            return;
+        };
+        let Some(level) = self.store.get(net).fixed_class() else {
+            return;
+        };
+        for &(target, value) in table.implied_by(net, level) {
+            let restriction = {
+                let cur = self.store.get(target);
+                cur.restrict_to_class(value)
+            };
+            if self.store.narrow_to(target, restriction) {
+                self.stats.narrowings += 1;
+                self.stats.learned_applications += 1;
+                self.schedule_net(target);
+                // Recursively fire on the newly fixed net.
+                self.fire_implications(target);
+            }
+        }
+    }
+
+    /// Applies one gate constraint; returns whether any domain narrowed.
+    pub fn apply_gate(&mut self, gate: GateId) -> bool {
+        let g = self.circuit.gate(gate);
+        let inputs: Vec<Signal> = g.inputs().iter().map(|&n| self.store.get(n)).collect();
+        let output = self.store.get(g.output());
+        let p = project(g.kind(), i64::from(g.dmax()), &inputs, output);
+        let mut changed = false;
+        changed |= self.narrow_net(g.output(), p.output);
+        let input_nets: Vec<NetId> = g.inputs().to_vec();
+        for (net, target) in input_nets.into_iter().zip(p.inputs) {
+            changed |= self.narrow_net(net, target);
+        }
+        changed
+    }
+
+    /// Runs the event queue to quiescence (Fig. 4 `reach_fixpoint`).
+    ///
+    /// Returns [`FixpointResult::Contradiction`] as soon as any domain goes
+    /// empty (Theorem 2's check generalized: an empty domain anywhere means
+    /// the system has no solution).
+    pub fn reach_fixpoint(&mut self) -> FixpointResult {
+        if self.store.has_contradiction() {
+            self.queue.clear();
+            self.queued.iter_mut().for_each(|q| *q = false);
+            return FixpointResult::Contradiction;
+        }
+        while let Some(gate) = self.queue.pop_front() {
+            self.queued[gate.index()] = false;
+            self.stats.events += 1;
+            if self.stats.events > self.max_events {
+                return FixpointResult::Fixpoint;
+            }
+            self.apply_gate(gate);
+            if self.store.has_contradiction() {
+                self.queue.clear();
+                self.queued.iter_mut().for_each(|q| *q = false);
+                return FixpointResult::Contradiction;
+            }
+        }
+        FixpointResult::Fixpoint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltt_netlist::generators::figure1;
+    use ltt_netlist::{CircuitBuilder, DelayInterval, GateKind};
+    use ltt_waveform::{Aw, Level, Time};
+
+    fn d10() -> DelayInterval {
+        DelayInterval::fixed(10)
+    }
+
+    #[test]
+    fn forward_propagation_bounds_settling() {
+        // Chain of 3 NOTs: settle ≤ 30.
+        let mut b = CircuitBuilder::new("c");
+        let a = b.input("a");
+        let x = b.gate("x", GateKind::Not, &[a], d10());
+        let y = b.gate("y", GateKind::Not, &[x], d10());
+        let z = b.gate("z", GateKind::Not, &[y], d10());
+        b.mark_output(z);
+        let c = b.build().unwrap();
+        let mut nw = Narrower::new(&c);
+        nw.narrow_net(a, Signal::floating_input());
+        assert_eq!(nw.reach_fixpoint(), FixpointResult::Fixpoint);
+        assert_eq!(nw.domain(z).latest_settle(), Time::new(30));
+        assert_eq!(nw.domain(y).latest_settle(), Time::new(20));
+    }
+
+    /// The paper's Example 2, end to end: the Figure 1 circuit with
+    /// δ = 61 is proven violation-free by plain narrowing.
+    #[test]
+    fn example2_figure1_delta61_no_violation() {
+        let c = figure1(10);
+        let s = c.outputs()[0];
+        let mut nw = Narrower::new(&c);
+        for &i in c.inputs() {
+            nw.narrow_net(i, Signal::floating_input());
+        }
+        nw.narrow_net(s, Signal::violation(Time::new(61)));
+        assert_eq!(nw.reach_fixpoint(), FixpointResult::Contradiction);
+    }
+
+    /// …and with δ = 60 the system stays consistent (a violation exists).
+    #[test]
+    fn example2_figure1_delta60_possible() {
+        let c = figure1(10);
+        let s = c.outputs()[0];
+        let mut nw = Narrower::new(&c);
+        for &i in c.inputs() {
+            nw.narrow_net(i, Signal::floating_input());
+        }
+        nw.narrow_net(s, Signal::violation(Time::new(60)));
+        assert_eq!(nw.reach_fixpoint(), FixpointResult::Fixpoint);
+        assert!(!nw.domain(s).is_empty());
+    }
+
+    /// Intermediate domains of Example 2's mechanics, observed at δ = 60
+    /// (the δ = 61 run ends in a contradiction, so its intermediate state
+    /// is not observable at the fixpoint).
+    #[test]
+    fn example2_intermediate_intervals_delta60() {
+        let c = figure1(10);
+        let s = c.outputs()[0];
+        let mut nw = Narrower::new(&c);
+        for &i in c.inputs() {
+            nw.narrow_net(i, Signal::floating_input());
+        }
+        nw.narrow_net(s, Signal::violation(Time::new(60)));
+        nw.reach_fixpoint();
+        // n5 (side input of g8 = OR) settles by 50: at δ = 60 it can still
+        // carry the violation, but only by settling to 1 (controlling)
+        // exactly at t = 50.
+        let n5 = c.net_by_name("n5").unwrap();
+        assert_eq!(
+            nw.domain(n5)[Level::One],
+            Aw::new(Time::new(50), Time::new(50))
+        );
+        // Its non-controlling class is not narrowed (n7 may carry instead).
+        assert_eq!(nw.domain(n5)[Level::Zero], Aw::before(Time::new(50)));
+        // n7's controlling class must transition at or after 50 to reach
+        // δ = 60 through g8's delay of 10.
+        let n7 = c.net_by_name("n7").unwrap();
+        assert_eq!(
+            nw.domain(n7)[Level::One],
+            Aw::new(Time::new(50), Time::new(60))
+        );
+        // n7's class 0 is unconstrained below its settle bound: n5 can
+        // still carry.
+        assert_eq!(nw.domain(n7)[Level::Zero], Aw::before(Time::new(60)));
+    }
+
+    /// At δ = 61 the "blocking controlling class" elimination of Example 2
+    /// is visible one step before the contradiction: stop the fixpoint
+    /// right after the event that empties n5's controlling class.
+    #[test]
+    fn example2_blocking_class_removed_at_delta61() {
+        let c = figure1(10);
+        let s = c.outputs()[0];
+        let n5 = c.net_by_name("n5").unwrap();
+        let mut nw = Narrower::new(&c);
+        for &i in c.inputs() {
+            nw.narrow_net(i, Signal::floating_input());
+        }
+        // Forward pass first (settle bounds), then the check constraint.
+        nw.reach_fixpoint();
+        assert_eq!(nw.domain(n5).latest_settle(), Time::new(50));
+        nw.narrow_net(s, Signal::violation(Time::new(61)));
+        // Apply only g8 (the driver of s) once.
+        let g8 = c.net(s).driver().unwrap();
+        nw.apply_gate(g8);
+        assert!(nw.domain(n5)[Level::One].is_empty());
+        assert!(!nw.domain(n5)[Level::Zero].is_empty());
+        let n7 = c.net_by_name("n7").unwrap();
+        assert_eq!(
+            nw.domain(n7)[Level::Zero],
+            Aw::new(Time::new(51), Time::new(60))
+        );
+        assert_eq!(
+            nw.domain(n7)[Level::One],
+            Aw::new(Time::new(51), Time::new(60))
+        );
+    }
+
+    #[test]
+    fn rollback_restores_and_clears_queue() {
+        let c = figure1(10);
+        let s = c.outputs()[0];
+        let mut nw = Narrower::new(&c);
+        for &i in c.inputs() {
+            nw.narrow_net(i, Signal::floating_input());
+        }
+        let mark = nw.checkpoint();
+        nw.narrow_net(s, Signal::violation(Time::new(61)));
+        assert_eq!(nw.reach_fixpoint(), FixpointResult::Contradiction);
+        nw.rollback(mark);
+        assert!(!nw.has_contradiction());
+        assert_eq!(nw.domain(s), Signal::FULL);
+        // Re-running with δ = 60 from the restored state works.
+        nw.narrow_net(s, Signal::violation(Time::new(60)));
+        assert_eq!(nw.reach_fixpoint(), FixpointResult::Fixpoint);
+    }
+
+    #[test]
+    fn stats_count_events_and_narrowings() {
+        let c = figure1(10);
+        let mut nw = Narrower::new(&c);
+        for &i in c.inputs() {
+            nw.narrow_net(i, Signal::floating_input());
+        }
+        nw.reach_fixpoint();
+        let st = nw.stats();
+        assert!(st.events > 0);
+        assert!(st.narrowings >= 8); // at least every net settles
+    }
+
+    #[test]
+    fn schedule_all_reaches_same_fixpoint() {
+        let c = figure1(10);
+        let s = c.outputs()[0];
+        let run = |schedule_all: bool| {
+            let mut nw = Narrower::new(&c);
+            for &i in c.inputs() {
+                nw.narrow_net(i, Signal::floating_input());
+            }
+            nw.narrow_net(s, Signal::violation(Time::new(55)));
+            if schedule_all {
+                nw.schedule_all();
+            }
+            nw.reach_fixpoint();
+            nw.domains().to_vec()
+        };
+        assert_eq!(run(false), run(true));
+    }
+}

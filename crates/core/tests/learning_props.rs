@@ -1,0 +1,130 @@
+//! Property tests for static learning: every learned implication and every
+//! learned constant must hold in the circuit's exhaustive truth table.
+
+use ltt_core::ImplicationTable;
+use ltt_netlist::generators::{random_circuit, RandomCircuitConfig};
+use ltt_netlist::{Circuit, CircuitBuilder, DelayInterval, GateKind};
+use ltt_waveform::Level;
+use proptest::prelude::*;
+
+/// Checks every implication `y=v ⇒ x=w` of `table` against all input
+/// assignments of `circuit` (steady-state semantics: classes are the
+/// settled values).
+fn assert_implications_hold(circuit: &Circuit, table: &ImplicationTable) {
+    let n = circuit.inputs().len();
+    assert!(n <= 14, "exhaustive check needs few inputs");
+    // Precompute all net values for all vectors.
+    let mut all_values: Vec<Vec<bool>> = Vec::with_capacity(1 << n);
+    for v in 0..(1u64 << n) {
+        let vector: Vec<bool> = (0..n).map(|i| (v >> i) & 1 == 1).collect();
+        all_values.push(circuit.evaluate_all(&vector));
+    }
+    for y in circuit.net_ids() {
+        for v in Level::BOTH {
+            for &(x, w) in table.implied_by(y, v) {
+                for values in &all_values {
+                    if values[y.index()] == v.to_bool() {
+                        assert_eq!(
+                            values[x.index()],
+                            w.to_bool(),
+                            "implication {}={} => {}={} violated",
+                            circuit.net(y).name(),
+                            v,
+                            circuit.net(x).name(),
+                            w,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    for &(net, value) in table.constants() {
+        for values in &all_values {
+            assert_eq!(
+                values[net.index()],
+                value.to_bool(),
+                "constant {}={} violated",
+                circuit.net(net).name(),
+                value
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn learned_implications_hold_on_random_circuits(seed in 0u64..5000) {
+        let c = random_circuit(&RandomCircuitConfig {
+            num_inputs: 6,
+            num_gates: 20,
+            num_outputs: 2,
+            max_fanin: 3,
+            depth_bias: 3,
+            delay: 10,
+            seed,
+        });
+        let table = ImplicationTable::learn(&c);
+        assert_implications_hold(&c, &table);
+    }
+
+    #[test]
+    fn stem_scoped_learning_is_a_subset(seed in 0u64..500) {
+        let c = random_circuit(&RandomCircuitConfig {
+            num_inputs: 6,
+            num_gates: 25,
+            num_outputs: 2,
+            max_fanin: 3,
+            depth_bias: 4,
+            delay: 10,
+            seed,
+        });
+        let stems = ImplicationTable::learn_stems(&c);
+        assert_implications_hold(&c, &stems);
+        let all = ImplicationTable::learn(&c);
+        prop_assert!(stems.len() <= all.len());
+    }
+}
+
+#[test]
+fn learning_sees_through_reconvergence() {
+    // z = AND(OR(a, b), OR(a, c)): a = 1 forces z = 1 — requires combining
+    // two gates, which plain forward class propagation does see; the
+    // interesting direction is the contrapositive z = 0 ⇒ a = 0.
+    let d = DelayInterval::fixed(10);
+    let mut bld = CircuitBuilder::new("rec");
+    let a = bld.input("a");
+    let b = bld.input("b");
+    let c = bld.input("c");
+    let o1 = bld.gate("o1", GateKind::Or, &[a, b], d);
+    let o2 = bld.gate("o2", GateKind::Or, &[a, c], d);
+    let z = bld.gate("z", GateKind::And, &[o1, o2], d);
+    bld.mark_output(z);
+    let circuit = bld.build().unwrap();
+    let table = ImplicationTable::learn(&circuit);
+    assert!(table.implied_by(a, Level::One).contains(&(z, Level::One)));
+    assert!(table.implied_by(z, Level::Zero).contains(&(a, Level::Zero)));
+    assert_implications_hold(&circuit, &table);
+}
+
+#[test]
+fn learning_through_xor_chain() {
+    // p = XOR(a, b); q = XNOR(a, b); r = AND(p, q) is constant 0. Per-net
+    // class propagation cannot *prove* the constant (that needs relational
+    // reasoning over (a, b)), but everything it does learn must hold, and
+    // the trivial direction p = 0 ⇒ r = 0 must be present.
+    let d = DelayInterval::fixed(10);
+    let mut bld = CircuitBuilder::new("xorconst");
+    let a = bld.input("a");
+    let b = bld.input("b");
+    let p = bld.gate("p", GateKind::Xor, &[a, b], d);
+    let q = bld.gate("q", GateKind::Xnor, &[a, b], d);
+    let r = bld.gate("r", GateKind::And, &[p, q], d);
+    bld.mark_output(r);
+    let circuit = bld.build().unwrap();
+    let table = ImplicationTable::learn(&circuit);
+    let _ = q;
+    assert!(table.implied_by(p, Level::Zero).contains(&(r, Level::Zero)));
+    assert_implications_hold(&circuit, &table);
+}

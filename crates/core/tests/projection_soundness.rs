@@ -1,0 +1,170 @@
+//! Soundness of the gate constraint projections against the exact
+//! dense-window oracle.
+//!
+//! For random domains, the interval rules must never remove a waveform
+//! that participates in a consistent `(a₁, …, a_k, s)` tuple: the
+//! concretization of every projection target must contain the exact
+//! relational projection (§3.2). This is the safety net under all the
+//! closed-form derivations in `ltt_core::projection`.
+
+use ltt_core::project;
+use ltt_netlist::GateKind;
+use ltt_waveform::dense::DenseSet;
+use ltt_waveform::{Aw, Signal, Time};
+use proptest::prelude::*;
+
+const W: u32 = 5;
+
+fn arb_aw() -> impl Strategy<Value = Aw> {
+    let bound = prop_oneof![
+        Just(Time::NEG_INF),
+        (0i64..(W as i64 - 1)).prop_map(Time::new),
+        Just(Time::POS_INF),
+    ];
+    (bound.clone(), bound).prop_map(|(a, b)| Aw::new(a, b))
+}
+
+fn arb_signal() -> impl Strategy<Value = Signal> {
+    (arb_aw(), arb_aw()).prop_map(|(z, o)| Signal::new(z, o))
+}
+
+fn arb_kind2() -> impl Strategy<Value = GateKind> {
+    prop_oneof![
+        Just(GateKind::And),
+        Just(GateKind::Nand),
+        Just(GateKind::Or),
+        Just(GateKind::Nor),
+        Just(GateKind::Xor),
+        Just(GateKind::Xnor),
+    ]
+}
+
+fn gate_fn(kind: GateKind) -> impl Fn(&[bool]) -> bool {
+    move |vals| kind.eval(vals)
+}
+
+/// Checks soundness of `project` at delay 0 for the given terminals.
+fn check_soundness(kind: GateKind, inputs: &[Signal], output: Signal) {
+    let p = project(kind, 0, inputs, output);
+
+    // Narrowing: targets are subsets of the current domains.
+    assert!(p.output.is_subset_of(output), "{kind}: output widened");
+    for (j, t) in p.inputs.iter().enumerate() {
+        assert!(t.is_subset_of(inputs[j]), "{kind}: input {j} widened");
+    }
+
+    // Exact projections from the dense oracle.
+    let dense_inputs: Vec<DenseSet> = inputs
+        .iter()
+        .map(|&s| DenseSet::from_signal(s, W))
+        .collect();
+    let dense_refs: Vec<&DenseSet> = dense_inputs.iter().collect();
+    let dense_out = DenseSet::from_signal(output, W);
+    let (exact_in, exact_out) = DenseSet::project_gate(gate_fn(kind), &dense_refs, &dense_out);
+
+    // Soundness: every exact member survives the narrowing.
+    let narrowed_out = DenseSet::from_signal(p.output, W);
+    assert!(
+        exact_out.is_subset_of(&narrowed_out),
+        "{kind}: output projection dropped solutions\n  inputs: {inputs:?}\n  output: {output:?}\n  target: {:?}",
+        p.output,
+    );
+    for (j, exact) in exact_in.iter().enumerate() {
+        let narrowed = DenseSet::from_signal(p.inputs[j], W);
+        assert!(
+            exact.is_subset_of(&narrowed),
+            "{kind}: input {j} projection dropped solutions\n  inputs: {inputs:?}\n  output: {output:?}\n  target: {:?}",
+            p.inputs[j],
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn binary_gates_are_sound(
+        kind in arb_kind2(),
+        a in arb_signal(),
+        b in arb_signal(),
+        s in arb_signal(),
+    ) {
+        check_soundness(kind, &[a, b], s);
+    }
+
+    #[test]
+    fn unary_gates_are_sound(
+        kind in prop_oneof![Just(GateKind::Not), Just(GateKind::Buffer), Just(GateKind::Delay)],
+        a in arb_signal(),
+        s in arb_signal(),
+    ) {
+        check_soundness(kind, &[a], s);
+    }
+
+    #[test]
+    fn mux_projection_is_sound(
+        s_sel in arb_signal(),
+        a in arb_signal(),
+        b in arb_signal(),
+        o in arb_signal(),
+    ) {
+        check_soundness(GateKind::Mux, &[s_sel, a, b], o);
+    }
+
+    #[test]
+    fn ternary_gates_are_sound(
+        kind in prop_oneof![
+            Just(GateKind::And),
+            Just(GateKind::Nor),
+            Just(GateKind::Xor),
+        ],
+        a in arb_signal(),
+        b in arb_signal(),
+        c in arb_signal(),
+        s in arb_signal(),
+    ) {
+        check_soundness(kind, &[a, b, c], s);
+    }
+
+    /// Delay handling is a pure time shift: projecting with delay `d`
+    /// equals projecting at delay 0 against the output shifted by `−d`,
+    /// then shifting the output target back by `+d`.
+    #[test]
+    fn delay_is_a_time_shift(
+        kind in arb_kind2(),
+        a in arb_signal(),
+        b in arb_signal(),
+        s in arb_signal(),
+        d in 1i64..50,
+    ) {
+        let shifted_out = Signal::new(s[ltt_waveform::Level::Zero].shift(-d),
+                                      s[ltt_waveform::Level::One].shift(-d));
+        let p0 = project(kind, 0, &[a, b], shifted_out);
+        let pd = project(kind, d, &[a, b], s);
+        prop_assert_eq!(pd.inputs, p0.inputs);
+        let reshifted = Signal::new(
+            p0.output[ltt_waveform::Level::Zero].shift(d),
+            p0.output[ltt_waveform::Level::One].shift(d),
+        );
+        prop_assert_eq!(pd.output, reshifted);
+    }
+
+    /// Idempotence at the fixpoint: applying the projection to its own
+    /// result changes nothing further… within one extra round. (The rules
+    /// are monotone narrowings, so a second application can only narrow;
+    /// this asserts the common case that one round suffices per gate.)
+    #[test]
+    fn projection_is_monotone_under_iteration(
+        kind in arb_kind2(),
+        a in arb_signal(),
+        b in arb_signal(),
+        s in arb_signal(),
+    ) {
+        let p1 = project(kind, 0, &[a, b], s);
+        let p2 = project(kind, 0, &p1.inputs, p1.output);
+        prop_assert!(p2.output.is_subset_of(p1.output));
+        for j in 0..2 {
+            prop_assert!(p2.inputs[j].is_subset_of(p1.inputs[j]));
+        }
+    }
+}

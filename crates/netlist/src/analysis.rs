@@ -1,0 +1,335 @@
+//! Topological (structural) timing analysis on circuits: longest-path
+//! delays `top`, `top_n`, and `top_{n1→n2}` from §2 of the paper.
+//!
+//! These are purely structural quantities — every path counts, sensitizable
+//! or not — and provide both the conservative delay bound and the distance
+//! metric used by static carriers and timing dominators.
+
+use crate::{Circuit, NetId};
+
+impl Circuit {
+    /// The topological arrival time `top_n` of every net: the length
+    /// (sum of gate `d_max`) of the longest path from any primary input,
+    /// indexed by [`NetId::index`]. Primary inputs arrive at 0.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ltt_netlist::{CircuitBuilder, DelayInterval, GateKind};
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut b = CircuitBuilder::new("chain");
+    /// let a = b.input("a");
+    /// let x = b.gate("x", GateKind::Not, &[a], DelayInterval::fixed(10));
+    /// let y = b.gate("y", GateKind::Not, &[x], DelayInterval::fixed(10));
+    /// b.mark_output(y);
+    /// let c = b.build()?;
+    /// assert_eq!(c.arrival_times()[y.index()], 20);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn arrival_times(&self) -> Vec<i64> {
+        let mut arrival = vec![0i64; self.num_nets()];
+        for &gid in self.topo_gates() {
+            let gate = self.gate(gid);
+            let worst = gate
+                .inputs()
+                .iter()
+                .map(|n| arrival[n.index()])
+                .max()
+                .unwrap_or(0);
+            arrival[gate.output().index()] = worst + i64::from(gate.dmax());
+        }
+        arrival
+    }
+
+    /// The topological delay `top` of the circuit: the longest arrival time
+    /// over the primary outputs.
+    pub fn topological_delay(&self) -> i64 {
+        let arrival = self.arrival_times();
+        self.outputs()
+            .iter()
+            .map(|o| arrival[o.index()])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The longest path length `top_{n→target}` from every net to `target`,
+    /// or `None` for nets with no path to `target`. `top_{target→target}`
+    /// is 0.
+    ///
+    /// Together with [`Circuit::arrival_times`] this identifies the *static
+    /// carriers* of a timing check `(ξ, s, δ)`: the nets `x` with
+    /// `top_x + top_{x→s} ≥ δ` (Definition 4).
+    pub fn longest_to(&self, target: NetId) -> Vec<Option<i64>> {
+        let mut dist = vec![None; self.num_nets()];
+        dist[target.index()] = Some(0i64);
+        for &gid in self.topo_gates().iter().rev() {
+            let gate = self.gate(gid);
+            if let Some(d) = dist[gate.output().index()] {
+                let through = d + i64::from(gate.dmax());
+                for n in gate.inputs() {
+                    let slot = &mut dist[n.index()];
+                    if slot.is_none_or(|cur| through > cur) {
+                        *slot = Some(through);
+                    }
+                }
+            }
+        }
+        dist
+    }
+
+    /// The topological delay between two nets, `top_{from→to}`, or `None`
+    /// if no path connects them.
+    pub fn top_between(&self, from: NetId, to: NetId) -> Option<i64> {
+        self.longest_to(to)[from.index()]
+    }
+
+    /// The logic depth (number of gates) of the deepest input→output path.
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.num_nets()];
+        for &gid in self.topo_gates() {
+            let gate = self.gate(gid);
+            let worst = gate
+                .inputs()
+                .iter()
+                .map(|n| level[n.index()])
+                .max()
+                .unwrap_or(0);
+            level[gate.output().index()] = worst + 1;
+        }
+        self.outputs()
+            .iter()
+            .map(|o| level[o.index()])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The set of nets in the fan-in cone of `net` (including `net`
+    /// itself), as a dense boolean mask indexed by [`NetId::index`].
+    pub fn fanin_cone(&self, net: NetId) -> Vec<bool> {
+        let mut in_cone = vec![false; self.num_nets()];
+        in_cone[net.index()] = true;
+        for &gid in self.topo_gates().iter().rev() {
+            let gate = self.gate(gid);
+            if in_cone[gate.output().index()] {
+                for n in gate.inputs() {
+                    in_cone[n.index()] = true;
+                }
+            }
+        }
+        in_cone
+    }
+
+    /// Whether `stem` is a *reconvergent* fanout stem: it has at least two
+    /// readers and two distinct paths from it meet again at some gate.
+    pub fn is_reconvergent_stem(&self, stem: NetId) -> bool {
+        let readers = self.net(stem).readers();
+        if readers.len() < 2 {
+            return false;
+        }
+        // Tag each net reachable from `stem` with the set of first-level
+        // branches (reader gates) it is reachable through; reconvergence is
+        // a net tagged with ≥ 2 branches. Branch sets are capped at 64.
+        let mut tags = vec![0u64; self.num_nets()];
+        for (b, &gid) in readers.iter().enumerate().take(64) {
+            let gate = self.gate(gid);
+            tags[gate.output().index()] |= 1u64 << b;
+        }
+        let mut reconv = false;
+        for &gid in self.topo_gates() {
+            let gate = self.gate(gid);
+            let mut acc = tags[gate.output().index()];
+            let mut arms = 0u32;
+            for n in gate.inputs() {
+                let t = tags[n.index()];
+                if t != 0 {
+                    arms += 1;
+                }
+                acc |= t;
+            }
+            // Reconvergence at this gate: inputs reachable from ≥ 2 distinct
+            // branches, or one input carrying ≥ 2 branches merged upstream
+            // plus this gate seeing several arms.
+            if arms >= 2 && acc.count_ones() >= 2 {
+                reconv = true;
+            }
+            tags[gate.output().index()] |= acc;
+        }
+        reconv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CircuitBuilder, DelayInterval, GateKind};
+
+    fn d(x: u32) -> DelayInterval {
+        DelayInterval::fixed(x)
+    }
+
+    /// a ──not(10)── x ──not(20)── y (output), plus a ──not(5)── z (output)
+    fn two_path() -> (Circuit, NetId, NetId, NetId, NetId) {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let x = b.gate("x", GateKind::Not, &[a], d(10));
+        let y = b.gate("y", GateKind::Not, &[x], d(20));
+        let z = b.gate("z", GateKind::Not, &[a], d(5));
+        b.mark_output(y);
+        b.mark_output(z);
+        (b.build().unwrap(), a, x, y, z)
+    }
+
+    #[test]
+    fn arrival_times_are_longest_paths() {
+        let (c, a, x, y, z) = two_path();
+        let arr = c.arrival_times();
+        assert_eq!(arr[a.index()], 0);
+        assert_eq!(arr[x.index()], 10);
+        assert_eq!(arr[y.index()], 30);
+        assert_eq!(arr[z.index()], 5);
+        assert_eq!(c.topological_delay(), 30);
+    }
+
+    #[test]
+    fn longest_to_walks_backwards() {
+        let (c, a, x, y, z) = two_path();
+        let to_y = c.longest_to(y);
+        assert_eq!(to_y[y.index()], Some(0));
+        assert_eq!(to_y[x.index()], Some(20));
+        assert_eq!(to_y[a.index()], Some(30));
+        assert_eq!(to_y[z.index()], None);
+        assert_eq!(c.top_between(a, y), Some(30));
+        assert_eq!(c.top_between(z, y), None);
+    }
+
+    #[test]
+    fn reconvergent_longest_to_takes_max() {
+        // a fans out, reconverges at an AND; one arm longer.
+        let mut b = CircuitBuilder::new("r");
+        let a = b.input("a");
+        let p = b.gate("p", GateKind::Not, &[a], d(10));
+        let q = b.gate("q", GateKind::Not, &[p], d(10));
+        let y = b.gate("y", GateKind::And, &[a, q], d(10));
+        b.mark_output(y);
+        let c = b.build().unwrap();
+        assert_eq!(c.top_between(a, y), Some(30));
+        assert_eq!(c.topological_delay(), 30);
+    }
+
+    #[test]
+    fn depth_counts_gate_levels() {
+        let (c, ..) = two_path();
+        assert_eq!(c.depth(), 2);
+    }
+
+    #[test]
+    fn fanin_cone_collects_transitive_inputs() {
+        let (c, a, x, y, z) = two_path();
+        let cone = c.fanin_cone(y);
+        assert!(cone[y.index()] && cone[x.index()] && cone[a.index()]);
+        assert!(!cone[z.index()]);
+    }
+
+    #[test]
+    fn reconvergence_detection() {
+        let mut b = CircuitBuilder::new("r");
+        let a = b.input("a");
+        let p = b.gate("p", GateKind::Not, &[a], d(10));
+        let q = b.gate("q", GateKind::Buffer, &[a], d(10));
+        let y = b.gate("y", GateKind::And, &[p, q], d(10));
+        b.mark_output(y);
+        let c = b.build().unwrap();
+        assert!(c.is_reconvergent_stem(a));
+        assert!(!c.is_reconvergent_stem(p));
+
+        // Fanout without reconvergence.
+        let mut b = CircuitBuilder::new("nr");
+        let a = b.input("a");
+        let p = b.gate("p", GateKind::Not, &[a], d(10));
+        let q = b.gate("q", GateKind::Buffer, &[a], d(10));
+        b.mark_output(p);
+        b.mark_output(q);
+        let c = b.build().unwrap();
+        assert!(!c.is_reconvergent_stem(a));
+    }
+}
+
+impl Circuit {
+    /// Earliest possible transition time per net, using the gates'
+    /// **minimum** delays: the length of the *shortest* input→net path
+    /// (sum of `d_min`). The dual of [`Circuit::arrival_times`], used by
+    /// hold-style ("can it transition too early?") checks.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ltt_netlist::{CircuitBuilder, DelayInterval, GateKind};
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut b = CircuitBuilder::new("e");
+    /// let a = b.input("a");
+    /// let x = b.input("x");
+    /// let fast = b.gate("fast", GateKind::And, &[a, x], DelayInterval::new(2, 10));
+    /// let y = b.gate("y", GateKind::Or, &[fast, a], DelayInterval::new(3, 10));
+    /// b.mark_output(y);
+    /// let c = b.build()?;
+    /// assert_eq!(c.earliest_arrival_times()[y.index()], 3); // via the direct a edge
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn earliest_arrival_times(&self) -> Vec<i64> {
+        let mut earliest = vec![0i64; self.num_nets()];
+        for &gid in self.topo_gates() {
+            let gate = self.gate(gid);
+            let best = gate
+                .inputs()
+                .iter()
+                .map(|n| earliest[n.index()])
+                .min()
+                .unwrap_or(0);
+            earliest[gate.output().index()] = best + i64::from(gate.delay().min());
+        }
+        earliest
+    }
+
+    /// The minimum topological delay of the circuit: the earliest time any
+    /// primary output could possibly transition (shortest path, `d_min`).
+    pub fn min_topological_delay(&self) -> i64 {
+        let earliest = self.earliest_arrival_times();
+        self.outputs()
+            .iter()
+            .map(|o| earliest[o.index()])
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod min_delay_tests {
+    use crate::{CircuitBuilder, DelayInterval, GateKind};
+
+    #[test]
+    fn earliest_uses_min_delays_and_shortest_paths() {
+        let mut b = CircuitBuilder::new("m");
+        let a = b.input("a");
+        let x = b.gate("x", GateKind::Not, &[a], DelayInterval::new(3, 30));
+        let y = b.gate("y", GateKind::Not, &[x], DelayInterval::new(4, 40));
+        b.mark_output(y);
+        let c = b.build().unwrap();
+        assert_eq!(c.earliest_arrival_times()[y.index()], 7);
+        assert_eq!(c.min_topological_delay(), 7);
+        assert_eq!(c.topological_delay(), 70);
+    }
+
+    #[test]
+    fn reconvergence_takes_the_shorter_arm() {
+        let mut b = CircuitBuilder::new("r");
+        let a = b.input("a");
+        let slow = b.gate("slow", GateKind::Not, &[a], DelayInterval::new(50, 50));
+        let y = b.gate("y", GateKind::And, &[a, slow], DelayInterval::new(5, 5));
+        b.mark_output(y);
+        let c = b.build().unwrap();
+        // Through the direct edge: 0 + 5.
+        assert_eq!(c.earliest_arrival_times()[y.index()], 5);
+    }
+}

@@ -1,0 +1,305 @@
+//! ISCAS `.bench` netlist format: parser and writer.
+//!
+//! The ISCAS'85 benchmark circuits evaluated in the paper circulate in the
+//! `.bench` format:
+//!
+//! ```text
+//! # comment
+//! INPUT(G1)
+//! OUTPUT(G17)
+//! G10 = NAND(G1, G3)
+//! ```
+//!
+//! The format carries no delay information; [`parse_bench`] assigns a
+//! caller-supplied delay to every gate (the paper uses a fixed delay of 10
+//! on every gate output for its experiments).
+
+use crate::{Circuit, CircuitBuilder, DelayInterval, GateKind};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by [`parse_bench`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseBenchError {
+    /// A line could not be parsed; carries the 1-based line number and the
+    /// offending text.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line text.
+        text: String,
+    },
+    /// An unknown gate-kind name; carries the 1-based line number.
+    UnknownGate {
+        /// 1-based line number.
+        line: usize,
+        /// The unknown gate name.
+        name: String,
+    },
+    /// The parsed netlist failed structural validation.
+    Structure(crate::BuildCircuitError),
+}
+
+impl fmt::Display for ParseBenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBenchError::Syntax { line, text } => {
+                write!(f, "syntax error on line {line}: `{text}`")
+            }
+            ParseBenchError::UnknownGate { line, name } => {
+                write!(f, "unknown gate `{name}` on line {line}")
+            }
+            ParseBenchError::Structure(e) => write!(f, "invalid netlist: {e}"),
+        }
+    }
+}
+
+impl Error for ParseBenchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseBenchError::Structure(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<crate::BuildCircuitError> for ParseBenchError {
+    fn from(e: crate::BuildCircuitError) -> Self {
+        ParseBenchError::Structure(e)
+    }
+}
+
+/// Parses a `.bench` netlist, assigning `delay` to every gate.
+///
+/// # Errors
+///
+/// Returns [`ParseBenchError`] on malformed lines, unknown gate names, or a
+/// structurally invalid netlist (cycles, double drivers, …).
+///
+/// # Examples
+///
+/// ```
+/// use ltt_netlist::bench_format::parse_bench;
+/// use ltt_netlist::DelayInterval;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let src = "\
+/// INPUT(a)
+/// INPUT(b)
+/// OUTPUT(y)
+/// y = NAND(a, b)
+/// ";
+/// let c = parse_bench("tiny", src, DelayInterval::fixed(10))?;
+/// assert_eq!(c.num_gates(), 1);
+/// assert_eq!(c.evaluate(&[true, true]), vec![false]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_bench(
+    name: &str,
+    source: &str,
+    delay: DelayInterval,
+) -> Result<Circuit, ParseBenchError> {
+    let mut b = CircuitBuilder::new(name);
+    let mut outputs = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let syntax = || ParseBenchError::Syntax {
+            line: line_no,
+            text: raw.trim().to_string(),
+        };
+        if let Some(rest) = strip_directive(line, "INPUT") {
+            b.input(rest);
+        } else if let Some(rest) = strip_directive(line, "OUTPUT") {
+            outputs.push(rest.to_string());
+        } else if let Some(eq) = line.find('=') {
+            let target = line[..eq].trim();
+            let rhs = line[eq + 1..].trim();
+            let open = rhs.find('(').ok_or_else(syntax)?;
+            let close = rhs.rfind(')').ok_or_else(syntax)?;
+            if close < open || target.is_empty() {
+                return Err(syntax());
+            }
+            let gate_name = rhs[..open].trim();
+            let kind =
+                GateKind::parse_name(gate_name).ok_or_else(|| ParseBenchError::UnknownGate {
+                    line: line_no,
+                    name: gate_name.to_string(),
+                })?;
+            let args: Vec<&str> = rhs[open + 1..close]
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
+            if args.is_empty() {
+                return Err(syntax());
+            }
+            let inputs: Vec<_> = args.into_iter().map(|a| b.net(a)).collect();
+            let out = b.net(target);
+            b.drive(out, kind, &inputs, delay);
+        } else {
+            return Err(syntax());
+        }
+    }
+    for o in outputs {
+        let id = b.net(o);
+        b.mark_output(id);
+    }
+    Ok(b.build()?)
+}
+
+fn strip_directive<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(keyword)?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let rest = rest.strip_suffix(')')?;
+    let rest = rest.trim();
+    (!rest.is_empty()).then_some(rest)
+}
+
+/// Writes a circuit back out in `.bench` format (delays are not
+/// representable in the format and are dropped).
+///
+/// # Examples
+///
+/// ```
+/// use ltt_netlist::bench_format::{parse_bench, write_bench};
+/// use ltt_netlist::DelayInterval;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let src = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
+/// let c = parse_bench("t", src, DelayInterval::fixed(1))?;
+/// let round = parse_bench("t", &write_bench(&c), DelayInterval::fixed(1))?;
+/// assert_eq!(round.num_gates(), c.num_gates());
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_bench(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", circuit.name()));
+    for &i in circuit.inputs() {
+        out.push_str(&format!("INPUT({})\n", circuit.net(i).name()));
+    }
+    for &o in circuit.outputs() {
+        out.push_str(&format!("OUTPUT({})\n", circuit.net(o).name()));
+    }
+    for &gid in circuit.topo_gates() {
+        let g = circuit.gate(gid);
+        let args: Vec<&str> = g
+            .inputs()
+            .iter()
+            .map(|&n| circuit.net(n).name())
+            .collect();
+        out.push_str(&format!(
+            "{} = {}({})\n",
+            circuit.net(g.output()).name(),
+            g.kind().name(),
+            args.join(", ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C17: &str = "\
+# c17 (real ISCAS'85 netlist)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+    #[test]
+    fn parses_c17() {
+        let c = parse_bench("c17", C17, DelayInterval::fixed(10)).unwrap();
+        assert_eq!(c.num_gates(), 6);
+        assert_eq!(c.inputs().len(), 5);
+        assert_eq!(c.outputs().len(), 2);
+        assert_eq!(c.topological_delay(), 30);
+    }
+
+    #[test]
+    fn c17_functional_sanity() {
+        let c = parse_bench("c17", C17, DelayInterval::fixed(10)).unwrap();
+        // With all inputs 0: 10 = 1, 11 = 1, 16 = 1, 19 = 1, 22 = 0, 23 = 0.
+        assert_eq!(c.evaluate(&[false; 5]), vec![false, false]);
+        // 1=0,3=0 -> 10=1; 3=0,6=0 -> 11=1; 2=1,11=1 -> 16=0; 22=NAND(1,0)=1.
+        assert_eq!(
+            c.evaluate(&[false, true, false, false, false]),
+            vec![true, true]
+        );
+    }
+
+    #[test]
+    fn roundtrip_write_parse() {
+        let c = parse_bench("c17", C17, DelayInterval::fixed(10)).unwrap();
+        let text = write_bench(&c);
+        let c2 = parse_bench("c17", &text, DelayInterval::fixed(10)).unwrap();
+        assert_eq!(c2.num_gates(), c.num_gates());
+        assert_eq!(c2.inputs().len(), c.inputs().len());
+        for v in 0..32u32 {
+            let vec: Vec<bool> = (0..5).map(|i| (v >> i) & 1 == 1).collect();
+            assert_eq!(c.evaluate(&vec), c2.evaluate(&vec));
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "\n# hello\nINPUT(a)  # trailing\nOUTPUT(y)\ny = NOT(a)\n\n";
+        let c = parse_bench("t", src, DelayInterval::fixed(1)).unwrap();
+        assert_eq!(c.num_gates(), 1);
+    }
+
+    #[test]
+    fn syntax_error_reports_line() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = NOT a\n";
+        match parse_bench("t", src, DelayInterval::fixed(1)) {
+            Err(ParseBenchError::Syntax { line: 3, .. }) => {}
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_gate_reported() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n";
+        match parse_bench("t", src, DelayInterval::fixed(1)) {
+            Err(ParseBenchError::UnknownGate { line: 3, name }) => assert_eq!(name, "FROB"),
+            other => panic!("expected unknown-gate error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn structural_error_propagates() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUFF(a)\n";
+        assert!(matches!(
+            parse_bench("t", src, DelayInterval::fixed(1)),
+            Err(ParseBenchError::Structure(_))
+        ));
+    }
+
+    #[test]
+    fn forward_references_allowed() {
+        let src = "INPUT(a)\nOUTPUT(z)\nz = NOT(y)\ny = NOT(a)\n";
+        let c = parse_bench("t", src, DelayInterval::fixed(1)).unwrap();
+        assert_eq!(c.evaluate(&[true]), vec![true]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Dominator computation on single-source DAGs.
+//!
+//! The paper derives *timing dominators* (Definitions 6 and 9) by building
+//! the reversed carrier circuit Ψ′ — a DAG with one source **S** (the
+//! checked output) and one sink **T** — and taking the vertices that lie on
+//! every S→T path, i.e. the dominators of **T** [Tarjan 1974]. This module
+//! implements the iterative Cooper–Harvey–Kennedy scheme, which needs a
+//! single pass on a DAG processed in topological order.
+
+/// Immediate-dominator table for a single-source DAG.
+///
+/// # Examples
+///
+/// ```
+/// use ltt_netlist::dominators::Dominators;
+///
+/// // 0 → 1 → 3, 0 → 2 → 3, 3 → 4: the diamond merges at 3, so 4's
+/// // dominators are 3 and 0.
+/// let preds = vec![vec![], vec![0], vec![0], vec![1, 2], vec![3]];
+/// let topo = vec![0, 1, 2, 3, 4];
+/// let dom = Dominators::compute(&preds, 0, &topo);
+/// assert_eq!(dom.idom(4), Some(3));
+/// assert_eq!(dom.idom(3), Some(0));
+/// assert!(dom.dominates(3, 4));
+/// assert!(!dom.dominates(1, 4));
+/// assert_eq!(dom.chain(4), vec![4, 3, 0]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Dominators {
+    idom: Vec<Option<usize>>,
+    source: usize,
+}
+
+impl Dominators {
+    /// Computes immediate dominators of every vertex reachable from
+    /// `source`.
+    ///
+    /// * `preds[v]` — the predecessors of vertex `v` (edges point
+    ///   source→sink);
+    /// * `topo` — a topological order of the reachable vertices starting at
+    ///   `source` (unreachable vertices may be omitted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topo` is empty or does not start with `source`.
+    pub fn compute(preds: &[Vec<usize>], source: usize, topo: &[usize]) -> Dominators {
+        assert!(!topo.is_empty() && topo[0] == source, "topo must start at source");
+        let n = preds.len();
+        let mut order = vec![usize::MAX; n];
+        for (i, &v) in topo.iter().enumerate() {
+            order[v] = i;
+        }
+        let mut idom: Vec<Option<usize>> = vec![None; n];
+        idom[source] = Some(source);
+        // One pass in topological order suffices on a DAG: all predecessors
+        // of v are finalized before v.
+        for &v in &topo[1..] {
+            let mut new_idom: Option<usize> = None;
+            for &p in &preds[v] {
+                if idom[p].is_none() {
+                    continue; // unreachable predecessor
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => Self::intersect(&idom, &order, cur, p),
+                });
+            }
+            idom[v] = new_idom;
+        }
+        // The source's self-loop is an implementation detail; expose None.
+        idom[source] = None;
+        Dominators { idom, source }
+    }
+
+    fn intersect(idom: &[Option<usize>], order: &[usize], a: usize, b: usize) -> usize {
+        let (mut a, mut b) = (a, b);
+        while a != b {
+            while order[a] > order[b] {
+                a = idom[a].expect("walk reaches the source");
+            }
+            while order[b] > order[a] {
+                b = idom[b].expect("walk reaches the source");
+            }
+        }
+        a
+    }
+
+    /// The immediate dominator of `v` (`None` for the source and for
+    /// unreachable vertices).
+    pub fn idom(&self, v: usize) -> Option<usize> {
+        if v == self.source {
+            None
+        } else {
+            self.idom[v]
+        }
+    }
+
+    /// Whether `v` was reachable from the source.
+    pub fn is_reachable(&self, v: usize) -> bool {
+        v == self.source || self.idom[v].is_some()
+    }
+
+    /// Whether `a` dominates `b` (reflexive: every vertex dominates
+    /// itself).
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        if !self.is_reachable(b) {
+            return false;
+        }
+        let mut v = b;
+        loop {
+            if v == a {
+                return true;
+            }
+            match self.idom(v) {
+                Some(next) => v = next,
+                None => return v == a,
+            }
+        }
+    }
+
+    /// The dominator chain of `v`, from `v` itself up to the source.
+    /// Empty if `v` is unreachable.
+    pub fn chain(&self, v: usize) -> Vec<usize> {
+        if !self.is_reachable(v) {
+            return Vec::new();
+        }
+        let mut out = vec![v];
+        let mut cur = v;
+        while let Some(next) = self.idom(cur) {
+            out.push(next);
+            cur = next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_chain() {
+        // 0 → 1 → 2 → 3
+        let preds = vec![vec![], vec![0], vec![1], vec![2]];
+        let dom = Dominators::compute(&preds, 0, &[0, 1, 2, 3]);
+        assert_eq!(dom.idom(3), Some(2));
+        assert_eq!(dom.chain(3), vec![3, 2, 1, 0]);
+        assert!(dom.dominates(1, 3));
+        assert!(dom.dominates(3, 3));
+    }
+
+    #[test]
+    fn diamond_merges_at_join() {
+        // 0 → {1, 2} → 3
+        let preds = vec![vec![], vec![0], vec![0], vec![1, 2]];
+        let dom = Dominators::compute(&preds, 0, &[0, 2, 1, 3]);
+        assert_eq!(dom.idom(3), Some(0));
+        assert!(!dom.dominates(1, 3));
+        assert!(!dom.dominates(2, 3));
+        assert!(dom.dominates(0, 3));
+    }
+
+    #[test]
+    fn nested_diamonds() {
+        // 0 → {1,2} → 3 → {4,5} → 6
+        let preds = vec![
+            vec![],
+            vec![0],
+            vec![0],
+            vec![1, 2],
+            vec![3],
+            vec![3],
+            vec![4, 5],
+        ];
+        let dom = Dominators::compute(&preds, 0, &[0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(dom.chain(6), vec![6, 3, 0]);
+    }
+
+    #[test]
+    fn unreachable_vertices_have_no_dominators() {
+        // 2 is disconnected.
+        let preds = vec![vec![], vec![0], vec![]];
+        let dom = Dominators::compute(&preds, 0, &[0, 1]);
+        assert!(!dom.is_reachable(2));
+        assert_eq!(dom.idom(2), None);
+        assert!(dom.chain(2).is_empty());
+        assert!(!dom.dominates(0, 2));
+    }
+
+    #[test]
+    fn skip_edge_reduces_dominators() {
+        // 0 → 1 → 2 → 3 plus skip 0 → 3: only 0 dominates 3.
+        let preds = vec![vec![], vec![0], vec![1], vec![2, 0]];
+        let dom = Dominators::compute(&preds, 0, &[0, 1, 2, 3]);
+        assert_eq!(dom.chain(3), vec![3, 0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn topo_must_start_at_source() {
+        let preds = vec![vec![], vec![0]];
+        let _ = Dominators::compute(&preds, 0, &[1, 0]);
+    }
+}

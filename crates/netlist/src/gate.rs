@@ -1,0 +1,341 @@
+//! Gate kinds and their Boolean/timing properties.
+//!
+//! The paper's circuit model (§2) admits the gate library
+//! AND, NAND, OR, NOR, NOT, BUFFER, DELAY, XOR, XNOR, with per-gate delay
+//! intervals `[d_min, d_max]` (only `d_max` participates in the max
+//! floating-mode delay calculation).
+
+use std::fmt;
+
+/// The combinational gate library of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use ltt_netlist::GateKind;
+///
+/// assert_eq!(GateKind::Nand.eval(&[true, true]), false);
+/// assert_eq!(GateKind::Nand.controlling_value(), Some(false));
+/// assert!(GateKind::Xor.controlling_value().is_none());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum GateKind {
+    /// Logical conjunction (n-ary).
+    And,
+    /// Negated conjunction (n-ary).
+    Nand,
+    /// Logical disjunction (n-ary).
+    Or,
+    /// Negated disjunction (n-ary).
+    Nor,
+    /// Inverter (unary).
+    Not,
+    /// Non-inverting buffer (unary).
+    Buffer,
+    /// Pure delay element (unary, logically a buffer); the paper uses DELAY
+    /// elements to carry path delays.
+    Delay,
+    /// Exclusive or (binary).
+    Xor,
+    /// Exclusive nor (binary).
+    Xnor,
+    /// 2:1 multiplexer `MUX(sel, a, b) = sel ? b : a` (ternary) — the
+    /// "complex gate" constraint model the paper's conclusion announces.
+    Mux,
+}
+
+impl GateKind {
+    /// All gate kinds (handy for exhaustive tests).
+    pub const ALL: [GateKind; 10] = [
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Not,
+        GateKind::Buffer,
+        GateKind::Delay,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Mux,
+    ];
+
+    /// Evaluates the Boolean function on concrete input values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of inputs is invalid for this kind (see
+    /// [`GateKind::arity_ok`]).
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert!(
+            self.arity_ok(inputs.len()),
+            "{self} gate cannot take {} inputs",
+            inputs.len()
+        );
+        match self {
+            GateKind::And => inputs.iter().all(|&b| b),
+            GateKind::Nand => !inputs.iter().all(|&b| b),
+            GateKind::Or => inputs.iter().any(|&b| b),
+            GateKind::Nor => !inputs.iter().any(|&b| b),
+            GateKind::Not => !inputs[0],
+            GateKind::Buffer | GateKind::Delay => inputs[0],
+            GateKind::Xor => inputs.iter().fold(false, |acc, &b| acc ^ b),
+            GateKind::Xnor => !inputs.iter().fold(false, |acc, &b| acc ^ b),
+            GateKind::Mux => {
+                if inputs[0] {
+                    inputs[2]
+                } else {
+                    inputs[1]
+                }
+            }
+        }
+    }
+
+    /// The *controlling value*: an input at this value uniquely determines
+    /// the output (Definition in §2). `None` for XOR/XNOR and the unary
+    /// kinds, which have no controlling value.
+    pub fn controlling_value(self) -> Option<bool> {
+        match self {
+            GateKind::And | GateKind::Nand => Some(false),
+            GateKind::Or | GateKind::Nor => Some(true),
+            GateKind::Not
+            | GateKind::Buffer
+            | GateKind::Delay
+            | GateKind::Xor
+            | GateKind::Xnor
+            | GateKind::Mux => None,
+        }
+    }
+
+    /// The output value produced when some input is at the controlling
+    /// value, or `None` if the kind has no controlling value.
+    pub fn controlled_output(self) -> Option<bool> {
+        match self {
+            GateKind::And => Some(false),
+            GateKind::Nand => Some(true),
+            GateKind::Or => Some(true),
+            GateKind::Nor => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Whether the gate inverts its inputs' parity (output when all inputs
+    /// are non-controlling, for the AND/OR families; logical inversion for
+    /// the unary kinds and the XOR family's constant term).
+    pub fn inverts(self) -> bool {
+        matches!(
+            self,
+            GateKind::Nand | GateKind::Nor | GateKind::Not | GateKind::Xnor
+        )
+    }
+
+    /// Whether `n` inputs is a valid arity for this kind: unary kinds take
+    /// exactly 1, XOR/XNOR at least 2, MUX exactly 3, AND/OR families at
+    /// least 1.
+    pub fn arity_ok(self, n: usize) -> bool {
+        match self {
+            GateKind::Not | GateKind::Buffer | GateKind::Delay => n == 1,
+            GateKind::Xor | GateKind::Xnor => n >= 2,
+            GateKind::Mux => n == 3,
+            GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => n >= 1,
+        }
+    }
+
+    /// Whether the Boolean function is symmetric in its inputs (everything
+    /// in this library except the multiplexer).
+    pub fn is_symmetric(self) -> bool {
+        self != GateKind::Mux
+    }
+
+    /// Parses a gate-kind name as used by the ISCAS `.bench` format
+    /// (case-insensitive; `BUF`/`BUFF` are accepted for [`GateKind::Buffer`]).
+    pub fn parse_name(name: &str) -> Option<GateKind> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "AND" => GateKind::And,
+            "NAND" => GateKind::Nand,
+            "OR" => GateKind::Or,
+            "NOR" => GateKind::Nor,
+            "NOT" | "INV" => GateKind::Not,
+            "BUF" | "BUFF" | "BUFFER" => GateKind::Buffer,
+            "DELAY" | "DEL" => GateKind::Delay,
+            "XOR" => GateKind::Xor,
+            "XNOR" => GateKind::Xnor,
+            "MUX" => GateKind::Mux,
+            _ => return None,
+        })
+    }
+
+    /// The canonical upper-case name (as written by the `.bench` writer).
+    pub fn name(self) -> &'static str {
+        match self {
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Not => "NOT",
+            GateKind::Buffer => "BUFF",
+            GateKind::Delay => "DELAY",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Mux => "MUX",
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A per-gate delay interval `[d_min, d_max]` (§2). Only `d_max` is used by
+/// the max floating-mode delay calculation, but both bounds are carried for
+/// completeness (min-delay / correlation analyses).
+///
+/// # Examples
+///
+/// ```
+/// use ltt_netlist::DelayInterval;
+///
+/// let d = DelayInterval::fixed(10);
+/// assert_eq!(d.max(), 10);
+/// assert_eq!(d.min(), 10);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct DelayInterval {
+    min: u32,
+    max: u32,
+}
+
+impl DelayInterval {
+    /// Zero delay.
+    pub const ZERO: DelayInterval = DelayInterval { min: 0, max: 0 };
+
+    /// A fixed (point) delay `[d, d]`.
+    pub fn fixed(d: u32) -> Self {
+        DelayInterval { min: d, max: d }
+    }
+
+    /// A delay interval `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn new(min: u32, max: u32) -> Self {
+        assert!(min <= max, "delay interval must satisfy min <= max");
+        DelayInterval { min, max }
+    }
+
+    /// Lower delay bound.
+    pub fn min(self) -> u32 {
+        self.min
+    }
+
+    /// Upper delay bound (the one driving max floating-mode delay).
+    pub fn max(self) -> u32 {
+        self.max
+    }
+}
+
+impl fmt::Display for DelayInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.min == self.max {
+            write!(f, "{}", self.max)
+        } else {
+            write!(f, "[{}, {}]", self.min, self.max)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_matches_truth_tables() {
+        assert!(GateKind::And.eval(&[true, true, true]));
+        assert!(!GateKind::And.eval(&[true, false, true]));
+        assert!(!GateKind::Nand.eval(&[true, true]));
+        assert!(GateKind::Nand.eval(&[true, false]));
+        assert!(GateKind::Or.eval(&[false, true]));
+        assert!(!GateKind::Or.eval(&[false, false]));
+        assert!(GateKind::Nor.eval(&[false, false]));
+        assert!(!GateKind::Nor.eval(&[false, true]));
+        assert!(GateKind::Not.eval(&[false]));
+        assert!(GateKind::Buffer.eval(&[true]));
+        assert!(GateKind::Delay.eval(&[true]));
+        assert!(GateKind::Xor.eval(&[true, false]));
+        assert!(!GateKind::Xor.eval(&[true, true]));
+        assert!(GateKind::Xnor.eval(&[true, true]));
+        assert!(GateKind::Xor.eval(&[true, true, true])); // odd parity
+    }
+
+    #[test]
+    fn controlling_values() {
+        assert_eq!(GateKind::And.controlling_value(), Some(false));
+        assert_eq!(GateKind::Nand.controlling_value(), Some(false));
+        assert_eq!(GateKind::Or.controlling_value(), Some(true));
+        assert_eq!(GateKind::Nor.controlling_value(), Some(true));
+        assert_eq!(GateKind::Xor.controlling_value(), None);
+        assert_eq!(GateKind::Not.controlling_value(), None);
+    }
+
+    #[test]
+    fn controlling_value_determines_output() {
+        for kind in [GateKind::And, GateKind::Nand, GateKind::Or, GateKind::Nor] {
+            let c = kind.controlling_value().unwrap();
+            let out = kind.controlled_output().unwrap();
+            // Whatever the other input, a controlling input forces the output.
+            for other in [false, true] {
+                assert_eq!(kind.eval(&[c, other]), out);
+                assert_eq!(kind.eval(&[other, c]), out);
+            }
+        }
+    }
+
+    #[test]
+    fn arity_rules() {
+        assert!(GateKind::Not.arity_ok(1));
+        assert!(!GateKind::Not.arity_ok(2));
+        assert!(GateKind::Xor.arity_ok(2));
+        assert!(!GateKind::Xor.arity_ok(1));
+        assert!(GateKind::And.arity_ok(1));
+        assert!(GateKind::And.arity_ok(9));
+    }
+
+    #[test]
+    fn mux_semantics() {
+        assert!(!GateKind::Mux.eval(&[false, false, true])); // sel=0 picks a
+        assert!(GateKind::Mux.eval(&[false, true, false]));
+        assert!(!GateKind::Mux.eval(&[true, true, false])); // sel=1 picks b
+        assert!(GateKind::Mux.eval(&[true, false, true]));
+        assert!(GateKind::Mux.arity_ok(3));
+        assert!(!GateKind::Mux.arity_ok(2));
+        assert!(!GateKind::Mux.is_symmetric());
+        assert_eq!(GateKind::Mux.controlling_value(), None);
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for kind in GateKind::ALL {
+            assert_eq!(GateKind::parse_name(kind.name()), Some(kind));
+        }
+        assert_eq!(GateKind::parse_name("buf"), Some(GateKind::Buffer));
+        assert_eq!(GateKind::parse_name("inv"), Some(GateKind::Not));
+        assert_eq!(GateKind::parse_name("mystery"), None);
+    }
+
+    #[test]
+    fn delay_interval_constructors() {
+        assert_eq!(DelayInterval::fixed(7).min(), 7);
+        assert_eq!(DelayInterval::new(3, 9).max(), 9);
+        assert_eq!(DelayInterval::ZERO.max(), 0);
+        assert_eq!(DelayInterval::fixed(5).to_string(), "5");
+        assert_eq!(DelayInterval::new(1, 2).to_string(), "[1, 2]");
+    }
+
+    #[test]
+    #[should_panic]
+    fn delay_interval_rejects_inverted() {
+        let _ = DelayInterval::new(5, 3);
+    }
+}

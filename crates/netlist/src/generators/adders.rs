@@ -1,0 +1,207 @@
+//! Adder generators: ripple-carry and carry-skip.
+//!
+//! The carry-skip adder is the paper's second running example (Figures 2
+//! and 3 and §6): its full ripple path is topologically longest but false —
+//! rippling a carry across a block requires every propagate signal in the
+//! block to be 1, which forces the skip multiplexer to select the (fast)
+//! skip path instead. The paper's 16-bit instance has a topological delay
+//! of 2000 and a floating-mode delay of 1000.
+
+use crate::{Circuit, CircuitBuilder, DelayInterval, GateKind, NetId};
+
+/// Generates a `width`-bit ripple-carry adder with per-gate delay `delay`.
+///
+/// Inputs: `a0…a{w−1}`, `b0…b{w−1}`, `cin`; outputs: `s0…s{w−1}`, `cout`.
+/// The carry chain `c_{i+1} = g_i ∨ (p_i ∧ c_i)` is the classical
+/// structure; its longest path is *true* (fully sensitizable), so the
+/// ripple-carry adder serves as a no-false-path control circuit.
+///
+/// # Panics
+///
+/// Panics if `width` is 0.
+///
+/// # Examples
+///
+/// ```
+/// use ltt_netlist::generators::ripple_carry_adder;
+///
+/// let c = ripple_carry_adder(4, 10);
+/// assert_eq!(c.inputs().len(), 9); // 4 + 4 + cin
+/// assert_eq!(c.outputs().len(), 5); // 4 sums + cout
+/// ```
+pub fn ripple_carry_adder(width: usize, delay: u32) -> Circuit {
+    assert!(width > 0, "adder width must be positive");
+    let d = DelayInterval::fixed(delay);
+    let mut b = CircuitBuilder::new(format!("rca{width}"));
+    let a: Vec<NetId> = (0..width).map(|i| b.input(format!("a{i}"))).collect();
+    let bb: Vec<NetId> = (0..width).map(|i| b.input(format!("b{i}"))).collect();
+    let mut carry = b.input("cin");
+    for i in 0..width {
+        let p = b.gate(format!("p{i}"), GateKind::Xor, &[a[i], bb[i]], d);
+        let g = b.gate(format!("g{i}"), GateKind::And, &[a[i], bb[i]], d);
+        let s = b.gate(format!("s{i}"), GateKind::Xor, &[p, carry], d);
+        b.mark_output(s);
+        let t = b.gate(format!("t{i}"), GateKind::And, &[p, carry], d);
+        carry = b.gate(format!("c{}", i + 1), GateKind::Or, &[g, t], d);
+    }
+    let cout = b.gate("cout", GateKind::Buffer, &[carry], d);
+    b.mark_output(cout);
+    b.build().expect("ripple-carry adder is structurally valid")
+}
+
+/// Generates a `width`-bit carry-skip adder with ripple blocks of
+/// `block_size` bits and per-gate delay `delay` (paper Figure 2).
+///
+/// Each block ripples internally; a block-propagate signal
+/// `P = p_lo ∧ … ∧ p_hi` drives a 2-level multiplexer
+/// `c_out = (P ∧ c_in) ∨ (¬P ∧ ripple_out)` that skips the block whenever
+/// every bit propagates. The full inter-block ripple path is therefore
+/// topologically present but statically false, and the floating-mode delay
+/// is roughly *ripple through the first block + one skip per middle block +
+/// ripple through the last block* — about half the topological delay at the
+/// paper's 16-bit/4-block operating point.
+///
+/// # Panics
+///
+/// Panics if `width` is 0, `block_size` is 0, or `block_size` does not
+/// divide `width`.
+///
+/// # Examples
+///
+/// ```
+/// use ltt_netlist::generators::carry_skip_adder;
+///
+/// let c = carry_skip_adder(16, 4, 50);
+/// assert!(c.topological_delay() > 1500);
+/// ```
+pub fn carry_skip_adder(width: usize, block_size: usize, delay: u32) -> Circuit {
+    assert!(width > 0 && block_size > 0, "width and block size must be positive");
+    assert!(
+        width.is_multiple_of(block_size),
+        "block size must divide the adder width"
+    );
+    let d = DelayInterval::fixed(delay);
+    let mut b = CircuitBuilder::new(format!("csa{width}x{block_size}"));
+    let a: Vec<NetId> = (0..width).map(|i| b.input(format!("a{i}"))).collect();
+    let bb: Vec<NetId> = (0..width).map(|i| b.input(format!("b{i}"))).collect();
+    let mut block_cin = b.input("cin");
+
+    for blk in 0..width / block_size {
+        let lo = blk * block_size;
+        let hi = lo + block_size;
+        let mut carry = block_cin;
+        let mut props = Vec::with_capacity(block_size);
+        for i in lo..hi {
+            let p = b.gate(format!("p{i}"), GateKind::Xor, &[a[i], bb[i]], d);
+            let g = b.gate(format!("g{i}"), GateKind::And, &[a[i], bb[i]], d);
+            let s = b.gate(format!("s{i}"), GateKind::Xor, &[p, carry], d);
+            b.mark_output(s);
+            let t = b.gate(format!("t{i}"), GateKind::And, &[p, carry], d);
+            carry = b.gate(format!("c{}", i + 1), GateKind::Or, &[g, t], d);
+            props.push(p);
+        }
+        // Block propagate and the skip multiplexer.
+        let big_p = b.gate(format!("P{blk}"), GateKind::And, &props, d);
+        let not_p = b.gate(format!("NP{blk}"), GateKind::Not, &[big_p], d);
+        let skip = b.gate(format!("skip{blk}"), GateKind::And, &[big_p, block_cin], d);
+        let keep = b.gate(format!("keep{blk}"), GateKind::And, &[not_p, carry], d);
+        block_cin = b.gate(format!("C{}", blk + 1), GateKind::Or, &[skip, keep], d);
+    }
+    let cout = b.gate("cout", GateKind::Buffer, &[block_cin], d);
+    b.mark_output(cout);
+    b.build().expect("carry-skip adder is structurally valid")
+}
+
+/// Interprets primary-output values of an adder generated by this module as
+/// the numeric sum (LSB-first sums, then `cout`).
+pub fn adder_sum(outputs: &[bool]) -> u64 {
+    outputs
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &bit)| acc | (u64::from(bit) << i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add_via(circuit: &Circuit, width: usize, a: u64, b: u64, cin: bool) -> u64 {
+        let mut v = Vec::with_capacity(2 * width + 1);
+        for i in 0..width {
+            v.push((a >> i) & 1 == 1);
+        }
+        for i in 0..width {
+            v.push((b >> i) & 1 == 1);
+        }
+        v.push(cin);
+        adder_sum(&circuit.evaluate(&v))
+    }
+
+    #[test]
+    fn ripple_carry_adds_correctly() {
+        let c = ripple_carry_adder(4, 10);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                for cin in [false, true] {
+                    assert_eq!(add_via(&c, 4, a, b, cin), a + b + u64::from(cin));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn carry_skip_adds_correctly() {
+        let c = carry_skip_adder(8, 4, 10);
+        for (a, b, cin) in [
+            (0u64, 0u64, false),
+            (255, 255, true),
+            (170, 85, false),
+            (15, 1, false), // carry out of the first block
+            (0b00001111, 0b00000001, true),
+            (200, 100, true),
+            (128, 128, false),
+        ] {
+            assert_eq!(add_via(&c, 8, a, b, cin), a + b + u64::from(cin));
+        }
+    }
+
+    #[test]
+    fn carry_skip_exhaustive_small() {
+        let c = carry_skip_adder(4, 2, 10);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                for cin in [false, true] {
+                    assert_eq!(add_via(&c, 4, a, b, cin), a + b + u64::from(cin));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_operating_point_topological_delay() {
+        // 16-bit, 4-bit blocks, delay 50: the ripple path runs
+        // xor/and + (and, or) per bit + the mux per block.
+        let c = carry_skip_adder(16, 4, 50);
+        let top = c.topological_delay();
+        // Per block: 8 ripple levels + 2 mux levels = 10; 4 blocks = 40
+        // levels + p/s logic ⇒ 2000-ish at delay 50.
+        assert!((1900..=2200).contains(&top), "top = {top}");
+    }
+
+    #[test]
+    fn skip_is_topologically_shorter_than_ripple() {
+        let c = carry_skip_adder(8, 4, 10);
+        let cin = c.net_by_name("cin").unwrap();
+        let c1 = c.net_by_name("C1").unwrap();
+        let skip_path = c.top_between(cin, c1).unwrap();
+        // The longest cin→C1 path is the in-block ripple (through t0…t3),
+        // not the 2-level skip.
+        assert!(skip_path >= 10 * (2 * 4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn carry_skip_rejects_non_dividing_block() {
+        let _ = carry_skip_adder(10, 4, 10);
+    }
+}

@@ -1,0 +1,26 @@
+//! Circuit generators: the paper's example circuits, classic arithmetic
+//! structures, and random DAGs.
+//!
+//! * [`figure1`] / [`false_path_chain`] — the paper's Figure 1 false-path
+//!   circuit and its generalization with a tunable delay gap;
+//! * [`ripple_carry_adder`] / [`carry_skip_adder`] — Figure 2's carry-skip
+//!   adder (false ripple path) and the ripple-carry control;
+//! * [`array_multiplier`] — the c6288-style array multiplier;
+//! * [`parity_tree`] / [`cascade`] / [`reduce_tree`] — true-path control
+//!   structures;
+//! * [`random_circuit`] — seeded pseudo-random DAGs.
+
+mod adders;
+mod false_path;
+mod multiplier;
+mod random_dag;
+mod trees;
+
+pub use adders::{adder_sum, carry_skip_adder, ripple_carry_adder};
+pub use false_path::{
+    false_path_chain, figure1, forked_false_path_chain, shared_select_mux_chain,
+    stem_conflict_circuit,
+};
+pub use multiplier::array_multiplier;
+pub use random_dag::{random_circuit, RandomCircuitConfig};
+pub use trees::{cascade, parity_tree, reduce_tree};

@@ -1,0 +1,167 @@
+//! Array multiplier generator (the c6288 stand-in substrate).
+//!
+//! ISCAS'85 c6288 is a 16×16 array multiplier; its carry-save array has
+//! enormous reconvergent fanout and is the traditional stress test for
+//! false-path analysis (the paper abandons exact case analysis on it after
+//! an excessive number of backtracks and reports only an upper bound).
+//! This generator produces the classical AND-array + ripple-carry-array
+//! structure from the same gate library.
+
+use crate::{Circuit, CircuitBuilder, DelayInterval, GateKind, NetId};
+
+/// Generates an `n × n` array multiplier with per-gate delay `delay`.
+///
+/// Inputs `a0…a{n−1}`, `b0…b{n−1}`; outputs `m0…m{2n−1}` (LSB first).
+/// Built from an AND partial-product array reduced by rows of half/full
+/// adders (2 XOR, 2 AND, 1 OR per full adder), exactly representable in the
+/// paper's gate library.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use ltt_netlist::generators::array_multiplier;
+///
+/// let c = array_multiplier(4, 10);
+/// assert_eq!(c.inputs().len(), 8);
+/// assert_eq!(c.outputs().len(), 8);
+/// ```
+pub fn array_multiplier(n: usize, delay: u32) -> Circuit {
+    assert!(n >= 2, "multiplier width must be at least 2");
+    let d = DelayInterval::fixed(delay);
+    let mut b = CircuitBuilder::new(format!("mul{n}x{n}"));
+    let a: Vec<NetId> = (0..n).map(|i| b.input(format!("a{i}"))).collect();
+    let bb: Vec<NetId> = (0..n).map(|i| b.input(format!("b{i}"))).collect();
+
+    // Partial products pp[i][j] = a_j ∧ b_i, weight i + j.
+    let mut pp = vec![vec![NetId::from_index(0); n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            pp[i][j] = b.gate(format!("pp_{i}_{j}"), GateKind::And, &[a[j], bb[i]], d);
+        }
+    }
+
+    let mut fa = 0usize;
+    let mut full_adder = |b: &mut CircuitBuilder, x: NetId, y: NetId, z: NetId| {
+        fa += 1;
+        let t = b.gate(format!("fa{fa}_t"), GateKind::Xor, &[x, y], d);
+        let s = b.gate(format!("fa{fa}_s"), GateKind::Xor, &[t, z], d);
+        let c1 = b.gate(format!("fa{fa}_c1"), GateKind::And, &[x, y], d);
+        let c2 = b.gate(format!("fa{fa}_c2"), GateKind::And, &[t, z], d);
+        let c = b.gate(format!("fa{fa}_c"), GateKind::Or, &[c1, c2], d);
+        (s, c)
+    };
+    let mut ha = 0usize;
+    let mut half_adder = |b: &mut CircuitBuilder, x: NetId, y: NetId| {
+        ha += 1;
+        let s = b.gate(format!("ha{ha}_s"), GateKind::Xor, &[x, y], d);
+        let c = b.gate(format!("ha{ha}_c"), GateKind::And, &[x, y], d);
+        (s, c)
+    };
+
+    // Row-by-row carry-propagate reduction: running sum row accumulates
+    // each partial-product row.
+    let row0 = pp[0].clone(); // weights 0..n−1 of row 0
+    let mut outputs: Vec<NetId> = vec![row0[0]]; // m0
+    let mut high: Vec<NetId> = row0[1..].to_vec(); // weights 1..n−1 pending
+
+    for row in pp.iter().skip(1) {
+        // Add `row` (weights i..i+n-1, here aligned at offset 0 against
+        // `high`) to the pending `high` bits.
+        let mut next = Vec::with_capacity(n + 1);
+        let mut carry: Option<NetId> = None;
+        for (j, &p) in row.iter().enumerate() {
+            let base = if j < high.len() { Some(high[j]) } else { None };
+            let (s, c) = match (base, carry) {
+                (Some(x), Some(cin)) => {
+                    let (s, c) = full_adder(&mut b, x, p, cin);
+                    (s, Some(c))
+                }
+                (Some(x), None) => {
+                    let (s, c) = half_adder(&mut b, x, p);
+                    (s, Some(c))
+                }
+                (None, Some(cin)) => {
+                    let (s, c) = half_adder(&mut b, p, cin);
+                    (s, Some(c))
+                }
+                (None, None) => (p, None),
+            };
+            next.push(s);
+            carry = c;
+        }
+        if let Some(c) = carry {
+            next.push(c);
+        }
+        outputs.push(next[0]); // weight i settled
+        high = next[1..].to_vec();
+    }
+    // Remaining high bits are the top product bits.
+    outputs.extend(high);
+    // Pad (a half/full adder chain always yields exactly 2n bits; assert).
+    assert_eq!(outputs.len(), 2 * n, "product must have 2n bits");
+    for (k, &o) in outputs.iter().enumerate() {
+        // Buffer each output so outputs have distinct named nets.
+        let m = b.gate(format!("m{k}"), GateKind::Buffer, &[o], d);
+        b.mark_output(m);
+    }
+    b.build().expect("array multiplier is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mul_via(c: &Circuit, n: usize, a: u64, b: u64) -> u64 {
+        let mut v = Vec::with_capacity(2 * n);
+        for i in 0..n {
+            v.push((a >> i) & 1 == 1);
+        }
+        for i in 0..n {
+            v.push((b >> i) & 1 == 1);
+        }
+        c.evaluate(&v)
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &bit)| acc | (u64::from(bit) << i))
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+    fn multiplies_exhaustively_4x4() {
+        let c = array_multiplier(4, 10);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                assert_eq!(mul_via(&c, 4, a, b), a * b, "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplies_spot_checks_8x8() {
+        let c = array_multiplier(8, 10);
+        for (a, b) in [(0u64, 0u64), (255, 255), (17, 13), (128, 2), (99, 201)] {
+            assert_eq!(mul_via(&c, 8, a, b), a * b);
+        }
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+    fn gate_count_scales_quadratically() {
+        let c4 = array_multiplier(4, 10);
+        let c8 = array_multiplier(8, 10);
+        assert!(c8.num_gates() > 3 * c4.num_gates());
+        // 16×16 lands in the c6288 ballpark (c6288 has 2406 gates).
+        let c16 = array_multiplier(16, 10);
+        assert!((1200..4000).contains(&c16.num_gates()), "{}", c16.num_gates());
+    }
+
+    #[test]
+    fn array_has_heavy_reconvergence() {
+        let c = array_multiplier(6, 10);
+        assert!(c.num_fanout_stems() > 20);
+    }
+}

@@ -1,0 +1,200 @@
+//! Seeded random circuit generator.
+//!
+//! Produces deterministic pseudo-random combinational DAGs with a target
+//! gate count and depth profile — the "filler" logic of the synthetic
+//! ISCAS'85 stand-ins and the workload for the micro benchmarks.
+
+use crate::{Circuit, CircuitBuilder, DelayInterval, GateKind, NetId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`random_circuit`].
+#[derive(Clone, Debug)]
+pub struct RandomCircuitConfig {
+    /// Number of primary inputs.
+    pub num_inputs: usize,
+    /// Number of gates to generate.
+    pub num_gates: usize,
+    /// Maximum gate fan-in (≥ 2).
+    pub max_fanin: usize,
+    /// Per-gate delay.
+    pub delay: u32,
+    /// Number of primary outputs to mark (drawn from the deepest nets).
+    pub num_outputs: usize,
+    /// Bias towards recent nets when picking gate inputs (0 = uniform,
+    /// larger values produce deeper, chain-like circuits).
+    pub depth_bias: u32,
+    /// RNG seed (generation is fully deterministic given the config).
+    pub seed: u64,
+}
+
+impl Default for RandomCircuitConfig {
+    fn default() -> Self {
+        RandomCircuitConfig {
+            num_inputs: 16,
+            num_gates: 100,
+            max_fanin: 3,
+            delay: 10,
+            num_outputs: 4,
+            depth_bias: 4,
+            seed: 0xD1CE,
+        }
+    }
+}
+
+/// Generates a deterministic pseudo-random combinational circuit.
+///
+/// Gates are drawn from the full library (with XOR/XNOR kept binary and a
+/// small share of inverters/buffers); inputs of each gate are picked from
+/// the already-created nets with a recency bias controlled by
+/// [`RandomCircuitConfig::depth_bias`], which keeps the DAG connected and
+/// gives it depth. The resulting circuit is validated like any built
+/// circuit.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (no inputs, no gates, fan-in
+/// below 2, or no outputs requested).
+///
+/// # Examples
+///
+/// ```
+/// use ltt_netlist::generators::{random_circuit, RandomCircuitConfig};
+///
+/// let c = random_circuit(&RandomCircuitConfig { num_gates: 50, ..Default::default() });
+/// assert_eq!(c.num_gates(), 50);
+/// // Deterministic: same config, same circuit.
+/// let c2 = random_circuit(&RandomCircuitConfig { num_gates: 50, ..Default::default() });
+/// assert_eq!(c.topological_delay(), c2.topological_delay());
+/// ```
+pub fn random_circuit(config: &RandomCircuitConfig) -> Circuit {
+    assert!(config.num_inputs > 0, "need at least one input");
+    assert!(config.num_gates > 0, "need at least one gate");
+    assert!(config.max_fanin >= 2, "max fan-in must be at least 2");
+    assert!(config.num_outputs > 0, "need at least one output");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let d = DelayInterval::fixed(config.delay);
+    let mut b = CircuitBuilder::new(format!("rand_{}", config.seed));
+    let mut nets: Vec<NetId> = (0..config.num_inputs)
+        .map(|i| b.input(format!("x{i}")))
+        .collect();
+
+    for g in 0..config.num_gates {
+        let kind = match rng.gen_range(0..11) {
+            0 => GateKind::And,
+            1 => GateKind::Nand,
+            2 => GateKind::Or,
+            3 => GateKind::Nor,
+            4 => GateKind::Xor,
+            5 => GateKind::Xnor,
+            6 => GateKind::Not,
+            7 => GateKind::Nand,
+            8 => GateKind::Nor,
+            9 => GateKind::Mux,
+            _ => GateKind::And,
+        };
+        let fanin = match kind {
+            GateKind::Not => 1,
+            GateKind::Xor | GateKind::Xnor => 2,
+            GateKind::Mux => 3,
+            _ => rng.gen_range(2..=config.max_fanin),
+        };
+        let mut inputs = Vec::with_capacity(fanin);
+        for _ in 0..fanin {
+            // Recency-biased pick: repeatedly shrink the candidate window.
+            let mut lo = 0usize;
+            for _ in 0..config.depth_bias {
+                if rng.gen_bool(0.5) {
+                    lo = (lo + nets.len()) / 2;
+                }
+            }
+            let pick = nets[rng.gen_range(lo..nets.len())];
+            if !inputs.contains(&pick) || kind == GateKind::Not {
+                inputs.push(pick);
+            } else {
+                // Avoid duplicate fan-in; fall back to a uniform pick.
+                inputs.push(nets[rng.gen_range(0..nets.len())]);
+            }
+        }
+        inputs.dedup();
+        let kind = if kind.arity_ok(inputs.len()) {
+            kind
+        } else if inputs.len() == 1 {
+            GateKind::Buffer
+        } else {
+            GateKind::Nand
+        };
+        let out = b.gate(format!("g{g}"), kind, &inputs, d);
+        nets.push(out);
+    }
+
+    // Mark the deepest nets (latest created, which tend to be deepest) plus
+    // any net with no readers as outputs, up to the requested count.
+    let count = config.num_outputs.min(config.num_gates);
+    let start = nets.len() - count;
+    for &n in &nets[start..] {
+        b.mark_output(n);
+    }
+    b.build().expect("random circuit is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = RandomCircuitConfig::default();
+        let a = random_circuit(&cfg);
+        let b = random_circuit(&cfg);
+        assert_eq!(a.num_gates(), b.num_gates());
+        assert_eq!(a.topological_delay(), b.topological_delay());
+        let v = vec![true; cfg.num_inputs];
+        assert_eq!(a.evaluate(&v), b.evaluate(&v));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_circuit(&RandomCircuitConfig {
+            seed: 1,
+            ..Default::default()
+        });
+        let b = random_circuit(&RandomCircuitConfig {
+            seed: 2,
+            ..Default::default()
+        });
+        // Extremely likely to differ in structure-derived delay.
+        assert!(
+            a.topological_delay() != b.topological_delay()
+                || a.evaluate(&[true; 16]) != b.evaluate(&[true; 16])
+        );
+    }
+
+    #[test]
+    fn respects_gate_count_and_outputs() {
+        let c = random_circuit(&RandomCircuitConfig {
+            num_gates: 37,
+            num_outputs: 5,
+            ..Default::default()
+        });
+        assert_eq!(c.num_gates(), 37);
+        assert_eq!(c.outputs().len(), 5);
+    }
+
+    #[test]
+    fn depth_bias_produces_deeper_circuits() {
+        let shallow = random_circuit(&RandomCircuitConfig {
+            depth_bias: 0,
+            num_gates: 300,
+            seed: 7,
+            ..Default::default()
+        });
+        let deep = random_circuit(&RandomCircuitConfig {
+            depth_bias: 8,
+            num_gates: 300,
+            seed: 7,
+            ..Default::default()
+        });
+        assert!(deep.depth() > shallow.depth());
+    }
+}

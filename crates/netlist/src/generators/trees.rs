@@ -1,0 +1,145 @@
+//! Balanced tree and cascade generators: parity (XOR) trees, AND/OR
+//! reduction trees, and gate cascades.
+//!
+//! XOR trees are the computational core of the ISCAS'85 error-correcting
+//! circuits (c499/c1355); their longest paths are true, which makes them
+//! good control circuits (exact floating delay = topological delay).
+
+use crate::{Circuit, CircuitBuilder, DelayInterval, GateKind, NetId};
+
+/// Builds a balanced binary reduction tree over `leaves` inside `builder`,
+/// using `kind` (must be a 2-input-capable kind) and per-gate delay
+/// `delay`; returns the root net.
+///
+/// # Panics
+///
+/// Panics if `leaves` is empty.
+pub fn reduce_tree(
+    builder: &mut CircuitBuilder,
+    prefix: &str,
+    kind: GateKind,
+    leaves: &[NetId],
+    delay: u32,
+) -> NetId {
+    assert!(!leaves.is_empty(), "tree needs at least one leaf");
+    let d = DelayInterval::fixed(delay);
+    let mut layer: Vec<NetId> = leaves.to_vec();
+    let mut counter = 0usize;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                counter += 1;
+                next.push(builder.gate(
+                    format!("{prefix}_t{counter}"),
+                    kind,
+                    &[pair[0], pair[1]],
+                    d,
+                ));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    layer[0]
+}
+
+/// Generates an `n`-input parity tree (balanced XOR tree) with per-gate
+/// delay `delay`. Every path in a parity tree is sensitizable, so the
+/// floating-mode delay equals the topological delay.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use ltt_netlist::generators::parity_tree;
+///
+/// let c = parity_tree(8, 10);
+/// assert_eq!(c.depth(), 3);
+/// // Odd number of ones ⇒ parity 1.
+/// let mut v = vec![false; 8];
+/// v[3] = true;
+/// assert_eq!(c.evaluate(&v), vec![true]);
+/// ```
+pub fn parity_tree(n: usize, delay: u32) -> Circuit {
+    assert!(n >= 2, "parity tree needs at least 2 inputs");
+    let mut b = CircuitBuilder::new(format!("parity{n}"));
+    let leaves: Vec<NetId> = (0..n).map(|i| b.input(format!("x{i}"))).collect();
+    let root = reduce_tree(&mut b, "p", GateKind::Xor, &leaves, delay);
+    b.mark_output(root);
+    b.build().expect("parity tree is structurally valid")
+}
+
+/// Generates a chain (cascade) of `len` gates of the given kind, each with
+/// a fresh side input: `n_i = kind(n_{i−1}, e_i)`. The chain's longest path
+/// is trivially true.
+///
+/// # Panics
+///
+/// Panics if `len` is 0 or `kind` cannot take 2 inputs.
+///
+/// # Examples
+///
+/// ```
+/// use ltt_netlist::generators::cascade;
+/// use ltt_netlist::GateKind;
+///
+/// let c = cascade(GateKind::And, 5, 10);
+/// assert_eq!(c.topological_delay(), 50);
+/// assert_eq!(c.evaluate(&[true; 6]), vec![true]);
+/// ```
+pub fn cascade(kind: GateKind, len: usize, delay: u32) -> Circuit {
+    assert!(len > 0, "cascade length must be positive");
+    assert!(kind.arity_ok(2), "cascade requires a 2-input gate kind");
+    let d = DelayInterval::fixed(delay);
+    let mut b = CircuitBuilder::new(format!("cascade_{}{len}", kind.name()));
+    let mut n = b.input("e0");
+    for i in 1..=len {
+        let side = b.input(format!("e{i}"));
+        n = b.gate(format!("n{i}"), kind, &[n, side], d);
+    }
+    b.mark_output(n);
+    b.build().expect("cascade is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_matches_popcount() {
+        let c = parity_tree(6, 10);
+        for v in 0..64u32 {
+            let bits: Vec<bool> = (0..6).map(|i| (v >> i) & 1 == 1).collect();
+            let expected = v.count_ones() % 2 == 1;
+            assert_eq!(c.evaluate(&bits), vec![expected]);
+        }
+    }
+
+    #[test]
+    fn parity_depth_is_logarithmic() {
+        assert_eq!(parity_tree(2, 10).depth(), 1);
+        assert_eq!(parity_tree(4, 10).depth(), 2);
+        assert_eq!(parity_tree(5, 10).depth(), 3);
+        assert_eq!(parity_tree(32, 10).depth(), 5);
+    }
+
+    #[test]
+    fn cascade_logic() {
+        let c = cascade(GateKind::Or, 3, 10);
+        assert_eq!(c.evaluate(&[false; 4]), vec![false]);
+        assert_eq!(c.evaluate(&[false, false, true, false]), vec![true]);
+    }
+
+    #[test]
+    fn reduce_tree_single_leaf_is_identity() {
+        let mut b = CircuitBuilder::new("t");
+        let x = b.input("x");
+        let root = reduce_tree(&mut b, "r", GateKind::And, &[x], 10);
+        assert_eq!(root, x);
+    }
+}

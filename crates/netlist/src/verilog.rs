@@ -1,0 +1,576 @@
+//! Structural Verilog netlist parser — the gate-primitive subset the
+//! ISCAS benchmark distributions use.
+//!
+//! Supported grammar (per module; the first module in the file is taken):
+//!
+//! ```text
+//! module c17 (N1, N2, N3, N6, N7, N22, N23);
+//!   input N1, N2, N3, N6, N7;
+//!   output N22, N23;
+//!   wire N10, N11, N16, N19;
+//!   nand NAND2_1 (N10, N1, N3);   // instance name optional
+//!   not  (N19, N11);
+//! endmodule
+//! ```
+//!
+//! Primitive kinds: `and or nand nor xor xnor not buf` (plus `mux` as an
+//! extension); the first port is the output, the rest are inputs —
+//! standard Verilog gate-primitive semantics. `//` and `/* */` comments
+//! are skipped. Like the [`.bench` parser](crate::bench_format), the
+//! format carries no delays; the caller supplies one for every gate.
+
+use crate::{Circuit, CircuitBuilder, DelayInterval, GateKind};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from [`parse_verilog`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseVerilogError {
+    /// Unexpected token (1-based line, description).
+    Syntax {
+        /// 1-based source line.
+        line: usize,
+        /// What was found / expected.
+        message: String,
+    },
+    /// A gate instantiation used an unsupported primitive.
+    UnknownPrimitive {
+        /// 1-based source line.
+        line: usize,
+        /// The primitive name.
+        name: String,
+    },
+    /// No `module` was found.
+    NoModule,
+    /// The netlist failed structural validation.
+    Structure(crate::BuildCircuitError),
+}
+
+impl fmt::Display for ParseVerilogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseVerilogError::Syntax { line, message } => {
+                write!(f, "Verilog syntax error on line {line}: {message}")
+            }
+            ParseVerilogError::UnknownPrimitive { line, name } => {
+                write!(f, "unsupported primitive `{name}` on line {line}")
+            }
+            ParseVerilogError::NoModule => write!(f, "no module declaration found"),
+            ParseVerilogError::Structure(e) => write!(f, "invalid netlist: {e}"),
+        }
+    }
+}
+
+impl Error for ParseVerilogError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseVerilogError::Structure(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<crate::BuildCircuitError> for ParseVerilogError {
+    fn from(e: crate::BuildCircuitError) -> Self {
+        ParseVerilogError::Structure(e)
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    LParen,
+    RParen,
+    Comma,
+    Semi,
+}
+
+fn tokenize(source: &str) -> Result<Vec<(usize, Tok)>, ParseVerilogError> {
+    let mut toks = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                i = (i + 2).min(bytes.len());
+            }
+            b'(' => {
+                toks.push((line, Tok::LParen));
+                i += 1;
+            }
+            b')' => {
+                toks.push((line, Tok::RParen));
+                i += 1;
+            }
+            b',' => {
+                toks.push((line, Tok::Comma));
+                i += 1;
+            }
+            b';' => {
+                toks.push((line, Tok::Semi));
+                i += 1;
+            }
+            c if c.is_ascii_alphanumeric() || c == b'_' || c == b'\\' || c == b'[' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric()
+                        || matches!(bytes[i], b'_' | b'\\' | b'[' | b']' | b'.' | b'$'))
+                {
+                    i += 1;
+                }
+                toks.push((
+                    line,
+                    Tok::Ident(String::from_utf8_lossy(&bytes[start..i]).into_owned()),
+                ));
+            }
+            other => {
+                return Err(ParseVerilogError::Syntax {
+                    line,
+                    message: format!("unexpected character `{}`", other as char),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+fn primitive_kind(name: &str) -> Option<GateKind> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "and" => GateKind::And,
+        "nand" => GateKind::Nand,
+        "or" => GateKind::Or,
+        "nor" => GateKind::Nor,
+        "xor" => GateKind::Xor,
+        "xnor" => GateKind::Xnor,
+        "not" => GateKind::Not,
+        "buf" => GateKind::Buffer,
+        "mux" => GateKind::Mux,
+        _ => return None,
+    })
+}
+
+/// Parses the first module of a structural Verilog source, assigning
+/// `delay` to every gate.
+///
+/// # Errors
+///
+/// Returns [`ParseVerilogError`] on lexical/syntactic problems, unsupported
+/// primitives, a missing module, or structural netlist errors.
+///
+/// # Examples
+///
+/// ```
+/// use ltt_netlist::verilog::parse_verilog;
+/// use ltt_netlist::DelayInterval;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let src = "
+/// module half_adder (a, b, s, c);
+///   input a, b;
+///   output s, c;
+///   xor X1 (s, a, b);
+///   and A1 (c, a, b);
+/// endmodule";
+/// let circuit = parse_verilog(src, DelayInterval::fixed(10))?;
+/// assert_eq!(circuit.name(), "half_adder");
+/// assert_eq!(circuit.evaluate(&[true, true]), vec![false, true]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_verilog(source: &str, delay: DelayInterval) -> Result<Circuit, ParseVerilogError> {
+    let toks = tokenize(source)?;
+    let mut pos = 0;
+    let err = |line: usize, message: &str| ParseVerilogError::Syntax {
+        line,
+        message: message.to_string(),
+    };
+
+    // Find `module <name>`.
+    while pos < toks.len() && toks[pos].1 != Tok::Ident("module".into()) {
+        pos += 1;
+    }
+    if pos >= toks.len() {
+        return Err(ParseVerilogError::NoModule);
+    }
+    pos += 1;
+    let (line, name) = match toks.get(pos) {
+        Some((l, Tok::Ident(n))) => (*l, n.clone()),
+        other => {
+            return Err(err(
+                other.map_or(0, |t| t.0),
+                "expected module name after `module`",
+            ))
+        }
+    };
+    pos += 1;
+    let mut b = CircuitBuilder::new(name);
+    // Skip the port list up to the `;`.
+    while pos < toks.len() && toks[pos].1 != Tok::Semi {
+        pos += 1;
+    }
+    if pos >= toks.len() {
+        return Err(err(line, "unterminated module header"));
+    }
+    pos += 1;
+
+    let mut outputs: Vec<String> = Vec::new();
+    // Body: declarations and instantiations until `endmodule`.
+    while pos < toks.len() {
+        let (line, tok) = &toks[pos];
+        let line = *line;
+        let head = match tok {
+            Tok::Ident(h) => h.clone(),
+            _ => return Err(err(line, "expected a declaration or instantiation")),
+        };
+        pos += 1;
+        match head.as_str() {
+            "endmodule" => break,
+            "input" | "output" | "wire" => {
+                // Comma-separated identifier list terminated by `;`.
+                loop {
+                    match toks.get(pos) {
+                        Some((_, Tok::Ident(n))) => {
+                            match head.as_str() {
+                                "input" => {
+                                    b.input(n.clone());
+                                }
+                                "output" => outputs.push(n.clone()),
+                                _ => {
+                                    b.net(n.clone());
+                                }
+                            }
+                            pos += 1;
+                        }
+                        other => {
+                            return Err(err(
+                                other.map_or(line, |t| t.0),
+                                "expected a net name in declaration",
+                            ))
+                        }
+                    }
+                    match toks.get(pos) {
+                        Some((_, Tok::Comma)) => pos += 1,
+                        Some((_, Tok::Semi)) => {
+                            pos += 1;
+                            break;
+                        }
+                        other => {
+                            return Err(err(
+                                other.map_or(line, |t| t.0),
+                                "expected `,` or `;` in declaration",
+                            ))
+                        }
+                    }
+                }
+            }
+            prim => {
+                let kind = primitive_kind(prim).ok_or_else(|| {
+                    ParseVerilogError::UnknownPrimitive {
+                        line,
+                        name: prim.to_string(),
+                    }
+                })?;
+                // Optional instance name.
+                if let Some((_, Tok::Ident(_))) = toks.get(pos) {
+                    pos += 1;
+                }
+                match toks.get(pos) {
+                    Some((_, Tok::LParen)) => pos += 1,
+                    other => {
+                        return Err(err(
+                            other.map_or(line, |t| t.0),
+                            "expected `(` in gate instantiation",
+                        ))
+                    }
+                }
+                let mut ports: Vec<String> = Vec::new();
+                loop {
+                    match toks.get(pos) {
+                        Some((_, Tok::Ident(n))) => {
+                            ports.push(n.clone());
+                            pos += 1;
+                        }
+                        other => {
+                            return Err(err(
+                                other.map_or(line, |t| t.0),
+                                "expected a port name",
+                            ))
+                        }
+                    }
+                    match toks.get(pos) {
+                        Some((_, Tok::Comma)) => pos += 1,
+                        Some((_, Tok::RParen)) => {
+                            pos += 1;
+                            break;
+                        }
+                        other => {
+                            return Err(err(
+                                other.map_or(line, |t| t.0),
+                                "expected `,` or `)` in port list",
+                            ))
+                        }
+                    }
+                }
+                match toks.get(pos) {
+                    Some((_, Tok::Semi)) => pos += 1,
+                    other => {
+                        return Err(err(
+                            other.map_or(line, |t| t.0),
+                            "expected `;` after gate instantiation",
+                        ))
+                    }
+                }
+                if ports.len() < 2 {
+                    return Err(err(line, "gate instantiation needs output + inputs"));
+                }
+                let out = b.net(ports[0].clone());
+                let inputs: Vec<_> = ports[1..].iter().map(|p| b.net(p.clone())).collect();
+                b.drive(out, kind, &inputs, delay);
+            }
+        }
+    }
+    for o in outputs {
+        let id = b.net(o);
+        b.mark_output(id);
+    }
+    Ok(b.build()?)
+}
+
+/// Writes a circuit as a structural Verilog module (gate primitives only;
+/// delays are not representable and are dropped, as in the `.bench`
+/// writer). Net names are used verbatim, so round-tripping preserves
+/// structure and function.
+///
+/// # Examples
+///
+/// ```
+/// use ltt_netlist::verilog::{parse_verilog, write_verilog};
+/// use ltt_netlist::suite::c17;
+/// use ltt_netlist::DelayInterval;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let c = c17(10);
+/// let text = write_verilog(&c);
+/// let round = parse_verilog(&text, DelayInterval::fixed(10))?;
+/// assert_eq!(round.num_gates(), c.num_gates());
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_verilog(circuit: &Circuit) -> String {
+    let mut ports: Vec<&str> = circuit
+        .inputs()
+        .iter()
+        .map(|&n| circuit.net(n).name())
+        .collect();
+    ports.extend(circuit.outputs().iter().map(|&n| circuit.net(n).name()));
+    let mut out = String::new();
+    out.push_str(&format!(
+        "// generated by ltt-netlist
+module {} ({});
+",
+        sanitize(circuit.name()),
+        ports.join(", ")
+    ));
+    let decl = |keyword: &str, names: Vec<&str>| -> String {
+        if names.is_empty() {
+            String::new()
+        } else {
+            format!("  {keyword} {};
+", names.join(", "))
+        }
+    };
+    out.push_str(&decl(
+        "input",
+        circuit
+            .inputs()
+            .iter()
+            .map(|&n| circuit.net(n).name())
+            .collect(),
+    ));
+    out.push_str(&decl(
+        "output",
+        circuit
+            .outputs()
+            .iter()
+            .map(|&n| circuit.net(n).name())
+            .collect(),
+    ));
+    let wires: Vec<&str> = circuit
+        .net_ids()
+        .filter(|&n| !circuit.is_input(n) && !circuit.is_output(n))
+        .map(|n| circuit.net(n).name())
+        .collect();
+    out.push_str(&decl("wire", wires));
+    for (i, &gid) in circuit.topo_gates().iter().enumerate() {
+        let g = circuit.gate(gid);
+        let prim = match g.kind() {
+            GateKind::And => "and",
+            GateKind::Nand => "nand",
+            GateKind::Or => "or",
+            GateKind::Nor => "nor",
+            GateKind::Xor => "xor",
+            GateKind::Xnor => "xnor",
+            GateKind::Not => "not",
+            GateKind::Buffer | GateKind::Delay => "buf",
+            GateKind::Mux => "mux",
+        };
+        let mut args = vec![circuit.net(g.output()).name()];
+        args.extend(g.inputs().iter().map(|&n| circuit.net(n).name()));
+        out.push_str(&format!("  {prim} U{i} ({});
+", args.join(", ")));
+    }
+    out.push_str("endmodule
+");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if s.is_empty() || s.chars().next().unwrap().is_ascii_digit() {
+        s.insert(0, 'm');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C17_VERILOG: &str = "
+    // c17, ISCAS'85, Verilog gate-primitive form
+    module c17 (N1, N2, N3, N6, N7, N22, N23);
+      input N1, N2, N3, N6, N7;
+      output N22, N23;
+      wire N10, N11, N16, N19;
+      nand NAND2_1 (N10, N1, N3);
+      nand NAND2_2 (N11, N3, N6);
+      nand NAND2_3 (N16, N2, N11);
+      nand NAND2_4 (N19, N11, N7);
+      nand NAND2_5 (N22, N10, N16);
+      nand NAND2_6 (N23, N16, N19);
+    endmodule";
+
+    #[test]
+    fn parses_c17_verilog() {
+        let c = parse_verilog(C17_VERILOG, DelayInterval::fixed(10)).unwrap();
+        assert_eq!(c.name(), "c17");
+        assert_eq!(c.num_gates(), 6);
+        assert_eq!(c.inputs().len(), 5);
+        assert_eq!(c.outputs().len(), 2);
+        assert_eq!(c.topological_delay(), 30);
+        // Functional equivalence with the embedded .bench c17.
+        let bench = crate::suite::c17(10);
+        for v in 0..32u32 {
+            let vec: Vec<bool> = (0..5).map(|i| (v >> i) & 1 == 1).collect();
+            assert_eq!(c.evaluate(&vec), bench.evaluate(&vec), "vector {v:05b}");
+        }
+    }
+
+    #[test]
+    fn anonymous_instances_and_block_comments() {
+        let src = "
+        /* a
+           block comment */
+        module t (a, y);
+          input a; output y;
+          not (y, a);
+        endmodule";
+        let c = parse_verilog(src, DelayInterval::fixed(5)).unwrap();
+        assert_eq!(c.evaluate(&[false]), vec![true]);
+    }
+
+    #[test]
+    fn mux_primitive_extension() {
+        let src = "
+        module m (s, a, b, y);
+          input s, a, b; output y;
+          mux M1 (y, s, a, b);
+        endmodule";
+        let c = parse_verilog(src, DelayInterval::fixed(10)).unwrap();
+        // y = s ? b : a.
+        assert_eq!(c.evaluate(&[false, true, false]), vec![true]);
+        assert_eq!(c.evaluate(&[true, true, false]), vec![false]);
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        let e = parse_verilog("module t (a);\ninput a;\nfrob F (x, a);\nendmodule", DelayInterval::fixed(1));
+        assert!(matches!(
+            e,
+            Err(ParseVerilogError::UnknownPrimitive { line: 3, .. })
+        ));
+        assert!(matches!(
+            parse_verilog("wire x;", DelayInterval::fixed(1)),
+            Err(ParseVerilogError::NoModule)
+        ));
+        assert!(matches!(
+            parse_verilog("module t (a)", DelayInterval::fixed(1)),
+            Err(ParseVerilogError::Syntax { .. })
+        ));
+    }
+
+    #[test]
+    fn structural_errors_propagate() {
+        let src = "
+        module t (a, y);
+          input a; output y;
+          not (y, a);
+          buf (y, a);
+        endmodule";
+        assert!(matches!(
+            parse_verilog(src, DelayInterval::fixed(1)),
+            Err(ParseVerilogError::Structure(_))
+        ));
+    }
+
+    #[test]
+    fn write_parse_roundtrip_preserves_function() {
+        use crate::generators::{figure1, shared_select_mux_chain};
+        for c in [figure1(10), shared_select_mux_chain(3, 10)] {
+            let text = write_verilog(&c);
+            let round = parse_verilog(&text, DelayInterval::fixed(10)).unwrap();
+            assert_eq!(round.num_gates(), c.num_gates());
+            assert_eq!(round.topological_delay(), c.topological_delay());
+            let n = c.inputs().len();
+            for v in 0..(1u64 << n) {
+                let vec: Vec<bool> = (0..n).map(|i| (v >> i) & 1 == 1).collect();
+                assert_eq!(c.evaluate(&vec), round.evaluate(&vec));
+            }
+        }
+    }
+
+    #[test]
+    fn undeclared_wires_are_created_on_use() {
+        // ISCAS files sometimes omit wire declarations; implicit nets are
+        // standard Verilog behaviour.
+        let src = "
+        module t (a, y);
+          input a; output y;
+          not (mid, a);
+          not (y, mid);
+        endmodule";
+        let c = parse_verilog(src, DelayInterval::fixed(1)).unwrap();
+        assert_eq!(c.evaluate(&[true]), vec![true]);
+    }
+}

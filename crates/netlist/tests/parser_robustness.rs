@@ -1,0 +1,91 @@
+//! Failure injection for every parser: arbitrary input (including
+//! truncated and mutated valid netlists) must produce `Err`, never a
+//! panic — the robustness bar for anything that reads files.
+
+use ltt_netlist::bench_format::{parse_bench, write_bench};
+use ltt_netlist::sdf::parse_sdf;
+use ltt_netlist::verilog::parse_verilog;
+use ltt_netlist::DelayInterval;
+use proptest::prelude::*;
+
+const VALID_BENCH: &str = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nm = NAND(a, b)\ny = NOT(m)\n";
+const VALID_VERILOG: &str =
+    "module t (a, b, y);\n input a, b;\n output y;\n nand (m, a, b);\n not (y, m);\nendmodule\n";
+const VALID_SDF: &str =
+    r#"(DELAYFILE (DESIGN "t") (CELL (INSTANCE m) (DELAY (ABSOLUTE (IOPATH a m (1:2:3))))))"#;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bench_parser_never_panics(input in ".{0,200}") {
+        let _ = parse_bench("fuzz", &input, DelayInterval::fixed(1));
+    }
+
+    #[test]
+    fn verilog_parser_never_panics(input in ".{0,200}") {
+        let _ = parse_verilog(&input, DelayInterval::fixed(1));
+    }
+
+    #[test]
+    fn sdf_parser_never_panics(input in ".{0,200}") {
+        let _ = parse_sdf(&input);
+    }
+
+    /// Truncation injection: every prefix of a valid file either parses or
+    /// errors cleanly.
+    #[test]
+    fn truncated_valid_inputs_fail_cleanly(cut in 0usize..200) {
+        let bench = &VALID_BENCH[..cut.min(VALID_BENCH.len())];
+        let _ = parse_bench("t", bench, DelayInterval::fixed(1));
+        let verilog = &VALID_VERILOG[..cut.min(VALID_VERILOG.len())];
+        let _ = parse_verilog(verilog, DelayInterval::fixed(1));
+        let sdf = &VALID_SDF[..cut.min(VALID_SDF.len())];
+        let _ = parse_sdf(sdf);
+    }
+
+    /// Mutation injection: flipping one byte of a valid file never panics,
+    /// and if it still parses, the circuit is structurally valid (the
+    /// builder's invariants hold by construction).
+    #[test]
+    fn mutated_valid_inputs_fail_cleanly(pos in 0usize..100, byte in 32u8..127) {
+        let mutate = |src: &str| -> String {
+            let mut bytes = src.as_bytes().to_vec();
+            if !bytes.is_empty() {
+                let i = pos % bytes.len();
+                bytes[i] = byte;
+            }
+            String::from_utf8_lossy(&bytes).into_owned()
+        };
+        if let Ok(c) = parse_bench("t", &mutate(VALID_BENCH), DelayInterval::fixed(1)) {
+            // Still-parsable mutants round-trip.
+            let _ = parse_bench("t", &write_bench(&c), DelayInterval::fixed(1)).unwrap();
+        }
+        let _ = parse_verilog(&mutate(VALID_VERILOG), DelayInterval::fixed(1));
+        let _ = parse_sdf(&mutate(VALID_SDF));
+    }
+}
+
+#[test]
+fn pathological_nesting_is_rejected() {
+    // Deep SDF nesting must be rejected (the scanner enforces a nesting
+    // cap instead of recursing until the stack gives out).
+    let mut deep = String::new();
+    for _ in 0..5_000 {
+        deep.push('(');
+    }
+    assert!(parse_sdf(&deep).is_err());
+    let mut closes = String::from("(DELAYFILE");
+    for _ in 0..5_000 {
+        closes.push(')');
+    }
+    let _ = parse_sdf(&closes);
+}
+
+#[test]
+fn enormous_tokens_are_handled() {
+    let long_name = "x".repeat(100_000);
+    let src = format!("INPUT({long_name})\nOUTPUT(y)\ny = NOT({long_name})\n");
+    let c = parse_bench("t", &src, DelayInterval::fixed(1)).unwrap();
+    assert_eq!(c.num_gates(), 1);
+}

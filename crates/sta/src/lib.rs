@@ -1,0 +1,93 @@
+//! Baseline static timing analyses and exact floating-mode oracles.
+//!
+//! Three baselines accompany the waveform-narrowing verifier:
+//!
+//! * **Topological STA** — the conservative bound the paper's introduction
+//!   calls "too conservative": every structural path counts
+//!   ([`topological_check`]);
+//! * **Path enumeration** — longest-first path search with per-path static
+//!   sensitization ([`PathEnumerator`], [`path_analysis`]), the baseline
+//!   whose path blow-up motivates the constraint-based method;
+//! * **Exact floating-mode simulation** — the per-vector stabilization rule
+//!   and exhaustive/sampled circuit delay ([`floating_settle`],
+//!   [`exhaustive_floating_delay`], [`sampled_floating_delay`]), the
+//!   ground truth used throughout the test suite and to certify test
+//!   vectors.
+//!
+//! # Example
+//!
+//! ```
+//! use ltt_netlist::generators::figure1;
+//! use ltt_sta::{exhaustive_floating_delay, topological_check};
+//!
+//! let c = figure1(10);
+//! let s = c.outputs()[0];
+//! // Topological analysis says a 70-delay is possible…
+//! assert!(topological_check(&c, s, 61));
+//! // …but the exact floating-mode delay is only 60.
+//! let exact = exhaustive_floating_delay(&c, s).expect("small cone");
+//! assert_eq!(exact.delay, 60);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod floating;
+mod paths;
+mod simulate;
+mod slack;
+
+pub use floating::{
+    describe_vector, exhaustive_circuit_delay, exhaustive_floating_delay, floating_settle,
+    sampled_floating_delay, vector_delay, vector_violates, FloatingDelay, SettleInfo,
+    EXHAUSTIVE_INPUT_LIMIT,
+};
+pub use paths::{
+    count_paths_at_least, path_analysis, path_gates, vector_sensitizes, CircuitPath,
+    PathAnalysis, PathEnumerator,
+};
+pub use simulate::{
+    exhaustive_two_vector_delay, simulate, transition_counts, two_vector_delay, write_vcd,
+    WaveformTrace,
+};
+pub use slack::SlackReport;
+
+use ltt_netlist::{Circuit, NetId};
+
+/// The conservative topological check: "could `output` transition at or
+/// after `delta` if every path were sensitizable?" — true iff the
+/// topological arrival of `output` is at least `delta`.
+///
+/// # Examples
+///
+/// ```
+/// use ltt_netlist::generators::figure1;
+/// use ltt_sta::topological_check;
+///
+/// let c = figure1(10);
+/// let s = c.outputs()[0];
+/// assert!(topological_check(&c, s, 70));
+/// assert!(!topological_check(&c, s, 71));
+/// ```
+pub fn topological_check(circuit: &Circuit, output: NetId, delta: i64) -> bool {
+    circuit.arrival_times()[output.index()] >= delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltt_netlist::generators::cascade;
+    use ltt_netlist::GateKind;
+
+    #[test]
+    fn topological_check_uses_per_output_arrival() {
+        let c = cascade(GateKind::Or, 3, 10);
+        let s = c.outputs()[0];
+        assert!(topological_check(&c, s, 30));
+        assert!(!topological_check(&c, s, 31));
+        // An input "arrives" at 0: only δ ≤ 0 is possible.
+        let input = c.inputs()[0];
+        assert!(topological_check(&c, input, 0));
+        assert!(!topological_check(&c, input, 1));
+    }
+}

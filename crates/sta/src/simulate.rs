@@ -1,0 +1,463 @@
+//! Exact event-driven waveform simulation with transport delays.
+//!
+//! The constraint system's concrete semantics is the timed Boolean
+//! function `s(t) = g(a₁(t−d), …, a_k(t−d))` (§3.2). This module evaluates
+//! that semantics exactly: given a full binary waveform per primary input
+//! (an initial value plus a sorted event list), it computes the full
+//! waveform of every net. Uses:
+//!
+//! * an independent *whole-waveform* oracle — every simulated tuple is a
+//!   solution of the constraint system, so it must lie inside the fixpoint
+//!   domains (tested in `tests/waveform_containment.rs`);
+//! * two-vector (transition-mode) delay measurement;
+//! * witness replay for reported vectors.
+
+use ltt_netlist::{Circuit, NetId};
+
+/// A concrete binary waveform: an initial value and a sorted list of
+/// `(time, value-after)` events (no-op events are normalized away).
+///
+/// # Examples
+///
+/// ```
+/// use ltt_sta::WaveformTrace;
+///
+/// let w = WaveformTrace::new(false, vec![(0, true), (5, false)]);
+/// assert!(!w.value_at(-1));
+/// assert!(w.value_at(3));
+/// assert!(!w.value_at(100));
+/// assert_eq!(w.last_event(), Some(5));
+/// assert!(!w.settles_to());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WaveformTrace {
+    initial: bool,
+    events: Vec<(i64, bool)>,
+}
+
+impl WaveformTrace {
+    /// Builds a trace from an initial value and events; events are sorted
+    /// by time and redundant entries (same value as before) are dropped.
+    /// For several events at one time the last wins.
+    pub fn new(initial: bool, mut events: Vec<(i64, bool)>) -> WaveformTrace {
+        events.sort_by_key(|&(t, _)| t);
+        let mut norm: Vec<(i64, bool)> = Vec::with_capacity(events.len());
+        for (t, v) in events {
+            if let Some(last) = norm.last_mut() {
+                if last.0 == t {
+                    last.1 = v;
+                    continue;
+                }
+            }
+            norm.push((t, v));
+        }
+        // Drop no-ops.
+        let mut out = Vec::with_capacity(norm.len());
+        let mut cur = initial;
+        for (t, v) in norm {
+            if v != cur {
+                out.push((t, v));
+                cur = v;
+            }
+        }
+        WaveformTrace {
+            initial,
+            events: out,
+        }
+    }
+
+    /// A constant waveform.
+    pub fn constant(value: bool) -> WaveformTrace {
+        WaveformTrace {
+            initial: value,
+            events: Vec::new(),
+        }
+    }
+
+    /// A floating-mode input trace: pre-time-0 noise events followed by the
+    /// vector value from time 0 on.
+    pub fn floating(initial: bool, noise: Vec<(i64, bool)>, settled: bool) -> WaveformTrace {
+        let mut events: Vec<(i64, bool)> = noise.into_iter().filter(|&(t, _)| t < 0).collect();
+        events.push((0, settled));
+        WaveformTrace::new(initial, events)
+    }
+
+    /// The value at time `t`.
+    pub fn value_at(&self, t: i64) -> bool {
+        match self.events.iter().rev().find(|&&(et, _)| et <= t) {
+            Some(&(_, v)) => v,
+            None => self.initial,
+        }
+    }
+
+    /// The time of the last event, or `None` for a constant waveform.
+    pub fn last_event(&self) -> Option<i64> {
+        self.events.last().map(|&(t, _)| t)
+    }
+
+    /// The settling (final) value.
+    pub fn settles_to(&self) -> bool {
+        self.events.last().map(|&(_, v)| v).unwrap_or(self.initial)
+    }
+
+    /// The event list (sorted, normalized).
+    pub fn events(&self) -> &[(i64, bool)] {
+        &self.events
+    }
+
+    /// Number of transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// Simulates the circuit under the given primary-input waveforms (one per
+/// input, in declaration order) and returns every net's exact waveform,
+/// indexed by [`NetId::index`].
+///
+/// Gates apply their Boolean function pointwise with a pure transport
+/// delay of `d_max` — exactly the timed Boolean function semantics the
+/// constraint system abstracts.
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` differs from the number of primary inputs.
+///
+/// # Examples
+///
+/// ```
+/// use ltt_netlist::{CircuitBuilder, DelayInterval, GateKind};
+/// use ltt_sta::{simulate, WaveformTrace};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = CircuitBuilder::new("inv");
+/// let a = b.input("a");
+/// let y = b.gate("y", GateKind::Not, &[a], DelayInterval::fixed(10));
+/// b.mark_output(y);
+/// let c = b.build()?;
+/// let traces = simulate(&c, &[WaveformTrace::new(false, vec![(0, true)])]);
+/// assert_eq!(traces[y.index()].events(), &[(10, false)]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate(circuit: &Circuit, inputs: &[WaveformTrace]) -> Vec<WaveformTrace> {
+    assert_eq!(
+        inputs.len(),
+        circuit.inputs().len(),
+        "one waveform per primary input"
+    );
+    let mut traces: Vec<WaveformTrace> =
+        vec![WaveformTrace::constant(false); circuit.num_nets()];
+    for (&net, trace) in circuit.inputs().iter().zip(inputs) {
+        traces[net.index()] = trace.clone();
+    }
+    let mut vals = Vec::new();
+    for &gid in circuit.topo_gates() {
+        let gate = circuit.gate(gid);
+        let d = i64::from(gate.dmax());
+        // Candidate evaluation times: every input event time.
+        let mut times: Vec<i64> = gate
+            .inputs()
+            .iter()
+            .flat_map(|n| traces[n.index()].events().iter().map(|&(t, _)| t))
+            .collect();
+        times.sort_unstable();
+        times.dedup();
+        // Initial output value from the inputs' initial values.
+        vals.clear();
+        vals.extend(
+            gate.inputs()
+                .iter()
+                .map(|n| traces[n.index()].value_at(i64::MIN)),
+        );
+        let initial = gate.kind().eval(&vals);
+        let mut events = Vec::with_capacity(times.len());
+        for &t in &times {
+            vals.clear();
+            vals.extend(gate.inputs().iter().map(|n| traces[n.index()].value_at(t)));
+            events.push((t + d, gate.kind().eval(&vals)));
+        }
+        traces[gate.output().index()] = WaveformTrace::new(initial, events);
+    }
+    traces
+}
+
+/// Measures the two-vector (transition-mode) delay at `output`: inputs
+/// hold `v1` since forever and switch to `v2` at time 0; the result is the
+/// time of the output's last event (0 if it never changes).
+///
+/// # Panics
+///
+/// Panics if the vector lengths differ from the number of inputs.
+pub fn two_vector_delay(circuit: &Circuit, v1: &[bool], v2: &[bool], output: NetId) -> i64 {
+    assert_eq!(v1.len(), circuit.inputs().len());
+    assert_eq!(v2.len(), circuit.inputs().len());
+    let inputs: Vec<WaveformTrace> = v1
+        .iter()
+        .zip(v2)
+        .map(|(&a, &b)| WaveformTrace::new(a, vec![(0, b)]))
+        .collect();
+    let traces = simulate(circuit, &inputs);
+    traces[output.index()].last_event().unwrap_or(0).max(0)
+}
+
+/// The exact two-vector delay of `output`: the maximum of
+/// [`two_vector_delay`] over all vector pairs (exhaustive; cone-limited
+/// like the floating oracle). Returns `None` if the cone is too wide.
+pub fn exhaustive_two_vector_delay(circuit: &Circuit, output: NetId) -> Option<i64> {
+    let cone = circuit.fanin_cone(output);
+    let cone_inputs: Vec<usize> = circuit
+        .inputs()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| cone[n.index()])
+        .map(|(i, _)| i)
+        .collect();
+    if cone_inputs.len() > 13 {
+        return None; // 4^13 pairs is the practical budget
+    }
+    let n = circuit.inputs().len();
+    let mut best = 0i64;
+    let mut v1 = vec![false; n];
+    let mut v2 = vec![false; n];
+    for a in 0u64..(1 << cone_inputs.len()) {
+        for b in 0u64..(1 << cone_inputs.len()) {
+            for (bit, &slot) in cone_inputs.iter().enumerate() {
+                v1[slot] = (a >> bit) & 1 == 1;
+                v2[slot] = (b >> bit) & 1 == 1;
+            }
+            best = best.max(two_vector_delay(circuit, &v1, &v2, output));
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltt_netlist::generators::{cascade, figure1};
+    use ltt_netlist::{CircuitBuilder, DelayInterval, GateKind};
+
+    #[test]
+    fn trace_normalization() {
+        // Duplicate times: last wins; no-ops dropped.
+        let w = WaveformTrace::new(false, vec![(5, true), (5, false), (7, false), (9, true)]);
+        assert_eq!(w.events(), &[(9, true)]);
+        let w = WaveformTrace::new(true, vec![(3, false), (1, true)]);
+        assert_eq!(w.events(), &[(3, false)]);
+        assert_eq!(w.num_transitions(), 1);
+    }
+
+    #[test]
+    fn and_gate_glitch_is_simulated() {
+        // a: 1→0 at 5; b: 0→1 at 3. AND shows a pulse 3..5 (delayed by d).
+        let mut bld = CircuitBuilder::new("g");
+        let a = bld.input("a");
+        let b = bld.input("b");
+        let y = bld.gate("y", GateKind::And, &[a, b], DelayInterval::fixed(10));
+        bld.mark_output(y);
+        let c = bld.build().unwrap();
+        let traces = simulate(
+            &c,
+            &[
+                WaveformTrace::new(true, vec![(5, false)]),
+                WaveformTrace::new(false, vec![(3, true)]),
+            ],
+        );
+        assert_eq!(traces[y.index()].events(), &[(13, true), (15, false)]);
+    }
+
+    #[test]
+    fn chain_accumulates_transport_delay() {
+        let c = cascade(GateKind::And, 3, 10);
+        let mut inputs = vec![WaveformTrace::constant(true); c.inputs().len()];
+        inputs[0] = WaveformTrace::new(false, vec![(0, true)]);
+        let traces = simulate(&c, &inputs);
+        let s = c.outputs()[0];
+        assert_eq!(traces[s.index()].events(), &[(30, true)]);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+    fn figure1_witness_replay() {
+        // The certified δ=60 witness produces an event at exactly t = 60
+        // under *some* unknown initial state; searching the 2⁷ single-value
+        // initial states finds one achieving exactly the floating bound.
+        let c = figure1(10);
+        let s = c.outputs()[0];
+        // e1=e2=1, e3=e4=0, e5=e6=e7=1 (the vector the solver found).
+        let vector = [true, true, false, false, true, true, true];
+        let mut best = 0i64;
+        for init in 0..128u32 {
+            let v1: Vec<bool> = (0..7).map(|i| (init >> i) & 1 == 1).collect();
+            best = best.max(two_vector_delay(&c, &v1, &vector, s));
+        }
+        assert_eq!(best, 60);
+    }
+
+    #[test]
+    fn two_vector_delay_on_cascade() {
+        let c = cascade(GateKind::And, 4, 10);
+        // All inputs toggling 0→1: output rises after the full chain.
+        let v1 = vec![false; c.inputs().len()];
+        let v2 = vec![true; c.inputs().len()];
+        assert_eq!(two_vector_delay(&c, &v1, &v2, c.outputs()[0]), 40);
+        // No change: no events.
+        assert_eq!(two_vector_delay(&c, &v2, &v2, c.outputs()[0]), 0);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+    fn exhaustive_two_vector_within_floating() {
+        // The two-vector delay never exceeds the floating-mode delay
+        // (floating mode quantifies over unknown initial states).
+        let c = figure1(10);
+        let s = c.outputs()[0];
+        let tv = exhaustive_two_vector_delay(&c, s).unwrap();
+        let fl = crate::exhaustive_floating_delay(&c, s).unwrap().delay;
+        assert!(tv <= fl, "two-vector {tv} vs floating {fl}");
+        assert_eq!(tv, 60); // for figure1 they coincide
+    }
+}
+
+/// Renders simulated traces as a VCD (Value Change Dump) document viewable
+/// in any waveform viewer. One scalar signal per net, named after the net;
+/// the timescale is unitless (`1ns` per circuit time unit). Events before
+/// time 0 are emitted at negative-shifted time 0 with the initial value,
+/// i.e. the dump starts at the earliest event (or 0).
+///
+/// # Examples
+///
+/// ```
+/// use ltt_netlist::{CircuitBuilder, DelayInterval, GateKind};
+/// use ltt_sta::{simulate, write_vcd, WaveformTrace};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = CircuitBuilder::new("inv");
+/// let a = b.input("a");
+/// let y = b.gate("y", GateKind::Not, &[a], DelayInterval::fixed(10));
+/// b.mark_output(y);
+/// let c = b.build()?;
+/// let traces = simulate(&c, &[WaveformTrace::new(false, vec![(0, true)])]);
+/// let vcd = write_vcd(&c, &traces);
+/// assert!(vcd.contains("$var wire 1"));
+/// assert!(vcd.contains("#10"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_vcd(circuit: &Circuit, traces: &[WaveformTrace]) -> String {
+    assert_eq!(traces.len(), circuit.num_nets(), "one trace per net");
+    let mut out = String::new();
+    out.push_str("$date ltt-sta $end\n$timescale 1ns $end\n");
+    out.push_str(&format!("$scope module {} $end\n", circuit.name()));
+    // VCD identifier codes: printable ASCII 33..=126, multi-char as needed.
+    let code = |i: usize| -> String {
+        let mut i = i;
+        let mut s = String::new();
+        loop {
+            s.push((33 + (i % 94)) as u8 as char);
+            i /= 94;
+            if i == 0 {
+                break;
+            }
+        }
+        s
+    };
+    for net in circuit.net_ids() {
+        out.push_str(&format!(
+            "$var wire 1 {} {} $end\n",
+            code(net.index()),
+            circuit.net(net).name()
+        ));
+    }
+    out.push_str("$upscope $end\n$enddefinitions $end\n");
+    // Shift so the dump is non-negative.
+    let earliest = traces
+        .iter()
+        .filter_map(|t| t.events().first().map(|&(time, _)| time))
+        .min()
+        .unwrap_or(0)
+        .min(0);
+    out.push_str("$dumpvars\n");
+    for net in circuit.net_ids() {
+        let initial = traces[net.index()].value_at(i64::MIN);
+        out.push_str(&format!("{}{}\n", u8::from(initial), code(net.index())));
+    }
+    out.push_str("$end\n");
+    // Merge all events by time.
+    let mut events: Vec<(i64, usize, bool)> = Vec::new();
+    for net in circuit.net_ids() {
+        for &(t, v) in traces[net.index()].events() {
+            events.push((t, net.index(), v));
+        }
+    }
+    events.sort_unstable_by_key(|&(t, i, _)| (t, i));
+    let mut last_time = None;
+    for (t, i, v) in events {
+        if last_time != Some(t) {
+            out.push_str(&format!("#{}\n", t - earliest));
+            last_time = Some(t);
+        }
+        out.push_str(&format!("{}{}\n", u8::from(v), code(i)));
+    }
+    out
+}
+
+/// Per-net transition counts of a simulation — a cheap switching-activity
+/// (glitch) metric.
+pub fn transition_counts(traces: &[WaveformTrace]) -> Vec<usize> {
+    traces.iter().map(WaveformTrace::num_transitions).collect()
+}
+
+#[cfg(test)]
+mod vcd_tests {
+    use super::*;
+    use ltt_netlist::generators::figure1;
+
+    #[test]
+    fn vcd_contains_all_nets_and_events() {
+        let c = figure1(10);
+        let inputs: Vec<WaveformTrace> = (0..7)
+            .map(|i| WaveformTrace::new(i % 2 == 0, vec![(0, i % 3 == 0)]))
+            .collect();
+        let traces = simulate(&c, &inputs);
+        let vcd = write_vcd(&c, &traces);
+        for net in c.net_ids() {
+            assert!(
+                vcd.contains(&format!(" {} $end", c.net(net).name())),
+                "net {} missing",
+                c.net(net).name()
+            );
+        }
+        assert!(vcd.contains("$dumpvars"));
+        assert!(vcd.starts_with("$date"));
+    }
+
+    #[test]
+    fn vcd_times_are_nonnegative_even_with_pre_zero_noise() {
+        let c = figure1(10);
+        let inputs: Vec<WaveformTrace> = (0..7)
+            .map(|_| WaveformTrace::floating(false, vec![(-15, true)], true))
+            .collect();
+        let traces = simulate(&c, &inputs);
+        let vcd = write_vcd(&c, &traces);
+        for line in vcd.lines() {
+            if let Some(t) = line.strip_prefix('#') {
+                assert!(t.parse::<i64>().unwrap() >= 0, "negative VCD time: {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn transition_counts_track_events() {
+        let c = figure1(10);
+        let mut inputs = vec![WaveformTrace::constant(true); 7];
+        inputs[0] = WaveformTrace::new(false, vec![(0, true), (5, false), (9, true)]);
+        let traces = simulate(&c, &inputs);
+        let counts = transition_counts(&traces);
+        let e1 = c.inputs()[0];
+        assert_eq!(counts[e1.index()], 3);
+        // Something downstream glitches more than once.
+        assert!(counts.iter().sum::<usize>() > 3);
+    }
+}

@@ -1,0 +1,153 @@
+//! Required-time and slack analysis — the reporting layer a timing
+//! verifier presents to designers (which nets are critical for a given
+//! deadline, and by how much).
+//!
+//! Purely topological (every path counts): the companion of
+//! [`topological_check`](crate::topological_check). The waveform-narrowing
+//! verifier then refines exactly the nets this report flags as critical.
+
+use ltt_netlist::{Circuit, NetId};
+
+/// Per-net arrival/required/slack for one deadline.
+#[derive(Clone, Debug)]
+pub struct SlackReport {
+    /// Topological arrival time per net (longest input→net path).
+    pub arrival: Vec<i64>,
+    /// Latest allowed settle time per net (`None` if the net reaches no
+    /// primary output).
+    pub required: Vec<Option<i64>>,
+    /// `required − arrival` per net (`None` where `required` is).
+    pub slack: Vec<Option<i64>>,
+}
+
+impl SlackReport {
+    /// Computes the report for a common `deadline` at every primary output.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ltt_netlist::generators::cascade;
+    /// use ltt_netlist::GateKind;
+    /// use ltt_sta::SlackReport;
+    ///
+    /// let c = cascade(GateKind::And, 3, 10);
+    /// let report = SlackReport::compute(&c, 40);
+    /// let out = c.outputs()[0];
+    /// assert_eq!(report.slack[out.index()], Some(10));
+    /// assert!(!report.is_violated());
+    /// ```
+    pub fn compute(circuit: &Circuit, deadline: i64) -> SlackReport {
+        let arrival = circuit.arrival_times();
+        let mut required: Vec<Option<i64>> = vec![None; circuit.num_nets()];
+        for &o in circuit.outputs() {
+            required[o.index()] = Some(deadline);
+        }
+        for &gid in circuit.topo_gates().iter().rev() {
+            let gate = circuit.gate(gid);
+            if let Some(r) = required[gate.output().index()] {
+                let through = r - i64::from(gate.dmax());
+                for &x in gate.inputs() {
+                    let slot = &mut required[x.index()];
+                    *slot = Some(slot.map_or(through, |cur| cur.min(through)));
+                }
+            }
+        }
+        let slack = required
+            .iter()
+            .zip(&arrival)
+            .map(|(r, &a)| r.map(|r| r - a))
+            .collect();
+        SlackReport {
+            arrival,
+            required,
+            slack,
+        }
+    }
+
+    /// Whether any net has negative slack (the deadline is topologically
+    /// unreachable — possibly pessimistically, which is exactly where the
+    /// false-path verifier earns its keep).
+    pub fn is_violated(&self) -> bool {
+        self.slack.iter().flatten().any(|&s| s < 0)
+    }
+
+    /// Worst slack over all covered nets (`None` if nothing reaches an
+    /// output).
+    pub fn worst_slack(&self) -> Option<i64> {
+        self.slack.iter().flatten().copied().min()
+    }
+
+    /// Nets at the worst slack — the topological critical path(s).
+    pub fn critical_nets(&self) -> Vec<NetId> {
+        match self.worst_slack() {
+            None => Vec::new(),
+            Some(w) => self
+                .slack
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| **s == Some(w))
+                .map(|(i, _)| NetId::from_index(i))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltt_netlist::generators::{cascade, figure1};
+    use ltt_netlist::GateKind;
+
+    #[test]
+    fn cascade_slack_decreases_down_the_spine() {
+        let c = cascade(GateKind::And, 3, 10);
+        let r = SlackReport::compute(&c, 30);
+        let e0 = c.net_by_name("e0").unwrap();
+        let e3 = c.net_by_name("e3").unwrap();
+        // The spine is exactly critical at deadline = top.
+        assert_eq!(r.slack[e0.index()], Some(0));
+        // Late side inputs have plenty of slack.
+        assert_eq!(r.slack[e3.index()], Some(20));
+        assert_eq!(r.worst_slack(), Some(0));
+        assert!(!r.is_violated());
+    }
+
+    #[test]
+    fn tight_deadline_goes_negative() {
+        let c = cascade(GateKind::And, 3, 10);
+        let r = SlackReport::compute(&c, 25);
+        assert!(r.is_violated());
+        assert_eq!(r.worst_slack(), Some(-5));
+    }
+
+    #[test]
+    fn figure1_critical_path_is_the_false_path() {
+        // The topological report flags the (actually false) 70-path as
+        // critical at deadline 60 — the pessimism the verifier removes.
+        let c = figure1(10);
+        let r = SlackReport::compute(&c, 60);
+        assert!(r.is_violated());
+        let critical = r.critical_nets();
+        let names: Vec<&str> = critical.iter().map(|&n| c.net(n).name()).collect();
+        for expected in ["n1", "n2", "n3", "n4", "n6", "n7", "s"] {
+            assert!(names.contains(&expected), "{expected} missing: {names:?}");
+        }
+        // n5 (the short branch) is not on the critical path.
+        assert!(!names.contains(&"n5"));
+    }
+
+    #[test]
+    fn dead_logic_has_no_required_time() {
+        use ltt_netlist::{CircuitBuilder, DelayInterval};
+        let mut b = CircuitBuilder::new("d");
+        let a = b.input("a");
+        let used = b.gate("used", GateKind::Not, &[a], DelayInterval::fixed(10));
+        let dead = b.gate("dead", GateKind::Not, &[a], DelayInterval::fixed(10));
+        b.mark_output(used);
+        let c = b.build().unwrap();
+        let r = SlackReport::compute(&c, 10);
+        assert_eq!(r.required[dead.index()], None);
+        assert_eq!(r.slack[dead.index()], None);
+        assert_eq!(r.slack[used.index()], Some(0));
+    }
+}

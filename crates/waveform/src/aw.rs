@@ -1,0 +1,339 @@
+//! Abstract waveforms: last-transition intervals (Definition 1 of the paper).
+//!
+//! An *abstract waveform* `w = v|_lmin^max` denotes the set of binary
+//! waveforms that settle to the value `v` after time `max` and whose last
+//! transition happens at or after `lmin`. Formally, with `LD(f)` the last
+//! time at which `f` differs from its settling value (`−∞` for a constant
+//! waveform):
+//!
+//! ```text
+//! v|_lmin^max = { f ∈ BW : f settles to v  ∧  LD(f) ∈ [lmin, max] }
+//! ```
+//!
+//! The settling value `v` (the waveform's *class*) is not stored here — an
+//! [`Aw`] is the `[lmin, max]` interval component and the class is carried
+//! positionally by [`Signal`](crate::Signal). All the relations and
+//! operations of §3.1.1 of the paper (equality, narrowness, inclusion,
+//! intersection, union, and the exactness criterion of Lemma 1) are
+//! implemented on [`Aw`].
+
+use crate::Time;
+use std::fmt;
+
+/// The last-transition interval `[lmin, max]` of an abstract waveform.
+///
+/// `Aw` is a closed interval over [`Time`]; the empty interval (`lmin > max`)
+/// denotes the empty waveform set `φ` and is kept in a single canonical
+/// representation so that `==` behaves as set equality.
+///
+/// # Examples
+///
+/// ```
+/// use ltt_waveform::{Aw, Time};
+///
+/// // Waveforms settling (to some class) no later than t=50, with the last
+/// // transition at or after t=41:
+/// let w = Aw::new(Time::new(41), Time::new(50));
+/// assert!(!w.is_empty());
+/// assert_eq!(w.lmin(), Time::new(41));
+/// assert_eq!(w.max(), Time::new(50));
+///
+/// // Intersection is exact interval intersection:
+/// let narrower = w.intersect(Aw::before(Time::new(45)));
+/// assert_eq!(narrower, Aw::new(Time::new(41), Time::new(45)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Aw {
+    lmin: Time,
+    max: Time,
+}
+
+impl Aw {
+    /// The empty abstract waveform `φ` (contains no binary waveform).
+    pub const EMPTY: Aw = Aw {
+        lmin: Time::POS_INF,
+        max: Time::NEG_INF,
+    };
+
+    /// The full abstract waveform `v|_{−∞}^{+∞}` (contains every binary
+    /// waveform of its class, including constants).
+    pub const FULL: Aw = Aw {
+        lmin: Time::NEG_INF,
+        max: Time::POS_INF,
+    };
+
+    /// Creates the interval `[lmin, max]`; an inverted interval collapses to
+    /// the canonical [`Aw::EMPTY`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ltt_waveform::{Aw, Time};
+    /// assert!(Aw::new(Time::new(5), Time::new(3)).is_empty());
+    /// ```
+    pub fn new(lmin: Time, max: Time) -> Self {
+        if lmin > max {
+            Aw::EMPTY
+        } else {
+            Aw { lmin, max }
+        }
+    }
+
+    /// Waveforms stable at or before `max`: the interval `[−∞, max]`.
+    ///
+    /// This is the shape produced by forward propagation ("no transition is
+    /// possible on this net after `max`").
+    pub fn before(max: Time) -> Self {
+        Aw::new(Time::NEG_INF, max)
+    }
+
+    /// Waveforms whose last transition is at or after `lmin`: `[lmin, +∞]`.
+    ///
+    /// This is the shape of a timing-check constraint ("the output still
+    /// transitions at or after `δ`").
+    pub fn after(lmin: Time) -> Self {
+        Aw::new(lmin, Time::POS_INF)
+    }
+
+    /// The degenerate interval `[t, t]` (last transition exactly at `t`).
+    pub fn at(t: Time) -> Self {
+        Aw::new(t, t)
+    }
+
+    /// Lower bound of the last-transition interval.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic; for [`Aw::EMPTY`] this returns `+∞` (the canonical
+    /// empty representation).
+    pub fn lmin(self) -> Time {
+        self.lmin
+    }
+
+    /// Upper bound of the last-transition interval (the settling deadline).
+    pub fn max(self) -> Time {
+        self.max
+    }
+
+    /// Whether this abstract waveform is the empty set `φ`.
+    pub fn is_empty(self) -> bool {
+        self.lmin > self.max
+    }
+
+    /// Whether `t` lies within the last-transition interval.
+    pub fn contains_time(self, t: Time) -> bool {
+        self.lmin <= t && t <= self.max
+    }
+
+    /// Set intersection (exact on abstract waveforms of the same class).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ltt_waveform::{Aw, Time};
+    /// let a = Aw::new(Time::new(0), Time::new(10));
+    /// let b = Aw::new(Time::new(5), Time::new(20));
+    /// assert_eq!(a.intersect(b), Aw::new(Time::new(5), Time::new(10)));
+    /// ```
+    pub fn intersect(self, other: Aw) -> Aw {
+        if self.is_empty() || other.is_empty() {
+            return Aw::EMPTY;
+        }
+        Aw::new(self.lmin.max(other.lmin), self.max.min(other.max))
+    }
+
+    /// Abstract-waveform union: the narrowest `Aw` containing both operands.
+    ///
+    /// Unlike intersection, union over-approximates set union when the two
+    /// intervals are separated by a gap (see [`Aw::union_is_exact`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ltt_waveform::{Aw, Time};
+    /// let a = Aw::new(Time::new(0), Time::new(3));
+    /// let b = Aw::new(Time::new(10), Time::new(12));
+    /// let u = a.union(b);
+    /// assert_eq!(u, Aw::new(Time::new(0), Time::new(12)));
+    /// assert!(!Aw::union_is_exact(a, b)); // the gap (3, 10) was absorbed
+    /// ```
+    pub fn union(self, other: Aw) -> Aw {
+        if self.is_empty() {
+            return other;
+        }
+        if other.is_empty() {
+            return self;
+        }
+        Aw::new(self.lmin.min(other.lmin), self.max.max(other.max))
+    }
+
+    /// Lemma 1: the union of two non-empty abstract waveforms equals the
+    /// plain set union iff the intervals overlap or are adjacent
+    /// (`w2.max + 1 ≥ w1.lmin ∧ w1.max + 1 ≥ w2.lmin`).
+    pub fn union_is_exact(w1: Aw, w2: Aw) -> bool {
+        if w1.is_empty() || w2.is_empty() {
+            return true;
+        }
+        w2.max + 1 >= w1.lmin && w1.max + 1 >= w2.lmin
+    }
+
+    /// The *narrower-than* relation `w1 < w2` of the paper: strictly fewer
+    /// binary waveforms through a strictly tighter interval.
+    ///
+    /// `w1 < w2` iff `(w1.max ≤ w2.max ∧ w1.lmin > w2.lmin) ∨
+    /// (w1.max < w2.max ∧ w1.lmin ≥ w2.lmin)`; additionally the empty
+    /// waveform is narrower than every non-empty one.
+    pub fn is_narrower_than(self, other: Aw) -> bool {
+        if self.is_empty() {
+            return !other.is_empty();
+        }
+        if other.is_empty() {
+            return false;
+        }
+        (self.max <= other.max && self.lmin > other.lmin)
+            || (self.max < other.max && self.lmin >= other.lmin)
+    }
+
+    /// Non-strict narrowness `w1 ≤ w2`, which is also abstract-waveform
+    /// inclusion (`w1 ⊆ w2`).
+    pub fn is_subset_of(self, other: Aw) -> bool {
+        self == other || self.is_narrower_than(other)
+    }
+
+    /// Shifts the whole interval by a finite delay (`±∞` endpoints absorb).
+    ///
+    /// Shifting models a gate delay: if the inputs' last transitions lie in
+    /// `[lmin, max]`, the output's lie in `[lmin + d, max + d]`.
+    pub fn shift(self, d: i64) -> Aw {
+        if self.is_empty() {
+            return Aw::EMPTY;
+        }
+        Aw::new(self.lmin + d, self.max + d)
+    }
+
+    /// Raises the lower bound to at least `lmin` (removes waveforms that are
+    /// stable strictly before `lmin` — the Corollary 1 dominator narrowing).
+    pub fn require_transition_at_or_after(self, lmin: Time) -> Aw {
+        self.intersect(Aw::after(lmin))
+    }
+
+    /// Lowers the upper bound to at most `max` (removes waveforms that still
+    /// transition after `max` — forward settling propagation).
+    pub fn require_stable_after(self, max: Time) -> Aw {
+        self.intersect(Aw::before(max))
+    }
+}
+
+impl Default for Aw {
+    /// The default abstract waveform is [`Aw::FULL`] (no information yet).
+    fn default() -> Self {
+        Aw::FULL
+    }
+}
+
+impl fmt::Debug for Aw {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Aw {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            write!(f, "phi")
+        } else {
+            write!(f, "[{}, {}]", self.lmin, self.max)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aw(l: i64, m: i64) -> Aw {
+        Aw::new(Time::new(l), Time::new(m))
+    }
+
+    #[test]
+    fn empty_is_canonical() {
+        assert_eq!(aw(5, 3), Aw::EMPTY);
+        assert_eq!(aw(100, -100), Aw::EMPTY);
+        assert!(Aw::EMPTY.is_empty());
+        assert!(!Aw::FULL.is_empty());
+    }
+
+    #[test]
+    fn intersection_matches_interval_semantics() {
+        assert_eq!(aw(0, 10).intersect(aw(5, 20)), aw(5, 10));
+        assert_eq!(aw(0, 4).intersect(aw(5, 20)), Aw::EMPTY);
+        assert_eq!(Aw::FULL.intersect(aw(-3, 3)), aw(-3, 3));
+        assert_eq!(Aw::EMPTY.intersect(aw(0, 1)), Aw::EMPTY);
+    }
+
+    #[test]
+    fn union_hull_and_identity() {
+        assert_eq!(aw(0, 3).union(aw(10, 12)), aw(0, 12));
+        assert_eq!(Aw::EMPTY.union(aw(1, 2)), aw(1, 2));
+        assert_eq!(aw(1, 2).union(Aw::EMPTY), aw(1, 2));
+    }
+
+    #[test]
+    fn lemma1_exactness_criterion() {
+        // Adjacent intervals: exact.
+        assert!(Aw::union_is_exact(aw(0, 4), aw(5, 9)));
+        // Overlapping: exact.
+        assert!(Aw::union_is_exact(aw(0, 6), aw(5, 9)));
+        // Separated by a gap: inexact.
+        assert!(!Aw::union_is_exact(aw(0, 3), aw(5, 9)));
+        // Empty operand: trivially exact.
+        assert!(Aw::union_is_exact(Aw::EMPTY, aw(5, 9)));
+    }
+
+    #[test]
+    fn narrowness_relation() {
+        assert!(aw(5, 10).is_narrower_than(aw(0, 10))); // lmin strictly up
+        assert!(aw(0, 9).is_narrower_than(aw(0, 10))); // max strictly down
+        assert!(aw(5, 9).is_narrower_than(aw(0, 10)));
+        assert!(!aw(0, 10).is_narrower_than(aw(0, 10))); // strict
+        assert!(!aw(0, 11).is_narrower_than(aw(0, 10)));
+        assert!(Aw::EMPTY.is_narrower_than(aw(0, 10)));
+        assert!(!aw(0, 10).is_narrower_than(Aw::EMPTY));
+    }
+
+    #[test]
+    fn subset_is_reflexive_nonstrict_narrowness() {
+        assert!(aw(0, 10).is_subset_of(aw(0, 10)));
+        assert!(aw(2, 8).is_subset_of(aw(0, 10)));
+        assert!(!aw(0, 10).is_subset_of(aw(2, 8)));
+        assert!(Aw::EMPTY.is_subset_of(Aw::EMPTY));
+    }
+
+    #[test]
+    fn shift_moves_finite_bounds_only() {
+        assert_eq!(aw(1, 5).shift(10), aw(11, 15));
+        assert_eq!(Aw::before(Time::new(5)).shift(10).lmin(), Time::NEG_INF);
+        assert_eq!(Aw::EMPTY.shift(10), Aw::EMPTY);
+    }
+
+    #[test]
+    fn narrowing_helpers() {
+        let w = Aw::FULL;
+        assert_eq!(
+            w.require_transition_at_or_after(Time::new(61)),
+            Aw::after(Time::new(61))
+        );
+        assert_eq!(w.require_stable_after(Time::new(10)), Aw::before(Time::new(10)));
+        // Conflicting requirements empty the waveform.
+        assert!(Aw::before(Time::new(10))
+            .require_transition_at_or_after(Time::new(61))
+            .is_empty());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(aw(1, 2).to_string(), "[1, 2]");
+        assert_eq!(Aw::EMPTY.to_string(), "phi");
+        assert_eq!(Aw::FULL.to_string(), "[-inf, +inf]");
+    }
+}

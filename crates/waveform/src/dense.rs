@@ -1,0 +1,458 @@
+//! Dense (exact) binary-waveform sets over a finite time window.
+//!
+//! The abstract-waveform algebra is an *interval abstraction* of sets of
+//! binary waveforms. This module provides the concrete side of that
+//! abstraction for a finite window `[0, W)`: every binary waveform that is
+//! stable after `W − 1` is encoded as a `W`-bit mask, and a [`DenseSet`] is
+//! an exact set of such waveforms. Gate functions can be applied exactly by
+//! enumeration, which yields ground-truth *projections* (§3.2 of the paper)
+//! against which the closed-form interval narrowing rules are validated in
+//! unit and property tests (soundness: an interval rule must never remove a
+//! waveform that participates in a solution).
+//!
+//! The oracle evaluates gates with **delay 0**; that is not a loss of
+//! generality because a gate with delay `d` is the delay-0 gate composed
+//! with a time shift, and time shifts are bijections on the waveform space
+//! that the interval algebra models exactly ([`Aw::shift`]).
+//!
+//! Window sizes are deliberately small (`W ≤ 16`); the oracle enumerates all
+//! `2^W` waveforms.
+
+use crate::{Aw, Level, Signal, Time};
+use std::fmt;
+
+/// Maximum supported window width.
+pub const MAX_WIDTH: u32 = 16;
+
+/// A binary waveform over the window `[0, W)`, stable after `W − 1`.
+///
+/// Bit `t` of `mask` is the value `f(t)`; for `t ≥ W − 1` the waveform keeps
+/// the value of bit `W − 1` (its *settling value*).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct DenseWaveform {
+    mask: u32,
+    width: u32,
+}
+
+impl DenseWaveform {
+    /// Creates a waveform from its bitmask over a window of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds [`MAX_WIDTH`], or if `mask` has
+    /// bits set outside the window.
+    pub fn new(mask: u32, width: u32) -> Self {
+        assert!((1..=MAX_WIDTH).contains(&width), "window width out of range");
+        assert!(
+            width == 32 || mask < (1u32 << width),
+            "mask has bits outside the window"
+        );
+        DenseWaveform { mask, width }
+    }
+
+    /// The value `f(t)`; times past the window return the settling value and
+    /// negative times are not represented (the window starts at 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t < 0`.
+    pub fn value_at(self, t: i64) -> bool {
+        assert!(t >= 0, "window waveforms start at time 0");
+        let idx = (t as u32).min(self.width - 1);
+        (self.mask >> idx) & 1 == 1
+    }
+
+    /// The settling value (class) of the waveform.
+    pub fn settle(self) -> Level {
+        Level::from_bool((self.mask >> (self.width - 1)) & 1 == 1)
+    }
+
+    /// The last time the waveform differs from its settling value
+    /// (`LD(f)`), or [`Time::NEG_INF`] for a constant waveform.
+    pub fn last_difference(self) -> Time {
+        let v = self.settle().to_bool();
+        for t in (0..self.width - 1).rev() {
+            if ((self.mask >> t) & 1 == 1) != v {
+                return Time::new(t as i64);
+            }
+        }
+        Time::NEG_INF
+    }
+
+    /// The raw window bitmask.
+    pub fn mask(self) -> u32 {
+        self.mask
+    }
+
+    /// The window width.
+    pub fn width(self) -> u32 {
+        self.width
+    }
+}
+
+impl fmt::Display for DenseWaveform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in 0..self.width {
+            write!(f, "{}", (self.mask >> t) & 1)?;
+        }
+        Ok(())
+    }
+}
+
+/// An exact set of window waveforms, represented as a bitset over all
+/// `2^width` masks.
+///
+/// # Examples
+///
+/// ```
+/// use ltt_waveform::dense::DenseSet;
+/// use ltt_waveform::{Signal, Level, Time, Aw};
+///
+/// // All waveforms of width 4 that settle to 1 with LD ∈ [1, 2]:
+/// let sig = Signal::single_class(Level::One, Aw::new(Time::new(1), Time::new(2)));
+/// let set = DenseSet::from_signal(sig, 4);
+/// assert!(!set.is_empty());
+/// // The narrowest signal containing the set round-trips the interval.
+/// assert_eq!(set.to_narrowest_signal()[Level::One], sig[Level::One]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct DenseSet {
+    width: u32,
+    bits: Vec<u64>,
+}
+
+impl DenseSet {
+    /// The empty set over a window of `width` bits.
+    pub fn empty(width: u32) -> Self {
+        assert!((1..=MAX_WIDTH).contains(&width), "window width out of range");
+        let n = 1usize << width;
+        DenseSet {
+            width,
+            bits: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Every window waveform of the given width.
+    pub fn full(width: u32) -> Self {
+        let mut s = DenseSet::empty(width);
+        let n = 1usize << width;
+        for (i, word) in s.bits.iter_mut().enumerate() {
+            let lo = i * 64;
+            let hi = (lo + 64).min(n);
+            if hi - lo == 64 {
+                *word = u64::MAX;
+            } else {
+                *word = (1u64 << (hi - lo)) - 1;
+            }
+        }
+        s
+    }
+
+    /// The exact concretization of an abstract waveform of class `level`:
+    /// all window waveforms settling to `level` with `LD` in `aw`.
+    pub fn from_aw(aw: Aw, level: Level, width: u32) -> Self {
+        let mut s = DenseSet::empty(width);
+        if aw.is_empty() {
+            return s;
+        }
+        for mask in 0..(1u32 << width) {
+            let w = DenseWaveform::new(mask, width);
+            if w.settle() == level && aw.contains_time(w.last_difference()) {
+                s.insert(w);
+            }
+        }
+        s
+    }
+
+    /// The exact concretization of an abstract signal (union of both
+    /// classes).
+    pub fn from_signal(sig: Signal, width: u32) -> Self {
+        let mut s = DenseSet::from_aw(sig[Level::Zero], Level::Zero, width);
+        s.union_with(&DenseSet::from_aw(sig[Level::One], Level::One, width));
+        s
+    }
+
+    /// Window width of the member waveforms.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Adds a waveform to the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the waveform's width differs from the set's width.
+    pub fn insert(&mut self, w: DenseWaveform) {
+        assert_eq!(w.width, self.width, "waveform width mismatch");
+        self.bits[(w.mask / 64) as usize] |= 1u64 << (w.mask % 64);
+    }
+
+    /// Whether the waveform is a member.
+    pub fn contains(&self, w: DenseWaveform) -> bool {
+        assert_eq!(w.width, self.width, "waveform width mismatch");
+        (self.bits[(w.mask / 64) as usize] >> (w.mask % 64)) & 1 == 1
+    }
+
+    /// Whether the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Number of member waveforms.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// In-place set union.
+    pub fn union_with(&mut self, other: &DenseSet) {
+        assert_eq!(self.width, other.width, "window width mismatch");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    /// In-place set intersection.
+    pub fn intersect_with(&mut self, other: &DenseSet) {
+        assert_eq!(self.width, other.width, "window width mismatch");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a &= b;
+        }
+    }
+
+    /// Whether `self ⊆ other` as plain sets.
+    pub fn is_subset_of(&self, other: &DenseSet) -> bool {
+        assert_eq!(self.width, other.width, "window width mismatch");
+        self.bits.iter().zip(&other.bits).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over the member waveforms.
+    pub fn iter(&self) -> impl Iterator<Item = DenseWaveform> + '_ {
+        let width = self.width;
+        (0..(1u32 << self.width))
+            .filter(move |&m| (self.bits[(m / 64) as usize] >> (m % 64)) & 1 == 1)
+            .map(move |m| DenseWaveform::new(m, width))
+    }
+
+    /// The narrowest abstract signal containing this exact set — the target
+    /// the interval projections must stay *at or above* to be sound.
+    pub fn to_narrowest_signal(&self) -> Signal {
+        let mut lo = [Time::POS_INF; 2];
+        let mut hi = [Time::NEG_INF; 2];
+        let mut seen = [false; 2];
+        for w in self.iter() {
+            let c = w.settle().index();
+            let ld = w.last_difference();
+            seen[c] = true;
+            lo[c] = lo[c].min(ld);
+            hi[c] = hi[c].max(ld);
+        }
+        let mk = |c: usize| {
+            if seen[c] {
+                Aw::new(lo[c], hi[c])
+            } else {
+                Aw::EMPTY
+            }
+        };
+        Signal::new(mk(0), mk(1))
+    }
+
+    /// Exact relational projection through an `n`-input, delay-0 gate
+    /// (§3.2): given input sets `inputs` and output set `out`, returns the
+    /// projected input sets and output set — the members that participate in
+    /// at least one consistent `(a₁, …, aₙ, s)` tuple with
+    /// `s(t) = g(a₁(t), …, aₙ(t))` and `s ∈ out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatches or if `inputs` is empty or longer than 3
+    /// (enumeration cost grows as `2^(W·n)`).
+    pub fn project_gate(
+        gate: impl Fn(&[bool]) -> bool,
+        inputs: &[&DenseSet],
+        out: &DenseSet,
+    ) -> (Vec<DenseSet>, DenseSet) {
+        assert!(
+            !inputs.is_empty() && inputs.len() <= 3,
+            "oracle supports 1 to 3 gate inputs"
+        );
+        let width = out.width;
+        for i in inputs {
+            assert_eq!(i.width, width, "window width mismatch");
+        }
+        let mut proj_in: Vec<DenseSet> = inputs.iter().map(|_| DenseSet::empty(width)).collect();
+        let mut proj_out = DenseSet::empty(width);
+
+        let members: Vec<Vec<DenseWaveform>> = inputs.iter().map(|s| s.iter().collect()).collect();
+        let mut idx = vec![0usize; inputs.len()];
+        if members.iter().any(|m| m.is_empty()) {
+            return (proj_in, proj_out);
+        }
+        let mut vals = vec![false; inputs.len()];
+        loop {
+            let tuple: Vec<DenseWaveform> =
+                idx.iter().zip(&members).map(|(&i, m)| m[i]).collect();
+            // Evaluate the output waveform pointwise over the window.
+            let mut s_mask = 0u32;
+            for t in 0..width {
+                for (k, w) in tuple.iter().enumerate() {
+                    vals[k] = w.value_at(t as i64);
+                }
+                if gate(&vals) {
+                    s_mask |= 1 << t;
+                }
+            }
+            let s = DenseWaveform::new(s_mask, width);
+            if out.contains(s) {
+                for (k, w) in tuple.iter().enumerate() {
+                    proj_in[k].insert(*w);
+                }
+                proj_out.insert(s);
+            }
+            // Advance the odometer.
+            let mut k = 0;
+            loop {
+                idx[k] += 1;
+                if idx[k] < members[k].len() {
+                    break;
+                }
+                idx[k] = 0;
+                k += 1;
+                if k == inputs.len() {
+                    return (proj_in, proj_out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for DenseSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DenseSet(w={}, n={})", self.width, self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waveform_settle_and_ld() {
+        // width 4, mask 0b1011: f(0)=1 f(1)=1 f(2)=0 f(3)=1, settles to 1.
+        let w = DenseWaveform::new(0b1011, 4);
+        assert_eq!(w.settle(), Level::One);
+        assert_eq!(w.last_difference(), Time::new(2));
+        // Constant waveform: LD = −∞.
+        let c = DenseWaveform::new(0b1111, 4);
+        assert_eq!(c.last_difference(), Time::NEG_INF);
+        let z = DenseWaveform::new(0b0000, 4);
+        assert_eq!(z.settle(), Level::Zero);
+        assert_eq!(z.last_difference(), Time::NEG_INF);
+    }
+
+    #[test]
+    fn value_at_clamps_to_settling_value() {
+        let w = DenseWaveform::new(0b100, 3);
+        assert!(!w.value_at(0));
+        assert!(w.value_at(2));
+        assert!(w.value_at(100));
+    }
+
+    #[test]
+    fn full_set_has_all_masks() {
+        let s = DenseSet::full(5);
+        assert_eq!(s.len(), 32);
+        let e = DenseSet::empty(5);
+        assert!(e.is_empty());
+        assert!(e.is_subset_of(&s));
+    }
+
+    #[test]
+    fn from_signal_roundtrips_through_narrowest() {
+        let sig = Signal::new(
+            Aw::new(Time::new(0), Time::new(2)),
+            Aw::new(Time::new(1), Time::new(1)),
+        );
+        let set = DenseSet::from_signal(sig, 4);
+        assert_eq!(set.to_narrowest_signal(), sig);
+    }
+
+    #[test]
+    fn from_signal_neg_inf_lmin_includes_constants() {
+        let sig = Signal::single_class(Level::One, Aw::before(Time::new(1)));
+        let set = DenseSet::from_signal(sig, 4);
+        // Constant-1 (LD = −∞) must be included.
+        assert!(set.contains(DenseWaveform::new(0b1111, 4)));
+        // LD = 1 (f = 0011 reversed bit order: mask with bit1 differing)…
+        assert!(set.contains(DenseWaveform::new(0b1100, 4)));
+        // LD = 2 must be excluded.
+        assert!(!set.contains(DenseWaveform::new(0b1000, 4)));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a = DenseSet::empty(3);
+        a.insert(DenseWaveform::new(0b001, 3));
+        a.insert(DenseWaveform::new(0b010, 3));
+        let mut b = DenseSet::empty(3);
+        b.insert(DenseWaveform::new(0b010, 3));
+        b.insert(DenseWaveform::new(0b100, 3));
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.len(), 3);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.len(), 1);
+        assert!(i.contains(DenseWaveform::new(0b010, 3)));
+        assert!(i.is_subset_of(&a) && i.is_subset_of(&b));
+        assert!(!a.is_subset_of(&b));
+    }
+
+    #[test]
+    fn project_and_gate_restricts_inputs() {
+        // AND gate, output constrained to settle at 1: both inputs must
+        // settle at 1.
+        let width = 3;
+        let full = DenseSet::full(width);
+        let out = DenseSet::from_signal(Signal::single_class(Level::One, Aw::FULL), width);
+        let (ins, pout) =
+            DenseSet::project_gate(|v| v.iter().all(|&b| b), &[&full, &full], &out);
+        for w in ins[0].iter() {
+            assert_eq!(w.settle(), Level::One);
+        }
+        for w in ins[1].iter() {
+            assert_eq!(w.settle(), Level::One);
+        }
+        for w in pout.iter() {
+            assert_eq!(w.settle(), Level::One);
+        }
+        assert!(!pout.is_empty());
+    }
+
+    #[test]
+    fn project_not_gate_swaps_classes() {
+        let width = 3;
+        let input = DenseSet::from_signal(Signal::single_class(Level::Zero, Aw::FULL), width);
+        let out_full = DenseSet::full(width);
+        let (ins, pout) = DenseSet::project_gate(|v| !v[0], &[&input], &out_full);
+        assert_eq!(ins[0].len(), input.len());
+        for w in pout.iter() {
+            assert_eq!(w.settle(), Level::One);
+        }
+    }
+
+    #[test]
+    fn project_empty_output_empties_everything() {
+        let width = 3;
+        let full = DenseSet::full(width);
+        let empty = DenseSet::empty(width);
+        let (ins, pout) =
+            DenseSet::project_gate(|v| v.iter().all(|&b| b), &[&full, &full], &empty);
+        assert!(ins[0].is_empty() && ins[1].is_empty() && pout.is_empty());
+    }
+
+    #[test]
+    fn display_waveform() {
+        let w = DenseWaveform::new(0b101, 3);
+        assert_eq!(w.to_string(), "101");
+    }
+}

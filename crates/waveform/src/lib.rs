@@ -1,0 +1,55 @@
+//! Abstract waveforms and the last-transition-interval algebra underlying
+//! waveform-narrowing gate-level timing analysis.
+//!
+//! This crate implements §3.1 of Kassab, Cerny, Aourid & Krodel,
+//! *"Propagation of Last-Transition-Time Constraints in Gate-Level Timing
+//! Analysis"* (DATE 1998):
+//!
+//! * [`Time`] — the discrete time axis extended with `−∞`/`+∞`;
+//! * [`Aw`] — an *abstract waveform* `v|_lmin^max`: the set of binary
+//!   waveforms settling to class `v` after `max` with the last transition at
+//!   or after `lmin`, together with the full relational algebra (equality,
+//!   narrowness, inclusion, intersection, union, and the Lemma 1 union
+//!   exactness criterion);
+//! * [`Signal`] — an *abstract signal* `(S₀, S₁)`, one abstract waveform per
+//!   settling class; the domain of every net variable in the constraint
+//!   system;
+//! * [`dense`] — an exact finite-window waveform-set oracle used to validate
+//!   the interval rules (soundness property tests live in the consuming
+//!   crates and in this crate's `tests/`).
+//!
+//! # Example
+//!
+//! Reproducing the shapes from the paper's Example 2 (the timing check
+//! `σ = (ξ, s, 61)` on the Figure 1 circuit):
+//!
+//! ```
+//! use ltt_waveform::{Aw, Level, Signal, Time};
+//!
+//! // Floating-mode primary inputs: stable after time 0.
+//! let input = Signal::floating_input();
+//!
+//! // Timing-check output domain: transitions at or after δ = 61.
+//! let d_s = Signal::violation(Time::new(61));
+//!
+//! // Forward propagation bounds the settling time of an internal net
+//! // (delay 10 per gate level):
+//! let d_n1 = Signal::FULL.require_stable_after(Time::new(10));
+//! assert_eq!(d_n1[Level::Zero], Aw::before(Time::new(10)));
+//!
+//! // …and backward propagation of the last-transition interval narrows it:
+//! let d_n1 = d_n1.require_transition_at_or_after(Time::new(1));
+//! assert_eq!(d_n1[Level::One], Aw::new(Time::new(1), Time::new(10)));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod aw;
+pub mod dense;
+mod signal;
+mod time;
+
+pub use aw::Aw;
+pub use signal::{Level, Signal};
+pub use time::Time;

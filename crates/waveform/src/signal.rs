@@ -1,0 +1,381 @@
+//! Abstract signals: the variable domains of the constraint system
+//! (Definition 2 of the paper).
+//!
+//! An *abstract signal* pairs two abstract waveforms — one per settling
+//! class: `S = (w, w̄)` with `w.v = 0` and `w̄.v = 1`. It denotes the union
+//! of the two waveform sets and is the domain associated with every circuit
+//! net during narrowing.
+
+use crate::{Aw, Time};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A binary signal level (the *class* of an abstract waveform).
+///
+/// # Examples
+///
+/// ```
+/// use ltt_waveform::Level;
+/// assert_eq!(!Level::Zero, Level::One);
+/// assert_eq!(Level::from_bool(true), Level::One);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Level {
+    /// Logic 0.
+    Zero,
+    /// Logic 1.
+    One,
+}
+
+impl Level {
+    /// Both levels, in `[Zero, One]` order (handy for iterating classes).
+    pub const BOTH: [Level; 2] = [Level::Zero, Level::One];
+
+    /// Converts from `bool` (`true` ⇒ [`Level::One`]).
+    pub fn from_bool(b: bool) -> Level {
+        if b {
+            Level::One
+        } else {
+            Level::Zero
+        }
+    }
+
+    /// Converts to `bool` (`One` ⇒ `true`).
+    pub fn to_bool(self) -> bool {
+        self == Level::One
+    }
+
+    /// Index of this level (`Zero` ⇒ 0, `One` ⇒ 1).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl std::ops::Not for Level {
+    type Output = Level;
+    fn not(self) -> Level {
+        match self {
+            Level::Zero => Level::One,
+            Level::One => Level::Zero,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Level::Zero => write!(f, "0"),
+            Level::One => write!(f, "1"),
+        }
+    }
+}
+
+/// An abstract signal: a pair of abstract waveforms, one per settling class.
+///
+/// `Signal` is the domain type of the constraint system: a net's domain
+/// `(S₀, S₁)` contains the binary waveforms that settle to 0 with last
+/// transition in `S₀`, plus those that settle to 1 with last transition in
+/// `S₁`. All §3.1.2 relations (equality, narrowness, inclusion,
+/// intersection, union) operate componentwise.
+///
+/// # Examples
+///
+/// ```
+/// use ltt_waveform::{Aw, Level, Signal, Time};
+///
+/// // Floating-mode primary input: stable after time 0 in both classes.
+/// let input = Signal::floating_input();
+/// assert_eq!(input[Level::Zero], Aw::before(Time::ZERO));
+///
+/// // A timing-check output domain: transitions at or after δ = 61.
+/// let check = Signal::violation(Time::new(61));
+/// assert_eq!(check[Level::One], Aw::after(Time::new(61)));
+///
+/// // Narrowing is componentwise intersection.
+/// let narrowed = input.intersect(Signal::single_class(Level::One, Aw::FULL));
+/// assert!(narrowed[Level::Zero].is_empty());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Signal {
+    classes: [Aw; 2],
+}
+
+impl Signal {
+    /// The empty signal `(φ, φ)`: the net can carry no waveform at all —
+    /// the constraint system is inconsistent (Theorem 2).
+    pub const EMPTY: Signal = Signal {
+        classes: [Aw::EMPTY, Aw::EMPTY],
+    };
+
+    /// The full signal `(0|_{−∞}^{+∞}, 1|_{−∞}^{+∞})`: any binary waveform.
+    pub const FULL: Signal = Signal {
+        classes: [Aw::FULL, Aw::FULL],
+    };
+
+    /// Creates a signal from its class-0 and class-1 abstract waveforms.
+    pub fn new(zero: Aw, one: Aw) -> Signal {
+        Signal {
+            classes: [zero, one],
+        }
+    }
+
+    /// The floating-mode primary-input domain `(0|_{−∞}^0, 1|_{−∞}^0)`:
+    /// waveforms of either final value that are stable after time 0
+    /// (initial state unknown, vector applied at time 0).
+    pub fn floating_input() -> Signal {
+        Signal::new(Aw::before(Time::ZERO), Aw::before(Time::ZERO))
+    }
+
+    /// The transition-mode primary-input domain `(0|_0^0, 1|_0^0)`: every
+    /// input has its (single) transition exactly at time 0. Changing the
+    /// input abstract waveforms is all that is needed to switch circuit
+    /// delay modes in this framework.
+    pub fn transition_input() -> Signal {
+        Signal::new(Aw::at(Time::ZERO), Aw::at(Time::ZERO))
+    }
+
+    /// The timing-check output domain `(0|_δ^{+∞}, 1|_δ^{+∞})`: only the
+    /// waveforms that still transition at or after `δ` (the violating ones).
+    pub fn violation(delta: Time) -> Signal {
+        Signal::new(Aw::after(delta), Aw::after(delta))
+    }
+
+    /// A signal restricted to a single class, empty in the other.
+    pub fn single_class(level: Level, w: Aw) -> Signal {
+        let mut s = Signal::EMPTY;
+        s.classes[level.index()] = w;
+        s
+    }
+
+    /// A constant signal: settles to `level` and never transitions.
+    pub fn constant(level: Level) -> Signal {
+        Signal::single_class(level, Aw::before(Time::NEG_INF))
+    }
+
+    /// Whether both classes are empty — the inconsistent domain.
+    pub fn is_empty(self) -> bool {
+        self.classes[0].is_empty() && self.classes[1].is_empty()
+    }
+
+    /// The single settling class, if exactly one class is non-empty.
+    ///
+    /// Case analysis *fixes the class* of a net: after a decision (or after
+    /// narrowing empties one class) this returns `Some(level)`.
+    pub fn fixed_class(self) -> Option<Level> {
+        match (self.classes[0].is_empty(), self.classes[1].is_empty()) {
+            (false, true) => Some(Level::Zero),
+            (true, false) => Some(Level::One),
+            _ => None,
+        }
+    }
+
+    /// Componentwise intersection (§3.1.2).
+    pub fn intersect(self, other: Signal) -> Signal {
+        Signal::new(
+            self.classes[0].intersect(other.classes[0]),
+            self.classes[1].intersect(other.classes[1]),
+        )
+    }
+
+    /// Componentwise abstract union (§3.1.2); may over-approximate set union
+    /// within each class (Lemma 1).
+    pub fn union(self, other: Signal) -> Signal {
+        Signal::new(
+            self.classes[0].union(other.classes[0]),
+            self.classes[1].union(other.classes[1]),
+        )
+    }
+
+    /// Componentwise inclusion `S₁ ⊆ S₂` (non-strict narrowness).
+    pub fn is_subset_of(self, other: Signal) -> bool {
+        self.classes[0].is_subset_of(other.classes[0])
+            && self.classes[1].is_subset_of(other.classes[1])
+    }
+
+    /// Strict narrowness `S₁ < S₂`: included and not equal.
+    pub fn is_narrower_than(self, other: Signal) -> bool {
+        self != other && self.is_subset_of(other)
+    }
+
+    /// Restricts the signal to one class (the other becomes `φ`) — the
+    /// waveform-splitting decision of the case analysis.
+    pub fn restrict_to_class(self, level: Level) -> Signal {
+        Signal::single_class(level, self.classes[level.index()])
+    }
+
+    /// Latest settling time over both classes: after this time, no waveform
+    /// in the domain can still transition (`−∞` if the domain is empty).
+    pub fn latest_settle(self) -> Time {
+        self.classes[0].max().max(self.classes[1].max())
+    }
+
+    /// Earliest last-transition bound over the non-empty classes (`+∞` if
+    /// the domain is empty). Every waveform in the domain has its last
+    /// transition at or after this time.
+    pub fn earliest_last_transition(self) -> Time {
+        let mut t = Time::POS_INF;
+        for w in self.classes {
+            if !w.is_empty() {
+                t = t.min(w.lmin());
+            }
+        }
+        t
+    }
+
+    /// Whether the domain still contains a waveform transitioning at or
+    /// after `t` — the dynamic-carrier condition
+    /// `D ∩ (0|_t^{+∞}, 1|_t^{+∞}) ≠ (φ, φ)` of Definition 7.
+    pub fn can_transition_at_or_after(self, t: Time) -> bool {
+        !self.intersect(Signal::violation(t)).is_empty()
+    }
+
+    /// Corollary 1 narrowing: keep only waveforms transitioning at or after
+    /// `t` (intersect both classes with `[t, +∞]`).
+    pub fn require_transition_at_or_after(self, t: Time) -> Signal {
+        self.intersect(Signal::violation(t))
+    }
+
+    /// Forward settling narrowing: keep only waveforms stable after `t`.
+    pub fn require_stable_after(self, t: Time) -> Signal {
+        self.intersect(Signal::new(Aw::before(t), Aw::before(t)))
+    }
+}
+
+impl Index<Level> for Signal {
+    type Output = Aw;
+    fn index(&self, level: Level) -> &Aw {
+        &self.classes[level.index()]
+    }
+}
+
+impl IndexMut<Level> for Signal {
+    fn index_mut(&mut self, level: Level) -> &mut Aw {
+        &mut self.classes[level.index()]
+    }
+}
+
+impl fmt::Debug for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(0|{}, 1|{})", self.classes[0], self.classes[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aw(l: i64, m: i64) -> Aw {
+        Aw::new(Time::new(l), Time::new(m))
+    }
+
+    #[test]
+    fn level_negation_and_indexing() {
+        assert_eq!(!Level::Zero, Level::One);
+        assert_eq!(Level::Zero.index(), 0);
+        assert_eq!(Level::One.index(), 1);
+        assert!(Level::One.to_bool());
+        assert_eq!(Level::from_bool(false), Level::Zero);
+    }
+
+    #[test]
+    fn constructors_have_paper_shapes() {
+        let f = Signal::floating_input();
+        assert_eq!(f[Level::Zero], Aw::before(Time::ZERO));
+        assert_eq!(f[Level::One], Aw::before(Time::ZERO));
+
+        let v = Signal::violation(Time::new(61));
+        assert_eq!(v[Level::Zero], Aw::after(Time::new(61)));
+        assert_eq!(v[Level::One], Aw::after(Time::new(61)));
+
+        let c = Signal::constant(Level::One);
+        assert!(c[Level::Zero].is_empty());
+        assert!(!c[Level::One].is_empty());
+        assert_eq!(c[Level::One].max(), Time::NEG_INF);
+    }
+
+    #[test]
+    fn emptiness_and_fixed_class() {
+        assert!(Signal::EMPTY.is_empty());
+        assert!(!Signal::FULL.is_empty());
+        assert_eq!(Signal::FULL.fixed_class(), None);
+        assert_eq!(
+            Signal::single_class(Level::One, Aw::FULL).fixed_class(),
+            Some(Level::One)
+        );
+        assert_eq!(Signal::EMPTY.fixed_class(), None);
+    }
+
+    #[test]
+    fn componentwise_set_algebra() {
+        let a = Signal::new(aw(0, 10), aw(5, 20));
+        let b = Signal::new(aw(5, 15), Aw::EMPTY);
+        let i = a.intersect(b);
+        assert_eq!(i[Level::Zero], aw(5, 10));
+        assert!(i[Level::One].is_empty());
+
+        let u = a.union(b);
+        assert_eq!(u[Level::Zero], aw(0, 15));
+        assert_eq!(u[Level::One], aw(5, 20));
+    }
+
+    #[test]
+    fn narrowness_is_strict_inclusion() {
+        let a = Signal::new(aw(2, 8), aw(5, 20));
+        let b = Signal::new(aw(0, 10), aw(5, 20));
+        assert!(a.is_subset_of(b));
+        assert!(a.is_narrower_than(b));
+        assert!(!b.is_narrower_than(a));
+        assert!(!a.is_narrower_than(a));
+    }
+
+    #[test]
+    fn class_restriction() {
+        let s = Signal::new(aw(0, 10), aw(5, 20));
+        let r = s.restrict_to_class(Level::One);
+        assert!(r[Level::Zero].is_empty());
+        assert_eq!(r[Level::One], aw(5, 20));
+    }
+
+    #[test]
+    fn settle_and_transition_bounds() {
+        let s = Signal::new(aw(0, 10), aw(5, 20));
+        assert_eq!(s.latest_settle(), Time::new(20));
+        assert_eq!(s.earliest_last_transition(), Time::new(0));
+        assert_eq!(Signal::EMPTY.latest_settle(), Time::NEG_INF);
+        assert_eq!(Signal::EMPTY.earliest_last_transition(), Time::POS_INF);
+    }
+
+    #[test]
+    fn dynamic_carrier_condition() {
+        let s = Signal::new(aw(0, 10), Aw::EMPTY);
+        assert!(s.can_transition_at_or_after(Time::new(10)));
+        assert!(!s.can_transition_at_or_after(Time::new(11)));
+    }
+
+    #[test]
+    fn corollary1_narrowing() {
+        let s = Signal::new(aw(0, 10), aw(5, 20));
+        let n = s.require_transition_at_or_after(Time::new(11));
+        assert!(n[Level::Zero].is_empty());
+        assert_eq!(n[Level::One], aw(11, 20));
+    }
+
+    #[test]
+    fn forward_settling_narrowing() {
+        let s = Signal::FULL.require_stable_after(Time::new(10));
+        assert_eq!(s[Level::Zero], Aw::before(Time::new(10)));
+        assert_eq!(s[Level::One], Aw::before(Time::new(10)));
+    }
+
+    #[test]
+    fn display_form() {
+        let s = Signal::new(aw(1, 2), Aw::EMPTY);
+        assert_eq!(s.to_string(), "(0|[1, 2], 1|phi)");
+    }
+}

@@ -1,0 +1,231 @@
+//! Discrete time axis with `−∞` / `+∞` sentinels.
+//!
+//! The waveform-narrowing framework reasons about *last-transition times* of
+//! binary waveforms, which live on a discrete integer time axis extended with
+//! two infinities: `−∞` (a waveform that never differs from its settling
+//! value, i.e. a constant) and `+∞` (no upper bound yet established).
+//! [`Time`] is a thin wrapper over `i64` whose arithmetic saturates at the
+//! sentinels, so `−∞ + d = −∞` and `+∞ + d = +∞` for any finite delay `d`.
+
+use std::fmt;
+use std::ops::{Add, Neg, Sub};
+
+/// A point on the extended discrete time axis.
+///
+/// `Time` is ordered, `−∞ < t < +∞` for every finite `t`, and addition /
+/// subtraction of finite offsets saturates at the infinities (the infinities
+/// are *absorbing*: shifting a constant waveform still yields a constant
+/// waveform).
+///
+/// # Examples
+///
+/// ```
+/// use ltt_waveform::Time;
+///
+/// let t = Time::new(50);
+/// assert_eq!(t + 10, Time::new(60));
+/// assert_eq!(Time::NEG_INF + 10, Time::NEG_INF);
+/// assert_eq!(Time::POS_INF - 10, Time::POS_INF);
+/// assert!(Time::NEG_INF < t && t < Time::POS_INF);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Time(i64);
+
+impl Time {
+    /// The `−∞` sentinel: earlier than every finite time.
+    pub const NEG_INF: Time = Time(i64::MIN);
+    /// The `+∞` sentinel: later than every finite time.
+    pub const POS_INF: Time = Time(i64::MAX);
+    /// Time zero, when the input vector is applied in floating mode.
+    pub const ZERO: Time = Time(0);
+
+    /// Creates a finite time point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` collides with one of the infinity sentinels
+    /// (`i64::MIN` / `i64::MAX`), which are reserved.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ltt_waveform::Time;
+    /// assert!(Time::new(42).is_finite());
+    /// ```
+    pub fn new(t: i64) -> Self {
+        assert!(
+            t != i64::MIN && t != i64::MAX,
+            "finite Time must not equal the infinity sentinels"
+        );
+        Time(t)
+    }
+
+    /// Returns the underlying value for a finite time, or `None` at ±∞.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ltt_waveform::Time;
+    /// assert_eq!(Time::new(7).finite(), Some(7));
+    /// assert_eq!(Time::POS_INF.finite(), None);
+    /// ```
+    pub fn finite(self) -> Option<i64> {
+        if self.is_finite() {
+            Some(self.0)
+        } else {
+            None
+        }
+    }
+
+    /// Whether this is a finite time point (neither `−∞` nor `+∞`).
+    pub fn is_finite(self) -> bool {
+        self != Time::NEG_INF && self != Time::POS_INF
+    }
+
+    /// The later of two time points.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ltt_waveform::Time;
+    /// assert_eq!(Time::new(3).max(Time::new(5)), Time::new(5));
+    /// ```
+    pub fn max(self, other: Time) -> Time {
+        Ord::max(self, other)
+    }
+
+    /// The earlier of two time points.
+    pub fn min(self, other: Time) -> Time {
+        Ord::min(self, other)
+    }
+
+    /// Saturating addition of a (possibly negative) finite offset.
+    ///
+    /// The infinities absorb: `±∞ + d = ±∞`.
+    pub fn offset(self, d: i64) -> Time {
+        if !self.is_finite() {
+            return self;
+        }
+        let v = self.0.saturating_add(d);
+        // Saturation must not accidentally produce a sentinel meaning
+        // "unbounded": clamp just inside.
+        if v == i64::MAX {
+            Time(i64::MAX - 1)
+        } else if v == i64::MIN {
+            Time(i64::MIN + 1)
+        } else {
+            Time(v)
+        }
+    }
+}
+
+impl Add<i64> for Time {
+    type Output = Time;
+    fn add(self, d: i64) -> Time {
+        self.offset(d)
+    }
+}
+
+impl Sub<i64> for Time {
+    type Output = Time;
+    fn sub(self, d: i64) -> Time {
+        self.offset(-d)
+    }
+}
+
+impl Neg for Time {
+    type Output = Time;
+    fn neg(self) -> Time {
+        match self {
+            Time::NEG_INF => Time::POS_INF,
+            Time::POS_INF => Time::NEG_INF,
+            Time(v) => Time(-v),
+        }
+    }
+}
+
+impl From<i64> for Time {
+    fn from(t: i64) -> Self {
+        Time::new(t)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Time::NEG_INF => write!(f, "-inf"),
+            Time::POS_INF => write!(f, "+inf"),
+            Time(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_places_sentinels_at_extremes() {
+        assert!(Time::NEG_INF < Time::new(-1_000_000));
+        assert!(Time::new(1_000_000) < Time::POS_INF);
+        assert!(Time::NEG_INF < Time::POS_INF);
+    }
+
+    #[test]
+    fn finite_arithmetic() {
+        assert_eq!(Time::new(10) + 5, Time::new(15));
+        assert_eq!(Time::new(10) - 25, Time::new(-15));
+    }
+
+    #[test]
+    fn infinities_absorb_offsets() {
+        assert_eq!(Time::NEG_INF + 1_000, Time::NEG_INF);
+        assert_eq!(Time::NEG_INF - 1_000, Time::NEG_INF);
+        assert_eq!(Time::POS_INF + 1_000, Time::POS_INF);
+        assert_eq!(Time::POS_INF - 1_000, Time::POS_INF);
+    }
+
+    #[test]
+    fn saturation_stays_finite() {
+        let near_max = Time::new(i64::MAX - 2);
+        let bumped = near_max + 100;
+        assert!(bumped.is_finite());
+        assert!(bumped > near_max);
+        let near_min = Time::new(i64::MIN + 2);
+        let dropped = near_min - 100;
+        assert!(dropped.is_finite());
+        assert!(dropped < near_min);
+    }
+
+    #[test]
+    fn negation_swaps_sentinels() {
+        assert_eq!(-Time::NEG_INF, Time::POS_INF);
+        assert_eq!(-Time::POS_INF, Time::NEG_INF);
+        assert_eq!(-Time::new(4), Time::new(-4));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Time::new(12).to_string(), "12");
+        assert_eq!(Time::NEG_INF.to_string(), "-inf");
+        assert_eq!(Time::POS_INF.to_string(), "+inf");
+    }
+
+    #[test]
+    #[should_panic]
+    fn new_rejects_sentinel() {
+        let _ = Time::new(i64::MAX);
+    }
+
+    #[test]
+    fn finite_accessor() {
+        assert_eq!(Time::new(-3).finite(), Some(-3));
+        assert_eq!(Time::NEG_INF.finite(), None);
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests for the abstract-waveform algebra.
+//!
+//! The key soundness contract: `Aw`/`Signal` operations must agree with (or
+//! over-approximate, in the case of union) exact set semantics, which the
+//! dense finite-window oracle computes by enumeration.
+
+use ltt_waveform::dense::DenseSet;
+use ltt_waveform::{Aw, Level, Signal, Time};
+use proptest::prelude::*;
+
+const W: u32 = 5;
+
+/// An arbitrary `Aw` whose finite bounds fit in the dense window `[0, W)`.
+fn arb_aw() -> impl Strategy<Value = Aw> {
+    let bound = prop_oneof![
+        Just(Time::NEG_INF),
+        (0i64..(W as i64 - 1)).prop_map(Time::new),
+        Just(Time::POS_INF),
+    ];
+    (bound.clone(), bound).prop_map(|(a, b)| Aw::new(a, b))
+}
+
+fn arb_signal() -> impl Strategy<Value = Signal> {
+    (arb_aw(), arb_aw()).prop_map(|(z, o)| Signal::new(z, o))
+}
+
+fn dense(aw: Aw, level: Level) -> DenseSet {
+    DenseSet::from_aw(aw, level, W)
+}
+
+proptest! {
+    #[test]
+    fn intersection_is_exact_set_intersection(a in arb_aw(), b in arb_aw()) {
+        for level in Level::BOTH {
+            let mut exact = dense(a, level);
+            exact.intersect_with(&dense(b, level));
+            prop_assert_eq!(dense(a.intersect(b), level), exact);
+        }
+    }
+
+    #[test]
+    fn union_contains_exact_set_union(a in arb_aw(), b in arb_aw()) {
+        for level in Level::BOTH {
+            let mut exact = dense(a, level);
+            exact.union_with(&dense(b, level));
+            let abstracted = dense(a.union(b), level);
+            prop_assert!(exact.is_subset_of(&abstracted));
+            // Lemma 1: the union is exact iff the criterion holds. The
+            // criterion can also hold vacuously when intervals have no
+            // representable witnesses, so only check the forward direction.
+            if Aw::union_is_exact(a, b) {
+                prop_assert_eq!(abstracted, exact);
+            }
+        }
+    }
+
+    #[test]
+    fn union_is_minimal_hull(a in arb_aw(), b in arb_aw()) {
+        // No Aw narrower than the union contains both operands.
+        let u = a.union(b);
+        prop_assert!(a.is_subset_of(u) && b.is_subset_of(u));
+        if !u.is_empty() {
+            // Shrinking either bound must drop an operand member (when the
+            // bound is finite and came from an operand).
+            let l = u.lmin();
+            let m = u.max();
+            prop_assert!(l == a.lmin().min(b.lmin()));
+            prop_assert!(m == a.max().max(b.max()));
+        }
+    }
+
+    #[test]
+    fn narrowness_matches_strict_inclusion_on_dense(a in arb_aw(), b in arb_aw()) {
+        // On representable sets, `is_subset_of` implies dense inclusion.
+        for level in Level::BOTH {
+            if a.is_subset_of(b) {
+                prop_assert!(dense(a, level).is_subset_of(&dense(b, level)));
+            }
+        }
+    }
+
+    #[test]
+    fn narrowness_is_a_strict_partial_order(a in arb_aw(), b in arb_aw(), c in arb_aw()) {
+        prop_assert!(!a.is_narrower_than(a));
+        if a.is_narrower_than(b) {
+            prop_assert!(!b.is_narrower_than(a));
+        }
+        if a.is_narrower_than(b) && b.is_narrower_than(c) {
+            prop_assert!(a.is_narrower_than(c));
+        }
+    }
+
+    #[test]
+    fn intersection_is_commutative_associative_idempotent(
+        a in arb_aw(), b in arb_aw(), c in arb_aw()
+    ) {
+        prop_assert_eq!(a.intersect(b), b.intersect(a));
+        prop_assert_eq!(a.intersect(b).intersect(c), a.intersect(b.intersect(c)));
+        prop_assert_eq!(a.intersect(a), a);
+    }
+
+    #[test]
+    fn union_is_commutative_associative_idempotent(
+        a in arb_aw(), b in arb_aw(), c in arb_aw()
+    ) {
+        prop_assert_eq!(a.union(b), b.union(a));
+        prop_assert_eq!(a.union(b).union(c), a.union(b.union(c)));
+        prop_assert_eq!(a.union(a), a);
+    }
+
+    #[test]
+    fn absorption_laws(a in arb_aw(), b in arb_aw()) {
+        prop_assert_eq!(a.union(a.intersect(b)), a);
+        prop_assert_eq!(a.intersect(a.union(b)), a);
+    }
+
+    #[test]
+    fn shift_roundtrips(a in arb_aw(), d in 0i64..100) {
+        prop_assert_eq!(a.shift(d).shift(-d), a);
+        if !a.is_empty() && a.max().is_finite() {
+            prop_assert_eq!(a.shift(d).max(), a.max() + d);
+        }
+    }
+
+    #[test]
+    fn signal_ops_are_componentwise(s1 in arb_signal(), s2 in arb_signal()) {
+        let i = s1.intersect(s2);
+        let u = s1.union(s2);
+        for level in Level::BOTH {
+            prop_assert_eq!(i[level], s1[level].intersect(s2[level]));
+            prop_assert_eq!(u[level], s1[level].union(s2[level]));
+        }
+        prop_assert!(i.is_subset_of(s1) && i.is_subset_of(s2));
+        prop_assert!(s1.is_subset_of(u) && s2.is_subset_of(u));
+    }
+
+    #[test]
+    fn dense_narrowest_roundtrip(s in arb_signal()) {
+        // Concretize then re-abstract: must be ≤ the original (the dense
+        // window may not witness every bound) and concretize to the same set.
+        let set = DenseSet::from_signal(s, W);
+        let back = set.to_narrowest_signal();
+        prop_assert!(back.is_subset_of(s));
+        prop_assert_eq!(DenseSet::from_signal(back, W), set);
+    }
+
+    #[test]
+    fn violation_and_stability_narrowing_agree_with_dense(
+        s in arb_signal(), t in 0i64..(W as i64 - 1)
+    ) {
+        let t = Time::new(t);
+        // require_transition_at_or_after = exact filter by LD ≥ t.
+        let narrowed = DenseSet::from_signal(s.require_transition_at_or_after(t), W);
+        let mut filtered = DenseSet::empty(W);
+        for w in DenseSet::from_signal(s, W).iter() {
+            if w.last_difference() >= t {
+                filtered.insert(w);
+            }
+        }
+        prop_assert_eq!(narrowed, filtered);
+
+        // require_stable_after = exact filter by LD ≤ t.
+        let narrowed = DenseSet::from_signal(s.require_stable_after(t), W);
+        let mut filtered = DenseSet::empty(W);
+        for w in DenseSet::from_signal(s, W).iter() {
+            if w.last_difference() <= t {
+                filtered.insert(w);
+            }
+        }
+        prop_assert_eq!(narrowed, filtered);
+    }
+}

@@ -1,0 +1,65 @@
+//! Waveform-level debugging: simulate a carry-skip adder's worst two-vector
+//! transition exactly, dump a VCD for a waveform viewer, and show the
+//! glitching the skip logic produces — the concrete behaviour the abstract
+//! last-transition intervals summarize.
+//!
+//! Run with `cargo run --release -p ltt-bench --example waveform_debug`.
+
+use ltt_netlist::generators::carry_skip_adder;
+use ltt_sta::{simulate, transition_counts, two_vector_delay, write_vcd, WaveformTrace};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let c = carry_skip_adder(8, 4, 10);
+    let cout = c.net_by_name("cout").expect("adder has a carry out");
+    let n = c.inputs().len();
+
+    // Find the worst two-vector pair for cout by sampling.
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut best = (0i64, vec![false; n], vec![false; n]);
+    for _ in 0..20_000 {
+        let v1: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+        let v2: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+        let d = two_vector_delay(&c, &v1, &v2, cout);
+        if d > best.0 {
+            best = (d, v1, v2);
+        }
+    }
+    let (delay, v1, v2) = best;
+    println!(
+        "worst sampled two-vector delay at cout: {delay} (topological {})",
+        c.arrival_times()[cout.index()]
+    );
+
+    // Exact waveform simulation of that pair.
+    let inputs: Vec<WaveformTrace> = v1
+        .iter()
+        .zip(&v2)
+        .map(|(&a, &b)| WaveformTrace::new(a, vec![(0, b)]))
+        .collect();
+    let traces = simulate(&c, &inputs);
+    let counts = transition_counts(&traces);
+    println!(
+        "total transitions: {} across {} nets (functional need: ≤ 1 per net)",
+        counts.iter().sum::<usize>(),
+        c.num_nets()
+    );
+    let mut glitchy: Vec<(usize, &str)> = c
+        .net_ids()
+        .map(|nid| (counts[nid.index()], c.net(nid).name()))
+        .filter(|&(k, _)| k > 1)
+        .collect();
+    glitchy.sort();
+    glitchy.reverse();
+    println!("glitchiest nets:");
+    for (k, name) in glitchy.iter().take(6) {
+        println!("  {name}: {k} transitions");
+    }
+    println!("cout trace: {:?}", traces[cout.index()].events());
+
+    let path = std::env::temp_dir().join("carry_skip_debug.vcd");
+    std::fs::write(&path, write_vcd(&c, &traces))?;
+    println!("VCD written to {} (open with any waveform viewer)", path.display());
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! The Table 1 harness itself, tested on the fast half of the suite: the
+//! generated rows must reproduce the paper's qualitative shape — who wins,
+//! at which stage, and the exact-vs-topological relation per circuit.
+
+use ltt_bench::table1::{render_rows, run_entry};
+use ltt_core::VerifyConfig;
+use ltt_netlist::suite::iscas85_suite;
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+fn table1_rows_have_the_paper_shape() {
+    let config = VerifyConfig {
+        max_backtracks: 10_000,
+        ..Default::default()
+    };
+    let suite = iscas85_suite(10);
+    for entry in suite
+        .iter()
+        .filter(|e| e.circuit.num_gates() <= 1200 && e.name != "s6288")
+    {
+        let rows = run_entry(entry, &config);
+        assert_eq!(rows.len(), 2, "{}", entry.name);
+        let (proof_row, exact_row) = (&rows[0], &rows[1]);
+
+        // Topological delay matches the paper exactly (by construction).
+        assert_eq!(exact_row.top, entry.paper_top, "{} top", entry.name);
+        // Exact delay matches the paper exactly (engineered gap).
+        assert_eq!(
+            Some(exact_row.delta),
+            entry.paper_exact,
+            "{} exact",
+            entry.name
+        );
+        assert_eq!(exact_row.marker, 'E');
+        // δ = exact: a certified vector.
+        assert_eq!(exact_row.result, 'V', "{}", entry.name);
+        // δ = exact + 1: proven, never via case analysis on these rows.
+        assert_eq!(proof_row.delta, exact_row.delta + 1);
+        assert_ne!(proof_row.result, 'A', "{}", entry.name);
+        assert!(
+            proof_row.before_gitd == 'N'
+                || proof_row.after_gitd == 'N'
+                || proof_row.after_stems == 'N'
+                || proof_row.result == 'N',
+            "{}: some stage must prove δ = exact + 1",
+            entry.name
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+fn table1_stage_columns_follow_the_paper() {
+    // The paper's qualitative stage structure:
+    //   c1908-, c3540-style rows need the dominator stage;
+    //   c2670-style rows need stem correlation;
+    //   c5315-, c7552-style rows are settled before G.I.T.D.
+    let config = VerifyConfig {
+        max_backtracks: 10_000,
+        ..Default::default()
+    };
+    let suite = iscas85_suite(10);
+    let by_name = |n: &str| suite.iter().find(|e| e.name == n).unwrap();
+
+    let rows = run_entry(by_name("s1908"), &config);
+    assert_eq!(rows[0].before_gitd, 'P');
+    assert_eq!(rows[0].after_gitd, 'N');
+
+    let rows = run_entry(by_name("s2670"), &config);
+    assert_eq!(rows[0].before_gitd, 'P');
+    assert_eq!(rows[0].after_gitd, 'P');
+    assert_eq!(rows[0].after_stems, 'N');
+
+    let rendered = render_rows(&rows);
+    assert!(rendered.contains("s2670"));
+    assert!(rendered.contains("PAPER"));
+}

@@ -1,0 +1,146 @@
+//! The abstraction's fundamental soundness property at *waveform*
+//! granularity: every concrete waveform tuple produced by exact
+//! event-driven simulation under floating-mode inputs is contained in the
+//! fixpoint domains — per net, the settling class is non-empty and the
+//! last event time lies inside the class's last-transition interval.
+//!
+//! (Settle-time containment is checked elsewhere; this test uses full
+//! traces with pre-time-0 noise, which exercise glitching and multi-event
+//! behaviour the per-vector simulator cannot.)
+
+use ltt_core::{FixpointResult, Narrower};
+use ltt_netlist::generators::{figure1, random_circuit, RandomCircuitConfig};
+use ltt_sta::{simulate, WaveformTrace};
+use ltt_waveform::{Level, Signal, Time};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random floating-mode input trace: a few noise events in [-40, 0), then
+/// the settled value at 0.
+fn random_trace(rng: &mut StdRng) -> WaveformTrace {
+    let initial = rng.gen_bool(0.5);
+    let noise: Vec<(i64, bool)> = (0..rng.gen_range(0..4))
+        .map(|_| (rng.gen_range(-40..0), rng.gen_bool(0.5)))
+        .collect();
+    WaveformTrace::floating(initial, noise, rng.gen_bool(0.5))
+}
+
+fn check_containment(c: &ltt_netlist::Circuit, traces_seed: u64) {
+    let mut nw = Narrower::new(c);
+    for &i in c.inputs() {
+        nw.narrow_net(i, Signal::floating_input());
+    }
+    assert_eq!(nw.reach_fixpoint(), FixpointResult::Fixpoint);
+
+    let mut rng = StdRng::seed_from_u64(traces_seed);
+    let inputs: Vec<WaveformTrace> = c.inputs().iter().map(|_| random_trace(&mut rng)).collect();
+    let traces = simulate(c, &inputs);
+
+    for net in c.net_ids() {
+        let trace = &traces[net.index()];
+        let class = Level::from_bool(trace.settles_to());
+        let domain = nw.domain(net);
+        let interval = domain[class];
+        assert!(
+            !interval.is_empty(),
+            "{}: net {} settles to {class} but the class is empty (domain {domain})",
+            c.name(),
+            c.net(net).name()
+        );
+        // LD(trace) = last event time (transport delays: stable after the
+        // last event), or −∞ for a constant trace. Containment: the
+        // interval's bounds must bracket it (lmin = −∞ waives existence).
+        match trace.last_event() {
+            None => {
+                assert!(
+                    interval.lmin() == Time::NEG_INF,
+                    "{}: constant net {} but class {class} requires a transition ({domain})",
+                    c.name(),
+                    c.net(net).name()
+                );
+            }
+            Some(event_time) => {
+                // The abstraction's LD(f) is the last time the waveform
+                // *differs* from its settle value; for a (normalized) event
+                // at time t the waveform differs at t − 1, so the class
+                // interval must contain event_time − 1.
+                let ld = Time::new(event_time) - 1;
+                assert!(
+                    interval.contains_time(ld),
+                    "{}: net {} last-difference {ld} outside class {class} interval {} of {domain}",
+                    c.name(),
+                    c.net(net).name(),
+                    interval
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_circuit_traces_are_contained(seed in 0u64..50_000, tseed in 0u64..1000) {
+        let c = random_circuit(&RandomCircuitConfig {
+            num_inputs: 6,
+            num_gates: 35,
+            num_outputs: 2,
+            max_fanin: 3,
+            depth_bias: 4,
+            delay: 10,
+            seed,
+        });
+        check_containment(&c, tseed);
+    }
+
+    #[test]
+    fn figure1_traces_are_contained(tseed in 0u64..2000) {
+        check_containment(&figure1(10), tseed);
+    }
+}
+
+/// Transition-mode containment: with inputs restricted to
+/// `(0|_0^0, 1|_0^0)` — every input's last difference at exactly time 0,
+/// i.e. a toggle event at time 1 — every all-inputs-toggling two-vector
+/// trace lies inside the transition-mode fixpoint domains.
+#[test]
+fn transition_mode_traces_are_contained() {
+    let c = figure1(10);
+    let mut nw = Narrower::new(&c);
+    for &i in c.inputs() {
+        nw.narrow_net(i, Signal::transition_input());
+    }
+    assert_eq!(nw.reach_fixpoint(), FixpointResult::Fixpoint);
+
+    for v1_bits in 0u32..128 {
+        let inputs: Vec<WaveformTrace> = (0..7)
+            .map(|i| {
+                let v1 = (v1_bits >> i) & 1 == 1;
+                WaveformTrace::new(v1, vec![(1, !v1)])
+            })
+            .collect();
+        let traces = simulate(&c, &inputs);
+        for net in c.net_ids() {
+            let trace = &traces[net.index()];
+            let class = Level::from_bool(trace.settles_to());
+            let interval = nw.domain(net)[class];
+            assert!(
+                !interval.is_empty(),
+                "net {} settles to {class}, class empty under v1={v1_bits:07b}",
+                c.net(net).name()
+            );
+            match trace.last_event() {
+                None => assert!(interval.lmin() == Time::NEG_INF),
+                Some(t) => assert!(
+                    interval.contains_time(Time::new(t) - 1),
+                    "net {}: LD {} outside {} (v1={v1_bits:07b})",
+                    c.net(net).name(),
+                    t - 1,
+                    interval
+                ),
+            }
+        }
+    }
+}
