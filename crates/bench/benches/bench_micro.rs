@@ -16,7 +16,10 @@ fn projection_kernels(c: &mut Criterion) {
         Aw::new(Time::new(0), Time::new(40)),
         Aw::new(Time::new(5), Time::new(50)),
     );
-    let b = Signal::new(Aw::before(Time::new(30)), Aw::new(Time::new(2), Time::new(45)));
+    let b = Signal::new(
+        Aw::before(Time::new(30)),
+        Aw::new(Time::new(2), Time::new(45)),
+    );
     let s = Signal::new(
         Aw::new(Time::new(20), Time::new(90)),
         Aw::before(Time::new(80)),

@@ -68,7 +68,10 @@ fn main() {
             },
             full.clone(),
         ];
-        let results: Vec<_> = configs.iter().map(|cfg| verify(&c, s, delta, cfg)).collect();
+        let results: Vec<_> = configs
+            .iter()
+            .map(|cfg| verify(&c, s, delta, cfg))
+            .collect();
         table.row(&[
             spec.name.to_string(),
             delta.to_string(),

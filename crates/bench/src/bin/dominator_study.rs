@@ -32,7 +32,15 @@ fn main() {
     );
 
     let mut table = Table::new(&["delta", "dominators", "verdict", "stage", "cpu (ms)"]);
-    for delta in [top - 60, top - 30, top - 29, top - 20, top - 10, top, top + 1] {
+    for delta in [
+        top - 60,
+        top - 30,
+        top - 29,
+        top - 20,
+        top - 10,
+        top,
+        top + 1,
+    ] {
         // Count the dynamic timing dominators at the plain-narrowing
         // fixpoint (the state in which the G.I.T.D. stage starts).
         let mut nw = Narrower::new(&c);

@@ -10,7 +10,11 @@ use ltt_sta::{describe_vector, exhaustive_floating_delay, path_analysis};
 fn main() {
     let c = figure1(10);
     let s = c.outputs()[0];
-    println!("Figure 1 circuit: {} gates, {} inputs", c.num_gates(), c.inputs().len());
+    println!(
+        "Figure 1 circuit: {} gates, {} inputs",
+        c.num_gates(),
+        c.inputs().len()
+    );
     println!("Topological delay (top): {}", c.topological_delay());
 
     let oracle = exhaustive_floating_delay(&c, s).expect("7 inputs");
@@ -48,6 +52,9 @@ fn main() {
         "path-enumeration baseline: {} paths examined before a sensitizable one of length {:?}",
         paths.paths_examined, paths.delay_estimate
     );
-    assert_eq!(search.delay, oracle.delay, "verifier must agree with oracle");
+    assert_eq!(
+        search.delay, oracle.delay,
+        "verifier must agree with oracle"
+    );
     println!("OK: verifier and oracle agree (exact = {}).", search.delay);
 }

@@ -3,7 +3,9 @@
 //! row exercises the stage the paper reports.
 
 use ltt_core::{exact_delay, verify, Stage, Verdict, VerifyConfig};
-use ltt_netlist::generators::{array_multiplier, carry_skip_adder, false_path_chain, stem_conflict_circuit};
+use ltt_netlist::generators::{
+    array_multiplier, carry_skip_adder, false_path_chain, stem_conflict_circuit,
+};
 use ltt_netlist::transform::nor_mapping;
 use ltt_netlist::{Circuit, CircuitBuilder, DelayInterval, GateKind, NetId};
 
@@ -22,7 +24,11 @@ fn forked_chain(p: usize, q: usize) -> Circuit {
     let mut n = b.gate("n1", GateKind::And, &[x0, x1], d10());
     for i in 2..p {
         let side = b.input(format!("p{i}"));
-        let kind = if i % 2 == 1 { GateKind::Or } else { GateKind::And };
+        let kind = if i % 2 == 1 {
+            GateKind::Or
+        } else {
+            GateKind::And
+        };
         n = b.gate(format!("n{i}"), kind, &[n, side], d10());
     }
     n = b.gate(format!("n{p}"), GateKind::And, &[n, shared], d10());

@@ -27,7 +27,11 @@ fn serial_gadgets(k: usize) -> Circuit {
         let mut n = b.gate(format!("n1_{g}"), GateKind::And, &[feed, x1], d);
         for i in 2..4 {
             let side = b.input(format!("p{i}_{g}"));
-            let kind = if i % 2 == 1 { GateKind::Or } else { GateKind::And };
+            let kind = if i % 2 == 1 {
+                GateKind::Or
+            } else {
+                GateKind::And
+            };
             n = b.gate(format!("n{i}_{g}"), kind, &[n, side], d);
         }
         n = b.gate(format!("n4_{g}"), GateKind::And, &[n, shared], d);

@@ -30,9 +30,7 @@ fn exact_envelope(c: &Circuit) -> Option<Vec<i64>> {
     for a in 0u64..(1 << n) {
         for b in 0u64..(1 << n) {
             let inputs: Vec<WaveformTrace> = (0..n)
-                .map(|i| {
-                    WaveformTrace::new((a >> i) & 1 == 1, vec![(1, (b >> i) & 1 == 1)])
-                })
+                .map(|i| WaveformTrace::new((a >> i) & 1 == 1, vec![(1, (b >> i) & 1 == 1)]))
                 .collect();
             let traces = simulate(c, &inputs);
             for (slot, tr) in envelope.iter_mut().zip(&traces) {
@@ -46,11 +44,7 @@ fn exact_envelope(c: &Circuit) -> Option<Vec<i64>> {
 /// Per-net fixpoint bounds under the δ check: `(settle_max, lmin)` where
 /// `lmin` is the earliest last transition still allowed (the quantity the
 /// Corollary 1 dominator narrowing raises).
-fn fixpoint_bounds(
-    c: &Circuit,
-    use_dominators: bool,
-    delta: i64,
-) -> Option<(Vec<i64>, Vec<Time>)> {
+fn fixpoint_bounds(c: &Circuit, use_dominators: bool, delta: i64) -> Option<(Vec<i64>, Vec<Time>)> {
     let s = {
         let arrival = c.arrival_times();
         c.outputs()

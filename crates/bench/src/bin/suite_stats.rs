@@ -23,17 +23,8 @@ fn main() {
         ("s6288", 2406, 32, 32),
     ];
     let mut table = Table::new(&[
-        "circuit",
-        "gates",
-        "(paper)",
-        "inputs",
-        "(paper)",
-        "outputs",
-        "(paper)",
-        "depth",
-        "stems",
-        "top",
-        "(paper)",
+        "circuit", "gates", "(paper)", "inputs", "(paper)", "outputs", "(paper)", "depth", "stems",
+        "top", "(paper)",
     ]);
     for entry in iscas85_suite(10) {
         let (_, pg, pi, po) = published

@@ -4,14 +4,51 @@
 //! paper's reference values alongside.
 //!
 //! Run with `cargo run --release -p ltt-bench --bin table1`.
-//! Pass `--quick` to skip the two largest stand-ins.
+//! Pass `--quick` to skip the two largest stand-ins, `--jobs N` to fan
+//! each entry's per-output checks over N workers (0 = one per hardware
+//! thread), and `--compare` to run the suite twice — serial and parallel —
+//! and report both wall-clocks. Verdict columns are identical either way.
 
-use ltt_bench::table1::{render_rows, run_entry};
-use ltt_core::VerifyConfig;
-use ltt_netlist::suite::iscas85_suite;
+use ltt_bench::table1::{render_rows, run_entry_with, Table1Row};
+use ltt_core::{BatchRunner, VerifyConfig};
+use ltt_netlist::suite::{iscas85_suite, SuiteEntry};
+use std::time::{Duration, Instant};
+
+fn run_suite(
+    suite: &[SuiteEntry],
+    config: &VerifyConfig,
+    runner: BatchRunner,
+    quick: bool,
+) -> (Vec<Table1Row>, Duration) {
+    let t0 = Instant::now();
+    let mut rows = Vec::new();
+    for entry in suite {
+        if quick && entry.circuit.num_gates() > 2000 {
+            eprintln!("[skip] {} (--quick)", entry.name);
+            continue;
+        }
+        eprintln!(
+            "[run ] {} ({} gates, top {}, {} job(s))",
+            entry.name,
+            entry.circuit.num_gates(),
+            entry.circuit.topological_delay(),
+            runner.jobs()
+        );
+        rows.extend(run_entry_with(entry, config, runner));
+    }
+    (rows, t0.elapsed())
+}
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let compare = args.iter().any(|a| a == "--compare");
+    let jobs: usize = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--jobs needs an integer"))
+        .unwrap_or(0);
     // The paper abandons c6288 after an excessive number of backtracks;
     // bound the budget the same way.
     let config = VerifyConfig {
@@ -20,20 +57,15 @@ fn main() {
     };
 
     let suite = iscas85_suite(10);
-    let mut rows = Vec::new();
-    for entry in &suite {
-        if quick && entry.circuit.num_gates() > 2000 {
-            eprintln!("[skip] {} (--quick)", entry.name);
-            continue;
-        }
-        eprintln!(
-            "[run ] {} ({} gates, top {})",
-            entry.name,
-            entry.circuit.num_gates(),
-            entry.circuit.topological_delay()
-        );
-        rows.extend(run_entry(entry, &config));
-    }
+    let runner = BatchRunner::new(jobs);
+    let serial_wall = if compare {
+        let (_, wall) = run_suite(&suite, &config, BatchRunner::serial(), quick);
+        Some(wall)
+    } else {
+        None
+    };
+    let (rows, wall) = run_suite(&suite, &config, runner, quick);
+
     println!("Table 1 — ISCAS'85 evaluation (delay 10 per gate)");
     println!("(stand-ins marked sNNN; see DESIGN.md for the substitution)");
     println!();
@@ -41,4 +73,19 @@ fn main() {
     println!("Legend: P possible violation, N no violation possible, V test");
     println!("vector found, A abandoned (backtrack budget), - stage not needed;");
     println!("E = exact floating-mode delay, U = proven upper bound.");
+    println!();
+    match serial_wall {
+        Some(serial) => println!(
+            "suite wall-clock: serial {:.2} s → {} job(s) {:.2} s ({:.2}x)",
+            serial.as_secs_f64(),
+            runner.jobs(),
+            wall.as_secs_f64(),
+            serial.as_secs_f64() / wall.as_secs_f64().max(1e-9)
+        ),
+        None => println!(
+            "suite wall-clock: {:.2} s with {} job(s)",
+            wall.as_secs_f64(),
+            runner.jobs()
+        ),
+    }
 }

@@ -3,10 +3,9 @@
 //! (the exact floating-mode delay, and exact + 1 where the pipeline must
 //! prove no violation).
 
-use ltt_core::{exact_delay, verify_with_learning, ImplicationTable, LearningMode, Stage, Verdict, VerifyConfig};
+use ltt_core::{BatchRunner, CheckSession, Stage, Verdict, VerifyConfig};
 use ltt_netlist::suite::SuiteEntry;
 use ltt_netlist::{Circuit, NetId};
-use std::sync::Arc;
 use std::time::Duration;
 
 /// One rendered row of Table 1.
@@ -114,40 +113,44 @@ pub fn critical_output(circuit: &Circuit) -> NetId {
         .expect("circuit has outputs")
 }
 
-fn learning_table(circuit: &Circuit, config: &VerifyConfig) -> Option<Arc<ImplicationTable>> {
-    match config.learning {
-        LearningMode::Off => None,
-        LearningMode::Stems => Some(Arc::new(ImplicationTable::learn_stems(circuit))),
-        LearningMode::All => Some(Arc::new(ImplicationTable::learn(circuit))),
-    }
+/// Runs the two Table 1 rows for one suite entry, serially. Equivalent to
+/// [`run_entry_with`] on [`BatchRunner::serial`].
+pub fn run_entry(entry: &SuiteEntry, config: &VerifyConfig) -> Vec<Table1Row> {
+    run_entry_with(entry, config, BatchRunner::serial())
 }
 
-/// Runs the two Table 1 rows for one suite entry.
+/// Runs the two Table 1 rows for one suite entry, fanning the per-output
+/// checks over `runner`'s workers.
 ///
-/// The exact floating-mode delay is first determined with the verifier's
-/// own delay search on the critical output (certified against the
-/// simulator); the published rows are then re-measured: δ = exact + 1 over
-/// **all** outputs (must prove `N`), and δ = exact on the critical output
-/// (must find `V`). If the search was abandoned (the c6288 pattern), the
-/// rows report the proven upper bound and the abandoned probe instead.
-pub fn run_entry(entry: &SuiteEntry, config: &VerifyConfig) -> Vec<Table1Row> {
+/// One [`CheckSession`] is opened per entry, so the learning table, SCOAP
+/// measures, stem candidates and base fixpoint are computed once and
+/// shared by the delay search and both published rows. The exact
+/// floating-mode delay is first determined with the verifier's own delay
+/// search on the critical output (certified against the simulator); the
+/// published rows are then re-measured: δ = exact + 1 over **all** outputs
+/// (must prove `N`), and δ = exact on the critical output (must find `V`).
+/// If the search was abandoned (the c6288 pattern), the rows report the
+/// proven upper bound and the abandoned probe instead.
+///
+/// Verdicts and backtrack counts are identical for every `runner` — only
+/// the wall-clock (`cpu` column) changes.
+pub fn run_entry_with(
+    entry: &SuiteEntry,
+    config: &VerifyConfig,
+    runner: BatchRunner,
+) -> Vec<Table1Row> {
     let circuit = &entry.circuit;
     let top = circuit.topological_delay();
     let s = critical_output(circuit);
-    let search = exact_delay(circuit, s, config);
-    let table = learning_table(circuit, config);
+    let session = CheckSession::new(circuit, config.clone());
+    let search = session.exact_delay(s);
     let mut rows = Vec::new();
 
     if search.proven_exact {
         let exact = search.delay;
-        // Row 1: δ = exact + 1 over all outputs.
-        let t0 = std::time::Instant::now();
-        let reports: Vec<_> = circuit
-            .outputs()
-            .iter()
-            .map(|&o| verify_with_learning(circuit, o, exact + 1, config, table.clone()))
-            .collect();
-        let (b, g, st, btr, res) = stage_columns(&reports);
+        // Row 1: δ = exact + 1 over all outputs, fanned over the runner.
+        let batch = runner.verify_all_outputs(&session, exact + 1);
+        let (b, g, st, btr, res) = stage_columns(&batch.reports);
         rows.push(Table1Row {
             name: entry.name.to_string(),
             top,
@@ -158,12 +161,12 @@ pub fn run_entry(entry: &SuiteEntry, config: &VerifyConfig) -> Vec<Table1Row> {
             after_stems: st,
             backtracks: btr,
             result: res,
-            cpu: t0.elapsed(),
+            cpu: batch.wall,
             paper: None,
         });
         // Row 2: δ = exact on the critical output.
         let t0 = std::time::Instant::now();
-        let report = verify_with_learning(circuit, s, exact, config, table);
+        let report = session.verify(s, exact);
         let (b, g, st, btr, res) = stage_columns(std::slice::from_ref(&report));
         rows.push(Table1Row {
             name: entry.name.to_string(),
@@ -184,7 +187,7 @@ pub fn run_entry(entry: &SuiteEntry, config: &VerifyConfig) -> Vec<Table1Row> {
         // that was abandoned, taken straight from the search's reports.
         let ub = search.upper_bound;
         let t0 = std::time::Instant::now();
-        let report = verify_with_learning(circuit, s, ub + 1, config, table.clone());
+        let report = session.verify(s, ub + 1);
         let (b, g, st, btr, res) = stage_columns(std::slice::from_ref(&report));
         rows.push(Table1Row {
             name: entry.name.to_string(),
@@ -290,5 +293,31 @@ mod tests {
         assert_eq!(rows[1].top, 50); // the paper's NOR-mapped topological delay
         let rendered = render_rows(&rows);
         assert!(rendered.contains("c17"));
+    }
+
+    #[test]
+    fn parallel_rows_match_serial_rows() {
+        let entry = SuiteEntry {
+            name: "c17",
+            circuit: c17_nor(10),
+            paper_top: 50,
+            paper_exact: Some(50),
+            paper_backtracks: Some(0),
+            standin: false,
+        };
+        let config = VerifyConfig::default();
+        let serial = run_entry_with(&entry, &config, BatchRunner::serial());
+        let parallel = run_entry_with(&entry, &config, BatchRunner::new(4));
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            // Everything but the wall-clock is identical.
+            assert_eq!(a.delta, b.delta);
+            assert_eq!(a.marker, b.marker);
+            assert_eq!(a.before_gitd, b.before_gitd);
+            assert_eq!(a.after_gitd, b.after_gitd);
+            assert_eq!(a.after_stems, b.after_stems);
+            assert_eq!(a.backtracks, b.backtracks);
+            assert_eq!(a.result, b.result);
+        }
     }
 }

@@ -1,6 +1,9 @@
 //! Argument parsing and subcommand implementations for the `ltt` binary.
 
-use ltt_core::{exact_delay, explain, verify_under, DelayMode, LearningMode, Stage, Verdict, VerifyConfig};
+use ltt_core::{
+    explain, BatchRunner, CheckSession, DelayMode, DelaySearch, LearningMode, Stage, Verdict,
+    VerifyConfig,
+};
 use ltt_netlist::bench_format::{parse_bench, write_bench};
 use ltt_netlist::sdf::apply_sdf;
 use ltt_netlist::verilog::{parse_verilog, write_verilog};
@@ -28,6 +31,7 @@ struct Options {
     search: bool,
     learning: bool,
     max_backtracks: u64,
+    jobs: usize,
 }
 
 impl Default for Options {
@@ -51,6 +55,7 @@ impl Default for Options {
             search: true,
             learning: true,
             max_backtracks: 100_000,
+            jobs: 0,
         }
     }
 }
@@ -105,7 +110,10 @@ OPTIONS
   --assume NET=0|1          pin a net's settling value (repeatable)
   --mode floating|transition
   --no-dominators --no-stems --no-search --no-learning
-  --max-backtracks N        case-analysis budget (100000)"
+  --max-backtracks N        case-analysis budget (100000)
+  --jobs N                  worker threads for check/delay batches
+                            (0 = one per hardware thread, the default;
+                            results are identical for every N)"
         .to_string()
 }
 
@@ -174,6 +182,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--max-backtracks needs an integer".to_string())?
             }
+            "--jobs" => {
+                opts.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|_| "--jobs needs an integer".to_string())?
+            }
             other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
             _ => positional.push(arg.clone()),
         }
@@ -203,8 +216,8 @@ fn load_circuit(opts: &Options) -> Result<Circuit, String> {
     match &opts.sdf {
         None => Ok(circuit),
         Some(path) => {
-            let sdf = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let sdf =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
             apply_sdf(&circuit, &sdf).map_err(|e| e.to_string())
         }
     }
@@ -238,10 +251,7 @@ fn resolve_outputs(circuit: &Circuit, opts: &Options) -> Result<Vec<NetId>, Stri
     }
 }
 
-fn resolve_assumptions(
-    circuit: &Circuit,
-    opts: &Options,
-) -> Result<Vec<(NetId, Level)>, String> {
+fn resolve_assumptions(circuit: &Circuit, opts: &Options) -> Result<Vec<(NetId, Level)>, String> {
     opts.assumptions
         .iter()
         .map(|(name, level)| {
@@ -279,11 +289,17 @@ fn cmd_check(circuit: &Circuit, opts: &Options) -> Result<(), String> {
     let delta = opts.delta.ok_or("check needs --delta N")?;
     let config = config_from(opts);
     let assumptions = resolve_assumptions(circuit, opts)?;
+    let session = CheckSession::new(circuit, config);
+    let runner = BatchRunner::new(opts.jobs);
+    let checks: Vec<(NetId, i64)> = resolve_outputs(circuit, opts)?
+        .into_iter()
+        .map(|o| (o, delta))
+        .collect();
+    let batch = runner.run_under(&session, &checks, &assumptions);
     let mut any_violation = false;
     let mut any_open = false;
-    for out in resolve_outputs(circuit, opts)? {
-        let r = verify_under(circuit, out, delta, &assumptions, &config);
-        let name = circuit.net(out).name();
+    for r in &batch.reports {
+        let name = circuit.net(r.output).name();
         match &r.verdict {
             Verdict::NoViolation { stage } => println!(
                 "{name}: no transition at or after {delta} is possible (proved by {}, {:.2} ms)",
@@ -295,7 +311,7 @@ fn cmd_check(circuit: &Circuit, opts: &Options) -> Result<(), String> {
                 let pretty: Vec<String> = circuit
                     .inputs()
                     .iter()
-                    .zip(vector)
+                    .zip(vector.iter())
                     .map(|(&n, &v)| format!("{}={}", circuit.net(n).name(), u8::from(v)))
                     .collect();
                 println!(
@@ -317,6 +333,25 @@ fn cmd_check(circuit: &Circuit, opts: &Options) -> Result<(), String> {
             }
         }
     }
+    let s = &batch.summary;
+    println!(
+        "checked {} output(s) in {:.2} ms with {} job(s): {} safe, {} violated, {} undecided",
+        s.checks,
+        batch.wall.as_secs_f64() * 1e3,
+        runner.jobs(),
+        s.no_violation,
+        s.violations,
+        s.undecided
+    );
+    println!(
+        "  effort: {} events, {} backtracks · stage ms: narrowing {:.2}, dominators {:.2}, stems {:.2}, search {:.2}",
+        s.solver.events,
+        s.backtracks,
+        s.stage_wall.narrowing.as_secs_f64() * 1e3,
+        s.stage_wall.dominators.as_secs_f64() * 1e3,
+        s.stage_wall.stems.as_secs_f64() * 1e3,
+        s.stage_wall.case_analysis.as_secs_f64() * 1e3
+    );
     if any_violation {
         Err("timing check violated".to_string())
     } else if any_open {
@@ -329,10 +364,19 @@ fn cmd_check(circuit: &Circuit, opts: &Options) -> Result<(), String> {
 fn cmd_delay(circuit: &Circuit, opts: &Options) -> Result<(), String> {
     let config = config_from(opts);
     let arrival = circuit.arrival_times();
-    for out in resolve_outputs(circuit, opts)? {
+    let session = CheckSession::new(circuit, config);
+    let runner = BatchRunner::new(opts.jobs);
+    let outputs = resolve_outputs(circuit, opts)?;
+    // The all-outputs case fans the per-output searches over the runner's
+    // workers; a single --output just runs in place.
+    let searches: Vec<DelaySearch> = if outputs.len() == circuit.outputs().len() {
+        runner.exact_delays(&session)
+    } else {
+        outputs.iter().map(|&o| session.exact_delay(o)).collect()
+    };
+    for (&out, search) in outputs.iter().zip(&searches) {
         let name = circuit.net(out).name();
         let top = arrival[out.index()];
-        let search = exact_delay(circuit, out, &config);
         if search.proven_exact {
             let marker = if search.delay < top {
                 "  ** longest path FALSE **"
@@ -367,7 +411,10 @@ fn cmd_report(circuit: &Circuit, opts: &Options) -> Result<(), String> {
         .filter_map(|n| report.slack[n.index()].map(|s| (s, n)))
         .collect();
     rows.sort();
-    println!("{:<20} {:>8} {:>8} {:>8}", "net", "arrival", "required", "slack");
+    println!(
+        "{:<20} {:>8} {:>8} {:>8}",
+        "net", "arrival", "required", "slack"
+    );
     for (slack, net) in rows.iter().take(15) {
         println!(
             "{:<20} {:>8} {:>8} {:>8}",
@@ -432,7 +479,10 @@ fn cmd_simulate(circuit: &Circuit, opts: &Options) -> Result<(), String> {
         );
     }
     let total: usize = counts.iter().sum();
-    println!("total transitions across {} nets: {total}", circuit.num_nets());
+    println!(
+        "total transitions across {} nets: {total}",
+        circuit.num_nets()
+    );
     if let Some(path) = &opts.vcd {
         std::fs::write(path, write_vcd(circuit, &traces))
             .map_err(|e| format!("cannot write `{path}`: {e}"))?;
@@ -519,6 +569,19 @@ mod tests {
     }
 
     #[test]
+    fn jobs_flag_keeps_verdicts() {
+        let path = write_temp("jobs.bench", C17);
+        // Same exit status as serial for every job count.
+        for jobs in ["1", "2", "8"] {
+            run(&args(&["check", &path, "--delta", "31", "--jobs", jobs])).unwrap();
+            let e = run(&args(&["check", &path, "--delta", "30", "--jobs", jobs])).unwrap_err();
+            assert!(e.contains("violated"));
+            run(&args(&["delay", &path, "--jobs", jobs])).unwrap();
+        }
+        assert!(run(&args(&["check", &path, "--delta", "31", "--jobs", "x"])).is_err());
+    }
+
+    #[test]
     fn report_and_convert_run() {
         let path = write_temp("report.bench", C17);
         run(&args(&["report", &path, "--deadline", "25"])).unwrap();
@@ -564,7 +627,10 @@ mod tests {
     fn explain_runs() {
         let path = write_temp("explain.bench", C17);
         run(&args(&["explain", &path, "--delta", "30"])).unwrap();
-        run(&args(&["explain", &path, "--delta", "31", "--output", "22"])).unwrap();
+        run(&args(&[
+            "explain", &path, "--delta", "31", "--output", "22",
+        ]))
+        .unwrap();
         assert!(run(&args(&["explain", &path])).is_err());
     }
 
@@ -581,7 +647,10 @@ mod tests {
         assert!(contents.contains("$enddefinitions"));
         // Bad vector lengths and bits are rejected.
         assert!(run(&args(&["simulate", &path, "--v1", "0", "--v2", "11111"])).is_err());
-        assert!(run(&args(&["simulate", &path, "--v1", "0000x", "--v2", "11111"])).is_err());
+        assert!(run(&args(&[
+            "simulate", &path, "--v1", "0000x", "--v2", "11111"
+        ]))
+        .is_err());
         assert!(run(&args(&["simulate", &path, "--v1", "00000"])).is_err());
     }
 }

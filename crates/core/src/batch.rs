@@ -1,0 +1,428 @@
+//! Deterministic parallel execution of check batches.
+//!
+//! A timing workload is almost always a *batch*: every output at one δ
+//! ([`BatchRunner::verify_all_outputs`]), the O(log top) probes of a delay
+//! search ([`BatchRunner::exact_delays`]), the δ sweep of a profile
+//! ([`BatchRunner::delay_profile`]), or a whole benchmark suite. Each check
+//! in a batch is a **pure function** of `(circuit, config, output, δ)`
+//! once it runs against a shared [`CheckSession`]: the session's prepared
+//! analyses and base fixpoint are read-only, every check gets its own
+//! [`Narrower`](crate::solver::Narrower), and the greatest fixpoint it
+//! computes is unique. Running checks concurrently therefore cannot change
+//! any verdict, witness vector, or per-check counter — only the wall-clock.
+//!
+//! The executor is a work-stealing map over scoped threads: workers pull
+//! the next item index from one shared atomic counter (natural load
+//! balancing — an expensive case-analysis check occupies one worker while
+//! the others drain the cheap checks), tag every result with its input
+//! index, and the merged results are sorted back into **input order**, so
+//! the output is bit-identical to the serial run regardless of thread
+//! count or scheduling.
+
+use crate::check::{DelaySearch, ProfilePoint, StageTimes, Verdict, VerifyReport};
+use crate::fan::CaseStats;
+use crate::prepared::CheckSession;
+use crate::solver::SolverStats;
+use crate::stems::StemStats;
+use ltt_netlist::NetId;
+use ltt_waveform::Level;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// The number of worker threads an *auto* runner uses: the machine's
+/// available parallelism, or 1 if it cannot be determined.
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Work-stealing parallel map preserving input order.
+///
+/// Spawns `jobs` scoped workers that pull indices from a shared atomic
+/// counter, collects `(index, result)` pairs per worker, and sorts the
+/// merged results by index. With `jobs <= 1` (or one item) it degenerates
+/// to a plain serial map with no thread machinery at all.
+fn run_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.clamp(1, items.len().max(1));
+    if jobs <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut part = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        part.push((i, f(item)));
+                    }
+                    part
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => indexed.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Collapsed verdict of a whole batch (the Table 1 row semantics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchOutcome {
+    /// Every check proved `N`: no violation on any checked output.
+    AllSafe,
+    /// At least one check produced a violating vector (`V`).
+    Violation,
+    /// No violation found, but at least one check stayed inconclusive or
+    /// was abandoned (`A`).
+    Undecided,
+}
+
+/// Saturating aggregate of a batch's per-check reports.
+#[derive(Clone, Debug, Default)]
+pub struct BatchSummary {
+    /// Checks in the batch.
+    pub checks: u64,
+    /// Checks proved safe.
+    pub no_violation: u64,
+    /// Checks with a violating vector.
+    pub violations: u64,
+    /// Checks left `Possible` or `Abandoned`.
+    pub undecided: u64,
+    /// Case-analysis backtracks, summed.
+    pub backtracks: u64,
+    /// Solver effort counters, summed.
+    pub solver: SolverStats,
+    /// Stem-correlation counters, summed.
+    pub stems: StemStats,
+    /// Case-analysis counters, summed.
+    pub case: CaseStats,
+    /// Per-stage wall-clock, summed over checks (CPU-time-like: with N
+    /// workers this exceeds the batch wall-clock by up to a factor N).
+    pub stage_wall: StageTimes,
+    /// Total per-check wall-clock (same CPU-time-like caveat).
+    pub check_wall: Duration,
+}
+
+impl BatchSummary {
+    /// Aggregates the reports with saturating arithmetic (a batch summary
+    /// must never panic on pathological counter values).
+    pub fn aggregate(reports: &[VerifyReport]) -> Self {
+        let mut sum = BatchSummary::default();
+        for r in reports {
+            sum.checks = sum.checks.saturating_add(1);
+            match &r.verdict {
+                Verdict::NoViolation { .. } => {
+                    sum.no_violation = sum.no_violation.saturating_add(1);
+                }
+                Verdict::Violation { .. } => {
+                    sum.violations = sum.violations.saturating_add(1);
+                }
+                Verdict::Possible | Verdict::Abandoned => {
+                    sum.undecided = sum.undecided.saturating_add(1);
+                }
+            }
+            sum.backtracks = sum.backtracks.saturating_add(r.backtracks);
+            sum.solver.events = sum.solver.events.saturating_add(r.solver.events);
+            sum.solver.narrowings = sum.solver.narrowings.saturating_add(r.solver.narrowings);
+            sum.solver.learned_applications = sum
+                .solver
+                .learned_applications
+                .saturating_add(r.solver.learned_applications);
+            sum.stems.stems = sum.stems.stems.saturating_add(r.stems.stems);
+            sum.stems.effective_stems = sum
+                .stems
+                .effective_stems
+                .saturating_add(r.stems.effective_stems);
+            sum.stems.dead_branches = sum
+                .stems
+                .dead_branches
+                .saturating_add(r.stems.dead_branches);
+            sum.case.backtracks = sum.case.backtracks.saturating_add(r.case.backtracks);
+            sum.case.decisions = sum.case.decisions.saturating_add(r.case.decisions);
+            sum.case.rejected_candidates = sum
+                .case
+                .rejected_candidates
+                .saturating_add(r.case.rejected_candidates);
+            sum.stage_wall = sum.stage_wall.saturating_add(&r.stage_times);
+            sum.check_wall = sum.check_wall.saturating_add(r.elapsed);
+        }
+        sum
+    }
+}
+
+/// Result of one batch: per-check reports in **input order** plus the
+/// aggregate summary and the batch wall-clock.
+#[derive(Clone, Debug)]
+pub struct BatchCheck {
+    /// One report per requested check, in the order requested.
+    pub reports: Vec<VerifyReport>,
+    /// Saturating aggregate over `reports`.
+    pub summary: BatchSummary,
+    /// Wall-clock of the whole batch (the number parallelism improves).
+    pub wall: Duration,
+}
+
+impl BatchCheck {
+    /// The collapsed verdict: `Violation` beats `Undecided` beats
+    /// `AllSafe`.
+    pub fn outcome(&self) -> BatchOutcome {
+        if self.summary.violations > 0 {
+            BatchOutcome::Violation
+        } else if self.summary.undecided > 0 {
+            BatchOutcome::Undecided
+        } else {
+            BatchOutcome::AllSafe
+        }
+    }
+}
+
+/// Fans the checks of a batch out over worker threads.
+///
+/// Deterministic by construction (see the module docs): any `jobs` value
+/// produces the same reports as [`BatchRunner::serial`].
+///
+/// # Examples
+///
+/// ```
+/// use ltt_core::{BatchOutcome, BatchRunner, CheckSession, VerifyConfig};
+/// use ltt_netlist::suite::c17;
+///
+/// let c = c17(10);
+/// let session = CheckSession::new(&c, VerifyConfig::default());
+/// let runner = BatchRunner::auto();
+/// let batch = runner.verify_all_outputs(&session, 31);
+/// assert_eq!(batch.outcome(), BatchOutcome::AllSafe);
+/// let batch = runner.verify_all_outputs(&session, 30);
+/// assert_eq!(batch.outcome(), BatchOutcome::Violation);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchRunner {
+    jobs: usize,
+}
+
+impl Default for BatchRunner {
+    fn default() -> Self {
+        BatchRunner::auto()
+    }
+}
+
+impl BatchRunner {
+    /// A runner with `jobs` workers; `0` means *auto* (one worker per
+    /// available hardware thread).
+    pub fn new(jobs: usize) -> Self {
+        BatchRunner {
+            jobs: if jobs == 0 { available_jobs() } else { jobs },
+        }
+    }
+
+    /// The single-threaded runner (no thread machinery at all).
+    pub fn serial() -> Self {
+        BatchRunner { jobs: 1 }
+    }
+
+    /// One worker per available hardware thread.
+    pub fn auto() -> Self {
+        BatchRunner::new(0)
+    }
+
+    /// The worker count this runner uses.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs the checks `(output, δ)` against the session, in parallel.
+    pub fn run(&self, session: &CheckSession, checks: &[(NetId, i64)]) -> BatchCheck {
+        self.run_under(session, checks, &[])
+    }
+
+    /// [`BatchRunner::run`] with shared assumptions: every check pins each
+    /// `(net, level)` before propagation.
+    pub fn run_under(
+        &self,
+        session: &CheckSession,
+        checks: &[(NetId, i64)],
+        assumptions: &[(NetId, Level)],
+    ) -> BatchCheck {
+        let start = Instant::now();
+        // Force the base fixpoint once before fan-out so workers never race
+        // to compute it (OnceLock would serialize them anyway; this keeps
+        // the cost out of the parallel region's critical path).
+        session.warm_up();
+        let reports = run_map(checks, self.jobs, |&(output, delta)| {
+            session.verify_under(output, delta, assumptions)
+        });
+        let summary = BatchSummary::aggregate(&reports);
+        BatchCheck {
+            reports,
+            summary,
+            wall: start.elapsed(),
+        }
+    }
+
+    /// Checks one δ against **every** primary output of the session's
+    /// circuit (the Table 1 semantics: `N` only if no output can violate).
+    pub fn verify_all_outputs(&self, session: &CheckSession, delta: i64) -> BatchCheck {
+        let checks: Vec<(NetId, i64)> = session
+            .circuit()
+            .outputs()
+            .iter()
+            .map(|&o| (o, delta))
+            .collect();
+        self.run(session, &checks)
+    }
+
+    /// Runs [`CheckSession::exact_delay`] for every primary output, in
+    /// parallel. Results are in output-declaration order.
+    pub fn exact_delays(&self, session: &CheckSession) -> Vec<DelaySearch> {
+        session.warm_up();
+        run_map(session.circuit().outputs(), self.jobs, |&o| {
+            session.exact_delay(o)
+        })
+    }
+
+    /// [`CheckSession::delay_profile`], parallelized by splitting the
+    /// (ascending) δ axis into one contiguous chunk per worker. Each chunk
+    /// runs its own incremental sweep from the session base; because each
+    /// δ's consistency is a pure function of `(base, δ)` the concatenation
+    /// is identical to the serial sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deltas` is not strictly ascending.
+    pub fn delay_profile(
+        &self,
+        session: &CheckSession,
+        output: NetId,
+        deltas: &[i64],
+    ) -> Vec<ProfilePoint> {
+        assert!(
+            deltas.windows(2).all(|w| w[0] < w[1]),
+            "deltas must be strictly ascending"
+        );
+        if self.jobs <= 1 || deltas.len() <= 1 {
+            return session.delay_profile(output, deltas);
+        }
+        session.warm_up();
+        let chunk = deltas.len().div_ceil(self.jobs);
+        let chunks: Vec<&[i64]> = deltas.chunks(chunk).collect();
+        run_map(&chunks, self.jobs, |&c| session.profile_chunk(output, c))
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::VerifyConfig;
+    use ltt_netlist::generators::{carry_skip_adder, figure1};
+    use ltt_netlist::suite::c17;
+
+    #[test]
+    fn run_map_preserves_order_and_covers_all_items() {
+        let items: Vec<usize> = (0..97).collect();
+        for jobs in [1, 2, 3, 8, 200] {
+            let out = run_map(&items, jobs, |&x| x * 2);
+            assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_map_propagates_panics() {
+        let items = vec![1, 2, 3];
+        let result = std::panic::catch_unwind(|| {
+            run_map(&items, 2, |&x| {
+                if x == 2 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn jobs_zero_means_auto() {
+        assert_eq!(BatchRunner::new(0).jobs(), available_jobs());
+        assert_eq!(BatchRunner::new(3).jobs(), 3);
+        assert_eq!(BatchRunner::serial().jobs(), 1);
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial_reports() {
+        let c = c17(10);
+        let session = CheckSession::new(&c, VerifyConfig::default());
+        for delta in [25, 30, 31] {
+            let serial = BatchRunner::serial().verify_all_outputs(&session, delta);
+            let par = BatchRunner::new(4).verify_all_outputs(&session, delta);
+            assert_eq!(serial.reports.len(), par.reports.len());
+            for (a, b) in serial.reports.iter().zip(&par.reports) {
+                assert_eq!(a.output, b.output);
+                assert_eq!(a.verdict, b.verdict);
+                assert_eq!(a.before_gitd, b.before_gitd);
+                assert_eq!(a.after_gitd, b.after_gitd);
+                assert_eq!(a.after_stems, b.after_stems);
+                assert_eq!(a.backtracks, b.backtracks);
+                assert_eq!(a.solver, b.solver);
+            }
+            assert_eq!(serial.outcome(), par.outcome());
+        }
+    }
+
+    #[test]
+    fn summary_counts_add_up() {
+        let c = c17(10);
+        let session = CheckSession::new(&c, VerifyConfig::default());
+        let batch = BatchRunner::new(2).verify_all_outputs(&session, 30);
+        let s = &batch.summary;
+        assert_eq!(s.checks, batch.reports.len() as u64);
+        assert_eq!(s.checks, s.no_violation + s.violations + s.undecided);
+        assert!(s.violations > 0);
+        assert!(s.check_wall >= s.stage_wall.total() || s.checks == 0);
+    }
+
+    #[test]
+    fn parallel_profile_matches_serial() {
+        let c = figure1(10);
+        let s = c.outputs()[0];
+        let session = CheckSession::new(&c, VerifyConfig::default());
+        let deltas: Vec<i64> = (0..=70).step_by(5).collect();
+        let serial = BatchRunner::serial().delay_profile(&session, s, &deltas);
+        for jobs in [2, 3, 16] {
+            let par = BatchRunner::new(jobs).delay_profile(&session, s, &deltas);
+            assert_eq!(serial, par, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_exact_delays_match_serial() {
+        let c = carry_skip_adder(4, 2, 10);
+        let session = CheckSession::new(&c, VerifyConfig::default());
+        let serial = BatchRunner::serial().exact_delays(&session);
+        let par = BatchRunner::new(4).exact_delays(&session);
+        assert_eq!(serial.len(), par.len());
+        for (a, b) in serial.iter().zip(&par) {
+            assert_eq!(a.delay, b.delay);
+            assert_eq!(a.proven_exact, b.proven_exact);
+            assert_eq!(a.upper_bound, b.upper_bound);
+            assert_eq!(a.vector, b.vector);
+            assert_eq!(a.backtracks, b.backtracks);
+        }
+    }
+}

@@ -77,11 +77,7 @@ pub fn dynamic_carriers(
 /// The carrier circuit is reversed into a single-source DAG Ψ′ (source
 /// `s`, sink **T** fed by every dead-end carrier) and the dominator chain
 /// of **T** is read off.
-pub fn timing_dominators(
-    circuit: &Circuit,
-    carriers: &CarrierDistances,
-    s: NetId,
-) -> Vec<NetId> {
+pub fn timing_dominators(circuit: &Circuit, carriers: &CarrierDistances, s: NetId) -> Vec<NetId> {
     if carriers[s.index()].is_none() {
         return Vec::new();
     }
@@ -92,7 +88,12 @@ pub fn timing_dominators(
     let mut slot = vec![usize::MAX; circuit.num_nets()];
     // Net topological order: inputs, then gate outputs in topo gate order.
     let mut net_topo: Vec<NetId> = circuit.inputs().to_vec();
-    net_topo.extend(circuit.topo_gates().iter().map(|&g| circuit.gate(g).output()));
+    net_topo.extend(
+        circuit
+            .topo_gates()
+            .iter()
+            .map(|&g| circuit.gate(g).output()),
+    );
     for &net in net_topo.iter().rev() {
         if carriers[net.index()].is_some() && slot[net.index()] == usize::MAX {
             slot[net.index()] = order.len();
@@ -232,7 +233,10 @@ mod tests {
         }
         for name in ["n5", "e3", "e4", "e5", "e6", "e7"] {
             let n = c.net_by_name(name).unwrap();
-            assert!(carriers[n.index()].is_none(), "{name} should not be a carrier");
+            assert!(
+                carriers[n.index()].is_none(),
+                "{name} should not be a carrier"
+            );
         }
         // Distances along the single chain.
         let n4 = c.net_by_name("n4").unwrap();

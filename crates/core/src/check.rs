@@ -2,12 +2,20 @@
 //! narrowing, global implications on timing dominators, stem correlation,
 //! and case analysis — with per-stage verdicts matching the columns of the
 //! paper's Table 1.
+//!
+//! The free functions here ([`verify`], [`exact_delay`],
+//! [`verify_all_outputs`], …) are convenience wrappers: each opens a
+//! single-use [`CheckSession`] and runs the checks through it. Workloads
+//! with more than one check per circuit should open the session themselves
+//! (and fan out with a [`BatchRunner`](crate::BatchRunner)) so the
+//! per-circuit analyses are prepared once instead of per call.
 
 use crate::carriers::fixpoint_with_dominators;
-use crate::fan::{case_analysis, CaseConfig, CaseOutcome, CaseStats};
+use crate::fan::{case_analysis_with, CaseConfig, CaseOutcome, CaseStats};
 use crate::learning::ImplicationTable;
+use crate::prepared::{CheckSession, PreparedCircuit};
 use crate::solver::{FixpointResult, Narrower, SolverStats};
-use crate::stems::{correlation_stems, stem_correlation, StemStats};
+use crate::stems::{correlation_stems_masked, stem_correlation, StemStats};
 use ltt_netlist::{Circuit, NetId};
 use ltt_waveform::{Signal, Time};
 use std::sync::Arc;
@@ -110,6 +118,42 @@ pub enum Stage {
     CaseAnalysis,
 }
 
+/// Wall-clock spent in each pipeline stage, per check — or, summed with
+/// [`StageTimes::saturating_add`], per batch (CPU-time-like under
+/// parallelism: the sum over concurrent checks exceeds the batch
+/// wall-clock).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageTimes {
+    /// Basic waveform narrowing (stage 1).
+    pub narrowing: Duration,
+    /// Global implications on timing dominators (stage 2).
+    pub dominators: Duration,
+    /// Stem correlation (stage 3).
+    pub stems: Duration,
+    /// Case analysis (stage 4).
+    pub case_analysis: Duration,
+}
+
+impl StageTimes {
+    /// Per-stage saturating sum (aggregation must never panic).
+    pub fn saturating_add(&self, other: &StageTimes) -> StageTimes {
+        StageTimes {
+            narrowing: self.narrowing.saturating_add(other.narrowing),
+            dominators: self.dominators.saturating_add(other.dominators),
+            stems: self.stems.saturating_add(other.stems),
+            case_analysis: self.case_analysis.saturating_add(other.case_analysis),
+        }
+    }
+
+    /// Total time across the four stages (saturating).
+    pub fn total(&self) -> Duration {
+        self.narrowing
+            .saturating_add(self.dominators)
+            .saturating_add(self.stems)
+            .saturating_add(self.case_analysis)
+    }
+}
+
 /// Final verdict of the pipeline.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Verdict {
@@ -166,6 +210,8 @@ pub struct VerifyReport {
     pub stems: StemStats,
     /// Case-analysis counters.
     pub case: CaseStats,
+    /// Wall-clock per pipeline stage.
+    pub stage_times: StageTimes,
     /// Wall-clock time of the whole check.
     pub elapsed: Duration,
 }
@@ -199,12 +245,7 @@ pub fn verify_under(
     assumptions: &[(NetId, ltt_waveform::Level)],
     config: &VerifyConfig,
 ) -> VerifyReport {
-    let table = match config.learning {
-        LearningMode::Off => None,
-        LearningMode::Stems => Some(Arc::new(ImplicationTable::learn_stems(circuit))),
-        LearningMode::All => Some(Arc::new(ImplicationTable::learn(circuit))),
-    };
-    verify_impl(circuit, output, delta, config, table, assumptions)
+    CheckSession::new(circuit, config.clone()).verify_under(output, delta, assumptions)
 }
 
 /// Runs the timing check `σ = (ξ, output, δ)` through the configured
@@ -227,12 +268,7 @@ pub fn verify_under(
 /// assert!(verify(&c, s, 60, &config).verdict.is_violation());
 /// ```
 pub fn verify(circuit: &Circuit, output: NetId, delta: i64, config: &VerifyConfig) -> VerifyReport {
-    let table = match config.learning {
-        LearningMode::Off => None,
-        LearningMode::Stems => Some(Arc::new(ImplicationTable::learn_stems(circuit))),
-        LearningMode::All => Some(Arc::new(ImplicationTable::learn(circuit))),
-    };
-    verify_with_learning(circuit, output, delta, config, table)
+    CheckSession::new(circuit, config.clone()).verify(output, delta)
 }
 
 /// [`verify`] with a pre-computed learning table (the table depends only on
@@ -244,45 +280,17 @@ pub fn verify_with_learning(
     config: &VerifyConfig,
     table: Option<Arc<ImplicationTable>>,
 ) -> VerifyReport {
-    verify_impl(circuit, output, delta, config, table, &[])
-}
-
-fn verify_impl(
-    circuit: &Circuit,
-    output: NetId,
-    delta: i64,
-    config: &VerifyConfig,
-    table: Option<Arc<ImplicationTable>>,
-    assumptions: &[(NetId, ltt_waveform::Level)],
-) -> VerifyReport {
-    let start = Instant::now();
-    let mut nw = Narrower::new(circuit);
-    if let Some(table) = table {
-        // Constants found by learning restrict domains up front.
-        for &(net, level) in table.constants() {
-            let restriction = nw.domain(net).restrict_to_class(level);
-            nw.narrow_net(net, restriction);
-        }
-        nw.set_implications(table);
-    }
-    let input_domain = match config.delay_mode {
-        DelayMode::Floating => Signal::floating_input(),
-        DelayMode::Transition => Signal::transition_input(),
-    };
-    for &i in circuit.inputs() {
-        nw.narrow_net(i, input_domain);
-    }
-    for &(net, level) in assumptions {
-        let restriction = nw.domain(net).restrict_to_class(level);
-        nw.narrow_net(net, restriction);
-    }
-    run_pipeline(&mut nw, output, delta, config, start)
+    let prepared = PreparedCircuit::with_table(circuit, table);
+    CheckSession::with_prepared(prepared, config.clone()).verify(output, delta)
 }
 
 /// Runs the staged pipeline on a narrower that already carries the input
-/// (and assumption) constraints; applies the δ constraint itself.
-fn run_pipeline(
+/// (and assumption) constraints; applies the δ constraint itself. Shared
+/// analyses (stem candidates, SCOAP controllabilities) come from the
+/// prepared circuit.
+pub(crate) fn run_pipeline(
     nw: &mut Narrower,
+    prepared: &PreparedCircuit,
     output: NetId,
     delta: i64,
     config: &VerifyConfig,
@@ -301,6 +309,7 @@ fn run_pipeline(
         solver: SolverStats::default(),
         stems: StemStats::default(),
         case: CaseStats::default(),
+        stage_times: StageTimes::default(),
         elapsed: Duration::ZERO,
     };
     let base_stats = nw.stats();
@@ -316,7 +325,10 @@ fn run_pipeline(
     };
 
     // Stage 1: basic narrowing.
-    if nw.reach_fixpoint() == FixpointResult::Contradiction {
+    let stage = Instant::now();
+    let narrowed = nw.reach_fixpoint();
+    report.stage_times.narrowing = stage.elapsed();
+    if narrowed == FixpointResult::Contradiction {
         report.before_gitd = StageVerdict::NoViolation;
         report.verdict = Verdict::NoViolation {
             stage: Stage::Narrowing,
@@ -326,7 +338,10 @@ fn run_pipeline(
 
     // Stage 2: global implications on timing dominators.
     if config.dominators {
-        if fixpoint_with_dominators(nw, output, delta, true) == FixpointResult::Contradiction {
+        let stage = Instant::now();
+        let implied = fixpoint_with_dominators(nw, output, delta, true);
+        report.stage_times.dominators = stage.elapsed();
+        if implied == FixpointResult::Contradiction {
             report.after_gitd = Some(StageVerdict::NoViolation);
             report.verdict = Verdict::NoViolation {
                 stage: Stage::Dominators,
@@ -338,16 +353,18 @@ fn run_pipeline(
 
     // Stage 3: stem correlation.
     if config.stem_correlation {
-        let stems = correlation_stems(nw, output, delta);
-        if stem_correlation(
+        let stage = Instant::now();
+        let stems = correlation_stems_masked(nw, output, delta, prepared.stem_candidates());
+        let correlated = stem_correlation(
             nw,
             output,
             delta,
             &stems,
             config.dominators,
             &mut report.stems,
-        ) == FixpointResult::Contradiction
-        {
+        );
+        report.stage_times.stems = stage.elapsed();
+        if correlated == FixpointResult::Contradiction {
             report.after_stems = Some(StageVerdict::NoViolation);
             report.verdict = Verdict::NoViolation {
                 stage: Stage::StemCorrelation,
@@ -364,7 +381,16 @@ fn run_pipeline(
             use_dominators: config.dominators,
             certify_vectors: config.certify_vectors && config.delay_mode == DelayMode::Floating,
         };
-        let outcome = case_analysis(nw, output, delta, &case_cfg, &mut report.case);
+        let stage = Instant::now();
+        let outcome = case_analysis_with(
+            nw,
+            output,
+            delta,
+            &case_cfg,
+            &mut report.case,
+            prepared.controllability(),
+        );
+        report.stage_times.case_analysis = stage.elapsed();
         report.backtracks = report.case.backtracks;
         report.verdict = match outcome {
             CaseOutcome::Vector(vector) => Verdict::Violation { vector },
@@ -400,86 +426,14 @@ pub struct DelaySearch {
 }
 
 /// Finds the exact floating-mode delay of `output` by binary search over δ
-/// in `[0, top + 1]`, reusing one learning table across probes.
+/// in `[0, top + 1]`, sharing one [`CheckSession`] (learning table, SCOAP,
+/// base fixpoint) across probes.
 ///
 /// Each probe is a full [`verify`] run; `Violation` raises the lower bound,
 /// `NoViolation` lowers the upper bound, `Abandoned`/`Possible` terminates
 /// the search with `proven_exact = false`.
 pub fn exact_delay(circuit: &Circuit, output: NetId, config: &VerifyConfig) -> DelaySearch {
-    let table = match config.learning {
-        LearningMode::Off => None,
-        LearningMode::Stems => Some(Arc::new(ImplicationTable::learn_stems(circuit))),
-        LearningMode::All => Some(Arc::new(ImplicationTable::learn(circuit))),
-    };
-    let top = circuit.arrival_times()[output.index()];
-    let mut lo = 0i64; // delay ≥ 0 always (inputs settle at 0)
-    let mut hi = top + 1; // check at top+1 must fail
-    let mut vector = None;
-    let mut backtracks = 0;
-    let mut probes = Vec::new();
-    let mut decided = true;
-    // Invariant: violation possible at lo, impossible at hi.
-    while lo + 1 < hi {
-        let mid = lo + (hi - lo) / 2;
-        let report = verify_with_learning(circuit, output, mid, config, table.clone());
-        backtracks += report.backtracks;
-        let verdict = report.verdict.clone();
-        probes.push(report);
-        match verdict {
-            Verdict::Violation { vector: v } => {
-                vector = Some(v);
-                lo = mid;
-            }
-            Verdict::NoViolation { .. } => {
-                hi = mid;
-            }
-            Verdict::Possible | Verdict::Abandoned => {
-                decided = false;
-                break;
-            }
-        }
-    }
-    if !decided {
-        // Recover certified bounds around the undecided region.
-        //
-        // Upper bound: bisect (lo, hi) for the smallest δ that the
-        // search-free pipeline (no case analysis) still proves impossible.
-        // Provability by narrowing/dominators/stems is monotone in practice
-        // (a larger δ is a tighter constraint); the final bound is verified
-        // by a direct check.
-        let no_ca = VerifyConfig {
-            case_analysis: false,
-            ..config.clone()
-        };
-        let (mut plo, mut phi) = (lo, hi);
-        while plo + 1 < phi {
-            let mid = plo + (phi - plo) / 2;
-            let report = verify_with_learning(circuit, output, mid, &no_ca, table.clone());
-            let proved = report.verdict.is_no_violation();
-            probes.push(report);
-            if proved {
-                phi = mid;
-            } else {
-                plo = mid;
-            }
-        }
-        hi = phi;
-        // Lower bound: cheap Monte-Carlo simulation — any vector's
-        // floating-mode delay is a certified lower bound.
-        let sampled = ltt_sta::sampled_floating_delay(circuit, output, 2_000, 0x5EED);
-        if sampled.delay > lo {
-            lo = sampled.delay;
-            vector = Some(sampled.witness);
-        }
-    }
-    DelaySearch {
-        delay: lo,
-        vector,
-        proven_exact: decided,
-        upper_bound: hi - 1,
-        backtracks,
-        probes,
-    }
+    CheckSession::new(circuit, config.clone()).exact_delay(output)
 }
 
 /// Verifies a δ against **all** outputs: returns `NoViolation` only when no
@@ -487,42 +441,19 @@ pub fn exact_delay(circuit: &Circuit, output: NetId, config: &VerifyConfig) -> D
 /// timing-check constraint on any circuit output is possible").
 ///
 /// The base fixpoint (floating inputs, learning constants, but no δ
-/// constraint) is computed **once** and the per-output checks run on top
-/// of it via trail rollback — the same selective-state-saving machinery
-/// the case analysis uses.
-pub fn verify_all_outputs(circuit: &Circuit, delta: i64, config: &VerifyConfig) -> Vec<VerifyReport> {
-    let table = match config.learning {
-        LearningMode::Off => None,
-        LearningMode::Stems => Some(Arc::new(ImplicationTable::learn_stems(circuit))),
-        LearningMode::All => Some(Arc::new(ImplicationTable::learn(circuit))),
-    };
-    let mut nw = Narrower::new(circuit);
-    if let Some(table) = table {
-        for &(net, level) in table.constants() {
-            let restriction = nw.domain(net).restrict_to_class(level);
-            nw.narrow_net(net, restriction);
-        }
-        nw.set_implications(table);
-    }
-    let input_domain = match config.delay_mode {
-        DelayMode::Floating => Signal::floating_input(),
-        DelayMode::Transition => Signal::transition_input(),
-    };
-    for &i in circuit.inputs() {
-        nw.narrow_net(i, input_domain);
-    }
-    // Shared base fixpoint (sound: it is implied by every per-output check).
-    nw.reach_fixpoint();
-    let mark = nw.checkpoint();
-    circuit
-        .outputs()
-        .iter()
-        .map(|&o| {
-            let report = run_pipeline(&mut nw, o, delta, config, Instant::now());
-            nw.rollback(mark);
-            report
-        })
-        .collect()
+/// constraint) is computed **once** per session and every per-output check
+/// is seeded from it. This is the serial entry point; use
+/// [`BatchRunner::verify_all_outputs`](crate::BatchRunner::verify_all_outputs)
+/// to fan the outputs over worker threads (same reports, by construction).
+pub fn verify_all_outputs(
+    circuit: &Circuit,
+    delta: i64,
+    config: &VerifyConfig,
+) -> Vec<VerifyReport> {
+    let session = CheckSession::new(circuit, config.clone());
+    crate::batch::BatchRunner::serial()
+        .verify_all_outputs(&session, delta)
+        .reports
 }
 
 #[cfg(test)]
@@ -669,6 +600,10 @@ mod tests {
         assert_eq!(r.after_gitd, Some(StageVerdict::Possible));
         assert_eq!(r.after_stems, Some(StageVerdict::Possible));
         assert!(r.elapsed.as_nanos() > 0);
+        // The stage clocks partition a subset of the check's wall-clock.
+        assert!(r.stage_times.total() <= r.elapsed);
+        // All four stages ran on this check.
+        assert!(r.stage_times.case_analysis.as_nanos() > 0);
     }
 }
 
@@ -691,6 +626,11 @@ pub struct ProfilePoint {
 ///
 /// Once a δ is refuted every later δ is refuted too (monotonicity), so the
 /// sweep stops early and fills the tail.
+///
+/// This free function always runs plain floating-mode narrowing with
+/// dominators and no learning; [`CheckSession::delay_profile`] is the
+/// config-aware (and [`BatchRunner`](crate::BatchRunner)-parallelizable)
+/// variant.
 ///
 /// # Panics
 ///
@@ -782,11 +722,12 @@ mod profile_tests {
 }
 
 /// The exact floating-mode delay of the whole circuit: the maximum
-/// [`exact_delay`] over all primary outputs, sharing one learning table.
-/// This is the quantity the paper's Table 1 reports per circuit ("the
-/// value of δ for which a test vector is found represents the exact
-/// floating-mode delay of the circuit when the constraint system is
-/// inconsistent for (δ + 1) on all outputs").
+/// [`exact_delay`] over all primary outputs, sharing one [`CheckSession`]
+/// (learning table, SCOAP, base fixpoint). This is the quantity the
+/// paper's Table 1 reports per circuit ("the value of δ for which a test
+/// vector is found represents the exact floating-mode delay of the circuit
+/// when the constraint system is inconsistent for (δ + 1) on all
+/// outputs").
 ///
 /// Returns the per-output searches alongside the circuit-level result.
 ///
@@ -805,15 +746,10 @@ pub fn exact_circuit_delay(
     circuit: &Circuit,
     config: &VerifyConfig,
 ) -> (i64, bool, Vec<DelaySearch>) {
-    let mut searches = Vec::with_capacity(circuit.outputs().len());
-    let mut delay = 0i64;
-    let mut proven = true;
-    for &o in circuit.outputs() {
-        let s = exact_delay(circuit, o, config);
-        delay = delay.max(s.delay);
-        proven &= s.proven_exact;
-        searches.push(s);
-    }
+    let session = CheckSession::new(circuit, config.clone());
+    let searches = crate::batch::BatchRunner::serial().exact_delays(&session);
+    let delay = searches.iter().map(|s| s.delay).max().unwrap_or(0);
+    let proven = searches.iter().all(|s| s.proven_exact);
     (delay, proven, searches)
 }
 

@@ -34,6 +34,18 @@ impl DomainStore {
         }
     }
 
+    /// Creates a store seeded with the given domains (e.g. a previously
+    /// computed base fixpoint) and an empty trail. The contradiction flag
+    /// is derived from the seeded domains.
+    pub fn from_domains(domains: Vec<Signal>) -> Self {
+        let contradiction = domains.iter().any(|d| d.is_empty());
+        DomainStore {
+            domains,
+            trail: Vec::new(),
+            contradiction,
+        }
+    }
+
     /// The current domain of a net.
     pub fn get(&self, net: NetId) -> Signal {
         self.domains[net.index()]
@@ -147,7 +159,10 @@ mod tests {
         let (c, a, _) = circuit();
         let mut d = DomainStore::new(&c);
         let mark = d.checkpoint();
-        d.narrow_to(a, Signal::single_class(Level::Zero, Aw::before(Time::new(3))));
+        d.narrow_to(
+            a,
+            Signal::single_class(Level::Zero, Aw::before(Time::new(3))),
+        );
         assert!(!d.has_contradiction());
         d.narrow_to(a, Signal::single_class(Level::One, Aw::FULL));
         assert!(d.has_contradiction());

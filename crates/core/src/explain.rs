@@ -41,7 +41,10 @@ impl fmt::Display for Explanation {
             self.output, self.delta, self.topological
         )?;
         if self.proved {
-            writeln!(f, "verdict: IMPOSSIBLE — narrowing + dominator implications refute it")?;
+            writeln!(
+                f,
+                "verdict: IMPOSSIBLE — narrowing + dominator implications refute it"
+            )?;
             return Ok(());
         }
         writeln!(

@@ -85,6 +85,9 @@ struct Frame {
 /// Pre-condition: the caller has applied the input/check constraints and
 /// run [`fixpoint_with_dominators`] (and optionally stem correlation); the
 /// system is consistent.
+///
+/// Computes the SCOAP controllabilities on the fly; when many checks share
+/// one circuit, compute them once and use [`case_analysis_with`] instead.
 pub fn case_analysis(
     nw: &mut Narrower,
     s: NetId,
@@ -92,8 +95,23 @@ pub fn case_analysis(
     config: &CaseConfig,
     stats: &mut CaseStats,
 ) -> CaseOutcome {
+    let cc = Controllability::compute(nw.circuit());
+    case_analysis_with(nw, s, delta, config, stats, &cc)
+}
+
+/// [`case_analysis`] with precomputed SCOAP controllabilities (they depend
+/// only on the circuit, so a batch of checks shares one table — see
+/// [`PreparedCircuit`](crate::PreparedCircuit)). Decisions, and therefore
+/// the outcome, are identical to [`case_analysis`].
+pub fn case_analysis_with(
+    nw: &mut Narrower,
+    s: NetId,
+    delta: i64,
+    config: &CaseConfig,
+    stats: &mut CaseStats,
+    cc: &Controllability,
+) -> CaseOutcome {
     let circuit = nw.circuit();
-    let cc = Controllability::compute(circuit);
     let plan = DecisionPlan::new(circuit, nw.domains(), s, delta);
     let mut stack: Vec<Frame> = Vec::new();
 
@@ -104,8 +122,8 @@ pub fn case_analysis(
 
         if consistent {
             if let Some(vector) = full_input_assignment(circuit, nw.domains()) {
-                let ok = !config.certify_vectors
-                    || ltt_sta::vector_violates(circuit, &vector, s, delta);
+                let ok =
+                    !config.certify_vectors || ltt_sta::vector_violates(circuit, &vector, s, delta);
                 if ok {
                     return CaseOutcome::Vector(vector);
                 }
@@ -114,7 +132,7 @@ pub fn case_analysis(
                 // does not actually violate the check.
             } else {
                 // Decide the next net.
-                let (net, level) = choose_decision(nw, &plan, &cc, s, delta)
+                let (net, level) = choose_decision(nw, &plan, cc, s, delta)
                     .expect("an unfixed primary input exists");
                 stats.decisions += 1;
                 let mark = nw.checkpoint();
@@ -245,9 +263,13 @@ fn choose_decision(
         }
         // Backtrace the justification objective (output = its fixed class)
         // to a stem or primary input.
-        if let Some((target, value)) =
-            backtrace(circuit, nw.domains(), cc, circuit.gate(gid).output(), out_class)
-        {
+        if let Some((target, value)) = backtrace(
+            circuit,
+            nw.domains(),
+            cc,
+            circuit.gate(gid).output(),
+            out_class,
+        ) {
             if nw.domain(target).fixed_class().is_none() {
                 return Some((target, value));
             }
@@ -461,7 +483,10 @@ mod tests {
         let c = cascade(GateKind::And, 4, 10);
         let s = c.outputs()[0];
         let mut nw = setup(&c, s, 40);
-        assert_eq!(fixpoint_with_dominators(&mut nw, s, 40, true), FixpointResult::Fixpoint);
+        assert_eq!(
+            fixpoint_with_dominators(&mut nw, s, 40, true),
+            FixpointResult::Fixpoint
+        );
         let mut stats = CaseStats::default();
         let out = case_analysis(&mut nw, s, 40, &CaseConfig::default(), &mut stats);
         match out {
@@ -491,7 +516,10 @@ mod tests {
         let c = figure1(10);
         let s = c.outputs()[0];
         let mut nw = setup(&c, s, 60);
-        assert_eq!(fixpoint_with_dominators(&mut nw, s, 60, true), FixpointResult::Fixpoint);
+        assert_eq!(
+            fixpoint_with_dominators(&mut nw, s, 60, true),
+            FixpointResult::Fixpoint
+        );
         let mut stats = CaseStats::default();
         let out = case_analysis(&mut nw, s, 60, &CaseConfig::default(), &mut stats);
         match out {
@@ -544,7 +572,10 @@ mod tests {
             let mut stats = CaseStats::default();
             let out = case_analysis(&mut nw, s, 75, &cfg, &mut stats);
             // Either it decides without backtracking or it abandons.
-            assert!(matches!(out, CaseOutcome::Abandoned | CaseOutcome::NoViolation | CaseOutcome::Vector(_)));
+            assert!(matches!(
+                out,
+                CaseOutcome::Abandoned | CaseOutcome::NoViolation | CaseOutcome::Vector(_)
+            ));
         }
     }
 }

@@ -254,11 +254,7 @@ fn propagate_assumption(circuit: &Circuit, y: NetId, v: Level) -> Option<Vec<u8>
     while let Some(gid) = queue.pop() {
         queued[gid.index()] = false;
         let gate = circuit.gate(gid);
-        let ins: Vec<u8> = gate
-            .inputs()
-            .iter()
-            .map(|n| classes[n.index()])
-            .collect();
+        let ins: Vec<u8> = gate.inputs().iter().map(|n| classes[n.index()]).collect();
         let out_net = gate.output();
         let mut changed_nets: Vec<NetId> = Vec::new();
         // Forward.
@@ -272,8 +268,7 @@ fn propagate_assumption(circuit: &Circuit, y: NetId, v: Level) -> Option<Vec<u8>
         }
         // Backward.
         for (j, &inp) in gate.inputs().iter().enumerate() {
-            let allowed =
-                classes[inp.index()] & backward_classes(gate.kind(), &ins, out_new, j);
+            let allowed = classes[inp.index()] & backward_classes(gate.kind(), &ins, out_new, j);
             if allowed != classes[inp.index()] {
                 classes[inp.index()] = allowed;
                 if allowed == 0 {
@@ -326,12 +321,21 @@ mod tests {
     #[test]
     fn backward_classes_and() {
         // AND with output forced 1: every input must be 1.
-        assert_eq!(backward_classes(GateKind::And, &[BOTH, BOTH], CAN1, 0), CAN1);
+        assert_eq!(
+            backward_classes(GateKind::And, &[BOTH, BOTH], CAN1, 0),
+            CAN1
+        );
         // AND with output forced 0 and the other input forced 1: this input
         // must be 0.
-        assert_eq!(backward_classes(GateKind::And, &[BOTH, CAN1], CAN0, 0), CAN0);
+        assert_eq!(
+            backward_classes(GateKind::And, &[BOTH, CAN1], CAN0, 0),
+            CAN0
+        );
         // AND with output forced 0 and the other input free: both classes OK.
-        assert_eq!(backward_classes(GateKind::And, &[BOTH, BOTH], CAN0, 0), BOTH);
+        assert_eq!(
+            backward_classes(GateKind::And, &[BOTH, BOTH], CAN0, 0),
+            BOTH
+        );
     }
 
     #[test]

@@ -27,6 +27,13 @@
 //! verdicts of the paper's Table 1), [`verify_all_outputs`], and
 //! [`exact_delay`] (binary search for the exact floating-mode delay).
 //!
+//! Workloads with many checks per circuit — all outputs at one δ, a delay
+//! search, a benchmark suite — should open a [`CheckSession`] (which
+//! computes every per-circuit analysis once via [`PreparedCircuit`] and
+//! seeds each check from a shared base fixpoint) and fan the checks out
+//! with a [`BatchRunner`]; parallel results are bit-identical to serial
+//! ones by construction.
+//!
 //! # Example
 //!
 //! The paper's running example (Fig. 1 / Example 2): topological delay 70,
@@ -52,26 +59,30 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod carriers;
 mod check;
 pub mod domain;
 pub mod explain;
 pub mod fan;
 pub mod learning;
+pub mod prepared;
 pub mod projection;
 pub mod scoap;
 pub mod solver;
 pub mod stems;
 
+pub use batch::{available_jobs, BatchCheck, BatchOutcome, BatchRunner, BatchSummary};
 pub use check::{
-    delay_profile, exact_circuit_delay, exact_delay, verify, verify_all_outputs, verify_under, verify_with_learning,
-    DelayMode, DelaySearch, LearningMode, ProfilePoint, Stage, StageVerdict, Verdict,
-    VerifyConfig, VerifyReport,
+    delay_profile, exact_circuit_delay, exact_delay, verify, verify_all_outputs, verify_under,
+    verify_with_learning, DelayMode, DelaySearch, LearningMode, ProfilePoint, Stage, StageTimes,
+    StageVerdict, Verdict, VerifyConfig, VerifyReport,
 };
 pub use domain::{Checkpoint, DomainStore};
 pub use explain::{explain, Explanation};
 pub use fan::{CaseConfig, CaseOutcome, CaseStats};
 pub use learning::ImplicationTable;
+pub use prepared::{CheckSession, PreparedCircuit};
 pub use projection::{project, GateProjection};
 pub use solver::{FixpointResult, Narrower, SolverStats};
 pub use stems::StemStats;

@@ -1,0 +1,552 @@
+//! Per-circuit analysis cache and check sessions.
+//!
+//! Every stage of the pipeline leans on analyses that depend only on the
+//! circuit, not on the individual check `σ = (ξ, s, δ)`: the static
+//! learning table (§4), the SCOAP controllabilities/observabilities that
+//! guide the case analysis (§5), the reconvergent-fanout-stem set that
+//! seeds stem correlation (§5), arrival times and per-output longest-path
+//! distances, and the static timing dominators of each output's critical
+//! carrier circuit. Re-deriving them per check is pure overhead once a
+//! workload runs more than one check — a delay search probes O(log top)
+//! deltas, `verify_all_outputs` visits every output, and the Table 1
+//! harness runs whole suites.
+//!
+//! [`PreparedCircuit`] computes each of these **once per circuit** (lazily,
+//! so ablated configurations pay nothing for stages they skip) and hands
+//! shared references to every check. [`CheckSession`] pairs a prepared
+//! circuit with one [`VerifyConfig`] and additionally caches the **base
+//! fixpoint** — the greatest fixpoint of the input-and-learning constraints
+//! *without* any δ constraint — which every check of the session starts
+//! from. Both types are `Sync`: a batch executor
+//! ([`BatchRunner`](crate::BatchRunner)) can fan checks out across threads
+//! with no per-thread re-preparation, and because each check still runs on
+//! its own [`Narrower`], parallel results are identical to serial ones.
+
+use crate::carriers::fixpoint_with_dominators;
+use crate::check::{
+    run_pipeline, DelayMode, DelaySearch, LearningMode, ProfilePoint, VerifyConfig, VerifyReport,
+};
+use crate::learning::ImplicationTable;
+use crate::scoap::{Controllability, Observability};
+use crate::solver::{FixpointResult, Narrower};
+use ltt_netlist::{Circuit, NetId};
+use ltt_waveform::{Level, Signal, Time};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Per-output static analyses (computed lazily, cached per output).
+struct OutputAnalysis {
+    /// `longest_to(output)`: max path delay from each net to the output.
+    distances: Vec<Option<i64>>,
+    /// Timing dominators of the static carrier circuit at δ = arrival —
+    /// the nets every critical-length path must cross.
+    dominators: Vec<NetId>,
+}
+
+/// All check-independent analyses of one circuit, computed at most once.
+///
+/// The fields are lazy ([`OnceLock`]), so a narrowing-only configuration
+/// never pays for SCOAP or the stem reconvergence BFS, while a full
+/// pipeline computes each exactly once no matter how many checks run —
+/// serially or from many threads at once.
+///
+/// # Examples
+///
+/// ```
+/// use ltt_core::{LearningMode, PreparedCircuit};
+/// use ltt_netlist::generators::figure1;
+///
+/// let c = figure1(10);
+/// let prepared = PreparedCircuit::new(&c, LearningMode::Stems);
+/// let s = c.outputs()[0];
+/// // Arrival times and the critical-path dominators are cached per output.
+/// assert_eq!(prepared.arrival_times()[s.index()], 70);
+/// assert!(!prepared.static_dominators(s).is_empty());
+/// ```
+pub struct PreparedCircuit<'c> {
+    circuit: &'c Circuit,
+    table: Option<Arc<ImplicationTable>>,
+    arrival: OnceLock<Vec<i64>>,
+    controllability: OnceLock<Controllability>,
+    observability: OnceLock<Observability>,
+    stem_mask: OnceLock<Vec<bool>>,
+    per_output: Vec<OnceLock<OutputAnalysis>>,
+}
+
+impl<'c> PreparedCircuit<'c> {
+    /// Prepares a circuit, learning the implication table per `learning`
+    /// (the one analysis that is *not* lazy: its constants restrict every
+    /// check's base state, so it is always needed up front).
+    pub fn new(circuit: &'c Circuit, learning: LearningMode) -> Self {
+        let table = match learning {
+            LearningMode::Off => None,
+            LearningMode::Stems => Some(Arc::new(ImplicationTable::learn_stems(circuit))),
+            LearningMode::All => Some(Arc::new(ImplicationTable::learn(circuit))),
+        };
+        Self::with_table(circuit, table)
+    }
+
+    /// Prepares a circuit around an already-learned implication table
+    /// (or none), for callers that manage learning themselves.
+    pub fn with_table(circuit: &'c Circuit, table: Option<Arc<ImplicationTable>>) -> Self {
+        PreparedCircuit {
+            circuit,
+            table,
+            arrival: OnceLock::new(),
+            controllability: OnceLock::new(),
+            observability: OnceLock::new(),
+            stem_mask: OnceLock::new(),
+            per_output: circuit.outputs().iter().map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// The underlying circuit.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// The shared static-learning table, if learning is enabled.
+    pub fn implication_table(&self) -> Option<&Arc<ImplicationTable>> {
+        self.table.as_ref()
+    }
+
+    /// Topological arrival times (`max` delay to each net), cached.
+    pub fn arrival_times(&self) -> &[i64] {
+        self.arrival.get_or_init(|| self.circuit.arrival_times())
+    }
+
+    /// SCOAP controllabilities (case-analysis guidance), cached.
+    pub fn controllability(&self) -> &Controllability {
+        self.controllability
+            .get_or_init(|| Controllability::compute(self.circuit))
+    }
+
+    /// SCOAP observabilities, cached.
+    pub fn observability(&self) -> &Observability {
+        self.observability
+            .get_or_init(|| Observability::compute(self.circuit, self.controllability()))
+    }
+
+    /// Per-net mask of reconvergent fanout stems — the stem-correlation
+    /// candidate set, cached (the reconvergence test is a BFS per stem, by
+    /// far the most expensive of the per-check re-derivations it replaces).
+    pub fn stem_candidates(&self) -> &[bool] {
+        self.stem_mask.get_or_init(|| {
+            self.circuit
+                .net_ids()
+                .map(|n| {
+                    self.circuit.net(n).is_fanout_stem() && self.circuit.is_reconvergent_stem(n)
+                })
+                .collect()
+        })
+    }
+
+    /// Longest-path distances from every net to `output`, cached per
+    /// output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` is not a primary output (per-output caches exist
+    /// for primary outputs only).
+    pub fn distances_to(&self, output: NetId) -> &[Option<i64>] {
+        &self.output_analysis(output).distances
+    }
+
+    /// The static timing dominators of `output`'s critical carrier circuit
+    /// (δ = arrival time): the nets that **every** critical-length path to
+    /// `output` crosses, ordered from the output towards the inputs.
+    /// Cached per output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` is not a primary output.
+    pub fn static_dominators(&self, output: NetId) -> &[NetId] {
+        &self.output_analysis(output).dominators
+    }
+
+    fn output_analysis(&self, output: NetId) -> &OutputAnalysis {
+        let pos = self
+            .circuit
+            .outputs()
+            .iter()
+            .position(|&o| o == output)
+            .expect("per-output analyses exist for primary outputs only");
+        self.per_output[pos].get_or_init(|| {
+            let distances = self.circuit.longest_to(output);
+            let arrival = self.arrival_times();
+            let delta = arrival[output.index()];
+            let carriers: Vec<Option<i64>> = self
+                .circuit
+                .net_ids()
+                .map(|x| match distances[x.index()] {
+                    Some(d) if arrival[x.index()] + d >= delta => Some(d),
+                    _ => None,
+                })
+                .collect();
+            let dominators = crate::carriers::timing_dominators(self.circuit, &carriers, output);
+            OutputAnalysis {
+                distances,
+                dominators,
+            }
+        })
+    }
+}
+
+/// One circuit + one configuration + the shared base fixpoint: the unit a
+/// batch of checks runs against.
+///
+/// Every check method seeds a fresh [`Narrower`] from the cached base
+/// fixpoint (inputs + learning constants, no δ), applies the δ constraint
+/// (and any assumptions), and runs the staged pipeline. The greatest
+/// fixpoint of a constraint system is unique, so verdicts and witness
+/// vectors are identical to running each check from scratch — only the
+/// redundant re-propagation is gone.
+///
+/// `CheckSession` is `Sync`; [`BatchRunner`](crate::BatchRunner) shares one
+/// session across worker threads.
+///
+/// # Examples
+///
+/// ```
+/// use ltt_core::{CheckSession, VerifyConfig};
+/// use ltt_netlist::generators::figure1;
+///
+/// let c = figure1(10);
+/// let session = CheckSession::new(&c, VerifyConfig::default());
+/// let s = c.outputs()[0];
+/// assert!(session.verify(s, 61).verdict.is_no_violation());
+/// assert!(session.verify(s, 60).verdict.is_violation());
+/// // The exact-delay search reuses the same cached analyses per probe.
+/// assert_eq!(session.exact_delay(s).delay, 60);
+/// ```
+pub struct CheckSession<'c> {
+    prepared: PreparedCircuit<'c>,
+    config: VerifyConfig,
+    base: OnceLock<Vec<Signal>>,
+}
+
+impl<'c> CheckSession<'c> {
+    /// Opens a session: prepares the circuit per the config's learning
+    /// mode. The base fixpoint is computed lazily on the first check.
+    pub fn new(circuit: &'c Circuit, config: VerifyConfig) -> Self {
+        let prepared = PreparedCircuit::new(circuit, config.learning);
+        Self::with_prepared(prepared, config)
+    }
+
+    /// Opens a session around an existing [`PreparedCircuit`] (whose table,
+    /// not `config.learning`, decides what learning applies).
+    pub fn with_prepared(prepared: PreparedCircuit<'c>, config: VerifyConfig) -> Self {
+        CheckSession {
+            prepared,
+            config,
+            base: OnceLock::new(),
+        }
+    }
+
+    /// The shared per-circuit analyses.
+    pub fn prepared(&self) -> &PreparedCircuit<'c> {
+        &self.prepared
+    }
+
+    /// The session's pipeline configuration.
+    pub fn config(&self) -> &VerifyConfig {
+        &self.config
+    }
+
+    /// The circuit under check.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.prepared.circuit()
+    }
+
+    /// Forces the base fixpoint now (it is otherwise computed on the first
+    /// check). A batch executor calls this before fanning out so workers
+    /// start from a warm cache instead of serializing on its computation.
+    pub fn warm_up(&self) {
+        let _ = self.narrower_at_base();
+    }
+
+    /// A narrower carrying the input-mode and learning-constant
+    /// constraints, not yet propagated.
+    fn fresh_narrower(&self) -> Narrower<'c> {
+        let circuit = self.prepared.circuit();
+        let mut nw = Narrower::new(circuit);
+        if let Some(table) = self.prepared.implication_table() {
+            for &(net, level) in table.constants() {
+                let restriction = nw.domain(net).restrict_to_class(level);
+                nw.narrow_net(net, restriction);
+            }
+            nw.set_implications(table.clone());
+        }
+        let input_domain = match self.config.delay_mode {
+            DelayMode::Floating => Signal::floating_input(),
+            DelayMode::Transition => Signal::transition_input(),
+        };
+        for &i in circuit.inputs() {
+            nw.narrow_net(i, input_domain);
+        }
+        nw
+    }
+
+    /// A narrower seeded at the session's base fixpoint (computed once).
+    fn narrower_at_base(&self) -> Narrower<'c> {
+        let base = self.base.get_or_init(|| {
+            let mut nw = self.fresh_narrower();
+            nw.reach_fixpoint();
+            nw.domains().to_vec()
+        });
+        let mut nw = Narrower::with_domains(self.prepared.circuit(), base);
+        if let Some(table) = self.prepared.implication_table() {
+            nw.set_implications(table.clone());
+        }
+        nw
+    }
+
+    /// Runs one check under an explicit pipeline config (used internally
+    /// by the delay search's search-free fallback; `config` must agree
+    /// with the session on `delay_mode` and learning for the shared base
+    /// to be sound).
+    pub(crate) fn verify_cfg(
+        &self,
+        output: NetId,
+        delta: i64,
+        config: &VerifyConfig,
+        assumptions: &[(NetId, Level)],
+    ) -> VerifyReport {
+        let start = Instant::now();
+        let mut nw = self.narrower_at_base();
+        for &(net, level) in assumptions {
+            let restriction = nw.domain(net).restrict_to_class(level);
+            nw.narrow_net(net, restriction);
+        }
+        run_pipeline(&mut nw, &self.prepared, output, delta, config, start)
+    }
+
+    /// Runs the timing check `(output, δ)` through the session's pipeline.
+    pub fn verify(&self, output: NetId, delta: i64) -> VerifyReport {
+        self.verify_cfg(output, delta, &self.config, &[])
+    }
+
+    /// [`CheckSession::verify`] under assumptions: each `(net, level)` pins
+    /// a net's settling class before propagation (the `set_case_analysis`
+    /// idiom).
+    pub fn verify_under(
+        &self,
+        output: NetId,
+        delta: i64,
+        assumptions: &[(NetId, Level)],
+    ) -> VerifyReport {
+        self.verify_cfg(output, delta, &self.config, assumptions)
+    }
+
+    /// Finds the exact floating-mode delay of `output` by binary search
+    /// over δ, sharing every per-circuit analysis (and the base fixpoint)
+    /// across probes. Semantics match [`exact_delay`](crate::exact_delay).
+    pub fn exact_delay(&self, output: NetId) -> DelaySearch {
+        let top = self.prepared.arrival_times()[output.index()];
+        let mut lo = 0i64; // delay ≥ 0 always (inputs settle at 0)
+        let mut hi = top + 1; // check at top+1 must fail
+        let mut vector = None;
+        let mut backtracks: u64 = 0;
+        let mut probes = Vec::new();
+        let mut decided = true;
+        // Invariant: violation possible at lo, impossible at hi.
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            let report = self.verify(output, mid);
+            backtracks = backtracks.saturating_add(report.backtracks);
+            let verdict = report.verdict.clone();
+            probes.push(report);
+            match verdict {
+                crate::Verdict::Violation { vector: v } => {
+                    vector = Some(v);
+                    lo = mid;
+                }
+                crate::Verdict::NoViolation { .. } => {
+                    hi = mid;
+                }
+                crate::Verdict::Possible | crate::Verdict::Abandoned => {
+                    decided = false;
+                    break;
+                }
+            }
+        }
+        if !decided {
+            // Recover certified bounds around the undecided region.
+            //
+            // Upper bound: bisect (lo, hi) for the smallest δ that the
+            // search-free pipeline (no case analysis) still proves
+            // impossible; the final bound is certified by a direct check.
+            let no_ca = VerifyConfig {
+                case_analysis: false,
+                ..self.config.clone()
+            };
+            let (mut plo, mut phi) = (lo, hi);
+            while plo + 1 < phi {
+                let mid = plo + (phi - plo) / 2;
+                let report = self.verify_cfg(output, mid, &no_ca, &[]);
+                // The fallback probes' effort counts like any other probe's.
+                backtracks = backtracks.saturating_add(report.backtracks);
+                let proved = report.verdict.is_no_violation();
+                probes.push(report);
+                if proved {
+                    phi = mid;
+                } else {
+                    plo = mid;
+                }
+            }
+            hi = phi;
+            // Lower bound: cheap Monte-Carlo simulation — any vector's
+            // floating-mode delay is a certified lower bound.
+            let sampled =
+                ltt_sta::sampled_floating_delay(self.prepared.circuit(), output, 2_000, 0x5EED);
+            if sampled.delay > lo {
+                lo = sampled.delay;
+                vector = Some(sampled.witness);
+            }
+        }
+        DelaySearch {
+            delay: lo,
+            vector,
+            proven_exact: decided,
+            upper_bound: hi - 1,
+            backtracks,
+            probes,
+        }
+    }
+
+    /// Sweeps δ over `deltas` (must be strictly ascending) with one
+    /// narrower seeded from the session base, recording per-δ consistency
+    /// of narrowing plus (per the session config) dominator implications.
+    ///
+    /// Unlike the free function [`delay_profile`](crate::delay_profile) —
+    /// which always runs plain floating-mode narrowing — this respects the
+    /// session's delay mode, learning constants, and `dominators` flag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deltas` is not strictly ascending.
+    pub fn delay_profile(&self, output: NetId, deltas: &[i64]) -> Vec<ProfilePoint> {
+        assert!(
+            deltas.windows(2).all(|w| w[0] < w[1]),
+            "deltas must be strictly ascending"
+        );
+        self.profile_chunk(output, deltas)
+    }
+
+    /// One ascending-δ incremental sweep (no ordering pre-check; used for
+    /// the chunks of a parallel profile, where each chunk is ascending).
+    pub(crate) fn profile_chunk(&self, output: NetId, deltas: &[i64]) -> Vec<ProfilePoint> {
+        let mut nw = self.narrower_at_base();
+        let mut profile = Vec::with_capacity(deltas.len());
+        let mut refuted = false;
+        for &delta in deltas {
+            if !refuted {
+                nw.narrow_net(output, Signal::violation(Time::new(delta)));
+                refuted = fixpoint_with_dominators(&mut nw, output, delta, self.config.dominators)
+                    == FixpointResult::Contradiction;
+            }
+            profile.push(ProfilePoint {
+                delta,
+                possible: !refuted,
+            });
+        }
+        profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{verify, Verdict};
+    use ltt_netlist::generators::{carry_skip_adder, false_path_chain, figure1};
+
+    /// Compile-time guarantee that sessions can be shared across threads.
+    fn assert_sync<T: Sync>() {}
+
+    #[test]
+    fn prepared_and_session_are_sync() {
+        assert_sync::<PreparedCircuit<'static>>();
+        assert_sync::<CheckSession<'static>>();
+    }
+
+    #[test]
+    fn session_matches_free_verify_verdicts() {
+        let config = VerifyConfig::default();
+        for c in [
+            figure1(10),
+            false_path_chain(4, 3, 10),
+            carry_skip_adder(4, 2, 10),
+        ] {
+            let session = CheckSession::new(&c, config.clone());
+            let top = c.topological_delay();
+            for &s in c.outputs() {
+                for delta in [top / 2, top, top + 1] {
+                    let a = session.verify(s, delta);
+                    let b = verify(&c, s, delta, &config);
+                    assert_eq!(a.verdict, b.verdict, "{} δ = {delta}", c.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn analyses_are_shared_not_recomputed() {
+        let c = figure1(10);
+        let prepared = PreparedCircuit::new(&c, LearningMode::Stems);
+        // Pointer identity across calls: the lazy caches hand out the same
+        // allocation every time.
+        assert!(std::ptr::eq(
+            prepared.controllability(),
+            prepared.controllability()
+        ));
+        assert!(std::ptr::eq(
+            prepared.stem_candidates().as_ptr(),
+            prepared.stem_candidates().as_ptr()
+        ));
+        let s = c.outputs()[0];
+        assert!(std::ptr::eq(
+            prepared.distances_to(s).as_ptr(),
+            prepared.distances_to(s).as_ptr()
+        ));
+    }
+
+    #[test]
+    fn static_dominators_cover_the_critical_chain() {
+        let c = figure1(10);
+        let s = c.outputs()[0];
+        let prepared = PreparedCircuit::new(&c, LearningMode::Off);
+        let names: Vec<&str> = prepared
+            .static_dominators(s)
+            .iter()
+            .map(|&n| c.net(n).name())
+            .collect();
+        // The unique 70-path is a chain: every net on it dominates.
+        assert_eq!(names, vec!["s", "n7", "n6", "n4", "n3", "n2", "n1"]);
+    }
+
+    #[test]
+    fn session_exact_delay_matches_figure1() {
+        let c = figure1(10);
+        let s = c.outputs()[0];
+        let session = CheckSession::new(&c, VerifyConfig::default());
+        let search = session.exact_delay(s);
+        assert_eq!(search.delay, 60);
+        assert!(search.proven_exact);
+        match session.verify(s, 60).verdict {
+            Verdict::Violation { ref vector } => {
+                assert!(ltt_sta::vector_violates(&c, vector, s, 60));
+            }
+            ref other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn session_profile_is_monotone() {
+        let c = figure1(10);
+        let s = c.outputs()[0];
+        let session = CheckSession::new(&c, VerifyConfig::default());
+        let profile = session.delay_profile(s, &[40, 60, 61, 70]);
+        let flags: Vec<bool> = profile.iter().map(|p| p.possible).collect();
+        assert_eq!(flags, vec![true, true, false, false]);
+    }
+}

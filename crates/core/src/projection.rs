@@ -55,7 +55,9 @@ pub fn project(kind: GateKind, d: i64, inputs: &[Signal], output: Signal) -> Gat
         };
     }
     match kind {
-        GateKind::Not | GateKind::Buffer | GateKind::Delay => project_unary(kind, d, inputs, output),
+        GateKind::Not | GateKind::Buffer | GateKind::Delay => {
+            project_unary(kind, d, inputs, output)
+        }
         GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
             project_and_family(kind, d, inputs, output)
         }
@@ -136,8 +138,7 @@ fn project_mux(d: i64, inputs: &[Signal], output: Signal) -> GateProjection {
         let oth_idx = if vs.to_bool() { 1 } else { 2 };
         let oth_level = if vs.to_bool() { va } else { vb };
         // No narrowing beyond feasibility of the combo itself.
-        in_acc[oth_idx][oth_level.index()] =
-            in_acc[oth_idx][oth_level.index()].union(i_oth);
+        in_acc[oth_idx][oth_level.index()] = in_acc[oth_idx][oth_level.index()].union(i_oth);
 
         // Select: data inputs can carry (selected one at any time; either
         // one while the select is undecided), so the select only *must*
@@ -195,7 +196,10 @@ fn project_unary(kind: GateKind, d: i64, inputs: &[Signal], output: Signal) -> G
 }
 
 fn project_and_family(kind: GateKind, d: i64, inputs: &[Signal], output: Signal) -> GateProjection {
-    let c = Level::from_bool(kind.controlling_value().expect("AND-family has a ctrl value"));
+    let c = Level::from_bool(
+        kind.controlling_value()
+            .expect("AND-family has a ctrl value"),
+    );
     let nc = !c;
     let out_c = Level::from_bool(kind.controlled_output().expect("AND-family"));
     let out_nc = !out_c;
@@ -204,11 +208,7 @@ fn project_and_family(kind: GateKind, d: i64, inputs: &[Signal], output: Signal)
     // ---- Forward: narrow the output -----------------------------------
     // All-non-controlling combo: LD(s) = d + max_i LD_i, exact.
     let all_nc = if inputs.iter().all(|i| !i[nc].is_empty()) {
-        let lo = inputs
-            .iter()
-            .map(|i| i[nc].lmin())
-            .max()
-            .expect("k >= 1");
+        let lo = inputs.iter().map(|i| i[nc].lmin()).max().expect("k >= 1");
         let hi = inputs.iter().map(|i| i[nc].max()).max().expect("k >= 1");
         Aw::new(lo, hi).shift(d)
     } else {
@@ -227,10 +227,7 @@ fn project_and_family(kind: GateKind, d: i64, inputs: &[Signal], output: Signal)
             forced.iter().map(|&i| inputs[i][c].max()).min()
         } else {
             // Best (loosest) combo is a singleton {i}.
-            ctrl_capable
-                .iter()
-                .map(|&i| inputs[i][c].max())
-                .max()
+            ctrl_capable.iter().map(|&i| inputs[i][c].max()).max()
         };
         match ub {
             None => Aw::EMPTY,
@@ -584,7 +581,12 @@ mod tests {
         assert_eq!(p.output[Level::One], aw(15, 19));
         assert_eq!(p.output[Level::Zero], aw(11, 13));
         // Backward through a violation: only late-enough waveforms remain.
-        let p = project(GateKind::Buffer, 10, &[input], Signal::violation(Time::new(16)));
+        let p = project(
+            GateKind::Buffer,
+            10,
+            &[input],
+            Signal::violation(Time::new(16)),
+        );
         assert_eq!(p.inputs[0][Level::Zero], aw(6, 9));
         assert!(p.inputs[0][Level::One].is_empty());
     }
@@ -713,7 +715,13 @@ mod tests {
         let a = Signal::new(aw(0, 10), aw(5, 15));
         let b = Signal::new(before(8), aw(2, 12));
         let s = Signal::new(aw(10, 30), before(25));
-        for kind in [GateKind::And, GateKind::Nand, GateKind::Or, GateKind::Nor, GateKind::Xor] {
+        for kind in [
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+        ] {
             let p = project(kind, 10, &[a, b], s);
             assert!(p.output.is_subset_of(s), "{kind} output");
             assert!(p.inputs[0].is_subset_of(a), "{kind} in0");

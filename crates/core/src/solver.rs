@@ -84,6 +84,32 @@ impl<'c> Narrower<'c> {
         }
     }
 
+    /// Creates a narrower whose domains start from `domains` — typically a
+    /// base fixpoint computed once and shared by many checks (see
+    /// [`CheckSession`](crate::CheckSession)) — instead of full signals.
+    /// The queue starts empty: a seeded fixpoint needs no re-propagation
+    /// until a new constraint narrows some net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domains.len() != circuit.num_nets()`.
+    pub fn with_domains(circuit: &'c Circuit, domains: &[Signal]) -> Self {
+        assert_eq!(
+            domains.len(),
+            circuit.num_nets(),
+            "one seeded domain per net"
+        );
+        Narrower {
+            circuit,
+            store: DomainStore::from_domains(domains.to_vec()),
+            queue: VecDeque::new(),
+            queued: vec![false; circuit.num_gates()],
+            implications: None,
+            stats: SolverStats::default(),
+            max_events: u64::MAX,
+        }
+    }
+
     /// Attaches a static-learning implication table; learned class
     /// restrictions fire whenever a net's class becomes fixed.
     pub fn set_implications(&mut self, table: Arc<ImplicationTable>) {
@@ -124,8 +150,17 @@ impl<'c> Narrower<'c> {
     /// events refer to the rolled-back state).
     pub fn rollback(&mut self, mark: Checkpoint) {
         self.store.rollback(mark);
-        self.queue.clear();
-        self.queued.iter_mut().for_each(|q| *q = false);
+        self.clear_queue();
+    }
+
+    /// Empties the event queue, resetting only the `queued` flags of gates
+    /// actually enqueued — O(queue length), not O(num gates). The case
+    /// analysis rolls back once per backtrack, so a full `queued` scan here
+    /// would dominate deep searches on large circuits.
+    fn clear_queue(&mut self) {
+        for gate in self.queue.drain(..) {
+            self.queued[gate.index()] = false;
+        }
     }
 
     /// Schedules a gate constraint.
@@ -210,8 +245,7 @@ impl<'c> Narrower<'c> {
     /// the system has no solution).
     pub fn reach_fixpoint(&mut self) -> FixpointResult {
         if self.store.has_contradiction() {
-            self.queue.clear();
-            self.queued.iter_mut().for_each(|q| *q = false);
+            self.clear_queue();
             return FixpointResult::Contradiction;
         }
         while let Some(gate) = self.queue.pop_front() {
@@ -222,8 +256,7 @@ impl<'c> Narrower<'c> {
             }
             self.apply_gate(gate);
             if self.store.has_contradiction() {
-                self.queue.clear();
-                self.queued.iter_mut().for_each(|q| *q = false);
+                self.clear_queue();
                 return FixpointResult::Contradiction;
             }
         }
@@ -384,6 +417,53 @@ mod tests {
         let st = nw.stats();
         assert!(st.events > 0);
         assert!(st.narrowings >= 8); // at least every net settles
+    }
+
+    #[test]
+    fn seeded_narrower_matches_fresh_fixpoint() {
+        let c = figure1(10);
+        let s = c.outputs()[0];
+        let mut fresh = Narrower::new(&c);
+        for &i in c.inputs() {
+            fresh.narrow_net(i, Signal::floating_input());
+        }
+        fresh.reach_fixpoint();
+        let base = fresh.domains().to_vec();
+        // Seeding from the base fixpoint and then adding the δ constraint
+        // reaches the same greatest fixpoint as narrowing from scratch.
+        let mut seeded = Narrower::with_domains(&c, &base);
+        seeded.narrow_net(s, Signal::violation(Time::new(60)));
+        seeded.reach_fixpoint();
+        let mut scratch = Narrower::new(&c);
+        for &i in c.inputs() {
+            scratch.narrow_net(i, Signal::floating_input());
+        }
+        scratch.narrow_net(s, Signal::violation(Time::new(60)));
+        scratch.reach_fixpoint();
+        assert_eq!(seeded.domains(), scratch.domains());
+    }
+
+    #[test]
+    fn rollback_then_renarrow_schedules_again() {
+        // After a rollback the queued flags of the drained gates must be
+        // reset, or re-narrowing the same nets would never re-enqueue their
+        // constraints and the fixpoint would silently be missed.
+        let c = figure1(10);
+        let s = c.outputs()[0];
+        let mut nw = Narrower::new(&c);
+        for &i in c.inputs() {
+            nw.narrow_net(i, Signal::floating_input());
+        }
+        nw.reach_fixpoint();
+        let mark = nw.checkpoint();
+        nw.narrow_net(s, Signal::violation(Time::new(61)));
+        assert_eq!(nw.reach_fixpoint(), FixpointResult::Contradiction);
+        nw.rollback(mark);
+        nw.narrow_net(s, Signal::violation(Time::new(60)));
+        let before = nw.stats().events;
+        assert_eq!(nw.reach_fixpoint(), FixpointResult::Fixpoint);
+        assert!(nw.stats().events > before, "constraints were re-scheduled");
+        assert!(!nw.domain(s).is_empty());
     }
 
     #[test]

@@ -28,7 +28,37 @@ pub struct StemStats {
 /// dynamic carriers of the check (the paper's selection rule), ordered by
 /// decreasing dynamic distance (stems furthest from the output first, so
 /// their narrowing feeds the later ones).
+///
+/// Runs the reconvergence test (a BFS per candidate stem) on the fly; when
+/// many checks share one circuit, precompute the stem set once and use
+/// [`correlation_stems_masked`] instead.
 pub fn correlation_stems(nw: &Narrower, s: NetId, delta: i64) -> Vec<NetId> {
+    select_stems(nw, s, delta, |circuit, n| circuit.is_reconvergent_stem(n))
+}
+
+/// [`correlation_stems`] with a precomputed candidate mask:
+/// `mask[n.index()]` must say whether net `n` is a reconvergent fanout stem
+/// (see [`PreparedCircuit::stem_candidates`](crate::PreparedCircuit::stem_candidates)).
+/// Produces exactly the same stems in the same order as
+/// [`correlation_stems`].
+///
+/// # Panics
+///
+/// Panics if `mask.len()` is smaller than the circuit's net count.
+pub fn correlation_stems_masked(nw: &Narrower, s: NetId, delta: i64, mask: &[bool]) -> Vec<NetId> {
+    assert!(
+        mask.len() >= nw.circuit().num_nets(),
+        "one mask bit per net"
+    );
+    select_stems(nw, s, delta, |_, n| mask[n.index()])
+}
+
+fn select_stems(
+    nw: &Narrower,
+    s: NetId,
+    delta: i64,
+    is_reconvergent: impl Fn(&ltt_netlist::Circuit, NetId) -> bool,
+) -> Vec<NetId> {
     let circuit = nw.circuit();
     let carriers = dynamic_carriers(circuit, nw.domains(), s, delta);
     let mut stems: Vec<(i64, NetId)> = circuit
@@ -36,7 +66,7 @@ pub fn correlation_stems(nw: &Narrower, s: NetId, delta: i64) -> Vec<NetId> {
         .filter(|&n| {
             carriers[n.index()].is_some()
                 && circuit.net(n).is_fanout_stem()
-                && circuit.is_reconvergent_stem(n)
+                && is_reconvergent(circuit, n)
                 && nw.domain(n).fixed_class().is_none()
         })
         .map(|n| (carriers[n.index()].expect("carrier"), n))
@@ -90,9 +120,7 @@ pub fn stem_correlation(
         let union: Vec<Signal> = match (&zero, &one) {
             (None, None) => return FixpointResult::Contradiction,
             (Some(d), None) | (None, Some(d)) => d.clone(),
-            (Some(d0), Some(d1)) => (0..num_nets)
-                .map(|i| d0[i].union(d1[i]))
-                .collect(),
+            (Some(d0), Some(d1)) => (0..num_nets).map(|i| d0[i].union(d1[i])).collect(),
         };
         let mut changed = false;
         for (i, target) in union.into_iter().enumerate() {

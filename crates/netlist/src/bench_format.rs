@@ -192,11 +192,7 @@ pub fn write_bench(circuit: &Circuit) -> String {
     }
     for &gid in circuit.topo_gates() {
         let g = circuit.gate(gid);
-        let args: Vec<&str> = g
-            .inputs()
-            .iter()
-            .map(|&n| circuit.net(n).name())
-            .collect();
+        let args: Vec<&str> = g.inputs().iter().map(|&n| circuit.net(n).name()).collect();
         out.push_str(&format!(
             "{} = {}({})\n",
             circuit.net(g.output()).name(),

@@ -160,7 +160,10 @@ impl fmt::Display for BuildCircuitError {
                 kind,
                 arity,
                 output,
-            } => write!(f, "gate {kind} driving `{output}` cannot take {arity} inputs"),
+            } => write!(
+                f,
+                "gate {kind} driving `{output}` cannot take {arity} inputs"
+            ),
         }
     }
 }
@@ -330,10 +333,7 @@ impl Circuit {
     /// # Ok(())
     /// # }
     /// ```
-    pub fn with_delays(
-        &self,
-        mut delays: impl FnMut(GateId, &Gate) -> DelayInterval,
-    ) -> Circuit {
+    pub fn with_delays(&self, mut delays: impl FnMut(GateId, &Gate) -> DelayInterval) -> Circuit {
         let mut out = self.clone();
         for (i, gate) in out.gates.iter_mut().enumerate() {
             gate.delay = delays(GateId::from_index(i), gate);
@@ -520,6 +520,58 @@ impl CircuitBuilder {
     }
 }
 
+impl Circuit {
+    /// Extracts the fan-in cone of one output as a standalone circuit:
+    /// only the gates and nets that can influence `output` survive, and
+    /// `output` becomes the sole primary output. Net names are preserved.
+    ///
+    /// Useful for shrinking a verification problem to the logic a single
+    /// check actually depends on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` is not a net of this circuit.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ltt_netlist::generators::carry_skip_adder;
+    ///
+    /// let adder = carry_skip_adder(8, 4, 10);
+    /// let s0 = adder.net_by_name("s0").unwrap();
+    /// let cone = adder.extract_cone(s0);
+    /// assert!(cone.num_gates() < adder.num_gates());
+    /// assert_eq!(cone.outputs().len(), 1);
+    /// // The cone computes the same function of its (fewer) inputs.
+    /// ```
+    pub fn extract_cone(&self, output: NetId) -> Circuit {
+        let cone = self.fanin_cone(output);
+        let mut b = CircuitBuilder::new(format!("{}_cone_{}", self.name, self.net(output).name()));
+        // Create inputs first (cone inputs keep their declaration order).
+        for &i in &self.inputs {
+            if cone[i.index()] {
+                b.input(self.net(i).name().to_string());
+            }
+        }
+        for &gid in &self.topo_gates {
+            let gate = &self.gates[gid.index()];
+            if !cone[gate.output.index()] {
+                continue;
+            }
+            let inputs: Vec<NetId> = gate
+                .inputs
+                .iter()
+                .map(|&n| b.net(self.net(n).name().to_string()))
+                .collect();
+            let out = b.net(self.net(gate.output).name().to_string());
+            b.drive(out, gate.kind, &inputs, gate.delay);
+        }
+        let out = b.net(self.net(output).name().to_string());
+        b.mark_output(out);
+        b.build().expect("a cone of a valid circuit is valid")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -681,57 +733,5 @@ mod tests {
         assert!(e.to_string().contains("cycle"));
         let e = BuildCircuitError::NoOutputs;
         assert!(e.to_string().contains("output"));
-    }
-}
-
-impl Circuit {
-    /// Extracts the fan-in cone of one output as a standalone circuit:
-    /// only the gates and nets that can influence `output` survive, and
-    /// `output` becomes the sole primary output. Net names are preserved.
-    ///
-    /// Useful for shrinking a verification problem to the logic a single
-    /// check actually depends on.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `output` is not a net of this circuit.
-    ///
-    /// # Examples
-    ///
-    /// ```
-    /// use ltt_netlist::generators::carry_skip_adder;
-    ///
-    /// let adder = carry_skip_adder(8, 4, 10);
-    /// let s0 = adder.net_by_name("s0").unwrap();
-    /// let cone = adder.extract_cone(s0);
-    /// assert!(cone.num_gates() < adder.num_gates());
-    /// assert_eq!(cone.outputs().len(), 1);
-    /// // The cone computes the same function of its (fewer) inputs.
-    /// ```
-    pub fn extract_cone(&self, output: NetId) -> Circuit {
-        let cone = self.fanin_cone(output);
-        let mut b = CircuitBuilder::new(format!("{}_cone_{}", self.name, self.net(output).name()));
-        // Create inputs first (cone inputs keep their declaration order).
-        for &i in &self.inputs {
-            if cone[i.index()] {
-                b.input(self.net(i).name().to_string());
-            }
-        }
-        for &gid in &self.topo_gates {
-            let gate = &self.gates[gid.index()];
-            if !cone[gate.output.index()] {
-                continue;
-            }
-            let inputs: Vec<NetId> = gate
-                .inputs
-                .iter()
-                .map(|&n| b.net(self.net(n).name().to_string()))
-                .collect();
-            let out = b.net(self.net(gate.output).name().to_string());
-            b.drive(out, gate.kind, &inputs, gate.delay);
-        }
-        let out = b.net(self.net(output).name().to_string());
-        b.mark_output(out);
-        b.build().expect("a cone of a valid circuit is valid")
     }
 }

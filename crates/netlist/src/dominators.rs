@@ -44,7 +44,10 @@ impl Dominators {
     ///
     /// Panics if `topo` is empty or does not start with `source`.
     pub fn compute(preds: &[Vec<usize>], source: usize, topo: &[usize]) -> Dominators {
-        assert!(!topo.is_empty() && topo[0] == source, "topo must start at source");
+        assert!(
+            !topo.is_empty() && topo[0] == source,
+            "topo must start at source"
+        );
         let n = preds.len();
         let mut order = vec![usize::MAX; n];
         for (i, &v) in topo.iter().enumerate() {

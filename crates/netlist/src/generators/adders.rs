@@ -75,7 +75,10 @@ pub fn ripple_carry_adder(width: usize, delay: u32) -> Circuit {
 /// assert!(c.topological_delay() > 1500);
 /// ```
 pub fn carry_skip_adder(width: usize, block_size: usize, delay: u32) -> Circuit {
-    assert!(width > 0 && block_size > 0, "width and block size must be positive");
+    assert!(
+        width > 0 && block_size > 0,
+        "width and block size must be positive"
+    );
     assert!(
         width.is_multiple_of(block_size),
         "block size must divide the adder width"

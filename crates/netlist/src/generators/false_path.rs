@@ -113,7 +113,11 @@ pub fn false_path_chain(prefix: usize, long_branch: usize, delay: u32) -> Circui
     let mut n = b.gate("n1", GateKind::And, &[x0, x1], d);
     for i in 2..prefix {
         let side = b.input(format!("p{i}"));
-        let kind = if i % 2 == 1 { GateKind::Or } else { GateKind::And };
+        let kind = if i % 2 == 1 {
+            GateKind::Or
+        } else {
+            GateKind::And
+        };
         n = b.gate(format!("n{i}"), kind, &[n, side], d);
     }
     n = b.gate(format!("n{prefix}"), GateKind::And, &[n, shared], d);
@@ -185,7 +189,11 @@ pub fn forked_false_path_chain(prefix: usize, long_branch: usize, delay: u32) ->
     let mut n = b.gate("n1", GateKind::And, &[x0, x1], d);
     for i in 2..prefix {
         let side = b.input(format!("p{i}"));
-        let kind = if i % 2 == 1 { GateKind::Or } else { GateKind::And };
+        let kind = if i % 2 == 1 {
+            GateKind::Or
+        } else {
+            GateKind::And
+        };
         n = b.gate(format!("n{i}"), kind, &[n, side], d);
     }
     n = b.gate(format!("n{prefix}"), GateKind::And, &[n, shared], d);
@@ -265,12 +273,17 @@ pub fn stem_conflict_circuit(depth: usize, delay: u32) -> Circuit {
     let mut t = b.input("t0");
     for i in 1..=depth - 2 {
         let side = b.input(format!("t{i}"));
-        let kind = if i % 2 == 1 { GateKind::And } else { GateKind::Or };
+        let kind = if i % 2 == 1 {
+            GateKind::And
+        } else {
+            GateKind::Or
+        };
         t = b.gate(format!("tc{i}"), kind, &[t, side], d);
     }
     let s = b.gate("s", GateKind::Or, &[mux, t], d);
     b.mark_output(s);
-    b.build().expect("stem-conflict circuit is structurally valid")
+    b.build()
+        .expect("stem-conflict circuit is structurally valid")
 }
 
 /// The classic shared-select multiplexer chain — the textbook false-path

@@ -130,7 +130,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow without optimizations; covered by `cargo test --release`"
+    )]
     fn multiplies_exhaustively_4x4() {
         let c = array_multiplier(4, 10);
         for a in 0..16u64 {
@@ -149,14 +152,21 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow without optimizations; covered by `cargo test --release`"
+    )]
     fn gate_count_scales_quadratically() {
         let c4 = array_multiplier(4, 10);
         let c8 = array_multiplier(8, 10);
         assert!(c8.num_gates() > 3 * c4.num_gates());
         // 16×16 lands in the c6288 ballpark (c6288 has 2406 gates).
         let c16 = array_multiplier(16, 10);
-        assert!((1200..4000).contains(&c16.num_gates()), "{}", c16.num_gates());
+        assert!(
+            (1200..4000).contains(&c16.num_gates()),
+            "{}",
+            c16.num_gates()
+        );
     }
 
     #[test]

@@ -175,7 +175,10 @@ impl<'a> Scanner<'a> {
             Some(_) => {
                 let start = self.pos;
                 while self.pos < self.text.len()
-                    && !matches!(self.text[self.pos], b' ' | b'\t' | b'\r' | b'\n' | b'(' | b')')
+                    && !matches!(
+                        self.text[self.pos],
+                        b' ' | b'\t' | b'\r' | b'\n' | b'(' | b')'
+                    )
                 {
                     self.pos += 1;
                 }
@@ -459,13 +462,17 @@ mod tests {
             Err(ParseSdfError::NotADelayFile)
         ));
         assert!(matches!(
-            parse_sdf(r#"(DELAYFILE (CELL (INSTANCE x)
-                (DELAY (ABSOLUTE (IOPATH a x (1:2))))))"#),
+            parse_sdf(
+                r#"(DELAYFILE (CELL (INSTANCE x)
+                (DELAY (ABSOLUTE (IOPATH a x (1:2))))))"#
+            ),
             Err(ParseSdfError::BadDelayValue(_))
         ));
         assert!(matches!(
-            parse_sdf(r#"(DELAYFILE (CELL (INSTANCE x)
-                (DELAY (ABSOLUTE (IOPATH a x (5:4:3))))))"#),
+            parse_sdf(
+                r#"(DELAYFILE (CELL (INSTANCE x)
+                (DELAY (ABSOLUTE (IOPATH a x (5:4:3))))))"#
+            ),
             Err(ParseSdfError::BadDelayValue(_))
         ));
     }
@@ -488,6 +495,10 @@ mod tests {
           (CELL (INSTANCE y) (DELAY (ABSOLUTE (IOPATH x y (50))))))"#;
         let r = apply_sdf(&c, sdf).unwrap();
         assert_eq!(r.topological_delay(), 150);
-        assert_eq!(r.gate(r.net(r.net_by_name("x").unwrap()).driver().unwrap()).dmax(), 100);
+        assert_eq!(
+            r.gate(r.net(r.net_by_name("x").unwrap()).driver().unwrap())
+                .dmax(),
+            100
+        );
     }
 }

@@ -194,9 +194,7 @@ pub fn standin(spec: &StandinSpec, delay: u32) -> Circuit {
         if cap < 2 || budget_gates == 0 {
             return fresh;
         }
-        let mut local: Vec<NetId> = (0..3)
-            .map(|_| pool[rng.gen_range(0..pool.len())])
-            .collect();
+        let mut local: Vec<NetId> = (0..3).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
         let inner_gates = budget_gates.min(1 + rng.gen_range(0..4));
         let mut out = local[0];
         for k in 0..inner_gates {
@@ -226,7 +224,12 @@ pub fn standin(spec: &StandinSpec, delay: u32) -> Circuit {
         if out == local[0] {
             return fresh;
         }
-        let mixed = b.gate(format!("c{cone_counter}_mix"), GateKind::Xor, &[out, fresh], d);
+        let mixed = b.gate(
+            format!("c{cone_counter}_mix"),
+            GateKind::Xor,
+            &[out, fresh],
+            d,
+        );
         *gates_used += 1;
         track(level, mixed, level[out.index()] + 1);
         mixed
@@ -259,7 +262,11 @@ pub fn standin(spec: &StandinSpec, delay: u32) -> Circuit {
                 // Side-cone budget: filler→side→spine-suffix ≤ exact.
                 let cap = i - 1;
                 let side = build_cone(&mut b, &mut rng, &mut level, &mut gates_used, cap, 6);
-                let kind = if i % 2 == 1 { GateKind::Or } else { GateKind::And };
+                let kind = if i % 2 == 1 {
+                    GateKind::Or
+                } else {
+                    GateKind::And
+                };
                 n = b.gate(format!("sp{i}"), kind, &[n, side], d);
                 gates_used += 1;
                 track(&mut level, n, i);
@@ -384,7 +391,11 @@ pub fn standin(spec: &StandinSpec, delay: u32) -> Circuit {
                 } else {
                     build_cone(&mut b, &mut rng, &mut level, &mut gates_used, cap, 4)
                 };
-                let kind = if i % 2 == 1 { GateKind::And } else { GateKind::Or };
+                let kind = if i % 2 == 1 {
+                    GateKind::And
+                } else {
+                    GateKind::Or
+                };
                 t = b.gate(format!("tc{i}"), kind, &[t, side], d);
                 gates_used += 1;
                 track(&mut level, t, i);
@@ -468,15 +479,96 @@ pub fn standin(spec: &StandinSpec, delay: u32) -> Circuit {
 pub fn standin_specs() -> Vec<StandinSpec> {
     use SpineKind::*;
     vec![
-        StandinSpec { name: "s432", levels: 19, exact_levels: 19, kind: Chain, gates: 160, inputs: 36, outputs: 7, seed: 432 },
-        StandinSpec { name: "s499", levels: 25, exact_levels: 25, kind: Chain, gates: 202, inputs: 41, outputs: 32, seed: 499 },
-        StandinSpec { name: "s880", levels: 20, exact_levels: 20, kind: Chain, gates: 383, inputs: 60, outputs: 26, seed: 880 },
-        StandinSpec { name: "s1355", levels: 27, exact_levels: 27, kind: Chain, gates: 546, inputs: 41, outputs: 32, seed: 1355 },
-        StandinSpec { name: "s1908", levels: 34, exact_levels: 31, kind: Forked, gates: 880, inputs: 33, outputs: 25, seed: 1908 },
-        StandinSpec { name: "s2670", levels: 25, exact_levels: 24, kind: StemMux, gates: 1193, inputs: 157, outputs: 140, seed: 2670 },
-        StandinSpec { name: "s3540", levels: 41, exact_levels: 39, kind: Forked, gates: 1669, inputs: 50, outputs: 22, seed: 3540 },
-        StandinSpec { name: "s5315", levels: 46, exact_levels: 45, kind: Chain, gates: 2307, inputs: 178, outputs: 123, seed: 5315 },
-        StandinSpec { name: "s7552", levels: 38, exact_levels: 37, kind: Chain, gates: 3512, inputs: 207, outputs: 108, seed: 7552 },
+        StandinSpec {
+            name: "s432",
+            levels: 19,
+            exact_levels: 19,
+            kind: Chain,
+            gates: 160,
+            inputs: 36,
+            outputs: 7,
+            seed: 432,
+        },
+        StandinSpec {
+            name: "s499",
+            levels: 25,
+            exact_levels: 25,
+            kind: Chain,
+            gates: 202,
+            inputs: 41,
+            outputs: 32,
+            seed: 499,
+        },
+        StandinSpec {
+            name: "s880",
+            levels: 20,
+            exact_levels: 20,
+            kind: Chain,
+            gates: 383,
+            inputs: 60,
+            outputs: 26,
+            seed: 880,
+        },
+        StandinSpec {
+            name: "s1355",
+            levels: 27,
+            exact_levels: 27,
+            kind: Chain,
+            gates: 546,
+            inputs: 41,
+            outputs: 32,
+            seed: 1355,
+        },
+        StandinSpec {
+            name: "s1908",
+            levels: 34,
+            exact_levels: 31,
+            kind: Forked,
+            gates: 880,
+            inputs: 33,
+            outputs: 25,
+            seed: 1908,
+        },
+        StandinSpec {
+            name: "s2670",
+            levels: 25,
+            exact_levels: 24,
+            kind: StemMux,
+            gates: 1193,
+            inputs: 157,
+            outputs: 140,
+            seed: 2670,
+        },
+        StandinSpec {
+            name: "s3540",
+            levels: 41,
+            exact_levels: 39,
+            kind: Forked,
+            gates: 1669,
+            inputs: 50,
+            outputs: 22,
+            seed: 3540,
+        },
+        StandinSpec {
+            name: "s5315",
+            levels: 46,
+            exact_levels: 45,
+            kind: Chain,
+            gates: 2307,
+            inputs: 178,
+            outputs: 123,
+            seed: 5315,
+        },
+        StandinSpec {
+            name: "s7552",
+            levels: 38,
+            exact_levels: 37,
+            kind: Chain,
+            gates: 3512,
+            inputs: 207,
+            outputs: 108,
+            seed: 7552,
+        },
     ]
 }
 
@@ -558,7 +650,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow without optimizations; covered by `cargo test --release`"
+    )]
     fn standins_hit_gate_count_targets() {
         for spec in standin_specs() {
             let c = standin(&spec, 10);
@@ -605,7 +700,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow without optimizations; covered by `cargo test --release`"
+    )]
     fn small_standins_of_each_kind_match_oracle() {
         // Miniature specs with few inputs: the exhaustive oracle validates
         // both delays for every spine kind.

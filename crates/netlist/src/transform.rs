@@ -90,11 +90,7 @@ pub fn nor_mapping(circuit: &Circuit, delay: u32) -> Circuit {
 
         match gate.kind() {
             GateKind::And | GateKind::Nand => {
-                let negs: Vec<NetId> = gate
-                    .inputs()
-                    .iter()
-                    .map(|&n| get!(neg, pos, n))
-                    .collect();
+                let negs: Vec<NetId> = gate.inputs().iter().map(|&n| get!(neg, pos, n)).collect();
                 // AND(x…) = NOR(x̄…): this IS the positive rail of AND and
                 // the negative rail of NAND.
                 if gate.kind() == GateKind::And {
@@ -106,11 +102,7 @@ pub fn nor_mapping(circuit: &Circuit, delay: u32) -> Circuit {
                 }
             }
             GateKind::Or | GateKind::Nor => {
-                let poss: Vec<NetId> = gate
-                    .inputs()
-                    .iter()
-                    .map(|&n| get!(pos, neg, n))
-                    .collect();
+                let poss: Vec<NetId> = gate.inputs().iter().map(|&n| get!(pos, neg, n)).collect();
                 // NOR(x…) is the positive rail of NOR / negative rail of OR.
                 if gate.kind() == GateKind::Nor {
                     let p = b.gate(&out_name, GateKind::Nor, &poss, d);
@@ -260,7 +252,8 @@ pub fn nor_mapping(circuit: &Circuit, delay: u32) -> Circuit {
         b.mark_output(mapped);
     }
 
-    b.build().expect("NOR mapping preserves structural validity")
+    b.build()
+        .expect("NOR mapping preserves structural validity")
 }
 
 #[cfg(test)]
@@ -287,9 +280,7 @@ mod tests {
         assert_eq!(nor.topological_delay(), 50);
         assert_same_function(&raw, &nor);
         // Every gate is a NOR (c17 has no DELAY elements).
-        assert!(nor
-            .gate_ids()
-            .all(|g| nor.gate(g).kind() == GateKind::Nor));
+        assert!(nor.gate_ids().all(|g| nor.gate(g).kind() == GateKind::Nor));
     }
 
     #[test]
@@ -307,7 +298,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow without optimizations; covered by `cargo test --release`"
+    )]
     fn adder_nor_preserves_function() {
         let raw = ripple_carry_adder(3, 10);
         let nor = nor_mapping(&raw, 10);

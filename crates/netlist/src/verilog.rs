@@ -282,12 +282,11 @@ pub fn parse_verilog(source: &str, delay: DelayInterval) -> Result<Circuit, Pars
                 }
             }
             prim => {
-                let kind = primitive_kind(prim).ok_or_else(|| {
-                    ParseVerilogError::UnknownPrimitive {
+                let kind =
+                    primitive_kind(prim).ok_or_else(|| ParseVerilogError::UnknownPrimitive {
                         line,
                         name: prim.to_string(),
-                    }
-                })?;
+                    })?;
                 // Optional instance name.
                 if let Some((_, Tok::Ident(_))) = toks.get(pos) {
                     pos += 1;
@@ -309,10 +308,7 @@ pub fn parse_verilog(source: &str, delay: DelayInterval) -> Result<Circuit, Pars
                             pos += 1;
                         }
                         other => {
-                            return Err(err(
-                                other.map_or(line, |t| t.0),
-                                "expected a port name",
-                            ))
+                            return Err(err(other.map_or(line, |t| t.0), "expected a port name"))
                         }
                     }
                     match toks.get(pos) {
@@ -393,8 +389,11 @@ module {} ({});
         if names.is_empty() {
             String::new()
         } else {
-            format!("  {keyword} {};
-", names.join(", "))
+            format!(
+                "  {keyword} {};
+",
+                names.join(", ")
+            )
         }
     };
     out.push_str(&decl(
@@ -434,18 +433,29 @@ module {} ({});
         };
         let mut args = vec![circuit.net(g.output()).name()];
         args.extend(g.inputs().iter().map(|&n| circuit.net(n).name()));
-        out.push_str(&format!("  {prim} U{i} ({});
-", args.join(", ")));
+        out.push_str(&format!(
+            "  {prim} U{i} ({});
+",
+            args.join(", ")
+        ));
     }
-    out.push_str("endmodule
-");
+    out.push_str(
+        "endmodule
+",
+    );
     out
 }
 
 fn sanitize(name: &str) -> String {
     let mut s: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if s.is_empty() || s.chars().next().unwrap().is_ascii_digit() {
         s.insert(0, 'm');
@@ -515,7 +525,10 @@ mod tests {
 
     #[test]
     fn errors_are_reported_with_lines() {
-        let e = parse_verilog("module t (a);\ninput a;\nfrob F (x, a);\nendmodule", DelayInterval::fixed(1));
+        let e = parse_verilog(
+            "module t (a);\ninput a;\nfrob F (x, a);\nendmodule",
+            DelayInterval::fixed(1),
+        );
         assert!(matches!(
             e,
             Err(ParseVerilogError::UnknownPrimitive { line: 3, .. })

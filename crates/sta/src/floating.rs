@@ -259,8 +259,8 @@ pub fn describe_vector(circuit: &Circuit, vector: &[bool]) -> Vec<(String, Level
 mod tests {
     use super::*;
     use ltt_netlist::generators::{
-        carry_skip_adder, cascade, false_path_chain, figure1, forked_false_path_chain,
-        parity_tree, ripple_carry_adder, stem_conflict_circuit,
+        carry_skip_adder, cascade, false_path_chain, figure1, forked_false_path_chain, parity_tree,
+        ripple_carry_adder, stem_conflict_circuit,
     };
     use ltt_netlist::GateKind;
 
@@ -276,7 +276,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow without optimizations; covered by `cargo test --release`"
+    )]
     fn false_path_chain_delay_formula() {
         for (p, q) in [(3, 2), (4, 2), (5, 3), (6, 4), (4, 1)] {
             let c = false_path_chain(p, q, 10);
@@ -292,7 +295,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow without optimizations; covered by `cargo test --release`"
+    )]
     fn forked_chain_delay_formula() {
         for (p, q) in [(4usize, 3usize), (5, 3), (6, 4)] {
             let c = forked_false_path_chain(p, q, 10);
@@ -304,7 +310,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow without optimizations; covered by `cargo test --release`"
+    )]
     fn stem_conflict_delay_formula() {
         for depth in [6usize, 7, 8, 9] {
             let c = stem_conflict_circuit(depth, 10);
@@ -316,7 +325,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow without optimizations; covered by `cargo test --release`"
+    )]
     fn mux_chain_longest_path_is_false() {
         use ltt_netlist::generators::shared_select_mux_chain;
         // With two stages every MUX still waits for its selected input, so
@@ -366,7 +378,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow without optimizations; covered by `cargo test --release`"
+    )]
     fn carry_skip_longest_path_is_false() {
         let c = carry_skip_adder(8, 4, 10);
         let exact = exhaustive_circuit_delay(&c).unwrap();
@@ -379,7 +394,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow without optimizations; covered by `cargo test --release`"
+    )]
     fn small_standin_matches_spec_delays() {
         use ltt_netlist::suite::{standin, SpineKind, StandinSpec};
         for (levels, exact, kind) in [
@@ -449,8 +467,20 @@ mod tests {
         b.mark_output(y);
         let c = b.build().unwrap();
         let info = floating_settle(&c, &[true]);
-        assert_eq!(info[x.index()], SettleInfo { value: false, time: 7 });
-        assert_eq!(info[y.index()], SettleInfo { value: true, time: 12 });
+        assert_eq!(
+            info[x.index()],
+            SettleInfo {
+                value: false,
+                time: 7
+            }
+        );
+        assert_eq!(
+            info[y.index()],
+            SettleInfo {
+                value: true,
+                time: 12
+            }
+        );
     }
 
     #[test]

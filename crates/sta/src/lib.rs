@@ -43,8 +43,8 @@ pub use floating::{
     EXHAUSTIVE_INPUT_LIMIT,
 };
 pub use paths::{
-    count_paths_at_least, path_analysis, path_gates, vector_sensitizes, CircuitPath,
-    PathAnalysis, PathEnumerator,
+    count_paths_at_least, path_analysis, path_gates, vector_sensitizes, CircuitPath, PathAnalysis,
+    PathEnumerator,
 };
 pub use simulate::{
     exhaustive_two_vector_delay, simulate, transition_counts, two_vector_delay, write_vcd,

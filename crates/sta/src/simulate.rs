@@ -146,8 +146,7 @@ pub fn simulate(circuit: &Circuit, inputs: &[WaveformTrace]) -> Vec<WaveformTrac
         circuit.inputs().len(),
         "one waveform per primary input"
     );
-    let mut traces: Vec<WaveformTrace> =
-        vec![WaveformTrace::constant(false); circuit.num_nets()];
+    let mut traces: Vec<WaveformTrace> = vec![WaveformTrace::constant(false); circuit.num_nets()];
     for (&net, trace) in circuit.inputs().iter().zip(inputs) {
         traces[net.index()] = trace.clone();
     }
@@ -278,7 +277,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow without optimizations; covered by `cargo test --release`"
+    )]
     fn figure1_witness_replay() {
         // The certified δ=60 witness produces an event at exactly t = 60
         // under *some* unknown initial state; searching the 2⁷ single-value
@@ -307,7 +309,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow without optimizations; covered by `cargo test --release`"
+    )]
     fn exhaustive_two_vector_within_floating() {
         // The two-vector delay never exceeds the floating-mode delay
         // (floating mode quantifies over unknown initial states).

@@ -323,7 +323,10 @@ mod tests {
             w.require_transition_at_or_after(Time::new(61)),
             Aw::after(Time::new(61))
         );
-        assert_eq!(w.require_stable_after(Time::new(10)), Aw::before(Time::new(10)));
+        assert_eq!(
+            w.require_stable_after(Time::new(10)),
+            Aw::before(Time::new(10))
+        );
         // Conflicting requirements empty the waveform.
         assert!(Aw::before(Time::new(10))
             .require_transition_at_or_after(Time::new(61))

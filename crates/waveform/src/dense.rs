@@ -42,7 +42,10 @@ impl DenseWaveform {
     /// Panics if `width` is 0 or exceeds [`MAX_WIDTH`], or if `mask` has
     /// bits set outside the window.
     pub fn new(mask: u32, width: u32) -> Self {
-        assert!((1..=MAX_WIDTH).contains(&width), "window width out of range");
+        assert!(
+            (1..=MAX_WIDTH).contains(&width),
+            "window width out of range"
+        );
         assert!(
             width == 32 || mask < (1u32 << width),
             "mask has bits outside the window"
@@ -124,7 +127,10 @@ pub struct DenseSet {
 impl DenseSet {
     /// The empty set over a window of `width` bits.
     pub fn empty(width: u32) -> Self {
-        assert!((1..=MAX_WIDTH).contains(&width), "window width out of range");
+        assert!(
+            (1..=MAX_WIDTH).contains(&width),
+            "window width out of range"
+        );
         let n = 1usize << width;
         DenseSet {
             width,
@@ -289,8 +295,7 @@ impl DenseSet {
         }
         let mut vals = vec![false; inputs.len()];
         loop {
-            let tuple: Vec<DenseWaveform> =
-                idx.iter().zip(&members).map(|(&i, m)| m[i]).collect();
+            let tuple: Vec<DenseWaveform> = idx.iter().zip(&members).map(|(&i, m)| m[i]).collect();
             // Evaluate the output waveform pointwise over the window.
             let mut s_mask = 0u32;
             for t in 0..width {
@@ -414,8 +419,7 @@ mod tests {
         let width = 3;
         let full = DenseSet::full(width);
         let out = DenseSet::from_signal(Signal::single_class(Level::One, Aw::FULL), width);
-        let (ins, pout) =
-            DenseSet::project_gate(|v| v.iter().all(|&b| b), &[&full, &full], &out);
+        let (ins, pout) = DenseSet::project_gate(|v| v.iter().all(|&b| b), &[&full, &full], &out);
         for w in ins[0].iter() {
             assert_eq!(w.settle(), Level::One);
         }
@@ -445,8 +449,7 @@ mod tests {
         let width = 3;
         let full = DenseSet::full(width);
         let empty = DenseSet::empty(width);
-        let (ins, pout) =
-            DenseSet::project_gate(|v| v.iter().all(|&b| b), &[&full, &full], &empty);
+        let (ins, pout) = DenseSet::project_gate(|v| v.iter().all(|&b| b), &[&full, &full], &empty);
         assert!(ins[0].is_empty() && ins[1].is_empty() && pout.is_empty());
     }
 

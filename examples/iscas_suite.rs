@@ -36,9 +36,7 @@ fn main() {
             exact,
             search.backtracks,
             entry.paper_top,
-            entry
-                .paper_exact
-                .map_or("-".to_string(), |e| e.to_string()),
+            entry.paper_exact.map_or("-".to_string(), |e| e.to_string()),
         );
     }
 }

@@ -13,7 +13,10 @@ use ltt_waveform::{Aw, Level, Signal, Time};
 fn main() {
     // ---- Example 1 -------------------------------------------------------
     println!("== Example 1: projecting one 2-input AND constraint (delay 0) ==");
-    let d_i = Signal::new(Aw::before(Time::new(33)), Aw::new(Time::new(50), Time::new(100)));
+    let d_i = Signal::new(
+        Aw::before(Time::new(33)),
+        Aw::new(Time::new(50), Time::new(100)),
+    );
     let d_j = Signal::new(Aw::new(Time::new(25), Time::new(75)), Aw::EMPTY);
     let d_s = Signal::new(Aw::new(Time::new(35), Time::new(125)), Aw::EMPTY);
     println!("  inputs : D_i = {d_i}   D_j = {d_j}");
@@ -24,9 +27,18 @@ fn main() {
         "  ours   : D_i' = {}   D_j' = {}   D_s' = {}",
         p.inputs[0], p.inputs[1], p.output
     );
-    assert_eq!(p.inputs[0], Signal::new(Aw::EMPTY, Aw::new(Time::new(50), Time::new(100))));
-    assert_eq!(p.inputs[1], Signal::new(Aw::new(Time::new(35), Time::new(75)), Aw::EMPTY));
-    assert_eq!(p.output, Signal::new(Aw::new(Time::new(35), Time::new(75)), Aw::EMPTY));
+    assert_eq!(
+        p.inputs[0],
+        Signal::new(Aw::EMPTY, Aw::new(Time::new(50), Time::new(100)))
+    );
+    assert_eq!(
+        p.inputs[1],
+        Signal::new(Aw::new(Time::new(35), Time::new(75)), Aw::EMPTY)
+    );
+    assert_eq!(
+        p.output,
+        Signal::new(Aw::new(Time::new(35), Time::new(75)), Aw::EMPTY)
+    );
     println!("  (identical)");
 
     // ---- Example 2 -------------------------------------------------------
@@ -69,7 +81,10 @@ fn main() {
         nw.domain(n7)
     );
     assert!(nw.domain(n5)[Level::One].is_empty());
-    assert_eq!(nw.domain(n7)[Level::Zero], Aw::new(Time::new(51), Time::new(60)));
+    assert_eq!(
+        nw.domain(n7)[Level::Zero],
+        Aw::new(Time::new(51), Time::new(60))
+    );
 
     // Running to the fixpoint reaches the paper's contradiction at e3.
     let result = nw.reach_fixpoint();
@@ -79,7 +94,10 @@ fn main() {
     let config = VerifyConfig::default();
     assert!(verify(&c, s, 61, &config).verdict.is_no_violation());
     let r = verify(&c, s, 60, &config);
-    println!("  verify(ξ, s, 61): no violation; verify(ξ, s, 60): {:?}", r.verdict);
+    println!(
+        "  verify(ξ, s, 61): no violation; verify(ξ, s, 60): {:?}",
+        r.verdict
+    );
 
     // And the explanation facility names the structures of §4.
     println!();

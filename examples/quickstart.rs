@@ -33,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let circuit = b.build()?;
 
     let top = circuit.topological_delay();
-    println!("circuit `{}`: {} gates, topological delay {top}", circuit.name(), circuit.num_gates());
+    println!(
+        "circuit `{}`: {} gates, topological delay {top}",
+        circuit.name(),
+        circuit.num_gates()
+    );
 
     // Ask the paper's timing-check question directly: can y still
     // transition at or after δ?

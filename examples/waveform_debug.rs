@@ -60,6 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let path = std::env::temp_dir().join("carry_skip_debug.vcd");
     std::fs::write(&path, write_vcd(&c, &traces))?;
-    println!("VCD written to {} (open with any waveform viewer)", path.display());
+    println!(
+        "VCD written to {} (open with any waveform viewer)",
+        path.display()
+    );
     Ok(())
 }

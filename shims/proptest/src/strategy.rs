@@ -1,0 +1,195 @@
+//! Value-generation strategies (sampling only — no shrinking).
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::rc::Rc;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest, a strategy here is just a samplable, clonable
+/// object; `Clone` is a supertrait so `impl Strategy` returns compose the
+/// way the real API's value trees do.
+pub trait Strategy: Clone {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> O + Clone,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O + Clone,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident)+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A B);
+impl_tuple_strategy!(A B C);
+impl_tuple_strategy!(A B C D);
+impl_tuple_strategy!(A B C D E);
+
+/// String-literal strategies, as in real proptest, where a `&str` is a
+/// regex generating matching strings. Only the pattern shape the workspace
+/// uses is supported: `.{min,max}` — "any `min..=max` characters".
+///
+/// The character distribution mixes ASCII printables, whitespace/controls,
+/// and a few multi-byte code points, which is what parser-robustness fuzz
+/// tests want out of `.`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (min, max) = parse_dot_repeat(self).unwrap_or_else(|| {
+            panic!(
+                "string strategy {self:?} is not supported by the offline \
+                 proptest shim (only `.{{min,max}}` patterns are)"
+            )
+        });
+        let len = rng.rng().gen_range(min..=max);
+        (0..len).map(|_| sample_fuzz_char(rng)).collect()
+    }
+}
+
+/// Parses `.{min,max}` into its bounds.
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (min, max) = rest.split_once(',')?;
+    Some((min.trim().parse().ok()?, max.trim().parse().ok()?))
+}
+
+fn sample_fuzz_char(rng: &mut TestRng) -> char {
+    match rng.rng().gen_range(0u32..100) {
+        // Mostly printable ASCII (parsers see realistic tokens)…
+        0..=79 => char::from(rng.rng().gen_range(0x20u8..0x7F)),
+        // …some structural whitespace…
+        80..=89 => *['\n', '\t', '\r', ' ']
+            .get(rng.rng().gen_range(0usize..4))
+            .expect("in range"),
+        // …and a sprinkle of non-ASCII / controls.
+        _ => *['\0', 'é', 'λ', '中', '\u{7f}', '\u{1}']
+            .get(rng.rng().gen_range(0usize..6))
+            .expect("in range"),
+    }
+}
+
+/// A boxed sampler: one erased arm of a [`Union`].
+pub type Sampler<V> = Rc<dyn Fn(&mut TestRng) -> V>;
+
+/// A weighted union of strategies over a common value type — the engine
+/// behind [`prop_oneof!`](crate::prop_oneof).
+pub struct Union<V> {
+    arms: Vec<(u32, Sampler<V>)>,
+    total: u64,
+}
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+            total: self.total,
+        }
+    }
+}
+
+impl<V> Union<V> {
+    /// Builds a union from `(weight, sampler)` arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn new(arms: Vec<(u32, Sampler<V>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Union { arms, total }
+    }
+}
+
+/// Erases a strategy into a [`Union`] arm (used by `prop_oneof!`).
+pub fn arm<S>(weight: u32, strategy: S) -> (u32, Sampler<S::Value>)
+where
+    S: Strategy + 'static,
+{
+    (weight, Rc::new(move |rng| strategy.sample(rng)))
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.rng().gen_range(0..self.total);
+        for (w, f) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return f(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum to total")
+    }
+}

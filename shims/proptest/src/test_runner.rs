@@ -1,0 +1,94 @@
+//! The case runner: deterministic per-case seeding, failure reporting.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 128 }
+    }
+}
+
+/// Why a test case failed.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed-assertion error with the given message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// The result type `proptest!` bodies produce.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The RNG handed to strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Deterministic per-(test, case) generator: same inputs every run.
+    pub fn deterministic(test_name: &str, case: u32) -> TestRng {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h ^ (u64::from(case) << 32) ^ u64::from(case)),
+        }
+    }
+
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+/// Runs `cases` samples of one property; panics (failing the `#[test]`) on
+/// the first case whose body returns an error, reporting the generated
+/// inputs and the case's reproduction seed.
+pub fn run_cases<F>(config: &Config, test_name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> (TestCaseResult, String),
+{
+    for case in 0..config.cases {
+        let mut rng = TestRng::deterministic(test_name, case);
+        let (result, input) = f(&mut rng);
+        if let Err(e) = result {
+            panic!(
+                "proptest: property `{test_name}` failed at case {case}/{}\n\
+                 inputs: {input}\n{e}",
+                config.cases
+            );
+        }
+    }
+}

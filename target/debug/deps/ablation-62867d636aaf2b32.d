@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-62867d636aaf2b32.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-62867d636aaf2b32: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-c31b593c6e949b41.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-c31b593c6e949b41: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/algebra_props-07f6c9921400a507.d: crates/waveform/tests/algebra_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalgebra_props-07f6c9921400a507.rmeta: crates/waveform/tests/algebra_props.rs Cargo.toml
+
+crates/waveform/tests/algebra_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algebra_props-c8bc61eab258e693.d: crates/waveform/tests/algebra_props.rs
+
+/root/repo/target/debug/deps/algebra_props-c8bc61eab258e693: crates/waveform/tests/algebra_props.rs
+
+crates/waveform/tests/algebra_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batch_determinism-ff4147671fc08f09.d: crates/bench/../../tests/batch_determinism.rs
+
+/root/repo/target/debug/deps/batch_determinism-ff4147671fc08f09: crates/bench/../../tests/batch_determinism.rs
+
+crates/bench/../../tests/batch_determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/batch_determinism-ff6cc0c2a9dea24f.d: crates/bench/../../tests/batch_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbatch_determinism-ff6cc0c2a9dea24f.rmeta: crates/bench/../../tests/batch_determinism.rs Cargo.toml
+
+crates/bench/../../tests/batch_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_format_roundtrip-398218a431dc15fa.d: crates/bench/../../tests/bench_format_roundtrip.rs
+
+/root/repo/target/debug/deps/bench_format_roundtrip-398218a431dc15fa: crates/bench/../../tests/bench_format_roundtrip.rs
+
+crates/bench/../../tests/bench_format_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_format_roundtrip-b40f1819e1aaaa16.d: crates/bench/../../tests/bench_format_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_format_roundtrip-b40f1819e1aaaa16.rmeta: crates/bench/../../tests/bench_format_roundtrip.rs Cargo.toml
+
+crates/bench/../../tests/bench_format_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_micro-d8a3cc634041b965.d: crates/bench/benches/bench_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_micro-d8a3cc634041b965.rmeta: crates/bench/benches/bench_micro.rs Cargo.toml
+
+crates/bench/benches/bench_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

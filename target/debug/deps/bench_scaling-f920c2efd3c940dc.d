@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_scaling-f920c2efd3c940dc.d: crates/bench/benches/bench_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_scaling-f920c2efd3c940dc.rmeta: crates/bench/benches/bench_scaling.rs Cargo.toml
+
+crates/bench/benches/bench_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_table1-d2e39e016904f0bf.d: crates/bench/benches/bench_table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_table1-d2e39e016904f0bf.rmeta: crates/bench/benches/bench_table1.rs Cargo.toml
+
+crates/bench/benches/bench_table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/carry_skip_study-01a2d24dbb2ba2b6.d: crates/bench/src/bin/carry_skip_study.rs
+
+/root/repo/target/debug/deps/carry_skip_study-01a2d24dbb2ba2b6: crates/bench/src/bin/carry_skip_study.rs
+
+crates/bench/src/bin/carry_skip_study.rs:

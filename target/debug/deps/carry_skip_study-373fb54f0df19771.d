@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/carry_skip_study-373fb54f0df19771.d: crates/bench/src/bin/carry_skip_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcarry_skip_study-373fb54f0df19771.rmeta: crates/bench/src/bin/carry_skip_study.rs Cargo.toml
+
+crates/bench/src/bin/carry_skip_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

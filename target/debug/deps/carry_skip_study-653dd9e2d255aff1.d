@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/carry_skip_study-653dd9e2d255aff1.d: crates/bench/src/bin/carry_skip_study.rs
+
+/root/repo/target/debug/deps/carry_skip_study-653dd9e2d255aff1: crates/bench/src/bin/carry_skip_study.rs
+
+crates/bench/src/bin/carry_skip_study.rs:

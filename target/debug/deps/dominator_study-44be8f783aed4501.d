@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dominator_study-44be8f783aed4501.d: crates/bench/src/bin/dominator_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdominator_study-44be8f783aed4501.rmeta: crates/bench/src/bin/dominator_study.rs Cargo.toml
+
+crates/bench/src/bin/dominator_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

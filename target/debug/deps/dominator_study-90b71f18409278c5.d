@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dominator_study-90b71f18409278c5.d: crates/bench/src/bin/dominator_study.rs
+
+/root/repo/target/debug/deps/dominator_study-90b71f18409278c5: crates/bench/src/bin/dominator_study.rs
+
+crates/bench/src/bin/dominator_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dominator_study-90ffea29417e4f73.d: crates/bench/src/bin/dominator_study.rs
+
+/root/repo/target/debug/deps/dominator_study-90ffea29417e4f73: crates/bench/src/bin/dominator_study.rs
+
+crates/bench/src/bin/dominator_study.rs:

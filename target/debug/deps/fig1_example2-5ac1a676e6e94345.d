@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_example2-5ac1a676e6e94345.d: crates/bench/src/bin/fig1_example2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_example2-5ac1a676e6e94345.rmeta: crates/bench/src/bin/fig1_example2.rs Cargo.toml
+
+crates/bench/src/bin/fig1_example2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_example2-d963a98b40bad86b.d: crates/bench/src/bin/fig1_example2.rs
+
+/root/repo/target/debug/deps/fig1_example2-d963a98b40bad86b: crates/bench/src/bin/fig1_example2.rs
+
+crates/bench/src/bin/fig1_example2.rs:

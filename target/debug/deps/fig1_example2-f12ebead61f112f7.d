@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_example2-f12ebead61f112f7.d: crates/bench/src/bin/fig1_example2.rs
+
+/root/repo/target/debug/deps/fig1_example2-f12ebead61f112f7: crates/bench/src/bin/fig1_example2.rs
+
+crates/bench/src/bin/fig1_example2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gadget_probe-4a72975bba064509.d: crates/bench/src/bin/gadget_probe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgadget_probe-4a72975bba064509.rmeta: crates/bench/src/bin/gadget_probe.rs Cargo.toml
+
+crates/bench/src/bin/gadget_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

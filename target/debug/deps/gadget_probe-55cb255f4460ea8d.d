@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gadget_probe-55cb255f4460ea8d.d: crates/bench/src/bin/gadget_probe.rs
+
+/root/repo/target/debug/deps/gadget_probe-55cb255f4460ea8d: crates/bench/src/bin/gadget_probe.rs
+
+crates/bench/src/bin/gadget_probe.rs:

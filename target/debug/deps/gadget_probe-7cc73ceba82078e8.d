@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gadget_probe-7cc73ceba82078e8.d: crates/bench/src/bin/gadget_probe.rs
+
+/root/repo/target/debug/deps/gadget_probe-7cc73ceba82078e8: crates/bench/src/bin/gadget_probe.rs
+
+crates/bench/src/bin/gadget_probe.rs:

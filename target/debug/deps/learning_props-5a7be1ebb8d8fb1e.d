@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/learning_props-5a7be1ebb8d8fb1e.d: crates/core/tests/learning_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblearning_props-5a7be1ebb8d8fb1e.rmeta: crates/core/tests/learning_props.rs Cargo.toml
+
+crates/core/tests/learning_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

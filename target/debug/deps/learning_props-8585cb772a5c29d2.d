@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/learning_props-8585cb772a5c29d2.d: crates/core/tests/learning_props.rs
+
+/root/repo/target/debug/deps/learning_props-8585cb772a5c29d2: crates/core/tests/learning_props.rs
+
+crates/core/tests/learning_props.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ltt-4d0cb6d928d9de1f.d: crates/cli/src/main.rs crates/cli/src/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libltt-4d0cb6d928d9de1f.rmeta: crates/cli/src/main.rs crates/cli/src/cli.rs Cargo.toml
+
+crates/cli/src/main.rs:
+crates/cli/src/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ltt-d08148de61dacea1.d: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+/root/repo/target/debug/deps/ltt-d08148de61dacea1: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/cli.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ltt-e6a7ecb961c31929.d: crates/cli/src/main.rs crates/cli/src/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libltt-e6a7ecb961c31929.rmeta: crates/cli/src/main.rs crates/cli/src/cli.rs Cargo.toml
+
+crates/cli/src/main.rs:
+crates/cli/src/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ltt_bench-11486bf3e41f0375.d: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/table1.rs
+
+/root/repo/target/debug/deps/libltt_bench-11486bf3e41f0375.rlib: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/table1.rs
+
+/root/repo/target/debug/deps/libltt_bench-11486bf3e41f0375.rmeta: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/table1.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/render.rs:
+crates/bench/src/table1.rs:

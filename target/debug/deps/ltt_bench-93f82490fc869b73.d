@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ltt_bench-93f82490fc869b73.d: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libltt_bench-93f82490fc869b73.rmeta: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/table1.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/render.rs:
+crates/bench/src/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ltt_bench-e0bfda121c716ba8.d: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/table1.rs
+
+/root/repo/target/debug/deps/ltt_bench-e0bfda121c716ba8: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/table1.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/render.rs:
+crates/bench/src/table1.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ltt_sta-505b1405a82846ae.d: crates/sta/src/lib.rs crates/sta/src/floating.rs crates/sta/src/paths.rs crates/sta/src/simulate.rs crates/sta/src/slack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libltt_sta-505b1405a82846ae.rmeta: crates/sta/src/lib.rs crates/sta/src/floating.rs crates/sta/src/paths.rs crates/sta/src/simulate.rs crates/sta/src/slack.rs Cargo.toml
+
+crates/sta/src/lib.rs:
+crates/sta/src/floating.rs:
+crates/sta/src/paths.rs:
+crates/sta/src/simulate.rs:
+crates/sta/src/slack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ltt_waveform-b8e808df9375d02f.d: crates/waveform/src/lib.rs crates/waveform/src/aw.rs crates/waveform/src/dense.rs crates/waveform/src/signal.rs crates/waveform/src/time.rs
+
+/root/repo/target/debug/deps/ltt_waveform-b8e808df9375d02f: crates/waveform/src/lib.rs crates/waveform/src/aw.rs crates/waveform/src/dense.rs crates/waveform/src/signal.rs crates/waveform/src/time.rs
+
+crates/waveform/src/lib.rs:
+crates/waveform/src/aw.rs:
+crates/waveform/src/dense.rs:
+crates/waveform/src/signal.rs:
+crates/waveform/src/time.rs:

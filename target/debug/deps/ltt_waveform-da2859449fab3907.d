@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ltt_waveform-da2859449fab3907.d: crates/waveform/src/lib.rs crates/waveform/src/aw.rs crates/waveform/src/dense.rs crates/waveform/src/signal.rs crates/waveform/src/time.rs
+
+/root/repo/target/debug/deps/libltt_waveform-da2859449fab3907.rlib: crates/waveform/src/lib.rs crates/waveform/src/aw.rs crates/waveform/src/dense.rs crates/waveform/src/signal.rs crates/waveform/src/time.rs
+
+/root/repo/target/debug/deps/libltt_waveform-da2859449fab3907.rmeta: crates/waveform/src/lib.rs crates/waveform/src/aw.rs crates/waveform/src/dense.rs crates/waveform/src/signal.rs crates/waveform/src/time.rs
+
+crates/waveform/src/lib.rs:
+crates/waveform/src/aw.rs:
+crates/waveform/src/dense.rs:
+crates/waveform/src/signal.rs:
+crates/waveform/src/time.rs:

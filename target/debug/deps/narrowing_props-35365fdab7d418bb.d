@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/narrowing_props-35365fdab7d418bb.d: crates/core/tests/narrowing_props.rs
+
+/root/repo/target/debug/deps/narrowing_props-35365fdab7d418bb: crates/core/tests/narrowing_props.rs
+
+crates/core/tests/narrowing_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/narrowing_props-db08e2a6dd73cd9b.d: crates/core/tests/narrowing_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnarrowing_props-db08e2a6dd73cd9b.rmeta: crates/core/tests/narrowing_props.rs Cargo.toml
+
+crates/core/tests/narrowing_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

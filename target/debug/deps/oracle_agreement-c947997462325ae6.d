@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oracle_agreement-c947997462325ae6.d: crates/bench/../../tests/oracle_agreement.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboracle_agreement-c947997462325ae6.rmeta: crates/bench/../../tests/oracle_agreement.rs Cargo.toml
+
+crates/bench/../../tests/oracle_agreement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle_agreement-cf5accb92626e561.d: crates/bench/../../tests/oracle_agreement.rs
+
+/root/repo/target/debug/deps/oracle_agreement-cf5accb92626e561: crates/bench/../../tests/oracle_agreement.rs
+
+crates/bench/../../tests/oracle_agreement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_oracle-16b7e4405ae677d0.d: crates/bench/../../tests/parallel_oracle.rs
+
+/root/repo/target/debug/deps/parallel_oracle-16b7e4405ae677d0: crates/bench/../../tests/parallel_oracle.rs
+
+crates/bench/../../tests/parallel_oracle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_oracle-21d59b7707f72b04.d: crates/bench/../../tests/parallel_oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_oracle-21d59b7707f72b04.rmeta: crates/bench/../../tests/parallel_oracle.rs Cargo.toml
+
+crates/bench/../../tests/parallel_oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

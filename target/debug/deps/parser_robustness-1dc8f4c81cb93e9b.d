@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parser_robustness-1dc8f4c81cb93e9b.d: crates/netlist/tests/parser_robustness.rs
+
+/root/repo/target/debug/deps/parser_robustness-1dc8f4c81cb93e9b: crates/netlist/tests/parser_robustness.rs
+
+crates/netlist/tests/parser_robustness.rs:

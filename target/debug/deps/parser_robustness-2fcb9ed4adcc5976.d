@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parser_robustness-2fcb9ed4adcc5976.d: crates/netlist/tests/parser_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparser_robustness-2fcb9ed4adcc5976.rmeta: crates/netlist/tests/parser_robustness.rs Cargo.toml
+
+crates/netlist/tests/parser_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

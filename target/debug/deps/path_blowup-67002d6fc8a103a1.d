@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/path_blowup-67002d6fc8a103a1.d: crates/bench/src/bin/path_blowup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpath_blowup-67002d6fc8a103a1.rmeta: crates/bench/src/bin/path_blowup.rs Cargo.toml
+
+crates/bench/src/bin/path_blowup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

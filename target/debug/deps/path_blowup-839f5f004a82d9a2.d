@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/path_blowup-839f5f004a82d9a2.d: crates/bench/src/bin/path_blowup.rs
+
+/root/repo/target/debug/deps/path_blowup-839f5f004a82d9a2: crates/bench/src/bin/path_blowup.rs
+
+crates/bench/src/bin/path_blowup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/path_blowup-fc952dbcb90f737c.d: crates/bench/src/bin/path_blowup.rs
+
+/root/repo/target/debug/deps/path_blowup-fc952dbcb90f737c: crates/bench/src/bin/path_blowup.rs
+
+crates/bench/src/bin/path_blowup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pessimism_probe-068d0043a43b8ab7.d: crates/bench/src/bin/pessimism_probe.rs
+
+/root/repo/target/debug/deps/pessimism_probe-068d0043a43b8ab7: crates/bench/src/bin/pessimism_probe.rs
+
+crates/bench/src/bin/pessimism_probe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pessimism_probe-11ca394da6c53e6c.d: crates/bench/src/bin/pessimism_probe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpessimism_probe-11ca394da6c53e6c.rmeta: crates/bench/src/bin/pessimism_probe.rs Cargo.toml
+
+crates/bench/src/bin/pessimism_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pessimism_probe-1656eb0b5e7621e5.d: crates/bench/src/bin/pessimism_probe.rs
+
+/root/repo/target/debug/deps/pessimism_probe-1656eb0b5e7621e5: crates/bench/src/bin/pessimism_probe.rs
+
+crates/bench/src/bin/pessimism_probe.rs:

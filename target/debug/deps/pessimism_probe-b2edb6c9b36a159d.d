@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pessimism_probe-b2edb6c9b36a159d.d: crates/bench/src/bin/pessimism_probe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpessimism_probe-b2edb6c9b36a159d.rmeta: crates/bench/src/bin/pessimism_probe.rs Cargo.toml
+
+crates/bench/src/bin/pessimism_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_end_to_end-11bcf6fd40436b5e.d: crates/bench/../../tests/pipeline_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_end_to_end-11bcf6fd40436b5e.rmeta: crates/bench/../../tests/pipeline_end_to_end.rs Cargo.toml
+
+crates/bench/../../tests/pipeline_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_end_to_end-abd6c5b164ca9fa1.d: crates/bench/../../tests/pipeline_end_to_end.rs
+
+/root/repo/target/debug/deps/pipeline_end_to_end-abd6c5b164ca9fa1: crates/bench/../../tests/pipeline_end_to_end.rs
+
+crates/bench/../../tests/pipeline_end_to_end.rs:

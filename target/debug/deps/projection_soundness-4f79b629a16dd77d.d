@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/projection_soundness-4f79b629a16dd77d.d: crates/core/tests/projection_soundness.rs
+
+/root/repo/target/debug/deps/projection_soundness-4f79b629a16dd77d: crates/core/tests/projection_soundness.rs
+
+crates/core/tests/projection_soundness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/projection_soundness-9c119161f2fd0218.d: crates/core/tests/projection_soundness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprojection_soundness-9c119161f2fd0218.rmeta: crates/core/tests/projection_soundness.rs Cargo.toml
+
+crates/core/tests/projection_soundness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

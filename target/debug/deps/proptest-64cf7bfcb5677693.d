@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/proptest-64cf7bfcb5677693.d: shims/proptest/src/lib.rs shims/proptest/src/arbitrary.rs shims/proptest/src/collection.rs shims/proptest/src/strategy.rs shims/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-64cf7bfcb5677693.rlib: shims/proptest/src/lib.rs shims/proptest/src/arbitrary.rs shims/proptest/src/collection.rs shims/proptest/src/strategy.rs shims/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-64cf7bfcb5677693.rmeta: shims/proptest/src/lib.rs shims/proptest/src/arbitrary.rs shims/proptest/src/collection.rs shims/proptest/src/strategy.rs shims/proptest/src/test_runner.rs
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/arbitrary.rs:
+shims/proptest/src/collection.rs:
+shims/proptest/src/strategy.rs:
+shims/proptest/src/test_runner.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/proptest-7755b6b91b374ddd.d: shims/proptest/src/lib.rs shims/proptest/src/arbitrary.rs shims/proptest/src/collection.rs shims/proptest/src/strategy.rs shims/proptest/src/test_runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-7755b6b91b374ddd.rmeta: shims/proptest/src/lib.rs shims/proptest/src/arbitrary.rs shims/proptest/src/collection.rs shims/proptest/src/strategy.rs shims/proptest/src/test_runner.rs Cargo.toml
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/arbitrary.rs:
+shims/proptest/src/collection.rs:
+shims/proptest/src/strategy.rs:
+shims/proptest/src/test_runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-c8cdda45da55aa35.d: shims/proptest/src/lib.rs shims/proptest/src/arbitrary.rs shims/proptest/src/collection.rs shims/proptest/src/strategy.rs shims/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/proptest-c8cdda45da55aa35: shims/proptest/src/lib.rs shims/proptest/src/arbitrary.rs shims/proptest/src/collection.rs shims/proptest/src/strategy.rs shims/proptest/src/test_runner.rs
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/arbitrary.rs:
+shims/proptest/src/collection.rs:
+shims/proptest/src/strategy.rs:
+shims/proptest/src/test_runner.rs:

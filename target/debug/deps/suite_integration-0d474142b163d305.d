@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/suite_integration-0d474142b163d305.d: crates/bench/../../tests/suite_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsuite_integration-0d474142b163d305.rmeta: crates/bench/../../tests/suite_integration.rs Cargo.toml
+
+crates/bench/../../tests/suite_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_integration-78cb2c8c32c43b3a.d: crates/bench/../../tests/suite_integration.rs
+
+/root/repo/target/debug/deps/suite_integration-78cb2c8c32c43b3a: crates/bench/../../tests/suite_integration.rs
+
+crates/bench/../../tests/suite_integration.rs:

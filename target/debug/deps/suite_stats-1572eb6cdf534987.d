@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_stats-1572eb6cdf534987.d: crates/bench/src/bin/suite_stats.rs
+
+/root/repo/target/debug/deps/suite_stats-1572eb6cdf534987: crates/bench/src/bin/suite_stats.rs
+
+crates/bench/src/bin/suite_stats.rs:

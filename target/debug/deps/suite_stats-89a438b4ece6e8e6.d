@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_stats-89a438b4ece6e8e6.d: crates/bench/src/bin/suite_stats.rs
+
+/root/repo/target/debug/deps/suite_stats-89a438b4ece6e8e6: crates/bench/src/bin/suite_stats.rs
+
+crates/bench/src/bin/suite_stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/suite_stats-8b7640cbd5bec835.d: crates/bench/src/bin/suite_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsuite_stats-8b7640cbd5bec835.rmeta: crates/bench/src/bin/suite_stats.rs Cargo.toml
+
+crates/bench/src/bin/suite_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

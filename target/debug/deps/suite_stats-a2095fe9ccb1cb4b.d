@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/suite_stats-a2095fe9ccb1cb4b.d: crates/bench/src/bin/suite_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsuite_stats-a2095fe9ccb1cb4b.rmeta: crates/bench/src/bin/suite_stats.rs Cargo.toml
+
+crates/bench/src/bin/suite_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

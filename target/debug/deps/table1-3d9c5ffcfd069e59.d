@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-3d9c5ffcfd069e59.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-3d9c5ffcfd069e59: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

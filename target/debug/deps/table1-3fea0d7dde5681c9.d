@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-3fea0d7dde5681c9.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-3fea0d7dde5681c9: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_shape-10eb06f6c1f98ec4.d: crates/bench/../../tests/table1_shape.rs
+
+/root/repo/target/debug/deps/table1_shape-10eb06f6c1f98ec4: crates/bench/../../tests/table1_shape.rs
+
+crates/bench/../../tests/table1_shape.rs:

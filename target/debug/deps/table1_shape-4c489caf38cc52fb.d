@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_shape-4c489caf38cc52fb.d: crates/bench/../../tests/table1_shape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_shape-4c489caf38cc52fb.rmeta: crates/bench/../../tests/table1_shape.rs Cargo.toml
+
+crates/bench/../../tests/table1_shape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

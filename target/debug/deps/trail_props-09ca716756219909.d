@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trail_props-09ca716756219909.d: crates/core/tests/trail_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrail_props-09ca716756219909.rmeta: crates/core/tests/trail_props.rs Cargo.toml
+
+crates/core/tests/trail_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trail_props-8b3f5d2e1962c246.d: crates/core/tests/trail_props.rs
+
+/root/repo/target/debug/deps/trail_props-8b3f5d2e1962c246: crates/core/tests/trail_props.rs
+
+crates/core/tests/trail_props.rs:

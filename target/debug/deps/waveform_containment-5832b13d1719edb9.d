@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/waveform_containment-5832b13d1719edb9.d: crates/bench/../../tests/waveform_containment.rs
+
+/root/repo/target/debug/deps/waveform_containment-5832b13d1719edb9: crates/bench/../../tests/waveform_containment.rs
+
+crates/bench/../../tests/waveform_containment.rs:

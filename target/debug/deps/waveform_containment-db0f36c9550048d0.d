@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/waveform_containment-db0f36c9550048d0.d: crates/bench/../../tests/waveform_containment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwaveform_containment-db0f36c9550048d0.rmeta: crates/bench/../../tests/waveform_containment.rs Cargo.toml
+
+crates/bench/../../tests/waveform_containment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

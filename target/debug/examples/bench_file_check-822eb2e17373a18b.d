@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bench_file_check-822eb2e17373a18b.d: crates/bench/../../examples/bench_file_check.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbench_file_check-822eb2e17373a18b.rmeta: crates/bench/../../examples/bench_file_check.rs Cargo.toml
+
+crates/bench/../../examples/bench_file_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bench_file_check-ec020d56a1d3330d.d: crates/bench/../../examples/bench_file_check.rs
+
+/root/repo/target/debug/examples/bench_file_check-ec020d56a1d3330d: crates/bench/../../examples/bench_file_check.rs
+
+crates/bench/../../examples/bench_file_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/false_path_adder-18281e2d65a878e4.d: crates/bench/../../examples/false_path_adder.rs
+
+/root/repo/target/debug/examples/false_path_adder-18281e2d65a878e4: crates/bench/../../examples/false_path_adder.rs
+
+crates/bench/../../examples/false_path_adder.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/false_path_adder-92cf367146289985.d: crates/bench/../../examples/false_path_adder.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfalse_path_adder-92cf367146289985.rmeta: crates/bench/../../examples/false_path_adder.rs Cargo.toml
+
+crates/bench/../../examples/false_path_adder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/iscas_suite-589bc05a2d79bd58.d: crates/bench/../../examples/iscas_suite.rs
+
+/root/repo/target/debug/examples/iscas_suite-589bc05a2d79bd58: crates/bench/../../examples/iscas_suite.rs
+
+crates/bench/../../examples/iscas_suite.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/iscas_suite-90500e24287cbf0c.d: crates/bench/../../examples/iscas_suite.rs Cargo.toml
+
+/root/repo/target/debug/examples/libiscas_suite-90500e24287cbf0c.rmeta: crates/bench/../../examples/iscas_suite.rs Cargo.toml
+
+crates/bench/../../examples/iscas_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

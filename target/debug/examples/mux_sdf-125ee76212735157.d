@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mux_sdf-125ee76212735157.d: crates/bench/../../examples/mux_sdf.rs
+
+/root/repo/target/debug/examples/mux_sdf-125ee76212735157: crates/bench/../../examples/mux_sdf.rs
+
+crates/bench/../../examples/mux_sdf.rs:

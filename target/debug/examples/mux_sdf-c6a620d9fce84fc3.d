@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mux_sdf-c6a620d9fce84fc3.d: crates/bench/../../examples/mux_sdf.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmux_sdf-c6a620d9fce84fc3.rmeta: crates/bench/../../examples/mux_sdf.rs Cargo.toml
+
+crates/bench/../../examples/mux_sdf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/paper_walkthrough-5ee352c599c0bcef.d: crates/bench/../../examples/paper_walkthrough.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpaper_walkthrough-5ee352c599c0bcef.rmeta: crates/bench/../../examples/paper_walkthrough.rs Cargo.toml
+
+crates/bench/../../examples/paper_walkthrough.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paper_walkthrough-ed9853f668a616b3.d: crates/bench/../../examples/paper_walkthrough.rs
+
+/root/repo/target/debug/examples/paper_walkthrough-ed9853f668a616b3: crates/bench/../../examples/paper_walkthrough.rs
+
+crates/bench/../../examples/paper_walkthrough.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-cab77a460409bc5c.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-cab77a460409bc5c: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/waveform_debug-62be68a2deca74f4.d: crates/bench/../../examples/waveform_debug.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwaveform_debug-62be68a2deca74f4.rmeta: crates/bench/../../examples/waveform_debug.rs Cargo.toml
+
+crates/bench/../../examples/waveform_debug.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/waveform_debug-774364679d686ae6.d: crates/bench/../../examples/waveform_debug.rs
+
+/root/repo/target/debug/examples/waveform_debug-774364679d686ae6: crates/bench/../../examples/waveform_debug.rs
+
+crates/bench/../../examples/waveform_debug.rs:

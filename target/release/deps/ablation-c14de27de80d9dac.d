@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-c14de27de80d9dac.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-c14de27de80d9dac: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-e0c43a99c4a30e6f.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-e0c43a99c4a30e6f: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

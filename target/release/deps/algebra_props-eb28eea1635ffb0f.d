@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/algebra_props-eb28eea1635ffb0f.d: crates/waveform/tests/algebra_props.rs
+
+/root/repo/target/release/deps/algebra_props-eb28eea1635ffb0f: crates/waveform/tests/algebra_props.rs
+
+crates/waveform/tests/algebra_props.rs:

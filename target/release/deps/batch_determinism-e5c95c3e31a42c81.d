@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/batch_determinism-e5c95c3e31a42c81.d: crates/bench/../../tests/batch_determinism.rs
+
+/root/repo/target/release/deps/batch_determinism-e5c95c3e31a42c81: crates/bench/../../tests/batch_determinism.rs
+
+crates/bench/../../tests/batch_determinism.rs:

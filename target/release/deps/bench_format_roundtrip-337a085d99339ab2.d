@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_format_roundtrip-337a085d99339ab2.d: crates/bench/../../tests/bench_format_roundtrip.rs
+
+/root/repo/target/release/deps/bench_format_roundtrip-337a085d99339ab2: crates/bench/../../tests/bench_format_roundtrip.rs
+
+crates/bench/../../tests/bench_format_roundtrip.rs:

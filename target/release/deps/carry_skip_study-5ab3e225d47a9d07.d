@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/carry_skip_study-5ab3e225d47a9d07.d: crates/bench/src/bin/carry_skip_study.rs
+
+/root/repo/target/release/deps/carry_skip_study-5ab3e225d47a9d07: crates/bench/src/bin/carry_skip_study.rs
+
+crates/bench/src/bin/carry_skip_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/carry_skip_study-7858934fe3f5baac.d: crates/bench/src/bin/carry_skip_study.rs
+
+/root/repo/target/release/deps/carry_skip_study-7858934fe3f5baac: crates/bench/src/bin/carry_skip_study.rs
+
+crates/bench/src/bin/carry_skip_study.rs:

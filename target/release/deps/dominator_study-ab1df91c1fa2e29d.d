@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dominator_study-ab1df91c1fa2e29d.d: crates/bench/src/bin/dominator_study.rs
+
+/root/repo/target/release/deps/dominator_study-ab1df91c1fa2e29d: crates/bench/src/bin/dominator_study.rs
+
+crates/bench/src/bin/dominator_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dominator_study-fc2283179aa0f763.d: crates/bench/src/bin/dominator_study.rs
+
+/root/repo/target/release/deps/dominator_study-fc2283179aa0f763: crates/bench/src/bin/dominator_study.rs
+
+crates/bench/src/bin/dominator_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_example2-3885d8f47662a171.d: crates/bench/src/bin/fig1_example2.rs
+
+/root/repo/target/release/deps/fig1_example2-3885d8f47662a171: crates/bench/src/bin/fig1_example2.rs
+
+crates/bench/src/bin/fig1_example2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_example2-4e7c287fe02782b6.d: crates/bench/src/bin/fig1_example2.rs
+
+/root/repo/target/release/deps/fig1_example2-4e7c287fe02782b6: crates/bench/src/bin/fig1_example2.rs
+
+crates/bench/src/bin/fig1_example2.rs:

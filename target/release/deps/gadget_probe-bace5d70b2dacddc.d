@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gadget_probe-bace5d70b2dacddc.d: crates/bench/src/bin/gadget_probe.rs
+
+/root/repo/target/release/deps/gadget_probe-bace5d70b2dacddc: crates/bench/src/bin/gadget_probe.rs
+
+crates/bench/src/bin/gadget_probe.rs:

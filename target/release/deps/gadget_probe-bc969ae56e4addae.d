@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gadget_probe-bc969ae56e4addae.d: crates/bench/src/bin/gadget_probe.rs
+
+/root/repo/target/release/deps/gadget_probe-bc969ae56e4addae: crates/bench/src/bin/gadget_probe.rs
+
+crates/bench/src/bin/gadget_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/learning_props-15833a2d603a196e.d: crates/core/tests/learning_props.rs
+
+/root/repo/target/release/deps/learning_props-15833a2d603a196e: crates/core/tests/learning_props.rs
+
+crates/core/tests/learning_props.rs:

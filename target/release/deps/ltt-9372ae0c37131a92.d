@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/ltt-9372ae0c37131a92.d: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+/root/repo/target/release/deps/ltt-9372ae0c37131a92: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/cli.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/ltt-ade50a91fd7ec091.d: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+/root/repo/target/release/deps/ltt-ade50a91fd7ec091: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/cli.rs:

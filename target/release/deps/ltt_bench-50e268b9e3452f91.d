@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ltt_bench-50e268b9e3452f91.d: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/table1.rs
+
+/root/repo/target/release/deps/libltt_bench-50e268b9e3452f91.rlib: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/table1.rs
+
+/root/repo/target/release/deps/libltt_bench-50e268b9e3452f91.rmeta: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/table1.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/render.rs:
+crates/bench/src/table1.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ltt_bench-82a9134c4130796a.d: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/table1.rs
+
+/root/repo/target/release/deps/ltt_bench-82a9134c4130796a: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/table1.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/render.rs:
+crates/bench/src/table1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ltt_sta-31a6457830cfcc49.d: crates/sta/src/lib.rs crates/sta/src/floating.rs crates/sta/src/paths.rs crates/sta/src/simulate.rs crates/sta/src/slack.rs
+
+/root/repo/target/release/deps/ltt_sta-31a6457830cfcc49: crates/sta/src/lib.rs crates/sta/src/floating.rs crates/sta/src/paths.rs crates/sta/src/simulate.rs crates/sta/src/slack.rs
+
+crates/sta/src/lib.rs:
+crates/sta/src/floating.rs:
+crates/sta/src/paths.rs:
+crates/sta/src/simulate.rs:
+crates/sta/src/slack.rs:

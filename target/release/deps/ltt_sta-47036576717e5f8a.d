@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ltt_sta-47036576717e5f8a.d: crates/sta/src/lib.rs crates/sta/src/floating.rs crates/sta/src/paths.rs crates/sta/src/simulate.rs crates/sta/src/slack.rs
+
+/root/repo/target/release/deps/libltt_sta-47036576717e5f8a.rlib: crates/sta/src/lib.rs crates/sta/src/floating.rs crates/sta/src/paths.rs crates/sta/src/simulate.rs crates/sta/src/slack.rs
+
+/root/repo/target/release/deps/libltt_sta-47036576717e5f8a.rmeta: crates/sta/src/lib.rs crates/sta/src/floating.rs crates/sta/src/paths.rs crates/sta/src/simulate.rs crates/sta/src/slack.rs
+
+crates/sta/src/lib.rs:
+crates/sta/src/floating.rs:
+crates/sta/src/paths.rs:
+crates/sta/src/simulate.rs:
+crates/sta/src/slack.rs:

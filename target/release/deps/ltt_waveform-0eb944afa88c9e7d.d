@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ltt_waveform-0eb944afa88c9e7d.d: crates/waveform/src/lib.rs crates/waveform/src/aw.rs crates/waveform/src/dense.rs crates/waveform/src/signal.rs crates/waveform/src/time.rs
+
+/root/repo/target/release/deps/ltt_waveform-0eb944afa88c9e7d: crates/waveform/src/lib.rs crates/waveform/src/aw.rs crates/waveform/src/dense.rs crates/waveform/src/signal.rs crates/waveform/src/time.rs
+
+crates/waveform/src/lib.rs:
+crates/waveform/src/aw.rs:
+crates/waveform/src/dense.rs:
+crates/waveform/src/signal.rs:
+crates/waveform/src/time.rs:

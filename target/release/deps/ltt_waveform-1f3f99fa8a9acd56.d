@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ltt_waveform-1f3f99fa8a9acd56.d: crates/waveform/src/lib.rs crates/waveform/src/aw.rs crates/waveform/src/dense.rs crates/waveform/src/signal.rs crates/waveform/src/time.rs
+
+/root/repo/target/release/deps/libltt_waveform-1f3f99fa8a9acd56.rlib: crates/waveform/src/lib.rs crates/waveform/src/aw.rs crates/waveform/src/dense.rs crates/waveform/src/signal.rs crates/waveform/src/time.rs
+
+/root/repo/target/release/deps/libltt_waveform-1f3f99fa8a9acd56.rmeta: crates/waveform/src/lib.rs crates/waveform/src/aw.rs crates/waveform/src/dense.rs crates/waveform/src/signal.rs crates/waveform/src/time.rs
+
+crates/waveform/src/lib.rs:
+crates/waveform/src/aw.rs:
+crates/waveform/src/dense.rs:
+crates/waveform/src/signal.rs:
+crates/waveform/src/time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/narrowing_props-fac5e62358400d27.d: crates/core/tests/narrowing_props.rs
+
+/root/repo/target/release/deps/narrowing_props-fac5e62358400d27: crates/core/tests/narrowing_props.rs
+
+crates/core/tests/narrowing_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/oracle_agreement-d65f0973204dcc76.d: crates/bench/../../tests/oracle_agreement.rs
+
+/root/repo/target/release/deps/oracle_agreement-d65f0973204dcc76: crates/bench/../../tests/oracle_agreement.rs
+
+crates/bench/../../tests/oracle_agreement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_oracle-ca777f283a371b23.d: crates/bench/../../tests/parallel_oracle.rs
+
+/root/repo/target/release/deps/parallel_oracle-ca777f283a371b23: crates/bench/../../tests/parallel_oracle.rs
+
+crates/bench/../../tests/parallel_oracle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parser_robustness-d227d2f514745f37.d: crates/netlist/tests/parser_robustness.rs
+
+/root/repo/target/release/deps/parser_robustness-d227d2f514745f37: crates/netlist/tests/parser_robustness.rs
+
+crates/netlist/tests/parser_robustness.rs:

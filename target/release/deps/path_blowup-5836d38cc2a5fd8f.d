@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/path_blowup-5836d38cc2a5fd8f.d: crates/bench/src/bin/path_blowup.rs
+
+/root/repo/target/release/deps/path_blowup-5836d38cc2a5fd8f: crates/bench/src/bin/path_blowup.rs
+
+crates/bench/src/bin/path_blowup.rs:

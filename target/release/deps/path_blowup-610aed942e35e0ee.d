@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/path_blowup-610aed942e35e0ee.d: crates/bench/src/bin/path_blowup.rs
+
+/root/repo/target/release/deps/path_blowup-610aed942e35e0ee: crates/bench/src/bin/path_blowup.rs
+
+crates/bench/src/bin/path_blowup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pessimism_probe-99fae998fc7b805a.d: crates/bench/src/bin/pessimism_probe.rs
+
+/root/repo/target/release/deps/pessimism_probe-99fae998fc7b805a: crates/bench/src/bin/pessimism_probe.rs
+
+crates/bench/src/bin/pessimism_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pessimism_probe-ee1deed26b1ccda5.d: crates/bench/src/bin/pessimism_probe.rs
+
+/root/repo/target/release/deps/pessimism_probe-ee1deed26b1ccda5: crates/bench/src/bin/pessimism_probe.rs
+
+crates/bench/src/bin/pessimism_probe.rs:

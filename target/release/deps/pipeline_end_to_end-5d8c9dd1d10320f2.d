@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline_end_to_end-5d8c9dd1d10320f2.d: crates/bench/../../tests/pipeline_end_to_end.rs
+
+/root/repo/target/release/deps/pipeline_end_to_end-5d8c9dd1d10320f2: crates/bench/../../tests/pipeline_end_to_end.rs
+
+crates/bench/../../tests/pipeline_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/projection_soundness-4da7cca1fe7c7d71.d: crates/core/tests/projection_soundness.rs
+
+/root/repo/target/release/deps/projection_soundness-4da7cca1fe7c7d71: crates/core/tests/projection_soundness.rs
+
+crates/core/tests/projection_soundness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/suite_integration-2d9e91a8d95fbcc6.d: crates/bench/../../tests/suite_integration.rs
+
+/root/repo/target/release/deps/suite_integration-2d9e91a8d95fbcc6: crates/bench/../../tests/suite_integration.rs
+
+crates/bench/../../tests/suite_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/suite_stats-8ceeceec1e6e1f8d.d: crates/bench/src/bin/suite_stats.rs
+
+/root/repo/target/release/deps/suite_stats-8ceeceec1e6e1f8d: crates/bench/src/bin/suite_stats.rs
+
+crates/bench/src/bin/suite_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/suite_stats-c7085d0e99d0e002.d: crates/bench/src/bin/suite_stats.rs
+
+/root/repo/target/release/deps/suite_stats-c7085d0e99d0e002: crates/bench/src/bin/suite_stats.rs
+
+crates/bench/src/bin/suite_stats.rs:

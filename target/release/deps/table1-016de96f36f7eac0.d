@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-016de96f36f7eac0.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-016de96f36f7eac0: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

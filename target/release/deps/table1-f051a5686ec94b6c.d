@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-f051a5686ec94b6c.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-f051a5686ec94b6c: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

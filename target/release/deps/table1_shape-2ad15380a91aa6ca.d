@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_shape-2ad15380a91aa6ca.d: crates/bench/../../tests/table1_shape.rs
+
+/root/repo/target/release/deps/table1_shape-2ad15380a91aa6ca: crates/bench/../../tests/table1_shape.rs
+
+crates/bench/../../tests/table1_shape.rs:

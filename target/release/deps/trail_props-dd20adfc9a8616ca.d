@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trail_props-dd20adfc9a8616ca.d: crates/core/tests/trail_props.rs
+
+/root/repo/target/release/deps/trail_props-dd20adfc9a8616ca: crates/core/tests/trail_props.rs
+
+crates/core/tests/trail_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/waveform_containment-27c2755bcbaf57e2.d: crates/bench/../../tests/waveform_containment.rs
+
+/root/repo/target/release/deps/waveform_containment-27c2755bcbaf57e2: crates/bench/../../tests/waveform_containment.rs
+
+crates/bench/../../tests/waveform_containment.rs:

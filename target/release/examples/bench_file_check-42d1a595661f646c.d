@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/bench_file_check-42d1a595661f646c.d: crates/bench/../../examples/bench_file_check.rs
+
+/root/repo/target/release/examples/bench_file_check-42d1a595661f646c: crates/bench/../../examples/bench_file_check.rs
+
+crates/bench/../../examples/bench_file_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/false_path_adder-a89cfc29a5e27a85.d: crates/bench/../../examples/false_path_adder.rs
+
+/root/repo/target/release/examples/false_path_adder-a89cfc29a5e27a85: crates/bench/../../examples/false_path_adder.rs
+
+crates/bench/../../examples/false_path_adder.rs:

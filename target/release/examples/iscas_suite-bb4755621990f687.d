@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/iscas_suite-bb4755621990f687.d: crates/bench/../../examples/iscas_suite.rs
+
+/root/repo/target/release/examples/iscas_suite-bb4755621990f687: crates/bench/../../examples/iscas_suite.rs
+
+crates/bench/../../examples/iscas_suite.rs:

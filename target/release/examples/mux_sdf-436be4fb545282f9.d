@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/mux_sdf-436be4fb545282f9.d: crates/bench/../../examples/mux_sdf.rs
+
+/root/repo/target/release/examples/mux_sdf-436be4fb545282f9: crates/bench/../../examples/mux_sdf.rs
+
+crates/bench/../../examples/mux_sdf.rs:

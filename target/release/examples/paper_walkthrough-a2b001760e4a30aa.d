@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/paper_walkthrough-a2b001760e4a30aa.d: crates/bench/../../examples/paper_walkthrough.rs
+
+/root/repo/target/release/examples/paper_walkthrough-a2b001760e4a30aa: crates/bench/../../examples/paper_walkthrough.rs
+
+crates/bench/../../examples/paper_walkthrough.rs:

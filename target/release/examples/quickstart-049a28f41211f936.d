@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-049a28f41211f936.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-049a28f41211f936: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

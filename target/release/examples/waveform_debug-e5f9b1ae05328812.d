@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/waveform_debug-e5f9b1ae05328812.d: crates/bench/../../examples/waveform_debug.rs
+
+/root/repo/target/release/examples/waveform_debug-e5f9b1ae05328812: crates/bench/../../examples/waveform_debug.rs
+
+crates/bench/../../examples/waveform_debug.rs:

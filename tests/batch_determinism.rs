@@ -1,0 +1,193 @@
+//! Determinism of the parallel batch engine, checked across crates: for
+//! any job count, [`BatchRunner`] must produce **bit-identical** reports to
+//! the serial run — same verdicts, same witness vectors, same stage
+//! columns, same effort counters — on the paper's circuits, the false-path
+//! gadgets, carry-skip adders, and property-tested random DAGs. The
+//! session layer must also agree with the legacy one-shot entry points
+//! (which it now implements), so this doubles as a regression net for the
+//! shared-base-fixpoint seeding.
+
+use ltt_core::{
+    delay_profile, verify, BatchRunner, CaseStats, CheckSession, SolverStats, StageVerdict,
+    StemStats, Verdict, VerifyConfig, VerifyReport,
+};
+use ltt_netlist::generators::{
+    carry_skip_adder, false_path_chain, figure1, random_circuit, RandomCircuitConfig,
+};
+use ltt_netlist::Circuit;
+use proptest::prelude::*;
+
+/// Job count for the parallel side (`LTT_TEST_JOBS`, default 8 — more
+/// workers than this machine may have cores, which is exactly the point:
+/// determinism must not depend on the schedule).
+fn test_jobs() -> usize {
+    std::env::var("LTT_TEST_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+}
+
+/// A bounded config so case analysis stays fast in debug builds; the
+/// `Abandoned` verdicts a tight budget produces must be deterministic too.
+fn config() -> VerifyConfig {
+    VerifyConfig {
+        max_backtracks: 2_000,
+        ..Default::default()
+    }
+}
+
+/// Everything a check reports except wall-clock.
+type Fingerprint = (
+    usize,
+    i64,
+    Verdict,
+    StageVerdict,
+    Option<StageVerdict>,
+    Option<StageVerdict>,
+    u64,
+    SolverStats,
+    StemStats,
+    CaseStats,
+);
+
+fn fingerprint(r: &VerifyReport) -> Fingerprint {
+    (
+        r.output.index(),
+        r.delta,
+        r.verdict.clone(),
+        r.before_gitd,
+        r.after_gitd,
+        r.after_stems,
+        r.backtracks,
+        r.solver,
+        r.stems,
+        r.case,
+    )
+}
+
+/// The δ points worth probing on a circuit: around half, around the
+/// topological delay, and past it.
+fn probe_deltas(c: &Circuit) -> Vec<i64> {
+    let top = c.topological_delay();
+    let mut d = vec![top / 2, top - 1, top, top + 1];
+    d.sort();
+    d.dedup();
+    d
+}
+
+fn assert_batches_identical(c: &Circuit) {
+    let session = CheckSession::new(c, config());
+    let serial = BatchRunner::serial();
+    let parallel = BatchRunner::new(test_jobs());
+    for delta in probe_deltas(c) {
+        let a = serial.verify_all_outputs(&session, delta);
+        let b = parallel.verify_all_outputs(&session, delta);
+        let fa: Vec<Fingerprint> = a.reports.iter().map(fingerprint).collect();
+        let fb: Vec<Fingerprint> = b.reports.iter().map(fingerprint).collect();
+        assert_eq!(fa, fb, "{} δ = {delta}", c.name());
+        assert_eq!(a.outcome(), b.outcome(), "{} δ = {delta}", c.name());
+        // Aggregates are sums of identical parts.
+        assert_eq!(a.summary.checks, b.summary.checks);
+        assert_eq!(a.summary.violations, b.summary.violations);
+        assert_eq!(a.summary.backtracks, b.summary.backtracks);
+        assert_eq!(a.summary.solver, b.summary.solver);
+    }
+}
+
+fn assert_session_matches_legacy(c: &Circuit) {
+    let cfg = config();
+    let session = CheckSession::new(c, cfg.clone());
+    for delta in probe_deltas(c) {
+        for &o in c.outputs() {
+            let s = session.verify(o, delta);
+            let l = verify(c, o, delta, &cfg);
+            assert_eq!(
+                s.verdict,
+                l.verdict,
+                "{} {} δ = {delta}",
+                c.name(),
+                o.index()
+            );
+        }
+    }
+}
+
+fn assert_profiles_identical(c: &Circuit) {
+    let session = CheckSession::new(c, config());
+    let top = c.topological_delay();
+    let deltas: Vec<i64> = (0..=top + 2).step_by(7).collect();
+    for &o in c.outputs() {
+        let serial = BatchRunner::serial().delay_profile(&session, o, &deltas);
+        let parallel = BatchRunner::new(test_jobs()).delay_profile(&session, o, &deltas);
+        assert_eq!(serial, parallel, "{} output {}", c.name(), o.index());
+    }
+    // The default-config session profile also agrees with the legacy
+    // (always-dominators, no-learning) sweep on `possible` flags, because
+    // learning constants are sound and dominators match.
+    let o = c.outputs()[0];
+    let legacy = delay_profile(c, o, &deltas);
+    let session_profile = session.delay_profile(o, &deltas);
+    for (a, b) in legacy.iter().zip(&session_profile) {
+        assert_eq!(a.delta, b.delta);
+        // Session (with learning) can only be tighter, never looser.
+        assert!(
+            a.possible || !b.possible,
+            "{}: session resurrected a refuted δ = {}",
+            c.name(),
+            a.delta
+        );
+    }
+}
+
+#[test]
+fn figure1_batches_are_deterministic() {
+    let c = figure1(10);
+    assert_batches_identical(&c);
+    assert_session_matches_legacy(&c);
+    assert_profiles_identical(&c);
+}
+
+#[test]
+fn false_path_chain_batches_are_deterministic() {
+    let c = false_path_chain(4, 3, 10);
+    assert_batches_identical(&c);
+    assert_session_matches_legacy(&c);
+    assert_profiles_identical(&c);
+}
+
+#[test]
+fn carry_skip_batches_are_deterministic() {
+    let c = carry_skip_adder(4, 2, 10);
+    assert_batches_identical(&c);
+    assert_session_matches_legacy(&c);
+    assert_profiles_identical(&c);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn random_dag_batches_are_deterministic(seed in any::<u64>()) {
+        let c = random_circuit(&RandomCircuitConfig {
+            seed,
+            num_inputs: 10,
+            num_gates: 60,
+            num_outputs: 3,
+            ..Default::default()
+        });
+        assert_batches_identical(&c);
+        assert_session_matches_legacy(&c);
+    }
+
+    #[test]
+    fn random_dag_profiles_are_deterministic(seed in any::<u64>()) {
+        let c = random_circuit(&RandomCircuitConfig {
+            seed,
+            num_inputs: 8,
+            num_gates: 40,
+            num_outputs: 2,
+            ..Default::default()
+        });
+        assert_profiles_identical(&c);
+    }
+}

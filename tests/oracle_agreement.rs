@@ -43,7 +43,10 @@ fn assert_agrees(c: &Circuit) {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow without optimizations; covered by `cargo test --release`"
+)]
 fn classic_structures_agree() {
     assert_agrees(&figure1(10));
     assert_agrees(&cascade(GateKind::And, 6, 10));
@@ -54,7 +57,10 @@ fn classic_structures_agree() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow without optimizations; covered by `cargo test --release`"
+)]
 fn false_path_gadgets_agree() {
     for (p, q) in [(3, 2), (4, 3), (5, 2), (6, 4), (7, 5)] {
         assert_agrees(&false_path_chain(p, q, 10));
@@ -68,13 +74,19 @@ fn false_path_gadgets_agree() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow without optimizations; covered by `cargo test --release`"
+)]
 fn small_multiplier_agrees() {
     assert_agrees(&array_multiplier(3, 10));
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow without optimizations; covered by `cargo test --release`"
+)]
 fn mux_chains_agree() {
     for stages in [1usize, 2, 3, 5, 8] {
         assert_agrees(&shared_select_mux_chain(stages, 10));
@@ -82,7 +94,10 @@ fn mux_chains_agree() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow without optimizations; covered by `cargo test --release`"
+)]
 fn nor_mapped_circuits_agree() {
     assert_agrees(&nor_mapping(&figure1(10), 10));
     assert_agrees(&nor_mapping(&carry_skip_adder(4, 2, 10), 10));
@@ -90,7 +105,10 @@ fn nor_mapped_circuits_agree() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow without optimizations; covered by `cargo test --release`"
+)]
 fn random_circuits_agree() {
     for seed in 0..12 {
         let c = random_circuit(&RandomCircuitConfig {
@@ -107,7 +125,10 @@ fn random_circuits_agree() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow without optimizations; covered by `cargo test --release`"
+)]
 fn random_deep_circuits_agree() {
     for seed in 100..106 {
         let c = random_circuit(&RandomCircuitConfig {
@@ -140,7 +161,10 @@ fn mixed_delays_agree() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow without optimizations; covered by `cargo test --release`"
+)]
 fn serial_false_path_gadgets_agree() {
     // The `path_blowup` experiment chains Figure-1-style gadgets serially
     // and assumes exact = 60·k; validate that against the oracle for the
@@ -156,7 +180,11 @@ fn serial_false_path_gadgets_agree() {
             let mut n = b.gate(format!("n1_{g}"), GateKind::And, &[feed, x1], d);
             for i in 2..4 {
                 let side = b.input(format!("p{i}_{g}"));
-                let kind = if i % 2 == 1 { GateKind::Or } else { GateKind::And };
+                let kind = if i % 2 == 1 {
+                    GateKind::Or
+                } else {
+                    GateKind::And
+                };
                 n = b.gate(format!("n{i}_{g}"), kind, &[n, side], d);
             }
             n = b.gate(format!("n4_{g}"), GateKind::And, &[n, shared], d);

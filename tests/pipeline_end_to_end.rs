@@ -2,7 +2,9 @@
 //! examples, cross-crate, through the public API only.
 
 use ltt_core::{exact_delay, verify, Stage, StageVerdict, Verdict, VerifyConfig};
-use ltt_netlist::generators::{carry_skip_adder, figure1, forked_false_path_chain, stem_conflict_circuit};
+use ltt_netlist::generators::{
+    carry_skip_adder, figure1, forked_false_path_chain, stem_conflict_circuit,
+};
 use ltt_netlist::suite::c17_nor;
 use ltt_sta::vector_violates;
 
@@ -107,7 +109,10 @@ fn ablation_stage_order_is_monotone() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow without optimizations; covered by `cargo test --release`"
+)]
 fn carry_skip_pipeline_matches_oracle() {
     let c = carry_skip_adder(8, 4, 10);
     let cout = c.net_by_name("cout").unwrap();

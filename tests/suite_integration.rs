@@ -15,7 +15,10 @@ fn critical_output(c: &ltt_netlist::Circuit) -> ltt_netlist::NetId {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow without optimizations; covered by `cargo test --release`"
+)]
 fn every_standin_has_the_engineered_exact_delay() {
     let config = VerifyConfig {
         max_backtracks: 10_000,
@@ -36,7 +39,10 @@ fn every_standin_has_the_engineered_exact_delay() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow without optimizations; covered by `cargo test --release`"
+)]
 fn standins_settle_at_their_designed_stage() {
     let config = VerifyConfig::default();
     for spec in standin_specs() {
@@ -60,7 +66,10 @@ fn standins_settle_at_their_designed_stage() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow without optimizations; covered by `cargo test --release`"
+)]
 fn filler_outputs_never_exceed_the_exact_delay() {
     // The stand-in construction promises that no filler path reaches the
     // exact delay; the verifier confirms it output by output.

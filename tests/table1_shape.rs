@@ -7,7 +7,10 @@ use ltt_core::VerifyConfig;
 use ltt_netlist::suite::iscas85_suite;
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow without optimizations; covered by `cargo test --release`"
+)]
 fn table1_rows_have_the_paper_shape() {
     let config = VerifyConfig {
         max_backtracks: 10_000,
@@ -49,7 +52,10 @@ fn table1_rows_have_the_paper_shape() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow without optimizations; covered by `cargo test --release`")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow without optimizations; covered by `cargo test --release`"
+)]
 fn table1_stage_columns_follow_the_paper() {
     // The paper's qualitative stage structure:
     //   c1908-, c3540-style rows need the dominator stage;
