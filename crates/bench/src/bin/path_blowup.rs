@@ -2,51 +2,30 @@
 //! "path oriented timing verifiers suffer from poor performance as they may
 //! have to enumerate a very large number of paths").
 //!
-//! Workload: `k` serial copies of the Figure-1-style false-path gadget.
-//! Every path longer than the exact delay routes through at least one
-//! falsified long branch, and their number grows exponentially with `k` —
-//! a path-oriented verifier must refute each one, while the waveform
-//! narrower settles the same `δ = exact + 1` check with near-linear work.
+//! Workload: `k` serial copies of the Figure-1-style false-path gadget
+//! ([`ltt_netlist::generators::serial_false_path_gadgets`]). Every path
+//! longer than the exact delay routes through at least one falsified long
+//! branch, and their number grows exponentially with `k` — a path-oriented
+//! verifier must refute each one, while the waveform narrower settles the
+//! same `δ = exact + 1` check with near-linear work.
 //!
 //! Run with `cargo run --release -p ltt-bench --bin path_blowup`.
+//!
+//! `--emit K FILE` instead writes the `k = K` instance as a `.bench`
+//! netlist and exits — this is how CI materializes the stress circuit for
+//! the `ltt … --deadline-ms` smoke runs.
 
 use ltt_bench::render::Table;
 use ltt_core::{verify, VerifyConfig};
-use ltt_netlist::{Circuit, CircuitBuilder, DelayInterval, GateKind};
-use ltt_sta::count_paths_at_least;
+use ltt_netlist::bench_format::write_bench;
+use ltt_netlist::generators::serial_false_path_gadgets;
+use std::process::ExitCode;
 
-/// `k` serial false-path gadgets (prefix 4, long branch 2 each, like the
-/// paper's Figure 1): top = k·70-ish, exact = k·60-ish levels.
-fn serial_gadgets(k: usize) -> Circuit {
-    let d = DelayInterval::fixed(10);
-    let mut b = CircuitBuilder::new(format!("serial{k}"));
-    let mut feed = b.input("x0");
-    for g in 0..k {
-        let x1 = b.input(format!("x1_{g}"));
-        let shared = b.input(format!("sh_{g}"));
-        let mut n = b.gate(format!("n1_{g}"), GateKind::And, &[feed, x1], d);
-        for i in 2..4 {
-            let side = b.input(format!("p{i}_{g}"));
-            let kind = if i % 2 == 1 {
-                GateKind::Or
-            } else {
-                GateKind::And
-            };
-            n = b.gate(format!("n{i}_{g}"), kind, &[n, side], d);
-        }
-        n = b.gate(format!("n4_{g}"), GateKind::And, &[n, shared], d);
-        let sb = b.input(format!("sb_{g}"));
-        let short = b.gate(format!("short_{g}"), GateKind::And, &[n, sb], d);
-        let a1 = b.gate(format!("a1_{g}"), GateKind::Or, &[n, shared], d);
-        let q2 = b.input(format!("q2_{g}"));
-        let a2 = b.gate(format!("a2_{g}"), GateKind::And, &[a1, q2], d);
-        feed = b.gate(format!("s_{g}"), GateKind::Or, &[a2, short], d);
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(rest) = args.split_first().filter(|(flag, _)| *flag == "--emit") {
+        return emit(rest.1);
     }
-    b.mark_output(feed);
-    b.build().expect("serial gadget chain is valid")
-}
-
-fn main() {
     let mut table = Table::new(&[
         "gadgets",
         "gates",
@@ -58,7 +37,7 @@ fn main() {
         "narrowing ms",
     ]);
     for k in [1usize, 2, 4, 8, 16, 32] {
-        let c = serial_gadgets(k);
+        let c = serial_false_path_gadgets(k, 10);
         let s = c.outputs()[0];
         let top = c.arrival_times()[s.index()];
         // Exact by construction: each gadget's true route is 6 levels, the
@@ -68,7 +47,7 @@ fn main() {
         let delta = exact + 1;
         // Exact count via DP (the enumerator itself blows up in memory on
         // the larger instances — the experiment's point).
-        let count = count_paths_at_least(&c, s, delta);
+        let count = ltt_sta::count_paths_at_least(&c, s, delta);
         let config = VerifyConfig::default();
         let r = verify(&c, s, delta, &config);
         let stage = match &r.verdict {
@@ -91,4 +70,33 @@ fn main() {
     println!("verifier; the narrower proves the same δ = exact+1 check once)");
     println!();
     println!("{}", table.render());
+    ExitCode::SUCCESS
+}
+
+fn emit(rest: &[String]) -> ExitCode {
+    let (k, path) = match rest {
+        [k, path] => match k.parse::<usize>() {
+            Ok(k) if k > 0 => (k, path),
+            _ => {
+                eprintln!("--emit needs a positive gadget count");
+                return ExitCode::from(3);
+            }
+        },
+        _ => {
+            eprintln!("usage: path_blowup --emit K FILE");
+            return ExitCode::from(3);
+        }
+    };
+    let c = serial_false_path_gadgets(k, 10);
+    if let Err(e) = std::fs::write(path, write_bench(&c)) {
+        eprintln!("cannot write `{path}`: {e}");
+        return ExitCode::from(3);
+    }
+    println!(
+        "wrote {path}: k = {k}, {} gates, topological {}, exact floating delay {}",
+        c.num_gates(),
+        c.topological_delay(),
+        60 * k
+    );
+    ExitCode::SUCCESS
 }

@@ -1,8 +1,8 @@
 //! Argument parsing and subcommand implementations for the `ltt` binary.
 
 use ltt_core::{
-    explain, BatchRunner, CheckSession, DelayMode, DelaySearch, LearningMode, Stage, Verdict,
-    VerifyConfig,
+    explain, BatchRunner, Budget, CheckError, CheckSession, Completeness, DelayMode, DelaySearch,
+    Error, LearningMode, Stage, Verdict, VerifyConfig,
 };
 use ltt_netlist::bench_format::{parse_bench, write_bench};
 use ltt_netlist::sdf::apply_sdf;
@@ -10,6 +10,32 @@ use ltt_netlist::verilog::{parse_verilog, write_verilog};
 use ltt_netlist::{Circuit, DelayInterval, NetId};
 use ltt_sta::{simulate, transition_counts, write_vcd, SlackReport, WaveformTrace};
 use ltt_waveform::Level;
+use std::time::{Duration, Instant};
+
+/// What a run that parsed and executed concluded — the non-error half of
+/// the exit-code contract (`0` clean, `1` violation, `2` incomplete;
+/// [`Error::exit_code`] covers `2`/`3` for runs that failed outright).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Every requested check completed and none violates.
+    Clean,
+    /// At least one certified timing violation.
+    Violation,
+    /// No violation found, but some result is partial: a budget tripped,
+    /// a search was abandoned, or a fault-isolated slot failed.
+    Incomplete,
+}
+
+impl RunStatus {
+    /// The process exit code for this status.
+    pub fn exit_code(self) -> u8 {
+        match self {
+            RunStatus::Clean => 0,
+            RunStatus::Violation => 1,
+            RunStatus::Incomplete => 2,
+        }
+    }
+}
 
 /// Parsed common options.
 struct Options {
@@ -20,6 +46,8 @@ struct Options {
     output: Option<String>,
     delta: Option<i64>,
     deadline: Option<i64>,
+    deadline_ms: Option<u64>,
+    fail_fast: bool,
     to: Option<String>,
     v1: Option<String>,
     v2: Option<String>,
@@ -44,6 +72,8 @@ impl Default for Options {
             output: None,
             delta: None,
             deadline: None,
+            deadline_ms: None,
+            fail_fast: false,
             to: None,
             v1: None,
             v2: None,
@@ -64,13 +94,13 @@ const USAGE: &str = "usage: ltt <info|check|delay|report|convert> <netlist> [opt
 run `ltt help` for the full option list";
 
 /// Entry point used by `main` (and the tests).
-pub fn run(args: &[String]) -> Result<(), String> {
+pub fn run(args: &[String]) -> Result<RunStatus, Error> {
     let Some(command) = args.first() else {
-        return Err(USAGE.to_string());
+        return Err(Error::usage(USAGE));
     };
     if command == "help" || command == "--help" || command == "-h" {
         println!("{}", long_help());
-        return Ok(());
+        return Ok(RunStatus::Clean);
     }
     let opts = parse_options(&args[1..])?;
     let circuit = load_circuit(&opts)?;
@@ -82,7 +112,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         "convert" => cmd_convert(&circuit, &opts),
         "simulate" => cmd_simulate(&circuit, &opts),
         "explain" => cmd_explain(&circuit, &opts),
-        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+        other => Err(Error::usage(format!("unknown command `{other}`\n{USAGE}"))),
     }
 }
 
@@ -113,26 +143,39 @@ OPTIONS
   --max-backtracks N        case-analysis budget (100000)
   --jobs N                  worker threads for check/delay batches
                             (0 = one per hardware thread, the default;
-                            results are identical for every N)"
+                            results are identical for every N)
+  --deadline-ms T           wall-clock budget for the whole check/delay
+                            run; past it, in-flight checks degrade to
+                            sound partial results (exit code 2)
+  --fail-fast               cancel remaining checks after the first
+                            certified violation (trades the deterministic
+                            report set for latency; the exit code is
+                            unaffected)
+
+EXIT CODES
+  0  every check completed, no violation
+  1  at least one certified violation
+  2  incomplete: budget exhausted, search abandoned, or a check failed
+  3  usage or input error"
         .to_string()
 }
 
-fn parse_options(args: &[String]) -> Result<Options, String> {
+fn parse_options(args: &[String]) -> Result<Options, Error> {
     let mut opts = Options::default();
     let mut it = args.iter().peekable();
     let mut positional = Vec::new();
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| -> Result<String, String> {
+        let mut value = |name: &str| -> Result<String, Error> {
             it.next()
                 .cloned()
-                .ok_or_else(|| format!("{name} needs a value"))
+                .ok_or_else(|| Error::usage(format!("{name} needs a value")))
         };
         match arg.as_str() {
             "--format" => opts.format = Some(value("--format")?),
             "--delay" => {
                 opts.delay = value("--delay")?
                     .parse()
-                    .map_err(|_| "--delay needs an integer".to_string())?
+                    .map_err(|_| Error::usage("--delay needs an integer"))?
             }
             "--sdf" => opts.sdf = Some(value("--sdf")?),
             "--output" => opts.output = Some(value("--output")?),
@@ -140,16 +183,24 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.delta = Some(
                     value("--delta")?
                         .parse()
-                        .map_err(|_| "--delta needs an integer".to_string())?,
+                        .map_err(|_| Error::usage("--delta needs an integer"))?,
                 )
             }
             "--deadline" => {
                 opts.deadline = Some(
                     value("--deadline")?
                         .parse()
-                        .map_err(|_| "--deadline needs an integer".to_string())?,
+                        .map_err(|_| Error::usage("--deadline needs an integer"))?,
                 )
             }
+            "--deadline-ms" => {
+                opts.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|_| Error::usage("--deadline-ms needs an integer"))?,
+                )
+            }
+            "--fail-fast" => opts.fail_fast = true,
             "--to" => opts.to = Some(value("--to")?),
             "--v1" => opts.v1 = Some(value("--v1")?),
             "--v2" => opts.v2 = Some(value("--v2")?),
@@ -158,11 +209,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let spec = value("--assume")?;
                 let (net, v) = spec
                     .split_once('=')
-                    .ok_or_else(|| "--assume expects NET=0 or NET=1".to_string())?;
+                    .ok_or_else(|| Error::usage("--assume expects NET=0 or NET=1"))?;
                 let level = match v {
                     "0" => Level::Zero,
                     "1" => Level::One,
-                    _ => return Err("--assume expects NET=0 or NET=1".to_string()),
+                    _ => return Err(Error::usage("--assume expects NET=0 or NET=1")),
                 };
                 opts.assumptions.push((net.to_string(), level));
             }
@@ -170,7 +221,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.mode = match value("--mode")?.as_str() {
                     "floating" => DelayMode::Floating,
                     "transition" => DelayMode::Transition,
-                    other => return Err(format!("unknown mode `{other}`")),
+                    other => return Err(Error::usage(format!("unknown mode `{other}`"))),
                 }
             }
             "--no-dominators" => opts.dominators = false,
@@ -180,28 +231,32 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--max-backtracks" => {
                 opts.max_backtracks = value("--max-backtracks")?
                     .parse()
-                    .map_err(|_| "--max-backtracks needs an integer".to_string())?
+                    .map_err(|_| Error::usage("--max-backtracks needs an integer"))?
             }
             "--jobs" => {
                 opts.jobs = value("--jobs")?
                     .parse()
-                    .map_err(|_| "--jobs needs an integer".to_string())?
+                    .map_err(|_| Error::usage("--jobs needs an integer"))?
             }
-            other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
+            other if other.starts_with("--") => {
+                return Err(Error::usage(format!("unknown option `{other}`")))
+            }
             _ => positional.push(arg.clone()),
         }
     }
     match positional.as_slice() {
         [file] => opts.file = file.clone(),
-        [] => return Err("missing netlist file".to_string()),
-        more => return Err(format!("unexpected arguments: {more:?}")),
+        [] => return Err(Error::usage("missing netlist file")),
+        more => return Err(Error::usage(format!("unexpected arguments: {more:?}"))),
     }
     Ok(opts)
 }
 
-fn load_circuit(opts: &Options) -> Result<Circuit, String> {
-    let text = std::fs::read_to_string(&opts.file)
-        .map_err(|e| format!("cannot read `{}`: {e}", opts.file))?;
+fn load_circuit(opts: &Options) -> Result<Circuit, Error> {
+    let text = std::fs::read_to_string(&opts.file).map_err(|e| Error::Io {
+        path: opts.file.clone(),
+        message: e.to_string(),
+    })?;
     let format = match &opts.format {
         Some(f) => f.clone(),
         None if opts.file.ends_with(".v") || opts.file.ends_with(".sv") => "verilog".into(),
@@ -209,16 +264,20 @@ fn load_circuit(opts: &Options) -> Result<Circuit, String> {
     };
     let delay = DelayInterval::fixed(opts.delay);
     let circuit = match format.as_str() {
-        "bench" => parse_bench(&opts.file, &text, delay).map_err(|e| e.to_string())?,
-        "verilog" => parse_verilog(&text, delay).map_err(|e| e.to_string())?,
-        other => return Err(format!("unknown format `{other}`")),
+        "bench" => {
+            parse_bench(&opts.file, &text, delay).map_err(|e| Error::invalid(e.to_string()))?
+        }
+        "verilog" => parse_verilog(&text, delay).map_err(|e| Error::invalid(e.to_string()))?,
+        other => return Err(Error::usage(format!("unknown format `{other}`"))),
     };
     match &opts.sdf {
         None => Ok(circuit),
         Some(path) => {
-            let sdf =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-            apply_sdf(&circuit, &sdf).map_err(|e| e.to_string())
+            let sdf = std::fs::read_to_string(path).map_err(|e| Error::Io {
+                path: path.clone(),
+                message: e.to_string(),
+            })?;
+            apply_sdf(&circuit, &sdf).map_err(|e| Error::invalid(e.to_string()))
         }
     }
 }
@@ -236,29 +295,38 @@ fn config_from(opts: &Options) -> VerifyConfig {
         case_analysis: opts.search,
         max_backtracks: opts.max_backtracks,
         certify_vectors: true,
+        budget: Budget::unlimited(),
     }
 }
 
-fn resolve_outputs(circuit: &Circuit, opts: &Options) -> Result<Vec<NetId>, String> {
+fn runner_from(opts: &Options) -> BatchRunner {
+    let mut runner = BatchRunner::new(opts.jobs).with_fail_fast(opts.fail_fast);
+    if let Some(ms) = opts.deadline_ms {
+        runner = runner.with_deadline(Duration::from_millis(ms));
+    }
+    runner
+}
+
+fn resolve_outputs(circuit: &Circuit, opts: &Options) -> Result<Vec<NetId>, Error> {
     match &opts.output {
         None => Ok(circuit.outputs().to_vec()),
         Some(name) => {
             let net = circuit
                 .net_by_name(name)
-                .ok_or_else(|| format!("no net named `{name}`"))?;
+                .ok_or_else(|| Error::invalid(format!("no net named `{name}`")))?;
             Ok(vec![net])
         }
     }
 }
 
-fn resolve_assumptions(circuit: &Circuit, opts: &Options) -> Result<Vec<(NetId, Level)>, String> {
+fn resolve_assumptions(circuit: &Circuit, opts: &Options) -> Result<Vec<(NetId, Level)>, Error> {
     opts.assumptions
         .iter()
         .map(|(name, level)| {
             circuit
                 .net_by_name(name)
                 .map(|n| (n, *level))
-                .ok_or_else(|| format!("no net named `{name}` (in --assume)"))
+                .ok_or_else(|| Error::invalid(format!("no net named `{name}` (in --assume)")))
         })
         .collect()
 }
@@ -272,7 +340,7 @@ fn stage_name(stage: Stage) -> &'static str {
     }
 }
 
-fn cmd_info(circuit: &Circuit) -> Result<(), String> {
+fn cmd_info(circuit: &Circuit) -> Result<RunStatus, Error> {
     println!("name:            {}", circuit.name());
     println!("gates:           {}", circuit.num_gates());
     println!("nets:            {}", circuit.num_nets());
@@ -282,15 +350,17 @@ fn cmd_info(circuit: &Circuit) -> Result<(), String> {
     println!("topological:     {}", circuit.topological_delay());
     println!("min topological: {}", circuit.min_topological_delay());
     println!("fanout stems:    {}", circuit.num_fanout_stems());
-    Ok(())
+    Ok(RunStatus::Clean)
 }
 
-fn cmd_check(circuit: &Circuit, opts: &Options) -> Result<(), String> {
-    let delta = opts.delta.ok_or("check needs --delta N")?;
+fn cmd_check(circuit: &Circuit, opts: &Options) -> Result<RunStatus, Error> {
+    let delta = opts
+        .delta
+        .ok_or_else(|| Error::usage("check needs --delta N"))?;
     let config = config_from(opts);
     let assumptions = resolve_assumptions(circuit, opts)?;
     let session = CheckSession::new(circuit, config);
-    let runner = BatchRunner::new(opts.jobs);
+    let runner = runner_from(opts);
     let checks: Vec<(NetId, i64)> = resolve_outputs(circuit, opts)?
         .into_iter()
         .map(|o| (o, delta))
@@ -326,22 +396,34 @@ fn cmd_check(circuit: &Circuit, opts: &Options) -> Result<(), String> {
             }
             Verdict::Abandoned => {
                 any_open = true;
-                println!(
-                    "{name}: undecided — case analysis abandoned after {} backtracks",
-                    r.backtracks
-                );
+                match r.completeness {
+                    Completeness::BudgetExhausted { stage, reason } => println!(
+                        "{name}: undecided — budget exhausted ({reason}) in {} after {} backtracks",
+                        stage_name(stage),
+                        r.backtracks
+                    ),
+                    Completeness::Exact => println!(
+                        "{name}: undecided — case analysis abandoned after {} backtracks",
+                        r.backtracks
+                    ),
+                }
             }
         }
     }
+    for e in &batch.errors {
+        println!("{}: {}", circuit.net(e.output).name(), e.error);
+    }
     let s = &batch.summary;
     println!(
-        "checked {} output(s) in {:.2} ms with {} job(s): {} safe, {} violated, {} undecided",
+        "checked {} output(s) in {:.2} ms with {} job(s): {} safe, {} violated, {} undecided, {} failed, {} skipped",
         s.checks,
         batch.wall.as_secs_f64() * 1e3,
         runner.jobs(),
         s.no_violation,
         s.violations,
-        s.undecided
+        s.undecided,
+        s.failed,
+        s.skipped
     );
     println!(
         "  effort: {} events, {} backtracks · stage ms: narrowing {:.2}, dominators {:.2}, stems {:.2}, search {:.2}",
@@ -353,52 +435,80 @@ fn cmd_check(circuit: &Circuit, opts: &Options) -> Result<(), String> {
         s.stage_wall.case_analysis.as_secs_f64() * 1e3
     );
     if any_violation {
-        Err("timing check violated".to_string())
-    } else if any_open {
-        Err("timing check undecided".to_string())
+        println!("result: VIOLATED");
+        Ok(RunStatus::Violation)
+    } else if any_open || !batch.errors.is_empty() {
+        println!("result: INCOMPLETE");
+        Ok(RunStatus::Incomplete)
     } else {
-        Ok(())
+        Ok(RunStatus::Clean)
     }
 }
 
-fn cmd_delay(circuit: &Circuit, opts: &Options) -> Result<(), String> {
+fn cmd_delay(circuit: &Circuit, opts: &Options) -> Result<RunStatus, Error> {
     let config = config_from(opts);
     let arrival = circuit.arrival_times();
     let session = CheckSession::new(circuit, config);
-    let runner = BatchRunner::new(opts.jobs);
     let outputs = resolve_outputs(circuit, opts)?;
     // The all-outputs case fans the per-output searches over the runner's
-    // workers; a single --output just runs in place.
-    let searches: Vec<DelaySearch> = if outputs.len() == circuit.outputs().len() {
-        runner.exact_delays(&session)
+    // workers; a single --output just runs in place (under the same
+    // wall-clock budget, if one was given).
+    let results: Vec<Result<DelaySearch, CheckError>> = if outputs.len() == circuit.outputs().len()
+    {
+        runner_from(opts).try_exact_delays(&session)
     } else {
-        outputs.iter().map(|&o| session.exact_delay(o)).collect()
+        let budget = match opts.deadline_ms {
+            Some(ms) => {
+                Budget::unlimited().with_deadline(Instant::now() + Duration::from_millis(ms))
+            }
+            None => Budget::unlimited(),
+        };
+        outputs
+            .iter()
+            .map(|&o| Ok(session.exact_delay_budgeted(o, &budget)))
+            .collect()
     };
-    for (&out, search) in outputs.iter().zip(&searches) {
+    let mut incomplete = false;
+    for (&out, result) in outputs.iter().zip(&results) {
         let name = circuit.net(out).name();
         let top = arrival[out.index()];
-        if search.proven_exact {
-            let marker = if search.delay < top {
-                "  ** longest path FALSE **"
-            } else {
-                ""
-            };
-            println!(
-                "{name}: exact {} (topological {top}, {} backtracks){marker}",
-                search.delay, search.backtracks
-            );
-        } else {
-            println!(
-                "{name}: bounds [{}, {}] (topological {top}; search abandoned after {} backtracks)",
-                search.delay, search.upper_bound, search.backtracks
-            );
+        match result {
+            Ok(search) if search.proven_exact => {
+                let marker = if search.delay < top {
+                    "  ** longest path FALSE **"
+                } else {
+                    ""
+                };
+                println!(
+                    "{name}: exact {} (topological {top}, {} backtracks){marker}",
+                    search.delay, search.backtracks
+                );
+            }
+            Ok(search) => {
+                incomplete = true;
+                println!(
+                    "{name}: bounds [{}, {}] (topological {top}; search incomplete after {} backtracks)",
+                    search.delay, search.upper_bound, search.backtracks
+                );
+            }
+            Err(e) => {
+                incomplete = true;
+                println!("{name}: {e}");
+            }
         }
     }
-    Ok(())
+    if incomplete {
+        println!("result: INCOMPLETE");
+        Ok(RunStatus::Incomplete)
+    } else {
+        Ok(RunStatus::Clean)
+    }
 }
 
-fn cmd_report(circuit: &Circuit, opts: &Options) -> Result<(), String> {
-    let deadline = opts.deadline.ok_or("report needs --deadline N")?;
+fn cmd_report(circuit: &Circuit, opts: &Options) -> Result<RunStatus, Error> {
+    let deadline = opts
+        .deadline
+        .ok_or_else(|| Error::usage("report needs --deadline N"))?;
     let report = SlackReport::compute(circuit, deadline);
     println!(
         "deadline {deadline}: worst slack {}",
@@ -431,34 +541,38 @@ fn cmd_report(circuit: &Circuit, opts: &Options) -> Result<(), String> {
         println!("note: negative topological slack may still be a false path —");
         println!("      run `ltt check --delta {deadline}` for the exact answer");
     }
-    Ok(())
+    Ok(RunStatus::Clean)
 }
 
-fn parse_vector(circuit: &Circuit, bits: &str, flag: &str) -> Result<Vec<bool>, String> {
+fn parse_vector(circuit: &Circuit, bits: &str, flag: &str) -> Result<Vec<bool>, Error> {
     if bits.len() != circuit.inputs().len() {
-        return Err(format!(
+        return Err(Error::usage(format!(
             "{flag} needs {} bits (one per input, in declaration order)",
             circuit.inputs().len()
-        ));
+        )));
     }
     bits.chars()
         .map(|c| match c {
             '0' => Ok(false),
             '1' => Ok(true),
-            other => Err(format!("{flag}: invalid bit `{other}`")),
+            other => Err(Error::usage(format!("{flag}: invalid bit `{other}`"))),
         })
         .collect()
 }
 
-fn cmd_simulate(circuit: &Circuit, opts: &Options) -> Result<(), String> {
+fn cmd_simulate(circuit: &Circuit, opts: &Options) -> Result<RunStatus, Error> {
     let v1 = parse_vector(
         circuit,
-        opts.v1.as_deref().ok_or("simulate needs --v1 BITS")?,
+        opts.v1
+            .as_deref()
+            .ok_or_else(|| Error::usage("simulate needs --v1 BITS"))?,
         "--v1",
     )?;
     let v2 = parse_vector(
         circuit,
-        opts.v2.as_deref().ok_or("simulate needs --v2 BITS")?,
+        opts.v2
+            .as_deref()
+            .ok_or_else(|| Error::usage("simulate needs --v2 BITS"))?,
         "--v2",
     )?;
     let inputs: Vec<WaveformTrace> = v1
@@ -484,34 +598,38 @@ fn cmd_simulate(circuit: &Circuit, opts: &Options) -> Result<(), String> {
         circuit.num_nets()
     );
     if let Some(path) = &opts.vcd {
-        std::fs::write(path, write_vcd(circuit, &traces))
-            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        std::fs::write(path, write_vcd(circuit, &traces)).map_err(|e| Error::Io {
+            path: path.clone(),
+            message: e.to_string(),
+        })?;
         println!("wrote {path}");
     }
-    Ok(())
+    Ok(RunStatus::Clean)
 }
 
-fn cmd_explain(circuit: &Circuit, opts: &Options) -> Result<(), String> {
-    let delta = opts.delta.ok_or("explain needs --delta N")?;
+fn cmd_explain(circuit: &Circuit, opts: &Options) -> Result<RunStatus, Error> {
+    let delta = opts
+        .delta
+        .ok_or_else(|| Error::usage("explain needs --delta N"))?;
     for out in resolve_outputs(circuit, opts)? {
         print!("{}", explain(circuit, out, delta));
         println!();
     }
-    Ok(())
+    Ok(RunStatus::Clean)
 }
 
-fn cmd_convert(circuit: &Circuit, opts: &Options) -> Result<(), String> {
+fn cmd_convert(circuit: &Circuit, opts: &Options) -> Result<RunStatus, Error> {
     match opts.to.as_deref() {
         Some("bench") => {
             print!("{}", write_bench(circuit));
-            Ok(())
+            Ok(RunStatus::Clean)
         }
         Some("verilog") => {
             print!("{}", write_verilog(circuit));
-            Ok(())
+            Ok(RunStatus::Clean)
         }
-        Some(other) => Err(format!("unknown target format `{other}`")),
-        None => Err("convert needs --to bench|verilog".to_string()),
+        Some(other) => Err(Error::usage(format!("unknown target format `{other}`"))),
+        None => Err(Error::usage("convert needs --to bench|verilog")),
     }
 }
 
@@ -536,17 +654,35 @@ mod tests {
     #[test]
     fn info_runs_on_bench_file() {
         let path = write_temp("info.bench", C17);
-        run(&args(&["info", &path])).unwrap();
+        assert_eq!(run(&args(&["info", &path])), Ok(RunStatus::Clean));
     }
 
     #[test]
-    fn check_detects_violation_and_safety() {
+    fn check_exit_statuses_follow_the_verdict() {
         let path = write_temp("check.bench", C17);
-        // δ above topological: safe.
-        run(&args(&["check", &path, "--delta", "31"])).unwrap();
-        // δ = exact: violated → error exit.
-        let e = run(&args(&["check", &path, "--delta", "30"])).unwrap_err();
-        assert!(e.contains("violated"));
+        // δ above topological: safe → exit 0.
+        assert_eq!(
+            run(&args(&["check", &path, "--delta", "31"])),
+            Ok(RunStatus::Clean)
+        );
+        // δ = exact: violated → exit 1.
+        assert_eq!(
+            run(&args(&["check", &path, "--delta", "30"])),
+            Ok(RunStatus::Violation)
+        );
+        // Search disabled: the check stays open → exit 2.
+        assert_eq!(
+            run(&args(&["check", &path, "--delta", "30", "--no-search"])),
+            Ok(RunStatus::Incomplete)
+        );
+    }
+
+    #[test]
+    fn exit_codes_cover_the_contract() {
+        assert_eq!(RunStatus::Clean.exit_code(), 0);
+        assert_eq!(RunStatus::Violation.exit_code(), 1);
+        assert_eq!(RunStatus::Incomplete.exit_code(), 2);
+        assert_eq!(Error::usage("x").exit_code(), 3);
     }
 
     #[test]
@@ -555,17 +691,22 @@ mod tests {
         // through net 11/16; pinning 2 = 0 forces 16 = 1 early, killing
         // output 22's late paths through 16.
         let path = write_temp("assume.bench", C17);
-        run(&args(&[
-            "check", &path, "--delta", "30", "--output", "22", "--assume", "2=0",
-        ]))
-        .unwrap();
+        assert_eq!(
+            run(&args(&[
+                "check", &path, "--delta", "30", "--output", "22", "--assume", "2=0",
+            ])),
+            Ok(RunStatus::Clean)
+        );
     }
 
     #[test]
     fn delay_reports_exact() {
         let path = write_temp("delay.bench", C17);
-        run(&args(&["delay", &path])).unwrap();
-        run(&args(&["delay", &path, "--output", "22", "--delay", "7"])).unwrap();
+        assert_eq!(run(&args(&["delay", &path])), Ok(RunStatus::Clean));
+        assert_eq!(
+            run(&args(&["delay", &path, "--output", "22", "--delay", "7"])),
+            Ok(RunStatus::Clean)
+        );
     }
 
     #[test]
@@ -573,28 +714,107 @@ mod tests {
         let path = write_temp("jobs.bench", C17);
         // Same exit status as serial for every job count.
         for jobs in ["1", "2", "8"] {
-            run(&args(&["check", &path, "--delta", "31", "--jobs", jobs])).unwrap();
-            let e = run(&args(&["check", &path, "--delta", "30", "--jobs", jobs])).unwrap_err();
-            assert!(e.contains("violated"));
-            run(&args(&["delay", &path, "--jobs", jobs])).unwrap();
+            assert_eq!(
+                run(&args(&["check", &path, "--delta", "31", "--jobs", jobs])),
+                Ok(RunStatus::Clean)
+            );
+            assert_eq!(
+                run(&args(&["check", &path, "--delta", "30", "--jobs", jobs])),
+                Ok(RunStatus::Violation)
+            );
+            assert_eq!(
+                run(&args(&["delay", &path, "--jobs", jobs])),
+                Ok(RunStatus::Clean)
+            );
         }
         assert!(run(&args(&["check", &path, "--delta", "31", "--jobs", "x"])).is_err());
     }
 
     #[test]
+    fn fail_fast_still_finds_the_violation() {
+        let path = write_temp("failfast.bench", C17);
+        for jobs in ["1", "4"] {
+            assert_eq!(
+                run(&args(&[
+                    "check",
+                    &path,
+                    "--delta",
+                    "30",
+                    "--fail-fast",
+                    "--jobs",
+                    jobs
+                ])),
+                Ok(RunStatus::Violation)
+            );
+        }
+    }
+
+    #[test]
+    fn expired_deadline_is_incomplete_not_an_error() {
+        let path = write_temp("deadline.bench", C17);
+        // A 0 ms budget trips before any check decides: exit 2, and the
+        // degraded run must never claim safety or violation.
+        assert_eq!(
+            run(&args(&[
+                "check",
+                &path,
+                "--delta",
+                "30",
+                "--deadline-ms",
+                "0"
+            ])),
+            Ok(RunStatus::Incomplete)
+        );
+        assert_eq!(
+            run(&args(&["delay", &path, "--deadline-ms", "0"])),
+            Ok(RunStatus::Incomplete)
+        );
+        // The single-output delay path takes the same budget.
+        assert_eq!(
+            run(&args(&[
+                "delay",
+                &path,
+                "--output",
+                "22",
+                "--deadline-ms",
+                "0"
+            ])),
+            Ok(RunStatus::Incomplete)
+        );
+        assert!(run(&args(&[
+            "check",
+            &path,
+            "--delta",
+            "30",
+            "--deadline-ms",
+            "x"
+        ]))
+        .is_err());
+    }
+
+    #[test]
     fn report_and_convert_run() {
         let path = write_temp("report.bench", C17);
-        run(&args(&["report", &path, "--deadline", "25"])).unwrap();
-        run(&args(&["convert", &path, "--to", "verilog"])).unwrap();
-        run(&args(&["convert", &path, "--to", "bench"])).unwrap();
+        assert_eq!(
+            run(&args(&["report", &path, "--deadline", "25"])),
+            Ok(RunStatus::Clean)
+        );
+        assert_eq!(
+            run(&args(&["convert", &path, "--to", "verilog"])),
+            Ok(RunStatus::Clean)
+        );
+        assert_eq!(
+            run(&args(&["convert", &path, "--to", "bench"])),
+            Ok(RunStatus::Clean)
+        );
     }
 
     #[test]
     fn verilog_input_detected_by_extension() {
         let src = "module t (a, y);\n input a; output y;\n not (y, a);\nendmodule\n";
         let path = write_temp("input.v", src);
-        run(&args(&["info", &path])).unwrap();
-        run(&args(&["delay", &path])).unwrap();
+        assert_eq!(run(&args(&["info", &path])), Ok(RunStatus::Clean));
+        assert_eq!(run(&args(&["delay", &path])), Ok(RunStatus::Clean));
     }
 
     #[test]
@@ -604,33 +824,53 @@ mod tests {
             "delays.sdf",
             r#"(DELAYFILE (CELL (INSTANCE 22) (DELAY (ABSOLUTE (IOPATH a b (99))))))"#,
         );
-        run(&args(&["info", &bench, "--sdf", &sdf])).unwrap();
+        assert_eq!(
+            run(&args(&["info", &bench, "--sdf", &sdf])),
+            Ok(RunStatus::Clean)
+        );
     }
 
     #[test]
-    fn errors_are_reported() {
-        assert!(run(&args(&["frobnicate", "x"])).is_err());
-        assert!(run(&args(&["check", "/nonexistent.bench", "--delta", "1"])).is_err());
+    fn errors_are_reported_with_exit_code_3() {
+        let usage_exit = |r: Result<RunStatus, Error>| r.unwrap_err().exit_code();
+        assert_eq!(usage_exit(run(&args(&["frobnicate", "x"]))), 3);
+        assert_eq!(
+            usage_exit(run(&args(&["check", "/nonexistent.bench", "--delta", "1"]))),
+            3
+        );
         let path = write_temp("err.bench", C17);
-        assert!(run(&args(&["check", &path])).is_err()); // missing --delta
-        assert!(run(&args(&["check", &path, "--delta", "x"])).is_err());
-        assert!(run(&args(&["convert", &path, "--to", "blif"])).is_err());
-        assert!(run(&args(&["check", &path, "--delta", "1", "--assume", "zz=1"])).is_err());
+        assert_eq!(usage_exit(run(&args(&["check", &path]))), 3); // missing --delta
+        assert_eq!(usage_exit(run(&args(&["check", &path, "--delta", "x"]))), 3);
+        assert_eq!(
+            usage_exit(run(&args(&["convert", &path, "--to", "blif"]))),
+            3
+        );
+        assert_eq!(
+            usage_exit(run(&args(&[
+                "check", &path, "--delta", "1", "--assume", "zz=1"
+            ]))),
+            3
+        );
     }
 
     #[test]
     fn help_prints() {
-        run(&args(&["help"])).unwrap();
+        assert_eq!(run(&args(&["help"])), Ok(RunStatus::Clean));
     }
 
     #[test]
     fn explain_runs() {
         let path = write_temp("explain.bench", C17);
-        run(&args(&["explain", &path, "--delta", "30"])).unwrap();
-        run(&args(&[
-            "explain", &path, "--delta", "31", "--output", "22",
-        ]))
-        .unwrap();
+        assert_eq!(
+            run(&args(&["explain", &path, "--delta", "30"])),
+            Ok(RunStatus::Clean)
+        );
+        assert_eq!(
+            run(&args(&[
+                "explain", &path, "--delta", "31", "--output", "22",
+            ])),
+            Ok(RunStatus::Clean)
+        );
         assert!(run(&args(&["explain", &path])).is_err());
     }
 
@@ -639,10 +879,12 @@ mod tests {
         let path = write_temp("sim.bench", C17);
         let vcd = std::env::temp_dir().join("ltt_cli_test_sim.vcd");
         let vcd_s = vcd.to_string_lossy().into_owned();
-        run(&args(&[
-            "simulate", &path, "--v1", "00000", "--v2", "11111", "--vcd", &vcd_s,
-        ]))
-        .unwrap();
+        assert_eq!(
+            run(&args(&[
+                "simulate", &path, "--v1", "00000", "--v2", "11111", "--vcd", &vcd_s,
+            ])),
+            Ok(RunStatus::Clean)
+        );
         let contents = std::fs::read_to_string(&vcd).unwrap();
         assert!(contents.contains("$enddefinitions"));
         // Bad vector lengths and bits are rejected.

@@ -19,7 +19,13 @@
 //! --mode floating|transition
 //! --no-dominators / --no-stems / --no-search / --no-learning
 //! --max-backtracks N (default 100000)
+//! --deadline-ms T    wall-clock budget for the whole run (degrade, exit 2)
+//! --fail-fast        stop the batch at the first certified violation
 //! ```
+//!
+//! Exit codes: `0` no violation, `1` violation found, `2` incomplete
+//! (budget exhausted / search abandoned / a check failed), `3` usage or
+//! input error.
 
 use cli::run;
 use std::process::ExitCode;
@@ -29,10 +35,10 @@ mod cli;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("error: {message}");
-            ExitCode::FAILURE
+        Ok(status) => ExitCode::from(status.exit_code()),
+        Err(error) => {
+            eprintln!("error: {error}");
+            ExitCode::from(error.exit_code())
         }
     }
 }

@@ -18,8 +18,22 @@
 //! index, and the merged results are sorted back into **input order**, so
 //! the output is bit-identical to the serial run regardless of thread
 //! count or scheduling.
+//!
+//! The executor is also **fault-isolated**: each check runs under
+//! [`catch_unwind`](std::panic::catch_unwind), so a panicking check becomes
+//! a structured [`CheckError`] in its slot of [`BatchCheck::errors`] while
+//! every other check completes normally — with reports bit-identical to a
+//! batch that never contained the poisoned check. Two opt-in controls trade
+//! this determinism for latency: [`BatchRunner::with_fail_fast`] cancels
+//! outstanding checks as soon as one violation is found, and
+//! [`BatchRunner::with_deadline`] bounds the whole batch's wall-clock
+//! (in-flight checks degrade to [`Verdict::Abandoned`] with a
+//! [`Completeness::BudgetExhausted`](crate::Completeness) marker; not-yet-
+//! started checks become [`CheckError::Skipped`]).
 
+use crate::budget::{Budget, CancelToken};
 use crate::check::{DelaySearch, ProfilePoint, StageTimes, Verdict, VerifyReport};
+use crate::error::CheckError;
 use crate::fan::CaseStats;
 use crate::prepared::CheckSession;
 use crate::solver::SolverStats;
@@ -37,24 +51,57 @@ pub fn available_jobs() -> usize {
         .unwrap_or(1)
 }
 
-/// Work-stealing parallel map preserving input order.
+/// Renders a caught panic payload as a message (the common `String` /
+/// `&str` payloads verbatim, anything else a placeholder).
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
+
+/// Work-stealing, fault-isolated parallel map preserving input order.
 ///
 /// Spawns `jobs` scoped workers that pull indices from a shared atomic
 /// counter, collects `(index, result)` pairs per worker, and sorts the
 /// merged results by index. With `jobs <= 1` (or one item) it degenerates
 /// to a plain serial map with no thread machinery at all.
-fn run_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+///
+/// Every slot is filled: a panicking `f` yields `Err(CheckError::Panicked)`
+/// for its own slot only (the panic is caught at the slot boundary, so the
+/// other items are mapped exactly as if the poisoned item were absent),
+/// and once `cancel` fires, items not yet started yield
+/// `Err(CheckError::Skipped)`.
+fn run_map_isolated<T, R, F>(
+    items: &[T],
+    jobs: usize,
+    cancel: Option<&CancelToken>,
+    f: F,
+) -> Vec<Result<R, CheckError>>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    let one = |item: &T| -> Result<R, CheckError> {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return Err(CheckError::Skipped);
+        }
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item))).map_err(|payload| {
+            CheckError::Panicked {
+                message: payload_message(payload),
+            }
+        })
+    };
     let jobs = jobs.clamp(1, items.len().max(1));
     if jobs <= 1 {
-        return items.iter().map(&f).collect();
+        return items.iter().map(one).collect();
     }
     let next = AtomicUsize::new(0);
-    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    let mut indexed: Vec<(usize, Result<R, CheckError>)> = Vec::with_capacity(items.len());
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
             .map(|_| {
@@ -63,21 +110,41 @@ where
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
-                        part.push((i, f(item)));
+                        part.push((i, one(item)));
                     }
                     part
                 })
             })
             .collect();
         for handle in handles {
-            match handle.join() {
-                Ok(part) => indexed.extend(part),
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
+            // `one` catches every panic of `f`, so a worker can only fail
+            // via a harness bug; that is not recoverable per-slot.
+            let part = handle
+                .join()
+                .expect("batch worker panicked outside the isolation boundary");
+            indexed.extend(part);
         }
     });
     indexed.sort_by_key(|&(i, _)| i);
     indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// [`run_map_isolated`] for infallible contexts (δ-profile chunks, legacy
+/// single-result APIs): a captured panic is re-raised as a fresh panic in
+/// the calling thread *after* every other item has completed.
+fn run_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    run_map_isolated(items, jobs, None, f)
+        .into_iter()
+        .map(|r| match r {
+            Ok(r) => r,
+            Err(e) => panic!("batch worker failed: {e}"),
+        })
+        .collect()
 }
 
 /// Collapsed verdict of a whole batch (the Table 1 row semantics).
@@ -103,6 +170,10 @@ pub struct BatchSummary {
     pub violations: u64,
     /// Checks left `Possible` or `Abandoned`.
     pub undecided: u64,
+    /// Checks that failed (panicked) instead of finishing.
+    pub failed: u64,
+    /// Checks skipped because the batch was cancelled before they ran.
+    pub skipped: u64,
     /// Case-analysis backtracks, summed.
     pub backtracks: u64,
     /// Solver effort counters, summed.
@@ -120,7 +191,9 @@ pub struct BatchSummary {
 
 impl BatchSummary {
     /// Aggregates the reports with saturating arithmetic (a batch summary
-    /// must never panic on pathological counter values).
+    /// must never panic on pathological counter values). `failed` and
+    /// `skipped` stay zero — errored slots have no report; the batch
+    /// runner fills those counts from its error list.
     pub fn aggregate(reports: &[VerifyReport]) -> Self {
         let mut sum = BatchSummary::default();
         for r in reports {
@@ -165,13 +238,34 @@ impl BatchSummary {
     }
 }
 
+/// One failed slot of a batch: which check it was and why it produced no
+/// report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchError {
+    /// Index of the check in the requested batch.
+    pub index: usize,
+    /// The output the check targeted.
+    pub output: NetId,
+    /// The δ the check targeted.
+    pub delta: i64,
+    /// What went wrong.
+    pub error: CheckError,
+}
+
 /// Result of one batch: per-check reports in **input order** plus the
 /// aggregate summary and the batch wall-clock.
 #[derive(Clone, Debug)]
 pub struct BatchCheck {
-    /// One report per requested check, in the order requested.
+    /// One report per *completed* check, in the order requested. A check
+    /// that panicked or was skipped appears in [`BatchCheck::errors`]
+    /// instead; the surviving reports are bit-identical to a batch run
+    /// without the failed checks.
     pub reports: Vec<VerifyReport>,
-    /// Saturating aggregate over `reports`.
+    /// The failed slots, in request order (empty on a healthy batch).
+    pub errors: Vec<BatchError>,
+    /// Saturating aggregate over `reports`, with
+    /// [`failed`](BatchSummary::failed)/[`skipped`](BatchSummary::skipped)
+    /// from `errors`.
     pub summary: BatchSummary,
     /// Wall-clock of the whole batch (the number parallelism improves).
     pub wall: Duration,
@@ -179,15 +273,24 @@ pub struct BatchCheck {
 
 impl BatchCheck {
     /// The collapsed verdict: `Violation` beats `Undecided` beats
-    /// `AllSafe`.
+    /// `AllSafe`. Failed or skipped checks count as undecided — the batch
+    /// cannot claim `AllSafe` for a check that never finished.
     pub fn outcome(&self) -> BatchOutcome {
         if self.summary.violations > 0 {
             BatchOutcome::Violation
-        } else if self.summary.undecided > 0 {
+        } else if self.summary.undecided > 0 || !self.errors.is_empty() {
             BatchOutcome::Undecided
         } else {
             BatchOutcome::AllSafe
         }
+    }
+
+    /// Whether every requested check finished and decided (no errors, no
+    /// undecided verdicts, every report exact).
+    pub fn is_complete(&self) -> bool {
+        self.errors.is_empty()
+            && self.summary.undecided == 0
+            && self.reports.iter().all(|r| r.completeness.is_exact())
     }
 }
 
@@ -213,6 +316,8 @@ impl BatchCheck {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BatchRunner {
     jobs: usize,
+    fail_fast: bool,
+    deadline: Option<Duration>,
 }
 
 impl Default for BatchRunner {
@@ -227,12 +332,14 @@ impl BatchRunner {
     pub fn new(jobs: usize) -> Self {
         BatchRunner {
             jobs: if jobs == 0 { available_jobs() } else { jobs },
+            fail_fast: false,
+            deadline: None,
         }
     }
 
     /// The single-threaded runner (no thread machinery at all).
     pub fn serial() -> Self {
-        BatchRunner { jobs: 1 }
+        BatchRunner::new(1)
     }
 
     /// One worker per available hardware thread.
@@ -243,6 +350,40 @@ impl BatchRunner {
     /// The worker count this runner uses.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// Cancel outstanding checks as soon as one check finds a violation:
+    /// in-flight checks abort (degraded `Abandoned` reports), not-yet-
+    /// started checks become [`CheckError::Skipped`]. Which checks get cut
+    /// off depends on timing, so a fail-fast batch trades the runner's
+    /// bit-exact determinism for latency — the violation itself is always
+    /// reported.
+    pub fn with_fail_fast(mut self, on: bool) -> Self {
+        self.fail_fast = on;
+        self
+    }
+
+    /// Bound the whole batch's wall-clock: past the deadline, in-flight
+    /// checks degrade to sound partial results and remaining checks are
+    /// skipped. Same determinism caveat as [`BatchRunner::with_fail_fast`].
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The shared cancel token and extra per-check budget of one batch run,
+    /// or `None` when this runner needs neither (keeping the default path
+    /// free of any budget machinery).
+    fn batch_controls(&self, start: Instant) -> Option<(CancelToken, Budget)> {
+        if !self.fail_fast && self.deadline.is_none() {
+            return None;
+        }
+        let cancel = CancelToken::new();
+        let mut extra = Budget::unlimited().with_cancel(cancel.clone());
+        if let Some(d) = self.deadline {
+            extra = extra.with_deadline(start + d);
+        }
+        Some((cancel, extra))
     }
 
     /// Runs the checks `(output, δ)` against the session, in parallel.
@@ -263,12 +404,44 @@ impl BatchRunner {
         // to compute it (OnceLock would serialize them anyway; this keeps
         // the cost out of the parallel region's critical path).
         session.warm_up();
-        let reports = run_map(checks, self.jobs, |&(output, delta)| {
-            session.verify_under(output, delta, assumptions)
+        let controls = self.batch_controls(start);
+        let (cancel, extra) = match &controls {
+            Some((cancel, extra)) => (Some(cancel), extra.clone()),
+            None => (None, Budget::unlimited()),
+        };
+        let results = run_map_isolated(checks, self.jobs, cancel, |&(output, delta)| {
+            let report = session.verify_under_budgeted(output, delta, assumptions, &extra);
+            if self.fail_fast && report.verdict.is_violation() {
+                if let Some(cancel) = cancel {
+                    cancel.cancel();
+                }
+            }
+            report
         });
-        let summary = BatchSummary::aggregate(&reports);
+        let mut reports = Vec::with_capacity(results.len());
+        let mut errors = Vec::new();
+        for (index, result) in results.into_iter().enumerate() {
+            match result {
+                Ok(report) => reports.push(report),
+                Err(error) => errors.push(BatchError {
+                    index,
+                    output: checks[index].0,
+                    delta: checks[index].1,
+                    error,
+                }),
+            }
+        }
+        let mut summary = BatchSummary::aggregate(&reports);
+        summary.checks = checks.len() as u64;
+        for e in &errors {
+            match e.error {
+                CheckError::Panicked { .. } => summary.failed = summary.failed.saturating_add(1),
+                CheckError::Skipped => summary.skipped = summary.skipped.saturating_add(1),
+            }
+        }
         BatchCheck {
             reports,
+            errors,
             summary,
             wall: start.elapsed(),
         }
@@ -288,10 +461,42 @@ impl BatchRunner {
 
     /// Runs [`CheckSession::exact_delay`] for every primary output, in
     /// parallel. Results are in output-declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a search panics (use [`BatchRunner::try_exact_delays`]
+    /// for per-slot isolation).
     pub fn exact_delays(&self, session: &CheckSession) -> Vec<DelaySearch> {
+        self.try_exact_delays(session)
+            .into_iter()
+            .map(|r| match r {
+                Ok(s) => s,
+                Err(e) => panic!("delay search failed: {e}"),
+            })
+            .collect()
+    }
+
+    /// Fault-isolated [`BatchRunner::exact_delays`]: one `Result` per
+    /// primary output, in declaration order. A panicking search fills only
+    /// its own slot with [`CheckError::Panicked`]; under the runner's
+    /// deadline, searches that started degrade to sound `[lower, upper]`
+    /// intervals (`proven_exact == false`) and searches that never started
+    /// become [`CheckError::Skipped`]. Fail-fast does not apply (a delay
+    /// search has no violation to stop on).
+    pub fn try_exact_delays(&self, session: &CheckSession) -> Vec<Result<DelaySearch, CheckError>> {
         session.warm_up();
-        run_map(session.circuit().outputs(), self.jobs, |&o| {
-            session.exact_delay(o)
+        let start = Instant::now();
+        let no_fail_fast = BatchRunner {
+            fail_fast: false,
+            ..*self
+        };
+        let controls = no_fail_fast.batch_controls(start);
+        let (cancel, extra) = match &controls {
+            Some((cancel, extra)) => (Some(cancel), extra.clone()),
+            None => (None, Budget::unlimited()),
+        };
+        run_map_isolated(session.circuit().outputs(), self.jobs, cancel, |&o| {
+            session.exact_delay_budgeted(o, &extra)
         })
     }
 
@@ -344,7 +549,46 @@ mod tests {
     }
 
     #[test]
-    fn run_map_propagates_panics() {
+    fn run_map_isolated_captures_panics_per_slot() {
+        // Regression for the old `resume_unwind` behavior: a panicking
+        // item must fill only its own slot, never take down the batch.
+        let items: Vec<usize> = (0..23).collect();
+        for jobs in [1, 2, 4, 64] {
+            let out = run_map_isolated(&items, jobs, None, |&x| {
+                if x % 7 == 3 {
+                    panic!("boom at {x}");
+                }
+                x * 2
+            });
+            assert_eq!(out.len(), items.len());
+            for (i, r) in out.iter().enumerate() {
+                if i % 7 == 3 {
+                    match r {
+                        Err(CheckError::Panicked { message }) => {
+                            assert!(message.contains(&format!("boom at {i}")));
+                        }
+                        other => panic!("slot {i}: expected panic capture, got {other:?}"),
+                    }
+                } else {
+                    assert_eq!(r.as_ref().unwrap(), &(i * 2), "jobs = {jobs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_map_isolated_skips_after_cancel() {
+        let items: Vec<usize> = (0..8).collect();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let out = run_map_isolated(&items, 1, Some(&cancel), |&x| x);
+        assert!(out.iter().all(|r| r == &Err(CheckError::Skipped)));
+    }
+
+    #[test]
+    fn run_map_rethrows_captured_panics() {
+        // The infallible wrapper still fails loudly — but with a fresh,
+        // formatted panic, after all other items completed.
         let items = vec![1, 2, 3];
         let result = std::panic::catch_unwind(|| {
             run_map(&items, 2, |&x| {
@@ -392,9 +636,65 @@ mod tests {
         let batch = BatchRunner::new(2).verify_all_outputs(&session, 30);
         let s = &batch.summary;
         assert_eq!(s.checks, batch.reports.len() as u64);
-        assert_eq!(s.checks, s.no_violation + s.violations + s.undecided);
+        assert_eq!(
+            s.checks,
+            s.no_violation + s.violations + s.undecided + s.failed + s.skipped
+        );
         assert!(s.violations > 0);
+        assert!(batch.errors.is_empty());
         assert!(s.check_wall >= s.stage_wall.total() || s.checks == 0);
+    }
+
+    #[test]
+    fn fail_fast_still_reports_the_violation() {
+        let c = c17(10);
+        let session = CheckSession::new(&c, VerifyConfig::default());
+        for jobs in [1, 4] {
+            let batch = BatchRunner::new(jobs)
+                .with_fail_fast(true)
+                .verify_all_outputs(&session, 30);
+            assert_eq!(batch.outcome(), BatchOutcome::Violation);
+            assert!(batch.reports.iter().any(|r| r.verdict.is_violation()));
+            // Every slot is accounted for: report or error.
+            assert_eq!(batch.reports.len() + batch.errors.len(), c.outputs().len());
+        }
+    }
+
+    #[test]
+    fn expired_deadline_degrades_not_crashes() {
+        let c = figure1(10);
+        let session = CheckSession::new(&c, VerifyConfig::default());
+        let batch = BatchRunner::serial()
+            .with_deadline(Duration::ZERO)
+            .verify_all_outputs(&session, 60);
+        // The single check either degraded (Abandoned + BudgetExhausted)
+        // or was skipped; either way the batch is undecided, not AllSafe.
+        assert_eq!(batch.outcome(), BatchOutcome::Undecided);
+        assert!(!batch.is_complete());
+        for r in &batch.reports {
+            assert_eq!(r.verdict, Verdict::Abandoned);
+            assert!(!r.completeness.is_exact());
+        }
+    }
+
+    #[test]
+    fn deadline_zero_delay_searches_stay_sound() {
+        let c = figure1(10);
+        let session = CheckSession::new(&c, VerifyConfig::default());
+        let results = BatchRunner::serial()
+            .with_deadline(Duration::ZERO)
+            .try_exact_delays(&session);
+        assert_eq!(results.len(), 1);
+        // Nothing cancels the token (no fail-fast), so the search ran.
+        let search = results[0].as_ref().expect("search ran");
+        // Exact delay is 60: the degraded interval must contain it.
+        assert!(!search.proven_exact);
+        assert!(search.delay <= 60, "lower bound {}", search.delay);
+        assert!(
+            search.upper_bound >= 60,
+            "upper bound {}",
+            search.upper_bound
+        );
     }
 
     #[test]

@@ -163,7 +163,9 @@ use crate::solver::{FixpointResult, Narrower};
 ///
 /// Returns the final [`FixpointResult`]; on
 /// [`FixpointResult::Contradiction`] no violation of `(ξ, s, δ)` is
-/// possible.
+/// possible. [`FixpointResult::Interrupted`] (an attached budget tripped)
+/// is passed straight through: the domains are then a superset of the
+/// fixpoint and the dominator step would be wasted work.
 pub fn fixpoint_with_dominators(
     nw: &mut Narrower,
     s: NetId,
@@ -171,8 +173,10 @@ pub fn fixpoint_with_dominators(
     use_dominators: bool,
 ) -> FixpointResult {
     loop {
-        if nw.reach_fixpoint() == FixpointResult::Contradiction {
-            return FixpointResult::Contradiction;
+        match nw.reach_fixpoint() {
+            FixpointResult::Contradiction => return FixpointResult::Contradiction,
+            FixpointResult::Interrupted => return FixpointResult::Interrupted,
+            FixpointResult::Fixpoint => {}
         }
         if !use_dominators {
             return FixpointResult::Fixpoint;

@@ -10,7 +10,9 @@
 //! (and fan out with a [`BatchRunner`](crate::BatchRunner)) so the
 //! per-circuit analyses are prepared once instead of per call.
 
+use crate::budget::{Budget, TripReason};
 use crate::carriers::fixpoint_with_dominators;
+use crate::failpoint;
 use crate::fan::{case_analysis_with, CaseConfig, CaseOutcome, CaseStats};
 use crate::learning::ImplicationTable;
 use crate::prepared::{CheckSession, PreparedCircuit};
@@ -65,6 +67,11 @@ pub struct VerifyConfig {
     pub max_backtracks: u64,
     /// Certify reported vectors with the exact floating-mode simulator.
     pub certify_vectors: bool,
+    /// Resource budget (wall-clock, events, cancellation) for each check.
+    /// When it trips the check returns early with
+    /// [`Completeness::BudgetExhausted`] instead of hanging; the default is
+    /// unlimited.
+    pub budget: Budget,
 }
 
 impl Default for VerifyConfig {
@@ -77,6 +84,7 @@ impl Default for VerifyConfig {
             case_analysis: true,
             max_backtracks: 100_000,
             certify_vectors: true,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -186,6 +194,35 @@ impl Verdict {
     }
 }
 
+/// Whether a check's verdict reflects the full pipeline or a truncated run.
+///
+/// A budget trip never changes *what* a verdict claims — an interrupted
+/// fixpoint leaves domains as a superset of the greatest fixpoint (so no
+/// false contradiction is possible), and an interrupted search aborts
+/// instead of backtracking — it only makes the verdict *less conclusive*.
+/// `BudgetExhausted` therefore always pairs with [`Verdict::Abandoned`]:
+/// `NoViolation` and `Violation` verdicts are exact by construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Completeness {
+    /// Every enabled stage ran to completion; the verdict is as strong as
+    /// the configured pipeline can make it.
+    Exact,
+    /// A resource budget tripped mid-run.
+    BudgetExhausted {
+        /// The stage that was interrupted (or hit its cap).
+        stage: Stage,
+        /// Which limit tripped.
+        reason: TripReason,
+    },
+}
+
+impl Completeness {
+    /// Whether the configured pipeline ran to completion.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Completeness::Exact)
+    }
+}
+
 /// Full report of one timing check, mirroring a Table 1 row.
 #[derive(Clone, Debug)]
 pub struct VerifyReport {
@@ -195,6 +232,8 @@ pub struct VerifyReport {
     pub delta: i64,
     /// Final verdict.
     pub verdict: Verdict,
+    /// Whether the verdict is exact or budget-truncated.
+    pub completeness: Completeness,
     /// Stage verdict before global implications (Table 1 col. 4).
     pub before_gitd: StageVerdict,
     /// Stage verdict after global implications (col. 5; `None` if the
@@ -296,12 +335,17 @@ pub(crate) fn run_pipeline(
     config: &VerifyConfig,
     start: Instant,
 ) -> VerifyReport {
+    // Arm the budget first: the per-check wall window covers everything
+    // below, including the δ-constraint propagation.
+    nw.set_budget(&config.budget);
+    let output_name = nw.circuit().net(output).name();
     nw.narrow_net(output, Signal::violation(Time::new(delta)));
 
     let mut report = VerifyReport {
         output,
         delta,
         verdict: Verdict::Possible,
+        completeness: Completeness::Exact,
         before_gitd: StageVerdict::Possible,
         after_gitd: None,
         after_stems: None,
@@ -324,35 +368,65 @@ pub(crate) fn run_pipeline(
         report
     };
 
+    // A budget trip inside a stage produces the same degraded report
+    // everywhere: the verdict stays `Abandoned` (sound — the domains are a
+    // superset of the fixpoint, so nothing was proven) and the completeness
+    // marker records where and why the run was cut short.
+    let exhausted = |stage: Stage, reason: TripReason| {
+        (
+            Verdict::Abandoned,
+            Completeness::BudgetExhausted { stage, reason },
+        )
+    };
+
     // Stage 1: basic narrowing.
+    failpoint::hit("check::narrowing", output_name);
     let stage = Instant::now();
     let narrowed = nw.reach_fixpoint();
     report.stage_times.narrowing = stage.elapsed();
-    if narrowed == FixpointResult::Contradiction {
-        report.before_gitd = StageVerdict::NoViolation;
-        report.verdict = Verdict::NoViolation {
-            stage: Stage::Narrowing,
-        };
-        return finish(report, nw, start);
+    match narrowed {
+        FixpointResult::Contradiction => {
+            report.before_gitd = StageVerdict::NoViolation;
+            report.verdict = Verdict::NoViolation {
+                stage: Stage::Narrowing,
+            };
+            return finish(report, nw, start);
+        }
+        FixpointResult::Interrupted => {
+            let reason = nw.budget_tripped().unwrap_or(TripReason::Deadline);
+            (report.verdict, report.completeness) = exhausted(Stage::Narrowing, reason);
+            return finish(report, nw, start);
+        }
+        FixpointResult::Fixpoint => {}
     }
 
     // Stage 2: global implications on timing dominators.
     if config.dominators {
+        failpoint::hit("check::dominators", output_name);
         let stage = Instant::now();
         let implied = fixpoint_with_dominators(nw, output, delta, true);
         report.stage_times.dominators = stage.elapsed();
-        if implied == FixpointResult::Contradiction {
-            report.after_gitd = Some(StageVerdict::NoViolation);
-            report.verdict = Verdict::NoViolation {
-                stage: Stage::Dominators,
-            };
-            return finish(report, nw, start);
+        match implied {
+            FixpointResult::Contradiction => {
+                report.after_gitd = Some(StageVerdict::NoViolation);
+                report.verdict = Verdict::NoViolation {
+                    stage: Stage::Dominators,
+                };
+                return finish(report, nw, start);
+            }
+            FixpointResult::Interrupted => {
+                let reason = nw.budget_tripped().unwrap_or(TripReason::Deadline);
+                (report.verdict, report.completeness) = exhausted(Stage::Dominators, reason);
+                return finish(report, nw, start);
+            }
+            FixpointResult::Fixpoint => {}
         }
         report.after_gitd = Some(StageVerdict::Possible);
     }
 
     // Stage 3: stem correlation.
     if config.stem_correlation {
+        failpoint::hit("check::stems", output_name);
         let stage = Instant::now();
         let stems = correlation_stems_masked(nw, output, delta, prepared.stem_candidates());
         let correlated = stem_correlation(
@@ -364,18 +438,27 @@ pub(crate) fn run_pipeline(
             &mut report.stems,
         );
         report.stage_times.stems = stage.elapsed();
-        if correlated == FixpointResult::Contradiction {
-            report.after_stems = Some(StageVerdict::NoViolation);
-            report.verdict = Verdict::NoViolation {
-                stage: Stage::StemCorrelation,
-            };
-            return finish(report, nw, start);
+        match correlated {
+            FixpointResult::Contradiction => {
+                report.after_stems = Some(StageVerdict::NoViolation);
+                report.verdict = Verdict::NoViolation {
+                    stage: Stage::StemCorrelation,
+                };
+                return finish(report, nw, start);
+            }
+            FixpointResult::Interrupted => {
+                let reason = nw.budget_tripped().unwrap_or(TripReason::Deadline);
+                (report.verdict, report.completeness) = exhausted(Stage::StemCorrelation, reason);
+                return finish(report, nw, start);
+            }
+            FixpointResult::Fixpoint => {}
         }
         report.after_stems = Some(StageVerdict::Possible);
     }
 
     // Stage 4: case analysis.
     if config.case_analysis {
+        failpoint::hit("check::case-analysis", output_name);
         let case_cfg = CaseConfig {
             max_backtracks: config.max_backtracks,
             use_dominators: config.dominators,
@@ -397,7 +480,17 @@ pub(crate) fn run_pipeline(
             CaseOutcome::NoViolation => Verdict::NoViolation {
                 stage: Stage::CaseAnalysis,
             },
-            CaseOutcome::Abandoned => Verdict::Abandoned,
+            CaseOutcome::Abandoned => {
+                // Classic `A`-row abandonment (backtrack cap) and budget
+                // trips land here alike; the completeness marker tells
+                // them apart.
+                let reason = nw.budget_tripped().unwrap_or(TripReason::Backtracks);
+                report.completeness = Completeness::BudgetExhausted {
+                    stage: Stage::CaseAnalysis,
+                    reason,
+                };
+                Verdict::Abandoned
+            }
         };
         return finish(report, nw, start);
     }

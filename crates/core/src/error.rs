@@ -1,0 +1,149 @@
+//! Structured errors for the check harness and its callers.
+//!
+//! Two layers: [`CheckError`] is the per-slot failure of one check inside a
+//! batch (a panic caught by the fault-isolated runner, or a slot skipped by
+//! fail-fast / batch cancellation); [`Error`] is the top-level error type
+//! CLI-style callers report, with a conventional process [exit
+//! code](Error::exit_code). Both are hand-rolled (`Display` +
+//! `std::error::Error`) — the workspace is offline and takes no
+//! `thiserror`-style dependency.
+
+/// Why one slot of a batch produced no report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckError {
+    /// The check panicked; the panic was caught at the slot boundary and
+    /// the rest of the batch completed normally.
+    Panicked {
+        /// The panic payload, downcast to a string when possible.
+        message: String,
+    },
+    /// The check never ran: an earlier event (fail-fast violation, batch
+    /// cancellation) cancelled the remaining slots.
+    Skipped,
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::Panicked { message } => write!(f, "check panicked: {message}"),
+            CheckError::Skipped => write!(f, "check skipped (batch cancelled before it ran)"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Top-level harness error with a conventional process exit code.
+///
+/// The exit-code contract (documented in the CLI README):
+/// `0` no violation, `1` violation found, `2` incomplete (budget exhausted
+/// or a check failed), `3` usage or input error. `Error` only covers the
+/// failure codes — success and violation are verdicts, not errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// Bad command line: unknown flag, missing argument, unparsable value.
+    Usage(String),
+    /// A file could not be read or written.
+    Io {
+        /// The offending path, as given by the user.
+        path: String,
+        /// The underlying OS error message.
+        message: String,
+    },
+    /// The input parsed but is not a usable circuit (cycle, undriven net,
+    /// unknown output name, …).
+    Invalid(String),
+    /// A check inside the run failed (panicked) rather than finishing.
+    CheckFailed {
+        /// What was being checked (output name, file, …).
+        context: String,
+        /// The underlying [`CheckError`] message.
+        message: String,
+    },
+}
+
+impl Error {
+    /// The conventional process exit code for this error: `3` for
+    /// usage/input problems, `2` for a run that started but could not
+    /// complete.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            Error::Usage(_) | Error::Io { .. } | Error::Invalid(_) => 3,
+            Error::CheckFailed { .. } => 2,
+        }
+    }
+
+    /// Convenience constructor for usage errors.
+    pub fn usage(message: impl Into<String>) -> Self {
+        Error::Usage(message.into())
+    }
+
+    /// Convenience constructor for invalid-input errors.
+    pub fn invalid(message: impl Into<String>) -> Self {
+        Error::Invalid(message.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Usage(m) => write!(f, "{m}"),
+            Error::Io { path, message } => write!(f, "{path}: {message}"),
+            Error::Invalid(m) => write!(f, "invalid input: {m}"),
+            Error::CheckFailed { context, message } => {
+                write!(f, "check failed ({context}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_follow_the_contract() {
+        assert_eq!(Error::usage("x").exit_code(), 3);
+        assert_eq!(Error::invalid("x").exit_code(), 3);
+        assert_eq!(
+            Error::Io {
+                path: "a".into(),
+                message: "b".into()
+            }
+            .exit_code(),
+            3
+        );
+        assert_eq!(
+            Error::CheckFailed {
+                context: "out".into(),
+                message: "boom".into()
+            }
+            .exit_code(),
+            2
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::CheckFailed {
+            context: "s".into(),
+            message: "boom".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains('s') && s.contains("boom"));
+        assert!(CheckError::Panicked {
+            message: "boom".into()
+        }
+        .to_string()
+        .contains("panicked"));
+        assert!(CheckError::Skipped.to_string().contains("skipped"));
+    }
+
+    #[test]
+    fn error_trait_objects_work() {
+        let e: Box<dyn std::error::Error> = Box::new(Error::usage("bad flag"));
+        assert_eq!(e.to_string(), "bad flag");
+    }
+}

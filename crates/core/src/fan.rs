@@ -58,7 +58,10 @@ pub enum CaseOutcome {
     Vector(Vec<bool>),
     /// The search tree is exhausted: no violation is possible.
     NoViolation,
-    /// The backtrack budget ran out.
+    /// A resource limit ran out: the backtrack budget, or any limit of the
+    /// narrower's attached [`Budget`](crate::Budget) (wall-clock, events,
+    /// cancellation). The search aborts — it never *backtracks* on an
+    /// interrupt, which would unsoundly prune un-searched subtrees.
     Abandoned,
 }
 
@@ -114,11 +117,28 @@ pub fn case_analysis_with(
     let circuit = nw.circuit();
     let plan = DecisionPlan::new(circuit, nw.domains(), s, delta);
     let mut stack: Vec<Frame> = Vec::new();
+    // The narrower's budget can carry its own backtrack cap; the effective
+    // cap is the tighter of the two.
+    let budget_cap = nw.budget_mut().budget().max_backtracks();
+    let max_backtracks = budget_cap.map_or(config.max_backtracks, |b| b.min(config.max_backtracks));
 
     loop {
-        let consistent = !nw.has_contradiction()
-            && fixpoint_with_dominators(nw, s, delta, config.use_dominators)
-                == FixpointResult::Fixpoint;
+        // Cooperative cancellation point, once per search step. On a trip
+        // the search *aborts*: treating an interrupt as a conflict would
+        // backtrack past unexplored subtrees and could wrongly conclude
+        // `NoViolation`.
+        if nw.budget_mut().poll_now().is_some() {
+            return CaseOutcome::Abandoned;
+        }
+        let consistent = if nw.has_contradiction() {
+            false
+        } else {
+            match fixpoint_with_dominators(nw, s, delta, config.use_dominators) {
+                FixpointResult::Fixpoint => true,
+                FixpointResult::Contradiction => false,
+                FixpointResult::Interrupted => return CaseOutcome::Abandoned,
+            }
+        };
 
         if consistent {
             if let Some(vector) = full_input_assignment(circuit, nw.domains()) {
@@ -158,7 +178,13 @@ pub fn case_analysis_with(
                 continue; // exhausted: keep popping
             }
             stats.backtracks += 1;
-            if stats.backtracks > config.max_backtracks {
+            if stats.backtracks > max_backtracks {
+                // Remember *why* when the budget (not the search config)
+                // supplied the binding cap, so the report's completeness
+                // marker names the right trip.
+                if budget_cap.is_some_and(|b| b <= config.max_backtracks) {
+                    nw.budget_mut().trip(crate::budget::TripReason::Backtracks);
+                }
                 return CaseOutcome::Abandoned;
             }
             let second = !frame.first;

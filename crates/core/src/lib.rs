@@ -60,10 +60,13 @@
 #![forbid(unsafe_code)]
 
 pub mod batch;
+pub mod budget;
 pub mod carriers;
 mod check;
 pub mod domain;
+pub mod error;
 pub mod explain;
+pub mod failpoint;
 pub mod fan;
 pub mod learning;
 pub mod prepared;
@@ -72,13 +75,15 @@ pub mod scoap;
 pub mod solver;
 pub mod stems;
 
-pub use batch::{available_jobs, BatchCheck, BatchOutcome, BatchRunner, BatchSummary};
+pub use batch::{available_jobs, BatchCheck, BatchError, BatchOutcome, BatchRunner, BatchSummary};
+pub use budget::{Budget, CancelToken, TripReason};
 pub use check::{
     delay_profile, exact_circuit_delay, exact_delay, verify, verify_all_outputs, verify_under,
-    verify_with_learning, DelayMode, DelaySearch, LearningMode, ProfilePoint, Stage, StageTimes,
-    StageVerdict, Verdict, VerifyConfig, VerifyReport,
+    verify_with_learning, Completeness, DelayMode, DelaySearch, LearningMode, ProfilePoint, Stage,
+    StageTimes, StageVerdict, Verdict, VerifyConfig, VerifyReport,
 };
 pub use domain::{Checkpoint, DomainStore};
+pub use error::{CheckError, Error};
 pub use explain::{explain, Explanation};
 pub use fan::{CaseConfig, CaseOutcome, CaseStats};
 pub use learning::ImplicationTable;

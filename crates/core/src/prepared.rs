@@ -22,6 +22,7 @@
 //! with no per-thread re-preparation, and because each check still runs on
 //! its own [`Narrower`], parallel results are identical to serial ones.
 
+use crate::budget::Budget;
 use crate::carriers::fixpoint_with_dominators;
 use crate::check::{
     run_pipeline, DelayMode, DelaySearch, LearningMode, ProfilePoint, VerifyConfig, VerifyReport,
@@ -338,10 +339,60 @@ impl<'c> CheckSession<'c> {
         self.verify_cfg(output, delta, &self.config, assumptions)
     }
 
+    /// [`CheckSession::verify`] under an extra [`Budget`] merged
+    /// (tightest-wins) with the session config's own — how a batch runner
+    /// applies a whole-batch deadline or a fail-fast cancel token to each
+    /// check without cloning the session.
+    pub fn verify_budgeted(&self, output: NetId, delta: i64, extra: &Budget) -> VerifyReport {
+        self.verify_under_budgeted(output, delta, &[], extra)
+    }
+
+    /// [`CheckSession::verify_budgeted`] with assumptions (the batch
+    /// runner's workhorse).
+    pub(crate) fn verify_under_budgeted(
+        &self,
+        output: NetId,
+        delta: i64,
+        assumptions: &[(NetId, Level)],
+        extra: &Budget,
+    ) -> VerifyReport {
+        if extra.is_unlimited() {
+            return self.verify_cfg(output, delta, &self.config, assumptions);
+        }
+        let config = VerifyConfig {
+            budget: self.config.budget.merged(extra),
+            ..self.config.clone()
+        };
+        self.verify_cfg(output, delta, &config, assumptions)
+    }
+
     /// Finds the exact floating-mode delay of `output` by binary search
     /// over δ, sharing every per-circuit analysis (and the base fixpoint)
     /// across probes. Semantics match [`exact_delay`](crate::exact_delay).
     pub fn exact_delay(&self, output: NetId) -> DelaySearch {
+        self.exact_delay_budgeted(output, &Budget::unlimited())
+    }
+
+    /// [`CheckSession::exact_delay`] under an extra [`Budget`] merged with
+    /// the session's own. A per-check `wall` window applies to each probe
+    /// separately; an absolute `deadline` caps the whole search. When the
+    /// budget (or the backtrack cap) cuts the bisection short the result
+    /// degrades soundly instead of vanishing: `proven_exact` is `false`
+    /// and `[delay, upper_bound]` is a certified interval containing the
+    /// exact delay — `delay` from the best *simulated* violating vector
+    /// (bisection witnesses, then Monte-Carlo), `upper_bound` from the
+    /// tightest completed impossibility proof (at worst the topological
+    /// bound).
+    pub fn exact_delay_budgeted(&self, output: NetId, extra: &Budget) -> DelaySearch {
+        let budget = self.config.budget.merged(extra);
+        let config = if budget.is_unlimited() {
+            self.config.clone()
+        } else {
+            VerifyConfig {
+                budget: budget.clone(),
+                ..self.config.clone()
+            }
+        };
         let top = self.prepared.arrival_times()[output.index()];
         let mut lo = 0i64; // delay ≥ 0 always (inputs settle at 0)
         let mut hi = top + 1; // check at top+1 must fail
@@ -352,7 +403,7 @@ impl<'c> CheckSession<'c> {
         // Invariant: violation possible at lo, impossible at hi.
         while lo + 1 < hi {
             let mid = lo + (hi - lo) / 2;
-            let report = self.verify(output, mid);
+            let report = self.verify_cfg(output, mid, &config, &[]);
             backtracks = backtracks.saturating_add(report.backtracks);
             let verdict = report.verdict.clone();
             probes.push(report);
@@ -375,10 +426,13 @@ impl<'c> CheckSession<'c> {
             //
             // Upper bound: bisect (lo, hi) for the smallest δ that the
             // search-free pipeline (no case analysis) still proves
-            // impossible; the final bound is certified by a direct check.
+            // impossible. The same budget applies: once an absolute
+            // deadline has passed every fallback probe trips immediately
+            // and counts as "not proved", which only leaves the bound
+            // looser — never wrong.
             let no_ca = VerifyConfig {
                 case_analysis: false,
-                ..self.config.clone()
+                ..config.clone()
             };
             let (mut plo, mut phi) = (lo, hi);
             while plo + 1 < phi {
@@ -396,9 +450,16 @@ impl<'c> CheckSession<'c> {
             }
             hi = phi;
             // Lower bound: cheap Monte-Carlo simulation — any vector's
-            // floating-mode delay is a certified lower bound.
-            let sampled =
-                ltt_sta::sampled_floating_delay(self.prepared.circuit(), output, 2_000, 0x5EED);
+            // floating-mode delay is a certified lower bound. Capped by the
+            // budget's wall clock (at least one sample always runs, so the
+            // bound stays valid even on an expired deadline).
+            let sampled = ltt_sta::sampled_floating_delay_until(
+                self.prepared.circuit(),
+                output,
+                2_000,
+                0x5EED,
+                budget.absolute_deadline(Instant::now()),
+            );
             if sampled.delay > lo {
                 lo = sampled.delay;
                 vector = Some(sampled.witness);

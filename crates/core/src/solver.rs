@@ -6,6 +6,7 @@
 //! domain only shrinks (projection targets are intersected in), so the
 //! unique greatest fixpoint is reached in finitely many steps (Theorem 1).
 
+use crate::budget::{ArmedBudget, Budget, TripReason};
 use crate::domain::{Checkpoint, DomainStore};
 use crate::learning::ImplicationTable;
 use crate::projection::project;
@@ -21,6 +22,12 @@ pub enum FixpointResult {
     Fixpoint,
     /// Some domain became `(φ, φ)`: the system has no solution.
     Contradiction,
+    /// The attached [`Budget`] tripped before quiescence. The domains are a
+    /// *superset* of the greatest fixpoint (narrowing only removes
+    /// waveforms), so everything proven about them is still sound — but
+    /// they are not the fixpoint, so absence of a contradiction proves
+    /// nothing. Callers must abort, never backtrack, on this result.
+    Interrupted,
 }
 
 /// Counters describing solver effort.
@@ -65,6 +72,7 @@ pub struct Narrower<'c> {
     queued: Vec<bool>,
     implications: Option<Arc<ImplicationTable>>,
     stats: SolverStats,
+    budget: ArmedBudget,
     /// Safety valve: abort (conservatively, as `Fixpoint`) after this many
     /// events. Practically unreachable on sane inputs.
     pub max_events: u64,
@@ -80,6 +88,7 @@ impl<'c> Narrower<'c> {
             queued: vec![false; circuit.num_gates()],
             implications: None,
             stats: SolverStats::default(),
+            budget: ArmedBudget::unlimited(),
             max_events: u64::MAX,
         }
     }
@@ -106,8 +115,29 @@ impl<'c> Narrower<'c> {
             queued: vec![false; circuit.num_gates()],
             implications: None,
             stats: SolverStats::default(),
+            budget: ArmedBudget::unlimited(),
             max_events: u64::MAX,
         }
+    }
+
+    /// Attaches (and arms) a resource budget: the per-check wall-clock
+    /// window starts now, and [`Narrower::reach_fixpoint`] will return
+    /// [`FixpointResult::Interrupted`] as soon as any limit trips. The trip
+    /// is sticky — once tripped the narrower stays interrupted until the
+    /// budget is replaced.
+    pub fn set_budget(&mut self, budget: &Budget) {
+        self.budget = budget.arm();
+    }
+
+    /// The attached armed budget (for pipeline stages that poll between
+    /// narrower runs).
+    pub(crate) fn budget_mut(&mut self) -> &mut ArmedBudget {
+        &mut self.budget
+    }
+
+    /// The reason the attached budget tripped, if it has.
+    pub fn budget_tripped(&self) -> Option<TripReason> {
+        self.budget.tripped()
     }
 
     /// Attaches a static-learning implication table; learned class
@@ -242,17 +272,29 @@ impl<'c> Narrower<'c> {
     ///
     /// Returns [`FixpointResult::Contradiction`] as soon as any domain goes
     /// empty (Theorem 2's check generalized: an empty domain anywhere means
-    /// the system has no solution).
+    /// the system has no solution), or [`FixpointResult::Interrupted`] if
+    /// the attached budget trips (see [`Narrower::set_budget`]); a
+    /// contradiction already on entry wins over an earlier trip, since it
+    /// is a sound final result.
     pub fn reach_fixpoint(&mut self) -> FixpointResult {
         if self.store.has_contradiction() {
             self.clear_queue();
             return FixpointResult::Contradiction;
+        }
+        if self.budget.tripped().is_some() {
+            return FixpointResult::Interrupted;
         }
         while let Some(gate) = self.queue.pop_front() {
             self.queued[gate.index()] = false;
             self.stats.events += 1;
             if self.stats.events > self.max_events {
                 return FixpointResult::Fixpoint;
+            }
+            if self.budget.poll(self.stats.events).is_some() {
+                // Leave the queue in place: the caller aborts (it must not
+                // treat this as a fixpoint) and any reuse goes through
+                // rollback, which clears the queue.
+                return FixpointResult::Interrupted;
             }
             self.apply_gate(gate);
             if self.store.has_contradiction() {

@@ -84,6 +84,11 @@ fn select_stems(
 ///
 /// Returns [`FixpointResult::Contradiction`] if both branches of some stem
 /// die (no violation possible) or the re-propagation finds a conflict.
+///
+/// If an attached budget trips mid-pass the current stem's split is rolled
+/// back and [`FixpointResult::Interrupted`] is returned: the live domains
+/// are then exactly the state after the last completed stem — still a
+/// sound superset of the fixpoint.
 pub fn stem_correlation(
     nw: &mut Narrower,
     s: NetId,
@@ -98,19 +103,26 @@ pub fn stem_correlation(
             continue; // became fixed through an earlier stem's narrowing
         }
         stats.stems += 1;
-        let branch = |nw: &mut Narrower, level: Level| -> Option<Vec<Signal>> {
+        // A branch result: `Err(())` = interrupted, `Ok(None)` = dead
+        // (contradictory), `Ok(Some(domains))` = narrowed fixpoint.
+        let branch = |nw: &mut Narrower, level: Level| -> Result<Option<Vec<Signal>>, ()> {
             let mark = nw.checkpoint();
             let restriction = nw.domain(stem).restrict_to_class(level);
             nw.narrow_net(stem, restriction);
             let result = match fixpoint_with_dominators(nw, s, delta, use_dominators) {
-                FixpointResult::Contradiction => None,
-                FixpointResult::Fixpoint => Some(nw.domains().to_vec()),
+                FixpointResult::Contradiction => Ok(None),
+                FixpointResult::Fixpoint => Ok(Some(nw.domains().to_vec())),
+                FixpointResult::Interrupted => Err(()),
             };
             nw.rollback(mark);
             result
         };
-        let zero = branch(nw, Level::Zero);
-        let one = branch(nw, Level::One);
+        let Ok(zero) = branch(nw, Level::Zero) else {
+            return FixpointResult::Interrupted;
+        };
+        let Ok(one) = branch(nw, Level::One) else {
+            return FixpointResult::Interrupted;
+        };
         if zero.is_none() {
             stats.dead_branches += 1;
         }
@@ -128,10 +140,10 @@ pub fn stem_correlation(
         }
         if changed {
             stats.effective_stems += 1;
-            if fixpoint_with_dominators(nw, s, delta, use_dominators)
-                == FixpointResult::Contradiction
-            {
-                return FixpointResult::Contradiction;
+            match fixpoint_with_dominators(nw, s, delta, use_dominators) {
+                FixpointResult::Contradiction => return FixpointResult::Contradiction,
+                FixpointResult::Interrupted => return FixpointResult::Interrupted,
+                FixpointResult::Fixpoint => {}
             }
         }
     }

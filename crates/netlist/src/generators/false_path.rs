@@ -286,6 +286,68 @@ pub fn stem_conflict_circuit(depth: usize, delay: u32) -> Circuit {
         .expect("stem-conflict circuit is structurally valid")
 }
 
+/// `k` serial copies of the Figure-1-style false-path gadget — the
+/// path-enumeration blow-up workload (the paper's §1 motivation).
+///
+/// Each gadget is a 4-gate prefix whose last AND reads a `shared` input,
+/// followed by a short (1-gate) and a long (2-gate) branch reconverging at
+/// an OR; the long branch's first gate is an OR reading the *same*
+/// `shared` input, so every path through it is false, exactly as in
+/// [`false_path_chain`]. Chaining `k` gadgets multiplies the number of
+/// paths longer than the exact delay exponentially, while the exact delay
+/// itself stays linear:
+///
+/// * topological delay `7·k·d`;
+/// * floating-mode delay `6·k·d` (validated against the exhaustive oracle
+///   for small `k` in the integration tests).
+///
+/// A path-oriented verifier must refute each long path individually; the
+/// waveform narrower settles the `δ = 6·k·d + 1` check with near-linear
+/// work. The instance is also the stock stress workload for wall-clock
+/// budget tests (`--deadline-ms` smoke runs).
+///
+/// # Panics
+///
+/// Panics if `k` is 0.
+///
+/// # Examples
+///
+/// ```
+/// use ltt_netlist::generators::serial_false_path_gadgets;
+///
+/// let c = serial_false_path_gadgets(2, 10);
+/// assert_eq!(c.topological_delay(), 140); // floating delay is 120
+/// ```
+pub fn serial_false_path_gadgets(k: usize, delay: u32) -> Circuit {
+    assert!(k > 0, "need at least one gadget");
+    let d = DelayInterval::fixed(delay);
+    let mut b = CircuitBuilder::new(format!("serial{k}"));
+    let mut feed = b.input("x0");
+    for g in 0..k {
+        let x1 = b.input(format!("x1_{g}"));
+        let shared = b.input(format!("sh_{g}"));
+        let mut n = b.gate(format!("n1_{g}"), GateKind::And, &[feed, x1], d);
+        for i in 2..4 {
+            let side = b.input(format!("p{i}_{g}"));
+            let kind = if i % 2 == 1 {
+                GateKind::Or
+            } else {
+                GateKind::And
+            };
+            n = b.gate(format!("n{i}_{g}"), kind, &[n, side], d);
+        }
+        n = b.gate(format!("n4_{g}"), GateKind::And, &[n, shared], d);
+        let sb = b.input(format!("sb_{g}"));
+        let short = b.gate(format!("short_{g}"), GateKind::And, &[n, sb], d);
+        let a1 = b.gate(format!("a1_{g}"), GateKind::Or, &[n, shared], d);
+        let q2 = b.input(format!("q2_{g}"));
+        let a2 = b.gate(format!("a2_{g}"), GateKind::And, &[a1, q2], d);
+        feed = b.gate(format!("s_{g}"), GateKind::Or, &[a2, short], d);
+    }
+    b.mark_output(feed);
+    b.build().expect("serial gadget chain is valid")
+}
+
 /// The classic shared-select multiplexer chain — the textbook false-path
 /// structure built from the [`GateKind::Mux`] complex gate.
 ///

@@ -1,0 +1,6 @@
+module t (x, y);
+ input x; output y;
+ and (a, b, x);
+ and (b, a, x);
+ or (y, a, b);
+endmodule

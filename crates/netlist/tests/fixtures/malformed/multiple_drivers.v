@@ -1,0 +1,5 @@
+module t (a, b, y);
+ input a, b; output y;
+ and (y, a, b);
+ or (y, a, b);
+endmodule

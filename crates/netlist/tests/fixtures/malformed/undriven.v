@@ -1,0 +1,4 @@
+module t (a, y);
+ input a; output y;
+ and (y, a, ghost);
+endmodule

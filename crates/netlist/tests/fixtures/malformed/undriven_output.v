@@ -1,0 +1,3 @@
+module t (a, y);
+ input a; output y;
+endmodule

@@ -223,6 +223,22 @@ pub fn sampled_floating_delay(
     samples: usize,
     seed: u64,
 ) -> FloatingDelay {
+    sampled_floating_delay_until(circuit, output, samples, seed, None)
+}
+
+/// [`sampled_floating_delay`] with an optional wall-clock deadline: once
+/// `deadline` passes, sampling stops early and the best vector found so
+/// far is returned. At least one vector is always simulated, so the result
+/// is a valid (if weak) lower bound even with an expired deadline. The
+/// clock is read every 32 samples; with the same seed and an un-hit
+/// deadline the result is identical to the uncapped call.
+pub fn sampled_floating_delay_until(
+    circuit: &Circuit,
+    output: NetId,
+    samples: usize,
+    seed: u64,
+    deadline: Option<std::time::Instant>,
+) -> FloatingDelay {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(seed);
@@ -231,7 +247,14 @@ pub fn sampled_floating_delay(
         witness: vec![false; circuit.inputs().len()],
     };
     let mut vector = vec![false; circuit.inputs().len()];
-    for _ in 0..samples.max(1) {
+    for i in 0..samples.max(1) {
+        if i > 0 && i % 32 == 0 {
+            if let Some(d) = deadline {
+                if std::time::Instant::now() >= d {
+                    break;
+                }
+            }
+        }
         for v in vector.iter_mut() {
             *v = rng.gen_bool(0.5);
         }

@@ -39,8 +39,8 @@ mod slack;
 
 pub use floating::{
     describe_vector, exhaustive_circuit_delay, exhaustive_floating_delay, floating_settle,
-    sampled_floating_delay, vector_delay, vector_violates, FloatingDelay, SettleInfo,
-    EXHAUSTIVE_INPUT_LIMIT,
+    sampled_floating_delay, sampled_floating_delay_until, vector_delay, vector_violates,
+    FloatingDelay, SettleInfo, EXHAUSTIVE_INPUT_LIMIT,
 };
 pub use paths::{
     count_paths_at_least, path_analysis, path_gates, vector_sensitizes, CircuitPath, PathAnalysis,

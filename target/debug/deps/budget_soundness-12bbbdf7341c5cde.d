@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/budget_soundness-12bbbdf7341c5cde.d: crates/core/tests/budget_soundness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbudget_soundness-12bbbdf7341c5cde.rmeta: crates/core/tests/budget_soundness.rs Cargo.toml
+
+crates/core/tests/budget_soundness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/budget_soundness-19abcf15d455d724.d: crates/core/tests/budget_soundness.rs
+
+/root/repo/target/debug/deps/budget_soundness-19abcf15d455d724: crates/core/tests/budget_soundness.rs
+
+crates/core/tests/budget_soundness.rs:

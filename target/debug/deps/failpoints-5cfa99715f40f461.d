@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failpoints-5cfa99715f40f461.d: crates/core/tests/failpoints.rs
+
+/root/repo/target/debug/deps/failpoints-5cfa99715f40f461: crates/core/tests/failpoints.rs
+
+crates/core/tests/failpoints.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failpoints-99b451bac31e8419.d: crates/core/tests/failpoints.rs
+
+/root/repo/target/debug/deps/failpoints-99b451bac31e8419: crates/core/tests/failpoints.rs
+
+crates/core/tests/failpoints.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failpoints-9bbb96b0b18766db.d: crates/core/tests/failpoints.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailpoints-9bbb96b0b18766db.rmeta: crates/core/tests/failpoints.rs Cargo.toml
+
+crates/core/tests/failpoints.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failpoints-9d7b934d00a2557a.d: crates/core/tests/failpoints.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailpoints-9d7b934d00a2557a.rmeta: crates/core/tests/failpoints.rs Cargo.toml
+
+crates/core/tests/failpoints.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/learning_props-ef2fbc09dcf20814.d: crates/core/tests/learning_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblearning_props-ef2fbc09dcf20814.rmeta: crates/core/tests/learning_props.rs Cargo.toml
+
+crates/core/tests/learning_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ltt-a91b150f26802efc.d: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+/root/repo/target/debug/deps/ltt-a91b150f26802efc: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/cli.rs:

@@ -1,13 +1,16 @@
-/root/repo/target/debug/deps/ltt_core-1ddcbad14c7aa262.d: crates/core/src/lib.rs crates/core/src/batch.rs crates/core/src/carriers.rs crates/core/src/check.rs crates/core/src/domain.rs crates/core/src/explain.rs crates/core/src/fan.rs crates/core/src/learning.rs crates/core/src/prepared.rs crates/core/src/projection.rs crates/core/src/scoap.rs crates/core/src/solver.rs crates/core/src/stems.rs Cargo.toml
+/root/repo/target/debug/deps/ltt_core-1ddcbad14c7aa262.d: crates/core/src/lib.rs crates/core/src/batch.rs crates/core/src/budget.rs crates/core/src/carriers.rs crates/core/src/check.rs crates/core/src/domain.rs crates/core/src/error.rs crates/core/src/explain.rs crates/core/src/failpoint.rs crates/core/src/fan.rs crates/core/src/learning.rs crates/core/src/prepared.rs crates/core/src/projection.rs crates/core/src/scoap.rs crates/core/src/solver.rs crates/core/src/stems.rs Cargo.toml
 
-/root/repo/target/debug/deps/libltt_core-1ddcbad14c7aa262.rmeta: crates/core/src/lib.rs crates/core/src/batch.rs crates/core/src/carriers.rs crates/core/src/check.rs crates/core/src/domain.rs crates/core/src/explain.rs crates/core/src/fan.rs crates/core/src/learning.rs crates/core/src/prepared.rs crates/core/src/projection.rs crates/core/src/scoap.rs crates/core/src/solver.rs crates/core/src/stems.rs Cargo.toml
+/root/repo/target/debug/deps/libltt_core-1ddcbad14c7aa262.rmeta: crates/core/src/lib.rs crates/core/src/batch.rs crates/core/src/budget.rs crates/core/src/carriers.rs crates/core/src/check.rs crates/core/src/domain.rs crates/core/src/error.rs crates/core/src/explain.rs crates/core/src/failpoint.rs crates/core/src/fan.rs crates/core/src/learning.rs crates/core/src/prepared.rs crates/core/src/projection.rs crates/core/src/scoap.rs crates/core/src/solver.rs crates/core/src/stems.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/batch.rs:
+crates/core/src/budget.rs:
 crates/core/src/carriers.rs:
 crates/core/src/check.rs:
 crates/core/src/domain.rs:
+crates/core/src/error.rs:
 crates/core/src/explain.rs:
+crates/core/src/failpoint.rs:
 crates/core/src/fan.rs:
 crates/core/src/learning.rs:
 crates/core/src/prepared.rs:
@@ -17,5 +20,5 @@ crates/core/src/solver.rs:
 crates/core/src/stems.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/malformed_fixtures-7582bdf5f46e1c8e.d: crates/netlist/tests/malformed_fixtures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmalformed_fixtures-7582bdf5f46e1c8e.rmeta: crates/netlist/tests/malformed_fixtures.rs Cargo.toml
+
+crates/netlist/tests/malformed_fixtures.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/netlist
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

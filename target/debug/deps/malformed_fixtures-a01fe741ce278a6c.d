@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/malformed_fixtures-a01fe741ce278a6c.d: crates/netlist/tests/malformed_fixtures.rs
+
+/root/repo/target/debug/deps/malformed_fixtures-a01fe741ce278a6c: crates/netlist/tests/malformed_fixtures.rs
+
+crates/netlist/tests/malformed_fixtures.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/netlist

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/narrowing_props-f67478674d9ce2c8.d: crates/core/tests/narrowing_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnarrowing_props-f67478674d9ce2c8.rmeta: crates/core/tests/narrowing_props.rs Cargo.toml
+
+crates/core/tests/narrowing_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/projection_soundness-b70f11d9f4fe9b01.d: crates/core/tests/projection_soundness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprojection_soundness-b70f11d9f4fe9b01.rmeta: crates/core/tests/projection_soundness.rs Cargo.toml
+
+crates/core/tests/projection_soundness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

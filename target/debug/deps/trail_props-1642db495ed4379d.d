@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trail_props-1642db495ed4379d.d: crates/core/tests/trail_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrail_props-1642db495ed4379d.rmeta: crates/core/tests/trail_props.rs Cargo.toml
+
+crates/core/tests/trail_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

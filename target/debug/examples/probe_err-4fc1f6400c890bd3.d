@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/probe_err-4fc1f6400c890bd3.d: crates/netlist/examples/probe_err.rs
+
+/root/repo/target/debug/examples/probe_err-4fc1f6400c890bd3: crates/netlist/examples/probe_err.rs
+
+crates/netlist/examples/probe_err.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/budget_soundness-61c954d8aba68357.d: crates/core/tests/budget_soundness.rs
+
+/root/repo/target/release/deps/budget_soundness-61c954d8aba68357: crates/core/tests/budget_soundness.rs
+
+crates/core/tests/budget_soundness.rs:

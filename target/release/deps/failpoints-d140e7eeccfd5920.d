@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failpoints-d140e7eeccfd5920.d: crates/core/tests/failpoints.rs
+
+/root/repo/target/release/deps/failpoints-d140e7eeccfd5920: crates/core/tests/failpoints.rs
+
+crates/core/tests/failpoints.rs:

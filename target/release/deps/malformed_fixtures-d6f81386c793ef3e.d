@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/malformed_fixtures-d6f81386c793ef3e.d: crates/netlist/tests/malformed_fixtures.rs
+
+/root/repo/target/release/deps/malformed_fixtures-d6f81386c793ef3e: crates/netlist/tests/malformed_fixtures.rs
+
+crates/netlist/tests/malformed_fixtures.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/netlist
