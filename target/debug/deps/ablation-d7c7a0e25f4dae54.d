@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-d7c7a0e25f4dae54.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/libablation-d7c7a0e25f4dae54.rmeta: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-e907236fdf10c60e.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/libablation-e907236fdf10c60e.rmeta: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

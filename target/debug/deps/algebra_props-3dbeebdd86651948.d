@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algebra_props-3dbeebdd86651948.d: crates/waveform/tests/algebra_props.rs
+
+/root/repo/target/debug/deps/libalgebra_props-3dbeebdd86651948.rmeta: crates/waveform/tests/algebra_props.rs
+
+crates/waveform/tests/algebra_props.rs:

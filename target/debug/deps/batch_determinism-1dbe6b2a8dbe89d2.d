@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batch_determinism-1dbe6b2a8dbe89d2.d: crates/bench/../../tests/batch_determinism.rs
+
+/root/repo/target/debug/deps/libbatch_determinism-1dbe6b2a8dbe89d2.rmeta: crates/bench/../../tests/batch_determinism.rs
+
+crates/bench/../../tests/batch_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_format_roundtrip-32c12a8e944b0da8.d: crates/bench/../../tests/bench_format_roundtrip.rs
+
+/root/repo/target/debug/deps/libbench_format_roundtrip-32c12a8e944b0da8.rmeta: crates/bench/../../tests/bench_format_roundtrip.rs
+
+crates/bench/../../tests/bench_format_roundtrip.rs:

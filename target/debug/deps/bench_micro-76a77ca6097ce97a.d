@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_micro-76a77ca6097ce97a.d: crates/bench/benches/bench_micro.rs
+
+/root/repo/target/debug/deps/libbench_micro-76a77ca6097ce97a.rmeta: crates/bench/benches/bench_micro.rs
+
+crates/bench/benches/bench_micro.rs:

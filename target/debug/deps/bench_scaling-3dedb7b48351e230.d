@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_scaling-3dedb7b48351e230.d: crates/bench/benches/bench_scaling.rs
+
+/root/repo/target/debug/deps/libbench_scaling-3dedb7b48351e230.rmeta: crates/bench/benches/bench_scaling.rs
+
+crates/bench/benches/bench_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_table1-5fc2e87a1b425133.d: crates/bench/benches/bench_table1.rs
+
+/root/repo/target/debug/deps/libbench_table1-5fc2e87a1b425133.rmeta: crates/bench/benches/bench_table1.rs
+
+crates/bench/benches/bench_table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/budget_soundness-b0d0d51dedc56e94.d: crates/core/tests/budget_soundness.rs
+
+/root/repo/target/debug/deps/libbudget_soundness-b0d0d51dedc56e94.rmeta: crates/core/tests/budget_soundness.rs
+
+crates/core/tests/budget_soundness.rs:

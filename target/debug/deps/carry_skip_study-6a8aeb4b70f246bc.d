@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/carry_skip_study-6a8aeb4b70f246bc.d: crates/bench/src/bin/carry_skip_study.rs
+
+/root/repo/target/debug/deps/libcarry_skip_study-6a8aeb4b70f246bc.rmeta: crates/bench/src/bin/carry_skip_study.rs
+
+crates/bench/src/bin/carry_skip_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/carry_skip_study-6eb3e0594c54b926.d: crates/bench/src/bin/carry_skip_study.rs
+
+/root/repo/target/debug/deps/libcarry_skip_study-6eb3e0594c54b926.rmeta: crates/bench/src/bin/carry_skip_study.rs
+
+crates/bench/src/bin/carry_skip_study.rs:

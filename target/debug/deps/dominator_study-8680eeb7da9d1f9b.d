@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dominator_study-8680eeb7da9d1f9b.d: crates/bench/src/bin/dominator_study.rs
+
+/root/repo/target/debug/deps/libdominator_study-8680eeb7da9d1f9b.rmeta: crates/bench/src/bin/dominator_study.rs
+
+crates/bench/src/bin/dominator_study.rs:

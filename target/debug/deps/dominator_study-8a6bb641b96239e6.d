@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dominator_study-8a6bb641b96239e6.d: crates/bench/src/bin/dominator_study.rs
+
+/root/repo/target/debug/deps/libdominator_study-8a6bb641b96239e6.rmeta: crates/bench/src/bin/dominator_study.rs
+
+crates/bench/src/bin/dominator_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failpoints-d56fac5fb7b9471e.d: crates/core/tests/failpoints.rs
+
+/root/repo/target/debug/deps/libfailpoints-d56fac5fb7b9471e.rmeta: crates/core/tests/failpoints.rs
+
+crates/core/tests/failpoints.rs:

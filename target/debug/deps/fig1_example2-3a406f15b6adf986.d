@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_example2-3a406f15b6adf986.d: crates/bench/src/bin/fig1_example2.rs
+
+/root/repo/target/debug/deps/libfig1_example2-3a406f15b6adf986.rmeta: crates/bench/src/bin/fig1_example2.rs
+
+crates/bench/src/bin/fig1_example2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_example2-67766ee0c0510fe0.d: crates/bench/src/bin/fig1_example2.rs
+
+/root/repo/target/debug/deps/libfig1_example2-67766ee0c0510fe0.rmeta: crates/bench/src/bin/fig1_example2.rs
+
+crates/bench/src/bin/fig1_example2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gadget_probe-77241a748b017125.d: crates/bench/src/bin/gadget_probe.rs
+
+/root/repo/target/debug/deps/libgadget_probe-77241a748b017125.rmeta: crates/bench/src/bin/gadget_probe.rs
+
+crates/bench/src/bin/gadget_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gadget_probe-9ccc59c8eb5a37fa.d: crates/bench/src/bin/gadget_probe.rs
+
+/root/repo/target/debug/deps/libgadget_probe-9ccc59c8eb5a37fa.rmeta: crates/bench/src/bin/gadget_probe.rs
+
+crates/bench/src/bin/gadget_probe.rs:

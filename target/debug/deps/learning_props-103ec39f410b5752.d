@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/learning_props-103ec39f410b5752.d: crates/core/tests/learning_props.rs
+
+/root/repo/target/debug/deps/liblearning_props-103ec39f410b5752.rmeta: crates/core/tests/learning_props.rs
+
+crates/core/tests/learning_props.rs:

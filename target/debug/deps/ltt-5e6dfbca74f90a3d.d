@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ltt-5e6dfbca74f90a3d.d: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+/root/repo/target/debug/deps/libltt-5e6dfbca74f90a3d.rmeta: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/cli.rs:

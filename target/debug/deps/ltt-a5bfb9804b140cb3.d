@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ltt-a5bfb9804b140cb3.d: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+/root/repo/target/debug/deps/libltt-a5bfb9804b140cb3.rmeta: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/cli.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ltt_bench-2ef9b3ab92ca1b83.d: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/table1.rs
+
+/root/repo/target/debug/deps/libltt_bench-2ef9b3ab92ca1b83.rmeta: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/table1.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/render.rs:
+crates/bench/src/table1.rs:

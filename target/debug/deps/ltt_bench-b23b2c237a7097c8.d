@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ltt_bench-b23b2c237a7097c8.d: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/table1.rs
+
+/root/repo/target/debug/deps/libltt_bench-b23b2c237a7097c8.rmeta: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/table1.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/render.rs:
+crates/bench/src/table1.rs:

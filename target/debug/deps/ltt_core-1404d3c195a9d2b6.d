@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/ltt_core-1404d3c195a9d2b6.d: crates/core/src/lib.rs crates/core/src/batch.rs crates/core/src/budget.rs crates/core/src/carriers.rs crates/core/src/check.rs crates/core/src/domain.rs crates/core/src/error.rs crates/core/src/explain.rs crates/core/src/failpoint.rs crates/core/src/fan.rs crates/core/src/learning.rs crates/core/src/prepared.rs crates/core/src/projection.rs crates/core/src/scoap.rs crates/core/src/solver.rs crates/core/src/stems.rs
+
+/root/repo/target/debug/deps/libltt_core-1404d3c195a9d2b6.rmeta: crates/core/src/lib.rs crates/core/src/batch.rs crates/core/src/budget.rs crates/core/src/carriers.rs crates/core/src/check.rs crates/core/src/domain.rs crates/core/src/error.rs crates/core/src/explain.rs crates/core/src/failpoint.rs crates/core/src/fan.rs crates/core/src/learning.rs crates/core/src/prepared.rs crates/core/src/projection.rs crates/core/src/scoap.rs crates/core/src/solver.rs crates/core/src/stems.rs
+
+crates/core/src/lib.rs:
+crates/core/src/batch.rs:
+crates/core/src/budget.rs:
+crates/core/src/carriers.rs:
+crates/core/src/check.rs:
+crates/core/src/domain.rs:
+crates/core/src/error.rs:
+crates/core/src/explain.rs:
+crates/core/src/failpoint.rs:
+crates/core/src/fan.rs:
+crates/core/src/learning.rs:
+crates/core/src/prepared.rs:
+crates/core/src/projection.rs:
+crates/core/src/scoap.rs:
+crates/core/src/solver.rs:
+crates/core/src/stems.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/ltt_netlist-09585eeaf9e2d6fe.d: crates/netlist/src/lib.rs crates/netlist/src/analysis.rs crates/netlist/src/bench_format.rs crates/netlist/src/circuit.rs crates/netlist/src/dominators.rs crates/netlist/src/gate.rs crates/netlist/src/generators/mod.rs crates/netlist/src/generators/adders.rs crates/netlist/src/generators/false_path.rs crates/netlist/src/generators/multiplier.rs crates/netlist/src/generators/random_dag.rs crates/netlist/src/generators/trees.rs crates/netlist/src/sdf.rs crates/netlist/src/suite.rs crates/netlist/src/transform.rs crates/netlist/src/verilog.rs
+
+/root/repo/target/debug/deps/libltt_netlist-09585eeaf9e2d6fe.rmeta: crates/netlist/src/lib.rs crates/netlist/src/analysis.rs crates/netlist/src/bench_format.rs crates/netlist/src/circuit.rs crates/netlist/src/dominators.rs crates/netlist/src/gate.rs crates/netlist/src/generators/mod.rs crates/netlist/src/generators/adders.rs crates/netlist/src/generators/false_path.rs crates/netlist/src/generators/multiplier.rs crates/netlist/src/generators/random_dag.rs crates/netlist/src/generators/trees.rs crates/netlist/src/sdf.rs crates/netlist/src/suite.rs crates/netlist/src/transform.rs crates/netlist/src/verilog.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/analysis.rs:
+crates/netlist/src/bench_format.rs:
+crates/netlist/src/circuit.rs:
+crates/netlist/src/dominators.rs:
+crates/netlist/src/gate.rs:
+crates/netlist/src/generators/mod.rs:
+crates/netlist/src/generators/adders.rs:
+crates/netlist/src/generators/false_path.rs:
+crates/netlist/src/generators/multiplier.rs:
+crates/netlist/src/generators/random_dag.rs:
+crates/netlist/src/generators/trees.rs:
+crates/netlist/src/sdf.rs:
+crates/netlist/src/suite.rs:
+crates/netlist/src/transform.rs:
+crates/netlist/src/verilog.rs:

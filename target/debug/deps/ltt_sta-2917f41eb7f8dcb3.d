@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ltt_sta-2917f41eb7f8dcb3.d: crates/sta/src/lib.rs crates/sta/src/floating.rs crates/sta/src/paths.rs crates/sta/src/simulate.rs crates/sta/src/slack.rs
+
+/root/repo/target/debug/deps/libltt_sta-2917f41eb7f8dcb3.rmeta: crates/sta/src/lib.rs crates/sta/src/floating.rs crates/sta/src/paths.rs crates/sta/src/simulate.rs crates/sta/src/slack.rs
+
+crates/sta/src/lib.rs:
+crates/sta/src/floating.rs:
+crates/sta/src/paths.rs:
+crates/sta/src/simulate.rs:
+crates/sta/src/slack.rs:

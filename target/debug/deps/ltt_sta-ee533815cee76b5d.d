@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ltt_sta-ee533815cee76b5d.d: crates/sta/src/lib.rs crates/sta/src/floating.rs crates/sta/src/paths.rs crates/sta/src/simulate.rs crates/sta/src/slack.rs
+
+/root/repo/target/debug/deps/libltt_sta-ee533815cee76b5d.rmeta: crates/sta/src/lib.rs crates/sta/src/floating.rs crates/sta/src/paths.rs crates/sta/src/simulate.rs crates/sta/src/slack.rs
+
+crates/sta/src/lib.rs:
+crates/sta/src/floating.rs:
+crates/sta/src/paths.rs:
+crates/sta/src/simulate.rs:
+crates/sta/src/slack.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ltt_waveform-c2190106bf18b7e3.d: crates/waveform/src/lib.rs crates/waveform/src/aw.rs crates/waveform/src/dense.rs crates/waveform/src/signal.rs crates/waveform/src/time.rs
+
+/root/repo/target/debug/deps/libltt_waveform-c2190106bf18b7e3.rmeta: crates/waveform/src/lib.rs crates/waveform/src/aw.rs crates/waveform/src/dense.rs crates/waveform/src/signal.rs crates/waveform/src/time.rs
+
+crates/waveform/src/lib.rs:
+crates/waveform/src/aw.rs:
+crates/waveform/src/dense.rs:
+crates/waveform/src/signal.rs:
+crates/waveform/src/time.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/malformed_fixtures-938aff5c0a90edbe.d: crates/netlist/tests/malformed_fixtures.rs
+
+/root/repo/target/debug/deps/libmalformed_fixtures-938aff5c0a90edbe.rmeta: crates/netlist/tests/malformed_fixtures.rs
+
+crates/netlist/tests/malformed_fixtures.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/netlist

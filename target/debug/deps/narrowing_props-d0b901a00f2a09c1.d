@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/narrowing_props-d0b901a00f2a09c1.d: crates/core/tests/narrowing_props.rs
+
+/root/repo/target/debug/deps/libnarrowing_props-d0b901a00f2a09c1.rmeta: crates/core/tests/narrowing_props.rs
+
+crates/core/tests/narrowing_props.rs:

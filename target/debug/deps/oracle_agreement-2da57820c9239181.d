@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle_agreement-2da57820c9239181.d: crates/bench/../../tests/oracle_agreement.rs
+
+/root/repo/target/debug/deps/liboracle_agreement-2da57820c9239181.rmeta: crates/bench/../../tests/oracle_agreement.rs
+
+crates/bench/../../tests/oracle_agreement.rs:

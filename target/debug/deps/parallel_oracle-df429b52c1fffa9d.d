@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_oracle-df429b52c1fffa9d.d: crates/bench/../../tests/parallel_oracle.rs
+
+/root/repo/target/debug/deps/libparallel_oracle-df429b52c1fffa9d.rmeta: crates/bench/../../tests/parallel_oracle.rs
+
+crates/bench/../../tests/parallel_oracle.rs:

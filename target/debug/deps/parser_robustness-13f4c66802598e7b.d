@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parser_robustness-13f4c66802598e7b.d: crates/netlist/tests/parser_robustness.rs
+
+/root/repo/target/debug/deps/libparser_robustness-13f4c66802598e7b.rmeta: crates/netlist/tests/parser_robustness.rs
+
+crates/netlist/tests/parser_robustness.rs:

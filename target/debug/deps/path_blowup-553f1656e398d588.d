@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/path_blowup-553f1656e398d588.d: crates/bench/src/bin/path_blowup.rs
+
+/root/repo/target/debug/deps/libpath_blowup-553f1656e398d588.rmeta: crates/bench/src/bin/path_blowup.rs
+
+crates/bench/src/bin/path_blowup.rs:

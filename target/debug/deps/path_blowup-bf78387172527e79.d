@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/path_blowup-bf78387172527e79.d: crates/bench/src/bin/path_blowup.rs
+
+/root/repo/target/debug/deps/libpath_blowup-bf78387172527e79.rmeta: crates/bench/src/bin/path_blowup.rs
+
+crates/bench/src/bin/path_blowup.rs:

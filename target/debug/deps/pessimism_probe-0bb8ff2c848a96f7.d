@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pessimism_probe-0bb8ff2c848a96f7.d: crates/bench/src/bin/pessimism_probe.rs
+
+/root/repo/target/debug/deps/libpessimism_probe-0bb8ff2c848a96f7.rmeta: crates/bench/src/bin/pessimism_probe.rs
+
+crates/bench/src/bin/pessimism_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pessimism_probe-724669c6e2e6adda.d: crates/bench/src/bin/pessimism_probe.rs
+
+/root/repo/target/debug/deps/libpessimism_probe-724669c6e2e6adda.rmeta: crates/bench/src/bin/pessimism_probe.rs
+
+crates/bench/src/bin/pessimism_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_end_to_end-7383fbc3928d41da.d: crates/bench/../../tests/pipeline_end_to_end.rs
+
+/root/repo/target/debug/deps/libpipeline_end_to_end-7383fbc3928d41da.rmeta: crates/bench/../../tests/pipeline_end_to_end.rs
+
+crates/bench/../../tests/pipeline_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/projection_soundness-2ee7905e343be20a.d: crates/core/tests/projection_soundness.rs
+
+/root/repo/target/debug/deps/libprojection_soundness-2ee7905e343be20a.rmeta: crates/core/tests/projection_soundness.rs
+
+crates/core/tests/projection_soundness.rs:

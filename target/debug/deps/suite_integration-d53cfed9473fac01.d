@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_integration-d53cfed9473fac01.d: crates/bench/../../tests/suite_integration.rs
+
+/root/repo/target/debug/deps/libsuite_integration-d53cfed9473fac01.rmeta: crates/bench/../../tests/suite_integration.rs
+
+crates/bench/../../tests/suite_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_stats-c68c4ba46eff4d5c.d: crates/bench/src/bin/suite_stats.rs
+
+/root/repo/target/debug/deps/libsuite_stats-c68c4ba46eff4d5c.rmeta: crates/bench/src/bin/suite_stats.rs
+
+crates/bench/src/bin/suite_stats.rs:

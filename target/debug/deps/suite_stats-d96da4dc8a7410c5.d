@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_stats-d96da4dc8a7410c5.d: crates/bench/src/bin/suite_stats.rs
+
+/root/repo/target/debug/deps/libsuite_stats-d96da4dc8a7410c5.rmeta: crates/bench/src/bin/suite_stats.rs
+
+crates/bench/src/bin/suite_stats.rs:

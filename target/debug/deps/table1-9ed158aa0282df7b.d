@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-9ed158aa0282df7b.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-9ed158aa0282df7b.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-f42d477b9bd556ea.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-f42d477b9bd556ea.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

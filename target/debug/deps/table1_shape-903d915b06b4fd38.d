@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_shape-903d915b06b4fd38.d: crates/bench/../../tests/table1_shape.rs
+
+/root/repo/target/debug/deps/libtable1_shape-903d915b06b4fd38.rmeta: crates/bench/../../tests/table1_shape.rs
+
+crates/bench/../../tests/table1_shape.rs:

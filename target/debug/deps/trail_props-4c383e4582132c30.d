@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trail_props-4c383e4582132c30.d: crates/core/tests/trail_props.rs
+
+/root/repo/target/debug/deps/libtrail_props-4c383e4582132c30.rmeta: crates/core/tests/trail_props.rs
+
+crates/core/tests/trail_props.rs:

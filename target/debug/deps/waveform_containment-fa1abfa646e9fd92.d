@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/waveform_containment-fa1abfa646e9fd92.d: crates/bench/../../tests/waveform_containment.rs
+
+/root/repo/target/debug/deps/libwaveform_containment-fa1abfa646e9fd92.rmeta: crates/bench/../../tests/waveform_containment.rs
+
+crates/bench/../../tests/waveform_containment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bench_file_check-a24f03f15f7ba513.d: crates/bench/../../examples/bench_file_check.rs
+
+/root/repo/target/debug/examples/libbench_file_check-a24f03f15f7ba513.rmeta: crates/bench/../../examples/bench_file_check.rs
+
+crates/bench/../../examples/bench_file_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/false_path_adder-15bff8717a6144e8.d: crates/bench/../../examples/false_path_adder.rs
+
+/root/repo/target/debug/examples/libfalse_path_adder-15bff8717a6144e8.rmeta: crates/bench/../../examples/false_path_adder.rs
+
+crates/bench/../../examples/false_path_adder.rs:

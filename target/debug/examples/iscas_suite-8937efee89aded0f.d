@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/iscas_suite-8937efee89aded0f.d: crates/bench/../../examples/iscas_suite.rs
+
+/root/repo/target/debug/examples/libiscas_suite-8937efee89aded0f.rmeta: crates/bench/../../examples/iscas_suite.rs
+
+crates/bench/../../examples/iscas_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mux_sdf-2870f9cd65399a65.d: crates/bench/../../examples/mux_sdf.rs
+
+/root/repo/target/debug/examples/libmux_sdf-2870f9cd65399a65.rmeta: crates/bench/../../examples/mux_sdf.rs
+
+crates/bench/../../examples/mux_sdf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paper_walkthrough-6b7048d0f89252e9.d: crates/bench/../../examples/paper_walkthrough.rs
+
+/root/repo/target/debug/examples/libpaper_walkthrough-6b7048d0f89252e9.rmeta: crates/bench/../../examples/paper_walkthrough.rs
+
+crates/bench/../../examples/paper_walkthrough.rs:

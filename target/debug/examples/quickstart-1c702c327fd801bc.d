@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1c702c327fd801bc.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-1c702c327fd801bc.rmeta: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

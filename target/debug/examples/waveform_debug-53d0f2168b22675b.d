@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/waveform_debug-53d0f2168b22675b.d: crates/bench/../../examples/waveform_debug.rs
+
+/root/repo/target/debug/examples/libwaveform_debug-53d0f2168b22675b.rmeta: crates/bench/../../examples/waveform_debug.rs
+
+crates/bench/../../examples/waveform_debug.rs:
