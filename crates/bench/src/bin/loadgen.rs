@@ -1,0 +1,289 @@
+//! `loadgen` — a concurrent load generator for the `ltt-serve` daemon.
+//!
+//! Spawns N client connections, each issuing M `check` requests against a
+//! registered circuit, and reports throughput plus latency percentiles.
+//! With no `--addr`, an in-process server is started on an ephemeral port
+//! and drained at the end, so one command exercises the full serving path
+//! (the CI smoke job runs exactly that).
+//!
+//! ```text
+//! loadgen [--addr A] [--clients N] [--requests M]
+//!         [--circuit c17|figure1|adder] [--jobs J] [--queue-cap Q]
+//! ```
+//!
+//! Exit code 0 when every request was answered (violations are expected —
+//! the load mix probes around each output's exact delay); 1 when any
+//! request failed or the transport broke.
+
+use ltt_netlist::bench_format::write_bench;
+use ltt_netlist::generators::{carry_skip_adder, figure1};
+use ltt_netlist::suite::c17;
+use ltt_netlist::Circuit;
+use ltt_serve::{Client, Json, ServeConfig, Server};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+struct Args {
+    addr: Option<String>,
+    clients: usize,
+    requests: usize,
+    circuit: String,
+    jobs: usize,
+    queue_cap: usize,
+    shutdown: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        clients: 8,
+        requests: 25,
+        circuit: "c17".to_string(),
+        jobs: 0,
+        queue_cap: 64,
+        shutdown: true,
+    };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = raw.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--clients" => {
+                args.clients = value("--clients")?
+                    .parse()
+                    .map_err(|_| "--clients needs an integer")?
+            }
+            "--requests" => {
+                args.requests = value("--requests")?
+                    .parse()
+                    .map_err(|_| "--requests needs an integer")?
+            }
+            "--circuit" => args.circuit = value("--circuit")?,
+            "--jobs" => {
+                args.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|_| "--jobs needs an integer")?
+            }
+            "--queue-cap" => {
+                args.queue_cap = value("--queue-cap")?
+                    .parse()
+                    .map_err(|_| "--queue-cap needs an integer")?
+            }
+            "--no-shutdown" => args.shutdown = false,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if args.clients == 0 || args.requests == 0 {
+        return Err("--clients and --requests must be positive".to_string());
+    }
+    Ok(args)
+}
+
+fn pick_circuit(name: &str) -> Result<Circuit, String> {
+    match name {
+        "c17" => Ok(c17(10)),
+        "figure1" => Ok(figure1(10)),
+        "adder" => Ok(carry_skip_adder(4, 2, 10)),
+        other => Err(format!(
+            "unknown circuit `{other}` (expected c17, figure1, or adder)"
+        )),
+    }
+}
+
+/// One client's tally.
+#[derive(Default)]
+struct Tally {
+    latencies: Vec<Duration>,
+    violations: u64,
+    safe: u64,
+    failures: u64,
+}
+
+fn run_client(
+    addr: &str,
+    source: &str,
+    outputs: &[String],
+    deltas: &[i64],
+    requests: usize,
+    seed: usize,
+) -> std::io::Result<Tally> {
+    let mut client = Client::connect(addr)?;
+    // Every client registers: the first miss parses, the rest hit the
+    // content-hashed cache — which is itself part of the workload.
+    let reply = client.call(&Json::obj([
+        ("op", Json::str("register")),
+        ("name", Json::str("loadgen")),
+        ("source", Json::str(source)),
+    ]))?;
+    let circuit = reply
+        .get("circuit")
+        .and_then(Json::as_str)
+        .ok_or_else(|| std::io::Error::other(format!("register failed: {}", reply.encode())))?
+        .to_string();
+    let mut tally = Tally::default();
+    for i in 0..requests {
+        let output = &outputs[(seed + i) % outputs.len()];
+        let delta = deltas[(seed + i / outputs.len()) % deltas.len()];
+        let request = Json::obj([
+            ("op", Json::str("check")),
+            ("circuit", Json::str(circuit.clone())),
+            ("output", Json::str(output.clone())),
+            ("delta", Json::Int(delta)),
+            ("id", Json::Int(i as i64)),
+        ]);
+        let start = Instant::now();
+        let reply = client.call(&request)?;
+        tally.latencies.push(start.elapsed());
+        match reply.get("outcome").and_then(Json::as_str) {
+            Some("violation") => tally.violations += 1,
+            Some("all_safe") => tally.safe += 1,
+            _ => tally.failures += 1,
+        }
+    }
+    Ok(tally)
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let circuit = match pick_circuit(&args.circuit) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let source = write_bench(&circuit);
+    let outputs: Vec<String> = circuit
+        .outputs()
+        .iter()
+        .map(|&o| circuit.net(o).name().to_string())
+        .collect();
+    // Probe around the interesting region: half the topological delay up
+    // to just past it (a mix of violations and proofs).
+    let top = circuit.topological_delay();
+    let deltas: Vec<i64> = vec![top / 2, top - 10, top, top + 1];
+
+    // Target: an external daemon, or a fresh in-process one.
+    let (addr, local) = match &args.addr {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let config = ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                jobs: args.jobs,
+                queue_cap: args.queue_cap,
+                ..Default::default()
+            };
+            let server = match Server::bind(&config) {
+                Ok(server) => server,
+                Err(e) => {
+                    eprintln!("loadgen: bind failed: {e}");
+                    return ExitCode::from(1);
+                }
+            };
+            let addr = server.local_addr().expect("bound server").to_string();
+            let handle = server.handle();
+            let join = std::thread::spawn(move || server.run());
+            (addr, Some((handle, join)))
+        }
+    };
+    println!(
+        "loadgen: {} clients x {} requests -> {} ({})",
+        args.clients, args.requests, addr, args.circuit
+    );
+
+    let started = Instant::now();
+    let tallies: Vec<std::io::Result<Tally>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|i| {
+                let (addr, source) = (&addr, &source);
+                let (outputs, deltas) = (&outputs, &deltas);
+                scope.spawn(move || run_client(addr, source, outputs, deltas, args.requests, i * 7))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let wall = started.elapsed();
+
+    let mut latencies = Vec::new();
+    let mut violations = 0u64;
+    let mut safe = 0u64;
+    let mut failures = 0u64;
+    let mut transport_errors = 0u64;
+    for result in tallies {
+        match result {
+            Ok(tally) => {
+                latencies.extend(tally.latencies);
+                violations += tally.violations;
+                safe += tally.safe;
+                failures += tally.failures;
+            }
+            Err(e) => {
+                eprintln!("loadgen: client failed: {e}");
+                transport_errors += 1;
+            }
+        }
+    }
+    latencies.sort();
+    let answered = latencies.len();
+    let throughput = answered as f64 / wall.as_secs_f64().max(1e-9);
+    println!(
+        "answered {answered} checks in {:.3}s ({throughput:.0} req/s): \
+         {violations} violation, {safe} safe, {failures} failed",
+        wall.as_secs_f64()
+    );
+    println!(
+        "latency p50 {:?}  p90 {:?}  p99 {:?}  max {:?}",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.90),
+        percentile(&latencies, 0.99),
+        latencies.last().copied().unwrap_or(Duration::ZERO),
+    );
+
+    // Drain the daemon (ours, or the external one when asked to).
+    if let Some((handle, join)) = local {
+        if args.shutdown {
+            handle.shutdown();
+        }
+        match join.join() {
+            Ok(Ok(())) => println!("server drained cleanly"),
+            Ok(Err(e)) => {
+                eprintln!("loadgen: server error: {e}");
+                transport_errors += 1;
+            }
+            Err(_) => {
+                eprintln!("loadgen: server thread panicked");
+                transport_errors += 1;
+            }
+        }
+    } else if args.shutdown {
+        if let Ok(mut client) = Client::connect(&addr) {
+            let _ = client.call(&Json::obj([("op", Json::str("shutdown"))]));
+        }
+    }
+
+    if failures > 0 || transport_errors > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

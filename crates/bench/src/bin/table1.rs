@@ -34,7 +34,7 @@ fn run_suite(
             entry.circuit.topological_delay(),
             runner.jobs()
         );
-        rows.extend(run_entry_with(entry, config, runner));
+        rows.extend(run_entry_with(entry, config, runner.clone()));
     }
     (rows, t0.elapsed())
 }
@@ -64,7 +64,7 @@ fn main() {
     } else {
         None
     };
-    let (rows, wall) = run_suite(&suite, &config, runner, quick);
+    let (rows, wall) = run_suite(&suite, &config, runner.clone(), quick);
 
     println!("Table 1 — ISCAS'85 evaluation (delay 10 per gate)");
     println!("(stand-ins marked sNNN; see DESIGN.md for the substitution)");

@@ -90,7 +90,7 @@ impl Default for Options {
     }
 }
 
-const USAGE: &str = "usage: ltt <info|check|delay|report|convert> <netlist> [options]
+const USAGE: &str = "usage: ltt <info|check|delay|report|convert|serve|client> <netlist> [options]
 run `ltt help` for the full option list";
 
 /// Entry point used by `main` (and the tests).
@@ -101,6 +101,13 @@ pub fn run(args: &[String]) -> Result<RunStatus, Error> {
     if command == "help" || command == "--help" || command == "-h" {
         println!("{}", long_help());
         return Ok(RunStatus::Clean);
+    }
+    // `serve` and `client` take no netlist positional; they branch before
+    // the common option parser.
+    match command.as_str() {
+        "serve" => return cmd_serve(&args[1..]),
+        "client" => return cmd_client(&args[1..]),
+        _ => {}
     }
     let opts = parse_options(&args[1..])?;
     let circuit = load_circuit(&opts)?;
@@ -131,6 +138,14 @@ COMMANDS
                                    exact two-vector waveform simulation
   explain <netlist> --delta N      where could the violation live?
                                    (carriers, dominators, stems)
+  serve   [--addr A] [--jobs N] [--queue-cap Q] [--registry-cap R]
+                                   run the persistent verification daemon
+                                   (newline-delimited JSON over TCP;
+                                   default addr 127.0.0.1:7171, :0 picks
+                                   an ephemeral port and prints it)
+  client  <requests.json> [--addr A]
+                                   send request lines to a daemon and
+                                   print the responses (`-` reads stdin)
 
 OPTIONS
   --format bench|verilog    input format (default: by file extension)
@@ -279,6 +294,149 @@ fn load_circuit(opts: &Options) -> Result<Circuit, Error> {
             })?;
             apply_sdf(&circuit, &sdf).map_err(|e| Error::invalid(e.to_string()))
         }
+    }
+}
+
+/// `ltt serve`: run the persistent verification daemon until a `shutdown`
+/// request drains it.
+fn cmd_serve(args: &[String]) -> Result<RunStatus, Error> {
+    let mut config = ltt_serve::ServeConfig {
+        addr: "127.0.0.1:7171".to_string(),
+        ..Default::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, Error> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| Error::usage(format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--jobs" => {
+                config.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|_| Error::usage("--jobs needs an integer"))?
+            }
+            "--queue-cap" => {
+                config.queue_cap = value("--queue-cap")?
+                    .parse()
+                    .map_err(|_| Error::usage("--queue-cap needs an integer"))?
+            }
+            "--registry-cap" => {
+                config.registry_cap = value("--registry-cap")?
+                    .parse()
+                    .map_err(|_| Error::usage("--registry-cap needs an integer"))?
+            }
+            other => return Err(Error::usage(format!("unknown serve option `{other}`"))),
+        }
+    }
+    ltt_serve::serve(&config).map_err(|e| Error::Io {
+        path: config.addr.clone(),
+        message: e.to_string(),
+    })?;
+    Ok(RunStatus::Clean)
+}
+
+/// `ltt client`: send each request line of a file (or stdin, `-`) to a
+/// daemon, print each response line, and fold the responses into the
+/// standard exit-code contract.
+fn cmd_client(args: &[String]) -> Result<RunStatus, Error> {
+    let mut addr = "127.0.0.1:7171".to_string();
+    let mut file: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| Error::usage("--addr needs a value"))?
+            }
+            other if other.starts_with("--") => {
+                return Err(Error::usage(format!("unknown client option `{other}`")))
+            }
+            _ => {
+                if file.replace(arg.clone()).is_some() {
+                    return Err(Error::usage("client takes exactly one request file"));
+                }
+            }
+        }
+    }
+    let file = file.ok_or_else(|| Error::usage("client needs a request file (`-` for stdin)"))?;
+    let text = if file == "-" {
+        let mut buffer = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin(), &mut buffer).map_err(|e| {
+            Error::Io {
+                path: "<stdin>".to_string(),
+                message: e.to_string(),
+            }
+        })?;
+        buffer
+    } else {
+        std::fs::read_to_string(&file).map_err(|e| Error::Io {
+            path: file.clone(),
+            message: e.to_string(),
+        })?
+    };
+    let mut client = ltt_serve::Client::connect(&addr).map_err(|e| Error::Io {
+        path: addr.clone(),
+        message: e.to_string(),
+    })?;
+    let mut status = RunStatus::Clean;
+    for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
+        let request = ltt_serve::decode(line)
+            .map_err(|e| Error::invalid(format!("bad request line: {e}")))?;
+        let response = client.call(&request).map_err(|e| Error::Io {
+            path: addr.clone(),
+            message: e.to_string(),
+        })?;
+        println!("{}", response.encode());
+        status = worst_status(status, response_status(&response));
+    }
+    Ok(status)
+}
+
+/// Folds one server response into the exit-code contract: a reported
+/// violation beats an incomplete result beats clean.
+fn response_status(response: &ltt_serve::Json) -> RunStatus {
+    use ltt_serve::Json;
+    if response.get("ok").and_then(Json::as_bool) != Some(true) {
+        return RunStatus::Incomplete;
+    }
+    let violated = response.get("outcome").and_then(Json::as_str) == Some("violation")
+        || response
+            .get("report")
+            .and_then(|r| r.get("verdict"))
+            .and_then(Json::as_str)
+            == Some("violation");
+    if violated {
+        return RunStatus::Violation;
+    }
+    let incomplete = response.get("complete").and_then(Json::as_bool) == Some(false)
+        || response
+            .get("results")
+            .and_then(Json::as_array)
+            .is_some_and(|results| {
+                results.iter().any(|r| {
+                    r.get("exact").and_then(Json::as_bool) == Some(false)
+                        || r.get("error").is_some()
+                })
+            });
+    if incomplete {
+        RunStatus::Incomplete
+    } else {
+        RunStatus::Clean
+    }
+}
+
+/// `Violation` dominates (it is the signal), then `Incomplete`.
+fn worst_status(a: RunStatus, b: RunStatus) -> RunStatus {
+    use RunStatus::*;
+    match (a, b) {
+        (Violation, _) | (_, Violation) => Violation,
+        (Incomplete, _) | (_, Incomplete) => Incomplete,
+        _ => Clean,
     }
 }
 

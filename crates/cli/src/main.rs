@@ -6,6 +6,8 @@
 //! ltt delay   <netlist> [options]                exact floating-mode delay per output
 //! ltt report  <netlist> --deadline N [options]   topological slack report
 //! ltt convert <netlist> --to bench|verilog       netlist format conversion
+//! ltt serve   [--addr A] [--jobs N] [--queue-cap Q]   persistent daemon
+//! ltt client  <requests.json> [--addr A]         send requests to a daemon
 //! ```
 //!
 //! Netlists are ISCAS `.bench` or structural Verilog (`.v`), detected by

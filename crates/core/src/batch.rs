@@ -73,12 +73,12 @@ fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// Every slot is filled: a panicking `f` yields `Err(CheckError::Panicked)`
 /// for its own slot only (the panic is caught at the slot boundary, so the
 /// other items are mapped exactly as if the poisoned item were absent),
-/// and once `cancel` fires, items not yet started yield
+/// and once any token in `cancels` fires, items not yet started yield
 /// `Err(CheckError::Skipped)`.
 fn run_map_isolated<T, R, F>(
     items: &[T],
     jobs: usize,
-    cancel: Option<&CancelToken>,
+    cancels: &[CancelToken],
     f: F,
 ) -> Vec<Result<R, CheckError>>
 where
@@ -87,7 +87,7 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let one = |item: &T| -> Result<R, CheckError> {
-        if cancel.is_some_and(CancelToken::is_cancelled) {
+        if cancels.iter().any(CancelToken::is_cancelled) {
             return Err(CheckError::Skipped);
         }
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item))).map_err(|payload| {
@@ -138,7 +138,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    run_map_isolated(items, jobs, None, f)
+    run_map_isolated(items, jobs, &[], f)
         .into_iter()
         .map(|r| match r {
             Ok(r) => r,
@@ -313,11 +313,14 @@ impl BatchCheck {
 /// let batch = runner.verify_all_outputs(&session, 30);
 /// assert_eq!(batch.outcome(), BatchOutcome::Violation);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct BatchRunner {
     jobs: usize,
     fail_fast: bool,
     deadline: Option<Duration>,
+    /// Extra per-check budget (and external cancellation sources) merged
+    /// into every check this runner executes.
+    extra: Budget,
 }
 
 impl Default for BatchRunner {
@@ -334,6 +337,7 @@ impl BatchRunner {
             jobs: if jobs == 0 { available_jobs() } else { jobs },
             fail_fast: false,
             deadline: None,
+            extra: Budget::unlimited(),
         }
     }
 
@@ -371,19 +375,59 @@ impl BatchRunner {
         self
     }
 
+    /// Attach an **external** cancellation source: when `token` fires,
+    /// in-flight checks degrade to sound partial results
+    /// ([`Verdict::Abandoned`]) and not-yet-started checks become
+    /// [`CheckError::Skipped`]. This is how a serving layer aborts the
+    /// batch of a client that disconnected mid-request — cancellation only
+    /// ever cuts work short, it never changes a completed check's report.
+    pub fn with_cancel(self, token: CancelToken) -> Self {
+        self.with_budget(Budget::unlimited().with_cancel(token))
+    }
+
+    /// Merge an extra per-check [`Budget`] (tightest-wins) into every check
+    /// this runner executes — per-request backtrack caps, wall windows, or
+    /// deadlines a caller wants applied on top of the session's own config.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.extra = self.extra.merged(&budget);
+        self
+    }
+
     /// The shared cancel token and extra per-check budget of one batch run,
     /// or `None` when this runner needs neither (keeping the default path
     /// free of any budget machinery).
     fn batch_controls(&self, start: Instant) -> Option<(CancelToken, Budget)> {
-        if !self.fail_fast && self.deadline.is_none() {
+        if !self.fail_fast && self.deadline.is_none() && self.extra.is_unlimited() {
             return None;
         }
         let cancel = CancelToken::new();
-        let mut extra = Budget::unlimited().with_cancel(cancel.clone());
+        let mut extra = self.extra.clone().with_cancel(cancel.clone());
         if let Some(d) = self.deadline {
             extra = extra.with_deadline(start + d);
         }
         Some((cancel, extra))
+    }
+
+    /// The extra per-check [`Budget`] this runner would apply to a batch
+    /// started now: the external budget (cancel tokens, caps) plus the
+    /// batch deadline anchored at the current instant. For callers that
+    /// invoke session APIs directly (e.g. a single delay search) but want
+    /// resource behavior consistent with this runner's batches.
+    pub fn per_check_budget(&self) -> Budget {
+        let mut budget = self.extra.clone();
+        if let Some(d) = self.deadline {
+            budget = budget.with_deadline(Instant::now() + d);
+        }
+        budget
+    }
+
+    /// The tokens whose firing should *skip* not-yet-started items: the
+    /// run's internal token (fail-fast / deadline) plus every external
+    /// cancellation source attached via [`BatchRunner::with_cancel`].
+    fn skip_tokens(&self, internal: Option<&CancelToken>) -> Vec<CancelToken> {
+        let mut tokens: Vec<CancelToken> = self.extra.cancel_tokens().to_vec();
+        tokens.extend(internal.cloned());
+        tokens
     }
 
     /// Runs the checks `(output, δ)` against the session, in parallel.
@@ -409,7 +453,8 @@ impl BatchRunner {
             Some((cancel, extra)) => (Some(cancel), extra.clone()),
             None => (None, Budget::unlimited()),
         };
-        let results = run_map_isolated(checks, self.jobs, cancel, |&(output, delta)| {
+        let skips = self.skip_tokens(cancel);
+        let results = run_map_isolated(checks, self.jobs, &skips, |&(output, delta)| {
             let report = session.verify_under_budgeted(output, delta, assumptions, &extra);
             if self.fail_fast && report.verdict.is_violation() {
                 if let Some(cancel) = cancel {
@@ -488,14 +533,15 @@ impl BatchRunner {
         let start = Instant::now();
         let no_fail_fast = BatchRunner {
             fail_fast: false,
-            ..*self
+            ..self.clone()
         };
         let controls = no_fail_fast.batch_controls(start);
         let (cancel, extra) = match &controls {
             Some((cancel, extra)) => (Some(cancel), extra.clone()),
             None => (None, Budget::unlimited()),
         };
-        run_map_isolated(session.circuit().outputs(), self.jobs, cancel, |&o| {
+        let skips = no_fail_fast.skip_tokens(cancel);
+        run_map_isolated(session.circuit().outputs(), self.jobs, &skips, |&o| {
             session.exact_delay_budgeted(o, &extra)
         })
     }
@@ -554,7 +600,7 @@ mod tests {
         // item must fill only its own slot, never take down the batch.
         let items: Vec<usize> = (0..23).collect();
         for jobs in [1, 2, 4, 64] {
-            let out = run_map_isolated(&items, jobs, None, |&x| {
+            let out = run_map_isolated(&items, jobs, &[], |&x| {
                 if x % 7 == 3 {
                     panic!("boom at {x}");
                 }
@@ -581,7 +627,7 @@ mod tests {
         let items: Vec<usize> = (0..8).collect();
         let cancel = CancelToken::new();
         cancel.cancel();
-        let out = run_map_isolated(&items, 1, Some(&cancel), |&x| x);
+        let out = run_map_isolated(&items, 1, std::slice::from_ref(&cancel), |&x| x);
         assert!(out.iter().all(|r| r == &Err(CheckError::Skipped)));
     }
 

@@ -167,6 +167,17 @@ impl Budget {
         self
     }
 
+    /// Whether any of this budget's cancellation sources has fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancels.iter().any(CancelToken::is_cancelled)
+    }
+
+    /// The cancellation sources (the batch runner's skip test polls these
+    /// without arming the budget).
+    pub(crate) fn cancel_tokens(&self) -> &[CancelToken] {
+        &self.cancels
+    }
+
     /// The tightest combination of two budgets: min of every cap, union of
     /// the cancellation sources.
     pub fn merged(&self, other: &Budget) -> Budget {

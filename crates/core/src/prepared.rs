@@ -35,6 +35,30 @@ use ltt_waveform::{Level, Signal, Time};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
+/// How a prepared circuit holds its netlist.
+///
+/// The classic, allocation-free form borrows the caller's circuit for the
+/// scope of a run. The shared form owns an [`Arc`], which is what a
+/// long-lived circuit registry (the serving layer) needs: the resulting
+/// `PreparedCircuit<'static>` / `CheckSession<'static>` can live in a cache
+/// and outlive any one request, and dropping the cache entry frees the
+/// circuit — no leaked `'static` borrows.
+enum CircuitHandle<'c> {
+    /// Borrowed for the scope `'c` (one-shot runs, tests, the CLI).
+    Borrowed(&'c Circuit),
+    /// Shared ownership (registry entries; `'c` may be `'static`).
+    Shared(Arc<Circuit>),
+}
+
+impl CircuitHandle<'_> {
+    fn get(&self) -> &Circuit {
+        match self {
+            CircuitHandle::Borrowed(c) => c,
+            CircuitHandle::Shared(c) => c,
+        }
+    }
+}
+
 /// Per-output static analyses (computed lazily, cached per output).
 struct OutputAnalysis {
     /// `longest_to(output)`: max path delay from each net to the output.
@@ -65,7 +89,7 @@ struct OutputAnalysis {
 /// assert!(!prepared.static_dominators(s).is_empty());
 /// ```
 pub struct PreparedCircuit<'c> {
-    circuit: &'c Circuit,
+    circuit: CircuitHandle<'c>,
     table: Option<Arc<ImplicationTable>>,
     arrival: OnceLock<Vec<i64>>,
     controllability: OnceLock<Controllability>,
@@ -90,6 +114,25 @@ impl<'c> PreparedCircuit<'c> {
     /// Prepares a circuit around an already-learned implication table
     /// (or none), for callers that manage learning themselves.
     pub fn with_table(circuit: &'c Circuit, table: Option<Arc<ImplicationTable>>) -> Self {
+        Self::from_handle(CircuitHandle::Borrowed(circuit), table)
+    }
+
+    /// [`PreparedCircuit::new`] with shared ownership: the prepared circuit
+    /// owns (a reference count on) its netlist, so it needs no enclosing
+    /// borrow scope. This is the registry hook — a circuit cache stores
+    /// `PreparedCircuit<'static>` entries and each entry's analyses are
+    /// computed once, shared by every request that names the circuit.
+    pub fn new_shared(circuit: Arc<Circuit>, learning: LearningMode) -> PreparedCircuit<'static> {
+        let table = match learning {
+            LearningMode::Off => None,
+            LearningMode::Stems => Some(Arc::new(ImplicationTable::learn_stems(&circuit))),
+            LearningMode::All => Some(Arc::new(ImplicationTable::learn(&circuit))),
+        };
+        PreparedCircuit::from_handle(CircuitHandle::Shared(circuit), table)
+    }
+
+    fn from_handle(circuit: CircuitHandle<'c>, table: Option<Arc<ImplicationTable>>) -> Self {
+        let num_outputs = circuit.get().outputs().len();
         PreparedCircuit {
             circuit,
             table,
@@ -97,13 +140,13 @@ impl<'c> PreparedCircuit<'c> {
             controllability: OnceLock::new(),
             observability: OnceLock::new(),
             stem_mask: OnceLock::new(),
-            per_output: circuit.outputs().iter().map(|_| OnceLock::new()).collect(),
+            per_output: (0..num_outputs).map(|_| OnceLock::new()).collect(),
         }
     }
 
     /// The underlying circuit.
-    pub fn circuit(&self) -> &'c Circuit {
-        self.circuit
+    pub fn circuit(&self) -> &Circuit {
+        self.circuit.get()
     }
 
     /// The shared static-learning table, if learning is enabled.
@@ -113,19 +156,19 @@ impl<'c> PreparedCircuit<'c> {
 
     /// Topological arrival times (`max` delay to each net), cached.
     pub fn arrival_times(&self) -> &[i64] {
-        self.arrival.get_or_init(|| self.circuit.arrival_times())
+        self.arrival.get_or_init(|| self.circuit().arrival_times())
     }
 
     /// SCOAP controllabilities (case-analysis guidance), cached.
     pub fn controllability(&self) -> &Controllability {
         self.controllability
-            .get_or_init(|| Controllability::compute(self.circuit))
+            .get_or_init(|| Controllability::compute(self.circuit()))
     }
 
     /// SCOAP observabilities, cached.
     pub fn observability(&self) -> &Observability {
         self.observability
-            .get_or_init(|| Observability::compute(self.circuit, self.controllability()))
+            .get_or_init(|| Observability::compute(self.circuit(), self.controllability()))
     }
 
     /// Per-net mask of reconvergent fanout stems — the stem-correlation
@@ -133,11 +176,10 @@ impl<'c> PreparedCircuit<'c> {
     /// far the most expensive of the per-check re-derivations it replaces).
     pub fn stem_candidates(&self) -> &[bool] {
         self.stem_mask.get_or_init(|| {
-            self.circuit
+            let circuit = self.circuit();
+            circuit
                 .net_ids()
-                .map(|n| {
-                    self.circuit.net(n).is_fanout_stem() && self.circuit.is_reconvergent_stem(n)
-                })
+                .map(|n| circuit.net(n).is_fanout_stem() && circuit.is_reconvergent_stem(n))
                 .collect()
         })
     }
@@ -167,24 +209,24 @@ impl<'c> PreparedCircuit<'c> {
 
     fn output_analysis(&self, output: NetId) -> &OutputAnalysis {
         let pos = self
-            .circuit
+            .circuit()
             .outputs()
             .iter()
             .position(|&o| o == output)
             .expect("per-output analyses exist for primary outputs only");
         self.per_output[pos].get_or_init(|| {
-            let distances = self.circuit.longest_to(output);
+            let distances = self.circuit().longest_to(output);
             let arrival = self.arrival_times();
             let delta = arrival[output.index()];
             let carriers: Vec<Option<i64>> = self
-                .circuit
+                .circuit()
                 .net_ids()
                 .map(|x| match distances[x.index()] {
                     Some(d) if arrival[x.index()] + d >= delta => Some(d),
                     _ => None,
                 })
                 .collect();
-            let dominators = crate::carriers::timing_dominators(self.circuit, &carriers, output);
+            let dominators = crate::carriers::timing_dominators(self.circuit(), &carriers, output);
             OutputAnalysis {
                 distances,
                 dominators,
@@ -234,6 +276,14 @@ impl<'c> CheckSession<'c> {
         Self::with_prepared(prepared, config)
     }
 
+    /// [`CheckSession::new`] with shared ownership of the circuit: the
+    /// session carries its own reference count, so it can live in a
+    /// long-lived registry (`CheckSession<'static>`) and be dropped freely.
+    pub fn new_shared(circuit: Arc<Circuit>, config: VerifyConfig) -> CheckSession<'static> {
+        let prepared = PreparedCircuit::new_shared(circuit, config.learning);
+        CheckSession::with_prepared(prepared, config)
+    }
+
     /// Opens a session around an existing [`PreparedCircuit`] (whose table,
     /// not `config.learning`, decides what learning applies).
     pub fn with_prepared(prepared: PreparedCircuit<'c>, config: VerifyConfig) -> Self {
@@ -255,7 +305,7 @@ impl<'c> CheckSession<'c> {
     }
 
     /// The circuit under check.
-    pub fn circuit(&self) -> &'c Circuit {
+    pub fn circuit(&self) -> &Circuit {
         self.prepared.circuit()
     }
 
@@ -268,7 +318,7 @@ impl<'c> CheckSession<'c> {
 
     /// A narrower carrying the input-mode and learning-constant
     /// constraints, not yet propagated.
-    fn fresh_narrower(&self) -> Narrower<'c> {
+    fn fresh_narrower(&self) -> Narrower<'_> {
         let circuit = self.prepared.circuit();
         let mut nw = Narrower::new(circuit);
         if let Some(table) = self.prepared.implication_table() {
@@ -289,7 +339,7 @@ impl<'c> CheckSession<'c> {
     }
 
     /// A narrower seeded at the session's base fixpoint (computed once).
-    fn narrower_at_base(&self) -> Narrower<'c> {
+    fn narrower_at_base(&self) -> Narrower<'_> {
         let base = self.base.get_or_init(|| {
             let mut nw = self.fresh_narrower();
             nw.reach_fixpoint();

@@ -1,0 +1,64 @@
+//! A small blocking client for the serving protocol.
+//!
+//! Used by `ltt client`, the `loadgen` load generator, and the
+//! integration tests. One [`Client`] is one connection; requests can be
+//! pipelined ([`Client::send`] several lines, then [`Client::recv`] the
+//! replies) or issued RPC-style with [`Client::call`].
+
+use crate::wire::{decode, Json};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking connection to an `ltt-serve` daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request line without waiting for the reply.
+    pub fn send(&mut self, request: &Json) -> std::io::Result<()> {
+        writeln!(self.writer, "{}", request.encode())?;
+        self.writer.flush()
+    }
+
+    /// Receives the next response line; `Ok(None)` on a clean EOF (the
+    /// server closed the connection).
+    pub fn recv(&mut self) -> std::io::Result<Option<Json>> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Ok(None);
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return decode(line.trim())
+                .map(Some)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e));
+        }
+    }
+
+    /// One request, one reply (the RPC shape).
+    pub fn call(&mut self, request: &Json) -> std::io::Result<Json> {
+        self.send(request)?;
+        self.recv()?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before replying",
+            )
+        })
+    }
+}

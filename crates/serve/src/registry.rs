@@ -1,0 +1,361 @@
+//! The content-hashed, LRU-bounded circuit registry.
+//!
+//! Each entry pairs a parsed [`Circuit`] with a shared
+//! [`CheckSession`]`<'static>`: the expensive per-circuit analyses
+//! (implication table, SCOAP, arrival times, dominators, base fixpoint)
+//! are computed once per *content*, then reused by every request that
+//! names the circuit. Entries are keyed by an FNV-1a hash of
+//! `(format, delay, source)`, so re-registering byte-identical content —
+//! even under a different name — is a cache hit that re-parses nothing.
+//!
+//! The registry is bounded: inserting beyond capacity evicts the
+//! least-recently-used entry. Eviction only drops the registry's
+//! reference; requests already holding the [`Arc<CircuitEntry>`] finish
+//! normally and the entry is freed when the last one completes.
+
+use crate::proto::{ErrorCode, ProtoError};
+use ltt_core::{CheckSession, VerifyConfig};
+use ltt_netlist::bench_format::parse_bench;
+use ltt_netlist::verilog::parse_verilog;
+use ltt_netlist::{Circuit, DelayInterval};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Content hash of a registration: 64-bit FNV-1a over the format, the
+/// per-gate delay, and the netlist source, rendered as 16 hex digits.
+/// (A non-cryptographic hash is fine here: the registry is a cache, and a
+/// collision's worst case is answering for the colliding circuit — the
+/// same trust model as the netlist itself, which the client also supplies.)
+pub fn content_id(format: &str, delay: u32, source: &str) -> String {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    eat(format.as_bytes());
+    eat(&[0]);
+    eat(&delay.to_le_bytes());
+    eat(&[0]);
+    eat(source.as_bytes());
+    format!("{hash:016x}")
+}
+
+/// One registered circuit: identity, parsed netlist, and the shared
+/// prepared session every request against it reuses.
+pub struct CircuitEntry {
+    /// The content hash (the canonical registry key).
+    pub id: String,
+    /// The name it was registered under (an alias key; a later
+    /// registration may rebind the name to different content).
+    pub name: String,
+    /// The parsed netlist.
+    pub circuit: Arc<Circuit>,
+    /// The shared check session (default full-pipeline configuration).
+    pub session: CheckSession<'static>,
+}
+
+impl std::fmt::Debug for CircuitEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CircuitEntry")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("nets", &self.circuit.num_nets())
+            .finish()
+    }
+}
+
+/// Registry occupancy and traffic counters (the `status` payload).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Maximum resident entries.
+    pub capacity: usize,
+    /// Lookups (and re-registrations) served from a resident entry.
+    pub hits: u64,
+    /// Lookups that found nothing / registrations that had to parse.
+    pub misses: u64,
+    /// Entries evicted by the LRU bound.
+    pub evictions: u64,
+}
+
+impl RegistryStats {
+    /// Hits as a fraction of all lookups (`None` before any traffic).
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+}
+
+struct Inner {
+    /// Most-recently-used first.
+    entries: VecDeque<Arc<CircuitEntry>>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A bounded, thread-safe circuit cache (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use ltt_serve::CircuitRegistry;
+///
+/// let registry = CircuitRegistry::new(4);
+/// let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n";
+/// let (entry, cached) = registry.register("tiny", "bench", src, 10).unwrap();
+/// assert!(!cached);
+/// // Same content, different name: no re-parse, no re-prepare.
+/// let (again, cached) = registry.register("tiny2", "bench", src, 10).unwrap();
+/// assert!(cached);
+/// assert_eq!(entry.id, again.id);
+/// ```
+pub struct CircuitRegistry {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl CircuitRegistry {
+    /// A registry holding at most `capacity` circuits (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        CircuitRegistry {
+            inner: Mutex::new(Inner {
+                entries: VecDeque::new(),
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Registers a netlist: parses it (unless byte-identical content is
+    /// already resident), builds the shared session, and returns the entry
+    /// plus whether it was a cache hit. Parsing and session construction
+    /// run *outside* the registry lock, so a slow parse never blocks
+    /// concurrent lookups.
+    pub fn register(
+        &self,
+        name: &str,
+        format: &str,
+        source: &str,
+        delay: u32,
+    ) -> Result<(Arc<CircuitEntry>, bool), ProtoError> {
+        let id = content_id(format, delay, source);
+        // `count_miss: false`: a cold registration counts one miss (in the
+        // insert path below), not one per probe.
+        if let Some(entry) = self.touch_with(|e| e.id == id, false) {
+            return Ok((entry, true));
+        }
+        let circuit = parse_circuit(name, format, source, delay)?;
+        let circuit = Arc::new(circuit);
+        let entry = Arc::new(CircuitEntry {
+            id: id.clone(),
+            name: name.to_string(),
+            session: CheckSession::new_shared(circuit.clone(), VerifyConfig::default()),
+            circuit,
+        });
+        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        // Double-check: a racing registration of the same content wins if
+        // it got here first — reuse its entry (and its warm analyses)
+        // rather than shadowing it with ours.
+        if let Some(pos) = inner.entries.iter().position(|e| e.id == id) {
+            let existing = inner.entries.remove(pos).expect("position just found");
+            inner.entries.push_front(existing.clone());
+            inner.hits += 1;
+            return Ok((existing, true));
+        }
+        inner.misses += 1;
+        inner.entries.push_front(entry.clone());
+        while inner.entries.len() > self.capacity {
+            inner.entries.pop_back();
+            inner.evictions += 1;
+        }
+        Ok((entry, false))
+    }
+
+    /// Looks up an entry by content id or by registered name (most
+    /// recently used wins when several names collide) and marks it
+    /// most-recently-used.
+    pub fn lookup(&self, key: &str) -> Result<Arc<CircuitEntry>, ProtoError> {
+        self.touch(|e| e.id == key || e.name == key).ok_or_else(|| {
+            ProtoError::new(
+                ErrorCode::UnknownCircuit,
+                format!("no registered circuit `{key}` (register it, or it may have been evicted)"),
+            )
+        })
+    }
+
+    /// Finds the first (most-recently-used) entry matching `pred`, moves
+    /// it to the front, and counts the hit/miss.
+    fn touch(&self, pred: impl Fn(&CircuitEntry) -> bool) -> Option<Arc<CircuitEntry>> {
+        self.touch_with(pred, true)
+    }
+
+    /// [`CircuitRegistry::touch`] with the miss accounting optional (a
+    /// registration's pre-probe must not count a miss the insert path will
+    /// count again).
+    fn touch_with(
+        &self,
+        pred: impl Fn(&CircuitEntry) -> bool,
+        count_miss: bool,
+    ) -> Option<Arc<CircuitEntry>> {
+        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        match inner.entries.iter().position(|e| pred(e)) {
+            Some(pos) => {
+                let entry = inner.entries.remove(pos).expect("position just found");
+                inner.entries.push_front(entry.clone());
+                inner.hits += 1;
+                Some(entry)
+            }
+            None => {
+                if count_miss {
+                    inner.misses += 1;
+                }
+                None
+            }
+        }
+    }
+
+    /// A snapshot of the registry counters.
+    pub fn stats(&self) -> RegistryStats {
+        let inner = self.inner.lock().expect("registry lock poisoned");
+        RegistryStats {
+            entries: inner.entries.len(),
+            capacity: self.capacity,
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+        }
+    }
+}
+
+fn parse_circuit(
+    name: &str,
+    format: &str,
+    source: &str,
+    delay: u32,
+) -> Result<Circuit, ProtoError> {
+    let delay = DelayInterval::fixed(delay);
+    let invalid = |e: String| ProtoError::new(ErrorCode::InvalidNetlist, e);
+    match format {
+        "bench" => parse_bench(name, source, delay).map_err(|e| invalid(e.to_string())),
+        "verilog" => parse_verilog(source, delay).map_err(|e| invalid(e.to_string())),
+        other => Err(ProtoError::new(
+            ErrorCode::BadRequest,
+            format!("unknown format `{other}`"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: &str = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n";
+    const TINY2: &str = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n";
+    const TINY3: &str = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
+
+    #[test]
+    fn content_id_is_stable_and_discriminating() {
+        let a = content_id("bench", 10, TINY);
+        assert_eq!(a, content_id("bench", 10, TINY));
+        assert_eq!(a.len(), 16);
+        assert_ne!(a, content_id("bench", 10, TINY2));
+        assert_ne!(a, content_id("bench", 11, TINY));
+        assert_ne!(a, content_id("verilog", 10, TINY));
+    }
+
+    #[test]
+    fn register_then_lookup_by_id_and_name() {
+        let registry = CircuitRegistry::new(4);
+        let (entry, cached) = registry.register("tiny", "bench", TINY, 10).unwrap();
+        assert!(!cached);
+        assert_eq!(registry.lookup(&entry.id).unwrap().id, entry.id);
+        assert_eq!(registry.lookup("tiny").unwrap().id, entry.id);
+        assert!(registry.lookup("nope").is_err());
+        assert_eq!(
+            registry.lookup("nope").unwrap_err().code,
+            ErrorCode::UnknownCircuit
+        );
+    }
+
+    #[test]
+    fn identical_content_is_a_hit_even_under_a_new_name() {
+        let registry = CircuitRegistry::new(4);
+        let (a, _) = registry.register("one", "bench", TINY, 10).unwrap();
+        let (b, cached) = registry.register("two", "bench", TINY, 10).unwrap();
+        assert!(cached);
+        assert!(Arc::ptr_eq(&a, &b));
+        // The alias name of the first registration still resolves; the
+        // second name does not create a second entry.
+        assert_eq!(registry.stats().entries, 1);
+    }
+
+    #[test]
+    fn sessions_are_usable_and_shared() {
+        let registry = CircuitRegistry::new(4);
+        let (entry, _) = registry.register("tiny", "bench", TINY, 10).unwrap();
+        let y = entry.circuit.outputs()[0];
+        // NAND of two inputs: exact delay is one gate.
+        assert!(entry.session.verify(y, 11).verdict.is_no_violation());
+        assert!(entry.session.verify(y, 10).verdict.is_violation());
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let registry = CircuitRegistry::new(2);
+        registry.register("a", "bench", TINY, 10).unwrap();
+        registry.register("b", "bench", TINY2, 10).unwrap();
+        // Touch `a` so `b` is now coldest.
+        registry.lookup("a").unwrap();
+        registry.register("c", "bench", TINY3, 10).unwrap();
+        assert!(registry.lookup("a").is_ok());
+        assert!(registry.lookup("c").is_ok());
+        assert!(registry.lookup("b").is_err());
+        let stats = registry.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+    }
+
+    #[test]
+    fn evicted_entries_survive_while_held() {
+        let registry = CircuitRegistry::new(1);
+        let (held, _) = registry.register("a", "bench", TINY, 10).unwrap();
+        registry.register("b", "bench", TINY2, 10).unwrap();
+        assert!(registry.lookup("a").is_err(), "evicted from the registry");
+        // …but the Arc we hold still works.
+        let y = held.circuit.outputs()[0];
+        assert!(held.session.verify(y, 11).verdict.is_no_violation());
+    }
+
+    #[test]
+    fn parse_failures_are_classified() {
+        let registry = CircuitRegistry::new(2);
+        let err = registry
+            .register("bad", "bench", "y = FROB(a)\n", 10)
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::InvalidNetlist);
+        let err = registry.register("bad", "vhdl", TINY, 10).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn stats_and_hit_rate() {
+        let registry = CircuitRegistry::new(2);
+        assert_eq!(registry.stats().hit_rate(), None);
+        registry.register("a", "bench", TINY, 10).unwrap(); // miss
+        registry.lookup("a").unwrap(); // hit
+        registry.lookup("a").unwrap(); // hit
+        let _ = registry.lookup("zzz"); // miss
+        let stats = registry.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hit_rate(), Some(0.5));
+    }
+}

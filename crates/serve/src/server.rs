@@ -1,0 +1,799 @@
+//! The TCP daemon: accept loop, per-connection readers, bounded worker
+//! pool, admission control, and graceful drain.
+//!
+//! # Architecture
+//!
+//! One thread per connection **reads**; a fixed pool of worker threads
+//! **computes**; replies are written through a shared, mutex-guarded
+//! clone of the connection's stream, so workers answer while the reader
+//! is already blocked on the next line (requests pipeline naturally).
+//!
+//! Cheap operations (`register`, `status`, `shutdown`) execute inline on
+//! the reader thread. Check work (`check`, `batch_check`, `delay`) goes
+//! through one bounded queue shared by every connection — the admission
+//! point. A full queue yields an immediate structured `overloaded` reply:
+//! the server sheds load explicitly instead of buffering unboundedly and
+//! timing everyone out.
+//!
+//! Every connection owns a [`CancelToken`]. When the peer disconnects
+//! (EOF or a read error) the token fires, and because each of the
+//! connection's queued/running jobs executes under a
+//! [`BatchRunner::with_cancel`] carrying that token, in-flight analysis
+//! degrades to sound partial results and unstarted checks are skipped —
+//! a dead client stops costing CPU within one budget-poll interval.
+//!
+//! A `shutdown` request (or [`ServerHandle::shutdown`]) begins a drain:
+//! queued and in-flight work completes and is answered, new connections
+//! and new work are refused, and [`Server::run`] returns once the pool is
+//! idle. The readers poll the drain flag at their 100 ms read-timeout
+//! cadence, so a drain completes promptly even with idle connections
+//! open.
+
+use crate::proto::{
+    batch_json, delay_json, error_response, ok_response, ErrorCode, ProtoError, Request,
+    RequestBody, RunOpts,
+};
+use crate::registry::{CircuitRegistry, RegistryStats};
+use crate::wire::{decode, Json};
+use ltt_core::{available_jobs, BatchRunner, Budget, CancelToken, CheckSession};
+use ltt_netlist::NetId;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How often blocked readers and the accept loop re-check the drain flag.
+const POLL: Duration = Duration::from_millis(100);
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker-pool size; `0` means one per available hardware thread.
+    pub jobs: usize,
+    /// Admission bound: queued (not yet running) requests beyond this are
+    /// refused with `overloaded`.
+    pub queue_cap: usize,
+    /// Maximum circuits resident in the registry (LRU beyond this).
+    pub registry_cap: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            jobs: 0,
+            queue_cap: 64,
+            registry_cap: 16,
+        }
+    }
+}
+
+/// Monotonic counters exposed by `status`.
+#[derive(Debug, Default)]
+struct Counters {
+    connections_total: AtomicU64,
+    connections_open: AtomicU64,
+    completed: AtomicU64,
+    in_flight: AtomicU64,
+    overloaded: AtomicU64,
+    budget_tripped: AtomicU64,
+    panicked: AtomicU64,
+    disconnect_cancels: AtomicU64,
+}
+
+/// One unit of admitted work: executed by a worker, replied through the
+/// originating connection's shared writer.
+struct Job {
+    /// The computation; returns the reply to send.
+    work: Box<dyn FnOnce() -> Json + Send>,
+    /// Where to send the reply.
+    reply: ReplyHandle,
+    /// Correlation id for the last-resort internal-error reply.
+    id: Option<Json>,
+}
+
+/// State shared by the accept loop, readers, workers, and handles.
+struct Shared {
+    registry: CircuitRegistry,
+    queue: Mutex<VecDeque<Job>>,
+    job_ready: Condvar,
+    draining: AtomicBool,
+    queue_cap: usize,
+    counters: Counters,
+    started: Instant,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Release);
+        self.job_ready.notify_all();
+    }
+}
+
+/// A writer half shared between the reader thread and the workers; every
+/// reply is one locked `write + flush`, so concurrent replies interleave
+/// at line granularity, never within a line.
+#[derive(Clone)]
+struct ReplyHandle(Arc<Mutex<TcpStream>>);
+
+impl ReplyHandle {
+    /// Sends one response line. Write errors are swallowed: a reply that
+    /// cannot be delivered means the client is gone, and the connection's
+    /// cancel token (driven by the reader's EOF) already handles that.
+    fn send(&self, response: &Json) {
+        let mut stream = self.0.lock().expect("reply lock poisoned");
+        let _ = writeln!(stream, "{}", response.encode());
+        let _ = stream.flush();
+    }
+}
+
+/// A control handle onto a running server (shutdown from tests or a
+/// supervising thread; `status`-style introspection).
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `addr` requested `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begins a graceful drain, exactly like a `shutdown` request.
+    pub fn shutdown(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// Whether a drain has begun.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining()
+    }
+
+    /// Registry counters (for tests and supervisors; clients use the
+    /// `status` request).
+    pub fn registry_stats(&self) -> RegistryStats {
+        self.shared.registry.stats()
+    }
+}
+
+/// The daemon. [`Server::bind`] claims the socket; [`Server::run`] serves
+/// until a drain completes.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    jobs: usize,
+}
+
+impl Server {
+    /// Binds the listening socket and builds the shared state. No threads
+    /// run until [`Server::run`].
+    pub fn bind(config: &ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let shared = Arc::new(Shared {
+            registry: CircuitRegistry::new(config.registry_cap),
+            queue: Mutex::new(VecDeque::new()),
+            job_ready: Condvar::new(),
+            draining: AtomicBool::new(false),
+            queue_cap: config.queue_cap.max(1),
+            counters: Counters::default(),
+            started: Instant::now(),
+        });
+        Ok(Server {
+            listener,
+            shared,
+            jobs: if config.jobs == 0 {
+                available_jobs()
+            } else {
+                config.jobs
+            },
+        })
+    }
+
+    /// The bound address (the real ephemeral port after binding `:0`).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A control handle usable from other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: self.shared.clone(),
+            addr: self
+                .listener
+                .local_addr()
+                .expect("bound listener has an address"),
+        }
+    }
+
+    /// Serves until a `shutdown` request (or [`ServerHandle::shutdown`])
+    /// drains the server: accepts connections, spawns one reader per
+    /// connection, runs the worker pool, and returns once every queued and
+    /// in-flight job has been answered.
+    pub fn run(self) -> std::io::Result<()> {
+        let workers: Vec<_> = (0..self.jobs.max(1))
+            .map(|_| {
+                let shared = self.shared.clone();
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        self.listener.set_nonblocking(true)?;
+        let mut readers = Vec::new();
+        loop {
+            if self.shared.draining() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    // One-line replies must leave now, not after Nagle and
+                    // the peer's delayed ACK agree (a ~40 ms tax per RPC).
+                    stream.set_nodelay(true).ok();
+                    let shared = self.shared.clone();
+                    readers.push(std::thread::spawn(move || {
+                        serve_connection(stream, &shared);
+                    }));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Drain: workers exit once the queue is empty; readers notice the
+        // flag within one read-timeout tick.
+        for worker in workers {
+            let _ = worker.join();
+        }
+        for reader in readers {
+            let _ = reader.join();
+        }
+        Ok(())
+    }
+}
+
+/// Runs a daemon with the given config, printing the bound address to
+/// stdout (`listening on ADDR`) before serving — the line scripts and the
+/// smoke test parse to discover an ephemeral port.
+pub fn serve(config: &ServeConfig) -> std::io::Result<()> {
+    let server = Server::bind(config)?;
+    println!("listening on {}", server.local_addr()?);
+    std::io::stdout().flush()?;
+    server.run()
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue lock poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.draining() {
+                    break None;
+                }
+                queue = shared
+                    .job_ready
+                    .wait_timeout(queue, POLL)
+                    .expect("queue lock poisoned")
+                    .0;
+            }
+        };
+        let Some(job) = job else { return };
+        shared.counters.in_flight.fetch_add(1, Ordering::Relaxed);
+        // Last-resort isolation: the batch engine already catches per-check
+        // panics, so tripping this means a harness bug — count it, answer
+        // with a structured internal error, keep the worker alive.
+        let response = catch_unwind(AssertUnwindSafe(job.work)).unwrap_or_else(|_| {
+            shared.counters.panicked.fetch_add(1, Ordering::Relaxed);
+            error_response(
+                job.id.as_ref(),
+                &ProtoError::new(ErrorCode::Internal, "request handler panicked"),
+            )
+        });
+        job.reply.send(&response);
+        shared.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+        shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    shared
+        .counters
+        .connections_total
+        .fetch_add(1, Ordering::Relaxed);
+    shared
+        .counters
+        .connections_open
+        .fetch_add(1, Ordering::Relaxed);
+    let cancel = CancelToken::new();
+    let disconnected = read_loop(stream, shared, &cancel);
+    if disconnected {
+        // The peer vanished: abort everything this connection still has
+        // queued or running. (A drain-triggered exit is NOT a disconnect —
+        // pending work must complete and be answered.)
+        cancel.cancel();
+        shared
+            .counters
+            .disconnect_cancels
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    shared
+        .counters
+        .connections_open
+        .fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Reads and dispatches request lines until EOF, a read error, or a drain.
+/// Returns whether the peer disconnected (as opposed to a drain exit).
+fn read_loop(stream: TcpStream, shared: &Arc<Shared>, cancel: &CancelToken) -> bool {
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return true;
+    }
+    let reply = match stream.try_clone() {
+        Ok(w) => ReplyHandle(Arc::new(Mutex::new(w))),
+        Err(_) => return true,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return true,
+            Ok(_) => {
+                let text = line.trim().to_string();
+                line.clear();
+                if !text.is_empty() {
+                    dispatch(&text, shared, cancel, &reply);
+                }
+            }
+            // Timeout mid-wait: `read_line` may have appended a partial
+            // line already, so `line` must NOT be cleared here.
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.draining() {
+                    return false;
+                }
+            }
+            Err(_) => return true,
+        }
+    }
+}
+
+/// Parses and executes one request line: inline for control operations,
+/// through the admission queue for check work.
+fn dispatch(text: &str, shared: &Arc<Shared>, cancel: &CancelToken, reply: &ReplyHandle) {
+    let json = match decode(text) {
+        Ok(json) => json,
+        Err(e) => {
+            // The line never parsed, so no correlation id is recoverable.
+            reply.send(&error_response(
+                None,
+                &ProtoError::new(ErrorCode::BadRequest, format!("invalid JSON: {e}")),
+            ));
+            return;
+        }
+    };
+    let request = match Request::parse(&json) {
+        Ok(request) => request,
+        Err(e) => {
+            reply.send(&error_response(json.get("id"), &e));
+            return;
+        }
+    };
+    let id = request.id;
+    let refuse_if_draining = |op: &str| -> bool {
+        if shared.draining() {
+            reply.send(&error_response(
+                id.as_ref(),
+                &ProtoError::new(
+                    ErrorCode::ShuttingDown,
+                    format!("server is draining; `{op}` refused"),
+                ),
+            ));
+            true
+        } else {
+            false
+        }
+    };
+    match request.body {
+        RequestBody::Status => reply.send(&status_response(shared, id.as_ref())),
+        RequestBody::Shutdown => {
+            shared.begin_drain();
+            reply.send(&ok_response("shutdown", id.as_ref(), vec![]));
+        }
+        RequestBody::Register {
+            name,
+            format,
+            source,
+            delay,
+        } => {
+            if refuse_if_draining("register") {
+                return;
+            }
+            match shared.registry.register(&name, &format, &source, delay) {
+                Ok((entry, cached)) => {
+                    let outputs: Vec<Json> = entry
+                        .circuit
+                        .outputs()
+                        .iter()
+                        .map(|&o| Json::str(entry.circuit.net(o).name()))
+                        .collect();
+                    reply.send(&ok_response(
+                        "register",
+                        id.as_ref(),
+                        vec![
+                            ("circuit".to_string(), Json::str(entry.id.clone())),
+                            ("name".to_string(), Json::str(name)),
+                            ("cached".to_string(), Json::Bool(cached)),
+                            (
+                                "inputs".to_string(),
+                                Json::Int(entry.circuit.inputs().len() as i64),
+                            ),
+                            ("outputs".to_string(), Json::Arr(outputs)),
+                            (
+                                "gates".to_string(),
+                                Json::Int(entry.circuit.num_gates() as i64),
+                            ),
+                        ],
+                    ));
+                }
+                Err(e) => reply.send(&error_response(id.as_ref(), &e)),
+            }
+        }
+        RequestBody::Check {
+            circuit,
+            output,
+            delta,
+            opts,
+        } => {
+            if refuse_if_draining("check") {
+                return;
+            }
+            submit_checks(
+                shared,
+                cancel,
+                reply,
+                id,
+                "check",
+                &circuit,
+                NamedChecks::Explicit(vec![(output, delta)]),
+                opts,
+            );
+        }
+        RequestBody::BatchCheck {
+            circuit,
+            checks,
+            opts,
+        } => {
+            if refuse_if_draining("batch_check") {
+                return;
+            }
+            let named = match checks {
+                crate::proto::CheckSet::Explicit(pairs) => NamedChecks::Explicit(pairs),
+                crate::proto::CheckSet::AllOutputs(delta) => NamedChecks::AllOutputs(delta),
+            };
+            submit_checks(
+                shared,
+                cancel,
+                reply,
+                id,
+                "batch_check",
+                &circuit,
+                named,
+                opts,
+            );
+        }
+        RequestBody::Delay {
+            circuit,
+            output,
+            opts,
+        } => {
+            if refuse_if_draining("delay") {
+                return;
+            }
+            submit_delay(shared, cancel, reply, id, &circuit, output, opts);
+        }
+    }
+}
+
+/// The checks of one request, outputs still by name.
+enum NamedChecks {
+    Explicit(Vec<(String, i64)>),
+    AllOutputs(i64),
+}
+
+/// Resolves one output name to its [`NetId`], requiring a primary output.
+fn resolve_output(session: &CheckSession<'static>, name: &str) -> Result<NetId, ProtoError> {
+    session
+        .circuit()
+        .net_by_name(name)
+        .filter(|n| session.circuit().outputs().contains(n))
+        .ok_or_else(|| {
+            ProtoError::new(
+                ErrorCode::UnknownOutput,
+                format!("`{name}` is not a primary output of the circuit"),
+            )
+        })
+}
+
+/// Builds the per-request batch engine: the connection's cancel token
+/// always rides along; the request's opts add deadline, backtrack cap, and
+/// fail-fast on top.
+fn build_runner(opts: &RunOpts, cancel: &CancelToken) -> BatchRunner {
+    let mut runner = BatchRunner::new(opts.jobs.max(1))
+        .with_cancel(cancel.clone())
+        .with_fail_fast(opts.fail_fast);
+    if let Some(ms) = opts.deadline_ms {
+        runner = runner.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(max) = opts.max_backtracks {
+        runner = runner.with_budget(Budget::unlimited().with_backtracks(max));
+    }
+    runner
+}
+
+/// Admission control: enqueue `job` or refuse with `overloaded`.
+fn admit(shared: &Arc<Shared>, reply: &ReplyHandle, job: Job) {
+    let mut queue = shared.queue.lock().expect("queue lock poisoned");
+    if queue.len() >= shared.queue_cap {
+        drop(queue);
+        shared.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+        reply.send(&error_response(
+            job.id.as_ref(),
+            &ProtoError::new(
+                ErrorCode::Overloaded,
+                format!(
+                    "work queue is full ({} pending); retry later",
+                    shared.queue_cap
+                ),
+            ),
+        ));
+        return;
+    }
+    queue.push_back(job);
+    drop(queue);
+    shared.job_ready.notify_one();
+}
+
+#[allow(clippy::too_many_arguments)]
+fn submit_checks(
+    shared: &Arc<Shared>,
+    cancel: &CancelToken,
+    reply: &ReplyHandle,
+    id: Option<Json>,
+    op: &'static str,
+    circuit_key: &str,
+    named: NamedChecks,
+    opts: RunOpts,
+) {
+    // Resolve the registry entry and the outputs inline: lookup failures
+    // answer immediately instead of consuming a queue slot.
+    let entry = match shared.registry.lookup(circuit_key) {
+        Ok(entry) => entry,
+        Err(e) => {
+            reply.send(&error_response(id.as_ref(), &e));
+            return;
+        }
+    };
+    let (names, checks): (Vec<String>, Vec<(NetId, i64)>) = match named {
+        NamedChecks::Explicit(pairs) => {
+            let mut names = Vec::with_capacity(pairs.len());
+            let mut checks = Vec::with_capacity(pairs.len());
+            for (name, delta) in pairs {
+                match resolve_output(&entry.session, &name) {
+                    Ok(net) => {
+                        names.push(name);
+                        checks.push((net, delta));
+                    }
+                    Err(e) => {
+                        reply.send(&error_response(id.as_ref(), &e));
+                        return;
+                    }
+                }
+            }
+            (names, checks)
+        }
+        NamedChecks::AllOutputs(delta) => entry
+            .circuit
+            .outputs()
+            .iter()
+            .map(|&o| (entry.circuit.net(o).name().to_string(), (o, delta)))
+            .unzip(),
+    };
+    let runner = build_runner(&opts, cancel);
+    let shared_for_job = shared.clone();
+    let job_id = id.clone();
+    admit(
+        shared,
+        reply,
+        Job {
+            reply: reply.clone(),
+            id,
+            work: Box::new(move || {
+                let batch = runner.run(&entry.session, &checks);
+                let tripped = batch
+                    .reports
+                    .iter()
+                    .filter(|r| !r.completeness.is_exact())
+                    .count() as u64;
+                if tripped > 0 {
+                    shared_for_job
+                        .counters
+                        .budget_tripped
+                        .fetch_add(tripped, Ordering::Relaxed);
+                }
+                ok_response(op, job_id.as_ref(), batch_json(&batch, &names))
+            }),
+        },
+    );
+}
+
+fn submit_delay(
+    shared: &Arc<Shared>,
+    cancel: &CancelToken,
+    reply: &ReplyHandle,
+    id: Option<Json>,
+    circuit_key: &str,
+    output: Option<String>,
+    opts: RunOpts,
+) {
+    let entry = match shared.registry.lookup(circuit_key) {
+        Ok(entry) => entry,
+        Err(e) => {
+            reply.send(&error_response(id.as_ref(), &e));
+            return;
+        }
+    };
+    let targets: Vec<NetId> = match &output {
+        Some(name) => match resolve_output(&entry.session, name) {
+            Ok(net) => vec![net],
+            Err(e) => {
+                reply.send(&error_response(id.as_ref(), &e));
+                return;
+            }
+        },
+        None => entry.circuit.outputs().to_vec(),
+    };
+    let runner = build_runner(&opts, cancel);
+    let shared_for_job = shared.clone();
+    let job_id = id.clone();
+    admit(
+        shared,
+        reply,
+        Job {
+            reply: reply.clone(),
+            id,
+            work: Box::new(move || {
+                // A whole-circuit request uses the batch engine's isolated
+                // all-outputs search; a single output runs the search
+                // directly under the same merged budget.
+                let results: Vec<Json> = if output.is_some() {
+                    let budget = runner_budget(&runner);
+                    let search = entry.session.exact_delay_budgeted(targets[0], &budget);
+                    let name = entry.circuit.net(targets[0]).name().to_string();
+                    if !search.proven_exact {
+                        shared_for_job
+                            .counters
+                            .budget_tripped
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    vec![delay_json(&search, &name)]
+                } else {
+                    entry
+                        .session
+                        .circuit()
+                        .outputs()
+                        .iter()
+                        .zip(runner.try_exact_delays(&entry.session))
+                        .map(|(&o, result)| {
+                            let name = entry.circuit.net(o).name();
+                            match result {
+                                Ok(search) => {
+                                    if !search.proven_exact {
+                                        shared_for_job
+                                            .counters
+                                            .budget_tripped
+                                            .fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    delay_json(&search, name)
+                                }
+                                Err(e) => Json::obj([
+                                    ("output", Json::str(name)),
+                                    ("error", Json::str(e.to_string())),
+                                ]),
+                            }
+                        })
+                        .collect()
+                };
+                ok_response(
+                    "delay",
+                    job_id.as_ref(),
+                    vec![("results".to_string(), Json::Arr(results))],
+                )
+            }),
+        },
+    );
+}
+
+/// The per-request budget equivalent to what `runner` would apply per
+/// check — used for the single-output delay search, which runs on the
+/// session directly rather than through the batch map.
+fn runner_budget(runner: &BatchRunner) -> Budget {
+    // The runner was built by `build_runner`, so its controls are exactly:
+    // external cancel token(s), optional deadline, optional backtrack cap.
+    // Re-deriving the merged budget through a 1-item batch would work too,
+    // but the search API takes a Budget, so expose the same combination.
+    runner.per_check_budget()
+}
+
+fn status_response(shared: &Shared, id: Option<&Json>) -> Json {
+    let registry = shared.registry.stats();
+    let queued = shared.queue.lock().expect("queue lock poisoned").len();
+    let c = &shared.counters;
+    let load = |a: &AtomicU64| Json::Int(a.load(Ordering::Relaxed).min(i64::MAX as u64) as i64);
+    ok_response(
+        "status",
+        id,
+        vec![
+            (
+                "uptime_ms".to_string(),
+                Json::Int(shared.started.elapsed().as_millis().min(i64::MAX as u128) as i64),
+            ),
+            ("draining".to_string(), Json::Bool(shared.draining())),
+            (
+                "registry".to_string(),
+                Json::obj([
+                    ("entries", Json::Int(registry.entries as i64)),
+                    ("capacity", Json::Int(registry.capacity as i64)),
+                    ("hits", Json::Int(registry.hits.min(i64::MAX as u64) as i64)),
+                    (
+                        "misses",
+                        Json::Int(registry.misses.min(i64::MAX as u64) as i64),
+                    ),
+                    (
+                        "evictions",
+                        Json::Int(registry.evictions.min(i64::MAX as u64) as i64),
+                    ),
+                    (
+                        "hit_rate",
+                        registry.hit_rate().map_or(Json::Null, Json::Float),
+                    ),
+                ]),
+            ),
+            (
+                "queue".to_string(),
+                Json::obj([
+                    ("depth", Json::Int(queued as i64)),
+                    ("capacity", Json::Int(shared.queue_cap as i64)),
+                ]),
+            ),
+            (
+                "requests".to_string(),
+                Json::obj([
+                    ("completed", load(&c.completed)),
+                    ("in_flight", load(&c.in_flight)),
+                    ("overloaded", load(&c.overloaded)),
+                    ("budget_tripped", load(&c.budget_tripped)),
+                    ("panicked", load(&c.panicked)),
+                ]),
+            ),
+            (
+                "connections".to_string(),
+                Json::obj([
+                    ("total", load(&c.connections_total)),
+                    ("open", load(&c.connections_open)),
+                    ("disconnect_cancels", load(&c.disconnect_cancels)),
+                ]),
+            ),
+        ],
+    )
+}

@@ -1,0 +1,668 @@
+//! Hand-rolled JSON encoder/decoder for the newline-delimited protocol.
+//!
+//! The workspace builds offline with no registry dependencies (the same
+//! discipline as `shims/`), so the wire format is implemented here from
+//! scratch: a small [`Json`] value tree, a recursive-descent parser with a
+//! depth bound, and a compact encoder whose output never contains a raw
+//! newline — every control character inside strings is escaped, which is
+//! what makes "one JSON object per line" a sound framing.
+//!
+//! Integers and floating-point numbers are kept distinct ([`Json::Int`] vs
+//! [`Json::Float`]): δ values and counters are `i64` end-to-end and must
+//! not round-trip through `f64`. A float is always encoded with a decimal
+//! point or exponent so the distinction survives a round trip; NaN and
+//! infinities (unrepresentable in JSON) encode as `null`.
+
+use std::fmt;
+
+/// A parsed JSON value.
+///
+/// Object fields keep their insertion order (a `Vec`, not a map): encoding
+/// is deterministic, and the small objects of this protocol make linear
+/// key lookup ([`Json::get`]) the right trade.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (no decimal point or exponent in the source).
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, fields in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value (convenience constructor).
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An object from `(key, value)` pairs.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Looks up a field of an object (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer (floats do not coerce).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The integer payload as `u64`, if integral and non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload widened to `f64` (integers coerce).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether this value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Encodes compactly (no whitespace, one line — all control characters
+    /// are escaped, so the output never contains `\n`).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Float(f) => write_float(*f, out),
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.encode())
+    }
+}
+
+fn write_float(value: f64, out: &mut String) {
+    if !value.is_finite() {
+        // JSON has no NaN/Infinity; null is the conventional degradation.
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{value}");
+    out.push_str(&s);
+    // `{}` prints integral floats without a point ("1"); keep the
+    // int/float distinction visible on the wire so decode(encode(x)) == x.
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A decode failure: what went wrong and the byte offset it was noticed at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the input line.
+    pub position: usize,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.position)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Nesting bound: deeper input is rejected instead of risking a stack
+/// overflow on hostile `[[[[…`.
+const MAX_DEPTH: u32 = 128;
+
+/// Parses one JSON value; trailing whitespace is allowed, anything else is
+/// an error (the framing layer hands us exactly one line = one value).
+pub fn decode(text: &str) -> Result<Json, WireError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        text,
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> WireError {
+        WireError {
+            message: message.into(),
+            position: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), WireError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, WireError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self, depth: u32) -> Result<Json, WireError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: u32) -> Result<Json, WireError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: u32) -> Result<Json, WireError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a maximal escape-free, quote-free run.
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' || c < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            // The run boundaries fall on character boundaries because `"`,
+            // `\` and control bytes never occur inside a UTF-8 multi-byte
+            // sequence.
+            out.push_str(&self.text[start..self.pos]);
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape(&mut out)?;
+                }
+                Some(_) => return Err(self.err("raw control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), WireError> {
+        let c = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+        self.pos += 1;
+        match c {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{08}'),
+            b'f' => out.push('\u{0c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let hi = self.hex4()?;
+                let code = if (0xD800..0xDC00).contains(&hi) {
+                    // Surrogate pair: require the trailing \uXXXX.
+                    if self.peek() != Some(b'\\') {
+                        return Err(self.err("unpaired high surrogate"));
+                    }
+                    self.pos += 1;
+                    if self.peek() != Some(b'u') {
+                        return Err(self.err("unpaired high surrogate"));
+                    }
+                    self.pos += 1;
+                    let lo = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(self.err("invalid low surrogate"));
+                    }
+                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                } else if (0xDC00..0xE000).contains(&hi) {
+                    return Err(self.err("unpaired low surrogate"));
+                } else {
+                    hi
+                };
+                out.push(char::from_u32(code).ok_or_else(|| self.err("invalid unicode escape"))?);
+            }
+            other => {
+                return Err(self.err(format!("invalid escape `\\{}`", other as char)));
+            }
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, WireError> {
+        let mut value = 0u32;
+        for _ in 0..4 {
+            let c = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let digit = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
+            value = value * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Json, WireError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            return Err(self.err("expected digit"));
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("expected digit after decimal point"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("expected digit in exponent"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let literal = &self.text[start..self.pos];
+        if !is_float {
+            if let Ok(i) = literal.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+            // Out-of-range integer literal: degrade to float like every
+            // other JSON decoder.
+        }
+        literal
+            .parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Json) {
+        let encoded = v.encode();
+        assert!(
+            !encoded.contains('\n'),
+            "framing violation: encoded value contains a newline: {encoded}"
+        );
+        assert_eq!(&decode(&encoded).expect(&encoded), v, "{encoded}");
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        for v in [
+            Json::Null,
+            Json::Bool(true),
+            Json::Bool(false),
+            Json::Int(0),
+            Json::Int(-1),
+            Json::Int(i64::MAX),
+            Json::Int(i64::MIN),
+            Json::Float(1.5),
+            Json::Float(-0.25),
+            Json::Float(1e300),
+            Json::Str(String::new()),
+            Json::str("plain"),
+        ] {
+            roundtrip(&v);
+        }
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        let v = Json::Float(3.0);
+        assert_eq!(v.encode(), "3.0");
+        roundtrip(&v);
+    }
+
+    #[test]
+    fn control_characters_are_escaped_exhaustively() {
+        // Every control character must encode without a raw byte < 0x20.
+        for code in 0u32..0x20 {
+            let c = char::from_u32(code).unwrap();
+            let v = Json::Str(format!("a{c}b"));
+            let encoded = v.encode();
+            assert!(
+                encoded.bytes().all(|b| b >= 0x20),
+                "raw control byte in {encoded:?}"
+            );
+            roundtrip(&v);
+        }
+    }
+
+    #[test]
+    fn named_escapes_decode() {
+        assert_eq!(
+            decode(r#""\" \\ \/ \b \f \n \r \t""#).unwrap(),
+            Json::str("\" \\ / \u{08} \u{0c} \n \r \t")
+        );
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        assert_eq!(decode(r#""\u0041""#).unwrap(), Json::str("A"));
+        assert_eq!(decode(r#""\u00e9""#).unwrap(), Json::str("é"));
+        // Surrogate pair → astral plane.
+        assert_eq!(decode(r#""\ud83d\ude00""#).unwrap(), Json::str("😀"));
+        // Unpaired surrogates are rejected.
+        assert!(decode(r#""\ud83d""#).is_err());
+        assert!(decode(r#""\ud83dx""#).is_err());
+        assert!(decode(r#""\ude00""#).is_err());
+    }
+
+    #[test]
+    fn multibyte_utf8_passes_through() {
+        for s in ["héllo", "日本語", "αβγ", "emoji 🚀 end", "mixed ñ\t日"] {
+            roundtrip(&Json::str(s));
+        }
+    }
+
+    #[test]
+    fn nested_structures_roundtrip() {
+        let v = Json::obj([
+            ("op", Json::str("check")),
+            ("deltas", Json::Arr(vec![Json::Int(1), Json::Int(-7)])),
+            (
+                "nested",
+                Json::Arr(vec![
+                    Json::Arr(vec![Json::Null, Json::Bool(true)]),
+                    Json::obj([("k", Json::Str("v\n".into()))]),
+                ]),
+            ),
+        ]);
+        roundtrip(&v);
+    }
+
+    #[test]
+    fn empty_containers_roundtrip() {
+        roundtrip(&Json::Arr(vec![]));
+        roundtrip(&Json::Obj(vec![]));
+        assert_eq!(decode("[ ]").unwrap(), Json::Arr(vec![]));
+        assert_eq!(decode("{ }").unwrap(), Json::Obj(vec![]));
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let v = decode(" { \"a\" : [ 1 , 2 ] , \"b\" : null } ").unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 2);
+        assert!(v.get("b").unwrap().is_null());
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "[1 2]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{a:1}",
+            "\"unterminated",
+            "tru",
+            "nul",
+            "01x",
+            "-",
+            "1.",
+            "1e",
+            "\u{1}",
+            "\"raw\ncontrol\"",
+            "[1]]",
+            "{} {}",
+            "\"bad \\q escape\"",
+            "\"\\u12g4\"",
+        ] {
+            assert!(decode(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn depth_bound_rejects_hostile_nesting() {
+        let deep = "[".repeat(4096) + &"]".repeat(4096);
+        assert!(decode(&deep).is_err());
+        // …but reasonable nesting is fine.
+        let ok = "[".repeat(64) + "1" + &"]".repeat(64);
+        assert!(decode(&ok).is_ok());
+    }
+
+    #[test]
+    fn huge_integers_degrade_to_float() {
+        match decode("123456789012345678901234567890").unwrap() {
+            Json::Float(f) => assert!(f > 1e29),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn accessors_behave() {
+        let v = decode(r#"{"s":"x","i":-3,"f":2.5,"b":true,"a":[1],"n":null}"#).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("i").unwrap().as_i64(), Some(-3));
+        assert_eq!(v.get("i").unwrap().as_u64(), None);
+        assert_eq!(v.get("f").unwrap().as_f64(), Some(2.5));
+        assert_eq!(v.get("f").unwrap().as_i64(), None);
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 1);
+        assert!(v.get("n").unwrap().is_null());
+        assert!(v.get("missing").is_none());
+        assert!(Json::Null.get("x").is_none());
+    }
+
+    #[test]
+    fn nonfinite_floats_encode_as_null() {
+        assert_eq!(Json::Float(f64::NAN).encode(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).encode(), "null");
+    }
+}

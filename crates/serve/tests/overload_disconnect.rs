@@ -1,0 +1,216 @@
+//! Admission control and disconnect cancellation, observed from outside:
+//!
+//! * a burst pipelined past `queue_cap` gets every slot answered — some
+//!   with results, the excess with structured `overloaded` errors, none
+//!   dropped or buffered unboundedly;
+//! * a client that disconnects mid-request has its in-flight search
+//!   cancelled (the worker frees up long before the uncancelled runtime),
+//!   asserted through a second connection's `status` counters.
+
+use ltt_netlist::bench_format::write_bench;
+use ltt_netlist::generators::carry_skip_adder;
+use ltt_netlist::suite::c17;
+use ltt_serve::{Client, Json, ServeConfig, Server};
+use std::time::{Duration, Instant};
+
+fn start_server(
+    jobs: usize,
+    queue_cap: usize,
+) -> (String, std::thread::JoinHandle<std::io::Result<()>>) {
+    let config = ServeConfig {
+        jobs,
+        queue_cap,
+        ..Default::default()
+    };
+    let server = Server::bind(&config).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let join = std::thread::spawn(move || server.run());
+    (addr, join)
+}
+
+/// Registers a circuit and returns `(content id, last output name)` — for
+/// the carry-skip adders the last output is `cout`, the one whose
+/// exact-delay search is slow enough to pin a worker.
+fn register(client: &mut Client, name: &str, source: &str) -> (String, String) {
+    let reply = client
+        .call(&Json::obj([
+            ("op", Json::str("register")),
+            ("name", Json::str(name)),
+            ("source", Json::str(source)),
+        ]))
+        .expect("register");
+    assert_eq!(
+        reply.get("ok"),
+        Some(&Json::Bool(true)),
+        "{}",
+        reply.encode()
+    );
+    let key = reply
+        .get("circuit")
+        .and_then(Json::as_str)
+        .expect("content id")
+        .to_string();
+    let output = reply
+        .get("outputs")
+        .and_then(Json::as_array)
+        .and_then(|o| o.last())
+        .and_then(Json::as_str)
+        .expect("an output")
+        .to_string();
+    (key, output)
+}
+
+fn status_counter(status: &Json, group: &str, field: &str) -> i64 {
+    status
+        .get(group)
+        .and_then(|g| g.get(field))
+        .and_then(Json::as_i64)
+        .unwrap_or_else(|| panic!("missing {group}.{field} in {}", status.encode()))
+}
+
+#[test]
+fn burst_past_queue_cap_is_shed_with_overloaded() {
+    // One worker, one queue slot: the second queued request already
+    // overflows, so a pipelined burst must be shed almost entirely.
+    let (addr, join) = start_server(1, 1);
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // Occupy the single worker: an exact-delay search on a carry-skip
+    // adder runs for ~100 ms even in release builds — five orders of
+    // magnitude longer than admitting one request.
+    let adder = carry_skip_adder(16, 4, 10);
+    let (adder_key, adder_out) = register(&mut client, "adder", &write_bench(&adder));
+    let (c17_key, c17_out) = register(&mut client, "c17", &write_bench(&c17(10)));
+
+    client
+        .send(&Json::obj([
+            ("op", Json::str("delay")),
+            ("circuit", Json::str(adder_key)),
+            ("output", Json::str(adder_out)),
+            ("id", Json::str("slow")),
+        ]))
+        .expect("send slow op");
+    const BURST: usize = 30;
+    for i in 0..BURST {
+        client
+            .send(&Json::obj([
+                ("op", Json::str("check")),
+                ("circuit", Json::str(c17_key.clone())),
+                ("output", Json::str(c17_out.clone())),
+                ("delta", Json::Int(30)),
+                ("id", Json::Int(i as i64)),
+            ]))
+            .expect("send burst check");
+    }
+
+    // Every pipelined request must be answered exactly once, overloaded
+    // or not; replies arrive in any order (shed ones come back first).
+    let mut answered = vec![0u32; BURST];
+    let mut slow_answered = 0u32;
+    let mut overloaded = 0usize;
+    let mut completed = 0usize;
+    for _ in 0..BURST + 1 {
+        let reply = client.recv().expect("recv").expect("reply before EOF");
+        match reply.get("id") {
+            Some(Json::Str(s)) if s == "slow" => {
+                slow_answered += 1;
+                assert_eq!(
+                    reply.get("ok"),
+                    Some(&Json::Bool(true)),
+                    "{}",
+                    reply.encode()
+                );
+            }
+            Some(Json::Int(i)) => {
+                answered[usize::try_from(*i).expect("burst id")] += 1;
+                if reply.get("ok") == Some(&Json::Bool(true)) {
+                    completed += 1;
+                } else {
+                    let code = reply
+                        .get("error")
+                        .and_then(|e| e.get("code"))
+                        .and_then(Json::as_str);
+                    assert_eq!(code, Some("overloaded"), "{}", reply.encode());
+                    overloaded += 1;
+                }
+            }
+            other => panic!("unexpected id {other:?} in {}", reply.encode()),
+        }
+    }
+    assert_eq!(slow_answered, 1);
+    assert!(
+        answered.iter().all(|&n| n == 1),
+        "every slot answered once: {answered:?}"
+    );
+    assert!(overloaded >= 1, "a burst past cap must shed load");
+    assert_eq!(completed + overloaded, BURST);
+
+    // The shed count is visible in the rolling counters too.
+    let status = client
+        .call(&Json::obj([("op", Json::str("status"))]))
+        .expect("status");
+    assert_eq!(
+        status_counter(&status, "requests", "overloaded"),
+        overloaded as i64
+    );
+
+    let _ = client.call(&Json::obj([("op", Json::str("shutdown"))]));
+    drop(client);
+    join.join().expect("server thread").expect("clean drain");
+}
+
+#[test]
+fn disconnect_mid_request_cancels_in_flight_work() {
+    let (addr, join) = start_server(1, 4);
+
+    // Uncancelled, this exact-delay search runs ~1 s in release and ~8 s
+    // in debug builds — far longer than the disconnect-to-idle window the
+    // test allows, so reaching idle at all proves the cancel fired.
+    let adder = carry_skip_adder(24, 4, 10);
+    let mut victim = Client::connect(&addr).expect("connect victim");
+    let (key, output) = register(&mut victim, "slow-adder", &write_bench(&adder));
+    victim
+        .send(&Json::obj([
+            ("op", Json::str("delay")),
+            ("circuit", Json::str(key)),
+            ("output", Json::str(output)),
+        ]))
+        .expect("send slow op");
+    // Let the reader dispatch and a worker pick the job up, then vanish.
+    std::thread::sleep(Duration::from_millis(100));
+    drop(victim);
+
+    let mut observer = Client::connect(&addr).expect("connect observer");
+    let started = Instant::now();
+    let budget = Duration::from_secs(4);
+    let status = loop {
+        let status = observer
+            .call(&Json::obj([("op", Json::str("status"))]))
+            .expect("status");
+        let cancels = status_counter(&status, "connections", "disconnect_cancels");
+        let in_flight = status_counter(&status, "requests", "in_flight");
+        let queued = status_counter(&status, "queue", "depth");
+        if cancels >= 1 && in_flight == 0 && queued == 0 {
+            break status;
+        }
+        assert!(
+            started.elapsed() < budget,
+            "worker still busy {:?} after disconnect: {}",
+            started.elapsed(),
+            status.encode()
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    // The abandoned search was cut short (reported not-exact), not run to
+    // completion on a dead connection's behalf.
+    assert!(
+        status_counter(&status, "requests", "budget_tripped") >= 1,
+        "cancelled search should trip its budget: {}",
+        status.encode()
+    );
+    assert_eq!(status_counter(&status, "requests", "completed"), 1);
+
+    let _ = observer.call(&Json::obj([("op", Json::str("shutdown"))]));
+    drop(observer);
+    join.join().expect("server thread").expect("clean drain");
+}

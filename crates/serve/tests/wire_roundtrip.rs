@@ -1,0 +1,75 @@
+//! Property test for the wire format: `decode(encode(v)) == v` for
+//! arbitrary JSON value trees, and the encoding never contains a raw
+//! control byte — the invariant that makes one-object-per-line a sound
+//! framing for the protocol.
+
+use ltt_serve::{decode, Json};
+use proptest::prelude::*;
+use proptest::strategy::Union;
+
+/// Scalar JSON values, biased toward ordinary magnitudes but always
+/// including the representability extremes (`i64::MIN`/`MAX` exercise the
+/// int-vs-float boundary of the decoder; `f64::MAX` exercises the longest
+/// decimal expansion the encoder can produce).
+fn scalar() -> Union<Json> {
+    prop_oneof![
+        2 => Just(Json::Null),
+        2 => any::<bool>().prop_map(Json::Bool),
+        4 => (-4_000_000_000_000_000i64..=4_000_000_000_000_000).prop_map(Json::Int),
+        1 => Just(Json::Int(i64::MIN)),
+        1 => Just(Json::Int(i64::MAX)),
+        4 => ((-1_000_000_000i64..=1_000_000_000), (0u32..=9))
+            .prop_map(|(m, e)| Json::Float(m as f64 / 10f64.powi(e as i32))),
+        1 => Just(Json::Float(f64::MAX)),
+        1 => Just(Json::Float(f64::MIN_POSITIVE)),
+        4 => ".{0,12}".prop_map(Json::Str),
+    ]
+}
+
+/// One container layer over `inner`: pass through, wrap in an array, or
+/// wrap in an object (keys drawn from the same fuzz alphabet as string
+/// payloads — quotes, backslashes, controls, and non-ASCII included).
+fn containers(inner: Union<Json>) -> Union<Json> {
+    prop_oneof![
+        3 => inner.clone(),
+        1 => prop::collection::vec(inner.clone(), 0..5).prop_map(Json::Arr),
+        1 => prop::collection::vec((".{0,8}", inner), 0..5).prop_map(Json::Obj),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn encode_decode_roundtrips(v in containers(containers(scalar()))) {
+        let encoded = v.encode();
+        prop_assert!(
+            !encoded.bytes().any(|b| b < 0x20),
+            "raw control byte in encoding {encoded:?}"
+        );
+        let back = decode(&encoded);
+        prop_assert!(back.is_ok(), "decode failed on {encoded:?}: {:?}", back);
+        prop_assert_eq!(back.unwrap(), v, "mismatch through {encoded:?}");
+    }
+
+    #[test]
+    fn encoded_strings_frame_safely(s in ".{0,64}") {
+        // A string made purely of fuzz characters (controls, quotes,
+        // newlines, multi-byte) must stay on one line and survive intact.
+        let v = Json::Str(s);
+        let encoded = v.encode();
+        prop_assert!(!encoded.contains('\n'), "newline leaked: {encoded:?}");
+        prop_assert_eq!(decode(&encoded).unwrap(), v);
+    }
+}
+
+#[test]
+fn duplicate_keys_roundtrip_in_order() {
+    // Objects are insertion-ordered pair lists, not maps: duplicates are
+    // preserved verbatim, which keeps encode/decode a true inverse pair.
+    let v = Json::Obj(vec![
+        ("k".to_string(), Json::Int(1)),
+        ("k".to_string(), Json::Int(2)),
+    ]);
+    assert_eq!(decode(&v.encode()).unwrap(), v);
+}
