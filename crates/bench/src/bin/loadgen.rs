@@ -19,7 +19,7 @@ use ltt_netlist::bench_format::write_bench;
 use ltt_netlist::generators::{carry_skip_adder, figure1};
 use ltt_netlist::suite::c17;
 use ltt_netlist::Circuit;
-use ltt_serve::{Client, Json, ServeConfig, Server};
+use ltt_serve::{percentile, Client, Json, ServeConfig, Server};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
@@ -144,14 +144,6 @@ fn run_client(
         }
     }
     Ok(tally)
-}
-
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
-    }
-    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
 }
 
 fn main() -> ExitCode {

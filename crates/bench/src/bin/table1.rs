@@ -8,10 +8,15 @@
 //! each entry's per-output checks over N workers (0 = one per hardware
 //! thread), and `--compare` to run the suite twice — serial and parallel —
 //! and report both wall-clocks. Verdict columns are identical either way.
+//! `--trace FILE` records per-stage spans of every check and writes them
+//! as Chrome-trace JSON (load in chrome://tracing), plus a per-stage
+//! wall-clock rollup — the Table 1 time columns broken down by pipeline
+//! stage. Verdicts are identical with or without tracing.
 
 use ltt_bench::table1::{render_rows, run_entry_with, Table1Row};
-use ltt_core::{BatchRunner, VerifyConfig};
+use ltt_core::{BatchRunner, Obs, Recorder, VerifyConfig};
 use ltt_netlist::suite::{iscas85_suite, SuiteEntry};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn run_suite(
@@ -49,10 +54,18 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--jobs needs an integer"))
         .unwrap_or(0);
+    let trace: Option<String> = args
+        .iter()
+        .position(|a| a == "--trace")
+        .map(|i| args.get(i + 1).expect("--trace needs a file").clone());
+    let recorder = trace.as_ref().map(|_| Arc::new(Recorder::new()));
     // The paper abandons c6288 after an excessive number of backtracks;
     // bound the budget the same way.
     let config = VerifyConfig {
         max_backtracks: 20_000,
+        obs: recorder
+            .as_ref()
+            .map_or_else(Obs::disabled, |r| Obs::recording(r.clone())),
         ..Default::default()
     };
 
@@ -87,5 +100,25 @@ fn main() {
             wall.as_secs_f64(),
             runner.jobs()
         ),
+    }
+
+    if let (Some(path), Some(recorder)) = (&trace, &recorder) {
+        std::fs::write(path, recorder.chrome_trace()).expect("write trace file");
+        let spans = recorder.spans();
+        let mut totals: std::collections::BTreeMap<&'static str, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for span in &spans {
+            let entry = totals.entry(span.name).or_default();
+            entry.0 += 1;
+            entry.1 += span.dur_us;
+        }
+        println!();
+        println!("per-stage breakdown ({} spans -> {path}):", spans.len());
+        for (name, (count, dur_us)) in totals {
+            println!(
+                "  {name:<24} {count:>8} spans  {:>10.3} s",
+                dur_us as f64 / 1e6
+            );
+        }
     }
 }

@@ -2,7 +2,7 @@
 
 use ltt_core::{
     explain, BatchRunner, Budget, CheckError, CheckSession, Completeness, DelayMode, DelaySearch,
-    Error, LearningMode, Stage, Verdict, VerifyConfig,
+    Error, LearningMode, Obs, Recorder, Stage, Verdict, VerifyConfig,
 };
 use ltt_netlist::bench_format::{parse_bench, write_bench};
 use ltt_netlist::sdf::apply_sdf;
@@ -60,6 +60,7 @@ struct Options {
     learning: bool,
     max_backtracks: u64,
     jobs: usize,
+    trace: Option<String>,
 }
 
 impl Default for Options {
@@ -86,6 +87,7 @@ impl Default for Options {
             learning: true,
             max_backtracks: 100_000,
             jobs: 0,
+            trace: None,
         }
     }
 }
@@ -166,6 +168,10 @@ OPTIONS
                             certified violation (trades the deterministic
                             report set for latency; the exit code is
                             unaffected)
+  --trace FILE              write per-stage spans of a check/delay run as
+                            Chrome-trace JSON (load in chrome://tracing);
+                            verdicts and counters are identical with or
+                            without tracing
 
 EXIT CODES
   0  every check completed, no violation
@@ -253,6 +259,7 @@ fn parse_options(args: &[String]) -> Result<Options, Error> {
                     .parse()
                     .map_err(|_| Error::usage("--jobs needs an integer"))?
             }
+            "--trace" => opts.trace = Some(value("--trace")?),
             other if other.starts_with("--") => {
                 return Err(Error::usage(format!("unknown option `{other}`")))
             }
@@ -454,6 +461,7 @@ fn config_from(opts: &Options) -> VerifyConfig {
         max_backtracks: opts.max_backtracks,
         certify_vectors: true,
         budget: Budget::unlimited(),
+        obs: Obs::disabled(),
     }
 }
 
@@ -515,7 +523,8 @@ fn cmd_check(circuit: &Circuit, opts: &Options) -> Result<RunStatus, Error> {
     let delta = opts
         .delta
         .ok_or_else(|| Error::usage("check needs --delta N"))?;
-    let config = config_from(opts);
+    let mut config = config_from(opts);
+    let recorder = trace_recorder(opts, &mut config);
     let assumptions = resolve_assumptions(circuit, opts)?;
     let session = CheckSession::new(circuit, config);
     let runner = runner_from(opts);
@@ -592,6 +601,7 @@ fn cmd_check(circuit: &Circuit, opts: &Options) -> Result<RunStatus, Error> {
         s.stage_wall.stems.as_secs_f64() * 1e3,
         s.stage_wall.case_analysis.as_secs_f64() * 1e3
     );
+    write_trace(opts, recorder.as_deref())?;
     if any_violation {
         println!("result: VIOLATED");
         Ok(RunStatus::Violation)
@@ -604,7 +614,8 @@ fn cmd_check(circuit: &Circuit, opts: &Options) -> Result<RunStatus, Error> {
 }
 
 fn cmd_delay(circuit: &Circuit, opts: &Options) -> Result<RunStatus, Error> {
-    let config = config_from(opts);
+    let mut config = config_from(opts);
+    let recorder = trace_recorder(opts, &mut config);
     let arrival = circuit.arrival_times();
     let session = CheckSession::new(circuit, config);
     let outputs = resolve_outputs(circuit, opts)?;
@@ -655,12 +666,37 @@ fn cmd_delay(circuit: &Circuit, opts: &Options) -> Result<RunStatus, Error> {
             }
         }
     }
+    write_trace(opts, recorder.as_deref())?;
     if incomplete {
         println!("result: INCOMPLETE");
         Ok(RunStatus::Incomplete)
     } else {
         Ok(RunStatus::Clean)
     }
+}
+
+/// When `--trace FILE` was given, attaches a fresh recorder to the config
+/// and returns it; otherwise leaves the config's (disabled) handle alone.
+fn trace_recorder(opts: &Options, config: &mut VerifyConfig) -> Option<std::sync::Arc<Recorder>> {
+    opts.trace.as_ref().map(|_| {
+        let recorder = std::sync::Arc::new(Recorder::new());
+        config.obs = Obs::recording(recorder.clone());
+        recorder
+    })
+}
+
+/// Writes the Chrome-trace JSON collected by `recorder` to the `--trace`
+/// path, if both exist.
+fn write_trace(opts: &Options, recorder: Option<&Recorder>) -> Result<(), Error> {
+    let (Some(path), Some(recorder)) = (&opts.trace, recorder) else {
+        return Ok(());
+    };
+    std::fs::write(path, recorder.chrome_trace()).map_err(|e| Error::Io {
+        path: path.clone(),
+        message: e.to_string(),
+    })?;
+    println!("wrote trace {path} ({} spans)", recorder.len());
+    Ok(())
 }
 
 fn cmd_report(circuit: &Circuit, opts: &Options) -> Result<RunStatus, Error> {
@@ -1030,6 +1066,52 @@ mod tests {
             Ok(RunStatus::Clean)
         );
         assert!(run(&args(&["explain", &path])).is_err());
+    }
+
+    #[test]
+    fn trace_flag_emits_chrome_trace_json() {
+        use ltt_serve::Json;
+        let path = write_temp("trace.bench", C17);
+        let trace = std::env::temp_dir().join("ltt_cli_test_trace.json");
+        let trace_s = trace.to_string_lossy().into_owned();
+        assert_eq!(
+            run(&args(&[
+                "check", &path, "--delta", "30", "--trace", &trace_s
+            ])),
+            Ok(RunStatus::Violation)
+        );
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let json = ltt_serve::decode(text.trim()).expect("trace file is valid JSON");
+        let events = json
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+        for event in events {
+            // chrome://tracing needs every one of these on a complete
+            // event; a missing field renders as an empty timeline.
+            assert_eq!(event.get("ph").and_then(Json::as_str), Some("X"));
+            for field in ["name", "cat", "ts", "dur", "pid", "tid"] {
+                assert!(
+                    event.get(field).is_some(),
+                    "missing {field}: {}",
+                    event.encode()
+                );
+            }
+        }
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        for stage in ["check.narrowing", "check.dominators"] {
+            assert!(names.contains(&stage), "no {stage} span in {names:?}");
+        }
+        // The same run without --trace exits identically (the recorder
+        // must never change what the pipeline computes).
+        assert_eq!(
+            run(&args(&["check", &path, "--delta", "30"])),
+            Ok(RunStatus::Violation)
+        );
     }
 
     #[test]

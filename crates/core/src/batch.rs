@@ -185,6 +185,9 @@ pub struct BatchSummary {
     /// Per-stage wall-clock, summed over checks (CPU-time-like: with N
     /// workers this exceeds the batch wall-clock by up to a factor N).
     pub stage_wall: StageTimes,
+    /// Deterministic per-stage solver effort, summed over checks — the
+    /// batch-level Table 1 breakdown (identical at any worker count).
+    pub stage_effort: crate::check::StageEffort,
     /// Total per-check wall-clock (same CPU-time-like caveat).
     pub check_wall: Duration,
 }
@@ -210,12 +213,7 @@ impl BatchSummary {
                 }
             }
             sum.backtracks = sum.backtracks.saturating_add(r.backtracks);
-            sum.solver.events = sum.solver.events.saturating_add(r.solver.events);
-            sum.solver.narrowings = sum.solver.narrowings.saturating_add(r.solver.narrowings);
-            sum.solver.learned_applications = sum
-                .solver
-                .learned_applications
-                .saturating_add(r.solver.learned_applications);
+            sum.solver = sum.solver.saturating_add(&r.solver);
             sum.stems.stems = sum.stems.stems.saturating_add(r.stems.stems);
             sum.stems.effective_stems = sum
                 .stems
@@ -225,13 +223,9 @@ impl BatchSummary {
                 .stems
                 .dead_branches
                 .saturating_add(r.stems.dead_branches);
-            sum.case.backtracks = sum.case.backtracks.saturating_add(r.case.backtracks);
-            sum.case.decisions = sum.case.decisions.saturating_add(r.case.decisions);
-            sum.case.rejected_candidates = sum
-                .case
-                .rejected_candidates
-                .saturating_add(r.case.rejected_candidates);
+            sum.case = sum.case.saturating_add(&r.case);
             sum.stage_wall = sum.stage_wall.saturating_add(&r.stage_times);
+            sum.stage_effort = sum.stage_effort.saturating_add(&r.effort);
             sum.check_wall = sum.check_wall.saturating_add(r.elapsed);
         }
         sum

@@ -15,6 +15,7 @@ use crate::carriers::fixpoint_with_dominators;
 use crate::failpoint;
 use crate::fan::{case_analysis_with, CaseConfig, CaseOutcome, CaseStats};
 use crate::learning::ImplicationTable;
+use crate::obs::Obs;
 use crate::prepared::{CheckSession, PreparedCircuit};
 use crate::solver::{FixpointResult, Narrower, SolverStats};
 use crate::stems::{correlation_stems_masked, stem_correlation, StemStats};
@@ -72,6 +73,12 @@ pub struct VerifyConfig {
     /// [`Completeness::BudgetExhausted`] instead of hanging; the default is
     /// unlimited.
     pub budget: Budget,
+    /// Observability sink. The default is disabled (a no-op handle);
+    /// attach a recorder with [`Obs::recording`] to capture per-stage
+    /// spans. Recording never changes what the pipeline computes:
+    /// instrumented runs produce reports bit-identical to uninstrumented
+    /// ones (timing fields exempt).
+    pub obs: Obs,
 }
 
 impl Default for VerifyConfig {
@@ -85,6 +92,7 @@ impl Default for VerifyConfig {
             max_backtracks: 100_000,
             certify_vectors: true,
             budget: Budget::unlimited(),
+            obs: Obs::disabled(),
         }
     }
 }
@@ -159,6 +167,43 @@ impl StageTimes {
             .saturating_add(self.dominators)
             .saturating_add(self.stems)
             .saturating_add(self.case_analysis)
+    }
+}
+
+/// Deterministic solver-effort counters attributed to each pipeline
+/// stage: the [`SolverStats`] increments accumulated while that stage
+/// ran. Unlike [`StageTimes`] these are exact integer deltas, so they are
+/// identical across runs, thread counts, and machines — the per-stage
+/// breakdown the paper's Table 1 analysis attributes runtime with.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageEffort {
+    /// Basic waveform narrowing (stage 1).
+    pub narrowing: SolverStats,
+    /// Global implications on timing dominators (stage 2).
+    pub dominators: SolverStats,
+    /// Stem correlation (stage 3).
+    pub stems: SolverStats,
+    /// Case analysis (stage 4).
+    pub case_analysis: SolverStats,
+}
+
+impl StageEffort {
+    /// Per-stage saturating sum (aggregation must never panic).
+    pub fn saturating_add(&self, other: &StageEffort) -> StageEffort {
+        StageEffort {
+            narrowing: self.narrowing.saturating_add(&other.narrowing),
+            dominators: self.dominators.saturating_add(&other.dominators),
+            stems: self.stems.saturating_add(&other.stems),
+            case_analysis: self.case_analysis.saturating_add(&other.case_analysis),
+        }
+    }
+
+    /// Total effort across the four stages (saturating).
+    pub fn total(&self) -> SolverStats {
+        self.narrowing
+            .saturating_add(&self.dominators)
+            .saturating_add(&self.stems)
+            .saturating_add(&self.case_analysis)
     }
 }
 
@@ -251,6 +296,8 @@ pub struct VerifyReport {
     pub case: CaseStats,
     /// Wall-clock per pipeline stage.
     pub stage_times: StageTimes,
+    /// Deterministic solver effort per pipeline stage.
+    pub effort: StageEffort,
     /// Wall-clock time of the whole check.
     pub elapsed: Duration,
 }
@@ -323,6 +370,27 @@ pub fn verify_with_learning(
     CheckSession::with_prepared(prepared, config.clone()).verify(output, delta)
 }
 
+/// Clamps a `u64` counter into the `i64` range of a span argument.
+fn counter_arg(value: u64) -> i64 {
+    i64::try_from(value).unwrap_or(i64::MAX)
+}
+
+/// A net identifier as a span argument.
+fn net_arg(net: NetId) -> i64 {
+    i64::try_from(net.index()).unwrap_or(i64::MAX)
+}
+
+/// The common span arguments of a solver-driven pipeline stage.
+fn stage_span_args(output: NetId, delta: i64, effort: &SolverStats) -> [(&'static str, i64); 5] {
+    [
+        ("output", net_arg(output)),
+        ("delta", delta),
+        ("events", counter_arg(effort.events)),
+        ("narrowings", counter_arg(effort.narrowings)),
+        ("learned", counter_arg(effort.learned_applications)),
+    ]
+}
+
 /// Runs the staged pipeline on a narrower that already carries the input
 /// (and assumption) constraints; applies the δ constraint itself. Shared
 /// analyses (stem candidates, SCOAP controllabilities) come from the
@@ -354,16 +422,12 @@ pub(crate) fn run_pipeline(
         stems: StemStats::default(),
         case: CaseStats::default(),
         stage_times: StageTimes::default(),
+        effort: StageEffort::default(),
         elapsed: Duration::ZERO,
     };
     let base_stats = nw.stats();
     let finish = |mut report: VerifyReport, nw: &Narrower, start: Instant| {
-        let s = nw.stats();
-        report.solver = SolverStats {
-            events: s.events - base_stats.events,
-            narrowings: s.narrowings - base_stats.narrowings,
-            learned_applications: s.learned_applications - base_stats.learned_applications,
-        };
+        report.solver = nw.stats().since(&base_stats);
         report.elapsed = start.elapsed();
         report
     };
@@ -381,9 +445,18 @@ pub(crate) fn run_pipeline(
 
     // Stage 1: basic narrowing.
     failpoint::hit("check::narrowing", output_name);
+    let stage_stats = nw.stats();
+    let span = config.obs.start();
     let stage = Instant::now();
     let narrowed = nw.reach_fixpoint();
     report.stage_times.narrowing = stage.elapsed();
+    report.effort.narrowing = nw.stats().since(&stage_stats);
+    config.obs.span(
+        "check.narrowing",
+        "stage",
+        span,
+        &stage_span_args(output, delta, &report.effort.narrowing),
+    );
     match narrowed {
         FixpointResult::Contradiction => {
             report.before_gitd = StageVerdict::NoViolation;
@@ -403,9 +476,18 @@ pub(crate) fn run_pipeline(
     // Stage 2: global implications on timing dominators.
     if config.dominators {
         failpoint::hit("check::dominators", output_name);
+        let stage_stats = nw.stats();
+        let span = config.obs.start();
         let stage = Instant::now();
         let implied = fixpoint_with_dominators(nw, output, delta, true);
         report.stage_times.dominators = stage.elapsed();
+        report.effort.dominators = nw.stats().since(&stage_stats);
+        config.obs.span(
+            "check.dominators",
+            "stage",
+            span,
+            &stage_span_args(output, delta, &report.effort.dominators),
+        );
         match implied {
             FixpointResult::Contradiction => {
                 report.after_gitd = Some(StageVerdict::NoViolation);
@@ -427,6 +509,8 @@ pub(crate) fn run_pipeline(
     // Stage 3: stem correlation.
     if config.stem_correlation {
         failpoint::hit("check::stems", output_name);
+        let stage_stats = nw.stats();
+        let span = config.obs.start();
         let stage = Instant::now();
         let stems = correlation_stems_masked(nw, output, delta, prepared.stem_candidates());
         let correlated = stem_correlation(
@@ -438,6 +522,20 @@ pub(crate) fn run_pipeline(
             &mut report.stems,
         );
         report.stage_times.stems = stage.elapsed();
+        report.effort.stems = nw.stats().since(&stage_stats);
+        config.obs.span(
+            "check.stems",
+            "stage",
+            span,
+            &[
+                ("output", net_arg(output)),
+                ("delta", delta),
+                ("events", counter_arg(report.effort.stems.events)),
+                ("stems", counter_arg(report.stems.stems)),
+                ("effective", counter_arg(report.stems.effective_stems)),
+                ("dead_branches", counter_arg(report.stems.dead_branches)),
+            ],
+        );
         match correlated {
             FixpointResult::Contradiction => {
                 report.after_stems = Some(StageVerdict::NoViolation);
@@ -464,6 +562,8 @@ pub(crate) fn run_pipeline(
             use_dominators: config.dominators,
             certify_vectors: config.certify_vectors && config.delay_mode == DelayMode::Floating,
         };
+        let stage_stats = nw.stats();
+        let span = config.obs.start();
         let stage = Instant::now();
         let outcome = case_analysis_with(
             nw,
@@ -474,6 +574,31 @@ pub(crate) fn run_pipeline(
             prepared.controllability(),
         );
         report.stage_times.case_analysis = stage.elapsed();
+        report.effort.case_analysis = nw.stats().since(&stage_stats);
+        config.obs.span(
+            "check.case_analysis",
+            "stage",
+            span,
+            &[
+                ("output", net_arg(output)),
+                ("delta", delta),
+                ("events", counter_arg(report.effort.case_analysis.events)),
+                ("decisions", counter_arg(report.case.decisions)),
+                ("backtracks", counter_arg(report.case.backtracks)),
+                (
+                    "decisions_dominator_cones",
+                    counter_arg(report.case.decisions_by_phase[0]),
+                ),
+                (
+                    "decisions_whole_circuit",
+                    counter_arg(report.case.decisions_by_phase[1]),
+                ),
+                (
+                    "decisions_backtrace",
+                    counter_arg(report.case.decisions_by_phase[2]),
+                ),
+            ],
+        );
         report.backtracks = report.case.backtracks;
         report.verdict = match outcome {
             CaseOutcome::Vector(vector) => Verdict::Violation { vector },

@@ -62,11 +62,14 @@ impl fmt::Display for Explanation {
             f,
             "  timing dominators (every violating path runs through ALL of these):"
         )?;
-        for (name, k, lmin) in &self.dominators {
+        for (name, k, lmin) in self.dominators.iter().take(12) {
             writeln!(
                 f,
                 "    {name} (distance {k}; must transition at or after {lmin})"
             )?;
+        }
+        if self.dominators.len() > 12 {
+            writeln!(f, "    … {} more", self.dominators.len() - 12)?;
         }
         if !self.stems.is_empty() {
             writeln!(f, "  correlation stems: {}", self.stems.join(", "))?;
@@ -204,6 +207,34 @@ mod tests {
             "dominators: {:?}",
             e.dominators
         );
+    }
+
+    #[test]
+    fn display_truncates_long_dominator_lists() {
+        use ltt_netlist::generators::cascade;
+        use ltt_netlist::GateKind;
+        // A deep chain: every net on it dominates the output, so the
+        // dominator list is far longer than the 12-entry display cap.
+        let c = cascade(GateKind::And, 20, 10);
+        let s = c.outputs()[0];
+        let e = explain(&c, s, 200);
+        assert!(!e.proved);
+        assert!(
+            e.dominators.len() > 12,
+            "dominators: {}",
+            e.dominators.len()
+        );
+        let text = e.to_string();
+        let dominator_lines = text
+            .lines()
+            .filter(|l| l.contains("must transition at or after"))
+            .count();
+        assert_eq!(
+            dominator_lines, 12,
+            "display must cap dominator lines:\n{text}"
+        );
+        let tail = format!("… {} more", e.dominators.len() - 12);
+        assert!(text.contains(&tail), "missing tail marker in:\n{text}");
     }
 
     #[test]

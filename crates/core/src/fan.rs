@@ -74,6 +74,29 @@ pub struct CaseStats {
     pub decisions: u64,
     /// Candidate vectors rejected by the oracle certification.
     pub rejected_candidates: u64,
+    /// Decisions per FAN phase: `[0]` cone-by-cone between consecutive
+    /// dynamic dominators (phase 1), `[1]` the whole circuit (phase 2),
+    /// `[2]` unjustified-gate backtrace plus the output/primary-input
+    /// tail (phase 3). Sums to `decisions`.
+    pub decisions_by_phase: [u64; 3],
+}
+
+impl CaseStats {
+    /// Per-field saturating sum (aggregation must never panic).
+    pub fn saturating_add(&self, other: &CaseStats) -> CaseStats {
+        CaseStats {
+            backtracks: self.backtracks.saturating_add(other.backtracks),
+            decisions: self.decisions.saturating_add(other.decisions),
+            rejected_candidates: self
+                .rejected_candidates
+                .saturating_add(other.rejected_candidates),
+            decisions_by_phase: [
+                self.decisions_by_phase[0].saturating_add(other.decisions_by_phase[0]),
+                self.decisions_by_phase[1].saturating_add(other.decisions_by_phase[1]),
+                self.decisions_by_phase[2].saturating_add(other.decisions_by_phase[2]),
+            ],
+        }
+    }
 }
 
 struct Frame {
@@ -152,9 +175,10 @@ pub fn case_analysis_with(
                 // does not actually violate the check.
             } else {
                 // Decide the next net.
-                let (net, level) = choose_decision(nw, &plan, cc, s, delta)
+                let (net, level, phase) = choose_decision(nw, &plan, cc, s, delta)
                     .expect("an unfixed primary input exists");
                 stats.decisions += 1;
+                stats.decisions_by_phase[phase as usize] += 1;
                 let mark = nw.checkpoint();
                 let restriction = nw.domain(net).restrict_to_class(level);
                 nw.narrow_net(net, restriction);
@@ -245,19 +269,23 @@ impl DecisionPlan {
 
 /// Picks the next decision: phase 1/2 via objective backtrace inside the
 /// planned regions, phase 3 over output + primary inputs, final fallback
-/// any unfixed primary input.
+/// any unfixed primary input. The returned index (0, 1 or 2) names the
+/// FAN phase that produced the decision, for the per-phase counters in
+/// [`CaseStats::decisions_by_phase`].
 fn choose_decision(
     nw: &Narrower,
     plan: &DecisionPlan,
     cc: &Controllability,
     s: NetId,
     delta: i64,
-) -> Option<(NetId, Level)> {
+) -> Option<(NetId, Level, u8)> {
     let circuit = nw.circuit();
     // Phases 1 and 2: objectives from the *current* dynamic-carrier circuit,
-    // backtraced to stems/inputs, restricted to each region in turn.
+    // backtraced to stems/inputs, restricted to each region in turn. The
+    // final region is the whole circuit — that is FAN phase 2; the
+    // dominator-cone regions before it are phase 1.
     let objectives = raise_objectives(nw, s, delta);
-    for region in &plan.regions {
+    for (ri, region) in plan.regions.iter().enumerate() {
         let mut best: Option<(i64, u32, NetId, Level)> = None;
         for &(net, level, weight) in &objectives {
             let Some((target, value)) = backtrace(circuit, nw.domains(), cc, net, level) else {
@@ -273,7 +301,8 @@ fn choose_decision(
             }
         }
         if let Some((_, _, net, level)) = best {
-            return Some((net, level));
+            let phase = if ri + 1 == plan.regions.len() { 1 } else { 0 };
+            return Some((net, level, phase));
         }
     }
     // Phase 3: the output, then the primary inputs — reached by complete
@@ -297,7 +326,7 @@ fn choose_decision(
             out_class,
         ) {
             if nw.domain(target).fixed_class().is_none() {
-                return Some((target, value));
+                return Some((target, value, 2));
             }
         }
     }
@@ -311,7 +340,7 @@ fn choose_decision(
             } else {
                 Level::Zero
             };
-            return Some((net, level));
+            return Some((net, level, 2));
         }
     }
     None

@@ -69,6 +69,7 @@ pub mod explain;
 pub mod failpoint;
 pub mod fan;
 pub mod learning;
+pub mod obs;
 pub mod prepared;
 pub mod projection;
 pub mod scoap;
@@ -80,13 +81,14 @@ pub use budget::{Budget, CancelToken, TripReason};
 pub use check::{
     delay_profile, exact_circuit_delay, exact_delay, verify, verify_all_outputs, verify_under,
     verify_with_learning, Completeness, DelayMode, DelaySearch, LearningMode, ProfilePoint, Stage,
-    StageTimes, StageVerdict, Verdict, VerifyConfig, VerifyReport,
+    StageEffort, StageTimes, StageVerdict, Verdict, VerifyConfig, VerifyReport,
 };
 pub use domain::{Checkpoint, DomainStore};
 pub use error::{CheckError, Error};
 pub use explain::{explain, Explanation};
 pub use fan::{CaseConfig, CaseOutcome, CaseStats};
 pub use learning::ImplicationTable;
+pub use obs::{Obs, Recorder, Span, SpanStart};
 pub use prepared::{CheckSession, PreparedCircuit};
 pub use projection::{project, GateProjection};
 pub use solver::{FixpointResult, Narrower, SolverStats};

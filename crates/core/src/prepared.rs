@@ -28,6 +28,7 @@ use crate::check::{
     run_pipeline, DelayMode, DelaySearch, LearningMode, ProfilePoint, VerifyConfig, VerifyReport,
 };
 use crate::learning::ImplicationTable;
+use crate::obs::Obs;
 use crate::scoap::{Controllability, Observability};
 use crate::solver::{FixpointResult, Narrower};
 use ltt_netlist::{Circuit, NetId};
@@ -96,6 +97,10 @@ pub struct PreparedCircuit<'c> {
     observability: OnceLock<Observability>,
     stem_mask: OnceLock<Vec<bool>>,
     per_output: Vec<OnceLock<OutputAnalysis>>,
+    /// Observability sink for the lazy per-circuit analyses. Disabled by
+    /// default; [`CheckSession::with_prepared`] installs the session
+    /// config's handle so the one-time derivations show up in traces.
+    obs: Obs,
 }
 
 impl<'c> PreparedCircuit<'c> {
@@ -141,6 +146,7 @@ impl<'c> PreparedCircuit<'c> {
             observability: OnceLock::new(),
             stem_mask: OnceLock::new(),
             per_output: (0..num_outputs).map(|_| OnceLock::new()).collect(),
+            obs: Obs::disabled(),
         }
     }
 
@@ -215,6 +221,7 @@ impl<'c> PreparedCircuit<'c> {
             .position(|&o| o == output)
             .expect("per-output analyses exist for primary outputs only");
         self.per_output[pos].get_or_init(|| {
+            let span = self.obs.start();
             let distances = self.circuit().longest_to(output);
             let arrival = self.arrival_times();
             let delta = arrival[output.index()];
@@ -227,6 +234,18 @@ impl<'c> PreparedCircuit<'c> {
                 })
                 .collect();
             let dominators = crate::carriers::timing_dominators(self.circuit(), &carriers, output);
+            self.obs.span(
+                "prepare.dominators",
+                "prepare",
+                span,
+                &[
+                    ("output", i64::try_from(output.index()).unwrap_or(i64::MAX)),
+                    (
+                        "dominators",
+                        i64::try_from(dominators.len()).unwrap_or(i64::MAX),
+                    ),
+                ],
+            );
             OutputAnalysis {
                 distances,
                 dominators,
@@ -272,7 +291,11 @@ impl<'c> CheckSession<'c> {
     /// Opens a session: prepares the circuit per the config's learning
     /// mode. The base fixpoint is computed lazily on the first check.
     pub fn new(circuit: &'c Circuit, config: VerifyConfig) -> Self {
+        let span = config.obs.start();
         let prepared = PreparedCircuit::new(circuit, config.learning);
+        config
+            .obs
+            .span("prepare.static_learning", "prepare", span, &[]);
         Self::with_prepared(prepared, config)
     }
 
@@ -280,13 +303,20 @@ impl<'c> CheckSession<'c> {
     /// session carries its own reference count, so it can live in a
     /// long-lived registry (`CheckSession<'static>`) and be dropped freely.
     pub fn new_shared(circuit: Arc<Circuit>, config: VerifyConfig) -> CheckSession<'static> {
+        let span = config.obs.start();
         let prepared = PreparedCircuit::new_shared(circuit, config.learning);
+        config
+            .obs
+            .span("prepare.static_learning", "prepare", span, &[]);
         CheckSession::with_prepared(prepared, config)
     }
 
     /// Opens a session around an existing [`PreparedCircuit`] (whose table,
-    /// not `config.learning`, decides what learning applies).
-    pub fn with_prepared(prepared: PreparedCircuit<'c>, config: VerifyConfig) -> Self {
+    /// not `config.learning`, decides what learning applies). The config's
+    /// observability handle is installed on the prepared circuit so its
+    /// lazy one-time derivations show up in traces too.
+    pub fn with_prepared(mut prepared: PreparedCircuit<'c>, config: VerifyConfig) -> Self {
+        prepared.obs = config.obs.clone();
         CheckSession {
             prepared,
             config,
@@ -341,8 +371,22 @@ impl<'c> CheckSession<'c> {
     /// A narrower seeded at the session's base fixpoint (computed once).
     fn narrower_at_base(&self) -> Narrower<'_> {
         let base = self.base.get_or_init(|| {
+            let span = self.config.obs.start();
             let mut nw = self.fresh_narrower();
             nw.reach_fixpoint();
+            let stats = nw.stats();
+            self.config.obs.span(
+                "prepare.base_fixpoint",
+                "prepare",
+                span,
+                &[
+                    ("events", i64::try_from(stats.events).unwrap_or(i64::MAX)),
+                    (
+                        "narrowings",
+                        i64::try_from(stats.narrowings).unwrap_or(i64::MAX),
+                    ),
+                ],
+            );
             nw.domains().to_vec()
         });
         let mut nw = Narrower::with_domains(self.prepared.circuit(), base);

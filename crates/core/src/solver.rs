@@ -41,6 +41,31 @@ pub struct SolverStats {
     pub learned_applications: u64,
 }
 
+impl SolverStats {
+    /// Counter increments accumulated since `earlier` (saturating, so a
+    /// stale baseline can never panic the caller).
+    pub fn since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            events: self.events.saturating_sub(earlier.events),
+            narrowings: self.narrowings.saturating_sub(earlier.narrowings),
+            learned_applications: self
+                .learned_applications
+                .saturating_sub(earlier.learned_applications),
+        }
+    }
+
+    /// Per-field saturating sum (aggregation must never panic).
+    pub fn saturating_add(&self, other: &SolverStats) -> SolverStats {
+        SolverStats {
+            events: self.events.saturating_add(other.events),
+            narrowings: self.narrowings.saturating_add(other.narrowings),
+            learned_applications: self
+                .learned_applications
+                .saturating_add(other.learned_applications),
+        }
+    }
+}
+
 /// The event-driven waveform narrower: circuit + domains + work queue.
 ///
 /// # Examples

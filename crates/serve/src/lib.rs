@@ -27,6 +27,9 @@
 //!   work is refused).
 //! * [`client`] — a small blocking client used by `ltt client`, the
 //!   `loadgen` load generator, and the integration tests.
+//! * [`metrics`] — Prometheus-text exposition primitives: the lock-free
+//!   latency [`Histogram`] behind the daemon's `metrics` operation and
+//!   the shared [`percentile`] helper.
 //!
 //! Verdicts served over the socket are **bit-identical** to running the
 //! same checks in-process with [`BatchRunner`](ltt_core::BatchRunner):
@@ -38,12 +41,14 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod metrics;
 pub mod proto;
 pub mod registry;
 pub mod server;
 pub mod wire;
 
 pub use client::Client;
+pub use metrics::{percentile, Histogram};
 pub use proto::{CheckSet, ErrorCode, ProtoError, Request, RequestBody, RunOpts};
 pub use registry::{content_id, CircuitEntry, CircuitRegistry, RegistryStats};
 pub use server::{serve, ServeConfig, Server, ServerHandle};

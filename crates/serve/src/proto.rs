@@ -14,6 +14,7 @@
 //! {"op":"batch_check","circuit":C,"checks":[{"output":O,"delta":δ},..],"opts":{..}?}
 //! {"op":"delay","circuit":C,"output":O?,"opts":{..}?}                # omit O: every output
 //! {"op":"status"}
+//! {"op":"metrics"}
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -213,6 +214,9 @@ pub enum RequestBody {
     },
     /// Server counters snapshot.
     Status,
+    /// The same counters in Prometheus text exposition format (plus the
+    /// request-latency histogram), wrapped in a JSON envelope.
+    Metrics,
     /// Begin graceful drain: finish queued and in-flight work, refuse new
     /// work, then exit.
     Shutdown,
@@ -308,6 +312,7 @@ impl Request {
                 opts: RunOpts::parse(json.get("opts"))?,
             },
             "status" => RequestBody::Status,
+            "metrics" => RequestBody::Metrics,
             "shutdown" => RequestBody::Shutdown,
             other => return Err(ProtoError::bad(format!("unknown op `{other}`"))),
         };
@@ -404,7 +409,25 @@ pub fn report_json(report: &VerifyReport, output_name: &str) -> Json {
         }
     }
     fields.push(("backtracks", int_u64(report.backtracks)));
-    fields.push(("elapsed_us", int_u64(report.elapsed.as_micros() as u64)));
+    fields.push(("elapsed_us", int_u64(micros_u64(report.elapsed))));
+    fields.push((
+        "stage_us",
+        Json::obj([
+            (
+                "narrowing",
+                int_u64(micros_u64(report.stage_times.narrowing)),
+            ),
+            (
+                "dominators",
+                int_u64(micros_u64(report.stage_times.dominators)),
+            ),
+            ("stems", int_u64(micros_u64(report.stage_times.stems))),
+            (
+                "case_analysis",
+                int_u64(micros_u64(report.stage_times.case_analysis)),
+            ),
+        ]),
+    ));
     Json::obj(fields)
 }
 
@@ -483,15 +506,20 @@ pub fn batch_json(batch: &BatchCheck, check_names: &[String]) -> Vec<(String, Js
                 ("backtracks", int_u64(s.backtracks)),
             ]),
         ),
-        (
-            "wall_us".to_string(),
-            int_u64(batch.wall.as_micros() as u64),
-        ),
+        ("wall_us".to_string(), int_u64(micros_u64(batch.wall))),
     ]
 }
 
 fn int_u64(value: u64) -> Json {
     Json::Int(i64::try_from(value).unwrap_or(i64::MAX))
+}
+
+/// A [`Duration`](std::time::Duration) in whole microseconds, saturating
+/// at `u64::MAX` — `as_micros()` yields a `u128`, and a plain `as u64`
+/// cast would wrap absurd-but-representable durations into small positive
+/// numbers on the wire.
+fn micros_u64(duration: std::time::Duration) -> u64 {
+    u64::try_from(duration.as_micros()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -606,6 +634,31 @@ mod tests {
             let err = parse(line).unwrap_err();
             assert_eq!(err.code, ErrorCode::BadRequest, "{line}");
         }
+    }
+
+    #[test]
+    fn status_and_metrics_parse_bare() {
+        assert!(matches!(
+            parse(r#"{"op":"status"}"#).unwrap().body,
+            RequestBody::Status
+        ));
+        assert!(matches!(
+            parse(r#"{"op":"metrics"}"#).unwrap().body,
+            RequestBody::Metrics
+        ));
+    }
+
+    #[test]
+    fn micros_saturate_instead_of_wrapping() {
+        use std::time::Duration;
+        // u64::MAX seconds is ~5.8e25 µs — far past u64::MAX µs. The old
+        // `as_micros() as u64` cast wrapped this into a meaningless small
+        // number; the wire value must pin at the i64 ceiling instead.
+        let absurd = Duration::from_secs(u64::MAX);
+        assert_eq!(micros_u64(absurd), u64::MAX);
+        assert_eq!(int_u64(micros_u64(absurd)), Json::Int(i64::MAX));
+        // Sane values round-trip unchanged.
+        assert_eq!(micros_u64(Duration::from_micros(1234)), 1234);
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //! clone of the connection's stream, so workers answer while the reader
 //! is already blocked on the next line (requests pipeline naturally).
 //!
-//! Cheap operations (`register`, `status`, `shutdown`) execute inline on
-//! the reader thread. Check work (`check`, `batch_check`, `delay`) goes
+//! Cheap operations (`register`, `status`, `metrics`, `shutdown`) execute
+//! inline on the reader thread. Check work (`check`, `batch_check`, `delay`) goes
 //! through one bounded queue shared by every connection — the admission
 //! point. A full queue yields an immediate structured `overloaded` reply:
 //! the server sheds load explicitly instead of buffering unboundedly and
@@ -29,6 +29,7 @@
 //! cadence, so a drain completes promptly even with idle connections
 //! open.
 
+use crate::metrics::Histogram;
 use crate::proto::{
     batch_json, delay_json, error_response, ok_response, ErrorCode, ProtoError, Request,
     RequestBody, RunOpts,
@@ -73,17 +74,46 @@ impl Default for ServeConfig {
     }
 }
 
-/// Monotonic counters exposed by `status`.
+/// Monotonic counters exposed by `status` and `metrics`.
+///
+/// Admission-side counters (`submitted`, `overloaded`) are only ever
+/// incremented while the queue lock is held, so a snapshot taken under
+/// that lock sees a frozen admission frontier; completion-side counters
+/// (`completed_ok`, `panicked`) advance freely but only ever for jobs the
+/// frozen frontier already admitted. That makes
+/// `submitted == overloaded + queued + in_flight + completed_ok + panicked`
+/// an invariant of every snapshot, with `in_flight` derived rather than
+/// tracked (a separately-updated atomic could disagree with the others).
 #[derive(Debug, Default)]
 struct Counters {
     connections_total: AtomicU64,
     connections_open: AtomicU64,
-    completed: AtomicU64,
-    in_flight: AtomicU64,
+    /// Requests that reached admission control: enqueued or shed.
+    submitted: AtomicU64,
+    /// Jobs whose handler returned normally (a panicking handler counts
+    /// under `panicked` only, never here).
+    completed_ok: AtomicU64,
     overloaded: AtomicU64,
     budget_tripped: AtomicU64,
     panicked: AtomicU64,
     disconnect_cancels: AtomicU64,
+}
+
+/// A coherent point-in-time view of the server's counters: taken under
+/// the queue lock, so the accounting identity documented on [`Counters`]
+/// holds exactly in every snapshot.
+#[derive(Debug, Clone, Copy)]
+struct Snapshot {
+    submitted: u64,
+    completed_ok: u64,
+    panicked: u64,
+    overloaded: u64,
+    budget_tripped: u64,
+    queued: u64,
+    in_flight: u64,
+    connections_total: u64,
+    connections_open: u64,
+    disconnect_cancels: u64,
 }
 
 /// One unit of admitted work: executed by a worker, replied through the
@@ -105,6 +135,9 @@ struct Shared {
     draining: AtomicBool,
     queue_cap: usize,
     counters: Counters,
+    /// Wall-clock latency of every finished job (queued-to-replied is the
+    /// worker's concern; this measures handler execution).
+    latency: Histogram,
     started: Instant,
 }
 
@@ -116,6 +149,39 @@ impl Shared {
     fn begin_drain(&self) {
         self.draining.store(true, Ordering::Release);
         self.job_ready.notify_all();
+    }
+
+    /// Takes a coherent counter snapshot (see [`Counters`] for why the
+    /// queue lock makes the accounting identity exact).
+    fn snapshot(&self) -> Snapshot {
+        let queue = self.queue.lock().expect("queue lock poisoned");
+        let queued = queue.len() as u64;
+        let c = &self.counters;
+        let submitted = c.submitted.load(Ordering::Relaxed);
+        let overloaded = c.overloaded.load(Ordering::Relaxed);
+        let completed_ok = c.completed_ok.load(Ordering::Relaxed);
+        let panicked = c.panicked.load(Ordering::Relaxed);
+        // Everything admitted but neither queued nor finished is on a
+        // worker right now. The saturation is belt-and-braces: with the
+        // frontier frozen by the lock the subtraction cannot go negative.
+        let in_flight = submitted
+            .saturating_sub(overloaded)
+            .saturating_sub(queued)
+            .saturating_sub(completed_ok)
+            .saturating_sub(panicked);
+        drop(queue);
+        Snapshot {
+            submitted,
+            completed_ok,
+            panicked,
+            overloaded,
+            budget_tripped: c.budget_tripped.load(Ordering::Relaxed),
+            queued,
+            in_flight,
+            connections_total: c.connections_total.load(Ordering::Relaxed),
+            connections_open: c.connections_open.load(Ordering::Relaxed),
+            disconnect_cancels: c.disconnect_cancels.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -187,6 +253,7 @@ impl Server {
             draining: AtomicBool::new(false),
             queue_cap: config.queue_cap.max(1),
             counters: Counters::default(),
+            latency: Histogram::new(),
             started: Instant::now(),
         });
         Ok(Server {
@@ -290,20 +357,33 @@ fn worker_loop(shared: &Shared) {
             }
         };
         let Some(job) = job else { return };
-        shared.counters.in_flight.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
         // Last-resort isolation: the batch engine already catches per-check
         // panics, so tripping this means a harness bug — count it, answer
-        // with a structured internal error, keep the worker alive.
-        let response = catch_unwind(AssertUnwindSafe(job.work)).unwrap_or_else(|_| {
+        // with a structured internal error, keep the worker alive. A
+        // panicked job counts under `panicked` ONLY; `completed_ok` means
+        // the handler returned normally, and the two partition every job
+        // a worker finishes (the accounting identity on `Counters` needs
+        // exactly-once attribution, not double counting).
+        let (response, panicked) = match catch_unwind(AssertUnwindSafe(job.work)) {
+            Ok(response) => (response, false),
+            Err(_) => (
+                error_response(
+                    job.id.as_ref(),
+                    &ProtoError::new(ErrorCode::Internal, "request handler panicked"),
+                ),
+                true,
+            ),
+        };
+        shared.latency.observe(started.elapsed());
+        // Count before replying: a client that receives the reply and
+        // immediately asks for `status` must already see this job counted.
+        if panicked {
             shared.counters.panicked.fetch_add(1, Ordering::Relaxed);
-            error_response(
-                job.id.as_ref(),
-                &ProtoError::new(ErrorCode::Internal, "request handler panicked"),
-            )
-        });
+        } else {
+            shared.counters.completed_ok.fetch_add(1, Ordering::Relaxed);
+        }
         job.reply.send(&response);
-        shared.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
-        shared.counters.completed.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -406,6 +486,7 @@ fn dispatch(text: &str, shared: &Arc<Shared>, cancel: &CancelToken, reply: &Repl
     };
     match request.body {
         RequestBody::Status => reply.send(&status_response(shared, id.as_ref())),
+        RequestBody::Metrics => reply.send(&metrics_response(shared, id.as_ref())),
         RequestBody::Shutdown => {
             shared.begin_drain();
             reply.send(&ok_response("shutdown", id.as_ref(), vec![]));
@@ -542,11 +623,18 @@ fn build_runner(opts: &RunOpts, cancel: &CancelToken) -> BatchRunner {
 }
 
 /// Admission control: enqueue `job` or refuse with `overloaded`.
+///
+/// `submitted` and `overloaded` advance while the queue lock is still
+/// held: a snapshot taken under that lock must see the admission frontier
+/// and the queue depth agree (incrementing after `drop(queue)` opens a
+/// window where a shed request is visible in neither counter nor queue,
+/// breaking the accounting identity documented on [`Counters`]).
 fn admit(shared: &Arc<Shared>, reply: &ReplyHandle, job: Job) {
     let mut queue = shared.queue.lock().expect("queue lock poisoned");
+    shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
     if queue.len() >= shared.queue_cap {
-        drop(queue);
         shared.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+        drop(queue);
         reply.send(&error_response(
             job.id.as_ref(),
             &ProtoError::new(
@@ -737,9 +825,8 @@ fn runner_budget(runner: &BatchRunner) -> Budget {
 
 fn status_response(shared: &Shared, id: Option<&Json>) -> Json {
     let registry = shared.registry.stats();
-    let queued = shared.queue.lock().expect("queue lock poisoned").len();
-    let c = &shared.counters;
-    let load = |a: &AtomicU64| Json::Int(a.load(Ordering::Relaxed).min(i64::MAX as u64) as i64);
+    let snap = shared.snapshot();
+    let int = |v: u64| Json::Int(v.min(i64::MAX as u64) as i64);
     ok_response(
         "status",
         id,
@@ -754,15 +841,9 @@ fn status_response(shared: &Shared, id: Option<&Json>) -> Json {
                 Json::obj([
                     ("entries", Json::Int(registry.entries as i64)),
                     ("capacity", Json::Int(registry.capacity as i64)),
-                    ("hits", Json::Int(registry.hits.min(i64::MAX as u64) as i64)),
-                    (
-                        "misses",
-                        Json::Int(registry.misses.min(i64::MAX as u64) as i64),
-                    ),
-                    (
-                        "evictions",
-                        Json::Int(registry.evictions.min(i64::MAX as u64) as i64),
-                    ),
+                    ("hits", int(registry.hits)),
+                    ("misses", int(registry.misses)),
+                    ("evictions", int(registry.evictions)),
                     (
                         "hit_rate",
                         registry.hit_rate().map_or(Json::Null, Json::Float),
@@ -772,28 +853,190 @@ fn status_response(shared: &Shared, id: Option<&Json>) -> Json {
             (
                 "queue".to_string(),
                 Json::obj([
-                    ("depth", Json::Int(queued as i64)),
+                    ("depth", int(snap.queued)),
                     ("capacity", Json::Int(shared.queue_cap as i64)),
                 ]),
             ),
             (
                 "requests".to_string(),
                 Json::obj([
-                    ("completed", load(&c.completed)),
-                    ("in_flight", load(&c.in_flight)),
-                    ("overloaded", load(&c.overloaded)),
-                    ("budget_tripped", load(&c.budget_tripped)),
-                    ("panicked", load(&c.panicked)),
+                    ("submitted", int(snap.submitted)),
+                    ("completed_ok", int(snap.completed_ok)),
+                    ("in_flight", int(snap.in_flight)),
+                    ("overloaded", int(snap.overloaded)),
+                    ("budget_tripped", int(snap.budget_tripped)),
+                    ("panicked", int(snap.panicked)),
                 ]),
             ),
             (
                 "connections".to_string(),
                 Json::obj([
-                    ("total", load(&c.connections_total)),
-                    ("open", load(&c.connections_open)),
-                    ("disconnect_cancels", load(&c.disconnect_cancels)),
+                    ("total", int(snap.connections_total)),
+                    ("open", int(snap.connections_open)),
+                    ("disconnect_cancels", int(snap.disconnect_cancels)),
                 ]),
             ),
+        ],
+    )
+}
+
+/// The `metrics` reply: the same coherent snapshot as `status`, rendered
+/// in Prometheus text exposition format 0.0.4 inside a JSON envelope
+/// (`content_type` + `body`). Scrapers unwrap `body`; everything before
+/// the envelope is plain `NAME VALUE` samples plus the request-latency
+/// histogram, from which p50/p90/p99 are derivable.
+fn metrics_response(shared: &Shared, id: Option<&Json>) -> Json {
+    use crate::metrics::{render_gauge_f64, render_sample};
+    let registry = shared.registry.stats();
+    let snap = shared.snapshot();
+    let mut body = String::new();
+    render_gauge_f64(
+        &mut body,
+        "ltt_uptime_seconds",
+        "seconds since the daemon started",
+        shared.started.elapsed().as_secs_f64(),
+    );
+    render_sample(
+        &mut body,
+        "ltt_draining",
+        "gauge",
+        "1 while the server is draining after shutdown",
+        u64::from(shared.draining()),
+    );
+    render_sample(
+        &mut body,
+        "ltt_requests_submitted_total",
+        "counter",
+        "requests that reached admission control (enqueued or shed)",
+        snap.submitted,
+    );
+    render_sample(
+        &mut body,
+        "ltt_requests_completed_total",
+        "counter",
+        "jobs whose handler returned normally",
+        snap.completed_ok,
+    );
+    render_sample(
+        &mut body,
+        "ltt_requests_panicked_total",
+        "counter",
+        "jobs whose handler panicked (answered with an internal error)",
+        snap.panicked,
+    );
+    render_sample(
+        &mut body,
+        "ltt_requests_shed_total",
+        "counter",
+        "requests refused at admission because the queue was full",
+        snap.overloaded,
+    );
+    render_sample(
+        &mut body,
+        "ltt_requests_budget_tripped_total",
+        "counter",
+        "checks cut short by a deadline, backtrack cap, or cancellation",
+        snap.budget_tripped,
+    );
+    render_sample(
+        &mut body,
+        "ltt_requests_in_flight",
+        "gauge",
+        "jobs currently executing on workers",
+        snap.in_flight,
+    );
+    render_sample(
+        &mut body,
+        "ltt_queue_depth",
+        "gauge",
+        "admitted jobs waiting for a worker",
+        snap.queued,
+    );
+    render_sample(
+        &mut body,
+        "ltt_queue_capacity",
+        "gauge",
+        "admission bound beyond which requests are shed",
+        shared.queue_cap as u64,
+    );
+    render_sample(
+        &mut body,
+        "ltt_connections_total",
+        "counter",
+        "connections accepted since start",
+        snap.connections_total,
+    );
+    render_sample(
+        &mut body,
+        "ltt_connections_open",
+        "gauge",
+        "connections currently open",
+        snap.connections_open,
+    );
+    render_sample(
+        &mut body,
+        "ltt_disconnect_cancels_total",
+        "counter",
+        "in-flight requests cancelled by a client disconnect",
+        snap.disconnect_cancels,
+    );
+    render_sample(
+        &mut body,
+        "ltt_registry_entries",
+        "gauge",
+        "circuits resident in the registry",
+        registry.entries as u64,
+    );
+    render_sample(
+        &mut body,
+        "ltt_registry_capacity",
+        "gauge",
+        "registry LRU capacity",
+        registry.capacity as u64,
+    );
+    render_sample(
+        &mut body,
+        "ltt_registry_hits_total",
+        "counter",
+        "registry lookups served from cache",
+        registry.hits,
+    );
+    render_sample(
+        &mut body,
+        "ltt_registry_misses_total",
+        "counter",
+        "registry lookups that parsed and prepared a circuit",
+        registry.misses,
+    );
+    render_sample(
+        &mut body,
+        "ltt_registry_evictions_total",
+        "counter",
+        "circuits evicted by the LRU bound",
+        registry.evictions,
+    );
+    if let Some(rate) = registry.hit_rate() {
+        render_gauge_f64(
+            &mut body,
+            "ltt_registry_hit_ratio",
+            "hits / (hits + misses); absent before any traffic",
+            rate,
+        );
+    }
+    shared.latency.render(
+        &mut body,
+        "ltt_request_duration_seconds",
+        "handler execution latency of finished jobs",
+    );
+    ok_response(
+        "metrics",
+        id,
+        vec![
+            (
+                "content_type".to_string(),
+                Json::str("text/plain; version=0.0.4"),
+            ),
+            ("body".to_string(), Json::str(body)),
         ],
     )
 }

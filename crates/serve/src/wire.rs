@@ -664,5 +664,21 @@ mod tests {
     fn nonfinite_floats_encode_as_null() {
         assert_eq!(Json::Float(f64::NAN).encode(), "null");
         assert_eq!(Json::Float(f64::INFINITY).encode(), "null");
+        assert_eq!(Json::Float(f64::NEG_INFINITY).encode(), "null");
+        // The degradation must still be *valid* JSON wherever it appears:
+        // a non-finite value nested in a reply decodes back as Null.
+        let nested = Json::obj([
+            ("rate", Json::Float(f64::NAN)),
+            (
+                "values",
+                Json::Arr(vec![Json::Float(f64::INFINITY), Json::Int(1)]),
+            ),
+        ]);
+        let reparsed = decode(&nested.encode()).expect("valid JSON");
+        assert_eq!(reparsed.get("rate"), Some(&Json::Null));
+        assert_eq!(
+            reparsed.get("values").and_then(Json::as_array),
+            Some(&[Json::Null, Json::Int(1)][..])
+        );
     }
 }

@@ -208,7 +208,7 @@ fn disconnect_mid_request_cancels_in_flight_work() {
         "cancelled search should trip its budget: {}",
         status.encode()
     );
-    assert_eq!(status_counter(&status, "requests", "completed"), 1);
+    assert_eq!(status_counter(&status, "requests", "completed_ok"), 1);
 
     let _ = observer.call(&Json::obj([("op", Json::str("shutdown"))]));
     drop(observer);

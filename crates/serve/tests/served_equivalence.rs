@@ -1,7 +1,8 @@
 //! Serial-vs-served equivalence: every report a daemon sends over the
 //! socket is bit-identical to running the same checks in-process through
 //! a serial `BatchRunner` and serializing with the same `proto` helpers.
-//! Only wall-clock fields (`elapsed_us`, `wall_us`) are exempt.
+//! Only wall-clock fields (`elapsed_us`, `wall_us`, `stage_us`) are
+//! exempt.
 
 use ltt_core::{BatchRunner, CheckSession, VerifyConfig};
 use ltt_netlist::bench_format::{parse_bench, write_bench};
@@ -25,7 +26,7 @@ fn strip_timing(v: &Json) -> Json {
         Json::Obj(fields) => Json::Obj(
             fields
                 .iter()
-                .filter(|(k, _)| k.as_str() != "elapsed_us" && k.as_str() != "wall_us")
+                .filter(|(k, _)| !matches!(k.as_str(), "elapsed_us" | "wall_us" | "stage_us"))
                 .map(|(k, val)| (k.clone(), strip_timing(val)))
                 .collect(),
         ),
