@@ -12,6 +12,9 @@
 //! as Chrome-trace JSON (load in chrome://tracing), plus a per-stage
 //! wall-clock rollup — the Table 1 time columns broken down by pipeline
 //! stage. Verdicts are identical with or without tracing.
+//! `--bench-json FILE` writes the same rollup as a machine-readable
+//! benchmark artifact (suite wall-clock plus per-stage span counts and
+//! totals) for CI trend tracking; it implies recording.
 
 use ltt_bench::table1::{render_rows, run_entry_with, Table1Row};
 use ltt_core::{BatchRunner, Obs, Recorder, VerifyConfig};
@@ -58,7 +61,11 @@ fn main() {
         .iter()
         .position(|a| a == "--trace")
         .map(|i| args.get(i + 1).expect("--trace needs a file").clone());
-    let recorder = trace.as_ref().map(|_| Arc::new(Recorder::new()));
+    let bench_json: Option<String> = args
+        .iter()
+        .position(|a| a == "--bench-json")
+        .map(|i| args.get(i + 1).expect("--bench-json needs a file").clone());
+    let recorder = (trace.is_some() || bench_json.is_some()).then(|| Arc::new(Recorder::new()));
     // The paper abandons c6288 after an excessive number of backtracks;
     // bound the budget the same way.
     let config = VerifyConfig {
@@ -102,8 +109,7 @@ fn main() {
         ),
     }
 
-    if let (Some(path), Some(recorder)) = (&trace, &recorder) {
-        std::fs::write(path, recorder.chrome_trace()).expect("write trace file");
+    if let Some(recorder) = &recorder {
         let spans = recorder.spans();
         let mut totals: std::collections::BTreeMap<&'static str, (u64, u64)> =
             std::collections::BTreeMap::new();
@@ -112,13 +118,39 @@ fn main() {
             entry.0 += 1;
             entry.1 += span.dur_us;
         }
-        println!();
-        println!("per-stage breakdown ({} spans -> {path}):", spans.len());
-        for (name, (count, dur_us)) in totals {
-            println!(
-                "  {name:<24} {count:>8} spans  {:>10.3} s",
-                dur_us as f64 / 1e6
+        if let Some(path) = &trace {
+            std::fs::write(path, recorder.chrome_trace()).expect("write trace file");
+            println!();
+            println!("per-stage breakdown ({} spans -> {path}):", spans.len());
+            for (name, &(count, dur_us)) in &totals {
+                println!(
+                    "  {name:<24} {count:>8} spans  {:>10.3} s",
+                    dur_us as f64 / 1e6
+                );
+            }
+        }
+        if let Some(path) = &bench_json {
+            // Machine-readable rollup for CI trend tracking. Stage names
+            // are static identifiers (no escaping needed).
+            use std::fmt::Write;
+            let mut json = String::new();
+            let _ = write!(
+                json,
+                "{{\n  \"suite\": \"table1\",\n  \"quick\": {quick},\n  \"jobs\": {},\n  \"wall_s\": {:.6},\n  \"stages\": {{",
+                runner.jobs(),
+                wall.as_secs_f64()
             );
+            for (i, (name, &(count, dur_us))) in totals.iter().enumerate() {
+                let _ = write!(
+                    json,
+                    "{}\n    \"{name}\": {{ \"spans\": {count}, \"total_s\": {:.6} }}",
+                    if i == 0 { "" } else { "," },
+                    dur_us as f64 / 1e6
+                );
+            }
+            let _ = writeln!(json, "\n  }}\n}}");
+            std::fs::write(path, json).expect("write bench-json file");
+            eprintln!("[json] per-stage rollup -> {path}");
         }
     }
 }

@@ -139,7 +139,17 @@ pub fn case_analysis_with(
 ) -> CaseOutcome {
     let circuit = nw.circuit();
     let plan = DecisionPlan::new(circuit, nw.domains(), s, delta);
-    let mut stack: Vec<Frame> = Vec::new();
+    // Every live frame fixes the class of a distinct net, and decisions
+    // only ever land on fanout stems, primary inputs, or the checked
+    // output (backtrace stops there) — so the stack depth is bounded by
+    // their count. Preallocate once instead of growing mid-search.
+    let depth_bound = 1
+        + circuit.inputs().len()
+        + circuit
+            .net_ids()
+            .filter(|&n| circuit.net(n).is_fanout_stem())
+            .count();
+    let mut stack: Vec<Frame> = Vec::with_capacity(depth_bound);
     // The narrower's budget can carry its own backtrack cap; the effective
     // cap is the tighter of the two.
     let budget_cap = nw.budget_mut().budget().max_backtracks();

@@ -83,7 +83,7 @@ pub use check::{
     verify_with_learning, Completeness, DelayMode, DelaySearch, LearningMode, ProfilePoint, Stage,
     StageEffort, StageTimes, StageVerdict, Verdict, VerifyConfig, VerifyReport,
 };
-pub use domain::{Checkpoint, DomainStore};
+pub use domain::{Checkpoint, DomainStore, SignalStore};
 pub use error::{CheckError, Error};
 pub use explain::{explain, Explanation};
 pub use fan::{CaseConfig, CaseOutcome, CaseStats};

@@ -27,6 +27,7 @@ use crate::carriers::fixpoint_with_dominators;
 use crate::check::{
     run_pipeline, DelayMode, DelaySearch, LearningMode, ProfilePoint, VerifyConfig, VerifyReport,
 };
+use crate::domain::SignalStore;
 use crate::learning::ImplicationTable;
 use crate::obs::Obs;
 use crate::scoap::{Controllability, Observability};
@@ -284,7 +285,9 @@ impl<'c> PreparedCircuit<'c> {
 pub struct CheckSession<'c> {
     prepared: PreparedCircuit<'c>,
     config: VerifyConfig,
-    base: OnceLock<Vec<Signal>>,
+    /// The base-fixpoint store prototype: planes derived once, cloned (two
+    /// flat memcpys) into every per-check narrower.
+    base: OnceLock<SignalStore>,
 }
 
 impl<'c> CheckSession<'c> {
@@ -387,9 +390,9 @@ impl<'c> CheckSession<'c> {
                     ),
                 ],
             );
-            nw.domains().to_vec()
+            SignalStore::from_domains(nw.domains())
         });
-        let mut nw = Narrower::with_domains(self.prepared.circuit(), base);
+        let mut nw = Narrower::from_store(self.prepared.circuit(), base.clone());
         if let Some(table) = self.prepared.implication_table() {
             nw.set_implications(table.clone());
         }

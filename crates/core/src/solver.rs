@@ -5,12 +5,20 @@
 //! constraint reading a net whose domain narrowed is re-scheduled. Each
 //! domain only shrinks (projection targets are intersected in), so the
 //! unique greatest fixpoint is reached in finitely many steps (Theorem 1).
+//!
+//! The inner loop is allocation-free: gate metadata comes from the
+//! circuit's flat [`Topology`] tables, unary and 2-input AND-family gates
+//! go through the straight-line projection kernels, and the general rules
+//! write into scratch buffers owned by the narrower. The FIFO queue and
+//! per-gate `queued` flags make the event order — and therefore
+//! [`SolverStats`] — a pure function of the narrowing requests, identical
+//! across all of these code paths.
 
 use crate::budget::{ArmedBudget, Budget, TripReason};
-use crate::domain::{Checkpoint, DomainStore};
+use crate::domain::{Checkpoint, SignalStore};
 use crate::learning::ImplicationTable;
-use crate::projection::project;
-use ltt_netlist::{Circuit, GateId, NetId};
+use crate::projection::{project_and2, project_into, project_unary2};
+use ltt_netlist::{Circuit, GateId, GateKind, NetId, Topology};
 use ltt_waveform::Signal;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -92,12 +100,19 @@ impl SolverStats {
 /// ```
 pub struct Narrower<'c> {
     circuit: &'c Circuit,
-    store: DomainStore,
+    /// Flat connectivity tables, shared with every other narrower of the
+    /// same circuit (built once, cached on the circuit).
+    topo: Arc<Topology>,
+    store: SignalStore,
     queue: VecDeque<GateId>,
     queued: Vec<bool>,
     implications: Option<Arc<ImplicationTable>>,
     stats: SolverStats,
     budget: ArmedBudget,
+    /// Scratch input-domain buffer for the general projection path.
+    scratch_in: Vec<Signal>,
+    /// Scratch target buffer for the general projection path.
+    scratch_tgt: Vec<Signal>,
     /// Safety valve: abort (conservatively, as `Fixpoint`) after this many
     /// events. Practically unreachable on sane inputs.
     pub max_events: u64,
@@ -106,16 +121,7 @@ pub struct Narrower<'c> {
 impl<'c> Narrower<'c> {
     /// Creates a narrower with all domains full and an empty queue.
     pub fn new(circuit: &'c Circuit) -> Self {
-        Narrower {
-            circuit,
-            store: DomainStore::new(circuit),
-            queue: VecDeque::new(),
-            queued: vec![false; circuit.num_gates()],
-            implications: None,
-            stats: SolverStats::default(),
-            budget: ArmedBudget::unlimited(),
-            max_events: u64::MAX,
-        }
+        Self::from_store(circuit, SignalStore::new(circuit))
     }
 
     /// Creates a narrower whose domains start from `domains` — typically a
@@ -133,14 +139,35 @@ impl<'c> Narrower<'c> {
             circuit.num_nets(),
             "one seeded domain per net"
         );
+        Self::from_store(circuit, SignalStore::from_domains(domains))
+    }
+
+    /// Creates a narrower around an already-built store. This is the
+    /// cheap seeding path for batch sessions: `CheckSession` derives the
+    /// store planes once for its base fixpoint and hands every check a
+    /// clone (a pair of flat memcpys), skipping the per-check lattice
+    /// derivation that [`Narrower::with_domains`] performs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store's net count differs from the circuit's.
+    pub(crate) fn from_store(circuit: &'c Circuit, store: SignalStore) -> Self {
+        assert_eq!(
+            store.all().len(),
+            circuit.num_nets(),
+            "one stored domain per net"
+        );
         Narrower {
             circuit,
-            store: DomainStore::from_domains(domains.to_vec()),
+            topo: circuit.topology(),
+            store,
             queue: VecDeque::new(),
             queued: vec![false; circuit.num_gates()],
             implications: None,
             stats: SolverStats::default(),
             budget: ArmedBudget::unlimited(),
+            scratch_in: Vec::new(),
+            scratch_tgt: Vec::new(),
             max_events: u64::MAX,
         }
     }
@@ -196,8 +223,9 @@ impl<'c> Narrower<'c> {
         self.stats
     }
 
-    /// Marks the current state for later [`Narrower::rollback`].
-    pub fn checkpoint(&self) -> Checkpoint {
+    /// Marks the current state for later [`Narrower::rollback`], opening a
+    /// new trail decision window.
+    pub fn checkpoint(&mut self) -> Checkpoint {
         self.store.checkpoint()
     }
 
@@ -212,6 +240,9 @@ impl<'c> Narrower<'c> {
     /// actually enqueued — O(queue length), not O(num gates). The case
     /// analysis rolls back once per backtrack, so a full `queued` scan here
     /// would dominate deep searches on large circuits.
+    ///
+    /// Drained events are *not* counted in [`SolverStats`]: the counters
+    /// record work performed, and these constraints were never applied.
     fn clear_queue(&mut self) {
         for gate in self.queue.drain(..) {
             self.queued[gate.index()] = false;
@@ -228,11 +259,9 @@ impl<'c> Narrower<'c> {
 
     /// Schedules every constraint touching `net` (its driver and readers).
     pub fn schedule_net(&mut self, net: NetId) {
-        if let Some(driver) = self.circuit.net(net).driver() {
-            self.schedule(driver);
-        }
-        for &reader in self.circuit.net(net).readers() {
-            self.schedule(reader);
+        let topo = Arc::clone(&self.topo);
+        for &gate in topo.touching(net) {
+            self.schedule(gate);
         }
     }
 
@@ -257,12 +286,16 @@ impl<'c> Narrower<'c> {
     }
 
     fn fire_implications(&mut self, net: NetId) {
-        let Some(table) = self.implications.clone() else {
+        // Cheap rejections first (the common case by far): no table, or the
+        // net's class is not fixed — the store's lattice plane answers that
+        // without touching the bounds row or the table's `Arc`.
+        if self.implications.is_none() {
+            return;
+        }
+        let Some(level) = self.store.fixed_class(net) else {
             return;
         };
-        let Some(level) = self.store.get(net).fixed_class() else {
-            return;
-        };
+        let table = self.implications.clone().expect("checked above");
         for &(target, value) in table.implied_by(net, level) {
             let restriction = {
                 let cur = self.store.get(target);
@@ -279,18 +312,62 @@ impl<'c> Narrower<'c> {
     }
 
     /// Applies one gate constraint; returns whether any domain narrowed.
+    ///
+    /// Dispatches on gate shape: unary gates and 2-input AND-family gates
+    /// run the straight-line kernels; everything else gathers its input
+    /// domains into a scratch buffer and runs the general projection. All
+    /// paths narrow the output first, then the inputs in gate order, so the
+    /// event schedule is shape-independent.
     pub fn apply_gate(&mut self, gate: GateId) -> bool {
-        let g = self.circuit.gate(gate);
-        let inputs: Vec<Signal> = g.inputs().iter().map(|&n| self.store.get(n)).collect();
-        let output = self.store.get(g.output());
-        let p = project(g.kind(), i64::from(g.dmax()), &inputs, output);
-        let mut changed = false;
-        changed |= self.narrow_net(g.output(), p.output);
-        let input_nets: Vec<NetId> = g.inputs().to_vec();
-        for (net, target) in input_nets.into_iter().zip(p.inputs) {
-            changed |= self.narrow_net(net, target);
+        let kind = self.topo.gate_kind(gate);
+        let d = i64::from(self.topo.gate_dmax(gate));
+        let out_net = self.topo.gate_output(gate);
+        let output = self.store.get(out_net);
+        let ins = self.topo.gate_inputs(gate);
+        match *ins {
+            [a_net] => {
+                let (out_t, in_t) = project_unary2(kind, d, self.store.get(a_net), output);
+                let mut changed = self.narrow_net(out_net, out_t);
+                changed |= self.narrow_net(a_net, in_t);
+                changed
+            }
+            [a_net, b_net]
+                if matches!(
+                    kind,
+                    GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor
+                ) =>
+            {
+                let (out_t, a_t, b_t) = project_and2(
+                    kind,
+                    d,
+                    self.store.get(a_net),
+                    self.store.get(b_net),
+                    output,
+                );
+                let mut changed = self.narrow_net(out_net, out_t);
+                changed |= self.narrow_net(a_net, a_t);
+                changed |= self.narrow_net(b_net, b_t);
+                changed
+            }
+            _ => {
+                // General path: gather into the reusable scratch buffers
+                // (taken out of `self` to satisfy the borrow checker; the
+                // swap is pointer-sized, no allocation).
+                let mut scratch_in = std::mem::take(&mut self.scratch_in);
+                let mut scratch_tgt = std::mem::take(&mut self.scratch_tgt);
+                scratch_in.clear();
+                scratch_in.extend(ins.iter().map(|&n| self.store.get(n)));
+                let out_t = project_into(kind, d, &scratch_in, output, &mut scratch_tgt);
+                let mut changed = self.narrow_net(out_net, out_t);
+                for (i, &target) in scratch_tgt.iter().enumerate() {
+                    let net = self.topo.gate_inputs(gate)[i];
+                    changed |= self.narrow_net(net, target);
+                }
+                self.scratch_in = scratch_in;
+                self.scratch_tgt = scratch_tgt;
+                changed
+            }
         }
-        changed
     }
 
     /// Runs the event queue to quiescence (Fig. 4 `reach_fixpoint`).
@@ -550,5 +627,44 @@ mod tests {
             nw.domains().to_vec()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    /// Stats are schedule-independent across backtracking: the counter
+    /// *increments* of a checkpoint → narrow → fixpoint pass are identical
+    /// whether or not an earlier pass ran and was rolled back, and match a
+    /// fresh narrower that never backtracked. Events drained by the
+    /// rollback's queue clear must not leak into any counter.
+    #[test]
+    fn stats_increments_identical_with_and_without_backtracking() {
+        let c = figure1(10);
+        let s = c.outputs()[0];
+        let base = {
+            let mut nw = Narrower::new(&c);
+            for &i in c.inputs() {
+                nw.narrow_net(i, Signal::floating_input());
+            }
+            nw.reach_fixpoint();
+            nw.domains().to_vec()
+        };
+        let delta_pass = |nw: &mut Narrower<'_>, delta: i64| -> SolverStats {
+            let before = nw.stats();
+            let mark = nw.checkpoint();
+            nw.narrow_net(s, Signal::violation(Time::new(delta)));
+            nw.reach_fixpoint();
+            nw.rollback(mark);
+            nw.stats().since(&before)
+        };
+        // One narrower: a δ = 61 contradiction pass (rolled back, queue
+        // drained mid-flight), then a δ = 60 pass.
+        let mut backtracked = Narrower::with_domains(&c, &base);
+        let _ = delta_pass(&mut backtracked, 61);
+        let with_backtrack = delta_pass(&mut backtracked, 60);
+        // Fresh narrower: only the δ = 60 pass, never backtracked.
+        let mut fresh = Narrower::with_domains(&c, &base);
+        let without_backtrack = delta_pass(&mut fresh, 60);
+        assert_eq!(with_backtrack, without_backtrack);
+        // And re-running the same pass on the backtracked narrower again
+        // yields the same increments once more (rollback is transparent).
+        assert_eq!(delta_pass(&mut backtracked, 60), without_backtrack);
     }
 }

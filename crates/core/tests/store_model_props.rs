@@ -1,0 +1,194 @@
+//! Model-based property tests for the struct-of-arrays [`SignalStore`]:
+//! a deliberately naive per-net reference implementation (one `Signal`
+//! slot per net, checkpoints as full-vector snapshots) is driven through
+//! the same random interleavings of narrowings, forced replacements,
+//! checkpoints and rollbacks, and the SoA store must stay bit-identical
+//! to it after every single operation — domains, change reports, the
+//! contradiction flag, and the derived fixed-class view.
+//!
+//! This pins the whole data-oriented rewrite (bounds plane + value-lattice
+//! plane + epoch-stamped first-write-wins trail) to the semantics of the
+//! obvious implementation.
+
+use ltt_core::{Checkpoint, SignalStore};
+use ltt_netlist::generators::{random_circuit, RandomCircuitConfig};
+use ltt_netlist::NetId;
+use ltt_waveform::{Aw, Signal, Time};
+use proptest::prelude::*;
+
+/// The reference model: per-net signals, snapshot checkpoints, no trail,
+/// no incremental bookkeeping — every query recomputed from scratch.
+struct RefStore {
+    sig: Vec<Signal>,
+    snapshots: Vec<Vec<Signal>>,
+}
+
+impl RefStore {
+    fn new(nets: usize) -> RefStore {
+        RefStore {
+            sig: vec![Signal::FULL; nets],
+            snapshots: Vec::new(),
+        }
+    }
+
+    fn narrow_to(&mut self, n: usize, target: Signal) -> bool {
+        let new = self.sig[n].intersect(target);
+        let changed = new != self.sig[n];
+        self.sig[n] = new;
+        changed
+    }
+
+    fn replace(&mut self, n: usize, value: Signal) -> bool {
+        let changed = value != self.sig[n];
+        self.sig[n] = value;
+        changed
+    }
+
+    fn checkpoint(&mut self) -> usize {
+        self.snapshots.push(self.sig.clone());
+        self.snapshots.len() - 1
+    }
+
+    fn rollback(&mut self, mark: usize) {
+        self.sig = self.snapshots[mark].clone();
+        self.snapshots.truncate(mark);
+    }
+
+    fn has_contradiction(&self) -> bool {
+        self.sig.iter().any(|d| d.is_empty())
+    }
+}
+
+fn arb_signal() -> impl Strategy<Value = Signal> {
+    let bound = prop_oneof![
+        Just(Time::NEG_INF),
+        (0i64..50).prop_map(Time::new),
+        Just(Time::POS_INF),
+    ];
+    let aw = (bound.clone(), bound).prop_map(|(a, b)| Aw::new(a, b));
+    (aw.clone(), aw).prop_map(|(z, o)| Signal::new(z, o))
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Narrow(usize, Signal),
+    Replace(usize, Signal),
+    Checkpoint,
+    Rollback,
+}
+
+fn arb_ops(nets: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            5 => (0..nets, arb_signal()).prop_map(|(n, s)| Op::Narrow(n, s)),
+            1 => (0..nets, arb_signal()).prop_map(|(n, s)| Op::Replace(n, s)),
+            2 => Just(Op::Checkpoint),
+            2 => Just(Op::Rollback),
+        ],
+        1..80,
+    )
+}
+
+/// Every observable of the SoA store matches the model: domains
+/// bit-identical, contradiction flag identical, and the fixed-class view
+/// (which the store answers from its value-lattice plane) identical to
+/// recomputing it from the model's signals.
+fn assert_same(store: &SignalStore, model: &RefStore) -> Result<(), TestCaseError> {
+    prop_assert_eq!(store.all(), &model.sig[..]);
+    prop_assert_eq!(store.has_contradiction(), model.has_contradiction());
+    for (i, &d) in model.sig.iter().enumerate() {
+        let net = NetId::from_index(i);
+        prop_assert_eq!(store.get(net), d);
+        prop_assert_eq!(store.get(net).fixed_class(), d.fixed_class());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Lock-step equivalence of the SoA store and the naive model under
+    /// random op interleavings, checked after every operation and through
+    /// a final full unwind.
+    #[test]
+    fn soa_store_matches_reference_model(seed in 0u64..1000, ops in arb_ops(14)) {
+        let c = random_circuit(&RandomCircuitConfig {
+            num_inputs: 5,
+            num_gates: 9,
+            num_outputs: 1,
+            max_fanin: 2,
+            depth_bias: 2,
+            delay: 10,
+            seed,
+        });
+        let nets = c.num_nets();
+        let mut store = SignalStore::new(&c);
+        let mut model = RefStore::new(nets);
+        let mut marks: Vec<(Checkpoint, usize)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Narrow(n, target) => {
+                    let n = n % nets;
+                    let a = store.narrow_to(NetId::from_index(n), target);
+                    let b = model.narrow_to(n, target);
+                    prop_assert_eq!(a, b, "narrow change report diverged");
+                }
+                Op::Replace(n, value) => {
+                    let n = n % nets;
+                    let a = store.replace(NetId::from_index(n), value);
+                    let b = model.replace(n, value);
+                    prop_assert_eq!(a, b, "replace change report diverged");
+                }
+                Op::Checkpoint => {
+                    marks.push((store.checkpoint(), model.checkpoint()));
+                }
+                Op::Rollback => {
+                    if let Some((cp, m)) = marks.pop() {
+                        store.rollback(cp);
+                        model.rollback(m);
+                    }
+                }
+            }
+            assert_same(&store, &model)?;
+        }
+        while let Some((cp, m)) = marks.pop() {
+            store.rollback(cp);
+            model.rollback(m);
+            assert_same(&store, &model)?;
+        }
+    }
+
+    /// Containment invariant: narrowing only ever shrinks a domain — after
+    /// any prefix of narrow-only ops inside a window, the current domain is
+    /// a subset of every earlier value of that net, and rollback restores
+    /// exactly the window-opening value (never something wider or narrower).
+    #[test]
+    fn narrowing_is_monotone_and_rollback_exact(ops in arb_ops(10)) {
+        let c = random_circuit(&RandomCircuitConfig {
+            num_inputs: 4,
+            num_gates: 6,
+            num_outputs: 1,
+            max_fanin: 2,
+            depth_bias: 2,
+            delay: 10,
+            seed: 7,
+        });
+        let nets = c.num_nets();
+        let mut store = SignalStore::new(&c);
+        let opening = store.all().to_vec();
+        let mark = store.checkpoint();
+        for op in ops {
+            // Only the narrowing ops: `replace` is the explicit escape
+            // hatch from monotonicity and is exercised above.
+            if let Op::Narrow(n, target) = op {
+                let n = n % nets;
+                let before = store.get(NetId::from_index(n));
+                store.narrow_to(NetId::from_index(n), target);
+                let after = store.get(NetId::from_index(n));
+                prop_assert!(after.is_subset_of(before), "domain widened");
+            }
+        }
+        store.rollback(mark);
+        prop_assert_eq!(store.all(), &opening[..]);
+    }
+}

@@ -1,10 +1,12 @@
 //! Gate-level circuit representation: a DAG of gates connected by delayless
 //! nets (§2 of the paper), plus a builder with validation.
 
+use crate::topology::Topology;
 use crate::{DelayInterval, GateKind};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// Identifier of a net (edge) in a [`Circuit`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -204,6 +206,10 @@ pub struct Circuit {
     outputs: Vec<NetId>,
     topo_gates: Vec<GateId>,
     by_name: HashMap<String, NetId>,
+    /// Lazily built flat connectivity tables (see [`Topology`]). Cloning a
+    /// circuit shares the cache; anything that edits the circuit after
+    /// build ([`Circuit::with_delays`]) must reset it.
+    topology: OnceLock<Arc<Topology>>,
 }
 
 impl Circuit {
@@ -335,10 +341,20 @@ impl Circuit {
     /// ```
     pub fn with_delays(&self, mut delays: impl FnMut(GateId, &Gate) -> DelayInterval) -> Circuit {
         let mut out = self.clone();
+        // The clone shares this circuit's cached topology, whose delay
+        // table is about to go stale: drop it so the copy rebuilds.
+        out.topology = OnceLock::new();
         for (i, gate) in out.gates.iter_mut().enumerate() {
             gate.delay = delays(GateId::from_index(i), gate);
         }
         out
+    }
+
+    /// The circuit's flattened connectivity tables, built lazily at most
+    /// once and shared by every caller (the narrower's hot loop runs on
+    /// these instead of per-gate heap objects).
+    pub fn topology(&self) -> Arc<Topology> {
+        self.topology.get_or_init(|| Topology::build(self)).clone()
     }
 }
 
@@ -516,6 +532,7 @@ impl CircuitBuilder {
             outputs,
             topo_gates,
             by_name,
+            topology: OnceLock::new(),
         })
     }
 }

@@ -49,8 +49,10 @@ mod gate;
 pub mod generators;
 pub mod sdf;
 pub mod suite;
+mod topology;
 pub mod transform;
 pub mod verilog;
 
 pub use circuit::{BuildCircuitError, Circuit, CircuitBuilder, Gate, GateId, Net, NetId};
 pub use gate::{DelayInterval, GateKind};
+pub use topology::Topology;

@@ -1,0 +1,158 @@
+//! Flattened, cache-friendly view of a circuit's connectivity.
+//!
+//! The event-driven narrower visits gates millions of times; going through
+//! [`Circuit::gate`](crate::Circuit::gate) per event chases a pointer into
+//! a [`Gate`](crate::Gate) whose input list is its own heap allocation.
+//! [`Topology`] flattens everything the hot loop needs into dense,
+//! id-indexed parallel arrays (CSR layout for the variable-length lists):
+//!
+//! * per gate: kind, max delay, output net, and an offset range into one
+//!   shared input-net array;
+//! * per net: an offset range into one shared "touching gates" array —
+//!   the net's driver first (if any), then its readers, which is exactly
+//!   the order the narrower schedules constraints in.
+//!
+//! A circuit builds its topology lazily, at most once, and hands out a
+//! shared [`Arc`]; see [`Circuit::topology`](crate::Circuit::topology).
+
+use crate::circuit::{Circuit, GateId, NetId};
+use crate::gate::GateKind;
+use std::sync::Arc;
+
+/// Dense CSR tables describing a circuit's gates and net adjacency.
+#[derive(Debug)]
+pub struct Topology {
+    kind: Vec<GateKind>,
+    dmax: Vec<u32>,
+    output: Vec<NetId>,
+    /// `in_off[g]..in_off[g+1]` indexes `in_nets` for gate `g`.
+    in_off: Vec<u32>,
+    in_nets: Vec<NetId>,
+    /// `touch_off[n]..touch_off[n+1]` indexes `touch` for net `n`.
+    touch_off: Vec<u32>,
+    touch: Vec<GateId>,
+}
+
+impl Topology {
+    /// Flattens the circuit. One linear pass; called once per circuit via
+    /// the [`Circuit::topology`](crate::Circuit::topology) cache.
+    pub(crate) fn build(c: &Circuit) -> Arc<Topology> {
+        let ng = c.num_gates();
+        let nn = c.num_nets();
+        let mut kind = Vec::with_capacity(ng);
+        let mut dmax = Vec::with_capacity(ng);
+        let mut output = Vec::with_capacity(ng);
+        let mut in_off = Vec::with_capacity(ng + 1);
+        let mut in_nets = Vec::new();
+        in_off.push(0u32);
+        for gid in c.gate_ids() {
+            let g = c.gate(gid);
+            kind.push(g.kind());
+            dmax.push(g.dmax());
+            output.push(g.output());
+            in_nets.extend_from_slice(g.inputs());
+            in_off.push(u32::try_from(in_nets.len()).expect("< 4G gate inputs"));
+        }
+        let mut touch_off = Vec::with_capacity(nn + 1);
+        let mut touch = Vec::new();
+        touch_off.push(0u32);
+        for nid in c.net_ids() {
+            let net = c.net(nid);
+            if let Some(driver) = net.driver() {
+                touch.push(driver);
+            }
+            touch.extend_from_slice(net.readers());
+            touch_off.push(u32::try_from(touch.len()).expect("< 4G net touches"));
+        }
+        Arc::new(Topology {
+            kind,
+            dmax,
+            output,
+            in_off,
+            in_nets,
+            touch_off,
+            touch,
+        })
+    }
+
+    /// The gate's kind.
+    #[inline]
+    pub fn gate_kind(&self, g: GateId) -> GateKind {
+        self.kind[g.index()]
+    }
+
+    /// The gate's maximum delay.
+    #[inline]
+    pub fn gate_dmax(&self, g: GateId) -> u32 {
+        self.dmax[g.index()]
+    }
+
+    /// The gate's output net.
+    #[inline]
+    pub fn gate_output(&self, g: GateId) -> NetId {
+        self.output[g.index()]
+    }
+
+    /// The gate's input nets, in gate input order.
+    #[inline]
+    pub fn gate_inputs(&self, g: GateId) -> &[NetId] {
+        let gi = g.index();
+        &self.in_nets[self.in_off[gi] as usize..self.in_off[gi + 1] as usize]
+    }
+
+    /// Every gate touching `net`: its driver first (if any), then its
+    /// readers, in reader order — the narrower's scheduling order.
+    #[inline]
+    pub fn touching(&self, n: NetId) -> &[GateId] {
+        let ni = n.index();
+        &self.touch[self.touch_off[ni] as usize..self.touch_off[ni + 1] as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitBuilder;
+    use crate::gate::DelayInterval;
+
+    #[test]
+    fn topology_matches_circuit_views() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let x = b.gate("x", GateKind::And, &[a, c], DelayInterval::fixed(7));
+        let y = b.gate("y", GateKind::Not, &[x], DelayInterval::fixed(3));
+        b.mark_output(y);
+        let circuit = b.build().unwrap();
+        let topo = circuit.topology();
+        for g in circuit.gate_ids() {
+            let gate = circuit.gate(g);
+            assert_eq!(topo.gate_kind(g), gate.kind());
+            assert_eq!(topo.gate_dmax(g), gate.dmax());
+            assert_eq!(topo.gate_output(g), gate.output());
+            assert_eq!(topo.gate_inputs(g), gate.inputs());
+        }
+        for n in circuit.net_ids() {
+            let net = circuit.net(n);
+            let mut expect: Vec<GateId> = Vec::new();
+            expect.extend(net.driver());
+            expect.extend_from_slice(net.readers());
+            assert_eq!(topo.touching(n), expect.as_slice(), "net {n:?}");
+        }
+    }
+
+    #[test]
+    fn topology_is_cached_and_reset_by_with_delays() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let x = b.gate("x", GateKind::Not, &[a], DelayInterval::fixed(5));
+        b.mark_output(x);
+        let circuit = b.build().unwrap();
+        let t1 = circuit.topology();
+        let t2 = circuit.topology();
+        assert!(Arc::ptr_eq(&t1, &t2), "topology is computed once");
+        let slow = circuit.with_delays(|_, _| DelayInterval::fixed(25));
+        let g = slow.net(slow.net_by_name("x").unwrap()).driver().unwrap();
+        assert_eq!(slow.topology().gate_dmax(g), 25, "stale cache was reset");
+    }
+}

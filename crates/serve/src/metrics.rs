@@ -144,15 +144,25 @@ pub fn render_gauge_f64(out: &mut String, name: &str, help: &str, value: f64) {
     let _ = writeln!(out, "{name} {value}");
 }
 
-/// The exact-sample percentile of an already-sorted latency list, by
-/// nearest-rank interpolation. `p` is in `0.0..=1.0`; an empty slice
-/// yields zero.
+/// The exact-sample percentile of an already-sorted latency list, by the
+/// ceiling nearest-rank definition: the smallest sample such that at least
+/// `p · n` samples are at or below it, i.e. rank `⌈p·n⌉` (1-based, clamped
+/// to `1..=n`). `p` is in `0.0..=1.0` (values outside are clamped); an
+/// empty slice yields zero.
+///
+/// This is the same definition [`Histogram::quantile`] applies to its
+/// cumulative buckets, so `loadgen`'s client-side report and the daemon's
+/// scraped histogram quantiles agree on what "p99" means — the previous
+/// `round`-based interpolation could sit a full rank below the nearest-rank
+/// answer (e.g. p50 of 100 samples picked index 50, the 51st sample,
+/// instead of the 50th).
 pub fn percentile(sorted: &[Duration], p: f64) -> Duration {
     if sorted.is_empty() {
         return Duration::ZERO;
     }
-    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
+    let n = sorted.len();
+    let rank = (p.clamp(0.0, 1.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
 }
 
 #[cfg(test)]
@@ -217,10 +227,55 @@ mod tests {
         assert_eq!(percentile(&one, 0.0), one[0]);
         assert_eq!(percentile(&one, 1.0), one[0]);
         let sorted: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
-        // rank = round(p * (len-1)): 0.5 * 99 rounds up to index 50.
-        assert_eq!(percentile(&sorted, 0.50), Duration::from_millis(51));
+        // Ceiling nearest-rank: rank ⌈p·100⌉, 1-based.
+        assert_eq!(percentile(&sorted, 0.50), Duration::from_millis(50));
+        assert_eq!(percentile(&sorted, 0.90), Duration::from_millis(90));
         assert_eq!(percentile(&sorted, 0.99), Duration::from_millis(99));
         assert_eq!(percentile(&sorted, 1.0), Duration::from_millis(100));
+        // Boundary cases: p = 0 clamps to the first sample, p just above a
+        // rank boundary steps to the next sample, out-of-range p clamps.
+        assert_eq!(percentile(&sorted, 0.0), Duration::from_millis(1));
+        assert_eq!(percentile(&sorted, 0.001), Duration::from_millis(1));
+        assert_eq!(percentile(&sorted, 0.011), Duration::from_millis(2));
+        assert_eq!(percentile(&sorted, 0.991), Duration::from_millis(100));
+        assert_eq!(percentile(&sorted, -0.5), Duration::from_millis(1));
+        assert_eq!(percentile(&sorted, 1.5), Duration::from_millis(100));
+        // Non-divisible length: p50 of 3 samples is the 2nd (⌈1.5⌉ = 2).
+        let three: Vec<Duration> = (1..=3).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&three, 0.50), Duration::from_millis(2));
+        assert_eq!(percentile(&three, 0.34), Duration::from_millis(2));
+        assert_eq!(percentile(&three, 0.33), Duration::from_millis(1));
+    }
+
+    /// The exact-sample percentile and the bucket-resolution histogram
+    /// quantile implement the same nearest-rank definition: on a sample
+    /// set aligned with bucket bounds, the histogram answer is exactly the
+    /// bucket containing the exact-sample answer.
+    #[test]
+    fn percentile_and_histogram_quantile_agree() {
+        let h = Histogram::new();
+        let mut samples = Vec::new();
+        // 90 fast (1ms) + 10 slow (200ms) observations, as in the
+        // quantile test above.
+        for _ in 0..90 {
+            samples.push(Duration::from_millis(1));
+            h.observe(Duration::from_millis(1));
+        }
+        for _ in 0..10 {
+            samples.push(Duration::from_millis(200));
+            h.observe(Duration::from_millis(200));
+        }
+        samples.sort();
+        for &(p, want_sample, want_bucket) in &[
+            (0.50, Duration::from_millis(1), 0.001),
+            (0.90, Duration::from_millis(1), 0.001),
+            (0.91, Duration::from_millis(200), 0.25),
+            (0.99, Duration::from_millis(200), 0.25),
+            (1.00, Duration::from_millis(200), 0.25),
+        ] {
+            assert_eq!(percentile(&samples, p), want_sample, "p = {p}");
+            assert_eq!(h.quantile(p), Some(want_bucket), "p = {p}");
+        }
     }
 
     #[test]
