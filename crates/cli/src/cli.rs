@@ -92,7 +92,8 @@ impl Default for Options {
     }
 }
 
-const USAGE: &str = "usage: ltt <info|check|delay|report|convert|serve|client> <netlist> [options]
+const USAGE: &str =
+    "usage: ltt <info|check|delay|report|convert|serve|router|client> <netlist> [options]
 run `ltt help` for the full option list";
 
 /// Entry point used by `main` (and the tests).
@@ -104,10 +105,11 @@ pub fn run(args: &[String]) -> Result<RunStatus, Error> {
         println!("{}", long_help());
         return Ok(RunStatus::Clean);
     }
-    // `serve` and `client` take no netlist positional; they branch before
-    // the common option parser.
+    // `serve`, `router`, and `client` take no netlist positional; they
+    // branch before the common option parser.
     match command.as_str() {
         "serve" => return cmd_serve(&args[1..]),
+        "router" => return cmd_router(&args[1..]),
         "client" => return cmd_client(&args[1..]),
         _ => {}
     }
@@ -145,9 +147,17 @@ COMMANDS
                                    (newline-delimited JSON over TCP;
                                    default addr 127.0.0.1:7171, :0 picks
                                    an ephemeral port and prints it)
-  client  <requests.json> [--addr A]
+  router  --backend A [--backend B ...] | --spawn N
+                                   run the fault-tolerant fleet front
+                                   tier: consistent-hash placement over
+                                   the backends, health probes, circuit
+                                   breakers, backoff retry + failover
+                                   (same wire protocol as `serve`)
+  client  <requests.json> [--addr A] [--timeout-ms T]
                                    send request lines to a daemon and
-                                   print the responses (`-` reads stdin)
+                                   print the responses (`-` reads stdin;
+                                   a stalled daemon past T yields a
+                                   structured `timeout` error, exit 2)
 
 OPTIONS
   --format bench|verilog    input format (default: by file extension)
@@ -172,6 +182,21 @@ OPTIONS
                             Chrome-trace JSON (load in chrome://tracing);
                             verdicts and counters are identical with or
                             without tracing
+
+ROUTER OPTIONS
+  --addr A                  bind address (default 127.0.0.1:7070, :0 ephemeral)
+  --backend A               a backend daemon address (repeatable)
+  --spawn N                 spawn N in-process backends instead (testing)
+  --replicas R              backends each circuit registers on (2)
+  --jobs N / --queue-cap Q  forwarding pool size / admission bound
+  --retries N               retry rounds over the candidate list (3)
+  --backoff-ms B            first-round backoff, doubled per round (10)
+  --breaker-threshold K     consecutive failures that open a breaker (3)
+  --breaker-cooldown-ms C   open-breaker cooldown before a probe (1000)
+  --health-interval-ms H    status-probe period per backend (1000)
+  --connect-timeout-ms T    backend connect bound (1000)
+  --rpc-timeout-ms T        backend round-trip bound (30000)
+  --max-line-bytes L        request/reply line cap (16 MiB)
 
 EXIT CODES
   0  every check completed, no violation
@@ -335,11 +360,94 @@ fn cmd_serve(args: &[String]) -> Result<RunStatus, Error> {
                     .parse()
                     .map_err(|_| Error::usage("--registry-cap needs an integer"))?
             }
+            "--max-line-bytes" => {
+                config.max_line_bytes = value("--max-line-bytes")?
+                    .parse()
+                    .map_err(|_| Error::usage("--max-line-bytes needs an integer"))?
+            }
             other => return Err(Error::usage(format!("unknown serve option `{other}`"))),
         }
     }
     ltt_serve::serve(&config).map_err(|e| Error::Io {
         path: config.addr.clone(),
+        message: e.to_string(),
+    })?;
+    Ok(RunStatus::Clean)
+}
+
+/// `ltt router`: run the sharded-fleet front tier until a `shutdown`
+/// request drains it.
+fn cmd_router(args: &[String]) -> Result<RunStatus, Error> {
+    let mut config = ltt_serve::RouterConfig {
+        addr: "127.0.0.1:7070".to_string(),
+        ..Default::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, Error> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| Error::usage(format!("{name} needs a value")))
+        };
+        let arg = arg.as_str();
+        // The duration-valued flags share one parse-and-assign path.
+        let duration_slot: Option<&mut std::time::Duration> = match arg {
+            "--backoff-ms" => Some(&mut config.backoff_base),
+            "--backoff-cap-ms" => Some(&mut config.backoff_cap),
+            "--breaker-cooldown-ms" => Some(&mut config.breaker_cooldown),
+            "--health-interval-ms" => Some(&mut config.health_interval),
+            "--connect-timeout-ms" => Some(&mut config.connect_timeout),
+            "--rpc-timeout-ms" => Some(&mut config.rpc_timeout),
+            _ => None,
+        };
+        if let Some(slot) = duration_slot {
+            let ms: u64 = value(arg)?
+                .parse()
+                .map_err(|_| Error::usage(format!("{arg} needs an integer (milliseconds)")))?;
+            *slot = std::time::Duration::from_millis(ms);
+            continue;
+        }
+        let usize_slot: Option<&mut usize> = match arg {
+            "--spawn" => Some(&mut config.spawn),
+            "--replicas" => Some(&mut config.replicas),
+            "--jobs" => Some(&mut config.jobs),
+            "--queue-cap" => Some(&mut config.queue_cap),
+            "--backend-jobs" => Some(&mut config.backend_jobs),
+            "--backend-queue-cap" => Some(&mut config.backend_queue_cap),
+            "--backend-registry-cap" => Some(&mut config.backend_registry_cap),
+            "--max-line-bytes" => Some(&mut config.max_line_bytes),
+            _ => None,
+        };
+        if let Some(slot) = usize_slot {
+            *slot = value(arg)?
+                .parse()
+                .map_err(|_| Error::usage(format!("{arg} needs an integer")))?;
+            continue;
+        }
+        match arg {
+            "--addr" => config.addr = value("--addr")?,
+            "--backend" => config.backends.push(value("--backend")?),
+            "--retries" => {
+                config.max_retries = value("--retries")?
+                    .parse()
+                    .map_err(|_| Error::usage("--retries needs an integer"))?
+            }
+            "--breaker-threshold" => {
+                config.breaker_threshold = value("--breaker-threshold")?
+                    .parse()
+                    .map_err(|_| Error::usage("--breaker-threshold needs an integer"))?
+            }
+            other => return Err(Error::usage(format!("unknown router option `{other}`"))),
+        }
+    }
+    if config.backends.is_empty() && config.spawn == 0 {
+        return Err(Error::usage(
+            "router needs at least one --backend (or --spawn N)",
+        ));
+    }
+    let addr = config.addr.clone();
+    ltt_serve::route(config).map_err(|e| Error::Io {
+        path: addr,
         message: e.to_string(),
     })?;
     Ok(RunStatus::Clean)
@@ -351,6 +459,7 @@ fn cmd_serve(args: &[String]) -> Result<RunStatus, Error> {
 fn cmd_client(args: &[String]) -> Result<RunStatus, Error> {
     let mut addr = "127.0.0.1:7171".to_string();
     let mut file: Option<String> = None;
+    let mut timeout: Option<std::time::Duration> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -359,6 +468,17 @@ fn cmd_client(args: &[String]) -> Result<RunStatus, Error> {
                     .next()
                     .cloned()
                     .ok_or_else(|| Error::usage("--addr needs a value"))?
+            }
+            "--timeout-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .ok_or_else(|| Error::usage("--timeout-ms needs a value"))?
+                    .parse()
+                    .map_err(|_| Error::usage("--timeout-ms needs an integer"))?;
+                if ms == 0 {
+                    return Err(Error::usage("--timeout-ms must be positive"));
+                }
+                timeout = Some(std::time::Duration::from_millis(ms));
             }
             other if other.starts_with("--") => {
                 return Err(Error::usage(format!("unknown client option `{other}`")))
@@ -386,7 +506,24 @@ fn cmd_client(args: &[String]) -> Result<RunStatus, Error> {
             message: e.to_string(),
         })?
     };
-    let mut client = ltt_serve::Client::connect(&addr).map_err(|e| Error::Io {
+    let connected = match timeout {
+        Some(t) => ltt_serve::Client::connect_timeout(&addr, t),
+        None => ltt_serve::Client::connect(&addr),
+    };
+    let mut client = match connected {
+        Ok(client) => client,
+        Err(e) if timeout.is_some() && ltt_serve::is_timeout(&e) => {
+            println!("{}", timeout_response(&addr, "connect").encode());
+            return Ok(RunStatus::Incomplete);
+        }
+        Err(e) => {
+            return Err(Error::Io {
+                path: addr.clone(),
+                message: e.to_string(),
+            })
+        }
+    };
+    client.set_read_timeout(timeout).map_err(|e| Error::Io {
         path: addr.clone(),
         message: e.to_string(),
     })?;
@@ -394,14 +531,47 @@ fn cmd_client(args: &[String]) -> Result<RunStatus, Error> {
     for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
         let request = ltt_serve::decode(line)
             .map_err(|e| Error::invalid(format!("bad request line: {e}")))?;
-        let response = client.call(&request).map_err(|e| Error::Io {
-            path: addr.clone(),
-            message: e.to_string(),
-        })?;
-        println!("{}", response.encode());
-        status = worst_status(status, response_status(&response));
+        match client.call(&request) {
+            Ok(response) => {
+                println!("{}", response.encode());
+                status = worst_status(status, response_status(&response));
+            }
+            // A stalled server with `--timeout-ms` armed: report a
+            // structured timeout and stop — the connection's framing can
+            // no longer be trusted, and exit code 2 (incomplete) is the
+            // contract for work that did not finish.
+            Err(e) if ltt_serve::is_timeout(&e) => {
+                println!("{}", timeout_response(&addr, "reply").encode());
+                return Ok(RunStatus::Incomplete);
+            }
+            Err(e) => {
+                return Err(Error::Io {
+                    path: addr.clone(),
+                    message: e.to_string(),
+                })
+            }
+        }
     }
     Ok(status)
+}
+
+/// The client-side structured timeout report, shaped like a server error
+/// reply so scripts parse both the same way.
+fn timeout_response(addr: &str, what: &str) -> ltt_serve::Json {
+    use ltt_serve::Json;
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::obj([
+                ("code", Json::str("timeout")),
+                (
+                    "message",
+                    Json::str(format!("timed out waiting for {what} from {addr}")),
+                ),
+            ]),
+        ),
+    ])
 }
 
 /// Folds one server response into the exit-code contract: a reported

@@ -1,13 +1,24 @@
 //! A small blocking client for the serving protocol.
 //!
-//! Used by `ltt client`, the `loadgen` load generator, and the
-//! integration tests. One [`Client`] is one connection; requests can be
-//! pipelined ([`Client::send`] several lines, then [`Client::recv`] the
-//! replies) or issued RPC-style with [`Client::call`].
+//! Used by `ltt client`, the `loadgen` load generator, the router's
+//! health checker, and the integration tests. One [`Client`] is one
+//! connection; requests can be pipelined ([`Client::send`] several lines,
+//! then [`Client::recv`] the replies) or issued RPC-style with
+//! [`Client::call`].
+//!
+//! By default every operation blocks indefinitely — correct for a trusted
+//! local daemon, wrong for a fleet where a backend can wedge. Use
+//! [`Client::connect_timeout`] and [`Client::set_read_timeout`] (or the
+//! CLI's `--timeout-ms`) to bound the wait: an expired timeout surfaces
+//! as an [`io::Error`](std::io::Error) of kind
+//! [`TimedOut`](std::io::ErrorKind::TimedOut) /
+//! [`WouldBlock`](std::io::ErrorKind::WouldBlock), which callers can map
+//! to a structured `timeout` error instead of hanging forever.
 
 use crate::wire::{decode, Json};
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// A blocking connection to an `ltt-serve` daemon.
 pub struct Client {
@@ -16,15 +27,46 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to a running server.
+    /// Connects to a running server, waiting as long as the OS allows.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Client::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Connects with a bound on the connection-establishment wait. Each
+    /// resolved address gets up to `timeout`; the first success wins.
+    pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> std::io::Result<Client> {
+        let mut last_err = None;
+        for resolved in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&resolved, timeout) {
+                Ok(stream) => return Client::from_stream(stream),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            std::io::Error::new(ErrorKind::InvalidInput, "address resolved to nothing")
+        }))
+    }
+
+    fn from_stream(stream: TcpStream) -> std::io::Result<Client> {
         stream.set_nodelay(true).ok();
         let writer = stream.try_clone()?;
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
         })
+    }
+
+    /// Bounds every subsequent [`recv`](Client::recv) (and the read half
+    /// of [`call`](Client::call)): a server silent for `timeout` yields a
+    /// `TimedOut`/`WouldBlock` error instead of blocking forever. `None`
+    /// restores the unbounded default.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// The peer address of the underlying connection.
+    pub fn peer_addr(&self) -> std::io::Result<SocketAddr> {
+        self.writer.peer_addr()
     }
 
     /// Sends one request line without waiting for the reply.
@@ -35,6 +77,10 @@ impl Client {
 
     /// Receives the next response line; `Ok(None)` on a clean EOF (the
     /// server closed the connection).
+    ///
+    /// With a read timeout armed, a mid-line timeout is an error — the
+    /// connection's framing can no longer be trusted for pipelining, so
+    /// callers should drop the client rather than retry the read.
     pub fn recv(&mut self) -> std::io::Result<Option<Json>> {
         let mut line = String::new();
         loop {
@@ -61,4 +107,10 @@ impl Client {
             )
         })
     }
+}
+
+/// Whether an I/O error is a timeout expiring (as opposed to a transport
+/// failure) — the read-timeout kinds differ across platforms.
+pub fn is_timeout(error: &std::io::Error) -> bool {
+    matches!(error.kind(), ErrorKind::TimedOut | ErrorKind::WouldBlock)
 }

@@ -27,6 +27,13 @@
 //!   work is refused).
 //! * [`client`] — a small blocking client used by `ltt client`, the
 //!   `loadgen` load generator, and the integration tests.
+//! * [`router`] — a fault-tolerant **sharded-fleet front tier**:
+//!   consistent-hash placement over N backends, per-backend circuit
+//!   breakers and health probes, backoff retry with failover
+//!   re-registration, and graceful drain — speaking the same wire
+//!   protocol, forwarding backend replies verbatim so the bit-identity
+//!   contract survives the extra hop ([`backend`] holds the pooled
+//!   per-backend transport).
 //! * [`metrics`] — Prometheus-text exposition primitives: the lock-free
 //!   latency [`Histogram`] behind the daemon's `metrics` operation and
 //!   the shared [`percentile`] helper.
@@ -40,16 +47,21 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod client;
+mod lineio;
 pub mod metrics;
 pub mod proto;
 pub mod registry;
+pub mod router;
 pub mod server;
 pub mod wire;
 
-pub use client::Client;
+pub use backend::{Backend, BackendOpts, Breaker, RpcError};
+pub use client::{is_timeout, Client};
 pub use metrics::{percentile, Histogram};
 pub use proto::{CheckSet, ErrorCode, ProtoError, Request, RequestBody, RunOpts};
 pub use registry::{content_id, CircuitEntry, CircuitRegistry, RegistryStats};
+pub use router::{route, Router, RouterConfig, RouterHandle};
 pub use server::{serve, ServeConfig, Server, ServerHandle};
 pub use wire::{decode, Json, WireError};

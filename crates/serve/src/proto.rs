@@ -49,6 +49,17 @@ pub enum ErrorCode {
     /// The server is draining after a `shutdown` request; no new work is
     /// admitted.
     ShuttingDown,
+    /// The request line exceeded the server's line-length cap. The rest of
+    /// the oversize line is discarded; the connection stays usable.
+    TooLarge,
+    /// A client-side or router-side timeout expired before the peer
+    /// answered.
+    Timeout,
+    /// The router exhausted every candidate backend (connect refused,
+    /// timeouts, open breakers) without obtaining a reply. Nothing may
+    /// have executed, or an executed reply was lost — the request is safe
+    /// to retry.
+    Unavailable,
     /// The server failed internally (a panicking worker, a lost reply).
     Internal,
 }
@@ -63,6 +74,9 @@ impl ErrorCode {
             ErrorCode::InvalidNetlist => "invalid_netlist",
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::TooLarge => "too_large",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::Unavailable => "unavailable",
             ErrorCode::Internal => "internal",
         }
     }

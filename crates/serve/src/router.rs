@@ -1,0 +1,1479 @@
+//! `ltt-router` — the fault-tolerant front tier of a sharded serve fleet.
+//!
+//! The router speaks the exact same newline-delimited JSON protocol as a
+//! single `ltt-serve` daemon, so clients cannot tell (and need not care)
+//! whether they are talking to one process or a fleet. Behind it, N
+//! backends each run the full single-daemon stack; the router owns
+//! placement, retry, and failure handling:
+//!
+//! * **Placement** — circuits are consistent-hashed (FNV over virtual
+//!   nodes) onto backends by *content id*, so the same circuit always
+//!   lands on the same owner and re-registration after a backend death
+//!   converges instead of scattering. `register` fans out to the owner
+//!   plus `replicas - 1` successors, giving hot circuits more than one
+//!   home before anything fails.
+//! * **Retry** — check traffic walks the owner's candidate list (the
+//!   whole ring, in ring order) with per-backend circuit breakers and
+//!   exponential backoff with deterministic jitter between rounds. An
+//!   `overloaded` reply moves to the next candidate immediately (the
+//!   backend is healthy, just full); a transport failure feeds the
+//!   breaker.
+//! * **Failover** — a backend that answers `unknown_circuit` (it died
+//!   and came back empty, or it never held the circuit) is re-registered
+//!   on the spot from the router's registration cache, then retried.
+//! * **The exactly-one-reply invariant** — every accepted request line
+//!   gets exactly one reply: a backend reply forwarded **verbatim**
+//!   (hence bit-identical to a direct [`BatchRunner`](ltt_core::BatchRunner)
+//!   run, by the single-daemon contract), or a structured error
+//!   (`overloaded` when every live candidate is shedding, `unavailable`
+//!   when no candidate could answer at all). Never a hang, never a
+//!   wrong answer, never two replies.
+//!
+//! Health checking reuses the protocol's own `status` op: a background
+//! thread probes every backend each interval, flips the health gauge,
+//! and — because probes run through the same transport accounting as
+//! requests — heals an open breaker as soon as its backend answers
+//! again. Graceful drain reuses `shutdown`: the router stops accepting,
+//! answers everything admitted, then (for in-process fleets) drains its
+//! backends.
+
+use crate::backend::{Backend, BackendOpts};
+use crate::lineio::{CappedLineReader, LineRead};
+use crate::metrics::{render_family, render_gauge_f64, render_labeled, render_sample, Histogram};
+use crate::proto::{error_response, ok_response, ErrorCode, ProtoError, Request, RequestBody};
+use crate::registry::content_id;
+use crate::server::{ServeConfig, Server, ServerHandle, DEFAULT_MAX_LINE_BYTES};
+use crate::wire::{decode, Json};
+use ltt_core::available_jobs;
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often blocked readers, idle workers, the accept loop, and the
+/// health thread re-check the drain flag.
+const POLL: Duration = Duration::from_millis(100);
+
+/// Virtual nodes per backend on the hash ring. 64 vnodes keep the load
+/// split within a few percent of even for small fleets while the ring
+/// stays tiny (N × 64 entries).
+const VNODES: usize = 64;
+
+/// Router configuration.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Addresses of externally-managed backends. Ignored when `spawn` is
+    /// non-zero.
+    pub backends: Vec<String>,
+    /// Spawn this many in-process backends on ephemeral ports instead of
+    /// connecting to `backends` (the test/bench topology; production
+    /// points at external daemons).
+    pub spawn: usize,
+    /// Worker threads per spawned backend (0 = one per hardware thread).
+    pub backend_jobs: usize,
+    /// Admission bound per spawned backend.
+    pub backend_queue_cap: usize,
+    /// Registry capacity per spawned backend.
+    pub backend_registry_cap: usize,
+    /// Backends each circuit is registered on (owner + successors).
+    pub replicas: usize,
+    /// Router forwarding threads (0 = one per hardware thread, min 4).
+    pub jobs: usize,
+    /// Router admission bound: queued forwards beyond this are shed with
+    /// `overloaded`.
+    pub queue_cap: usize,
+    /// Full passes over the candidate list before giving up (the first
+    /// pass plus `max_retries` backed-off retry rounds).
+    pub max_retries: u32,
+    /// First-round retry backoff (doubles per round, jittered).
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Bound on backend connection establishment.
+    pub connect_timeout: Duration,
+    /// Bound on one backend round trip.
+    pub rpc_timeout: Duration,
+    /// Consecutive transport failures that open a backend's breaker.
+    pub breaker_threshold: u32,
+    /// Open-breaker cooldown before a half-open probe.
+    pub breaker_cooldown: Duration,
+    /// Health-probe period.
+    pub health_interval: Duration,
+    /// Request/reply line-length cap.
+    pub max_line_bytes: usize,
+    /// Registrations remembered for failover re-registration.
+    pub reg_cache_cap: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            backends: Vec::new(),
+            spawn: 0,
+            backend_jobs: 0,
+            backend_queue_cap: 64,
+            backend_registry_cap: 16,
+            replicas: 2,
+            jobs: 0,
+            queue_cap: 256,
+            max_retries: 3,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+            connect_timeout: Duration::from_secs(1),
+            rpc_timeout: Duration::from_secs(30),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(1),
+            health_interval: Duration::from_secs(1),
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            reg_cache_cap: 64,
+        }
+    }
+}
+
+/// A cached registration: everything needed to replay `register` on a
+/// backend that answered `unknown_circuit`.
+#[derive(Clone)]
+struct RegEntry {
+    name: String,
+    format: String,
+    source: String,
+    delay: u32,
+}
+
+impl RegEntry {
+    /// The replayable `register` request line (no `id`: the replay is
+    /// internal, its reply is consumed by the router).
+    fn register_line(&self) -> String {
+        Json::obj([
+            ("op", Json::str("register")),
+            ("name", Json::str(self.name.clone())),
+            ("format", Json::str(self.format.clone())),
+            ("source", Json::str(self.source.clone())),
+            ("delay", Json::Int(i64::from(self.delay))),
+        ])
+        .encode()
+    }
+}
+
+/// Registration cache: keyed by content id, with registered names as
+/// aliases, FIFO-bounded.
+#[derive(Default)]
+struct RegCache {
+    by_id: HashMap<String, Arc<RegEntry>>,
+    alias: HashMap<String, String>,
+    order: VecDeque<String>,
+}
+
+impl RegCache {
+    fn insert(&mut self, id: String, entry: RegEntry, cap: usize) {
+        if !self.by_id.contains_key(&id) {
+            self.order.push_back(id.clone());
+            while self.order.len() > cap.max(1) {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.by_id.remove(&evicted);
+                    self.alias.retain(|_, v| *v != evicted);
+                }
+            }
+        }
+        self.alias.insert(entry.name.clone(), id.clone());
+        self.by_id.insert(id, Arc::new(entry));
+    }
+
+    /// Resolves a circuit key (content id or registered name) to the
+    /// canonical content id plus the cached registration, if known.
+    fn resolve(&self, key: &str) -> Option<(String, Arc<RegEntry>)> {
+        let id = if self.by_id.contains_key(key) {
+            key.to_string()
+        } else {
+            self.alias.get(key)?.clone()
+        };
+        let entry = self.by_id.get(&id)?.clone();
+        Some((id, entry))
+    }
+}
+
+/// Monotonic router counters (all relaxed; no cross-counter identity is
+/// claimed — forwarding outcomes are attributed exactly once each).
+#[derive(Default)]
+struct RouterCounters {
+    /// Request lines that parsed (any op).
+    requests_total: AtomicU64,
+    /// Check-work replies obtained from a backend and forwarded verbatim.
+    forwarded_total: AtomicU64,
+    /// Requests answered `unavailable` after exhausting every candidate.
+    unavailable_total: AtomicU64,
+    /// Requests shed at the *router's* admission queue.
+    shed_total: AtomicU64,
+    /// Extra attempts after the first (next candidate or next round).
+    retries_total: AtomicU64,
+    /// Attempts abandoned because a transport error moved the request to
+    /// another backend.
+    failovers_total: AtomicU64,
+    /// `unknown_circuit` failovers repaired by replaying a cached
+    /// registration.
+    reregister_total: AtomicU64,
+    /// Request lines refused for exceeding the line cap.
+    too_large_total: AtomicU64,
+    /// Request lines that failed to parse.
+    bad_request_total: AtomicU64,
+}
+
+/// One queued forward: the raw request line plus routing metadata.
+struct RouterJob {
+    /// The raw request text, forwarded to backends byte-for-byte.
+    line: String,
+    /// The consistent-hash key (canonical content id when resolvable).
+    key: String,
+    /// Correlation id for router-generated error replies.
+    id: Option<Json>,
+    reply: ClientReply,
+}
+
+/// The client-side writer half (same locked line-granularity discipline
+/// as the single daemon).
+#[derive(Clone)]
+struct ClientReply(Arc<Mutex<TcpStream>>);
+
+impl ClientReply {
+    fn send_line(&self, line: &str) {
+        let mut stream = self.0.lock().expect("reply lock poisoned");
+        let _ = writeln!(stream, "{line}");
+        let _ = stream.flush();
+    }
+
+    fn send(&self, response: &Json) {
+        self.send_line(&response.encode());
+    }
+}
+
+/// State shared by the router's accept loop, readers, workers, health
+/// thread, and handles.
+struct RouterShared {
+    backends: Vec<Arc<Backend>>,
+    /// Sorted (hash, backend index) ring.
+    ring: Vec<(u64, usize)>,
+    reg_cache: Mutex<RegCache>,
+    queue: Mutex<VecDeque<RouterJob>>,
+    job_ready: Condvar,
+    draining: AtomicBool,
+    counters: RouterCounters,
+    /// Admission-to-reply latency of forwarded requests.
+    latency: Histogram,
+    /// Monotonic per-request salt for backoff jitter.
+    jitter_salt: AtomicU64,
+    config: RouterConfig,
+    started: Instant,
+}
+
+impl RouterShared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Release);
+        self.job_ready.notify_all();
+    }
+
+    /// The candidate backends for `key`: every distinct backend, in ring
+    /// order starting at the owner. The first `replicas` are the
+    /// registration fan-out set; retry walks the whole list.
+    fn candidates(&self, key: &str) -> Vec<usize> {
+        let point = fnv64(key.as_bytes());
+        let start = self
+            .ring
+            .partition_point(|&(hash, _)| hash < point)
+            .checked_rem(self.ring.len())
+            .unwrap_or(0);
+        let mut seen = vec![false; self.backends.len()];
+        let mut order = Vec::with_capacity(self.backends.len());
+        for i in 0..self.ring.len() {
+            let (_, backend) = self.ring[(start + i) % self.ring.len()];
+            if !seen[backend] {
+                seen[backend] = true;
+                order.push(backend);
+                if order.len() == self.backends.len() {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+/// Ring-placement hash: 64-bit FNV-1a (the same function the registry's
+/// content ids use) pushed through a murmur-style finalizer. Raw FNV of
+/// short, similar keys (`addr#vnode`) leaves the high bits — which drive
+/// the ring's sort order — badly clustered; the finalizer's avalanche
+/// spreads the vnodes evenly.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    hash ^ (hash >> 33)
+}
+
+/// Builds the consistent-hash ring: `VNODES` points per backend, keyed
+/// by `addr#vnode`, sorted by hash. Ties (astronomically unlikely) break
+/// by backend index, deterministically.
+fn build_ring(backends: &[Arc<Backend>]) -> Vec<(u64, usize)> {
+    let mut ring = Vec::with_capacity(backends.len() * VNODES);
+    for (index, backend) in backends.iter().enumerate() {
+        for vnode in 0..VNODES {
+            let key = format!("{}#{vnode}", backend.addr());
+            ring.push((fnv64(key.as_bytes()), index));
+        }
+    }
+    ring.sort_unstable();
+    ring
+}
+
+/// XorShift64 — deterministic jitter without pulling in a PRNG crate.
+fn xorshift64(mut x: u64) -> u64 {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
+/// A control handle onto a running router.
+#[derive(Clone)]
+pub struct RouterHandle {
+    shared: Arc<RouterShared>,
+    addr: SocketAddr,
+    /// Handles of in-process backends (empty for external fleets) — the
+    /// chaos surface: tests kill or drain individual backends through
+    /// these.
+    spawned: Arc<Vec<ServerHandle>>,
+}
+
+impl RouterHandle {
+    /// The router's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begins a graceful drain, exactly like a `shutdown` request.
+    pub fn shutdown(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// The backend addresses, in ring-index order.
+    pub fn backend_addrs(&self) -> Vec<String> {
+        self.shared
+            .backends
+            .iter()
+            .map(|b| b.addr().to_string())
+            .collect()
+    }
+
+    /// Kills spawned backend `index` abruptly (see [`ServerHandle::kill`]).
+    /// Panics for external fleets or an out-of-range index — this is a
+    /// chaos-test surface, not production API.
+    pub fn kill_backend(&self, index: usize) {
+        self.spawned[index].kill();
+    }
+
+    /// Control handles of the spawned in-process backends.
+    pub fn spawned_backends(&self) -> &[ServerHandle] {
+        &self.spawned
+    }
+}
+
+/// The router daemon. [`Router::bind`] claims sockets (and spawns the
+/// in-process fleet when asked); [`Router::run`] serves until a drain
+/// completes.
+pub struct Router {
+    listener: TcpListener,
+    shared: Arc<RouterShared>,
+    spawned: Arc<Vec<ServerHandle>>,
+    backend_threads: Vec<JoinHandle<std::io::Result<()>>>,
+}
+
+impl Router {
+    /// Binds the router (and, with `config.spawn > 0`, an in-process
+    /// fleet of backends on ephemeral ports). No router threads run
+    /// until [`Router::run`].
+    pub fn bind(mut config: RouterConfig) -> std::io::Result<Router> {
+        let mut spawned = Vec::new();
+        let mut backend_threads = Vec::new();
+        if config.spawn > 0 {
+            config.backends.clear();
+            for _ in 0..config.spawn {
+                let server = Server::bind(&ServeConfig {
+                    addr: "127.0.0.1:0".to_string(),
+                    jobs: config.backend_jobs,
+                    queue_cap: config.backend_queue_cap,
+                    registry_cap: config.backend_registry_cap,
+                    max_line_bytes: config.max_line_bytes,
+                })?;
+                config.backends.push(server.local_addr()?.to_string());
+                spawned.push(server.handle());
+                backend_threads.push(std::thread::spawn(move || server.run()));
+            }
+        }
+        if config.backends.is_empty() {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidInput,
+                "router needs at least one backend (`backends` or `spawn`)",
+            ));
+        }
+        let opts = BackendOpts {
+            connect_timeout: config.connect_timeout,
+            rpc_timeout: config.rpc_timeout,
+            max_line_bytes: config.max_line_bytes,
+            breaker_threshold: config.breaker_threshold,
+            breaker_cooldown: config.breaker_cooldown,
+        };
+        let backends: Vec<Arc<Backend>> = config
+            .backends
+            .iter()
+            .map(|addr| Arc::new(Backend::new(addr.clone(), opts)))
+            .collect();
+        let ring = build_ring(&backends);
+        let listener = TcpListener::bind(&config.addr)?;
+        let shared = Arc::new(RouterShared {
+            backends,
+            ring,
+            reg_cache: Mutex::new(RegCache::default()),
+            queue: Mutex::new(VecDeque::new()),
+            job_ready: Condvar::new(),
+            draining: AtomicBool::new(false),
+            counters: RouterCounters::default(),
+            latency: Histogram::new(),
+            jitter_salt: AtomicU64::new(0x9e37_79b9_7f4a_7c15),
+            config,
+            started: Instant::now(),
+        });
+        Ok(Router {
+            listener,
+            shared,
+            spawned: Arc::new(spawned),
+            backend_threads,
+        })
+    }
+
+    /// The bound address (the real ephemeral port after binding `:0`).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A control handle usable from other threads.
+    pub fn handle(&self) -> RouterHandle {
+        RouterHandle {
+            shared: self.shared.clone(),
+            addr: self
+                .listener
+                .local_addr()
+                .expect("bound listener has an address"),
+            spawned: self.spawned.clone(),
+        }
+    }
+
+    /// Serves until a `shutdown` request (or [`RouterHandle::shutdown`])
+    /// drains the router. Every admitted request is answered before this
+    /// returns; for in-process fleets the backends are then drained too.
+    pub fn run(self) -> std::io::Result<()> {
+        let Router {
+            listener,
+            shared,
+            spawned,
+            backend_threads,
+        } = self;
+        let worker_count = if shared.config.jobs == 0 {
+            available_jobs().max(4)
+        } else {
+            shared.config.jobs
+        };
+        let workers: Vec<_> = (0..worker_count)
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || router_worker_loop(&shared))
+            })
+            .collect();
+        let health = {
+            let shared = shared.clone();
+            std::thread::spawn(move || health_loop(&shared))
+        };
+        listener.set_nonblocking(true)?;
+        let mut readers = Vec::new();
+        loop {
+            if shared.draining() {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nodelay(true).ok();
+                    let shared = shared.clone();
+                    readers.push(std::thread::spawn(move || {
+                        router_connection(stream, &shared);
+                    }));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Refuse new connections at the OS level from here on.
+        drop(listener);
+        for worker in workers {
+            let _ = worker.join();
+        }
+        for reader in readers {
+            let _ = reader.join();
+        }
+        let _ = health.join();
+        // The router's own clients are all answered; now drain the
+        // in-process fleet (killed backends just return immediately).
+        for handle in spawned.iter() {
+            handle.shutdown();
+        }
+        for thread in backend_threads {
+            let _ = thread.join();
+        }
+        Ok(())
+    }
+}
+
+/// Runs a router with the given config, printing `listening on ADDR` and
+/// the backend list to stdout before serving.
+pub fn route(config: RouterConfig) -> std::io::Result<()> {
+    let router = Router::bind(config)?;
+    println!("listening on {}", router.local_addr()?);
+    for addr in router.handle().backend_addrs() {
+        println!("backend {addr}");
+    }
+    std::io::stdout().flush()?;
+    router.run()
+}
+
+/// The health thread: probes every backend with a `status` rpc each
+/// interval. Probes share the request path's transport accounting, so a
+/// recovered backend's first good probe closes its breaker.
+fn health_loop(shared: &RouterShared) {
+    let probe = Json::obj([
+        ("op", Json::str("status")),
+        ("id", Json::str("__ltt_router_health")),
+    ])
+    .encode();
+    let mut last = Instant::now() - shared.config.health_interval;
+    while !shared.draining() {
+        if last.elapsed() < shared.config.health_interval {
+            std::thread::sleep(POLL.min(shared.config.health_interval));
+            continue;
+        }
+        last = Instant::now();
+        for backend in &shared.backends {
+            let healthy = backend.rpc(&probe).is_ok();
+            backend.set_healthy(healthy);
+            if shared.draining() {
+                return;
+            }
+        }
+    }
+}
+
+fn router_worker_loop(shared: &Arc<RouterShared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue lock poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.draining() {
+                    break None;
+                }
+                queue = shared
+                    .job_ready
+                    .wait_timeout(queue, POLL)
+                    .expect("queue lock poisoned")
+                    .0;
+            }
+        };
+        let Some(job) = job else { return };
+        let started = Instant::now();
+        let reply_line = forward_with_retry(shared, &job.line, &job.key, job.id.as_ref());
+        shared.latency.observe(started.elapsed());
+        job.reply.send_line(&reply_line);
+    }
+}
+
+/// The reply classification a forwarding attempt can produce.
+enum Attempt {
+    /// A reply to forward verbatim.
+    Done(String),
+    /// The backend shed the request (`overloaded`) — try elsewhere, and
+    /// if everyone sheds, forward the last such reply honestly.
+    Overloaded(String),
+    /// The transport failed — feed the failover path.
+    Failed,
+}
+
+/// One rpc to one backend, including the `unknown_circuit` re-register
+/// repair.
+fn attempt(shared: &RouterShared, backend: &Backend, line: &str, key: &str) -> Attempt {
+    match backend.rpc(line) {
+        Err(_) => Attempt::Failed,
+        Ok(reply) => match classify(&reply) {
+            ReplyKind::Overloaded => Attempt::Overloaded(reply),
+            ReplyKind::UnknownCircuit => {
+                // The backend is alive but empty-handed (typically: it
+                // died and restarted, or it is a fresh failover target).
+                // Replay the cached registration and retry once, on this
+                // same backend.
+                let cached = shared
+                    .reg_cache
+                    .lock()
+                    .expect("reg cache lock poisoned")
+                    .resolve(key);
+                let Some((_, entry)) = cached else {
+                    return Attempt::Done(reply);
+                };
+                shared
+                    .counters
+                    .reregister_total
+                    .fetch_add(1, Ordering::Relaxed);
+                match backend.rpc(&entry.register_line()) {
+                    Err(_) => Attempt::Failed,
+                    Ok(_) => match backend.rpc(line) {
+                        Err(_) => Attempt::Failed,
+                        Ok(retry) => match classify(&retry) {
+                            ReplyKind::Overloaded => Attempt::Overloaded(retry),
+                            _ => Attempt::Done(retry),
+                        },
+                    },
+                }
+            }
+            ReplyKind::Other => Attempt::Done(reply),
+        },
+    }
+}
+
+enum ReplyKind {
+    Overloaded,
+    UnknownCircuit,
+    Other,
+}
+
+/// Inspects a backend reply's error code without disturbing the raw text
+/// (which is what actually gets forwarded).
+fn classify(reply: &str) -> ReplyKind {
+    let Ok(json) = decode(reply.trim()) else {
+        return ReplyKind::Other;
+    };
+    if json.get("ok").and_then(Json::as_bool) != Some(false) {
+        return ReplyKind::Other;
+    }
+    match json
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str)
+    {
+        Some("overloaded") => ReplyKind::Overloaded,
+        Some("unknown_circuit") => ReplyKind::UnknownCircuit,
+        _ => ReplyKind::Other,
+    }
+}
+
+/// Walks the candidate list with breaker gating, backing off between
+/// rounds, until a reply is obtained or every option is exhausted.
+/// Always returns exactly one reply line.
+fn forward_with_retry(
+    shared: &Arc<RouterShared>,
+    line: &str,
+    key: &str,
+    id: Option<&Json>,
+) -> String {
+    let candidates = shared.candidates(key);
+    let config = &shared.config;
+    let mut last_overloaded: Option<String> = None;
+    let mut seed = fnv64(line.as_bytes())
+        ^ shared
+            .jitter_salt
+            .fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
+    let mut attempts = 0u64;
+    for round in 0..=config.max_retries {
+        if round > 0 {
+            // Exponential backoff with jitter in [base/2, backoff): the
+            // deterministic xorshift stream keeps the serve tier free of
+            // clock- or PRNG-dependent behavior differences under test.
+            let exp = config
+                .backoff_base
+                .saturating_mul(1u32 << (round - 1).min(16));
+            let backoff = exp.min(config.backoff_cap);
+            seed = xorshift64(seed);
+            let half = backoff / 2;
+            let jittered = half + Duration::from_nanos(seed % half.as_nanos().max(1) as u64);
+            std::thread::sleep(jittered);
+        }
+        for &index in &candidates {
+            let backend = &shared.backends[index];
+            if !backend.breaker().admit() {
+                continue;
+            }
+            attempts += 1;
+            if attempts > 1 {
+                shared
+                    .counters
+                    .retries_total
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            match attempt(shared, backend, line, key) {
+                Attempt::Done(reply) => {
+                    shared
+                        .counters
+                        .forwarded_total
+                        .fetch_add(1, Ordering::Relaxed);
+                    return reply;
+                }
+                Attempt::Overloaded(reply) => {
+                    last_overloaded = Some(reply);
+                }
+                Attempt::Failed => {
+                    shared
+                        .counters
+                        .failovers_total
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            if shared.draining() && round > 0 {
+                // Draining: stop the backoff dance after the current
+                // sweep so shutdown is not held up by a dead backend.
+                break;
+            }
+        }
+    }
+    // Exhausted. If some live backend answered `overloaded`, forward
+    // that — it is the truthful state of the fleet and tells the client
+    // to retry later. Otherwise nobody answered at all: `unavailable`.
+    if let Some(reply) = last_overloaded {
+        shared
+            .counters
+            .forwarded_total
+            .fetch_add(1, Ordering::Relaxed);
+        return reply;
+    }
+    shared
+        .counters
+        .unavailable_total
+        .fetch_add(1, Ordering::Relaxed);
+    error_response(
+        id,
+        &ProtoError::new(
+            ErrorCode::Unavailable,
+            format!(
+                "no backend could answer after {} round(s) over {} candidate(s)",
+                config.max_retries + 1,
+                candidates.len()
+            ),
+        ),
+    )
+    .encode()
+}
+
+fn router_connection(stream: TcpStream, shared: &Arc<RouterShared>) {
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let reply = match stream.try_clone() {
+        Ok(w) => ClientReply(Arc::new(Mutex::new(w))),
+        Err(_) => return,
+    };
+    let mut reader = CappedLineReader::new(BufReader::new(stream), shared.config.max_line_bytes);
+    loop {
+        match reader.read_line() {
+            Ok(LineRead::Line(text)) => {
+                let text = text.trim();
+                if !text.is_empty() {
+                    router_dispatch(text, shared, &reply);
+                }
+            }
+            Ok(LineRead::TooLarge) => {
+                shared
+                    .counters
+                    .too_large_total
+                    .fetch_add(1, Ordering::Relaxed);
+                reply.send(&error_response(
+                    None,
+                    &ProtoError::new(
+                        ErrorCode::TooLarge,
+                        format!(
+                            "request line exceeds the {}-byte limit",
+                            shared.config.max_line_bytes
+                        ),
+                    ),
+                ));
+            }
+            Ok(LineRead::TimedOut) => {
+                if shared.draining() {
+                    return;
+                }
+            }
+            Ok(LineRead::Eof) | Err(_) => return,
+        }
+    }
+}
+
+/// Parses one request line and routes it: control ops answered by the
+/// router itself, `register` fanned out inline, check work queued for
+/// the forwarding pool.
+fn router_dispatch(text: &str, shared: &Arc<RouterShared>, reply: &ClientReply) {
+    let json = match decode(text) {
+        Ok(json) => json,
+        Err(e) => {
+            shared
+                .counters
+                .bad_request_total
+                .fetch_add(1, Ordering::Relaxed);
+            reply.send(&error_response(
+                None,
+                &ProtoError::new(ErrorCode::BadRequest, format!("invalid JSON: {e}")),
+            ));
+            return;
+        }
+    };
+    let request = match Request::parse(&json) {
+        Ok(request) => request,
+        Err(e) => {
+            shared
+                .counters
+                .bad_request_total
+                .fetch_add(1, Ordering::Relaxed);
+            reply.send(&error_response(json.get("id"), &e));
+            return;
+        }
+    };
+    shared
+        .counters
+        .requests_total
+        .fetch_add(1, Ordering::Relaxed);
+    let id = request.id;
+    match request.body {
+        RequestBody::Status => reply.send(&router_status(shared, id.as_ref())),
+        RequestBody::Metrics => reply.send(&router_metrics(shared, id.as_ref())),
+        RequestBody::Shutdown => {
+            shared.begin_drain();
+            reply.send(&ok_response("shutdown", id.as_ref(), vec![]));
+        }
+        RequestBody::Register {
+            name,
+            format,
+            source,
+            delay,
+        } => {
+            if refuse_if_draining(shared, reply, id.as_ref(), "register") {
+                return;
+            }
+            register_fanout(
+                shared,
+                reply,
+                id.as_ref(),
+                name,
+                format,
+                source,
+                delay,
+                text,
+            );
+        }
+        RequestBody::Check { ref circuit, .. }
+        | RequestBody::BatchCheck { ref circuit, .. }
+        | RequestBody::Delay { ref circuit, .. } => {
+            if refuse_if_draining(shared, reply, id.as_ref(), "check work") {
+                return;
+            }
+            // Canonicalize the routing key: a name known to the cache
+            // hashes as its content id, so by-name and by-hash requests
+            // for the same circuit land on the same owner.
+            let key = shared
+                .reg_cache
+                .lock()
+                .expect("reg cache lock poisoned")
+                .resolve(circuit)
+                .map_or_else(|| circuit.clone(), |(canonical, _)| canonical);
+            let job = RouterJob {
+                line: text.to_string(),
+                key,
+                id,
+                reply: reply.clone(),
+            };
+            let mut queue = shared.queue.lock().expect("queue lock poisoned");
+            if queue.len() >= shared.config.queue_cap.max(1) {
+                shared.counters.shed_total.fetch_add(1, Ordering::Relaxed);
+                drop(queue);
+                reply.send(&error_response(
+                    job.id.as_ref(),
+                    &ProtoError::new(
+                        ErrorCode::Overloaded,
+                        format!(
+                            "router queue is full ({} pending); retry later",
+                            shared.config.queue_cap
+                        ),
+                    ),
+                ));
+                return;
+            }
+            queue.push_back(job);
+            drop(queue);
+            shared.job_ready.notify_one();
+        }
+    }
+}
+
+fn refuse_if_draining(
+    shared: &RouterShared,
+    reply: &ClientReply,
+    id: Option<&Json>,
+    what: &str,
+) -> bool {
+    if shared.draining() {
+        reply.send(&error_response(
+            id,
+            &ProtoError::new(
+                ErrorCode::ShuttingDown,
+                format!("router is draining; {what} refused"),
+            ),
+        ));
+        true
+    } else {
+        false
+    }
+}
+
+/// `register`: compute the content id router-side (the same FNV the
+/// backends use, so ids agree), cache the registration for failover,
+/// then register on the owner plus `replicas - 1` successors. The first
+/// successful backend reply is forwarded verbatim.
+#[allow(clippy::too_many_arguments)]
+fn register_fanout(
+    shared: &Arc<RouterShared>,
+    reply: &ClientReply,
+    id: Option<&Json>,
+    name: String,
+    format: String,
+    source: String,
+    delay: u32,
+    raw_line: &str,
+) {
+    let cid = content_id(&format, delay, &source);
+    shared
+        .reg_cache
+        .lock()
+        .expect("reg cache lock poisoned")
+        .insert(
+            cid.clone(),
+            RegEntry {
+                name,
+                format,
+                source,
+                delay,
+            },
+            shared.config.reg_cache_cap,
+        );
+    let candidates = shared.candidates(&cid);
+    let replicas = shared.config.replicas.clamp(1, candidates.len());
+    let mut first_reply: Option<String> = None;
+    let mut placed = 0usize;
+    for &index in &candidates {
+        let backend = &shared.backends[index];
+        if !backend.breaker().admit() {
+            continue;
+        }
+        match backend.rpc(raw_line) {
+            Ok(line) => {
+                if first_reply.is_none() {
+                    first_reply = Some(line);
+                }
+                placed += 1;
+                if placed == replicas {
+                    break;
+                }
+            }
+            Err(_) => {
+                shared
+                    .counters
+                    .failovers_total
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    match first_reply {
+        Some(line) => {
+            shared
+                .counters
+                .forwarded_total
+                .fetch_add(1, Ordering::Relaxed);
+            reply.send_line(&line);
+        }
+        None => {
+            shared
+                .counters
+                .unavailable_total
+                .fetch_add(1, Ordering::Relaxed);
+            reply.send(&error_response(
+                id,
+                &ProtoError::new(
+                    ErrorCode::Unavailable,
+                    "no backend accepted the registration",
+                ),
+            ));
+        }
+    }
+}
+
+fn router_status(shared: &RouterShared, id: Option<&Json>) -> Json {
+    let c = &shared.counters;
+    let int = |v: u64| Json::Int(v.min(i64::MAX as u64) as i64);
+    let backends: Vec<Json> = shared
+        .backends
+        .iter()
+        .map(|b| {
+            Json::obj([
+                ("addr", Json::str(b.addr())),
+                ("healthy", Json::Bool(b.is_healthy())),
+                (
+                    "breaker",
+                    Json::str(match b.breaker().state_code() {
+                        0 => "closed",
+                        1 => "open",
+                        _ => "half_open",
+                    }),
+                ),
+                ("breaker_opened", int(b.breaker().opened_total())),
+                ("rpcs", int(b.rpcs_total())),
+                ("errors", int(b.errors_total())),
+            ])
+        })
+        .collect();
+    let queued = shared.queue.lock().expect("queue lock poisoned").len();
+    ok_response(
+        "status",
+        id,
+        vec![
+            ("role".to_string(), Json::str("router")),
+            (
+                "uptime_ms".to_string(),
+                Json::Int(shared.started.elapsed().as_millis().min(i64::MAX as u128) as i64),
+            ),
+            ("draining".to_string(), Json::Bool(shared.draining())),
+            ("backends".to_string(), Json::Arr(backends)),
+            (
+                "queue".to_string(),
+                Json::obj([
+                    ("depth", Json::Int(queued as i64)),
+                    ("capacity", Json::Int(shared.config.queue_cap.max(1) as i64)),
+                ]),
+            ),
+            (
+                "requests".to_string(),
+                Json::obj([
+                    ("total", int(c.requests_total.load(Ordering::Relaxed))),
+                    ("forwarded", int(c.forwarded_total.load(Ordering::Relaxed))),
+                    (
+                        "unavailable",
+                        int(c.unavailable_total.load(Ordering::Relaxed)),
+                    ),
+                    ("shed", int(c.shed_total.load(Ordering::Relaxed))),
+                    ("retries", int(c.retries_total.load(Ordering::Relaxed))),
+                    ("failovers", int(c.failovers_total.load(Ordering::Relaxed))),
+                    (
+                        "reregistered",
+                        int(c.reregister_total.load(Ordering::Relaxed)),
+                    ),
+                    ("too_large", int(c.too_large_total.load(Ordering::Relaxed))),
+                    (
+                        "bad_request",
+                        int(c.bad_request_total.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+        ],
+    )
+}
+
+/// The router's Prometheus exposition: its own counters plus one labeled
+/// series per backend for health, breaker state, transport totals, and
+/// rpc latency.
+fn router_metrics(shared: &RouterShared, id: Option<&Json>) -> Json {
+    let c = &shared.counters;
+    let mut body = String::new();
+    render_gauge_f64(
+        &mut body,
+        "ltt_router_uptime_seconds",
+        "seconds since the router started",
+        shared.started.elapsed().as_secs_f64(),
+    );
+    render_sample(
+        &mut body,
+        "ltt_router_draining",
+        "gauge",
+        "1 while the router is draining after shutdown",
+        u64::from(shared.draining()),
+    );
+    render_sample(
+        &mut body,
+        "ltt_router_backends",
+        "gauge",
+        "backends on the hash ring",
+        shared.backends.len() as u64,
+    );
+    render_sample(
+        &mut body,
+        "ltt_router_requests_total",
+        "counter",
+        "request lines parsed (any op)",
+        c.requests_total.load(Ordering::Relaxed),
+    );
+    render_sample(
+        &mut body,
+        "ltt_router_forwarded_total",
+        "counter",
+        "backend replies forwarded verbatim",
+        c.forwarded_total.load(Ordering::Relaxed),
+    );
+    render_sample(
+        &mut body,
+        "ltt_router_unavailable_total",
+        "counter",
+        "requests answered `unavailable` after exhausting every candidate",
+        c.unavailable_total.load(Ordering::Relaxed),
+    );
+    render_sample(
+        &mut body,
+        "ltt_router_shed_total",
+        "counter",
+        "requests shed at the router's own admission queue",
+        c.shed_total.load(Ordering::Relaxed),
+    );
+    render_sample(
+        &mut body,
+        "ltt_router_retries_total",
+        "counter",
+        "forwarding attempts after the first (other candidates or rounds)",
+        c.retries_total.load(Ordering::Relaxed),
+    );
+    render_sample(
+        &mut body,
+        "ltt_router_failovers_total",
+        "counter",
+        "attempts abandoned to a transport failure (moved to next backend)",
+        c.failovers_total.load(Ordering::Relaxed),
+    );
+    render_sample(
+        &mut body,
+        "ltt_router_reregister_total",
+        "counter",
+        "unknown_circuit failovers repaired from the registration cache",
+        c.reregister_total.load(Ordering::Relaxed),
+    );
+    render_sample(
+        &mut body,
+        "ltt_router_too_large_total",
+        "counter",
+        "request lines refused for exceeding the line-length cap",
+        c.too_large_total.load(Ordering::Relaxed),
+    );
+    render_sample(
+        &mut body,
+        "ltt_router_bad_request_total",
+        "counter",
+        "request lines that failed to parse",
+        c.bad_request_total.load(Ordering::Relaxed),
+    );
+    render_sample(
+        &mut body,
+        "ltt_router_queue_depth",
+        "gauge",
+        "admitted forwards waiting for a worker",
+        shared.queue.lock().expect("queue lock poisoned").len() as u64,
+    );
+    // Per-backend families: one header each, one labeled series per
+    // backend.
+    render_family(
+        &mut body,
+        "ltt_backend_healthy",
+        "gauge",
+        "1 when the last status probe of this backend succeeded",
+    );
+    for b in &shared.backends {
+        render_labeled(
+            &mut body,
+            "ltt_backend_healthy",
+            &[("backend", b.addr())],
+            u64::from(b.is_healthy()),
+        );
+    }
+    render_family(
+        &mut body,
+        "ltt_backend_breaker_state",
+        "gauge",
+        "circuit-breaker state: 0 closed, 1 open, 2 half-open",
+    );
+    for b in &shared.backends {
+        render_labeled(
+            &mut body,
+            "ltt_backend_breaker_state",
+            &[("backend", b.addr())],
+            b.breaker().state_code(),
+        );
+    }
+    render_family(
+        &mut body,
+        "ltt_backend_breaker_opened_total",
+        "counter",
+        "times this backend's breaker has opened",
+    );
+    for b in &shared.backends {
+        render_labeled(
+            &mut body,
+            "ltt_backend_breaker_opened_total",
+            &[("backend", b.addr())],
+            b.breaker().opened_total(),
+        );
+    }
+    render_family(
+        &mut body,
+        "ltt_backend_rpcs_total",
+        "counter",
+        "round trips attempted against this backend",
+    );
+    for b in &shared.backends {
+        render_labeled(
+            &mut body,
+            "ltt_backend_rpcs_total",
+            &[("backend", b.addr())],
+            b.rpcs_total(),
+        );
+    }
+    render_family(
+        &mut body,
+        "ltt_backend_errors_total",
+        "counter",
+        "round trips that failed at the transport level",
+    );
+    for b in &shared.backends {
+        render_labeled(
+            &mut body,
+            "ltt_backend_errors_total",
+            &[("backend", b.addr())],
+            b.errors_total(),
+        );
+    }
+    render_family(
+        &mut body,
+        "ltt_backend_rpc_duration_seconds",
+        "histogram",
+        "round-trip latency of successful rpcs per backend",
+    );
+    for b in &shared.backends {
+        b.latency().render_series(
+            &mut body,
+            "ltt_backend_rpc_duration_seconds",
+            &[("backend", b.addr())],
+        );
+    }
+    shared.latency.render(
+        &mut body,
+        "ltt_router_request_duration_seconds",
+        "admission-to-reply latency of forwarded check work",
+    );
+    ok_response(
+        "metrics",
+        id,
+        vec![
+            (
+                "content_type".to_string(),
+                Json::str("text/plain; version=0.0.4"),
+            ),
+            ("body".to_string(), Json::str(body)),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_backends(addrs: &[&str]) -> Vec<Arc<Backend>> {
+        let opts = BackendOpts {
+            connect_timeout: Duration::from_millis(100),
+            rpc_timeout: Duration::from_millis(100),
+            max_line_bytes: 1 << 16,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(1),
+        };
+        addrs
+            .iter()
+            .map(|a| Arc::new(Backend::new(a.to_string(), opts)))
+            .collect()
+    }
+
+    fn test_shared(addrs: &[&str]) -> RouterShared {
+        let backends = test_backends(addrs);
+        let ring = build_ring(&backends);
+        RouterShared {
+            backends,
+            ring,
+            reg_cache: Mutex::new(RegCache::default()),
+            queue: Mutex::new(VecDeque::new()),
+            job_ready: Condvar::new(),
+            draining: AtomicBool::new(false),
+            counters: RouterCounters::default(),
+            latency: Histogram::new(),
+            jitter_salt: AtomicU64::new(1),
+            config: RouterConfig::default(),
+            started: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn candidates_cover_every_backend_exactly_once() {
+        let shared = test_shared(&["127.0.0.1:1", "127.0.0.1:2", "127.0.0.1:3"]);
+        for key in ["a", "b", "c17", "0123456789abcdef", ""] {
+            let order = shared.candidates(key);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2], "key {key:?} covers all backends");
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_key_dependent() {
+        let shared = test_shared(&["127.0.0.1:1", "127.0.0.1:2", "127.0.0.1:3", "127.0.0.1:4"]);
+        let keys: Vec<String> = (0..64).map(|i| format!("circuit-{i}")).collect();
+        let first: Vec<usize> = keys.iter().map(|k| shared.candidates(k)[0]).collect();
+        let second: Vec<usize> = keys.iter().map(|k| shared.candidates(k)[0]).collect();
+        assert_eq!(first, second, "same key, same owner, every time");
+        // The 64 keys must not all pile onto one backend.
+        let mut load = [0usize; 4];
+        for &owner in &first {
+            load[owner] += 1;
+        }
+        assert!(
+            load.iter().all(|&n| n > 0),
+            "every backend owns something: {load:?}"
+        );
+    }
+
+    #[test]
+    fn ring_is_stable_under_backend_removal() {
+        // Consistent hashing's point: keys whose owner survives keep
+        // their owner when another backend leaves.
+        let four = test_shared(&["127.0.0.1:1", "127.0.0.1:2", "127.0.0.1:3", "127.0.0.1:4"]);
+        let three = test_shared(&["127.0.0.1:1", "127.0.0.1:2", "127.0.0.1:3"]);
+        let mut moved = 0;
+        let mut kept = 0;
+        for i in 0..256 {
+            let key = format!("net-{i}");
+            let owner4 = four.candidates(&key)[0];
+            let owner3 = three.candidates(&key)[0];
+            if owner4 < 3 {
+                if owner3 == owner4 {
+                    kept += 1;
+                } else {
+                    moved += 1;
+                }
+            }
+        }
+        assert!(
+            kept > moved * 5,
+            "surviving owners mostly keep their keys (kept {kept}, moved {moved})"
+        );
+    }
+
+    #[test]
+    fn reg_cache_resolves_by_id_and_name_and_evicts_fifo() {
+        let mut cache = RegCache::default();
+        cache.insert(
+            "id-a".into(),
+            RegEntry {
+                name: "a".into(),
+                format: "bench".into(),
+                source: "INPUT(x)".into(),
+                delay: 10,
+            },
+            2,
+        );
+        cache.insert(
+            "id-b".into(),
+            RegEntry {
+                name: "b".into(),
+                format: "bench".into(),
+                source: "INPUT(y)".into(),
+                delay: 10,
+            },
+            2,
+        );
+        assert_eq!(cache.resolve("a").unwrap().0, "id-a");
+        assert_eq!(cache.resolve("id-b").unwrap().0, "id-b");
+        cache.insert(
+            "id-c".into(),
+            RegEntry {
+                name: "c".into(),
+                format: "bench".into(),
+                source: "INPUT(z)".into(),
+                delay: 10,
+            },
+            2,
+        );
+        assert!(cache.resolve("id-a").is_none(), "FIFO evicted the oldest");
+        assert!(cache.resolve("a").is_none(), "the alias went with it");
+        assert!(cache.resolve("b").is_some());
+        assert!(cache.resolve("c").is_some());
+    }
+
+    #[test]
+    fn register_line_round_trips_through_the_parser() {
+        let entry = RegEntry {
+            name: "c17".into(),
+            format: "bench".into(),
+            source: "INPUT(1)\nOUTPUT(2)\n2 = NOT(1)".into(),
+            delay: 7,
+        };
+        let parsed = Request::parse(&decode(&entry.register_line()).unwrap()).unwrap();
+        match parsed.body {
+            RequestBody::Register {
+                name,
+                format,
+                source,
+                delay,
+            } => {
+                assert_eq!(name, "c17");
+                assert_eq!(format, "bench");
+                assert_eq!(source, "INPUT(1)\nOUTPUT(2)\n2 = NOT(1)");
+                assert_eq!(delay, 7);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_reads_error_codes_without_touching_the_text() {
+        assert!(matches!(
+            classify(r#"{"ok":false,"error":{"code":"overloaded","message":"m"}}"#),
+            ReplyKind::Overloaded
+        ));
+        assert!(matches!(
+            classify(r#"{"ok":false,"error":{"code":"unknown_circuit","message":"m"}}"#),
+            ReplyKind::UnknownCircuit
+        ));
+        assert!(matches!(
+            classify(r#"{"ok":true,"op":"check"}"#),
+            ReplyKind::Other
+        ));
+        assert!(matches!(classify("not json"), ReplyKind::Other));
+    }
+}

@@ -29,6 +29,7 @@
 //! cadence, so a drain completes promptly even with idle connections
 //! open.
 
+use crate::lineio::{CappedLineReader, LineRead};
 use crate::metrics::Histogram;
 use crate::proto::{
     batch_json, delay_json, error_response, ok_response, ErrorCode, ProtoError, Request,
@@ -39,8 +40,8 @@ use crate::wire::{decode, Json};
 use ltt_core::{available_jobs, BatchRunner, Budget, CancelToken, CheckSession};
 use ltt_netlist::NetId;
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, ErrorKind, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::{BufReader, ErrorKind, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -61,7 +62,16 @@ pub struct ServeConfig {
     pub queue_cap: usize,
     /// Maximum circuits resident in the registry (LRU beyond this).
     pub registry_cap: usize,
+    /// Maximum accepted request-line length in bytes; longer lines are
+    /// answered with a structured `too_large` error and discarded without
+    /// ever being buffered whole (default 16 MiB).
+    pub max_line_bytes: usize,
 }
+
+/// The default request-line cap: generous enough for any realistic
+/// netlist upload, small enough that one hostile peer cannot balloon the
+/// process.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 16 * 1024 * 1024;
 
 impl Default for ServeConfig {
     fn default() -> Self {
@@ -70,6 +80,7 @@ impl Default for ServeConfig {
             jobs: 0,
             queue_cap: 64,
             registry_cap: 16,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
         }
     }
 }
@@ -97,6 +108,9 @@ struct Counters {
     budget_tripped: AtomicU64,
     panicked: AtomicU64,
     disconnect_cancels: AtomicU64,
+    /// Request lines refused (before parsing) for exceeding the line cap.
+    /// Never admitted, so outside the accounting identity above.
+    too_large: AtomicU64,
 }
 
 /// A coherent point-in-time view of the server's counters: taken under
@@ -114,6 +128,7 @@ struct Snapshot {
     connections_total: u64,
     connections_open: u64,
     disconnect_cancels: u64,
+    too_large: u64,
 }
 
 /// One unit of admitted work: executed by a worker, replied through the
@@ -127,13 +142,28 @@ struct Job {
     id: Option<Json>,
 }
 
+/// Chaos-relevant identity and state shared by [`Shared`] and every
+/// [`ReplyHandle`] (a separate `Arc` so reply handles sitting in queued
+/// jobs never keep the whole server state alive).
+struct ChaosCtx {
+    /// Abrupt-death flag (see [`ServerHandle::kill`]): suppress replies,
+    /// tear connections down, drop pending work unanswered.
+    killed: AtomicBool,
+    /// The bound address as a string — the failpoint *context* for this
+    /// process's chaos sites, so a test can target one backend of an
+    /// in-process fleet.
+    self_addr: String,
+}
+
 /// State shared by the accept loop, readers, workers, and handles.
 struct Shared {
     registry: CircuitRegistry,
     queue: Mutex<VecDeque<Job>>,
     job_ready: Condvar,
     draining: AtomicBool,
+    chaos: Arc<ChaosCtx>,
     queue_cap: usize,
+    max_line_bytes: usize,
     counters: Counters,
     /// Wall-clock latency of every finished job (queued-to-replied is the
     /// worker's concern; this measures handler execution).
@@ -144,6 +174,10 @@ struct Shared {
 impl Shared {
     fn draining(&self) -> bool {
         self.draining.load(Ordering::Acquire)
+    }
+
+    fn killed(&self) -> bool {
+        self.chaos.killed.load(Ordering::Acquire)
     }
 
     fn begin_drain(&self) {
@@ -181,6 +215,7 @@ impl Shared {
             connections_total: c.connections_total.load(Ordering::Relaxed),
             connections_open: c.connections_open.load(Ordering::Relaxed),
             disconnect_cancels: c.disconnect_cancels.load(Ordering::Relaxed),
+            too_large: c.too_large.load(Ordering::Relaxed),
         }
     }
 }
@@ -189,14 +224,31 @@ impl Shared {
 /// reply is one locked `write + flush`, so concurrent replies interleave
 /// at line granularity, never within a line.
 #[derive(Clone)]
-struct ReplyHandle(Arc<Mutex<TcpStream>>);
+struct ReplyHandle {
+    stream: Arc<Mutex<TcpStream>>,
+    chaos: Arc<ChaosCtx>,
+}
 
 impl ReplyHandle {
     /// Sends one response line. Write errors are swallowed: a reply that
     /// cannot be delivered means the client is gone, and the connection's
     /// cancel token (driven by the reader's EOF) already handles that.
+    ///
+    /// Two chaos paths simulate a crashed backend at the worst possible
+    /// moment — *after* the work executed, *instead of* replying: a
+    /// [`kill`](ServerHandle::kill) in progress, and the
+    /// `serve::drop_reply` failpoint (context = this server's address).
+    /// Both tear the connection down so the peer sees a reset, never a
+    /// silent hang and never a wrong answer.
     fn send(&self, response: &Json) {
-        let mut stream = self.0.lock().expect("reply lock poisoned");
+        if self.chaos.killed.load(Ordering::Acquire)
+            || ltt_core::failpoint::hit_flagged("serve::drop_reply", &self.chaos.self_addr)
+        {
+            let stream = self.stream.lock().expect("reply lock poisoned");
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        let mut stream = self.stream.lock().expect("reply lock poisoned");
         let _ = writeln!(stream, "{}", response.encode());
         let _ = stream.flush();
     }
@@ -218,6 +270,18 @@ impl ServerHandle {
 
     /// Begins a graceful drain, exactly like a `shutdown` request.
     pub fn shutdown(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// Kills the server abruptly — the chaos counterpart of
+    /// [`shutdown`](ServerHandle::shutdown). Pending and in-flight work is
+    /// dropped *unanswered*, every connection is torn down, and no further
+    /// reply ever leaves the process, exactly as if the backend crashed.
+    /// Peers observe connection resets or timeouts, never a wrong answer.
+    pub fn kill(&self) {
+        self.shared.chaos.killed.store(true, Ordering::Release);
+        // Reuse the drain machinery to wake blocked workers and stop the
+        // accept loop; the killed flag turns that "drain" into a crash.
         self.shared.begin_drain();
     }
 
@@ -246,12 +310,18 @@ impl Server {
     /// run until [`Server::run`].
     pub fn bind(config: &ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        let self_addr = listener.local_addr()?.to_string();
         let shared = Arc::new(Shared {
             registry: CircuitRegistry::new(config.registry_cap),
             queue: Mutex::new(VecDeque::new()),
             job_ready: Condvar::new(),
             draining: AtomicBool::new(false),
+            chaos: Arc::new(ChaosCtx {
+                killed: AtomicBool::new(false),
+                self_addr,
+            }),
             queue_cap: config.queue_cap.max(1),
+            max_line_bytes: config.max_line_bytes.max(1024),
             counters: Counters::default(),
             latency: Histogram::new(),
             started: Instant::now(),
@@ -288,24 +358,29 @@ impl Server {
     /// connection, runs the worker pool, and returns once every queued and
     /// in-flight job has been answered.
     pub fn run(self) -> std::io::Result<()> {
-        let workers: Vec<_> = (0..self.jobs.max(1))
+        let Server {
+            listener,
+            shared,
+            jobs,
+        } = self;
+        let workers: Vec<_> = (0..jobs.max(1))
             .map(|_| {
-                let shared = self.shared.clone();
+                let shared = shared.clone();
                 std::thread::spawn(move || worker_loop(&shared))
             })
             .collect();
-        self.listener.set_nonblocking(true)?;
+        listener.set_nonblocking(true)?;
         let mut readers = Vec::new();
         loop {
-            if self.shared.draining() {
+            if shared.draining() {
                 break;
             }
-            match self.listener.accept() {
+            match listener.accept() {
                 Ok((stream, _)) => {
                     // One-line replies must leave now, not after Nagle and
                     // the peer's delayed ACK agree (a ~40 ms tax per RPC).
                     stream.set_nodelay(true).ok();
-                    let shared = self.shared.clone();
+                    let shared = shared.clone();
                     readers.push(std::thread::spawn(move || {
                         serve_connection(stream, &shared);
                     }));
@@ -316,6 +391,10 @@ impl Server {
                 Err(e) => return Err(e),
             }
         }
+        // Close the listening socket immediately: from here on a connection
+        // attempt is refused at the OS level, not parked in a backlog the
+        // drain will never answer.
+        drop(listener);
         // Drain: workers exit once the queue is empty; readers notice the
         // flag within one read-timeout tick.
         for worker in workers {
@@ -343,6 +422,13 @@ fn worker_loop(shared: &Shared) {
         let job = {
             let mut queue = shared.queue.lock().expect("queue lock poisoned");
             loop {
+                if shared.killed() {
+                    // Crash semantics: everything still queued dies
+                    // unanswered (the peers' connections are being torn
+                    // down; they will observe resets, not replies).
+                    queue.clear();
+                    break None;
+                }
                 if let Some(job) = queue.pop_front() {
                     break Some(job);
                 }
@@ -365,7 +451,16 @@ fn worker_loop(shared: &Shared) {
         // the handler returned normally, and the two partition every job
         // a worker finishes (the accounting identity on `Counters` needs
         // exactly-once attribution, not double counting).
-        let (response, panicked) = match catch_unwind(AssertUnwindSafe(job.work)) {
+        let work = job.work;
+        let chaos = shared.chaos.clone();
+        let (response, panicked) = match catch_unwind(AssertUnwindSafe(move || {
+            // Chaos site: a `Stall` here simulates a wedged backend (the
+            // router's rpc timeout must fire); a `Panic` exercises the
+            // structured internal-error path. Context = this server's
+            // address, so one backend of an in-process fleet can be hit.
+            ltt_core::failpoint::hit("serve::worker", &chaos.self_addr);
+            work()
+        })) {
             Ok(response) => (response, false),
             Err(_) => (
                 error_response(
@@ -421,29 +516,48 @@ fn read_loop(stream: TcpStream, shared: &Arc<Shared>, cancel: &CancelToken) -> b
         return true;
     }
     let reply = match stream.try_clone() {
-        Ok(w) => ReplyHandle(Arc::new(Mutex::new(w))),
+        Ok(w) => ReplyHandle {
+            stream: Arc::new(Mutex::new(w)),
+            chaos: shared.chaos.clone(),
+        },
         Err(_) => return true,
     };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut reader = CappedLineReader::new(BufReader::new(stream), shared.max_line_bytes);
     loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => return true,
-            Ok(_) => {
-                let text = line.trim().to_string();
-                line.clear();
+        match reader.read_line() {
+            Ok(LineRead::Line(text)) => {
+                let text = text.trim();
                 if !text.is_empty() {
-                    dispatch(&text, shared, cancel, &reply);
+                    dispatch(text, shared, cancel, &reply);
                 }
             }
-            // Timeout mid-wait: `read_line` may have appended a partial
-            // line already, so `line` must NOT be cleared here.
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+            Ok(LineRead::TooLarge) => {
+                // The oversize line never parsed, so no correlation id is
+                // recoverable. Its remainder is being discarded (never
+                // buffered); the connection stays usable for what follows.
+                shared.counters.too_large.fetch_add(1, Ordering::Relaxed);
+                reply.send(&error_response(
+                    None,
+                    &ProtoError::new(
+                        ErrorCode::TooLarge,
+                        format!(
+                            "request line exceeds the {}-byte limit",
+                            shared.max_line_bytes
+                        ),
+                    ),
+                ));
+            }
+            // Timeout mid-wait: any partial line stays buffered inside the
+            // reader; the next call resumes where this one stopped.
+            Ok(LineRead::TimedOut) => {
+                if shared.killed() {
+                    return true;
+                }
                 if shared.draining() {
                     return false;
                 }
             }
-            Err(_) => return true,
+            Ok(LineRead::Eof) | Err(_) => return true,
         }
     }
 }
@@ -866,6 +980,7 @@ fn status_response(shared: &Shared, id: Option<&Json>) -> Json {
                     ("overloaded", int(snap.overloaded)),
                     ("budget_tripped", int(snap.budget_tripped)),
                     ("panicked", int(snap.panicked)),
+                    ("too_large", int(snap.too_large)),
                 ]),
             ),
             (
@@ -937,6 +1052,13 @@ fn metrics_response(shared: &Shared, id: Option<&Json>) -> Json {
         "counter",
         "checks cut short by a deadline, backtrack cap, or cancellation",
         snap.budget_tripped,
+    );
+    render_sample(
+        &mut body,
+        "ltt_requests_too_large_total",
+        "counter",
+        "request lines refused for exceeding the line-length cap",
+        snap.too_large,
     );
     render_sample(
         &mut body,

@@ -1,0 +1,335 @@
+//! Chaos tests for the fleet: backends die and drop replies mid-workload
+//! while concurrent clients hammer the router. The invariant under every
+//! injected fault: an accepted request gets **exactly one reply**, and it
+//! is either bit-identical to the healthy fleet's answer or a structured
+//! `unavailable`/`overloaded`/`shutting_down` rejection — never a hang,
+//! never a wrong answer.
+//!
+//! Failpoints are process-global, so the test that arms one holds
+//! `CHAOS_LOCK` (the kill test takes it too: a stray armed failpoint
+//! would contaminate its backends).
+
+use ltt_netlist::bench_format::write_bench;
+use ltt_netlist::generators::{random_circuit, RandomCircuitConfig};
+use ltt_serve::{Client, Json, Router, RouterConfig, RouterHandle};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+fn chaos_config(spawn: usize, health_interval: Duration) -> RouterConfig {
+    RouterConfig {
+        spawn,
+        backend_jobs: 2,
+        jobs: 4,
+        replicas: 2,
+        max_retries: 2,
+        backoff_base: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(40),
+        connect_timeout: Duration::from_millis(500),
+        rpc_timeout: Duration::from_millis(2000),
+        breaker_threshold: 3,
+        breaker_cooldown: Duration::from_millis(300),
+        health_interval,
+        ..Default::default()
+    }
+}
+
+fn start(
+    config: RouterConfig,
+) -> (
+    String,
+    RouterHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let router = Router::bind(config).expect("bind router");
+    let addr = router.local_addr().expect("addr").to_string();
+    let handle = router.handle();
+    let join = std::thread::spawn(move || router.run());
+    (addr, handle, join)
+}
+
+fn register(client: &mut Client, name: &str, source: &str) -> String {
+    let reply = client
+        .call(&Json::obj([
+            ("op", Json::str("register")),
+            ("name", Json::str(name)),
+            ("source", Json::str(source)),
+        ]))
+        .expect("register");
+    assert_eq!(
+        reply.get("ok"),
+        Some(&Json::Bool(true)),
+        "{}",
+        reply.encode()
+    );
+    reply
+        .get("circuit")
+        .and_then(Json::as_str)
+        .expect("content id")
+        .to_string()
+}
+
+fn strip_timing(v: &Json) -> Json {
+    match v {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .iter()
+                .filter(|(k, _)| !matches!(k.as_str(), "elapsed_us" | "wall_us" | "stage_us"))
+                .map(|(k, val)| (k.clone(), strip_timing(val)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(strip_timing).collect()),
+        other => other.clone(),
+    }
+}
+
+fn check_request(key: &str, delta: i64) -> Json {
+    Json::obj([
+        ("op", Json::str("batch_check")),
+        ("circuit", Json::str(key)),
+        ("delta", Json::Int(delta)),
+        ("id", Json::Int(0)),
+    ])
+}
+
+/// A batch of circuits spread over the ring, with each one's healthy
+/// baseline reply (timing-stripped) for later comparison.
+fn seeded_workload(client: &mut Client, count: u64) -> Vec<(String, i64, String)> {
+    (0..count)
+        .map(|i| {
+            let circuit = random_circuit(&RandomCircuitConfig {
+                num_gates: 40,
+                num_outputs: 2,
+                seed: 0xC4A0 + i,
+                ..Default::default()
+            });
+            let key = register(client, &format!("chaos-{i}"), &write_bench(&circuit));
+            let delta = circuit.topological_delay();
+            let baseline =
+                strip_timing(&client.call(&check_request(&key, delta)).expect("reply")).encode();
+            (key, delta, baseline)
+        })
+        .collect()
+}
+
+/// Per-thread chaos tally.
+#[derive(Default)]
+struct Outcomes {
+    correct: u64,
+    rejected: u64,
+    wrong: Vec<String>,
+}
+
+#[test]
+fn backend_kill_mid_run_loses_no_request_and_opens_the_breaker() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    ltt_core::failpoint::clear_all();
+    let (addr, handle, join) = start(chaos_config(3, Duration::from_millis(100)));
+    let mut main = Client::connect(&addr).expect("connect");
+    let workload = seeded_workload(&mut main, 6);
+    let killed_addr = handle.backend_addrs()[0].clone();
+
+    // Concurrent clients replay the workload while the kill lands.
+    let clients = 4usize;
+    let rounds = 8usize;
+    let results: Vec<Outcomes> = std::thread::scope(|scope| {
+        let workload = &workload;
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(&addr).expect("connect");
+                    let mut outcomes = Outcomes::default();
+                    for r in 0..rounds {
+                        for (key, delta, baseline) in workload {
+                            let reply = client
+                                .call(&check_request(key, *delta))
+                                .expect("exactly one reply per request, never a hang");
+                            if reply.get("ok") == Some(&Json::Bool(true)) {
+                                let got = strip_timing(&reply).encode();
+                                if got == *baseline {
+                                    outcomes.correct += 1;
+                                } else {
+                                    outcomes.wrong.push(got);
+                                }
+                            } else {
+                                match reply
+                                    .get("error")
+                                    .and_then(|e| e.get("code"))
+                                    .and_then(Json::as_str)
+                                {
+                                    Some("unavailable" | "overloaded" | "shutting_down") => {
+                                        outcomes.rejected += 1
+                                    }
+                                    _ => outcomes.wrong.push(reply.encode()),
+                                }
+                            }
+                        }
+                        // Stagger the rounds a little so the kill lands
+                        // mid-traffic for every thread.
+                        if r == 0 && c == 0 {
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                    }
+                    outcomes
+                })
+            })
+            .collect();
+        // Let the fleet take some healthy traffic, then kill a backend.
+        std::thread::sleep(Duration::from_millis(50));
+        handle.kill_backend(0);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    let mut correct = 0;
+    let mut rejected = 0;
+    for outcome in results {
+        assert!(
+            outcome.wrong.is_empty(),
+            "wrong answers under chaos: {:?}",
+            outcome.wrong
+        );
+        correct += outcome.correct;
+        rejected += outcome.rejected;
+    }
+    let total = (clients * rounds * workload.len()) as u64;
+    assert_eq!(
+        correct + rejected,
+        total,
+        "every request is answered exactly once"
+    );
+    assert!(
+        correct >= total / 2,
+        "the surviving backends must answer most traffic ({correct}/{total})"
+    );
+
+    // The health probes must notice the corpse and open its breaker; the
+    // metrics must expose that per backend.
+    let deadline = Instant::now() + Duration::from_secs(4);
+    let metrics = loop {
+        let reply = main
+            .call(&Json::obj([("op", Json::str("metrics"))]))
+            .expect("metrics");
+        let body = reply
+            .get("body")
+            .and_then(Json::as_str)
+            .expect("metrics body")
+            .to_string();
+        let opened = body
+            .lines()
+            .filter(|l| l.starts_with("ltt_backend_breaker_opened_total"))
+            .any(|l| l.contains(&killed_addr) && !l.trim_end().ends_with(" 0"));
+        if opened || Instant::now() > deadline {
+            break body;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(
+        metrics
+            .lines()
+            .any(|l| l.starts_with("ltt_backend_breaker_opened_total")
+                && l.contains(&killed_addr)
+                && !l.trim_end().ends_with(" 0")),
+        "the killed backend's breaker must open:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("ltt_backend_healthy") && metrics.contains("ltt_router_retries_total"),
+        "router metrics families must be exposed:\n{metrics}"
+    );
+
+    let _ = main.call(&Json::obj([("op", Json::str("shutdown"))]));
+    join.join().expect("router thread").expect("clean drain");
+}
+
+#[test]
+fn dropped_replies_fail_over_without_wrong_answers() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    ltt_core::failpoint::clear_all();
+    // Health probes are effectively off: the rpc counters below must move
+    // only with request traffic, so the circuit's owner is identifiable.
+    let mut config = chaos_config(2, Duration::from_secs(120));
+    config.rpc_timeout = Duration::from_millis(300);
+    let (addr, handle, join) = start(config);
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let circuit = random_circuit(&RandomCircuitConfig {
+        num_gates: 40,
+        num_outputs: 2,
+        seed: 0xD20F,
+        ..Default::default()
+    });
+    let key = register(&mut client, "dropper", &write_bench(&circuit));
+    let delta = circuit.topological_delay();
+
+    let rpcs_by_backend = |client: &mut Client| -> Vec<(String, i64)> {
+        let status = client
+            .call(&Json::obj([("op", Json::str("status"))]))
+            .expect("status");
+        status
+            .get("backends")
+            .and_then(Json::as_array)
+            .expect("backends")
+            .iter()
+            .map(|b| {
+                (
+                    b.get("addr").and_then(Json::as_str).unwrap().to_string(),
+                    b.get("rpcs").and_then(Json::as_i64).unwrap_or(0),
+                )
+            })
+            .collect()
+    };
+
+    // Identify the owner: the backend whose rpc counter moves on a check.
+    let before = rpcs_by_backend(&mut client);
+    let baseline = strip_timing(&client.call(&check_request(&key, delta)).expect("reply")).encode();
+    let after = rpcs_by_backend(&mut client);
+    let owner = before
+        .iter()
+        .zip(&after)
+        .find(|((_, b), (_, a))| a > b)
+        .map(|((addr, _), _)| addr.clone())
+        .expect("some backend served the check");
+
+    // From here on, the owner executes every check but its replies are
+    // torn down before leaving — the "crashed after doing the work" case.
+    ltt_core::failpoint::set(
+        "serve::drop_reply",
+        Some(&owner),
+        ltt_core::failpoint::FailAction::Flag,
+    );
+    for _ in 0..5 {
+        let reply = client
+            .call(&check_request(&key, delta))
+            .expect("failover reply");
+        assert_eq!(
+            strip_timing(&reply).encode(),
+            baseline,
+            "failover must reproduce the exact healthy answer"
+        );
+    }
+    ltt_core::failpoint::clear_all();
+
+    // The router had to abandon the owner at least once per open-breaker
+    // window; the counters prove the path was exercised.
+    let status = client
+        .call(&Json::obj([("op", Json::str("status"))]))
+        .expect("status");
+    let failovers = status
+        .get("requests")
+        .and_then(|r| r.get("failovers"))
+        .and_then(Json::as_i64)
+        .unwrap_or(0);
+    assert!(
+        failovers >= 1,
+        "dropped replies must surface as failovers: {}",
+        status.encode()
+    );
+    drop(handle);
+
+    let _ = client.call(&Json::obj([("op", Json::str("shutdown"))]));
+    join.join().expect("router thread").expect("clean drain");
+}
