@@ -12,7 +12,7 @@
 //! ```text
 //! loadgen [--addr A] [--clients N] [--requests M]
 //!         [--circuit c17|figure1|adder] [--circuits K] [--zipf S]
-//!         [--fleet B] [--replicas R] [--verify]
+//!         [--fleet B] [--replicas R] [--verify] [--churn R]
 //!         [--jobs J] [--queue-cap Q]
 //! ```
 //!
@@ -23,7 +23,14 @@
 //! every check's expected outcome with an in-process [`CheckSession`] and
 //! counts any served reply that disagrees — served answers must be
 //! *identical* to local ones no matter how many hops or failovers the
-//! fleet inserted.
+//! fleet inserted. `--churn R` makes every R-th request an ECO `patch`
+//! (re-annotating the delay of the first output's driver, with an
+//! all-outputs re-check bundled in the same round-trip); those
+//! incremental re-verifications report their own latency percentiles,
+//! separate from the steady-state check latencies. Churned revisions
+//! chain off the base circuit, so the plain-check oracle stays valid;
+//! patched replies are checked for well-formedness, not against the
+//! (pre-edit) oracle.
 //!
 //! Exit code 0 when every request was answered correctly (violations are
 //! expected — the load mix probes around each output's exact delay;
@@ -52,6 +59,7 @@ struct Args {
     fleet: usize,
     replicas: usize,
     verify: bool,
+    churn: usize,
     jobs: usize,
     queue_cap: usize,
     shutdown: bool,
@@ -68,6 +76,7 @@ fn parse_args() -> Result<Args, String> {
         fleet: 0,
         replicas: 2,
         verify: false,
+        churn: 0,
         jobs: 0,
         queue_cap: 64,
         shutdown: true,
@@ -112,6 +121,11 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--replicas needs an integer")?
             }
             "--verify" => args.verify = true,
+            "--churn" => {
+                args.churn = value("--churn")?
+                    .parse()
+                    .map_err(|_| "--churn needs an integer")?
+            }
             "--jobs" => {
                 args.jobs = value("--jobs")?
                     .parse()
@@ -244,6 +258,9 @@ fn xorshift64(x: &mut u64) -> u64 {
 #[derive(Default)]
 struct Tally {
     latencies: Vec<Duration>,
+    /// Round-trip latencies of `--churn` patch requests (ECO edit +
+    /// bundled incremental re-check), tallied apart from plain checks.
+    churn_latencies: Vec<Duration>,
     violations: u64,
     safe: u64,
     undecided: u64,
@@ -262,6 +279,7 @@ fn run_client(
     requests: usize,
     client_index: usize,
     verify: bool,
+    churn: usize,
 ) -> std::io::Result<Tally> {
     let mut client = Client::connect(addr)?;
     // Every client registers every variant: the first miss parses, the
@@ -283,6 +301,7 @@ fn run_client(
     }
     let mut rng = (client_index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     let mut tally = Tally::default();
+    let mut patches_sent = 0u64;
     for i in 0..requests {
         // Zipf-pick the variant, then walk its (output, delta) grid
         // deterministically.
@@ -291,16 +310,44 @@ fn run_client(
         let variant = &variants[v];
         let oi = (client_index + i) % variant.outputs.len();
         let di = (client_index + i / variant.outputs.len()) % variant.deltas.len();
-        let request = Json::obj([
-            ("op", Json::str("check")),
-            ("circuit", Json::str(ids[&v].clone())),
-            ("output", Json::str(variant.outputs[oi].clone())),
-            ("delta", Json::Int(variant.deltas[di])),
-            ("id", Json::Int(i as i64)),
-        ]);
+        let is_churn = churn > 0 && (i + 1) % churn == 0;
+        let request = if is_churn {
+            // An ECO patch chained off the *base* revision (so the plain
+            // checks keep hitting the unedited circuit the oracle knows):
+            // re-annotate the first output's driver, alternating between
+            // two delays, and bundle an all-outputs re-check at δ = top.
+            patches_sent += 1;
+            let delay = 11 + (patches_sent % 2) as i64;
+            Json::obj([
+                ("op", Json::str("patch")),
+                ("circuit", Json::str(ids[&v].clone())),
+                (
+                    "edits",
+                    Json::Arr(vec![Json::obj([
+                        ("gate", Json::str(variant.outputs[0].clone())),
+                        ("delay", Json::Int(delay)),
+                    ])]),
+                ),
+                ("delta", Json::Int(variant.deltas[2])),
+                ("id", Json::Int(i as i64)),
+            ])
+        } else {
+            Json::obj([
+                ("op", Json::str("check")),
+                ("circuit", Json::str(ids[&v].clone())),
+                ("output", Json::str(variant.outputs[oi].clone())),
+                ("delta", Json::Int(variant.deltas[di])),
+                ("id", Json::Int(i as i64)),
+            ])
+        };
         let start = Instant::now();
         let reply = client.call(&request)?;
-        tally.latencies.push(start.elapsed());
+        let elapsed = start.elapsed();
+        if is_churn {
+            tally.churn_latencies.push(elapsed);
+        } else {
+            tally.latencies.push(elapsed);
+        }
         match reply.get("outcome").and_then(Json::as_str) {
             Some(outcome) => {
                 match outcome {
@@ -312,7 +359,9 @@ fn run_client(
                         continue;
                     }
                 }
-                if verify && variant.expected[oi][di] != outcome {
+                // The oracle describes the pre-edit circuit, so only
+                // plain checks are compared against it.
+                if verify && !is_churn && variant.expected[oi][di] != outcome {
                     tally.mismatched += 1;
                     eprintln!(
                         "loadgen: MISMATCH {}:{} δ={} expected {} got {}",
@@ -433,7 +482,17 @@ fn main() -> ExitCode {
         let handles: Vec<_> = (0..args.clients)
             .map(|i| {
                 let (addr, variants, cdf) = (&addr, &variants, &cdf);
-                scope.spawn(move || run_client(addr, variants, cdf, args.requests, i, args.verify))
+                scope.spawn(move || {
+                    run_client(
+                        addr,
+                        variants,
+                        cdf,
+                        args.requests,
+                        i,
+                        args.verify,
+                        args.churn,
+                    )
+                })
             })
             .collect();
         handles
@@ -444,12 +503,14 @@ fn main() -> ExitCode {
     let wall = started.elapsed();
 
     let mut latencies = Vec::new();
+    let mut churn_latencies = Vec::new();
     let mut total = Tally::default();
     let mut transport_errors = 0u64;
     for result in tallies {
         match result {
             Ok(tally) => {
                 latencies.extend(tally.latencies);
+                churn_latencies.extend(tally.churn_latencies);
                 total.violations += tally.violations;
                 total.safe += tally.safe;
                 total.undecided += tally.undecided;
@@ -464,7 +525,8 @@ fn main() -> ExitCode {
         }
     }
     latencies.sort();
-    let answered = latencies.len();
+    churn_latencies.sort();
+    let answered = latencies.len() + churn_latencies.len();
     let throughput = answered as f64 / wall.as_secs_f64().max(1e-9);
     println!(
         "answered {answered} checks in {:.3}s ({throughput:.0} req/s): \
@@ -484,6 +546,16 @@ fn main() -> ExitCode {
         percentile(&latencies, 0.99),
         latencies.last().copied().unwrap_or(Duration::ZERO),
     );
+    if !churn_latencies.is_empty() {
+        println!(
+            "re-verify (patch) latency over {} ECO(s): p50 {:?}  p90 {:?}  p99 {:?}  max {:?}",
+            churn_latencies.len(),
+            percentile(&churn_latencies, 0.50),
+            percentile(&churn_latencies, 0.90),
+            percentile(&churn_latencies, 0.99),
+            churn_latencies.last().copied().unwrap_or(Duration::ZERO),
+        );
+    }
 
     // Drain the target (ours, or the external one when asked to).
     match local {

@@ -2,6 +2,8 @@
 //!
 //! * [`table1`] — the Table 1 pipeline (per-circuit stage verdicts,
 //!   backtracks, CPU time) over the evaluation suite;
+//! * [`cone`] — shared fixtures for the cone-sliced checking and
+//!   incremental re-verification experiments;
 //! * [`render`] — plain-text table rendering shared by the binaries.
 //!
 //! The runnable regeneration targets live in `src/bin/`:
@@ -11,5 +13,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cone;
 pub mod render;
 pub mod table1;

@@ -1,15 +1,16 @@
 //! Argument parsing and subcommand implementations for the `ltt` binary.
 
 use ltt_core::{
-    explain, BatchRunner, Budget, CheckError, CheckSession, Completeness, DelayMode, DelaySearch,
-    Error, LearningMode, Obs, Recorder, Stage, Verdict, VerifyConfig,
+    explain, BatchRunner, Budget, CheckError, CheckSession, Completeness, ConeMode, DelayMode,
+    DelaySearch, Error, LearningMode, Obs, Recorder, Stage, Verdict, VerifyConfig,
 };
 use ltt_netlist::bench_format::{parse_bench, write_bench};
 use ltt_netlist::sdf::apply_sdf;
 use ltt_netlist::verilog::{parse_verilog, write_verilog};
-use ltt_netlist::{Circuit, DelayInterval, NetId};
+use ltt_netlist::{Circuit, CircuitEdit, DelayInterval, NetId};
 use ltt_sta::{simulate, transition_counts, write_vcd, SlackReport, WaveformTrace};
 use ltt_waveform::Level;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// What a run that parsed and executed concluded — the non-error half of
@@ -61,6 +62,9 @@ struct Options {
     max_backtracks: u64,
     jobs: usize,
     trace: Option<String>,
+    cone: ConeMode,
+    set_delay: Vec<String>,
+    rewire: Vec<String>,
 }
 
 impl Default for Options {
@@ -88,12 +92,15 @@ impl Default for Options {
             max_backtracks: 100_000,
             jobs: 0,
             trace: None,
+            cone: ConeMode::Auto,
+            set_delay: Vec::new(),
+            rewire: Vec::new(),
         }
     }
 }
 
 const USAGE: &str =
-    "usage: ltt <info|check|delay|report|convert|serve|router|client> <netlist> [options]
+    "usage: ltt <info|check|delay|patch|report|convert|serve|router|client> <netlist> [options]
 run `ltt help` for the full option list";
 
 /// Entry point used by `main` (and the tests).
@@ -119,6 +126,7 @@ pub fn run(args: &[String]) -> Result<RunStatus, Error> {
         "info" => cmd_info(&circuit),
         "check" => cmd_check(&circuit, &opts),
         "delay" => cmd_delay(&circuit, &opts),
+        "patch" => cmd_patch(&circuit, &opts),
         "report" => cmd_report(&circuit, &opts),
         "convert" => cmd_convert(&circuit, &opts),
         "simulate" => cmd_simulate(&circuit, &opts),
@@ -136,6 +144,11 @@ COMMANDS
   info    <netlist>                 circuit statistics
   check   <netlist> --delta N      can any output transition at/after N?
   delay   <netlist>                exact floating-mode delay per output
+  patch   <netlist> --delta N --set-delay G=D | --rewire G=a,b,..
+                                   apply ECO edits and re-verify
+                                   incrementally (rebased session, clean
+                                   cones transplanted), reporting the
+                                   incremental-vs-cold wall-clock ratio
   report  <netlist> --deadline N   topological slack report
   convert <netlist> --to FMT       rewrite as bench|verilog
   simulate <netlist> --v1 BITS --v2 BITS [--vcd FILE]
@@ -166,6 +179,13 @@ OPTIONS
   --output NAME             restrict to one primary output
   --assume NET=0|1          pin a net's settling value (repeatable)
   --mode floating|transition
+  --cone auto|off|sliced|masked
+                            cone-scoped checking (default auto: slice
+                            each check to the output's fanin cone when
+                            it is a strict subset of the circuit;
+                            `sliced`/`masked` force the two cone
+                            engines, which answer bit-identically;
+                            `off` is the whole-circuit legacy pipeline)
   --no-dominators --no-stems --no-search --no-learning
   --max-backtracks N        case-analysis budget (100000)
   --jobs N                  worker threads for check/delay batches
@@ -182,6 +202,11 @@ OPTIONS
                             Chrome-trace JSON (load in chrome://tracing);
                             verdicts and counters are identical with or
                             without tracing
+
+PATCH OPTIONS
+  --set-delay GATE=D        re-annotate a gate's delay (GATE is its
+                            output net; D or LO:HI interval; repeatable)
+  --rewire GATE=a,b,..      replace a gate's input nets (repeatable)
 
 ROUTER OPTIONS
   --addr A                  bind address (default 127.0.0.1:7070, :0 ephemeral)
@@ -270,6 +295,17 @@ fn parse_options(args: &[String]) -> Result<Options, Error> {
                     other => return Err(Error::usage(format!("unknown mode `{other}`"))),
                 }
             }
+            "--cone" => {
+                opts.cone = match value("--cone")?.as_str() {
+                    "auto" => ConeMode::Auto,
+                    "off" => ConeMode::Off,
+                    "sliced" => ConeMode::Sliced,
+                    "masked" => ConeMode::Masked,
+                    other => return Err(Error::usage(format!("unknown cone mode `{other}`"))),
+                }
+            }
+            "--set-delay" => opts.set_delay.push(value("--set-delay")?),
+            "--rewire" => opts.rewire.push(value("--rewire")?),
             "--no-dominators" => opts.dominators = false,
             "--no-stems" => opts.stems = false,
             "--no-search" => opts.search = false,
@@ -620,6 +656,7 @@ fn worst_status(a: RunStatus, b: RunStatus) -> RunStatus {
 fn config_from(opts: &Options) -> VerifyConfig {
     VerifyConfig {
         delay_mode: opts.mode,
+        cone: opts.cone,
         learning: if opts.learning {
             LearningMode::Stems
         } else {
@@ -781,6 +818,183 @@ fn cmd_check(circuit: &Circuit, opts: &Options) -> Result<RunStatus, Error> {
     } else {
         Ok(RunStatus::Clean)
     }
+}
+
+/// Resolves a gate by the name of the net it drives.
+fn gate_by_output(circuit: &Circuit, name: &str) -> Result<ltt_netlist::GateId, Error> {
+    let net = circuit
+        .net_by_name(name)
+        .ok_or_else(|| Error::invalid(format!("no net named `{name}`")))?;
+    circuit
+        .net(net)
+        .driver()
+        .ok_or_else(|| Error::invalid(format!("`{name}` is a primary input, not a gate output")))
+}
+
+/// Parses `--set-delay GATE=D|GATE=LO:HI` and `--rewire GATE=a,b,..`
+/// specs into [`CircuitEdit`]s against `circuit`.
+fn parse_edits(circuit: &Circuit, opts: &Options) -> Result<Vec<CircuitEdit>, Error> {
+    let mut edits = Vec::new();
+    for spec in &opts.set_delay {
+        let (gate, delay) = spec
+            .split_once('=')
+            .ok_or_else(|| Error::usage("--set-delay expects GATE=D or GATE=LO:HI"))?;
+        let bad = || Error::usage("--set-delay expects GATE=D or GATE=LO:HI with integers");
+        let delay = match delay.split_once(':') {
+            Some((lo, hi)) => {
+                let (lo, hi): (u32, u32) = (
+                    lo.parse().map_err(|_| bad())?,
+                    hi.parse().map_err(|_| bad())?,
+                );
+                if lo > hi {
+                    return Err(Error::usage("--set-delay interval needs LO <= HI"));
+                }
+                DelayInterval::new(lo, hi)
+            }
+            None => DelayInterval::fixed(delay.parse().map_err(|_| bad())?),
+        };
+        edits.push(CircuitEdit::SetDelay {
+            gate: gate_by_output(circuit, gate)?,
+            delay,
+        });
+    }
+    for spec in &opts.rewire {
+        let (gate, inputs) = spec
+            .split_once('=')
+            .ok_or_else(|| Error::usage("--rewire expects GATE=a,b,.."))?;
+        let inputs = inputs
+            .split(',')
+            .map(|n| {
+                circuit
+                    .net_by_name(n.trim())
+                    .ok_or_else(|| Error::invalid(format!("no net named `{n}` (in --rewire)")))
+            })
+            .collect::<Result<Vec<NetId>, Error>>()?;
+        edits.push(CircuitEdit::Rewire {
+            gate: gate_by_output(circuit, gate)?,
+            inputs,
+        });
+    }
+    Ok(edits)
+}
+
+/// The exit status a completed batch maps to (same contract as `check`).
+fn batch_status(batch: &ltt_core::BatchCheck) -> RunStatus {
+    if batch.summary.violations > 0 {
+        RunStatus::Violation
+    } else if batch.summary.undecided > 0 || !batch.errors.is_empty() {
+        RunStatus::Incomplete
+    } else {
+        RunStatus::Clean
+    }
+}
+
+/// `ltt patch`: apply ECO edits and re-verify **incrementally**. The
+/// edited revision is rebased onto the already-prepared session —
+/// structural analyses survive delay-only edits, and every per-output
+/// cone untouched by the dirty nets keeps its warm state — instead of
+/// being prepared from scratch. A cold session on the edited circuit is
+/// also run as the reference: its verdicts must be bit-identical, and
+/// the printed ratio is the incremental speedup. The exit code reflects
+/// the *edited* circuit's checks.
+fn cmd_patch(circuit: &Circuit, opts: &Options) -> Result<RunStatus, Error> {
+    let delta = opts
+        .delta
+        .ok_or_else(|| Error::usage("patch needs --delta N"))?;
+    if opts.set_delay.is_empty() && opts.rewire.is_empty() {
+        return Err(Error::usage(
+            "patch needs at least one --set-delay or --rewire",
+        ));
+    }
+    let edits = parse_edits(circuit, opts)?;
+    let config = config_from(opts);
+    let runner = runner_from(opts);
+    let checks: Vec<(NetId, i64)> = resolve_outputs(circuit, opts)?
+        .into_iter()
+        .map(|o| (o, delta))
+        .collect();
+
+    // Baseline: prepare and verify the pre-edit circuit — the warm
+    // session the incremental path rebases.
+    let t = Instant::now();
+    let session = CheckSession::new(circuit, config.clone());
+    let baseline = runner.run(&session, &checks);
+    let baseline_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let outcome = circuit
+        .apply_edit(&edits)
+        .map_err(|e| Error::invalid(e.to_string()))?;
+    let dirty: Vec<&str> = outcome
+        .dirty
+        .iter()
+        .map(|&n| outcome.circuit.net(n).name())
+        .collect();
+    println!(
+        "applied {} edit(s): {} dirty net(s) [{}], {}",
+        edits.len(),
+        dirty.len(),
+        dirty.join(" "),
+        if outcome.structural {
+            "structural"
+        } else {
+            "delay-only"
+        }
+    );
+
+    // Incremental: rebase the warm session onto the edited revision and
+    // re-run the same checks.
+    let t = Instant::now();
+    let rebased = session.rebase(
+        Arc::new(outcome.circuit.clone()),
+        &outcome.dirty,
+        outcome.structural,
+    );
+    let incremental = runner.run(&rebased, &checks);
+    let incremental_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Cold reference: the edited circuit prepared from scratch.
+    let t = Instant::now();
+    let cold_session = CheckSession::new(&outcome.circuit, config);
+    let cold = runner.run(&cold_session, &checks);
+    let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let identical = incremental
+        .reports
+        .iter()
+        .zip(&cold.reports)
+        .all(|(a, b)| a.verdict == b.verdict && a.completeness == b.completeness);
+    println!(
+        "baseline (pre-edit):    {} check(s) in {baseline_ms:.2} ms",
+        baseline.summary.checks
+    );
+    println!(
+        "incremental re-verify:  {} check(s) in {incremental_ms:.2} ms (rebase + run)",
+        incremental.summary.checks
+    );
+    println!(
+        "cold re-verify:         {} check(s) in {cold_ms:.2} ms",
+        cold.summary.checks
+    );
+    println!(
+        "incremental/cold:       {:.2}x — verdicts {}",
+        incremental_ms / cold_ms.max(1e-9),
+        if identical {
+            "bit-identical"
+        } else {
+            "MISMATCHED (bug)"
+        }
+    );
+    if !identical {
+        return Err(Error::invalid(
+            "incremental re-verification diverged from the cold session",
+        ));
+    }
+    let s = &incremental.summary;
+    println!(
+        "result: {} safe, {} violated, {} undecided, {} failed",
+        s.no_violation, s.violations, s.undecided, s.failed
+    );
+    Ok(batch_status(&incremental))
 }
 
 fn cmd_delay(circuit: &Circuit, opts: &Options) -> Result<RunStatus, Error> {
@@ -1039,6 +1253,82 @@ mod tests {
             run(&args(&["check", &path, "--delta", "30", "--no-search"])),
             Ok(RunStatus::Incomplete)
         );
+    }
+
+    #[test]
+    fn cone_modes_agree_on_the_verdict() {
+        let path = write_temp("cone.bench", C17);
+        for cone in ["auto", "off", "sliced", "masked"] {
+            assert_eq!(
+                run(&args(&["check", &path, "--delta", "30", "--cone", cone])),
+                Ok(RunStatus::Violation),
+                "--cone {cone}"
+            );
+        }
+        assert!(run(&args(&["check", &path, "--delta", "30", "--cone", "x"])).is_err());
+    }
+
+    #[test]
+    fn patch_reverifies_the_edited_circuit() {
+        let path = write_temp("patch.bench", C17);
+        // Slowing gate 16 (on the three-level critical path) to 11 raises
+        // the c17 critical path to 31: the pre-edit circuit is safe at
+        // δ=31, the patched one violates.
+        assert_eq!(
+            run(&args(&[
+                "patch",
+                &path,
+                "--delta",
+                "31",
+                "--set-delay",
+                "16=11",
+            ])),
+            Ok(RunStatus::Violation)
+        );
+        // Speeding it up instead keeps δ=31 clean.
+        assert_eq!(
+            run(&args(&[
+                "patch",
+                &path,
+                "--delta",
+                "31",
+                "--set-delay",
+                "10=9"
+            ])),
+            Ok(RunStatus::Clean)
+        );
+        // A structural rewire goes through the same incremental path.
+        assert_eq!(
+            run(&args(&[
+                "patch", &path, "--delta", "31", "--rewire", "10=1,2",
+            ])),
+            Ok(RunStatus::Clean)
+        );
+        // Usage errors: no edits, bad spec, unknown gate.
+        assert!(run(&args(&["patch", &path, "--delta", "31"])).is_err());
+        assert!(run(&args(&[
+            "patch",
+            &path,
+            "--delta",
+            "31",
+            "--set-delay",
+            "10"
+        ]))
+        .is_err());
+        assert!(run(&args(&[
+            "patch",
+            &path,
+            "--delta",
+            "31",
+            "--set-delay",
+            "zz=5"
+        ]))
+        .is_err());
+        // Rewiring a gate to read its own output is a rejected edit.
+        assert!(run(&args(&[
+            "patch", &path, "--delta", "31", "--rewire", "10=10,1"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use crate::budget::{Budget, TripReason};
 use crate::carriers::fixpoint_with_dominators;
 use crate::failpoint;
-use crate::fan::{case_analysis_with, CaseConfig, CaseOutcome, CaseStats};
+use crate::fan::{CaseConfig, CaseOutcome, CaseStats};
 use crate::learning::ImplicationTable;
 use crate::obs::Obs;
 use crate::prepared::{CheckSession, PreparedCircuit};
@@ -38,6 +38,35 @@ pub enum DelayMode {
     Transition,
 }
 
+/// Cone-scoped checking mode: whether a check `σ = (ξ, s, δ)` runs on the
+/// whole circuit or only on `s`'s transitive-fanin cone (which is all the
+/// check can depend on — paths leaving the cone never re-enter, so the
+/// greatest fixpoint on cone nets is the same either way).
+///
+/// `Sliced` and `Masked` runs are bit-identical to each other — verdicts,
+/// bounds, backtracks and [`StageEffort`] — by construction (see DESIGN.md
+/// §14): slicing renumbers the cone order-preservingly, so the two event
+/// schedules are isomorphic. The legacy `Off` pipeline agrees on verdicts
+/// and certified vectors' validity but *not* on effort counters: it also
+/// schedules the fringe gates reading cone nets and decides out-of-cone
+/// inputs in its phase-3 tail.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ConeMode {
+    /// Whole-circuit checks (the legacy pipeline). The default.
+    #[default]
+    Off,
+    /// Slice when the cone is a strict subset of the circuit, legacy
+    /// otherwise — the production setting.
+    Auto,
+    /// Force the sliced sub-circuit path (falls back to legacy when the
+    /// cone covers the whole circuit, where slicing is the identity).
+    Sliced,
+    /// Run on the whole-circuit store with propagation and decisions
+    /// masked to the cone — the bit-identity reference for `Sliced`, and a
+    /// debugging aid; it saves the narrowing work but not the memcpys.
+    Masked,
+}
+
 /// Static-learning scope.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum LearningMode {
@@ -56,6 +85,8 @@ pub enum LearningMode {
 pub struct VerifyConfig {
     /// Input waveform mode.
     pub delay_mode: DelayMode,
+    /// Cone-scoped checking mode.
+    pub cone: ConeMode,
     /// Static-learning scope.
     pub learning: LearningMode,
     /// Apply global implications on timing dominators (G.I.T.D., §4).
@@ -85,6 +116,7 @@ impl Default for VerifyConfig {
     fn default() -> Self {
         VerifyConfig {
             delay_mode: DelayMode::Floating,
+            cone: ConeMode::Off,
             learning: LearningMode::Stems,
             dominators: true,
             stem_correlation: true,
@@ -391,10 +423,23 @@ fn stage_span_args(output: NetId, delta: i64, effort: &SolverStats) -> [(&'stati
     ]
 }
 
+/// The cone restriction of a masked pipeline run: cone-local stem
+/// candidates for stage 3 and the case-analysis scope for stage 4 (stages
+/// 1 and 2 are restricted by the narrower's own
+/// [`NarrowScope`](crate::solver::NarrowScope)).
+pub(crate) struct PipelineScope<'a> {
+    /// Reconvergent-stem candidate mask computed on the *sub-circuit*,
+    /// mapped back to whole-circuit net ids.
+    pub stem_candidates: &'a [bool],
+    /// Decision restriction for the case analysis.
+    pub case: &'a crate::fan::CaseScope,
+}
+
 /// Runs the staged pipeline on a narrower that already carries the input
 /// (and assumption) constraints; applies the δ constraint itself. Shared
 /// analyses (stem candidates, SCOAP controllabilities) come from the
-/// prepared circuit.
+/// prepared circuit. `scope` masks stages 3–4 to a fanin cone (the
+/// narrower's own scope masks stages 1–2).
 pub(crate) fn run_pipeline(
     nw: &mut Narrower,
     prepared: &PreparedCircuit,
@@ -402,6 +447,7 @@ pub(crate) fn run_pipeline(
     delta: i64,
     config: &VerifyConfig,
     start: Instant,
+    scope: Option<&PipelineScope<'_>>,
 ) -> VerifyReport {
     // Arm the budget first: the per-check wall window covers everything
     // below, including the δ-constraint propagation.
@@ -512,7 +558,11 @@ pub(crate) fn run_pipeline(
         let stage_stats = nw.stats();
         let span = config.obs.start();
         let stage = Instant::now();
-        let stems = correlation_stems_masked(nw, output, delta, prepared.stem_candidates());
+        let candidates = match scope {
+            Some(scope) => scope.stem_candidates,
+            None => prepared.stem_candidates(),
+        };
+        let stems = correlation_stems_masked(nw, output, delta, candidates);
         let correlated = stem_correlation(
             nw,
             output,
@@ -565,13 +615,14 @@ pub(crate) fn run_pipeline(
         let stage_stats = nw.stats();
         let span = config.obs.start();
         let stage = Instant::now();
-        let outcome = case_analysis_with(
+        let outcome = crate::fan::case_analysis_scoped(
             nw,
             output,
             delta,
             &case_cfg,
             &mut report.case,
             prepared.controllability(),
+            scope.map(|s| s.case),
         );
         report.stage_times.case_analysis = stage.elapsed();
         report.effort.case_analysis = nw.stats().since(&stage_stats);

@@ -106,6 +106,42 @@ struct Frame {
     tried_both: bool,
 }
 
+/// Restriction of the case analysis to a fanin cone, for *masked*
+/// cone-scoped checks: decisions, the phase-2 region, the phase-3
+/// unjustified scan and the input tail all stay inside the cone, and the
+/// backtrace stops at *cone-local* fanout stems (a net with several
+/// readers in the whole circuit may have only one inside the cone).
+///
+/// Out-of-cone primary inputs are not decided: their settling value cannot
+/// affect the checked output (the cone is fanin-closed), so reported
+/// vectors fill them deterministically from their base domains via
+/// [`fill_level`].
+pub struct CaseScope {
+    /// Cone membership per net (`NetId::index`-indexed).
+    pub nets: Vec<bool>,
+    /// Cone membership per gate (`GateId::index`-indexed).
+    pub gates: Vec<bool>,
+    /// The cone's primary inputs, in whole-circuit declaration order.
+    pub inputs: Vec<NetId>,
+    /// Cone-local fanout-stem flags: `stems[n]` iff net `n` has ≥ 2
+    /// readers *inside* the cone.
+    pub stems: Vec<bool>,
+}
+
+/// The deterministic settling value assigned to a primary input the search
+/// never decided (an out-of-cone input of a cone-scoped check): the class
+/// whose last-transition interval reaches latest in `domain`, ties to 1 —
+/// the same preference order the phase-3 tail uses for its first try.
+/// Sliced and masked cone runs use this same rule, so their reported
+/// vectors agree bit for bit.
+pub fn fill_level(domain: &Signal) -> Level {
+    if domain[Level::One].max() >= domain[Level::Zero].max() {
+        Level::One
+    } else {
+        Level::Zero
+    }
+}
+
 /// Runs the case analysis on an already-propagated narrower.
 ///
 /// Pre-condition: the caller has applied the input/check constraints and
@@ -137,8 +173,22 @@ pub fn case_analysis_with(
     stats: &mut CaseStats,
     cc: &Controllability,
 ) -> CaseOutcome {
+    case_analysis_scoped(nw, s, delta, config, stats, cc, None)
+}
+
+/// [`case_analysis_with`] restricted to a fanin cone (see [`CaseScope`]);
+/// `scope = None` is the unrestricted whole-circuit search.
+pub fn case_analysis_scoped(
+    nw: &mut Narrower,
+    s: NetId,
+    delta: i64,
+    config: &CaseConfig,
+    stats: &mut CaseStats,
+    cc: &Controllability,
+    scope: Option<&CaseScope>,
+) -> CaseOutcome {
     let circuit = nw.circuit();
-    let plan = DecisionPlan::new(circuit, nw.domains(), s, delta);
+    let plan = DecisionPlan::new(circuit, nw.domains(), s, delta, scope);
     // Every live frame fixes the class of a distinct net, and decisions
     // only ever land on fanout stems, primary inputs, or the checked
     // output (backtrace stops there) — so the stack depth is bounded by
@@ -174,7 +224,7 @@ pub fn case_analysis_with(
         };
 
         if consistent {
-            if let Some(vector) = full_input_assignment(circuit, nw.domains()) {
+            if let Some(vector) = full_input_assignment(circuit, nw.domains(), scope) {
                 let ok =
                     !config.certify_vectors || ltt_sta::vector_violates(circuit, &vector, s, delta);
                 if ok {
@@ -185,7 +235,7 @@ pub fn case_analysis_with(
                 // does not actually violate the check.
             } else {
                 // Decide the next net.
-                let (net, level, phase) = choose_decision(nw, &plan, cc, s, delta)
+                let (net, level, phase) = choose_decision(nw, &plan, cc, s, delta, scope)
                     .expect("an unfixed primary input exists");
                 stats.decisions += 1;
                 stats.decisions_by_phase[phase as usize] += 1;
@@ -232,13 +282,34 @@ pub fn case_analysis_with(
     }
 }
 
-/// If every primary input has a fixed class, the corresponding vector.
-fn full_input_assignment(circuit: &Circuit, domains: &[Signal]) -> Option<Vec<bool>> {
-    circuit
-        .inputs()
-        .iter()
-        .map(|&i| domains[i.index()].fixed_class().map(Level::to_bool))
-        .collect()
+/// If every decidable primary input has a fixed class, the corresponding
+/// full-length vector. Under a [`CaseScope`] only the cone inputs must be
+/// class-fixed; out-of-cone inputs — whose value cannot affect the checked
+/// output — are filled deterministically from their (untouched, base)
+/// domains via [`fill_level`].
+fn full_input_assignment(
+    circuit: &Circuit,
+    domains: &[Signal],
+    scope: Option<&CaseScope>,
+) -> Option<Vec<bool>> {
+    match scope {
+        None => circuit
+            .inputs()
+            .iter()
+            .map(|&i| domains[i.index()].fixed_class().map(Level::to_bool))
+            .collect(),
+        Some(scope) => circuit
+            .inputs()
+            .iter()
+            .map(|&i| {
+                if scope.nets[i.index()] {
+                    domains[i.index()].fixed_class().map(Level::to_bool)
+                } else {
+                    Some(fill_level(&domains[i.index()]).to_bool())
+                }
+            })
+            .collect(),
+    }
 }
 
 /// The three-phase decision plan (computed once, before any decision).
@@ -251,7 +322,13 @@ struct DecisionPlan {
 }
 
 impl DecisionPlan {
-    fn new(circuit: &Circuit, domains: &[Signal], s: NetId, delta: i64) -> DecisionPlan {
+    fn new(
+        circuit: &Circuit,
+        domains: &[Signal],
+        s: NetId,
+        delta: i64,
+        scope: Option<&CaseScope>,
+    ) -> DecisionPlan {
         let carriers = dynamic_carriers(circuit, domains, s, delta);
         let doms = timing_dominators(circuit, &carriers, s);
         let mut regions = Vec::new();
@@ -269,10 +346,17 @@ impl DecisionPlan {
         if let Some(&last) = doms.last() {
             regions.push(circuit.fanin_cone(last));
         }
-        // Phase 2: the whole circuit.
-        regions.push(vec![true; circuit.num_nets()]);
+        // Phase 2: the whole circuit — or, cone-scoped, the whole cone
+        // (its sliced twin's "whole circuit" *is* the cone).
+        regions.push(match scope {
+            Some(scope) => scope.nets.clone(),
+            None => vec![true; circuit.num_nets()],
+        });
         let mut tail = vec![s];
-        tail.extend_from_slice(circuit.inputs());
+        match scope {
+            Some(scope) => tail.extend_from_slice(&scope.inputs),
+            None => tail.extend_from_slice(circuit.inputs()),
+        }
         DecisionPlan { regions, tail }
     }
 }
@@ -288,8 +372,10 @@ fn choose_decision(
     cc: &Controllability,
     s: NetId,
     delta: i64,
+    scope: Option<&CaseScope>,
 ) -> Option<(NetId, Level, u8)> {
     let circuit = nw.circuit();
+    let stems = scope.map(|sc| sc.stems.as_slice());
     // Phases 1 and 2: objectives from the *current* dynamic-carrier circuit,
     // backtraced to stems/inputs, restricted to each region in turn. The
     // final region is the whole circuit — that is FAN phase 2; the
@@ -298,7 +384,8 @@ fn choose_decision(
     for (ri, region) in plan.regions.iter().enumerate() {
         let mut best: Option<(i64, u32, NetId, Level)> = None;
         for &(net, level, weight) in &objectives {
-            let Some((target, value)) = backtrace(circuit, nw.domains(), cc, net, level) else {
+            let Some((target, value)) = backtrace(circuit, nw.domains(), cc, net, level, stems)
+            else {
                 continue;
             };
             if !region[target.index()] || nw.domain(target).fixed_class().is_some() {
@@ -320,6 +407,11 @@ fn choose_decision(
     // whose inputs can still take a class combination inconsistent with
     // the gate constraint), falling back to direct input decisions.
     for gid in circuit.gate_ids() {
+        if let Some(sc) = scope {
+            if !sc.gates[gid.index()] {
+                continue;
+            }
+        }
         let Some(out_class) = nw.domain(circuit.gate(gid).output()).fixed_class() else {
             continue;
         };
@@ -334,6 +426,7 @@ fn choose_decision(
             cc,
             circuit.gate(gid).output(),
             out_class,
+            stems,
         ) {
             if nw.domain(target).fixed_class().is_none() {
                 return Some((target, value, 2));
@@ -443,12 +536,15 @@ fn raise_objectives(nw: &Narrower, s: NetId, delta: i64) -> Vec<(NetId, Level, i
 /// FAN-style backtrace of one objective `(net, value)` to a fanout stem or
 /// primary input: where the objective requires all inputs, follow the
 /// hardest (max SCOAP); where one input suffices, follow the easiest.
+/// `stems` overrides the fanout-stem stop test (cone-local reader counts
+/// for masked cone runs); `None` uses the circuit's own stem flags.
 fn backtrace(
     circuit: &Circuit,
     domains: &[Signal],
     cc: &Controllability,
     mut net: NetId,
     mut value: Level,
+    stems: Option<&[bool]>,
 ) -> Option<(NetId, Level)> {
     for _ in 0..circuit.num_nets() {
         match domains[net.index()].fixed_class() {
@@ -459,7 +555,11 @@ fn backtrace(
         let Some(driver) = circuit.net(net).driver() else {
             return Some((net, value)); // reached a primary input
         };
-        if circuit.net(net).is_fanout_stem() {
+        let is_stem = match stems {
+            Some(flags) => flags[net.index()],
+            None => circuit.net(net).is_fanout_stem(),
+        };
+        if is_stem {
             return Some((net, value)); // stop at stems (head lines)
         }
         let gate = circuit.gate(driver);

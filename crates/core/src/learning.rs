@@ -214,6 +214,45 @@ impl ImplicationTable {
         }
     }
 
+    /// Slices the table to a fanin cone, renumbering every net through the
+    /// view's old → sub map. Only implications whose source *and* target
+    /// both lie in the cone survive; per-bucket order is preserved, so a
+    /// sliced table fires the surviving implications in exactly the order a
+    /// whole-circuit narrower (with out-of-cone targets masked) would —
+    /// the invariant behind bit-identical cone-sliced checks.
+    ///
+    /// Constants are filtered the same way. Note that a sliced table is
+    /// *not* the table learned from the sub-circuit: sources outside the
+    /// cone contributed contrapositives inside it, and stem selection on
+    /// the sub-circuit could differ. Cone checks must slice, not re-learn.
+    pub fn sliced(&self, view: &ltt_netlist::ConeView) -> ImplicationTable {
+        let sub = view.circuit();
+        let num_sub = sub.num_nets();
+        let mut table: Vec<[Vec<(NetId, Level)>; 2]> = vec![Default::default(); num_sub];
+        let mut len = 0usize;
+        for sub_id in sub.net_ids() {
+            let old = view.net_from_sub(sub_id);
+            for v in Level::BOTH {
+                let bucket: Vec<(NetId, Level)> = self.table[old.index()][v.index()]
+                    .iter()
+                    .filter_map(|&(target, w)| view.net_to_sub(target).map(|t| (t, w)))
+                    .collect();
+                len += bucket.len();
+                table[sub_id.index()][v.index()] = bucket;
+            }
+        }
+        let constants: Vec<(NetId, Level)> = self
+            .constants
+            .iter()
+            .filter_map(|&(net, v)| view.net_to_sub(net).map(|n| (n, v)))
+            .collect();
+        ImplicationTable {
+            table,
+            constants,
+            len,
+        }
+    }
+
     /// The implications fired by fixing `net` to `level`.
     pub fn implied_by(&self, net: NetId, level: Level) -> &[(NetId, Level)] {
         &self.table[net.index()][level.index()]

@@ -80,16 +80,17 @@ pub use batch::{available_jobs, BatchCheck, BatchError, BatchOutcome, BatchRunne
 pub use budget::{Budget, CancelToken, TripReason};
 pub use check::{
     delay_profile, exact_circuit_delay, exact_delay, verify, verify_all_outputs, verify_under,
-    verify_with_learning, Completeness, DelayMode, DelaySearch, LearningMode, ProfilePoint, Stage,
-    StageEffort, StageTimes, StageVerdict, Verdict, VerifyConfig, VerifyReport,
+    verify_with_learning, Completeness, ConeMode, DelayMode, DelaySearch, LearningMode,
+    ProfilePoint, Stage, StageEffort, StageTimes, StageVerdict, Verdict, VerifyConfig,
+    VerifyReport,
 };
 pub use domain::{Checkpoint, DomainStore, SignalStore};
 pub use error::{CheckError, Error};
 pub use explain::{explain, Explanation};
-pub use fan::{CaseConfig, CaseOutcome, CaseStats};
+pub use fan::{fill_level, CaseConfig, CaseOutcome, CaseScope, CaseStats};
 pub use learning::ImplicationTable;
 pub use obs::{Obs, Recorder, Span, SpanStart};
-pub use prepared::{CheckSession, PreparedCircuit};
+pub use prepared::{CheckSession, ConeAnalysis, PreparedCircuit};
 pub use projection::{project, GateProjection};
-pub use solver::{FixpointResult, Narrower, SolverStats};
+pub use solver::{FixpointResult, NarrowScope, Narrower, SolverStats};
 pub use stems::StemStats;

@@ -25,14 +25,16 @@
 use crate::budget::Budget;
 use crate::carriers::fixpoint_with_dominators;
 use crate::check::{
-    run_pipeline, DelayMode, DelaySearch, LearningMode, ProfilePoint, VerifyConfig, VerifyReport,
+    run_pipeline, ConeMode, DelayMode, DelaySearch, LearningMode, PipelineScope, ProfilePoint,
+    Verdict, VerifyConfig, VerifyReport,
 };
 use crate::domain::SignalStore;
+use crate::fan::{fill_level, CaseScope};
 use crate::learning::ImplicationTable;
 use crate::obs::Obs;
 use crate::scoap::{Controllability, Observability};
-use crate::solver::{FixpointResult, Narrower};
-use ltt_netlist::{Circuit, NetId};
+use crate::solver::{FixpointResult, NarrowScope, Narrower};
+use ltt_netlist::{Circuit, ConeView, NetId};
 use ltt_waveform::{Level, Signal, Time};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -62,12 +64,83 @@ impl CircuitHandle<'_> {
 }
 
 /// Per-output static analyses (computed lazily, cached per output).
+#[derive(Clone)]
 struct OutputAnalysis {
     /// `longest_to(output)`: max path delay from each net to the output.
     distances: Vec<Option<i64>>,
     /// Timing dominators of the static carrier circuit at δ = arrival —
     /// the nets every critical-length path must cross.
     dominators: Vec<NetId>,
+}
+
+/// Everything a cone-scoped check of one output needs, derived once per
+/// output and shared by every check (and both cone modes):
+///
+/// * the [`ConeView`] — the output's transitive fanin as a dense,
+///   order-preservingly renumbered sub-circuit (the *sliced* mode's
+///   circuit);
+/// * whole-circuit-indexed masks restricting propagation and decisions to
+///   the cone (the *masked* mode's scope);
+/// * the cone-local reconvergent-stem candidates and fanout-stem flags
+///   (reader counts *inside* the cone — a net with one in-cone and two
+///   out-of-cone readers is a whole-circuit stem but not a cone stem);
+/// * the parent implication table sliced to cone-internal pairs
+///   ([`ImplicationTable::sliced`]) — *not* a table re-learned on the
+///   sub-circuit, which could differ.
+pub struct ConeAnalysis {
+    view: ConeView,
+    scope: Arc<NarrowScope>,
+    case: CaseScope,
+    /// Sub-circuit reconvergent-stem candidates, whole-circuit-indexed.
+    stem_candidates: Vec<bool>,
+    /// The parent table sliced to the cone, sub-circuit-indexed.
+    table: Option<Arc<ImplicationTable>>,
+}
+
+impl ConeAnalysis {
+    fn build(circuit: &Circuit, output: NetId, table: Option<&Arc<ImplicationTable>>) -> Self {
+        let view = ConeView::extract(circuit, output);
+        let sub = view.circuit();
+        let nets: Vec<bool> = circuit.net_ids().map(|n| view.contains_net(n)).collect();
+        let gates: Vec<bool> = circuit.gate_ids().map(|g| view.contains_gate(g)).collect();
+        let inputs: Vec<NetId> = circuit
+            .inputs()
+            .iter()
+            .copied()
+            .filter(|&i| view.contains_net(i))
+            .collect();
+        let mut stems = vec![false; circuit.num_nets()];
+        let mut stem_candidates = vec![false; circuit.num_nets()];
+        for m in sub.net_ids() {
+            let old = view.net_from_sub(m).index();
+            stems[old] = sub.net(m).is_fanout_stem();
+            stem_candidates[old] = stems[old] && sub.is_reconvergent_stem(m);
+        }
+        let sliced = table.map(|t| Arc::new(t.sliced(&view)));
+        ConeAnalysis {
+            scope: Arc::new(NarrowScope::new(gates, nets.clone())),
+            case: CaseScope {
+                nets,
+                gates: circuit.gate_ids().map(|g| view.contains_gate(g)).collect(),
+                inputs,
+                stems,
+            },
+            stem_candidates,
+            table: sliced,
+            view,
+        }
+    }
+
+    /// The cone as a renumbered sub-circuit.
+    pub fn view(&self) -> &ConeView {
+        &self.view
+    }
+
+    /// Whether the cone contains any of the given (whole-circuit) nets —
+    /// the ECO invalidation test.
+    pub fn intersects(&self, nets: &[NetId]) -> bool {
+        self.view.intersects(nets)
+    }
 }
 
 /// All check-independent analyses of one circuit, computed at most once.
@@ -98,6 +171,9 @@ pub struct PreparedCircuit<'c> {
     observability: OnceLock<Observability>,
     stem_mask: OnceLock<Vec<bool>>,
     per_output: Vec<OnceLock<OutputAnalysis>>,
+    /// Per-output cone analyses (`None` once computed = the cone covers
+    /// the whole circuit, where cone modes degenerate to the legacy path).
+    cones: Vec<OnceLock<Option<Arc<ConeAnalysis>>>>,
     /// Observability sink for the lazy per-circuit analyses. Disabled by
     /// default; [`CheckSession::with_prepared`] installs the session
     /// config's handle so the one-time derivations show up in traces.
@@ -147,6 +223,7 @@ impl<'c> PreparedCircuit<'c> {
             observability: OnceLock::new(),
             stem_mask: OnceLock::new(),
             per_output: (0..num_outputs).map(|_| OnceLock::new()).collect(),
+            cones: (0..num_outputs).map(|_| OnceLock::new()).collect(),
             obs: Obs::disabled(),
         }
     }
@@ -212,6 +289,37 @@ impl<'c> PreparedCircuit<'c> {
     /// Panics if `output` is not a primary output.
     pub fn static_dominators(&self, output: NetId) -> &[NetId] {
         &self.output_analysis(output).dominators
+    }
+
+    /// The fanin-cone analysis of `output`, cached per output. `None` when
+    /// no cone-scoped run applies: `output` is not a primary output, or its
+    /// cone covers the whole circuit (slicing would be the identity and the
+    /// legacy path is strictly cheaper).
+    pub fn cone(&self, output: NetId) -> Option<&Arc<ConeAnalysis>> {
+        let pos = self.circuit().outputs().iter().position(|&o| o == output)?;
+        self.cones[pos]
+            .get_or_init(|| {
+                let span = self.obs.start();
+                let ca = ConeAnalysis::build(self.circuit(), output, self.table.as_ref());
+                self.obs.span(
+                    "prepare.cone",
+                    "prepare",
+                    span,
+                    &[
+                        ("output", i64::try_from(output.index()).unwrap_or(i64::MAX)),
+                        (
+                            "cone_nets",
+                            i64::try_from(ca.view.nets().len()).unwrap_or(i64::MAX),
+                        ),
+                    ],
+                );
+                if ca.view.is_complete() {
+                    None
+                } else {
+                    Some(Arc::new(ca))
+                }
+            })
+            .as_ref()
     }
 
     fn output_analysis(&self, output: NetId) -> &OutputAnalysis {
@@ -288,6 +396,12 @@ pub struct CheckSession<'c> {
     /// The base-fixpoint store prototype: planes derived once, cloned (two
     /// flat memcpys) into every per-check narrower.
     base: OnceLock<SignalStore>,
+    /// Per-output cone-sliced sub-sessions (the `ConeMode::Sliced` path):
+    /// each wraps the cone's renumbered sub-circuit with a base store
+    /// sliced from the whole-circuit base fixpoint, so a sliced check
+    /// seeds with two memcpys *sized to the cone*. `Arc` so an ECO rebase
+    /// can transplant untouched cone sessions wholesale.
+    cone_sessions: Vec<OnceLock<Arc<CheckSession<'static>>>>,
 }
 
 impl<'c> CheckSession<'c> {
@@ -320,10 +434,12 @@ impl<'c> CheckSession<'c> {
     /// lazy one-time derivations show up in traces too.
     pub fn with_prepared(mut prepared: PreparedCircuit<'c>, config: VerifyConfig) -> Self {
         prepared.obs = config.obs.clone();
+        let num_outputs = prepared.circuit().outputs().len();
         CheckSession {
             prepared,
             config,
             base: OnceLock::new(),
+            cone_sessions: (0..num_outputs).map(|_| OnceLock::new()).collect(),
         }
     }
 
@@ -346,7 +462,125 @@ impl<'c> CheckSession<'c> {
     /// check). A batch executor calls this before fanning out so workers
     /// start from a warm cache instead of serializing on its computation.
     pub fn warm_up(&self) {
-        let _ = self.narrower_at_base();
+        let _ = self.base_store();
+    }
+
+    /// Opens a session for an edited revision of this session's circuit,
+    /// transplanting every analysis the edit provably leaves intact — the
+    /// core of ECO-style incremental re-verification.
+    ///
+    /// `dirty` and `structural` come from
+    /// [`Circuit::apply_edit`](ltt_netlist::Circuit::apply_edit)'s
+    /// [`EditOutcome`](ltt_netlist::EditOutcome); `circuit` must be that
+    /// outcome's circuit (same nets and gates, edited delays/wiring).
+    ///
+    /// What transfers when `structural` is `false` (delay-only edits):
+    ///
+    /// * the learned implication table — implications are about logic
+    ///   classes, not times;
+    /// * SCOAP controllabilities/observabilities and the reconvergent-stem
+    ///   candidate set — functions of connectivity only;
+    /// * per output, when the output's fanin cone contains **no** dirty net
+    ///   *and* no net whose base-fixpoint domain changed
+    ///   ([`Self::base_divergence`] — backward narrowing through fringe
+    ///   gates can push an out-of-cone delay change into cone-net
+    ///   domains): the distance/dominator analysis, the cone analysis, and
+    ///   the warmed cone sub-session, wholesale.
+    ///
+    /// A `structural` edit keeps nothing: connectivity-derived analyses
+    /// are rebuilt lazily, and the table is re-learned here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `circuit`'s net/gate counts differ from this session's
+    /// (it must be an [`EditOutcome`](ltt_netlist::EditOutcome) revision,
+    /// not an unrelated circuit).
+    pub fn rebase(
+        &self,
+        circuit: Arc<Circuit>,
+        dirty: &[NetId],
+        structural: bool,
+    ) -> CheckSession<'static> {
+        assert_eq!(
+            (circuit.num_nets(), circuit.num_gates()),
+            (self.circuit().num_nets(), self.circuit().num_gates()),
+            "rebase requires an edited revision of the same circuit"
+        );
+        let table = if structural {
+            match self.config.learning {
+                LearningMode::Off => None,
+                LearningMode::Stems => Some(Arc::new(ImplicationTable::learn_stems(&circuit))),
+                LearningMode::All => Some(Arc::new(ImplicationTable::learn(&circuit))),
+            }
+        } else {
+            self.prepared.table.clone()
+        };
+        let prepared = PreparedCircuit::from_handle(CircuitHandle::Shared(circuit), table);
+        let session = CheckSession::with_prepared(prepared, self.config.clone());
+        if structural {
+            return session;
+        }
+        if let Some(cc) = self.prepared.controllability.get() {
+            let _ = session.prepared.controllability.set(cc.clone());
+        }
+        if let Some(ob) = self.prepared.observability.get() {
+            let _ = session.prepared.observability.set(ob.clone());
+        }
+        if let Some(mask) = self.prepared.stem_mask.get() {
+            let _ = session.prepared.stem_mask.set(mask.clone());
+        }
+        // Per-output transplants need the base divergence, which forces
+        // both base fixpoints — work the new session's first check pays
+        // anyway.
+        let mut stale: Vec<NetId> = dirty.to_vec();
+        stale.extend(self.base_divergence(&session));
+        for pos in 0..self.prepared.cones.len() {
+            let ca = match self.prepared.cones[pos].get() {
+                None => continue,
+                Some(None) => {
+                    // "Cone covers the whole circuit" is a connectivity
+                    // fact; it survives any delay-only edit.
+                    let _ = session.prepared.cones[pos].set(None);
+                    continue;
+                }
+                Some(Some(ca)) => ca,
+            };
+            if ca.intersects(&stale) {
+                continue;
+            }
+            let _ = session.prepared.cones[pos].set(Some(ca.clone()));
+            if let Some(oa) = self.prepared.per_output[pos].get() {
+                let _ = session.prepared.per_output[pos].set(oa.clone());
+            }
+            if let Some(sub) = self.cone_sessions[pos].get() {
+                let _ = session.cone_sessions[pos].set(sub.clone());
+            }
+        }
+        session
+    }
+
+    /// The nets whose base-fixpoint domains differ between this session
+    /// and `other` (same-sized circuit). Forces both base fixpoints. An
+    /// edit's full influence on cached cone state is `dirty ∪
+    /// base_divergence`: `dirty` is where constraints changed,
+    /// `base_divergence` is where their fixpoint consequences landed.
+    pub fn base_divergence(&self, other: &CheckSession<'_>) -> Vec<NetId> {
+        let a = self.base_store();
+        let b = other.base_store();
+        assert_eq!(a.all().len(), b.all().len(), "circuits differ in size");
+        self.circuit()
+            .net_ids()
+            .filter(|&n| a.get(n) != b.get(n))
+            .collect()
+    }
+
+    /// Whether the session's base fixpoint is already contradictory (the
+    /// circuit admits no waveform assignment at all under the input mode).
+    /// Forces the base fixpoint. Callers transplanting per-output results
+    /// across a rebase must treat a contradictory base as all-stale: the
+    /// degenerate path reports against the whole circuit, not a cone.
+    pub fn base_contradictory(&self) -> bool {
+        self.base_store().has_contradiction()
     }
 
     /// A narrower carrying the input-mode and learning-constant
@@ -371,9 +605,9 @@ impl<'c> CheckSession<'c> {
         nw
     }
 
-    /// A narrower seeded at the session's base fixpoint (computed once).
-    fn narrower_at_base(&self) -> Narrower<'_> {
-        let base = self.base.get_or_init(|| {
+    /// The session's base-fixpoint store (computed once).
+    fn base_store(&self) -> &SignalStore {
+        self.base.get_or_init(|| {
             let span = self.config.obs.start();
             let mut nw = self.fresh_narrower();
             nw.reach_fixpoint();
@@ -391,8 +625,12 @@ impl<'c> CheckSession<'c> {
                 ],
             );
             SignalStore::from_domains(nw.domains())
-        });
-        let mut nw = Narrower::from_store(self.prepared.circuit(), base.clone());
+        })
+    }
+
+    /// A narrower seeded at the session's base fixpoint (computed once).
+    fn narrower_at_base(&self) -> Narrower<'_> {
+        let mut nw = Narrower::from_store(self.prepared.circuit(), self.base_store().clone());
         if let Some(table) = self.prepared.implication_table() {
             nw.set_implications(table.clone());
         }
@@ -410,13 +648,178 @@ impl<'c> CheckSession<'c> {
         config: &VerifyConfig,
         assumptions: &[(NetId, Level)],
     ) -> VerifyReport {
+        if config.cone != ConeMode::Off {
+            if let Some((pos, ca)) = self.cone_target(output, assumptions) {
+                let ca = ca.clone();
+                return if config.cone == ConeMode::Masked {
+                    self.verify_masked(&ca, output, delta, config, assumptions)
+                } else {
+                    self.verify_sliced(pos, &ca, output, delta, config, assumptions)
+                };
+            }
+        }
+        self.verify_whole(output, delta, config, assumptions)
+    }
+
+    /// The legacy whole-circuit pipeline run.
+    fn verify_whole(
+        &self,
+        output: NetId,
+        delta: i64,
+        config: &VerifyConfig,
+        assumptions: &[(NetId, Level)],
+    ) -> VerifyReport {
         let start = Instant::now();
         let mut nw = self.narrower_at_base();
         for &(net, level) in assumptions {
             let restriction = nw.domain(net).restrict_to_class(level);
             nw.narrow_net(net, restriction);
         }
-        run_pipeline(&mut nw, &self.prepared, output, delta, config, start)
+        run_pipeline(&mut nw, &self.prepared, output, delta, config, start, None)
+    }
+
+    /// The cone a check may run in, if any. Cone-scoped runs require:
+    /// `output` is a primary output (the per-output caches exist for those
+    /// only), the cone is a strict subset of the circuit, every assumption
+    /// net lies inside it, and the whole-circuit base fixpoint is
+    /// consistent — a contradiction on an out-of-cone net refutes *every*
+    /// check, but a cone-sized store cannot see it, so such (degenerate)
+    /// circuits take the legacy path.
+    fn cone_target(
+        &self,
+        output: NetId,
+        assumptions: &[(NetId, Level)],
+    ) -> Option<(usize, &Arc<ConeAnalysis>)> {
+        let pos = self.circuit().outputs().iter().position(|&o| o == output)?;
+        let ca = self.prepared.cone(output)?;
+        if !assumptions.iter().all(|&(n, _)| ca.view.contains_net(n)) {
+            return None;
+        }
+        if self.base_store().has_contradiction() {
+            return None;
+        }
+        Some((pos, ca))
+    }
+
+    /// The masked cone run: the whole-circuit store, with propagation
+    /// (gate scheduling, implication firing) and case-analysis decisions
+    /// restricted to the cone. Bit-identical to [`Self::verify_sliced`] by
+    /// construction — the sliced run executes the same event schedule on
+    /// renumbered ids — while sharing the legacy path's store layout, so it
+    /// serves as the identity-testing reference.
+    fn verify_masked(
+        &self,
+        ca: &ConeAnalysis,
+        output: NetId,
+        delta: i64,
+        config: &VerifyConfig,
+        assumptions: &[(NetId, Level)],
+    ) -> VerifyReport {
+        let start = Instant::now();
+        let mut nw = self.narrower_at_base();
+        nw.set_scope(ca.scope.clone());
+        for &(net, level) in assumptions {
+            let restriction = nw.domain(net).restrict_to_class(level);
+            nw.narrow_net(net, restriction);
+        }
+        let scope = PipelineScope {
+            stem_candidates: &ca.stem_candidates,
+            case: &ca.case,
+        };
+        run_pipeline(
+            &mut nw,
+            &self.prepared,
+            output,
+            delta,
+            config,
+            start,
+            Some(&scope),
+        )
+    }
+
+    /// The sliced cone run: delegates to the output's cached sub-session,
+    /// whose circuit is the cone renumbered densely and whose base store
+    /// is the whole-circuit base fixpoint sliced to cone nets. Every
+    /// per-check allocation and memcpy is sized to the cone. The report is
+    /// mapped back to whole-circuit terms: the output id, and a violation
+    /// vector widened over all primary inputs (out-of-cone inputs cannot
+    /// affect `output`; they take [`fill_level`] of their base domains —
+    /// the same rule the masked run applies, so vectors agree bit for
+    /// bit).
+    fn verify_sliced(
+        &self,
+        pos: usize,
+        ca: &Arc<ConeAnalysis>,
+        output: NetId,
+        delta: i64,
+        config: &VerifyConfig,
+        assumptions: &[(NetId, Level)],
+    ) -> VerifyReport {
+        let session = self.cone_session(pos, ca);
+        let view = ca.view();
+        let sub_assumptions: Vec<(NetId, Level)> = assumptions
+            .iter()
+            .map(|&(n, l)| (view.net_to_sub(n).expect("assumption net in cone"), l))
+            .collect();
+        let sub_config = VerifyConfig {
+            cone: ConeMode::Off,
+            ..config.clone()
+        };
+        let mut report =
+            session.verify_cfg(view.sub_output(), delta, &sub_config, &sub_assumptions);
+        report.output = output;
+        if let Verdict::Violation { vector } = &mut report.verdict {
+            *vector = self.widen_cone_vector(view, vector);
+        }
+        report
+    }
+
+    /// The cached sub-session of output cone `pos` (built on first use).
+    fn cone_session(&self, pos: usize, ca: &Arc<ConeAnalysis>) -> &Arc<CheckSession<'static>> {
+        self.cone_sessions[pos].get_or_init(|| {
+            let view = ca.view();
+            let prepared = PreparedCircuit::from_handle(
+                CircuitHandle::Shared(view.circuit().clone()),
+                ca.table.clone(),
+            );
+            let config = VerifyConfig {
+                cone: ConeMode::Off,
+                ..self.config.clone()
+            };
+            let session = CheckSession::with_prepared(prepared, config);
+            // Seed the sub base by slicing the whole base fixpoint — NOT by
+            // re-running narrowing on the sub-circuit, which would lose the
+            // backward pressure out-of-cone learning constants exert on
+            // cone nets through fringe gates.
+            let domains: Vec<Signal> = view
+                .nets()
+                .iter()
+                .map(|&old| self.base_store().get(old))
+                .collect();
+            let _ = session.base.set(SignalStore::from_domains(&domains));
+            Arc::new(session)
+        })
+    }
+
+    /// Expands a sub-circuit violation vector (over cone inputs, sub
+    /// declaration order) to the whole input list.
+    fn widen_cone_vector(&self, view: &ConeView, vector: &[bool]) -> Vec<bool> {
+        let sub = view.circuit();
+        self.circuit()
+            .inputs()
+            .iter()
+            .map(|&i| match view.net_to_sub(i) {
+                Some(m) => {
+                    let pos = sub
+                        .inputs()
+                        .iter()
+                        .position(|&x| x == m)
+                        .expect("cone input is a sub-circuit input");
+                    vector[pos]
+                }
+                None => fill_level(&self.base_store().get(i)).to_bool(),
+            })
+            .collect()
     }
 
     /// Runs the timing check `(output, δ)` through the session's pipeline.

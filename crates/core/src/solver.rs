@@ -38,6 +38,42 @@ pub enum FixpointResult {
     Interrupted,
 }
 
+/// Restriction of propagation to a fanin cone, for *masked* cone-scoped
+/// checks (see [`ConeMode`](crate::ConeMode)): gates outside the mask are
+/// never scheduled and learned implications never narrow nets outside it.
+///
+/// The masked narrower operates on the whole-circuit store, but because the
+/// cone is fanin-closed (every input of a cone gate is a cone net) the
+/// blocked fringe gates could only ever have *read* cone nets — so skipping
+/// them leaves the fixpoint on cone nets untouched while making the event
+/// schedule identical, gate for gate, to a run on the extracted sub-circuit
+/// (the *sliced* mode).
+#[derive(Debug)]
+pub struct NarrowScope {
+    gates: Vec<bool>,
+    nets: Vec<bool>,
+}
+
+impl NarrowScope {
+    /// Builds a scope from per-gate and per-net membership masks (indexed
+    /// by [`GateId::index`] / [`NetId::index`]).
+    pub fn new(gates: Vec<bool>, nets: Vec<bool>) -> Self {
+        NarrowScope { gates, nets }
+    }
+
+    /// Whether the gate is inside the scope.
+    #[inline]
+    pub fn contains_gate(&self, gate: GateId) -> bool {
+        self.gates[gate.index()]
+    }
+
+    /// Whether the net is inside the scope.
+    #[inline]
+    pub fn contains_net(&self, net: NetId) -> bool {
+        self.nets[net.index()]
+    }
+}
+
 /// Counters describing solver effort.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SolverStats {
@@ -106,6 +142,8 @@ pub struct Narrower<'c> {
     store: SignalStore,
     queue: VecDeque<GateId>,
     queued: Vec<bool>,
+    /// Optional cone restriction (masked cone mode); `None` = whole circuit.
+    scope: Option<Arc<NarrowScope>>,
     implications: Option<Arc<ImplicationTable>>,
     stats: SolverStats,
     budget: ArmedBudget,
@@ -163,6 +201,7 @@ impl<'c> Narrower<'c> {
             store,
             queue: VecDeque::new(),
             queued: vec![false; circuit.num_gates()],
+            scope: None,
             implications: None,
             stats: SolverStats::default(),
             budget: ArmedBudget::unlimited(),
@@ -196,6 +235,13 @@ impl<'c> Narrower<'c> {
     /// restrictions fire whenever a net's class becomes fixed.
     pub fn set_implications(&mut self, table: Arc<ImplicationTable>) {
         self.implications = Some(table);
+    }
+
+    /// Restricts propagation to a cone (see [`NarrowScope`]). Must be set
+    /// before any constraint is scheduled; out-of-scope gates already in
+    /// the queue would still run.
+    pub fn set_scope(&mut self, scope: Arc<NarrowScope>) {
+        self.scope = Some(scope);
     }
 
     /// The circuit this narrower operates on.
@@ -249,8 +295,15 @@ impl<'c> Narrower<'c> {
         }
     }
 
-    /// Schedules a gate constraint.
+    /// Schedules a gate constraint. Gates outside an attached
+    /// [`NarrowScope`] are dropped silently — the fringe readers of a cone
+    /// net never run in a masked cone check.
     pub fn schedule(&mut self, gate: GateId) {
+        if let Some(scope) = &self.scope {
+            if !scope.contains_gate(gate) {
+                return;
+            }
+        }
         if !self.queued[gate.index()] {
             self.queued[gate.index()] = true;
             self.queue.push_back(gate);
@@ -297,6 +350,13 @@ impl<'c> Narrower<'c> {
         };
         let table = self.implications.clone().expect("checked above");
         for &(target, value) in table.implied_by(net, level) {
+            // Masked cone mode: implications leaving the cone are skipped,
+            // exactly matching a sliced run's cone-internal table.
+            if let Some(scope) = &self.scope {
+                if !scope.contains_net(target) {
+                    continue;
+                }
+            }
             let restriction = {
                 let cur = self.store.get(target);
                 cur.restrict_to_class(value)

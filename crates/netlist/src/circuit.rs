@@ -64,6 +64,15 @@ pub struct Net {
 }
 
 impl Net {
+    /// Assembles a net from parts (cone extraction / editing internals).
+    pub(crate) fn from_parts(name: String, driver: Option<GateId>, readers: Vec<GateId>) -> Net {
+        Net {
+            name,
+            driver,
+            readers,
+        }
+    }
+
     /// The net's name.
     pub fn name(&self) -> &str {
         &self.name
@@ -95,6 +104,21 @@ pub struct Gate {
 }
 
 impl Gate {
+    /// Assembles a gate from parts (cone extraction internals).
+    pub(crate) fn from_parts(
+        kind: GateKind,
+        inputs: Vec<NetId>,
+        output: NetId,
+        delay: DelayInterval,
+    ) -> Gate {
+        Gate {
+            kind,
+            inputs,
+            output,
+            delay,
+        }
+    }
+
     /// The gate's kind.
     pub fn kind(&self) -> GateKind {
         self.kind
@@ -347,6 +371,14 @@ impl Circuit {
         for (i, gate) in out.gates.iter_mut().enumerate() {
             gate.delay = delays(GateId::from_index(i), gate);
         }
+        // Delay edits never change connectivity: if this circuit already
+        // built its topology, re-seed the copy's cache with the shared
+        // structural Adjacency plane and a fresh delay plane instead of
+        // leaving it to rebuild both from scratch.
+        if let Some(topo) = self.topology.get() {
+            let rebuilt = Topology::with_adjacency(&out, topo.adjacency().clone());
+            let _ = out.topology.set(rebuilt);
+        }
         out
     }
 
@@ -537,7 +569,242 @@ impl CircuitBuilder {
     }
 }
 
+/// One local engineering-change-order (ECO) edit applied by
+/// [`Circuit::apply_edit`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CircuitEdit {
+    /// Gate resize / SDF re-annotation: replace one gate's delay interval.
+    SetDelay {
+        /// The gate to re-annotate.
+        gate: GateId,
+        /// Its new delay interval.
+        delay: DelayInterval,
+    },
+    /// Local rewire: replace one gate's input list (same kind and output).
+    Rewire {
+        /// The gate to rewire.
+        gate: GateId,
+        /// Its new ordered input nets.
+        inputs: Vec<NetId>,
+    },
+}
+
+/// The result of [`Circuit::apply_edit`]: the edited circuit plus the
+/// invalidation contract the incremental layers key off.
+#[derive(Clone, Debug)]
+pub struct EditOutcome {
+    /// The edited circuit (the original is untouched).
+    pub circuit: Circuit,
+    /// The *dirty nets*: every net whose driving gate's delay or input
+    /// list changed (plus, for a rewire, the nets added to or removed from
+    /// that input list). An analysis keyed to a fanin cone stays valid iff
+    /// the cone contains none of these nets.
+    pub dirty: Vec<NetId>,
+    /// Whether any edit changed connectivity (a rewire). Delay-only edit
+    /// batches keep every structural analysis — adjacency, cones, learned
+    /// implications, SCOAP — alive.
+    pub structural: bool,
+}
+
+/// Errors from [`Circuit::apply_edit`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EditError {
+    /// A gate id is out of range.
+    NoSuchGate(GateId),
+    /// A net id in a rewire is out of range.
+    NoSuchNet(NetId),
+    /// A rewire changed the gate's input count to something its kind
+    /// cannot take.
+    BadArity {
+        /// The gate kind.
+        kind: GateKind,
+        /// The attempted input count.
+        arity: usize,
+    },
+    /// A rewire created a combinational cycle through the named net.
+    Cycle(String),
+    /// A rewire made a primary input drive itself through its own cone…
+    /// i.e. tried to read a net that the gate's own output feeds — caught
+    /// by the cycle check; this variant flags reading the gate's own
+    /// output directly.
+    SelfLoop(GateId),
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::NoSuchGate(g) => write!(f, "no such gate: {g}"),
+            EditError::NoSuchNet(n) => write!(f, "no such net: {n}"),
+            EditError::BadArity { kind, arity } => {
+                write!(f, "gate kind {kind} cannot take {arity} inputs")
+            }
+            EditError::Cycle(n) => write!(f, "rewire creates a cycle through net `{n}`"),
+            EditError::SelfLoop(g) => write!(f, "gate {g} cannot read its own output"),
+        }
+    }
+}
+
+impl Error for EditError {}
+
 impl Circuit {
+    /// Assembles a circuit from pre-validated parts (cone extraction).
+    /// The caller guarantees consistency: drivers/readers mirror the gate
+    /// list, `topo_gates` is a topological order, names are unique.
+    pub(crate) fn from_parts(
+        name: String,
+        nets: Vec<Net>,
+        gates: Vec<Gate>,
+        inputs: Vec<NetId>,
+        outputs: Vec<NetId>,
+        topo_gates: Vec<GateId>,
+        by_name: HashMap<String, NetId>,
+    ) -> Circuit {
+        Circuit {
+            name,
+            nets,
+            gates,
+            inputs,
+            outputs,
+            topo_gates,
+            by_name,
+            topology: OnceLock::new(),
+        }
+    }
+
+    /// Applies a batch of local ECO edits, returning the edited circuit
+    /// together with the dirty net set and a structural flag — the
+    /// invalidation contract incremental re-verification builds on (see
+    /// DESIGN.md §14).
+    ///
+    /// Delay-only batches share the cached CSR adjacency with the original
+    /// circuit (only the delay plane is rebuilt); rewires re-run the
+    /// topological sort and are rejected if they create a cycle.
+    ///
+    /// # Errors
+    ///
+    /// [`EditError`] on out-of-range ids, arity violations, or a rewire
+    /// that creates a combinational cycle. On error the original circuit
+    /// is unchanged and no partial edit escapes.
+    pub fn apply_edit(&self, edits: &[CircuitEdit]) -> Result<EditOutcome, EditError> {
+        let mut out = self.clone();
+        out.topology = OnceLock::new();
+        let mut dirty: Vec<NetId> = Vec::new();
+        let mut structural = false;
+        for edit in edits {
+            match edit {
+                CircuitEdit::SetDelay { gate, delay } => {
+                    let g = out
+                        .gates
+                        .get_mut(gate.index())
+                        .ok_or(EditError::NoSuchGate(*gate))?;
+                    if g.delay != *delay {
+                        g.delay = *delay;
+                        dirty.push(g.output);
+                    }
+                }
+                CircuitEdit::Rewire { gate, inputs } => {
+                    let arity_kind = out
+                        .gates
+                        .get(gate.index())
+                        .ok_or(EditError::NoSuchGate(*gate))?
+                        .kind;
+                    if !arity_kind.arity_ok(inputs.len()) {
+                        return Err(EditError::BadArity {
+                            kind: arity_kind,
+                            arity: inputs.len(),
+                        });
+                    }
+                    for &n in inputs {
+                        if n.index() >= out.nets.len() {
+                            return Err(EditError::NoSuchNet(n));
+                        }
+                    }
+                    let output = out.gates[gate.index()].output;
+                    if inputs.contains(&output) {
+                        return Err(EditError::SelfLoop(*gate));
+                    }
+                    let old_inputs = out.gates[gate.index()].inputs.clone();
+                    if old_inputs == *inputs {
+                        continue;
+                    }
+                    structural = true;
+                    // Detach from old input nets' reader lists, attach to
+                    // the new ones (appended, like the builder does).
+                    for &n in &old_inputs {
+                        let readers = &mut out.nets[n.index()].readers;
+                        if let Some(pos) = readers.iter().position(|r| r == gate) {
+                            readers.remove(pos);
+                        }
+                    }
+                    for &n in inputs {
+                        out.nets[n.index()].readers.push(*gate);
+                    }
+                    out.gates[gate.index()].inputs = inputs.clone();
+                    dirty.push(output);
+                    for &n in &old_inputs {
+                        if !inputs.contains(&n) {
+                            dirty.push(n);
+                        }
+                    }
+                    for &n in inputs {
+                        if !old_inputs.contains(&n) {
+                            dirty.push(n);
+                        }
+                    }
+                }
+            }
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+        if structural {
+            // Re-run the Kahn sort: a rewire may reorder dependencies or
+            // create a cycle.
+            let mut indegree: Vec<usize> = out
+                .gates
+                .iter()
+                .map(|g| {
+                    g.inputs
+                        .iter()
+                        .filter(|n| out.nets[n.index()].driver.is_some())
+                        .count()
+                })
+                .collect();
+            let mut ready: Vec<GateId> = indegree
+                .iter()
+                .enumerate()
+                .filter(|&(_, &d)| d == 0)
+                .map(|(i, _)| GateId::from_index(i))
+                .collect();
+            let mut topo_gates = Vec::with_capacity(out.gates.len());
+            while let Some(gid) = ready.pop() {
+                topo_gates.push(gid);
+                let o = out.gates[gid.index()].output;
+                for &reader in &out.nets[o.index()].readers {
+                    indegree[reader.index()] -= 1;
+                    if indegree[reader.index()] == 0 {
+                        ready.push(reader);
+                    }
+                }
+            }
+            if topo_gates.len() != out.gates.len() {
+                let stuck = indegree.iter().position(|&d| d > 0).expect("cycle exists");
+                let net = out.gates[stuck].output;
+                return Err(EditError::Cycle(out.nets[net.index()].name.clone()));
+            }
+            out.topo_gates = topo_gates;
+        } else if let Some(topo) = self.topology.get() {
+            // Delay-only batch: keep the shared CSR adjacency, rebuild the
+            // delay plane only (same contract as `with_delays`).
+            let rebuilt = Topology::with_adjacency(&out, topo.adjacency().clone());
+            let _ = out.topology.set(rebuilt);
+        }
+        Ok(EditOutcome {
+            circuit: out,
+            dirty,
+            structural,
+        })
+    }
+
     /// Extracts the fan-in cone of one output as a standalone circuit:
     /// only the gates and nets that can influence `output` survive, and
     /// `output` becomes the sole primary output. Net names are preserved.

@@ -320,32 +320,75 @@ pub fn stem_conflict_circuit(depth: usize, delay: u32) -> Circuit {
 /// ```
 pub fn serial_false_path_gadgets(k: usize, delay: u32) -> Circuit {
     assert!(k > 0, "need at least one gadget");
-    let d = DelayInterval::fixed(delay);
     let mut b = CircuitBuilder::new(format!("serial{k}"));
-    let mut feed = b.input("x0");
+    let feed = append_gadget_chain(&mut b, "", k, delay);
+    b.mark_output(feed);
+    b.build().expect("serial gadget chain is valid")
+}
+
+/// Appends one `k`-gadget chain (the [`serial_false_path_gadgets`] body)
+/// to `b`, with every net name prefixed by `prefix`, and returns the
+/// chain's final net.
+fn append_gadget_chain(b: &mut CircuitBuilder, prefix: &str, k: usize, delay: u32) -> NetId {
+    let d = DelayInterval::fixed(delay);
+    let mut feed = b.input(format!("{prefix}x0"));
     for g in 0..k {
-        let x1 = b.input(format!("x1_{g}"));
-        let shared = b.input(format!("sh_{g}"));
-        let mut n = b.gate(format!("n1_{g}"), GateKind::And, &[feed, x1], d);
+        let x1 = b.input(format!("{prefix}x1_{g}"));
+        let shared = b.input(format!("{prefix}sh_{g}"));
+        let mut n = b.gate(format!("{prefix}n1_{g}"), GateKind::And, &[feed, x1], d);
         for i in 2..4 {
-            let side = b.input(format!("p{i}_{g}"));
+            let side = b.input(format!("{prefix}p{i}_{g}"));
             let kind = if i % 2 == 1 {
                 GateKind::Or
             } else {
                 GateKind::And
             };
-            n = b.gate(format!("n{i}_{g}"), kind, &[n, side], d);
+            n = b.gate(format!("{prefix}n{i}_{g}"), kind, &[n, side], d);
         }
-        n = b.gate(format!("n4_{g}"), GateKind::And, &[n, shared], d);
-        let sb = b.input(format!("sb_{g}"));
-        let short = b.gate(format!("short_{g}"), GateKind::And, &[n, sb], d);
-        let a1 = b.gate(format!("a1_{g}"), GateKind::Or, &[n, shared], d);
-        let q2 = b.input(format!("q2_{g}"));
-        let a2 = b.gate(format!("a2_{g}"), GateKind::And, &[a1, q2], d);
-        feed = b.gate(format!("s_{g}"), GateKind::Or, &[a2, short], d);
+        n = b.gate(format!("{prefix}n4_{g}"), GateKind::And, &[n, shared], d);
+        let sb = b.input(format!("{prefix}sb_{g}"));
+        let short = b.gate(format!("{prefix}short_{g}"), GateKind::And, &[n, sb], d);
+        let a1 = b.gate(format!("{prefix}a1_{g}"), GateKind::Or, &[n, shared], d);
+        let q2 = b.input(format!("{prefix}q2_{g}"));
+        let a2 = b.gate(format!("{prefix}a2_{g}"), GateKind::And, &[a1, q2], d);
+        feed = b.gate(format!("{prefix}s_{g}"), GateKind::Or, &[a2, short], d);
     }
-    b.mark_output(feed);
-    b.build().expect("serial gadget chain is valid")
+    feed
+}
+
+/// `chains` structurally independent copies of the `k`-gadget serial
+/// chain, each with its own primary output — the **parallel** blow-up
+/// workload. The circuit holds `chains·k` gadgets in total, but any
+/// single output's transitive fanin cone is exactly one chain
+/// (`1/chains` of the gates): the contrast cone-sliced checking
+/// exploits, while a whole-circuit session narrows all the chains for
+/// every check.
+///
+/// Per output: topological delay `7·k·d`, floating-mode delay `6·k·d`
+/// (each chain is exactly [`serial_false_path_gadgets`]).
+///
+/// # Panics
+///
+/// Panics if `chains` or `k` is 0.
+///
+/// # Examples
+///
+/// ```
+/// use ltt_netlist::generators::parallel_false_path_gadgets;
+///
+/// let c = parallel_false_path_gadgets(4, 2, 10);
+/// assert_eq!(c.outputs().len(), 4);
+/// assert_eq!(c.topological_delay(), 140); // per chain, same as serial
+/// ```
+pub fn parallel_false_path_gadgets(chains: usize, k: usize, delay: u32) -> Circuit {
+    assert!(chains > 0, "need at least one chain");
+    assert!(k > 0, "need at least one gadget");
+    let mut b = CircuitBuilder::new(format!("parallel{chains}x{k}"));
+    for ch in 0..chains {
+        let feed = append_gadget_chain(&mut b, &format!("c{ch}_"), k, delay);
+        b.mark_output(feed);
+    }
+    b.build().expect("parallel gadget chains are valid")
 }
 
 /// The classic shared-select multiplexer chain — the textbook false-path
@@ -416,6 +459,20 @@ mod tests {
         assert_eq!(c.evaluate(&v), vec![true]);
         // Everything 0: s = 0.
         assert_eq!(c.evaluate(&[false; 7]), vec![false]);
+    }
+
+    #[test]
+    fn parallel_gadgets_split_into_disjoint_strict_cones() {
+        let per_chain = serial_false_path_gadgets(2, 10).num_gates();
+        let c = parallel_false_path_gadgets(3, 2, 10);
+        assert_eq!(c.outputs().len(), 3);
+        assert_eq!(c.num_gates(), 3 * per_chain);
+        assert_eq!(c.topological_delay(), 140);
+        for &o in c.outputs() {
+            let view = crate::ConeView::extract(&c, o);
+            assert!(!view.is_complete(), "each cone is a strict subset");
+            assert_eq!(view.gates().len(), per_chain, "each cone is one chain");
+        }
     }
 
     #[test]

@@ -18,8 +18,8 @@ mod trees;
 
 pub use adders::{adder_sum, carry_skip_adder, ripple_carry_adder};
 pub use false_path::{
-    false_path_chain, figure1, forked_false_path_chain, serial_false_path_gadgets,
-    shared_select_mux_chain, stem_conflict_circuit,
+    false_path_chain, figure1, forked_false_path_chain, parallel_false_path_gadgets,
+    serial_false_path_gadgets, shared_select_mux_chain, stem_conflict_circuit,
 };
 pub use multiplier::array_multiplier;
 pub use random_dag::{random_circuit, RandomCircuitConfig};

@@ -44,6 +44,7 @@
 mod analysis;
 pub mod bench_format;
 mod circuit;
+mod cone;
 pub mod dominators;
 mod gate;
 pub mod generators;
@@ -53,6 +54,10 @@ mod topology;
 pub mod transform;
 pub mod verilog;
 
-pub use circuit::{BuildCircuitError, Circuit, CircuitBuilder, Gate, GateId, Net, NetId};
+pub use circuit::{
+    BuildCircuitError, Circuit, CircuitBuilder, CircuitEdit, EditError, EditOutcome, Gate, GateId,
+    Net, NetId,
+};
+pub use cone::ConeView;
 pub use gate::{DelayInterval, GateKind};
-pub use topology::Topology;
+pub use topology::{Adjacency, Topology};

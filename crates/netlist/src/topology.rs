@@ -12,6 +12,13 @@
 //!   the net's driver first (if any), then its readers, which is exactly
 //!   the order the narrower schedules constraints in.
 //!
+//! The tables split into two planes with different invalidation rules:
+//! the structural [`Adjacency`] (kinds, outputs, CSR input/touch lists),
+//! which only a rewire can change, and the per-gate `dmax` delay plane,
+//! which SDF re-annotation ([`Circuit::with_delays`](crate::Circuit::with_delays))
+//! rewrites. A delay-only edit therefore keeps the adjacency `Arc` and
+//! rebuilds just the delay plane.
+//!
 //! A circuit builds its topology lazily, at most once, and hands out a
 //! shared [`Arc`]; see [`Circuit::topology`](crate::Circuit::topology).
 
@@ -19,11 +26,12 @@ use crate::circuit::{Circuit, GateId, NetId};
 use crate::gate::GateKind;
 use std::sync::Arc;
 
-/// Dense CSR tables describing a circuit's gates and net adjacency.
+/// The structural plane of a [`Topology`]: everything about connectivity
+/// that delay edits can never change. Shared (via `Arc`) across delay
+/// re-annotations of the same circuit.
 #[derive(Debug)]
-pub struct Topology {
+pub struct Adjacency {
     kind: Vec<GateKind>,
-    dmax: Vec<u32>,
     output: Vec<NetId>,
     /// `in_off[g]..in_off[g+1]` indexes `in_nets` for gate `g`.
     in_off: Vec<u32>,
@@ -33,14 +41,11 @@ pub struct Topology {
     touch: Vec<GateId>,
 }
 
-impl Topology {
-    /// Flattens the circuit. One linear pass; called once per circuit via
-    /// the [`Circuit::topology`](crate::Circuit::topology) cache.
-    pub(crate) fn build(c: &Circuit) -> Arc<Topology> {
+impl Adjacency {
+    fn build(c: &Circuit) -> Arc<Adjacency> {
         let ng = c.num_gates();
         let nn = c.num_nets();
         let mut kind = Vec::with_capacity(ng);
-        let mut dmax = Vec::with_capacity(ng);
         let mut output = Vec::with_capacity(ng);
         let mut in_off = Vec::with_capacity(ng + 1);
         let mut in_nets = Vec::new();
@@ -48,7 +53,6 @@ impl Topology {
         for gid in c.gate_ids() {
             let g = c.gate(gid);
             kind.push(g.kind());
-            dmax.push(g.dmax());
             output.push(g.output());
             in_nets.extend_from_slice(g.inputs());
             in_off.push(u32::try_from(in_nets.len()).expect("< 4G gate inputs"));
@@ -64,9 +68,8 @@ impl Topology {
             touch.extend_from_slice(net.readers());
             touch_off.push(u32::try_from(touch.len()).expect("< 4G net touches"));
         }
-        Arc::new(Topology {
+        Arc::new(Adjacency {
             kind,
-            dmax,
             output,
             in_off,
             in_nets,
@@ -74,11 +77,42 @@ impl Topology {
             touch,
         })
     }
+}
+
+/// Dense CSR tables describing a circuit's gates and net adjacency: the
+/// shared structural [`Adjacency`] plus the per-gate delay plane.
+#[derive(Debug)]
+pub struct Topology {
+    adj: Arc<Adjacency>,
+    dmax: Vec<u32>,
+}
+
+impl Topology {
+    /// Flattens the circuit. One linear pass; called once per circuit via
+    /// the [`Circuit::topology`](crate::Circuit::topology) cache.
+    pub(crate) fn build(c: &Circuit) -> Arc<Topology> {
+        Self::with_adjacency(c, Adjacency::build(c))
+    }
+
+    /// Builds a topology around an existing (still structurally valid)
+    /// adjacency, deriving only the delay plane — the delay re-annotation
+    /// fast path.
+    pub(crate) fn with_adjacency(c: &Circuit, adj: Arc<Adjacency>) -> Arc<Topology> {
+        let dmax = c.gate_ids().map(|g| c.gate(g).dmax()).collect();
+        Arc::new(Topology { adj, dmax })
+    }
+
+    /// The shared structural plane. Delay-only circuit copies
+    /// ([`Circuit::with_delays`](crate::Circuit::with_delays)) hand out the
+    /// same `Arc`.
+    pub fn adjacency(&self) -> &Arc<Adjacency> {
+        &self.adj
+    }
 
     /// The gate's kind.
     #[inline]
     pub fn gate_kind(&self, g: GateId) -> GateKind {
-        self.kind[g.index()]
+        self.adj.kind[g.index()]
     }
 
     /// The gate's maximum delay.
@@ -90,14 +124,14 @@ impl Topology {
     /// The gate's output net.
     #[inline]
     pub fn gate_output(&self, g: GateId) -> NetId {
-        self.output[g.index()]
+        self.adj.output[g.index()]
     }
 
     /// The gate's input nets, in gate input order.
     #[inline]
     pub fn gate_inputs(&self, g: GateId) -> &[NetId] {
         let gi = g.index();
-        &self.in_nets[self.in_off[gi] as usize..self.in_off[gi + 1] as usize]
+        &self.adj.in_nets[self.adj.in_off[gi] as usize..self.adj.in_off[gi + 1] as usize]
     }
 
     /// Every gate touching `net`: its driver first (if any), then its
@@ -105,7 +139,7 @@ impl Topology {
     #[inline]
     pub fn touching(&self, n: NetId) -> &[GateId] {
         let ni = n.index();
-        &self.touch[self.touch_off[ni] as usize..self.touch_off[ni + 1] as usize]
+        &self.adj.touch[self.adj.touch_off[ni] as usize..self.adj.touch_off[ni + 1] as usize]
     }
 }
 
@@ -154,5 +188,41 @@ mod tests {
         let slow = circuit.with_delays(|_, _| DelayInterval::fixed(25));
         let g = slow.net(slow.net_by_name("x").unwrap()).driver().unwrap();
         assert_eq!(slow.topology().gate_dmax(g), 25, "stale cache was reset");
+    }
+
+    #[test]
+    fn with_delays_keeps_the_adjacency_plane() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let x = b.gate("x", GateKind::And, &[a, c], DelayInterval::fixed(7));
+        let y = b.gate("y", GateKind::Not, &[x], DelayInterval::fixed(3));
+        b.mark_output(y);
+        let circuit = b.build().unwrap();
+        let before = circuit.topology();
+        let slow = circuit.with_delays(|_, g| DelayInterval::fixed(g.dmax() + 10));
+        let after = slow.topology();
+        // The CSR adjacency is shared — only the delay plane was rebuilt.
+        assert!(
+            Arc::ptr_eq(before.adjacency(), after.adjacency()),
+            "delay edits must not rebuild the CSR adjacency"
+        );
+        assert!(!Arc::ptr_eq(&before, &after));
+        let g = slow.net(slow.net_by_name("x").unwrap()).driver().unwrap();
+        assert_eq!(after.gate_dmax(g), 17);
+        assert_eq!(before.gate_dmax(g), 7);
+    }
+
+    #[test]
+    fn with_delays_on_cold_cache_builds_lazily() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let x = b.gate("x", GateKind::Not, &[a], DelayInterval::fixed(5));
+        b.mark_output(x);
+        let circuit = b.build().unwrap();
+        // No topology() call before the edit: the copy builds from scratch.
+        let slow = circuit.with_delays(|_, _| DelayInterval::fixed(9));
+        let g = slow.net(slow.net_by_name("x").unwrap()).driver().unwrap();
+        assert_eq!(slow.topology().gate_dmax(g), 9);
     }
 }

@@ -60,8 +60,11 @@ pub mod wire;
 pub use backend::{Backend, BackendOpts, Breaker, RpcError};
 pub use client::{is_timeout, Client};
 pub use metrics::{percentile, Histogram};
-pub use proto::{CheckSet, ErrorCode, ProtoError, Request, RequestBody, RunOpts};
-pub use registry::{content_id, CircuitEntry, CircuitRegistry, RegistryStats};
+pub use proto::{CheckSet, EditSpec, ErrorCode, ProtoError, Request, RequestBody, RunOpts};
+pub use registry::{
+    content_id, patched_id, session_config, CircuitEntry, CircuitRegistry, PatchOutcome,
+    RegistryStats,
+};
 pub use router::{route, Router, RouterConfig, RouterHandle};
 pub use server::{serve, ServeConfig, Server, ServerHandle};
 pub use wire::{decode, Json, WireError};

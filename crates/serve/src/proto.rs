@@ -13,6 +13,8 @@
 //! {"op":"batch_check","circuit":C,"delta":δ,"opts":{..}?}            # every output
 //! {"op":"batch_check","circuit":C,"checks":[{"output":O,"delta":δ},..],"opts":{..}?}
 //! {"op":"delay","circuit":C,"output":O?,"opts":{..}?}                # omit O: every output
+//! {"op":"patch","circuit":C,"name":N?,"edits":[E,..],"checks":[..]?,"opts":{..}?}
+//! {"op":"patch","circuit":C,"name":N?,"edits":[E,..],"delta":δ,"opts":{..}?}
 //! {"op":"status"}
 //! {"op":"metrics"}
 //! {"op":"shutdown"}
@@ -172,6 +174,118 @@ impl RunOpts {
     }
 }
 
+/// One ECO edit inside a `patch` request. Gates are addressed by the name
+/// of the net they drive (the `G = NAND(..)` left-hand side); resolution
+/// happens at execution time, like output names in [`CheckSet`].
+///
+/// Wire shapes: `{"gate":G,"delay":D}` or `{"gate":G,"delay":[LO,HI]}`
+/// (delay re-annotation) and `{"gate":G,"inputs":[A,B,..]}` (rewire).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EditSpec {
+    /// Re-annotate a gate's delay interval (`min == max` for fixed).
+    SetDelay {
+        /// Output-net name of the gate to edit.
+        gate: String,
+        /// New minimum delay.
+        min: u32,
+        /// New maximum delay (`>= min`, enforced at parse time).
+        max: u32,
+    },
+    /// Reconnect a gate's input list (same arity not required, but the
+    /// executor rejects empty lists and unknown nets).
+    Rewire {
+        /// Output-net name of the gate to edit.
+        gate: String,
+        /// New input-net names, in order.
+        inputs: Vec<String>,
+    },
+}
+
+impl EditSpec {
+    /// Whether this edit changes connectivity (a rewire) rather than just
+    /// timing annotations.
+    pub fn is_structural(&self) -> bool {
+        matches!(self, EditSpec::Rewire { .. })
+    }
+
+    /// The canonical wire object for this edit — used by the router to
+    /// replay patch chains verbatim onto a failed-over backend.
+    pub fn to_json(&self) -> Json {
+        match self {
+            EditSpec::SetDelay { gate, min, max } => Json::obj([
+                ("gate", Json::str(gate.clone())),
+                (
+                    "delay",
+                    if min == max {
+                        Json::Int(i64::from(*min))
+                    } else {
+                        Json::Arr(vec![Json::Int(i64::from(*min)), Json::Int(i64::from(*max))])
+                    },
+                ),
+            ]),
+            EditSpec::Rewire { gate, inputs } => Json::obj([
+                ("gate", Json::str(gate.clone())),
+                (
+                    "inputs",
+                    Json::Arr(inputs.iter().map(|i| Json::str(i.clone())).collect()),
+                ),
+            ]),
+        }
+    }
+
+    fn parse(item: &Json) -> Result<EditSpec, ProtoError> {
+        let gate = required_str(item, "gate")?;
+        match (item.get("delay"), item.get("inputs")) {
+            (Some(d), None) => {
+                let small = |j: &Json| j.as_u64().and_then(|v| u32::try_from(v).ok());
+                let (min, max) = match d {
+                    Json::Arr(pair) if pair.len() == 2 => {
+                        let lo = small(&pair[0]);
+                        let hi = small(&pair[1]);
+                        match (lo, hi) {
+                            (Some(lo), Some(hi)) if lo <= hi => (lo, hi),
+                            _ => {
+                                return Err(ProtoError::bad(
+                                    "`delay` interval must be [lo, hi] with 0 <= lo <= hi",
+                                ))
+                            }
+                        }
+                    }
+                    other => {
+                        let d = small(other).ok_or_else(|| {
+                            ProtoError::bad("`delay` must be an integer or [lo, hi]")
+                        })?;
+                        (d, d)
+                    }
+                };
+                Ok(EditSpec::SetDelay { gate, min, max })
+            }
+            (None, Some(list)) => {
+                let items = list
+                    .as_array()
+                    .ok_or_else(|| ProtoError::bad("`inputs` must be an array of net names"))?;
+                let mut inputs = Vec::with_capacity(items.len());
+                for i in items {
+                    inputs.push(
+                        i.as_str()
+                            .ok_or_else(|| {
+                                ProtoError::bad("`inputs` must be an array of net names")
+                            })?
+                            .to_string(),
+                    );
+                }
+                if inputs.is_empty() {
+                    return Err(ProtoError::bad("`inputs` must not be empty"));
+                }
+                Ok(EditSpec::Rewire { gate, inputs })
+            }
+            _ => Err(ProtoError::bad(
+                "each edit needs exactly one of `delay` or `inputs`",
+            )),
+        }
+    }
+}
+
 /// The work a request names: one `(output, δ)` pair or every output at one
 /// δ. Outputs are named; resolution against the circuit happens at
 /// execution time (the registry entry is not in scope while parsing).
@@ -223,6 +337,24 @@ pub enum RequestBody {
         circuit: String,
         /// Primary-output name; `None` means every output.
         output: Option<String>,
+        /// Execution controls.
+        opts: RunOpts,
+    },
+    /// Apply ECO edits to a registered circuit, producing (and
+    /// registering) a patched revision whose session is rebased from the
+    /// parent's — per-output analyses and cached reports for outputs whose
+    /// fanin cone the edit cannot reach are transplanted instead of
+    /// recomputed. Optionally runs checks against the patched revision in
+    /// the same request.
+    Patch {
+        /// Registry key of the circuit to edit (content hash or name).
+        circuit: String,
+        /// Optional alias to register the patched revision under.
+        name: Option<String>,
+        /// The edits, applied atomically in order.
+        edits: Vec<EditSpec>,
+        /// Checks to run against the patched revision (optional).
+        checks: Option<CheckSet>,
         /// Execution controls.
         opts: RunOpts,
     },
@@ -325,6 +457,58 @@ impl Request {
                 },
                 opts: RunOpts::parse(json.get("opts"))?,
             },
+            "patch" => {
+                let list = json
+                    .get("edits")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| ProtoError::bad("`patch` needs an `edits` array"))?;
+                let mut edits = Vec::with_capacity(list.len());
+                for item in list {
+                    edits.push(EditSpec::parse(item)?);
+                }
+                if edits.is_empty() {
+                    return Err(ProtoError::bad("`edits` must not be empty"));
+                }
+                let checks = match (json.get("checks"), json.get("delta")) {
+                    (None, None) => None,
+                    (Some(list), None) => {
+                        let items = list
+                            .as_array()
+                            .ok_or_else(|| ProtoError::bad("`checks` must be an array"))?;
+                        let mut pairs = Vec::with_capacity(items.len());
+                        for item in items {
+                            pairs.push((
+                                required_str(item, "output")?,
+                                required_i64(item, "delta")?,
+                            ));
+                        }
+                        if pairs.is_empty() {
+                            return Err(ProtoError::bad("`checks` must not be empty"));
+                        }
+                        Some(CheckSet::Explicit(pairs))
+                    }
+                    (None, Some(_)) => Some(CheckSet::AllOutputs(required_i64(json, "delta")?)),
+                    _ => {
+                        return Err(ProtoError::bad(
+                            "`patch` takes at most one of `checks` or `delta`",
+                        ))
+                    }
+                };
+                RequestBody::Patch {
+                    circuit: required_str(json, "circuit")?,
+                    name: match json.get("name") {
+                        None => None,
+                        Some(n) => Some(
+                            n.as_str()
+                                .ok_or_else(|| ProtoError::bad("`name` must be a string"))?
+                                .to_string(),
+                        ),
+                    },
+                    edits,
+                    checks,
+                    opts: RunOpts::parse(json.get("opts"))?,
+                }
+            }
             "status" => RequestBody::Status,
             "metrics" => RequestBody::Metrics,
             "shutdown" => RequestBody::Shutdown,
@@ -443,6 +627,18 @@ pub fn report_json(report: &VerifyReport, output_name: &str) -> Json {
         ]),
     ));
     Json::obj(fields)
+}
+
+/// [`report_json`] plus a `"reused"` flag: `true` marks a report
+/// transplanted from the parent revision's result cache during a `patch`
+/// (bit-identical to a fresh run by the cone contract of DESIGN.md §14),
+/// `false` marks a freshly executed check.
+pub fn reused_report_json(report: &VerifyReport, output_name: &str, reused: bool) -> Json {
+    let mut json = report_json(report, output_name);
+    if let Json::Obj(fields) = &mut json {
+        fields.push(("reused".to_string(), Json::Bool(reused)));
+    }
+    json
 }
 
 /// Serializes one exact-delay search result.
@@ -632,6 +828,120 @@ mod tests {
         ));
         let all = parse(r#"{"op":"delay","circuit":"c"}"#).unwrap();
         assert!(matches!(all.body, RequestBody::Delay { output: None, .. }));
+    }
+
+    #[test]
+    fn patch_parses_edit_shapes() {
+        let r = parse(
+            r#"{"op":"patch","circuit":"c17","name":"c17v2",
+                "edits":[{"gate":"n22","delay":35},
+                         {"gate":"n23","delay":[3,7]},
+                         {"gate":"n16","inputs":["n2","n11"]}],
+                "delta":30}"#,
+        )
+        .unwrap();
+        match r.body {
+            RequestBody::Patch {
+                circuit,
+                name,
+                edits,
+                checks,
+                ..
+            } => {
+                assert_eq!(circuit, "c17");
+                assert_eq!(name.as_deref(), Some("c17v2"));
+                assert_eq!(
+                    edits,
+                    vec![
+                        EditSpec::SetDelay {
+                            gate: "n22".into(),
+                            min: 35,
+                            max: 35
+                        },
+                        EditSpec::SetDelay {
+                            gate: "n23".into(),
+                            min: 3,
+                            max: 7
+                        },
+                        EditSpec::Rewire {
+                            gate: "n16".into(),
+                            inputs: vec!["n2".into(), "n11".into()]
+                        },
+                    ]
+                );
+                assert!(!edits[0].is_structural());
+                assert!(edits[2].is_structural());
+                assert_eq!(checks, Some(CheckSet::AllOutputs(30)));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Checks are optional; explicit list also accepted.
+        let bare =
+            parse(r#"{"op":"patch","circuit":"c","edits":[{"gate":"g","delay":1}]}"#).unwrap();
+        assert!(matches!(
+            bare.body,
+            RequestBody::Patch {
+                checks: None,
+                name: None,
+                ..
+            }
+        ));
+        let explicit = parse(
+            r#"{"op":"patch","circuit":"c","edits":[{"gate":"g","delay":1}],
+                "checks":[{"output":"y","delta":9}]}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            explicit.body,
+            RequestBody::Patch {
+                checks: Some(CheckSet::Explicit(_)),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn patch_rejects_malformed_edits() {
+        for line in [
+            // No edits at all / empty edits.
+            r#"{"op":"patch","circuit":"c"}"#,
+            r#"{"op":"patch","circuit":"c","edits":[]}"#,
+            // Both delay and inputs on one edit; neither on another.
+            r#"{"op":"patch","circuit":"c","edits":[{"gate":"g","delay":1,"inputs":["a"]}]}"#,
+            r#"{"op":"patch","circuit":"c","edits":[{"gate":"g"}]}"#,
+            // Bad interval (lo > hi), bad type, empty rewire.
+            r#"{"op":"patch","circuit":"c","edits":[{"gate":"g","delay":[7,3]}]}"#,
+            r#"{"op":"patch","circuit":"c","edits":[{"gate":"g","delay":"ten"}]}"#,
+            r#"{"op":"patch","circuit":"c","edits":[{"gate":"g","inputs":[]}]}"#,
+            // Both checks and delta.
+            r#"{"op":"patch","circuit":"c","edits":[{"gate":"g","delay":1}],"delta":1,"checks":[{"output":"y","delta":1}]}"#,
+        ] {
+            let err = parse(line).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest, "{line}");
+        }
+    }
+
+    #[test]
+    fn edit_spec_round_trips_through_its_wire_form() {
+        for edit in [
+            EditSpec::SetDelay {
+                gate: "g1".into(),
+                min: 12,
+                max: 12,
+            },
+            EditSpec::SetDelay {
+                gate: "g2".into(),
+                min: 3,
+                max: 9,
+            },
+            EditSpec::Rewire {
+                gate: "g3".into(),
+                inputs: vec!["a".into(), "b".into()],
+            },
+        ] {
+            let reparsed = EditSpec::parse(&edit.to_json()).unwrap();
+            assert_eq!(reparsed, edit);
+        }
     }
 
     #[test]

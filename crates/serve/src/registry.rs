@@ -13,13 +13,44 @@
 //! reference; requests already holding the [`Arc<CircuitEntry>`] finish
 //! normally and the entry is freed when the last one completes.
 
-use crate::proto::{ErrorCode, ProtoError};
-use ltt_core::{CheckSession, VerifyConfig};
+use crate::proto::{EditSpec, ErrorCode, ProtoError};
+use ltt_core::{CheckSession, Completeness, ConeMode, VerifyConfig, VerifyReport};
 use ltt_netlist::bench_format::parse_bench;
 use ltt_netlist::verilog::parse_verilog;
-use ltt_netlist::{Circuit, DelayInterval};
-use std::collections::VecDeque;
+use ltt_netlist::{Circuit, CircuitEdit, DelayInterval, NetId};
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Per-check results cached on a [`CircuitEntry`] beyond this count are
+/// dropped (insertion simply stops — the cache exists to make patch
+/// re-verification cheap, not to be a complete memo table).
+const RESULT_CACHE_CAP: usize = 4096;
+
+fn fnv_fold(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Folds length-framed records into an FNV-1a state. The `[len][bytes]`
+/// framing keeps record boundaries in the hash: concatenations that merely
+/// move bytes across a boundary (`["a","bc"]` vs `["ab","c"]`) hash
+/// differently, and folding records one at a time equals folding them all
+/// at once — which is what makes a chain of `patch` requests hash to the
+/// same id as one batched `patch` with the same edits.
+fn fold_framed<'a>(mut hash: u64, records: impl IntoIterator<Item = &'a [u8]>) -> u64 {
+    for record in records {
+        let len = u32::try_from(record.len()).unwrap_or(u32::MAX);
+        hash = fnv_fold(hash, &len.to_le_bytes());
+        hash = fnv_fold(hash, record);
+    }
+    hash
+}
 
 /// Content hash of a registration: 64-bit FNV-1a over the format, the
 /// per-gate delay, and the netlist source, rendered as 16 hex digits.
@@ -27,21 +58,67 @@ use std::sync::{Arc, Mutex};
 /// collision's worst case is answering for the colliding circuit — the
 /// same trust model as the netlist itself, which the client also supplies.)
 pub fn content_id(format: &str, delay: u32, source: &str) -> String {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut hash = OFFSET;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            hash ^= u64::from(b);
-            hash = hash.wrapping_mul(PRIME);
-        }
-    };
-    eat(format.as_bytes());
-    eat(&[0]);
-    eat(&delay.to_le_bytes());
-    eat(&[0]);
-    eat(source.as_bytes());
+    let mut hash = FNV_OFFSET;
+    hash = fnv_fold(hash, format.as_bytes());
+    hash = fnv_fold(hash, &[0]);
+    hash = fnv_fold(hash, &delay.to_le_bytes());
+    hash = fnv_fold(hash, &[0]);
+    hash = fnv_fold(hash, source.as_bytes());
     format!("{hash:016x}")
+}
+
+/// The canonical byte encoding of one edit for [`patched_id`]: a tag byte,
+/// then every variable-length component length-prefixed.
+fn edit_bytes(edit: &EditSpec) -> Vec<u8> {
+    let mut out = Vec::new();
+    let push_str = |out: &mut Vec<u8>, s: &str| {
+        out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        out.extend_from_slice(s.as_bytes());
+    };
+    match edit {
+        EditSpec::SetDelay { gate, min, max } => {
+            out.push(1);
+            push_str(&mut out, gate);
+            out.extend_from_slice(&min.to_le_bytes());
+            out.extend_from_slice(&max.to_le_bytes());
+        }
+        EditSpec::Rewire { gate, inputs } => {
+            out.push(2);
+            push_str(&mut out, gate);
+            out.extend_from_slice(&(inputs.len() as u32).to_le_bytes());
+            for input in inputs {
+                push_str(&mut out, input);
+            }
+        }
+    }
+    out
+}
+
+/// The content id of a patched revision, computed **incrementally**: the
+/// parent's id is parsed back into the 64-bit FNV state and the edits are
+/// folded on top as length-framed records — the full netlist source is
+/// never re-hashed. Folding is associative over the framing, so applying
+/// edits one `patch` at a time yields the same id as one batched `patch`:
+/// `patched_id(patched_id(p, [a]), [b]) == patched_id(p, [a, b])`.
+pub fn patched_id(parent_id: &str, edits: &[EditSpec]) -> String {
+    let state = u64::from_str_radix(parent_id, 16)
+        .unwrap_or_else(|_| fnv_fold(FNV_OFFSET, parent_id.as_bytes()));
+    let records: Vec<Vec<u8>> = edits.iter().map(edit_bytes).collect();
+    let hash = fold_framed(state, records.iter().map(Vec::as_slice));
+    format!("{hash:016x}")
+}
+
+/// The [`VerifyConfig`] every registry session runs under: the default
+/// full pipeline with cone-sliced checking in `Auto` mode. All served
+/// reports — and the local oracles the equivalence tests compare against —
+/// must use this exact configuration: cone-sliced runs agree with the
+/// legacy whole-circuit path on verdicts but not on effort counters, so
+/// mixing configurations breaks bit-identity.
+pub fn session_config() -> VerifyConfig {
+    VerifyConfig {
+        cone: ConeMode::Auto,
+        ..VerifyConfig::default()
+    }
 }
 
 /// One registered circuit: identity, parsed netlist, and the shared
@@ -54,8 +131,48 @@ pub struct CircuitEntry {
     pub name: String,
     /// The parsed netlist.
     pub circuit: Arc<Circuit>,
-    /// The shared check session (default full-pipeline configuration).
+    /// The shared check session (the [`session_config`] configuration).
     pub session: CheckSession<'static>,
+    /// Exact per-check results already produced against this entry, keyed
+    /// `(output, δ)`. Only [`Completeness::Exact`] reports are cached —
+    /// budget-tripped reports depend on the request's budget, exact ones
+    /// are the deterministic fixed answer regardless of it. A `patch`
+    /// transplants the subset whose fanin cone the edit cannot reach.
+    results: Mutex<HashMap<(NetId, i64), VerifyReport>>,
+}
+
+impl CircuitEntry {
+    /// The cached exact report for `(output, delta)`, if any.
+    pub fn cached_report(&self, output: NetId, delta: i64) -> Option<VerifyReport> {
+        self.results
+            .lock()
+            .expect("result cache lock poisoned")
+            .get(&(output, delta))
+            .cloned()
+    }
+
+    /// Caches every exact report in `reports` (up to the cache cap).
+    pub fn cache_reports<'a>(&self, reports: impl IntoIterator<Item = &'a VerifyReport>) {
+        let mut cache = self.results.lock().expect("result cache lock poisoned");
+        for report in reports {
+            if cache.len() >= RESULT_CACHE_CAP {
+                break;
+            }
+            if matches!(report.completeness, Completeness::Exact) {
+                cache
+                    .entry((report.output, report.delta))
+                    .or_insert_with(|| report.clone());
+            }
+        }
+    }
+
+    /// The number of cached results (test and status visibility).
+    pub fn cached_results(&self) -> usize {
+        self.results
+            .lock()
+            .expect("result cache lock poisoned")
+            .len()
+    }
 }
 
 impl std::fmt::Debug for CircuitEntry {
@@ -157,8 +274,9 @@ impl CircuitRegistry {
         let entry = Arc::new(CircuitEntry {
             id: id.clone(),
             name: name.to_string(),
-            session: CheckSession::new_shared(circuit.clone(), VerifyConfig::default()),
+            session: CheckSession::new_shared(circuit.clone(), session_config()),
             circuit,
+            results: Mutex::new(HashMap::new()),
         });
         let mut inner = self.inner.lock().expect("registry lock poisoned");
         // Double-check: a racing registration of the same content wins if
@@ -188,6 +306,115 @@ impl CircuitRegistry {
                 ErrorCode::UnknownCircuit,
                 format!("no registered circuit `{key}` (register it, or it may have been evicted)"),
             )
+        })
+    }
+
+    /// Applies ECO edits to the entry named by `key`, producing — and
+    /// registering under the incrementally-derived [`patched_id`] — a new
+    /// entry whose session is **rebased** from the parent's instead of
+    /// prepared cold: analyses (and cached exact reports) for outputs
+    /// whose fanin cone the edit cannot reach carry over untouched.
+    ///
+    /// Re-patching with the same edits is a cache hit on the patched id
+    /// (`resident: true`): nothing is re-applied or re-verified.
+    pub fn patch(
+        &self,
+        key: &str,
+        name: Option<&str>,
+        edits: &[EditSpec],
+    ) -> Result<PatchOutcome, ProtoError> {
+        let parent = self.lookup(key)?;
+        let id = patched_id(&parent.id, edits);
+        let structural = edits.iter().any(EditSpec::is_structural);
+        if let Some(entry) = self.touch_with(|e| e.id == id, false) {
+            return Ok(PatchOutcome {
+                entry,
+                resident: true,
+                structural,
+                dirty: Vec::new(),
+                transplanted: 0,
+            });
+        }
+        // Resolve name-addressed edits against the parent, apply, rebase.
+        // All outside the registry lock, like `register`'s parse.
+        let circuit_edits = resolve_edits(&parent.circuit, edits)?;
+        let outcome = parent
+            .circuit
+            .apply_edit(&circuit_edits)
+            .map_err(|e| ProtoError::new(ErrorCode::BadRequest, e.to_string()))?;
+        let dirty_names: Vec<String> = outcome
+            .dirty
+            .iter()
+            .map(|&n| parent.circuit.net(n).name().to_string())
+            .collect();
+        let edited = Arc::new(outcome.circuit);
+        let session = parent
+            .session
+            .rebase(edited.clone(), &outcome.dirty, outcome.structural);
+        // Transplant cached exact reports for outputs the edit provably
+        // cannot influence: delay-only edit, non-degenerate parent base,
+        // and a proper fanin cone disjoint from `dirty ∪ base_divergence`
+        // (DESIGN.md §14). Such outputs re-verify bit-identically, so the
+        // parent's answer *is* the patched circuit's answer.
+        let mut results = HashMap::new();
+        if !outcome.structural && !parent.session.base_contradictory() {
+            let mut stale = outcome.dirty.clone();
+            stale.extend(parent.session.base_divergence(&session));
+            let clean: Vec<NetId> = parent
+                .circuit
+                .outputs()
+                .iter()
+                .copied()
+                .filter(|&s| match parent.session.prepared().cone(s) {
+                    Some(ca) => !ca.intersects(&stale),
+                    None => stale.is_empty(),
+                })
+                .collect();
+            if !clean.is_empty() {
+                let parent_cache = parent.results.lock().expect("result cache lock poisoned");
+                for (&(out, delta), report) in parent_cache.iter() {
+                    if clean.contains(&out) {
+                        results.insert((out, delta), report.clone());
+                    }
+                }
+            }
+        }
+        let transplanted = results.len();
+        let entry = Arc::new(CircuitEntry {
+            id: id.clone(),
+            // Without an explicit alias the patched entry answers to its
+            // content id only — it must not shadow the parent's name.
+            name: name.unwrap_or(&id).to_string(),
+            session,
+            circuit: edited,
+            results: Mutex::new(results),
+        });
+        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        if let Some(pos) = inner.entries.iter().position(|e| e.id == id) {
+            let existing = inner.entries.remove(pos).expect("position just found");
+            inner.entries.push_front(existing.clone());
+            inner.hits += 1;
+            return Ok(PatchOutcome {
+                entry: existing,
+                resident: true,
+                structural,
+                dirty: dirty_names,
+                transplanted: 0,
+            });
+        }
+        inner.misses += 1;
+        inner.entries.push_front(entry.clone());
+        while inner.entries.len() > self.capacity {
+            inner.entries.pop_back();
+            inner.evictions += 1;
+        }
+        drop(inner);
+        Ok(PatchOutcome {
+            entry,
+            resident: false,
+            structural,
+            dirty: dirty_names,
+            transplanted,
         })
     }
 
@@ -233,6 +460,61 @@ impl CircuitRegistry {
             evictions: inner.evictions,
         }
     }
+}
+
+/// What [`CircuitRegistry::patch`] produced.
+#[derive(Debug)]
+pub struct PatchOutcome {
+    /// The patched revision's registry entry.
+    pub entry: Arc<CircuitEntry>,
+    /// `true` when the patched id was already registered — the whole
+    /// apply/rebase pipeline was skipped (and `dirty`/`transplanted` are
+    /// not recomputed).
+    pub resident: bool,
+    /// Whether any edit changed connectivity (a rewire).
+    pub structural: bool,
+    /// Names of the nets whose constraints the edits changed.
+    pub dirty: Vec<String>,
+    /// Cached exact reports carried over from the parent entry.
+    pub transplanted: usize,
+}
+
+/// Resolves name-addressed [`EditSpec`]s into id-addressed
+/// [`CircuitEdit`]s against a concrete circuit. A gate is named by the net
+/// it drives; naming a primary input (no driver) or an unknown net is a
+/// `bad_request`.
+fn resolve_edits(circuit: &Circuit, edits: &[EditSpec]) -> Result<Vec<CircuitEdit>, ProtoError> {
+    let bad = |m: String| ProtoError::new(ErrorCode::BadRequest, m);
+    let gate_by_name = |name: &str| {
+        let net = circuit
+            .net_by_name(name)
+            .ok_or_else(|| bad(format!("no net named `{name}`")))?;
+        circuit.net(net).driver().ok_or_else(|| {
+            bad(format!(
+                "net `{name}` is a primary input, not a gate output"
+            ))
+        })
+    };
+    edits
+        .iter()
+        .map(|edit| match edit {
+            EditSpec::SetDelay { gate, min, max } => Ok(CircuitEdit::SetDelay {
+                gate: gate_by_name(gate)?,
+                delay: DelayInterval::new(*min, *max),
+            }),
+            EditSpec::Rewire { gate, inputs } => Ok(CircuitEdit::Rewire {
+                gate: gate_by_name(gate)?,
+                inputs: inputs
+                    .iter()
+                    .map(|i| {
+                        circuit
+                            .net_by_name(i)
+                            .ok_or_else(|| bad(format!("no net named `{i}`")))
+                    })
+                    .collect::<Result<Vec<NetId>, ProtoError>>()?,
+            }),
+        })
+        .collect()
 }
 
 fn parse_circuit(
@@ -343,6 +625,177 @@ mod tests {
         assert_eq!(err.code, ErrorCode::InvalidNetlist);
         let err = registry.register("bad", "vhdl", TINY, 10).unwrap_err();
         assert_eq!(err.code, ErrorCode::BadRequest);
+    }
+
+    fn set_delay(gate: &str, d: u32) -> EditSpec {
+        EditSpec::SetDelay {
+            gate: gate.into(),
+            min: d,
+            max: d,
+        }
+    }
+
+    #[test]
+    fn framed_fold_keeps_record_boundaries() {
+        // The collision the length framing exists to prevent: the same
+        // bytes split differently across records must hash differently.
+        // An unframed fold would make these four streams identical.
+        let s = FNV_OFFSET;
+        let ab_c = fold_framed(s, [b"ab".as_slice(), b"c".as_slice()]);
+        let a_bc = fold_framed(s, [b"a".as_slice(), b"bc".as_slice()]);
+        let abc = fold_framed(s, [b"abc".as_slice()]);
+        let a_b_c = fold_framed(s, [b"a".as_slice(), b"b".as_slice(), b"c".as_slice()]);
+        assert_ne!(ab_c, a_bc);
+        assert_ne!(ab_c, abc);
+        assert_ne!(a_bc, abc);
+        assert_ne!(a_b_c, abc);
+        // And the fold is associative over records: folding a prefix, then
+        // the rest, equals folding everything at once.
+        let prefix = fold_framed(s, [b"ab".as_slice()]);
+        assert_eq!(fold_framed(prefix, [b"c".as_slice()]), ab_c);
+    }
+
+    #[test]
+    fn patched_id_is_incremental_and_discriminating() {
+        let root = content_id("bench", 10, TINY);
+        let e1 = set_delay("g1", 12);
+        let e2 = set_delay("g2", 7);
+        // Deterministic, 16 hex digits, distinct from the parent.
+        let one = std::slice::from_ref(&e1);
+        let other = std::slice::from_ref(&e2);
+        let p = patched_id(&root, one);
+        assert_eq!(p, patched_id(&root, one));
+        assert_eq!(p.len(), 16);
+        assert_ne!(p, root);
+        // Chaining one edit at a time equals batching them.
+        assert_eq!(
+            patched_id(&patched_id(&root, one), other),
+            patched_id(&root, &[e1.clone(), e2.clone()])
+        );
+        // Different edits, different ids; order matters (edits apply in
+        // sequence, so [a,b] and [b,a] are different revisions).
+        assert_ne!(patched_id(&root, one), patched_id(&root, other));
+        assert_ne!(
+            patched_id(&root, &[e1.clone(), e2.clone()]),
+            patched_id(&root, &[e2, e1])
+        );
+        // Delay vs rewire on the same gate never collide (distinct tags),
+        // and the gate/input split is framed: ("ab" -> [c]) != ("a" -> [bc]).
+        let rw = |g: &str, i: &str| EditSpec::Rewire {
+            gate: g.into(),
+            inputs: vec![i.into()],
+        };
+        assert_ne!(
+            patched_id(&root, &[set_delay("g1", 1)]),
+            patched_id(&root, &[rw("g1", "a")])
+        );
+        assert_ne!(
+            patched_id(&root, &[rw("ab", "c")]),
+            patched_id(&root, &[rw("a", "bc")])
+        );
+    }
+
+    #[test]
+    fn patch_registers_a_rebased_revision() {
+        let registry = CircuitRegistry::new(8);
+        let (parent, _) = registry.register("tiny", "bench", TINY, 10).unwrap();
+        let y = parent.circuit.outputs()[0];
+        // Warm the parent's result cache with an exact answer.
+        let safe = parent.session.verify(y, 11);
+        parent.cache_reports([&safe]);
+        let outcome = registry.patch("tiny", None, &[set_delay("y", 20)]).unwrap();
+        assert!(!outcome.resident);
+        assert!(!outcome.structural);
+        assert_eq!(outcome.dirty, vec!["y".to_string()]);
+        // The single output's cone is the whole (dirty) circuit: nothing
+        // transplants, and the patched session sees the new delay.
+        assert_eq!(outcome.transplanted, 0);
+        assert!(outcome.entry.session.verify(y, 20).verdict.is_violation());
+        assert!(outcome
+            .entry
+            .session
+            .verify(y, 21)
+            .verdict
+            .is_no_violation());
+        // The patched id resolves; the parent's name still names the parent.
+        assert_eq!(
+            registry.lookup(&outcome.entry.id).unwrap().id,
+            outcome.entry.id
+        );
+        assert_eq!(registry.lookup("tiny").unwrap().id, parent.id);
+        // Re-patching with the same edits is a resident hit.
+        let again = registry.patch("tiny", None, &[set_delay("y", 20)]).unwrap();
+        assert!(again.resident);
+        assert!(Arc::ptr_eq(&again.entry, &outcome.entry));
+        // Unknown gate / primary input are bad requests; unknown circuit
+        // keeps its own code.
+        assert_eq!(
+            registry
+                .patch("tiny", None, &[set_delay("zzz", 1)])
+                .unwrap_err()
+                .code,
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            registry
+                .patch("tiny", None, &[set_delay("a", 1)])
+                .unwrap_err()
+                .code,
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            registry
+                .patch("nope", None, &[set_delay("y", 1)])
+                .unwrap_err()
+                .code,
+            ErrorCode::UnknownCircuit
+        );
+    }
+
+    #[test]
+    fn patch_transplants_reports_for_untouched_cones() {
+        // Two independent cones: y = NAND(a,b), z = NOT(c). Editing y's
+        // gate must carry z's cached exact report over to the patched
+        // entry — and leave y's behind.
+        let two =
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nOUTPUT(z)\ny = NAND(a, b)\nz = NOT(c)\n";
+        let registry = CircuitRegistry::new(8);
+        let (parent, _) = registry.register("two", "bench", two, 10).unwrap();
+        let y = parent.circuit.outputs()[0];
+        let z = parent.circuit.outputs()[1];
+        let ry = parent.session.verify(y, 11);
+        let rz = parent.session.verify(z, 11);
+        parent.cache_reports([&ry, &rz]);
+        assert_eq!(parent.cached_results(), 2);
+        let outcome = registry
+            .patch("two", Some("two-v2"), &[set_delay("y", 25)])
+            .unwrap();
+        assert_eq!(outcome.transplanted, 1);
+        let cached = outcome.entry.cached_report(z, 11).expect("z transplanted");
+        assert_eq!(cached.verdict, rz.verdict);
+        assert_eq!(cached.effort, rz.effort);
+        assert!(outcome.entry.cached_report(y, 11).is_none());
+        // The transplanted report is bit-identical to a fresh run on the
+        // patched entry (the §14 contract the transplant leans on).
+        let fresh = outcome.entry.session.verify(z, 11);
+        assert_eq!(cached.verdict, fresh.verdict);
+        assert_eq!(cached.effort, fresh.effort);
+        assert_eq!(cached.backtracks, fresh.backtracks);
+        // The alias name resolves to the patched revision.
+        assert_eq!(registry.lookup("two-v2").unwrap().id, outcome.entry.id);
+        // A structural rewire transplants nothing.
+        let rewired = registry
+            .patch(
+                "two",
+                None,
+                &[EditSpec::Rewire {
+                    gate: "y".into(),
+                    inputs: vec!["b".into(), "a".into()],
+                }],
+            )
+            .unwrap();
+        assert!(rewired.structural);
+        assert_eq!(rewired.transplanted, 0);
     }
 
     #[test]

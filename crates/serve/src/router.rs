@@ -40,8 +40,10 @@
 use crate::backend::{Backend, BackendOpts};
 use crate::lineio::{CappedLineReader, LineRead};
 use crate::metrics::{render_family, render_gauge_f64, render_labeled, render_sample, Histogram};
-use crate::proto::{error_response, ok_response, ErrorCode, ProtoError, Request, RequestBody};
-use crate::registry::content_id;
+use crate::proto::{
+    error_response, ok_response, EditSpec, ErrorCode, ProtoError, Request, RequestBody,
+};
+use crate::registry::{content_id, patched_id};
 use crate::server::{ServeConfig, Server, ServerHandle, DEFAULT_MAX_LINE_BYTES};
 use crate::wire::{decode, Json};
 use ltt_core::available_jobs;
@@ -136,14 +138,23 @@ impl Default for RouterConfig {
     }
 }
 
-/// A cached registration: everything needed to replay `register` on a
-/// backend that answered `unknown_circuit`.
+/// A cached registration: everything needed to replay a circuit — the
+/// root `register` plus any chain of `patch` lines — on a backend that
+/// answered `unknown_circuit`.
 #[derive(Clone)]
 struct RegEntry {
     name: String,
     format: String,
     source: String,
     delay: u32,
+    /// The *root* content id of this entry's patch chain — the ring
+    /// placement key. A patched revision routes where its root lives, so
+    /// incremental re-verification lands on the backend already holding
+    /// the warm parent session.
+    route: String,
+    /// Canonical `patch` request lines (no ids, no checks) from the root
+    /// to this revision, in application order.
+    patches: Vec<String>,
 }
 
 impl RegEntry {
@@ -159,6 +170,15 @@ impl RegEntry {
         ])
         .encode()
     }
+
+    /// Every line needed to reconstruct this revision from nothing: the
+    /// root registration, then the patch chain.
+    fn replay_lines(&self) -> Vec<String> {
+        let mut lines = Vec::with_capacity(1 + self.patches.len());
+        lines.push(self.register_line());
+        lines.extend(self.patches.iter().cloned());
+        lines
+    }
 }
 
 /// Registration cache: keyed by content id, with registered names as
@@ -172,6 +192,37 @@ struct RegCache {
 
 impl RegCache {
     fn insert(&mut self, id: String, entry: RegEntry, cap: usize) {
+        self.insert_full(id, entry, Some(true), cap);
+    }
+
+    /// Records a patched revision derived from `parent_id`: same netlist
+    /// provenance, the parent's patch chain plus `patch_line`, routed at
+    /// the parent's root. `alias_name` (the patch's optional new name)
+    /// aliases the child when given — a nameless patch must not rebind
+    /// the parent's name away from the parent.
+    fn insert_patched(
+        &mut self,
+        parent_id: &str,
+        child_id: String,
+        alias_name: Option<&str>,
+        patch_line: String,
+        cap: usize,
+    ) {
+        let Some(parent) = self.by_id.get(parent_id).cloned() else {
+            return;
+        };
+        let mut child = (*parent).clone();
+        child.route = parent.route.clone();
+        child.patches.push(patch_line);
+        if let Some(name) = alias_name {
+            child.name = name.to_string();
+        }
+        self.insert_full(child_id, child, alias_name.map(|_| true), cap);
+    }
+
+    /// The shared insert: `alias` says whether to bind the entry's name
+    /// as an alias (`None`/`Some(false)` leaves existing bindings alone).
+    fn insert_full(&mut self, id: String, entry: RegEntry, alias: Option<bool>, cap: usize) {
         if !self.by_id.contains_key(&id) {
             self.order.push_back(id.clone());
             while self.order.len() > cap.max(1) {
@@ -181,7 +232,9 @@ impl RegCache {
                 }
             }
         }
-        self.alias.insert(entry.name.clone(), id.clone());
+        if alias == Some(true) {
+            self.alias.insert(entry.name.clone(), id.clone());
+        }
         self.by_id.insert(id, Arc::new(entry));
     }
 
@@ -224,12 +277,33 @@ struct RouterCounters {
     bad_request_total: AtomicU64,
 }
 
+/// What the router must record about a `patch` once a backend accepts
+/// it — enough to route and replay the patched revision later.
+struct PatchMeta {
+    /// Canonical content id of the parent revision.
+    parent_id: String,
+    /// The (router-computed) content id of the patched revision.
+    child_id: String,
+    /// The optional new alias the patch binds.
+    alias: Option<String>,
+    /// The canonical replayable patch line (id-addressed, no checks).
+    replay_line: String,
+}
+
 /// One queued forward: the raw request line plus routing metadata.
 struct RouterJob {
     /// The raw request text, forwarded to backends byte-for-byte.
     line: String,
-    /// The consistent-hash key (canonical content id when resolvable).
+    /// The repair key (canonical content id when resolvable): what the
+    /// `unknown_circuit` replay resolves in the registration cache.
     key: String,
+    /// The ring-placement key: the root id of the circuit's patch chain
+    /// (equal to `key` for unpatched circuits), so a whole chain —
+    /// parent, patches, and their checks — colocates on one owner set.
+    route: String,
+    /// Set on `patch` forwards: cached on success so later requests can
+    /// route to and replay the patched revision.
+    patch: Option<PatchMeta>,
     /// Correlation id for router-generated error replies.
     id: Option<Json>,
     reply: ClientReply,
@@ -606,10 +680,37 @@ fn router_worker_loop(shared: &Arc<RouterShared>) {
         };
         let Some(job) = job else { return };
         let started = Instant::now();
-        let reply_line = forward_with_retry(shared, &job.line, &job.key, job.id.as_ref());
+        let reply_line =
+            forward_with_retry(shared, &job.line, &job.key, &job.route, job.id.as_ref());
         shared.latency.observe(started.elapsed());
+        // A patch a backend accepted becomes routable and replayable: the
+        // cache learns the child id (ring-placed at the chain's root) and
+        // the replay chain grows by one line.
+        if let Some(meta) = &job.patch {
+            if reply_is_ok(&reply_line) {
+                shared
+                    .reg_cache
+                    .lock()
+                    .expect("reg cache lock poisoned")
+                    .insert_patched(
+                        &meta.parent_id,
+                        meta.child_id.clone(),
+                        meta.alias.as_deref(),
+                        meta.replay_line.clone(),
+                        shared.config.reg_cache_cap,
+                    );
+            }
+        }
         job.reply.send_line(&reply_line);
     }
+}
+
+/// Whether a backend reply line is an `"ok":true` response.
+fn reply_is_ok(reply: &str) -> bool {
+    decode(reply.trim())
+        .ok()
+        .and_then(|json| json.get("ok").and_then(Json::as_bool))
+        == Some(true)
 }
 
 /// The reply classification a forwarding attempt can produce.
@@ -633,8 +734,9 @@ fn attempt(shared: &RouterShared, backend: &Backend, line: &str, key: &str) -> A
             ReplyKind::UnknownCircuit => {
                 // The backend is alive but empty-handed (typically: it
                 // died and restarted, or it is a fresh failover target).
-                // Replay the cached registration and retry once, on this
-                // same backend.
+                // Replay the cached registration — the root `register`
+                // plus any patch chain — and retry once, on this same
+                // backend.
                 let cached = shared
                     .reg_cache
                     .lock()
@@ -647,14 +749,16 @@ fn attempt(shared: &RouterShared, backend: &Backend, line: &str, key: &str) -> A
                     .counters
                     .reregister_total
                     .fetch_add(1, Ordering::Relaxed);
-                match backend.rpc(&entry.register_line()) {
+                for replay in entry.replay_lines() {
+                    if backend.rpc(&replay).is_err() {
+                        return Attempt::Failed;
+                    }
+                }
+                match backend.rpc(line) {
                     Err(_) => Attempt::Failed,
-                    Ok(_) => match backend.rpc(line) {
-                        Err(_) => Attempt::Failed,
-                        Ok(retry) => match classify(&retry) {
-                            ReplyKind::Overloaded => Attempt::Overloaded(retry),
-                            _ => Attempt::Done(retry),
-                        },
+                    Ok(retry) => match classify(&retry) {
+                        ReplyKind::Overloaded => Attempt::Overloaded(retry),
+                        _ => Attempt::Done(retry),
                     },
                 }
             }
@@ -691,14 +795,17 @@ fn classify(reply: &str) -> ReplyKind {
 
 /// Walks the candidate list with breaker gating, backing off between
 /// rounds, until a reply is obtained or every option is exhausted.
-/// Always returns exactly one reply line.
+/// Always returns exactly one reply line. `key` drives the
+/// `unknown_circuit` replay; `route` drives ring placement (they differ
+/// only for patched revisions, which colocate with their root).
 fn forward_with_retry(
     shared: &Arc<RouterShared>,
     line: &str,
     key: &str,
+    route: &str,
     id: Option<&Json>,
 ) -> String {
-    let candidates = shared.candidates(key);
+    let candidates = shared.candidates(route);
     let config = &shared.config;
     let mut last_overloaded: Option<String> = None;
     let mut seed = fnv64(line.as_bytes())
@@ -897,40 +1004,106 @@ fn router_dispatch(text: &str, shared: &Arc<RouterShared>, reply: &ClientReply) 
             }
             // Canonicalize the routing key: a name known to the cache
             // hashes as its content id, so by-name and by-hash requests
-            // for the same circuit land on the same owner.
-            let key = shared
+            // for the same circuit land on the same owner — and a patched
+            // revision rides its chain's root placement.
+            let resolved = shared
                 .reg_cache
                 .lock()
                 .expect("reg cache lock poisoned")
-                .resolve(circuit)
-                .map_or_else(|| circuit.clone(), |(canonical, _)| canonical);
-            let job = RouterJob {
-                line: text.to_string(),
-                key,
-                id,
-                reply: reply.clone(),
+                .resolve(circuit);
+            let (key, route) = match resolved {
+                Some((canonical, entry)) => (canonical, entry.route.clone()),
+                None => (circuit.clone(), circuit.clone()),
             };
-            let mut queue = shared.queue.lock().expect("queue lock poisoned");
-            if queue.len() >= shared.config.queue_cap.max(1) {
-                shared.counters.shed_total.fetch_add(1, Ordering::Relaxed);
-                drop(queue);
-                reply.send(&error_response(
-                    job.id.as_ref(),
-                    &ProtoError::new(
-                        ErrorCode::Overloaded,
-                        format!(
-                            "router queue is full ({} pending); retry later",
-                            shared.config.queue_cap
-                        ),
-                    ),
-                ));
+            enqueue_forward(shared, reply, text, key, route, None, id);
+        }
+        RequestBody::Patch {
+            ref circuit,
+            ref name,
+            ref edits,
+            ..
+        } => {
+            if refuse_if_draining(shared, reply, id.as_ref(), "patch work") {
                 return;
             }
-            queue.push_back(job);
-            drop(queue);
-            shared.job_ready.notify_one();
+            // A patch routes where its parent lives (the chain's root
+            // owner set), so the backend applying it holds the warm
+            // session the rebase transplants from. The child id is
+            // computed router-side with the same incremental fold the
+            // backend uses, so both sides agree before the reply lands.
+            let resolved = shared
+                .reg_cache
+                .lock()
+                .expect("reg cache lock poisoned")
+                .resolve(circuit);
+            let (key, route, patch) = match resolved {
+                Some((canonical, entry)) => {
+                    let child_id = patched_id(&canonical, edits);
+                    let mut fields = vec![
+                        ("op", Json::str("patch")),
+                        ("circuit", Json::str(canonical.clone())),
+                    ];
+                    if let Some(n) = name {
+                        fields.push(("name", Json::str(n.clone())));
+                    }
+                    fields.push((
+                        "edits",
+                        Json::Arr(edits.iter().map(EditSpec::to_json).collect()),
+                    ));
+                    let meta = PatchMeta {
+                        parent_id: canonical.clone(),
+                        child_id,
+                        alias: name.clone(),
+                        replay_line: Json::obj(fields).encode(),
+                    };
+                    (canonical, entry.route.clone(), Some(meta))
+                }
+                // Unknown parent: forward anyway (the backend may still
+                // know it); nothing to cache or re-route.
+                None => (circuit.clone(), circuit.clone(), None),
+            };
+            enqueue_forward(shared, reply, text, key, route, patch, id);
         }
     }
+}
+
+/// Admits one forward into the router queue (or sheds it).
+fn enqueue_forward(
+    shared: &Arc<RouterShared>,
+    reply: &ClientReply,
+    text: &str,
+    key: String,
+    route: String,
+    patch: Option<PatchMeta>,
+    id: Option<Json>,
+) {
+    let job = RouterJob {
+        line: text.to_string(),
+        key,
+        route,
+        patch,
+        id,
+        reply: reply.clone(),
+    };
+    let mut queue = shared.queue.lock().expect("queue lock poisoned");
+    if queue.len() >= shared.config.queue_cap.max(1) {
+        shared.counters.shed_total.fetch_add(1, Ordering::Relaxed);
+        drop(queue);
+        reply.send(&error_response(
+            job.id.as_ref(),
+            &ProtoError::new(
+                ErrorCode::Overloaded,
+                format!(
+                    "router queue is full ({} pending); retry later",
+                    shared.config.queue_cap
+                ),
+            ),
+        ));
+        return;
+    }
+    queue.push_back(job);
+    drop(queue);
+    shared.job_ready.notify_one();
 }
 
 fn refuse_if_draining(
@@ -980,6 +1153,8 @@ fn register_fanout(
                 format,
                 source,
                 delay,
+                route: cid.clone(),
+                patches: Vec::new(),
             },
             shared.config.reg_cache_cap,
         );
@@ -1394,41 +1569,26 @@ mod tests {
         );
     }
 
+    /// A root registration entry routed at its own id.
+    fn reg(id: &str, name: &str, source: &str) -> RegEntry {
+        RegEntry {
+            name: name.into(),
+            format: "bench".into(),
+            source: source.into(),
+            delay: 10,
+            route: id.into(),
+            patches: Vec::new(),
+        }
+    }
+
     #[test]
     fn reg_cache_resolves_by_id_and_name_and_evicts_fifo() {
         let mut cache = RegCache::default();
-        cache.insert(
-            "id-a".into(),
-            RegEntry {
-                name: "a".into(),
-                format: "bench".into(),
-                source: "INPUT(x)".into(),
-                delay: 10,
-            },
-            2,
-        );
-        cache.insert(
-            "id-b".into(),
-            RegEntry {
-                name: "b".into(),
-                format: "bench".into(),
-                source: "INPUT(y)".into(),
-                delay: 10,
-            },
-            2,
-        );
+        cache.insert("id-a".into(), reg("id-a", "a", "INPUT(x)"), 2);
+        cache.insert("id-b".into(), reg("id-b", "b", "INPUT(y)"), 2);
         assert_eq!(cache.resolve("a").unwrap().0, "id-a");
         assert_eq!(cache.resolve("id-b").unwrap().0, "id-b");
-        cache.insert(
-            "id-c".into(),
-            RegEntry {
-                name: "c".into(),
-                format: "bench".into(),
-                source: "INPUT(z)".into(),
-                delay: 10,
-            },
-            2,
-        );
+        cache.insert("id-c".into(), reg("id-c", "c", "INPUT(z)"), 2);
         assert!(cache.resolve("id-a").is_none(), "FIFO evicted the oldest");
         assert!(cache.resolve("a").is_none(), "the alias went with it");
         assert!(cache.resolve("b").is_some());
@@ -1436,12 +1596,40 @@ mod tests {
     }
 
     #[test]
+    fn reg_cache_patch_chains_route_at_the_root_and_replay_in_order() {
+        let mut cache = RegCache::default();
+        cache.insert("root".into(), reg("root", "c", "INPUT(x)"), 8);
+        let p1 = r#"{"op":"patch","circuit":"root","edits":[{"gate":"y","delay":20}]}"#;
+        cache.insert_patched("root", "child1".into(), None, p1.into(), 8);
+        let (id, entry) = cache.resolve("child1").expect("patched id resolves");
+        assert_eq!(id, "child1");
+        assert_eq!(entry.route, "root");
+        assert_eq!(
+            entry.replay_lines().len(),
+            2,
+            "register + one patch line replay"
+        );
+        assert!(entry.replay_lines()[1].contains("\"op\":\"patch\""));
+        // A nameless patch must not rebind the parent's name alias.
+        assert_eq!(cache.resolve("c").unwrap().0, "root");
+        // A named patch binds its own alias; the chain keeps growing.
+        let p2 = r#"{"op":"patch","circuit":"child1","edits":[{"gate":"y","delay":30}]}"#;
+        cache.insert_patched("child1", "child2".into(), Some("c-v2"), p2.into(), 8);
+        let (id, entry) = cache.resolve("c-v2").expect("alias resolves");
+        assert_eq!(id, "child2");
+        assert_eq!(entry.route, "root");
+        assert_eq!(entry.replay_lines().len(), 3);
+        assert_eq!(cache.resolve("c").unwrap().0, "root", "root alias intact");
+        // Patching an unknown parent is a silent no-op (nothing to chain).
+        cache.insert_patched("ghost", "childx".into(), None, p1.into(), 8);
+        assert!(cache.resolve("childx").is_none());
+    }
+
+    #[test]
     fn register_line_round_trips_through_the_parser() {
         let entry = RegEntry {
-            name: "c17".into(),
-            format: "bench".into(),
-            source: "INPUT(1)\nOUTPUT(2)\n2 = NOT(1)".into(),
             delay: 7,
+            ..reg("id", "c17", "INPUT(1)\nOUTPUT(2)\n2 = NOT(1)")
         };
         let parsed = Request::parse(&decode(&entry.register_line()).unwrap()).unwrap();
         match parsed.body {

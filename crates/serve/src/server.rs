@@ -32,12 +32,15 @@
 use crate::lineio::{CappedLineReader, LineRead};
 use crate::metrics::Histogram;
 use crate::proto::{
-    batch_json, delay_json, error_response, ok_response, ErrorCode, ProtoError, Request,
-    RequestBody, RunOpts,
+    batch_json, delay_json, error_response, ok_response, reused_report_json, CheckSet, EditSpec,
+    ErrorCode, ProtoError, Request, RequestBody, RunOpts,
 };
-use crate::registry::{CircuitRegistry, RegistryStats};
+use crate::registry::{CircuitEntry, CircuitRegistry, RegistryStats};
 use crate::wire::{decode, Json};
-use ltt_core::{available_jobs, BatchRunner, Budget, CancelToken, CheckSession};
+use ltt_core::{
+    available_jobs, BatchCheck, BatchRunner, Budget, CancelToken, CheckSession, Verdict,
+    VerifyReport,
+};
 use ltt_netlist::NetId;
 use std::collections::VecDeque;
 use std::io::{BufReader, ErrorKind, Write};
@@ -697,6 +700,20 @@ fn dispatch(text: &str, shared: &Arc<Shared>, cancel: &CancelToken, reply: &Repl
             }
             submit_delay(shared, cancel, reply, id, &circuit, output, opts);
         }
+        RequestBody::Patch {
+            circuit,
+            name,
+            edits,
+            checks,
+            opts,
+        } => {
+            if refuse_if_draining("patch") {
+                return;
+            }
+            submit_patch(
+                shared, cancel, reply, id, &circuit, name, edits, checks, opts,
+            );
+        }
     }
 }
 
@@ -822,6 +839,9 @@ fn submit_checks(
             id,
             work: Box::new(move || {
                 let batch = runner.run(&entry.session, &checks);
+                // Feed the entry's result cache: a later `patch` transplants
+                // these for outputs its edits cannot reach.
+                entry.cache_reports(&batch.reports);
                 let tripped = batch
                     .reports
                     .iter()
@@ -924,6 +944,196 @@ fn submit_delay(
             }),
         },
     );
+}
+
+/// Executes a `patch`: applies the edits through the registry (which
+/// rebases the parent's session and transplants clean-cone state), then —
+/// when the request bundles checks — runs them against the patched entry,
+/// serving cached transplanted reports without re-execution.
+///
+/// The patch itself runs inline on the reader thread, like `register`:
+/// that keeps pipelined follow-up requests naming the patched id ordered
+/// after its registration. Only the bundled checks go through admission.
+#[allow(clippy::too_many_arguments)]
+fn submit_patch(
+    shared: &Arc<Shared>,
+    cancel: &CancelToken,
+    reply: &ReplyHandle,
+    id: Option<Json>,
+    circuit_key: &str,
+    name: Option<String>,
+    edits: Vec<EditSpec>,
+    checks: Option<CheckSet>,
+    opts: RunOpts,
+) {
+    let outcome = match shared.registry.patch(circuit_key, name.as_deref(), &edits) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            reply.send(&error_response(id.as_ref(), &e));
+            return;
+        }
+    };
+    let entry = outcome.entry.clone();
+    let patch_fields = vec![
+        ("circuit".to_string(), Json::str(entry.id.clone())),
+        ("name".to_string(), Json::str(entry.name.clone())),
+        ("cached".to_string(), Json::Bool(outcome.resident)),
+        ("structural".to_string(), Json::Bool(outcome.structural)),
+        (
+            "dirty".to_string(),
+            Json::Arr(outcome.dirty.iter().map(|d| Json::str(d.clone())).collect()),
+        ),
+        (
+            "transplanted".to_string(),
+            Json::Int(outcome.transplanted as i64),
+        ),
+    ];
+    let Some(checks) = checks else {
+        reply.send(&ok_response("patch", id.as_ref(), patch_fields));
+        return;
+    };
+    let (names, checks): (Vec<String>, Vec<(NetId, i64)>) = match checks {
+        CheckSet::Explicit(pairs) => {
+            let mut names = Vec::with_capacity(pairs.len());
+            let mut resolved = Vec::with_capacity(pairs.len());
+            for (name, delta) in pairs {
+                match resolve_output(&entry.session, &name) {
+                    Ok(net) => {
+                        names.push(name);
+                        resolved.push((net, delta));
+                    }
+                    Err(e) => {
+                        reply.send(&error_response(id.as_ref(), &e));
+                        return;
+                    }
+                }
+            }
+            (names, resolved)
+        }
+        CheckSet::AllOutputs(delta) => entry
+            .circuit
+            .outputs()
+            .iter()
+            .map(|&o| (entry.circuit.net(o).name().to_string(), (o, delta)))
+            .unzip(),
+    };
+    let runner = build_runner(&opts, cancel);
+    let shared_for_job = shared.clone();
+    let job_id = id.clone();
+    admit(
+        shared,
+        reply,
+        Job {
+            reply: reply.clone(),
+            id,
+            work: Box::new(move || {
+                let (batch, reused) = run_with_reuse(&runner, &entry, &checks);
+                let tripped = batch
+                    .reports
+                    .iter()
+                    .filter(|r| !r.completeness.is_exact())
+                    .count() as u64;
+                if tripped > 0 {
+                    shared_for_job
+                        .counters
+                        .budget_tripped
+                        .fetch_add(tripped, Ordering::Relaxed);
+                }
+                let mut fields = patch_fields;
+                fields.append(&mut batch_json_with_reuse(&batch, &names, &reused));
+                ok_response("patch", job_id.as_ref(), fields)
+            }),
+        },
+    );
+}
+
+/// Runs `checks` against `entry`, serving any check whose exact report is
+/// already cached (transplanted across a patch, or produced by an earlier
+/// request) without re-executing it. Returns the merged batch — reports
+/// and errors in *request* order — plus the per-report reuse flags.
+fn run_with_reuse(
+    runner: &BatchRunner,
+    entry: &Arc<CircuitEntry>,
+    checks: &[(NetId, i64)],
+) -> (BatchCheck, Vec<bool>) {
+    let cached: Vec<Option<VerifyReport>> = checks
+        .iter()
+        .map(|&(output, delta)| entry.cached_report(output, delta))
+        .collect();
+    // Positions (in request order) of the checks that must actually run.
+    let to_run_pos: Vec<usize> = (0..checks.len()).filter(|&i| cached[i].is_none()).collect();
+    let to_run: Vec<(NetId, i64)> = to_run_pos.iter().map(|&i| checks[i]).collect();
+    let mut batch = runner.run(&entry.session, &to_run);
+    entry.cache_reports(&batch.reports);
+    // Remap the fresh slots back to request-order indices.
+    for error in &mut batch.errors {
+        error.index = to_run_pos[error.index];
+    }
+    let mut fresh = batch.reports.drain(..);
+    let mut reports = Vec::with_capacity(checks.len());
+    let mut reused = Vec::with_capacity(checks.len());
+    let errored = |i: usize| batch.errors.iter().any(|e| e.index == i);
+    for (i, slot) in cached.into_iter().enumerate() {
+        match slot {
+            Some(report) => {
+                reports.push(report);
+                reused.push(true);
+            }
+            None => {
+                if !errored(i) {
+                    reports.push(fresh.next().expect("one fresh report per clean run slot"));
+                    reused.push(false);
+                }
+            }
+        }
+    }
+    drop(fresh);
+    batch.reports = reports;
+    // Fold the served-from-cache checks into the summary so the outcome
+    // and the counters describe the whole request, not just the rerun.
+    for (report, &was_reused) in batch.reports.iter().zip(&reused) {
+        if !was_reused {
+            continue;
+        }
+        batch.summary.checks += 1;
+        batch.summary.backtracks = batch.summary.backtracks.saturating_add(report.backtracks);
+        match &report.verdict {
+            Verdict::NoViolation { .. } => batch.summary.no_violation += 1,
+            Verdict::Violation { .. } => batch.summary.violations += 1,
+            Verdict::Possible | Verdict::Abandoned => batch.summary.undecided += 1,
+        }
+    }
+    (batch, reused)
+}
+
+/// [`batch_json`] with the merged reports re-serialized to carry their
+/// `"reused"` flags (`reused[i]` belongs to `reports[i]`).
+fn batch_json_with_reuse(
+    batch: &BatchCheck,
+    check_names: &[String],
+    reused: &[bool],
+) -> Vec<(String, Json)> {
+    let mut fields = batch_json(batch, check_names);
+    let failed = |i: usize| batch.errors.iter().any(|e| e.index == i);
+    let report_names = check_names
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| !failed(i))
+        .map(|(_, name)| name);
+    let reports: Vec<Json> = batch
+        .reports
+        .iter()
+        .zip(report_names)
+        .zip(reused)
+        .map(|((r, name), &was_reused)| reused_report_json(r, name, was_reused))
+        .collect();
+    for (key, value) in &mut fields {
+        if key == "reports" {
+            *value = Json::Arr(reports);
+            break;
+        }
+    }
+    fields
 }
 
 /// The per-request budget equivalent to what `runner` would apply per

@@ -4,7 +4,7 @@
 //! Only wall-clock fields (`elapsed_us`, `wall_us`, `stage_us`) are
 //! exempt.
 
-use ltt_core::{BatchRunner, CheckSession, VerifyConfig};
+use ltt_core::{BatchRunner, CheckSession};
 use ltt_netlist::bench_format::{parse_bench, write_bench};
 use ltt_netlist::generators::figure1;
 use ltt_netlist::suite::c17;
@@ -58,9 +58,12 @@ fn served_reports_match_serial_run() {
     for (name, circuit) in [("c17", c17(10)), ("figure1", figure1(10))] {
         let source = write_bench(&circuit);
         // The server analyses what it parses from the upload, so the local
-        // reference must run on the same reparsed circuit.
+        // reference must run on the same reparsed circuit — under the
+        // registry's exact session configuration (cone-sliced checking
+        // changes effort counters and witness search order, so a
+        // differently-configured oracle would not be bit-identical).
         let parsed = parse_bench(name, &source, DelayInterval::fixed(10)).expect("reparse");
-        let session = CheckSession::new(&parsed, VerifyConfig::default());
+        let session = CheckSession::new(&parsed, ltt_serve::session_config());
         let (names, checks) = checks_for(&parsed);
 
         let reply = client
