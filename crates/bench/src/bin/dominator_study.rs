@@ -68,6 +68,7 @@ fn main() {
                     Stage::Dominators => "dominators",
                     Stage::StemCorrelation => "stems",
                     Stage::CaseAnalysis => "case analysis",
+                    Stage::Sat => "sat",
                 },
             ),
             _ => ("P", "-"),

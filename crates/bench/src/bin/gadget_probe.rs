@@ -98,6 +98,7 @@ fn probe(name: &str, c: &Circuit) {
             Stage::Dominators => "dominators",
             Stage::StemCorrelation => "stems",
             Stage::CaseAnalysis => "case-analysis",
+            Stage::Sat => "sat",
         },
         other => {
             println!("{name}: UNEXPECTED verdict at exact+1: {other:?}");

@@ -15,9 +15,12 @@
 //! `--bench-json FILE` writes the same rollup as a machine-readable
 //! benchmark artifact (suite wall-clock plus per-stage span counts and
 //! totals) for CI trend tracking; it implies recording.
+//! `--engine narrow|sat|hybrid` re-runs the table through the selected
+//! verification backend (DESIGN.md §15) — the narrow-vs-sat wall-clock
+//! comparison in EXPERIMENTS.md is two invocations of this flag.
 
 use ltt_bench::table1::{render_rows, run_entry_with, Table1Row};
-use ltt_core::{BatchRunner, Obs, Recorder, VerifyConfig};
+use ltt_core::{BatchRunner, Engine, Obs, Recorder, VerifyConfig};
 use ltt_netlist::suite::{iscas85_suite, SuiteEntry};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -65,11 +68,19 @@ fn main() {
         .iter()
         .position(|a| a == "--bench-json")
         .map(|i| args.get(i + 1).expect("--bench-json needs a file").clone());
+    let engine = args
+        .iter()
+        .position(|a| a == "--engine")
+        .map(|i| args.get(i + 1).expect("--engine needs a name"))
+        .map(|name| Engine::parse(name).expect("--engine needs narrow, sat, or hybrid"))
+        .unwrap_or(Engine::Narrow);
     let recorder = (trace.is_some() || bench_json.is_some()).then(|| Arc::new(Recorder::new()));
     // The paper abandons c6288 after an excessive number of backtracks;
-    // bound the budget the same way.
+    // bound the budget the same way (the cap doubles as the CDCL conflict
+    // cap under `--engine sat`).
     let config = VerifyConfig {
         max_backtracks: 20_000,
+        engine,
         obs: recorder
             .as_ref()
             .map_or_else(Obs::disabled, |r| Obs::recording(r.clone())),

@@ -2,7 +2,7 @@
 
 use ltt_core::{
     explain, BatchRunner, Budget, CheckError, CheckSession, Completeness, ConeMode, DelayMode,
-    DelaySearch, Error, LearningMode, Obs, Recorder, Stage, Verdict, VerifyConfig,
+    DelaySearch, Engine, Error, LearningMode, Obs, Recorder, Stage, Verdict, VerifyConfig,
 };
 use ltt_netlist::bench_format::{parse_bench, write_bench};
 use ltt_netlist::sdf::apply_sdf;
@@ -63,6 +63,7 @@ struct Options {
     jobs: usize,
     trace: Option<String>,
     cone: ConeMode,
+    engine: Engine,
     set_delay: Vec<String>,
     rewire: Vec<String>,
 }
@@ -93,6 +94,7 @@ impl Default for Options {
             jobs: 0,
             trace: None,
             cone: ConeMode::Auto,
+            engine: Engine::Narrow,
             set_delay: Vec::new(),
             rewire: Vec::new(),
         }
@@ -187,6 +189,15 @@ OPTIONS
                             engines, which answer bit-identically;
                             `off` is the whole-circuit legacy pipeline)
   --no-dominators --no-stems --no-search --no-learning
+  --engine narrow|sat|hybrid
+                            verification backend for check/delay
+                            (default narrow: the waveform-narrowing
+                            pipeline; `sat` re-decides each check with
+                            an independent CNF/CDCL oracle; `hybrid`
+                            runs narrowing first and falls back to SAT
+                            only when the budget trips, tightening the
+                            reported delay interval instead of giving
+                            up; `sat`/`hybrid` do not support --assume)
   --max-backtracks N        case-analysis budget (100000)
   --jobs N                  worker threads for check/delay batches
                             (0 = one per hardware thread, the default;
@@ -303,6 +314,11 @@ fn parse_options(args: &[String]) -> Result<Options, Error> {
                     "masked" => ConeMode::Masked,
                     other => return Err(Error::usage(format!("unknown cone mode `{other}`"))),
                 }
+            }
+            "--engine" => {
+                let v = value("--engine")?;
+                opts.engine = Engine::parse(&v)
+                    .ok_or_else(|| Error::usage(format!("unknown engine `{v}`")))?;
             }
             "--set-delay" => opts.set_delay.push(value("--set-delay")?),
             "--rewire" => opts.rewire.push(value("--rewire")?),
@@ -668,6 +684,7 @@ fn config_from(opts: &Options) -> VerifyConfig {
         max_backtracks: opts.max_backtracks,
         certify_vectors: true,
         budget: Budget::unlimited(),
+        engine: opts.engine,
         obs: Obs::disabled(),
     }
 }
@@ -710,6 +727,7 @@ fn stage_name(stage: Stage) -> &'static str {
         Stage::Dominators => "timing dominators",
         Stage::StemCorrelation => "stem correlation",
         Stage::CaseAnalysis => "case analysis",
+        Stage::Sat => "sat",
     }
 }
 
@@ -739,7 +757,25 @@ fn cmd_check(circuit: &Circuit, opts: &Options) -> Result<RunStatus, Error> {
         .into_iter()
         .map(|o| (o, delta))
         .collect();
-    let batch = runner.run_under(&session, &checks, &assumptions);
+    let batch = if opts.engine == Engine::Narrow {
+        runner.run_under(&session, &checks, &assumptions)
+    } else {
+        // The CNF encoder has no notion of pinned nets, and silently
+        // ignoring pins would let it report witnesses the assumption
+        // set rules out.
+        if !assumptions.is_empty() {
+            return Err(Error::usage(
+                "--assume requires --engine narrow (the CNF encoder does not support pins)",
+            ));
+        }
+        let extra = match opts.deadline_ms {
+            Some(ms) => {
+                Budget::unlimited().with_deadline(Instant::now() + Duration::from_millis(ms))
+            }
+            None => Budget::unlimited(),
+        };
+        ltt_sat::run_checks(&session, opts.engine, &checks, &extra, opts.fail_fast)
+    };
     let mut any_violation = false;
     let mut any_open = false;
     for r in &batch.reports {
@@ -1006,8 +1042,21 @@ fn cmd_delay(circuit: &Circuit, opts: &Options) -> Result<RunStatus, Error> {
     // The all-outputs case fans the per-output searches over the runner's
     // workers; a single --output just runs in place (under the same
     // wall-clock budget, if one was given).
-    let results: Vec<Result<DelaySearch, CheckError>> = if outputs.len() == circuit.outputs().len()
-    {
+    let results: Vec<Result<DelaySearch, CheckError>> = if opts.engine != Engine::Narrow {
+        // SAT and hybrid searches run in place: the SAT backend is the
+        // cross-check path, so sequential + budget-shared beats fanning
+        // encoder memory over workers.
+        let budget = match opts.deadline_ms {
+            Some(ms) => {
+                Budget::unlimited().with_deadline(Instant::now() + Duration::from_millis(ms))
+            }
+            None => Budget::unlimited(),
+        };
+        outputs
+            .iter()
+            .map(|&o| Ok(ltt_sat::exact_delay_budgeted(&session, o, &budget)))
+            .collect()
+    } else if outputs.len() == circuit.outputs().len() {
         runner_from(opts).try_exact_delays(&session)
     } else {
         let budget = match opts.deadline_ms {

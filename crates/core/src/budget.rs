@@ -214,7 +214,9 @@ impl Budget {
     }
 
     /// Arms the budget: fixes the start of the per-check wall window.
-    pub(crate) fn arm(&self) -> ArmedBudget {
+    /// Public so out-of-crate engines (the `ltt-sat` CDCL core) can poll
+    /// the same limits the narrowing pipeline honours.
+    pub fn arm(&self) -> ArmedBudget {
         ArmedBudget {
             budget: self.clone(),
             started: Instant::now(),
@@ -234,7 +236,7 @@ const CLOCK_STRIDE: u32 = 64;
 /// remembers the first trip (sticky — once tripped, every later poll
 /// reports the same reason so the whole pipeline unwinds promptly).
 #[derive(Clone, Debug)]
-pub(crate) struct ArmedBudget {
+pub struct ArmedBudget {
     budget: Budget,
     started: Instant,
     poll_countdown: u32,
@@ -243,23 +245,23 @@ pub(crate) struct ArmedBudget {
 
 impl ArmedBudget {
     /// An armed unlimited budget (polling returns `None` immediately).
-    pub(crate) fn unlimited() -> Self {
+    pub fn unlimited() -> Self {
         Budget::unlimited().arm()
     }
 
     /// The underlying (unarmed) budget.
-    pub(crate) fn budget(&self) -> &Budget {
+    pub fn budget(&self) -> &Budget {
         &self.budget
     }
 
     /// The sticky trip, if the budget has already tripped.
-    pub(crate) fn tripped(&self) -> Option<TripReason> {
+    pub fn tripped(&self) -> Option<TripReason> {
         self.tripped
     }
 
     /// Records an externally observed trip (e.g. the search's backtrack
     /// counter crossing the cap) so later polls stay tripped.
-    pub(crate) fn trip(&mut self, reason: TripReason) {
+    pub fn trip(&mut self, reason: TripReason) {
         if self.tripped.is_none() {
             self.tripped = Some(reason);
         }
@@ -268,7 +270,7 @@ impl ArmedBudget {
     /// Polls every limit; `events` is the caller's narrowing-event counter.
     /// Returns the (sticky) trip reason, or `None` while within budget.
     /// Wall-clock is read once per [`CLOCK_STRIDE`] polls.
-    pub(crate) fn poll(&mut self, events: u64) -> Option<TripReason> {
+    pub fn poll(&mut self, events: u64) -> Option<TripReason> {
         if let Some(reason) = self.tripped {
             return Some(reason);
         }
@@ -307,7 +309,7 @@ impl ArmedBudget {
     /// Like [`ArmedBudget::poll`] but always reads the clock — for
     /// low-frequency call sites (stage boundaries, per-decision checks)
     /// where stride-skipping would delay the trip.
-    pub(crate) fn poll_now(&mut self) -> Option<TripReason> {
+    pub fn poll_now(&mut self) -> Option<TripReason> {
         self.poll_countdown = 0;
         self.poll(0)
     }

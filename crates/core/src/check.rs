@@ -79,6 +79,47 @@ pub enum LearningMode {
     All,
 }
 
+/// Which verification backend answers a check.
+///
+/// The narrowing pipeline is the only engine this crate implements; the
+/// field is carried here as plain configuration data so that front-ends
+/// (CLI, serve) and the `ltt-sat` crate can dispatch on it without a
+/// dependency cycle. Code in this crate treats every value as
+/// [`Engine::Narrow`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Waveform narrowing + FAN case analysis (the paper's method).
+    #[default]
+    Narrow,
+    /// CNF unrolling of the floating-mode semantics, solved by CDCL
+    /// (`ltt-sat`).
+    Sat,
+    /// Narrowing first; on [`Completeness::BudgetExhausted`] fall back to
+    /// SAT to decide the check or tighten the delay interval.
+    Hybrid,
+}
+
+impl Engine {
+    /// Stable lowercase name (CLI flag value / wire `opts.engine`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Engine::Narrow => "narrow",
+            Engine::Sat => "sat",
+            Engine::Hybrid => "hybrid",
+        }
+    }
+
+    /// Parses a CLI/wire engine name.
+    pub fn parse(s: &str) -> Option<Engine> {
+        match s {
+            "narrow" | "narrowing" => Some(Engine::Narrow),
+            "sat" | "cnf" => Some(Engine::Sat),
+            "hybrid" => Some(Engine::Hybrid),
+            _ => None,
+        }
+    }
+}
+
 /// Pipeline configuration. The defaults enable everything, matching the
 /// paper's full method.
 #[derive(Clone, Debug)]
@@ -104,6 +145,10 @@ pub struct VerifyConfig {
     /// [`Completeness::BudgetExhausted`] instead of hanging; the default is
     /// unlimited.
     pub budget: Budget,
+    /// Which backend front-ends should route the check through. This
+    /// crate always runs the narrowing pipeline; `Sat`/`Hybrid` are
+    /// honoured by dispatchers layered on top (see `ltt-sat`).
+    pub engine: Engine,
     /// Observability sink. The default is disabled (a no-op handle);
     /// attach a recorder with [`Obs::recording`] to capture per-stage
     /// spans. Recording never changes what the pipeline computes:
@@ -124,6 +169,7 @@ impl Default for VerifyConfig {
             max_backtracks: 100_000,
             certify_vectors: true,
             budget: Budget::unlimited(),
+            engine: Engine::Narrow,
             obs: Obs::disabled(),
         }
     }
@@ -164,6 +210,9 @@ pub enum Stage {
     StemCorrelation,
     /// Case analysis.
     CaseAnalysis,
+    /// CNF/CDCL backend (`ltt-sat`); never produced by this crate's
+    /// pipeline, only by engine dispatchers layered on top.
+    Sat,
 }
 
 /// Wall-clock spent in each pipeline stage, per check — or, summed with

@@ -77,10 +77,10 @@ pub mod solver;
 pub mod stems;
 
 pub use batch::{available_jobs, BatchCheck, BatchError, BatchOutcome, BatchRunner, BatchSummary};
-pub use budget::{Budget, CancelToken, TripReason};
+pub use budget::{ArmedBudget, Budget, CancelToken, TripReason};
 pub use check::{
     delay_profile, exact_circuit_delay, exact_delay, verify, verify_all_outputs, verify_under,
-    verify_with_learning, Completeness, ConeMode, DelayMode, DelaySearch, LearningMode,
+    verify_with_learning, Completeness, ConeMode, DelayMode, DelaySearch, Engine, LearningMode,
     ProfilePoint, Stage, StageEffort, StageTimes, StageVerdict, Verdict, VerifyConfig,
     VerifyReport,
 };

@@ -1,0 +1,27 @@
+//! Second verification backend: CNF/CDCL differential oracle.
+//!
+//! This crate re-decides the floating-mode timing check σ = (ξ, s, δ)
+//! with a completely independent method: [`encode`] unrolls the
+//! last-transition-time semantics into CNF over per-net settle grids, and
+//! [`cdcl`] is a clean-room CDCL solver (two-watched literals, first-UIP
+//! learning, Luby restarts) that polls the core's `Budget`/`CancelToken`
+//! so it composes with the resilience layer.
+//!
+//! [`engine`] layers the `--engine {narrow, sat, hybrid}` dispatch on
+//! top of `ltt-core`'s narrowing pipeline: `hybrid` falls back to SAT
+//! when narrowing exhausts its budget, tightening the delay interval
+//! instead of giving up. Because the two backends share no code beyond
+//! the netlist, agreement between them (fuzzed in
+//! `tests/engine_differential.rs`) is strong evidence against soundness
+//! bugs in either.
+
+pub mod cdcl;
+pub mod encode;
+pub mod engine;
+
+pub use cdcl::{CdclStats, Lit, SatResult, Solver, Var};
+pub use encode::{encode_check, CnfCheck, EncodeError, Encoded};
+pub use engine::{
+    exact_delay, exact_delay_budgeted, exact_delay_with_engine, run_checks, sat_decide, verify,
+    verify_budgeted, verify_with_engine, SatCheck, SatVerdict,
+};

@@ -1,0 +1,174 @@
+//! Budget-trip soundness of the SAT backend, proven by fault injection
+//! (run with `--features failpoints`): a stall armed on `sat::propagate`
+//! forces every CDCL run to exhaust its wall budget mid-search, and the
+//! tripped solve must surface as `Unknown`/`BudgetExhausted` — never as a
+//! decided (and therefore wrong) verdict — while delay searches keep a
+//! still-proven `[lower, upper]` interval around the true delay.
+//!
+//! The failpoint registry is process-global, so every test serializes
+//! behind `FAULT_LOCK` and disarms on the way out.
+
+#![cfg(feature = "failpoints")]
+
+use ltt_core::failpoint::{clear_all, set, FailAction};
+use ltt_core::{
+    Budget, CheckSession, Completeness, Engine, Stage, TripReason, Verdict, VerifyConfig,
+};
+use ltt_netlist::generators::figure1;
+use ltt_netlist::Circuit;
+use ltt_sat::{sat_decide, SatVerdict};
+use std::sync::Mutex;
+use std::time::Duration;
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn session(circuit: &Circuit, engine: Engine) -> CheckSession<'_> {
+    CheckSession::new(
+        circuit,
+        VerifyConfig {
+            engine,
+            ..Default::default()
+        },
+    )
+}
+
+/// Arms the CDCL propagation stall, runs `body`, and always disarms —
+/// even when an assertion inside `body` panics, so one failure cannot
+/// poison the registry for the remaining tests.
+fn with_stalled_propagation<R>(stall: Duration, body: impl FnOnce() -> R) -> R {
+    struct Disarm;
+    impl Drop for Disarm {
+        fn drop(&mut self) {
+            clear_all();
+        }
+    }
+    let _guard = Disarm;
+    set("sat::propagate", Some("cdcl"), FailAction::Stall(stall));
+    body()
+}
+
+/// A wall budget short enough that the very first post-stall poll trips
+/// it: the stall (100ms) dwarfs the window (10ms), so a stalled solve can
+/// never run to completion no matter how the scheduler slices it.
+fn tripping_budget() -> Budget {
+    Budget::unlimited().with_wall(Duration::from_millis(10))
+}
+
+#[test]
+fn tripped_solve_reports_unknown_never_a_wrong_verdict() {
+    let _lock = FAULT_LOCK.lock().unwrap();
+    let circuit = figure1(10);
+    let output = circuit.outputs()[0];
+
+    // Ground truth first, with nothing armed: the exact delay and the two
+    // δ values whose true verdicts bracket it.
+    let exact = {
+        let narrow = session(&circuit, Engine::Narrow);
+        let search = narrow.exact_delay(output);
+        assert!(search.proven_exact, "figure1 must be decidable unbudgeted");
+        search.delay
+    };
+    assert!(exact > 0, "figure1 has a positive floating-mode delay");
+
+    with_stalled_propagation(Duration::from_millis(100), || {
+        // δ = exact: the true verdict is Violated. A tripped solve must
+        // not claim Safe (unsound) — and with the stall it cannot finish,
+        // so anything but Unknown(Deadline) is a soundness bug.
+        let check = sat_decide(&circuit, output, exact, &tripping_budget());
+        assert_eq!(
+            check.verdict,
+            SatVerdict::Unknown(TripReason::Deadline),
+            "stalled solve at δ = exact must trip, not decide"
+        );
+
+        // δ = exact + 1: the true verdict is Safe. A tripped solve must
+        // not claim Violated (a fabricated witness).
+        let check = sat_decide(&circuit, output, exact + 1, &tripping_budget());
+        assert_eq!(
+            check.verdict,
+            SatVerdict::Unknown(TripReason::Deadline),
+            "stalled solve at δ = exact + 1 must trip, not decide"
+        );
+    });
+}
+
+#[test]
+fn tripped_verify_surfaces_budget_exhausted_at_the_sat_stage() {
+    let _lock = FAULT_LOCK.lock().unwrap();
+    let circuit = figure1(10);
+    let output = circuit.outputs()[0];
+    let exact = {
+        let narrow = session(&circuit, Engine::Narrow);
+        narrow.exact_delay(output).delay
+    };
+
+    with_stalled_propagation(Duration::from_millis(100), || {
+        let sat = session(&circuit, Engine::Sat);
+        let report = ltt_sat::verify_budgeted(&sat, output, exact, &tripping_budget());
+        assert_eq!(report.verdict, Verdict::Abandoned);
+        assert_eq!(
+            report.completeness,
+            Completeness::BudgetExhausted {
+                stage: Stage::Sat,
+                reason: TripReason::Deadline,
+            },
+            "the trip must be attributed to the SAT stage"
+        );
+    });
+}
+
+#[test]
+fn tripped_delay_search_keeps_a_proven_interval() {
+    let _lock = FAULT_LOCK.lock().unwrap();
+    let circuit = figure1(10);
+    let output = circuit.outputs()[0];
+    let truth = {
+        let narrow = session(&circuit, Engine::Narrow);
+        let search = narrow.exact_delay(output);
+        assert!(search.proven_exact);
+        search.delay
+    };
+
+    with_stalled_propagation(Duration::from_millis(100), || {
+        let sat = session(&circuit, Engine::Sat);
+        let search =
+            ltt_sat::exact_delay_with_engine(&sat, Engine::Sat, output, &tripping_budget());
+        // Every probe tripped, so the search cannot claim exactness...
+        assert!(
+            !search.proven_exact,
+            "stalled bisection claimed an exact delay"
+        );
+        // ...but the interval it does report must still be *proven*:
+        // `delay` only ever rises on a certified witness and
+        // `upper_bound` only ever falls on an UNSAT proof, so even a
+        // fully-starved search brackets the truth.
+        assert!(
+            search.delay <= truth && truth <= search.upper_bound,
+            "tripped interval [{}, {}] lost the true delay {truth}",
+            search.delay,
+            search.upper_bound
+        );
+        if let Some(vector) = &search.vector {
+            assert!(
+                ltt_sta::vector_violates(&circuit, vector, output, search.delay),
+                "reported lower-bound witness fails certification"
+            );
+        }
+    });
+}
+
+#[test]
+fn disarmed_failpoint_restores_exact_decisions() {
+    // Guards against registry leakage between tests (and documents that
+    // the stall — not some latent budget bug — caused the trips above).
+    let _lock = FAULT_LOCK.lock().unwrap();
+    clear_all();
+    let circuit = figure1(10);
+    let output = circuit.outputs()[0];
+    let sat = session(&circuit, Engine::Sat);
+    let search = ltt_sat::exact_delay(&sat, output);
+    assert!(
+        search.proven_exact,
+        "unarmed SAT search must decide figure1"
+    );
+}

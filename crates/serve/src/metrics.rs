@@ -364,15 +364,52 @@ mod tests {
         }
         samples.sort();
         for &(p, want_sample, want_bucket) in &[
+            // Boundary: q = 0 means "the smallest sample" under both
+            // definitions (rank clamps up to 1, never 0).
+            (0.00, Duration::from_millis(1), 0.001),
             (0.50, Duration::from_millis(1), 0.001),
             (0.90, Duration::from_millis(1), 0.001),
             (0.91, Duration::from_millis(200), 0.25),
             (0.99, Duration::from_millis(200), 0.25),
+            // Boundary: q = 1 means "the largest sample", and clamping
+            // keeps out-of-range q pinned to the same answers.
             (1.00, Duration::from_millis(200), 0.25),
+            (-1.0, Duration::from_millis(1), 0.001),
+            (2.00, Duration::from_millis(200), 0.25),
         ] {
             assert_eq!(percentile(&samples, p), want_sample, "p = {p}");
             assert_eq!(h.quantile(p), Some(want_bucket), "p = {p}");
         }
+    }
+
+    /// The degenerate inputs where rank arithmetic is most likely to slip
+    /// off by one: no samples, and exactly one sample.
+    #[test]
+    fn percentile_and_quantile_agree_on_degenerate_inputs() {
+        // Empty: the histogram reports "no quantile" (None) and the
+        // exact-sample percentile reports its documented zero sentinel —
+        // both are explicit "no data" answers, neither panics.
+        let empty = Histogram::new();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(empty.quantile(q), None, "q = {q}");
+            assert_eq!(percentile(&[], q), Duration::ZERO, "q = {q}");
+        }
+
+        // Single sample: every quantile from 0 to 1 (and beyond, via
+        // clamping) is that sample — rank ⌈q·1⌉ clamps to 1 everywhere.
+        let h = Histogram::new();
+        h.observe(Duration::from_millis(2)); // bucket le = 0.0025
+        let one = [Duration::from_millis(2)];
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0, -3.0, 7.0] {
+            assert_eq!(h.quantile(q), Some(0.0025), "q = {q}");
+            assert_eq!(percentile(&one, q), one[0], "q = {q}");
+        }
+
+        // NaN falls through both rank computations to rank 1 (the float
+        // casts saturate to 0, then clamp up): the smallest sample, not a
+        // panic or an out-of-range index.
+        assert_eq!(h.quantile(f64::NAN), Some(0.0025));
+        assert_eq!(percentile(&one, f64::NAN), one[0]);
     }
 
     #[test]

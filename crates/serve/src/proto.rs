@@ -32,7 +32,9 @@
 //! are bit-identical to an in-process serial run.
 
 use crate::wire::Json;
-use ltt_core::{BatchCheck, BatchOutcome, Completeness, DelaySearch, Stage, Verdict, VerifyReport};
+use ltt_core::{
+    BatchCheck, BatchOutcome, Completeness, DelaySearch, Engine, Stage, Verdict, VerifyReport,
+};
 
 /// Machine-readable failure classes of the protocol.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -125,6 +127,9 @@ pub struct RunOpts {
     pub max_backtracks: Option<u64>,
     /// Cancel the rest of the batch once one violation is found.
     pub fail_fast: bool,
+    /// Verification backend: `"narrow"` (default), `"sat"`, or
+    /// `"hybrid"` (narrowing with SAT fallback on budget exhaustion).
+    pub engine: Engine,
 }
 
 impl Default for RunOpts {
@@ -134,6 +139,7 @@ impl Default for RunOpts {
             deadline_ms: None,
             max_backtracks: None,
             fail_fast: false,
+            engine: Engine::Narrow,
         }
     }
 }
@@ -169,6 +175,14 @@ impl RunOpts {
             opts.fail_fast = f
                 .as_bool()
                 .ok_or_else(|| ProtoError::bad("`opts.fail_fast` must be a boolean"))?;
+        }
+        if let Some(e) = json.get("engine") {
+            let name = e
+                .as_str()
+                .ok_or_else(|| ProtoError::bad("`opts.engine` must be a string"))?;
+            opts.engine = Engine::parse(name).ok_or_else(|| {
+                ProtoError::bad("`opts.engine` must be `narrow`, `sat`, or `hybrid`")
+            })?;
         }
         Ok(opts)
     }
@@ -572,6 +586,7 @@ fn stage_str(stage: Stage) -> &'static str {
         Stage::Dominators => "dominators",
         Stage::StemCorrelation => "stem_correlation",
         Stage::CaseAnalysis => "case_analysis",
+        Stage::Sat => "sat",
     }
 }
 
@@ -720,8 +735,13 @@ pub fn batch_json(batch: &BatchCheck, check_names: &[String]) -> Vec<(String, Js
     ]
 }
 
+/// A `u64` counter on the wire, exactly: values past `i64::MAX` become
+/// [`Json::Uint`] rather than saturating — a content hash or a cumulative
+/// `elapsed_us` above 2^63 must round-trip bit-for-bit, not pin to a
+/// ceiling (and certainly not degrade through `f64`, which only holds
+/// 53 bits).
 fn int_u64(value: u64) -> Json {
-    Json::Int(i64::try_from(value).unwrap_or(i64::MAX))
+    Json::uint(value)
 }
 
 /// A [`Duration`](std::time::Duration) in whole microseconds, saturating
@@ -977,12 +997,16 @@ mod tests {
         use std::time::Duration;
         // u64::MAX seconds is ~5.8e25 µs — far past u64::MAX µs. The old
         // `as_micros() as u64` cast wrapped this into a meaningless small
-        // number; the wire value must pin at the i64 ceiling instead.
+        // number; the duration pins at the u64 ceiling, and the wire value
+        // carries the full u64 exactly (as `Json::Uint`, not a clamped
+        // i64 and not a 53-bit-mantissa float).
         let absurd = Duration::from_secs(u64::MAX);
         assert_eq!(micros_u64(absurd), u64::MAX);
-        assert_eq!(int_u64(micros_u64(absurd)), Json::Int(i64::MAX));
-        // Sane values round-trip unchanged.
+        assert_eq!(int_u64(micros_u64(absurd)), Json::Uint(u64::MAX));
+        assert_eq!(int_u64(micros_u64(absurd)).as_u64(), Some(u64::MAX));
+        // Sane values round-trip unchanged, staying canonical `Int`.
         assert_eq!(micros_u64(Duration::from_micros(1234)), 1234);
+        assert_eq!(int_u64(1234), Json::Int(1234));
     }
 
     #[test]

@@ -71,8 +71,10 @@ pub fn content_id(format: &str, delay: u32, source: &str) -> String {
 /// then every variable-length component length-prefixed.
 fn edit_bytes(edit: &EditSpec) -> Vec<u8> {
     let mut out = Vec::new();
+    // u64 length frames: a u32 frame would alias a name of length L with
+    // one of length L + 2^32, making two distinct edits hash-equal.
     let push_str = |out: &mut Vec<u8>, s: &str| {
-        out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(s.len() as u64).to_le_bytes());
         out.extend_from_slice(s.as_bytes());
     };
     match edit {
@@ -85,7 +87,7 @@ fn edit_bytes(edit: &EditSpec) -> Vec<u8> {
         EditSpec::Rewire { gate, inputs } => {
             out.push(2);
             push_str(&mut out, gate);
-            out.extend_from_slice(&(inputs.len() as u32).to_le_bytes());
+            out.extend_from_slice(&(inputs.len() as u64).to_le_bytes());
             for input in inputs {
                 push_str(&mut out, input);
             }
@@ -551,6 +553,38 @@ mod tests {
         assert_ne!(a, content_id("bench", 10, TINY2));
         assert_ne!(a, content_id("bench", 11, TINY));
         assert_ne!(a, content_id("verilog", 10, TINY));
+    }
+
+    #[test]
+    fn edit_records_use_u64_length_frames() {
+        // Regression: a u32 length frame would alias a gate name of
+        // length L with one of length L + 2^32 in `patched_id`. Pin the
+        // full canonical layout so the frame width can't silently shrink.
+        let bytes = edit_bytes(&EditSpec::SetDelay {
+            gate: "g".to_string(),
+            min: 3,
+            max: 7,
+        });
+        let mut expect = vec![1u8];
+        expect.extend_from_slice(&1u64.to_le_bytes());
+        expect.push(b'g');
+        expect.extend_from_slice(&3u32.to_le_bytes());
+        expect.extend_from_slice(&7u32.to_le_bytes());
+        assert_eq!(bytes, expect);
+
+        let bytes = edit_bytes(&EditSpec::Rewire {
+            gate: "gate".to_string(),
+            inputs: vec!["a".to_string(), "bb".to_string()],
+        });
+        let mut expect = vec![2u8];
+        expect.extend_from_slice(&4u64.to_le_bytes());
+        expect.extend_from_slice(b"gate");
+        expect.extend_from_slice(&2u64.to_le_bytes());
+        expect.extend_from_slice(&1u64.to_le_bytes());
+        expect.push(b'a');
+        expect.extend_from_slice(&2u64.to_le_bytes());
+        expect.extend_from_slice(b"bb");
+        assert_eq!(bytes, expect);
     }
 
     #[test]

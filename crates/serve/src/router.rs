@@ -1248,8 +1248,18 @@ fn router_status(shared: &RouterShared, id: Option<&Json>) -> Json {
             (
                 "queue".to_string(),
                 Json::obj([
-                    ("depth", Json::Int(queued as i64)),
-                    ("capacity", Json::Int(shared.config.queue_cap.max(1) as i64)),
+                    (
+                        "depth",
+                        Json::Int(i64::try_from(queued).unwrap_or(i64::MAX)),
+                    ),
+                    // Saturate rather than wrap: a queue cap above
+                    // `i64::MAX` must not report as negative capacity.
+                    (
+                        "capacity",
+                        Json::Int(
+                            i64::try_from(shared.config.queue_cap.max(1)).unwrap_or(i64::MAX),
+                        ),
+                    ),
                 ]),
             ),
             (

@@ -38,7 +38,7 @@ use crate::proto::{
 use crate::registry::{CircuitEntry, CircuitRegistry, RegistryStats};
 use crate::wire::{decode, Json};
 use ltt_core::{
-    available_jobs, BatchCheck, BatchRunner, Budget, CancelToken, CheckSession, Verdict,
+    available_jobs, BatchCheck, BatchRunner, Budget, CancelToken, CheckSession, Engine, Verdict,
     VerifyReport,
 };
 use ltt_netlist::NetId;
@@ -838,7 +838,19 @@ fn submit_checks(
             reply: reply.clone(),
             id,
             work: Box::new(move || {
-                let batch = runner.run(&entry.session, &checks);
+                let batch = if opts.engine == Engine::Narrow {
+                    runner.run(&entry.session, &checks)
+                } else {
+                    // The registered session is engine-agnostic; the
+                    // request's `opts.engine` picks the backend per call.
+                    ltt_sat::run_checks(
+                        &entry.session,
+                        opts.engine,
+                        &checks,
+                        &runner_budget(&runner),
+                        opts.fail_fast,
+                    )
+                };
                 // Feed the entry's result cache: a later `patch` transplants
                 // these for outputs its edits cannot reach.
                 entry.cache_reports(&batch.reports);
@@ -898,7 +910,31 @@ fn submit_delay(
                 // A whole-circuit request uses the batch engine's isolated
                 // all-outputs search; a single output runs the search
                 // directly under the same merged budget.
-                let results: Vec<Json> = if output.is_some() {
+                let results: Vec<Json> = if opts.engine != Engine::Narrow {
+                    // SAT/hybrid searches run in place, sequentially: the
+                    // backend is the cross-check path, not the throughput
+                    // path, and every probe already shares the merged
+                    // budget (deadline, cancel, backtrack cap).
+                    let budget = runner_budget(&runner);
+                    targets
+                        .iter()
+                        .map(|&o| {
+                            let search = ltt_sat::exact_delay_with_engine(
+                                &entry.session,
+                                opts.engine,
+                                o,
+                                &budget,
+                            );
+                            if !search.proven_exact {
+                                shared_for_job
+                                    .counters
+                                    .budget_tripped
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
+                            delay_json(&search, entry.circuit.net(o).name())
+                        })
+                        .collect()
+                } else if output.is_some() {
                     let budget = runner_budget(&runner);
                     let search = entry.session.exact_delay_budgeted(targets[0], &budget);
                     let name = entry.circuit.net(targets[0]).name().to_string();
@@ -1163,8 +1199,17 @@ fn status_response(shared: &Shared, id: Option<&Json>) -> Json {
             (
                 "registry".to_string(),
                 Json::obj([
-                    ("entries", Json::Int(registry.entries as i64)),
-                    ("capacity", Json::Int(registry.capacity as i64)),
+                    // try_from + clamp, not `as`: a pathological
+                    // `--registry-cap`/`--queue-cap` above `i64::MAX` must
+                    // saturate in the report, not wrap negative.
+                    (
+                        "entries",
+                        Json::Int(i64::try_from(registry.entries).unwrap_or(i64::MAX)),
+                    ),
+                    (
+                        "capacity",
+                        Json::Int(i64::try_from(registry.capacity).unwrap_or(i64::MAX)),
+                    ),
                     ("hits", int(registry.hits)),
                     ("misses", int(registry.misses)),
                     ("evictions", int(registry.evictions)),
@@ -1178,7 +1223,10 @@ fn status_response(shared: &Shared, id: Option<&Json>) -> Json {
                 "queue".to_string(),
                 Json::obj([
                     ("depth", int(snap.queued)),
-                    ("capacity", Json::Int(shared.queue_cap as i64)),
+                    (
+                        "capacity",
+                        Json::Int(i64::try_from(shared.queue_cap).unwrap_or(i64::MAX)),
+                    ),
                 ]),
             ),
             (

@@ -28,6 +28,12 @@ pub enum Json {
     Bool(bool),
     /// An integer (no decimal point or exponent in the source).
     Int(i64),
+    /// An unsigned integer **above** `i64::MAX` (content hashes, large
+    /// counters): kept exact instead of degrading to `f64`, which only
+    /// holds 53 bits of mantissa. Canonical form: any value that fits in
+    /// `i64` is an `Int` — the parser and [`Json::uint`] both enforce
+    /// this, so `Uint` never aliases an `Int` under `==`.
+    Uint(u64),
     /// A floating-point number.
     Float(f64),
     /// A string.
@@ -42,6 +48,15 @@ impl Json {
     /// A string value (convenience constructor).
     pub fn str(s: impl Into<String>) -> Json {
         Json::Str(s.into())
+    }
+
+    /// An unsigned integer in canonical form: [`Json::Int`] when the
+    /// value fits in `i64`, [`Json::Uint`] above that.
+    pub fn uint(v: u64) -> Json {
+        match i64::try_from(v) {
+            Ok(i) => Json::Int(i),
+            Err(_) => Json::Uint(v),
+        }
     }
 
     /// An object from `(key, value)` pairs.
@@ -74,6 +89,8 @@ impl Json {
     pub fn as_i64(&self) -> Option<i64> {
         match self {
             Json::Int(i) => Some(*i),
+            // Canonical `Uint` never fits, but tolerate hand-built values.
+            Json::Uint(u) => i64::try_from(*u).ok(),
             _ => None,
         }
     }
@@ -81,15 +98,19 @@ impl Json {
     /// The integer payload as `u64`, if integral and non-negative.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Json::Int(i) if *i >= 0 => Some(*i as u64),
+            Json::Int(i) => u64::try_from(*i).ok(),
+            Json::Uint(u) => Some(*u),
             _ => None,
         }
     }
 
-    /// Numeric payload widened to `f64` (integers coerce).
+    /// Numeric payload widened to `f64` (integers coerce; values above
+    /// 2^53 lose precision here — use [`Json::as_u64`]/[`Json::as_i64`]
+    /// when exactness matters).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Int(i) => Some(*i as f64),
+            Json::Uint(u) => Some(*u as f64),
             Json::Float(f) => Some(*f),
             _ => None,
         }
@@ -130,6 +151,7 @@ impl Json {
             Json::Bool(true) => out.push_str("true"),
             Json::Bool(false) => out.push_str("false"),
             Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Uint(u) => out.push_str(&u.to_string()),
             Json::Float(f) => write_float(*f, out),
             Json::Str(s) => write_string(s, out),
             Json::Arr(items) => {
@@ -476,8 +498,14 @@ impl<'a> Parser<'a> {
             if let Ok(i) = literal.parse::<i64>() {
                 return Ok(Json::Int(i));
             }
-            // Out-of-range integer literal: degrade to float like every
-            // other JSON decoder.
+            // i64 overflow but unsigned (a u64 hash or counter above
+            // `i64::MAX`): keep it exact — degrading to f64 would corrupt
+            // the low bits (f64 has a 53-bit mantissa).
+            if let Ok(u) = literal.parse::<u64>() {
+                return Ok(Json::Uint(u));
+            }
+            // Out-of-range for 64-bit entirely: degrade to float like
+            // every other JSON decoder.
         }
         literal
             .parse::<f64>()
@@ -509,6 +537,8 @@ mod tests {
             Json::Int(-1),
             Json::Int(i64::MAX),
             Json::Int(i64::MIN),
+            Json::Uint(i64::MAX as u64 + 1),
+            Json::Uint(u64::MAX),
             Json::Float(1.5),
             Json::Float(-0.25),
             Json::Float(1e300),
@@ -638,11 +668,47 @@ mod tests {
     }
 
     #[test]
+    fn integers_above_i64_stay_exact_as_uint() {
+        // Regression: 2^63 used to degrade to f64 and lose its low bits.
+        assert_eq!(
+            decode("9223372036854775808").unwrap(),
+            Json::Uint(9223372036854775808)
+        );
+        assert_eq!(
+            decode("18446744073709551615").unwrap(),
+            Json::Uint(u64::MAX)
+        );
+        // A value 53-bit floats cannot hold: bit 0 must survive.
+        let v = decode("9223372036854775809").unwrap();
+        assert_eq!(v.as_u64(), Some(9223372036854775809));
+        // Canonical form: anything that fits i64 parses as Int, and the
+        // constructor agrees.
+        assert_eq!(decode("9223372036854775807").unwrap(), Json::Int(i64::MAX));
+        assert_eq!(Json::uint(7), Json::Int(7));
+        assert_eq!(Json::uint(u64::MAX), Json::Uint(u64::MAX));
+    }
+
+    #[test]
     fn huge_integers_degrade_to_float() {
+        // Only past u64::MAX does the decoder fall back to f64.
         match decode("123456789012345678901234567890").unwrap() {
             Json::Float(f) => assert!(f > 1e29),
             other => panic!("expected float, got {other:?}"),
         }
+        // Large *negative* integers (no u64 rescue) degrade too.
+        match decode("-123456789012345678901234567890").unwrap() {
+            Json::Float(f) => assert!(f < -1e29),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uint_accessors_behave() {
+        let big = Json::Uint(i64::MAX as u64 + 5);
+        assert_eq!(big.as_u64(), Some(i64::MAX as u64 + 5));
+        assert_eq!(big.as_i64(), None);
+        assert!(big.as_f64().is_some());
+        assert_eq!(Json::Int(-1).as_u64(), None);
     }
 
     #[test]

@@ -18,6 +18,9 @@ fn scalar() -> Union<Json> {
         4 => (-4_000_000_000_000_000i64..=4_000_000_000_000_000).prop_map(Json::Int),
         1 => Just(Json::Int(i64::MIN)),
         1 => Just(Json::Int(i64::MAX)),
+        // Canonical `Uint` territory: strictly above `i64::MAX`.
+        2 => ((i64::MAX as u64 + 1)..=u64::MAX).prop_map(Json::Uint),
+        1 => Just(Json::Uint(u64::MAX)),
         4 => ((-1_000_000_000i64..=1_000_000_000), (0u32..=9))
             .prop_map(|(m, e)| Json::Float(m as f64 / 10f64.powi(e as i32))),
         1 => Just(Json::Float(f64::MAX)),
@@ -50,6 +53,35 @@ proptest! {
         let back = decode(&encoded);
         prop_assert!(back.is_ok(), "decode failed on {encoded:?}: {:?}", back);
         prop_assert_eq!(back.unwrap(), v, "mismatch through {encoded:?}");
+    }
+
+    #[test]
+    fn full_range_u64_roundtrips_exactly(v in any::<u64>()) {
+        // Content hashes and cumulative elapsed_us live in u64; above
+        // 2^53 an f64 detour silently zeroes low bits, and above
+        // `i64::MAX` the old parser degraded to float. The canonical
+        // encoding must round-trip every u64 bit-for-bit.
+        let json = Json::uint(v);
+        let back = decode(&json.encode()).expect("valid JSON");
+        prop_assert_eq!(back.as_u64(), Some(v));
+        prop_assert_eq!(&back, &json);
+        // Canonical form: Int iff it fits in i64.
+        match back {
+            Json::Int(i) => prop_assert!(u64::try_from(i) == Ok(v)),
+            Json::Uint(u) => {
+                prop_assert_eq!(u, v);
+                prop_assert!(v > i64::MAX as u64, "non-canonical Uint for {}", v);
+            }
+            other => return Err(TestCaseError::fail(format!("unexpected {other:?}"))),
+        }
+    }
+
+    #[test]
+    fn full_range_i64_roundtrips_exactly(v in any::<i64>()) {
+        let json = Json::Int(v);
+        let back = decode(&json.encode()).expect("valid JSON");
+        prop_assert_eq!(back.as_i64(), Some(v));
+        prop_assert_eq!(back, json);
     }
 
     #[test]

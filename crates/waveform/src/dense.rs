@@ -61,7 +61,9 @@ impl DenseWaveform {
     /// Panics if `t < 0`.
     pub fn value_at(self, t: i64) -> bool {
         assert!(t >= 0, "window waveforms start at time 0");
-        let idx = (t as u32).min(self.width - 1);
+        // Saturate, don't truncate: a time past `u32::MAX` must read the
+        // settling bit, not wrap around to a bit inside the window.
+        let idx = u32::try_from(t).unwrap_or(u32::MAX).min(self.width - 1);
         (self.mask >> idx) & 1 == 1
     }
 
@@ -360,6 +362,14 @@ mod tests {
         assert!(!w.value_at(0));
         assert!(w.value_at(2));
         assert!(w.value_at(100));
+        // Regression: times past u32::MAX used to truncate (`t as u32`),
+        // wrapping 2^32 to index 0 and reading a bit inside the window.
+        assert!(w.value_at(1 << 32));
+        assert!(w.value_at((1 << 32) + 1));
+        assert!(w.value_at(i64::MAX));
+        let falling = DenseWaveform::new(0b001, 3);
+        assert!(!falling.value_at(1 << 32));
+        assert!(!falling.value_at(i64::MAX));
     }
 
     #[test]
